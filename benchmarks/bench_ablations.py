@@ -1,0 +1,126 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* acyclic vs chained support in enabling EC (soundness vs feasibility);
+* presolve on/off in branch and bound;
+* warm start on/off for the EC re-solve (why EC re-solves are cheap);
+* root cuts on/off;
+* own simplex vs scipy HiGHS as the LP relaxation backend.
+"""
+
+import pytest
+
+from repro.cnf.generators import random_planted_ksat
+from repro.cnf.mutations import table2_trial
+from repro.core.enabling import EnablingOptions, build_enabling_encoding
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.cuts import strengthen_with_cuts
+from repro.ilp.lp_backend import ScipyBackend, SimplexBackend
+from repro.ilp.solver import solve
+from repro.sat.encoding import encode_sat
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_planted_ksat(24, 80, rng=51)
+
+
+@pytest.fixture(scope="module")
+def ec_resolve_setup(instance):
+    f, p = instance
+    modified, _ = table2_trial(f, p, rng=3)
+    enc = encode_sat(modified)
+    warm = enc.values_from_assignment(p.restricted_to(modified.variables))
+    return enc, warm
+
+
+# ----------------------------------------------------------------------
+# support semantics
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="ablation-support")
+@pytest.mark.parametrize("support", ["acyclic", "chained"])
+def bench_enabling_support_semantics(benchmark, instance, support):
+    """Chained support adds rows but never risks infeasibility; acyclic
+    is the sound guarantee.  Compare their objective-mode solve cost."""
+    f, _p = instance
+    options = EnablingOptions(mode="objective", support=support)
+
+    def build_and_solve():
+        enc = build_enabling_encoding(f, options)
+        return solve(enc.model, method="exact", time_limit=120)
+
+    sol = benchmark.pedantic(build_and_solve, rounds=2, iterations=1)
+    assert sol.status.has_solution
+
+
+# ----------------------------------------------------------------------
+# presolve
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="ablation-presolve")
+@pytest.mark.parametrize("use_presolve", [True, False], ids=["on", "off"])
+def bench_presolve(benchmark, instance, use_presolve):
+    f, _p = instance
+    enc = encode_sat(f)
+
+    def run():
+        return BranchAndBoundSolver(
+            use_presolve=use_presolve, time_limit=120
+        ).solve(enc.model)
+
+    sol = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert sol.status.has_solution
+
+
+# ----------------------------------------------------------------------
+# warm start
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="ablation-warmstart")
+@pytest.mark.parametrize("warm", [True, False], ids=["warm", "cold"])
+def bench_warm_start(benchmark, ec_resolve_setup, warm):
+    """The EC advantage in one knob: handing the old solution to the
+    solver as an incumbent."""
+    enc, warm_values = ec_resolve_setup
+
+    def run():
+        return BranchAndBoundSolver(time_limit=120).solve(
+            enc.model, warm_start=warm_values if warm else None
+        )
+
+    sol = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert sol.status.has_solution
+
+
+# ----------------------------------------------------------------------
+# cuts
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="ablation-cuts")
+@pytest.mark.parametrize("with_cuts", [True, False], ids=["cuts", "nocuts"])
+def bench_root_cuts(benchmark, instance, with_cuts):
+    f, _p = instance
+    enc = encode_sat(f)
+
+    def run():
+        model = enc.model
+        if with_cuts:
+            model, _added = strengthen_with_cuts(model, rounds=2)
+        return BranchAndBoundSolver(time_limit=120).solve(model)
+
+    sol = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert sol.status.has_solution
+
+
+# ----------------------------------------------------------------------
+# LP backend
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="ablation-lp-backend")
+@pytest.mark.parametrize(
+    "backend", [SimplexBackend(), ScipyBackend()], ids=["own-simplex", "scipy-highs"]
+)
+def bench_lp_backend(benchmark, instance, backend):
+    f, _p = instance
+    enc = encode_sat(f)
+
+    def run():
+        return BranchAndBoundSolver(backend=backend, time_limit=120).solve(enc.model)
+
+    sol = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert sol.status.has_solution

@@ -1,0 +1,81 @@
+"""Graph-coloring EC benchmark (the paper's §8 second domain).
+
+The coloring data lives in the unpublished tech report [6]; these
+benchmarks exercise the same three components on random colorable graphs
+and check the analogous shapes: enabling raises flexibility, fast EC
+touches few nodes, preserving EC retains most of the binding.
+"""
+
+import pytest
+
+from repro.coloring.ec import (
+    coloring_flexibility,
+    enable_coloring_ec,
+    fast_coloring_ec,
+    preserving_coloring_ec,
+)
+from repro.coloring.generators import random_colorable_graph
+from repro.coloring.problem import GraphColoringProblem
+from repro.ilp.solver import solve
+
+
+@pytest.fixture(scope="module")
+def coloring_setup():
+    graph, planted = random_colorable_graph(18, 4, 36, rng=21)
+    problem = GraphColoringProblem(graph, 4)
+    # A changed problem with two fresh conflicting edges.
+    changed_graph = graph.copy()
+    added = 0
+    for u in graph.nodes:
+        for v in graph.nodes:
+            if u < v and not changed_graph.has_edge(u, v) and planted[u] == planted[v]:
+                changed_graph.add_edge(u, v)
+                added += 1
+                break
+        if added >= 2:
+            break
+    changed = GraphColoringProblem(changed_graph, 4)
+    return problem, planted, changed
+
+
+@pytest.mark.benchmark(group="coloring-solve")
+def bench_coloring_exact_solve(benchmark, coloring_setup):
+    """Baseline: exact k-coloring through the ILP route."""
+    problem, _planted, _changed = coloring_setup
+    sol = benchmark.pedantic(
+        solve, args=(problem.to_ilp(),), kwargs={"time_limit": 60},
+        rounds=2, iterations=1,
+    )
+    assert sol.status.has_solution
+
+
+@pytest.mark.benchmark(group="coloring-enable")
+def bench_coloring_enabling(benchmark, coloring_setup):
+    """Enabling EC: maximize nodes with a spare color."""
+    problem, planted, _changed = coloring_setup
+    result = benchmark.pedantic(
+        enable_coloring_ec, args=(problem,), kwargs={"time_limit": 120},
+        rounds=2, iterations=1,
+    )
+    assert result.succeeded
+    assert result.flexibility >= coloring_flexibility(problem, planted) - 1e-9
+
+
+@pytest.mark.benchmark(group="coloring-fast")
+def bench_coloring_fast_ec(benchmark, coloring_setup):
+    """Fast EC: local re-bind after edge insertion."""
+    _problem, planted, changed = coloring_setup
+    result = benchmark(fast_coloring_ec, changed, planted)
+    assert result.succeeded
+    assert len(result.recolored_nodes) <= 4
+
+
+@pytest.mark.benchmark(group="coloring-preserving")
+def bench_coloring_preserving_ec(benchmark, coloring_setup):
+    """Preserving EC: maximum-retention re-bind."""
+    _problem, planted, changed = coloring_setup
+    result = benchmark.pedantic(
+        preserving_coloring_ec, args=(changed, planted), rounds=2, iterations=1
+    )
+    assert result.succeeded
+    assert result.preserved_fraction >= 0.8

@@ -1,0 +1,82 @@
+"""Substrate benchmarks: the building blocks under the EC methodology.
+
+Not a paper table — these keep the from-scratch substrates honest
+(simplex vs HiGHS on LPs, DPLL vs the ILP route on the same formulas,
+WalkSAT witness generation, DIMACS parsing throughput).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cnf.dimacs import parse_dimacs, to_dimacs
+from repro.cnf.generators import random_planted_ksat
+from repro.ilp.lp_backend import ScipyBackend, SimplexBackend
+from repro.ilp.solver import solve
+from repro.sat.dpll import dpll_solve
+from repro.sat.encoding import encode_sat
+from repro.sat.walksat import walksat_solve
+
+
+@pytest.fixture(scope="module")
+def lp_case():
+    rng = np.random.default_rng(7)
+    n, m = 40, 60
+    c = rng.normal(size=n)
+    a = rng.normal(size=(m, n))
+    b = rng.uniform(1.0, 4.0, size=m)
+    return c, a, b, [(0.0, 1.0)] * n
+
+
+@pytest.fixture(scope="module")
+def sat_case():
+    return random_planted_ksat(60, 240, rng=77)
+
+
+@pytest.mark.benchmark(group="substrate-lp")
+@pytest.mark.parametrize(
+    "backend", [SimplexBackend(), ScipyBackend()], ids=["own-simplex", "scipy-highs"]
+)
+def bench_lp_solve(benchmark, lp_case, backend):
+    c, a, b, bounds = lp_case
+    res = benchmark(backend.solve, c, a, b, None, None, bounds)
+    assert res.status.has_solution or res.status.name == "OPTIMAL"
+
+
+@pytest.mark.benchmark(group="substrate-sat")
+def bench_dpll_solve(benchmark, sat_case):
+    f, _p = sat_case
+    res = benchmark(dpll_solve, f)
+    assert res.satisfiable
+
+
+@pytest.mark.benchmark(group="substrate-sat")
+def bench_walksat_solve(benchmark, sat_case):
+    f, _p = sat_case
+    res = benchmark(walksat_solve, f)
+    assert res.satisfiable
+
+
+@pytest.mark.benchmark(group="substrate-sat")
+def bench_ilp_route_solve(benchmark, sat_case):
+    """The paper's route: SAT -> set cover -> 0-1 ILP -> branch & bound."""
+    f, _p = sat_case
+
+    def run():
+        enc = encode_sat(f)
+        return solve(enc.model, method="heuristic", seed=5,
+                     stop_on_first_feasible=True)
+
+    sol = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sol.status.has_solution
+
+
+@pytest.mark.benchmark(group="substrate-io")
+def bench_dimacs_roundtrip(benchmark, sat_case):
+    f, _p = sat_case
+    text = to_dimacs(f)
+
+    def roundtrip():
+        return parse_dimacs(text)
+
+    g = benchmark(roundtrip)
+    assert g.num_clauses == f.num_clauses

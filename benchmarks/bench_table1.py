@@ -1,0 +1,101 @@
+"""Table 1 benchmark: enabling-EC overhead (paper §5, Table 1).
+
+The paper reports normalized runtimes of the original solve vs the solve
+with enabling constraints ("EC (SC)") and with the augmented objective
+("EC (OF)").  Expected shape: both EC variants stay within a small factor
+of the original solve — enabling is cheap insurance.
+
+Regenerate the full printed table with ``python -m repro.bench.table1``.
+"""
+
+import pytest
+
+from repro.core.enabling import EnablingOptions, enable_ec
+from repro.sat.encoding import encode_sat
+from repro.ilp.solver import solve
+
+
+def _solve_original(row):
+    enc = encode_sat(row.formula)
+    sol = solve(enc.model, method="exact", time_limit=120)
+    assert sol.status.has_solution
+    return sol
+
+
+@pytest.mark.benchmark(group="table1-original")
+def bench_original_solve_par(benchmark, row_par):
+    """Baseline column: the original par8-1-c solve."""
+    sol = benchmark.pedantic(_solve_original, args=(row_par,), rounds=2, iterations=1)
+    assert sol.status.has_solution
+
+
+@pytest.mark.benchmark(group="table1-original")
+def bench_original_solve_ii(benchmark, row_ii):
+    """Baseline column: the original ii8a1 solve."""
+    sol = benchmark.pedantic(_solve_original, args=(row_ii,), rounds=2, iterations=1)
+    assert sol.status.has_solution
+
+
+@pytest.mark.benchmark(group="table1-ec-sc")
+def bench_enabling_constraints_par(benchmark, row_par):
+    """EC (SC) column: specified-constraint enabling (chained support)."""
+    result = benchmark.pedantic(
+        enable_ec,
+        args=(row_par.formula,),
+        kwargs={
+            "options": EnablingOptions(mode="constraints", support="chained"),
+            "time_limit": 120,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    assert result.succeeded
+    assert row_par.formula.is_satisfied(result.assignment)
+
+
+@pytest.mark.benchmark(group="table1-ec-sc")
+def bench_enabling_constraints_ii(benchmark, row_ii):
+    """EC (SC) column on ii8a1."""
+    result = benchmark.pedantic(
+        enable_ec,
+        args=(row_ii.formula,),
+        kwargs={
+            "options": EnablingOptions(mode="constraints", support="chained"),
+            "time_limit": 120,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    assert result.succeeded
+
+
+@pytest.mark.benchmark(group="table1-ec-of")
+def bench_enabling_objective_par(benchmark, row_par):
+    """EC (OF) column: objective-function enabling (chained support)."""
+    result = benchmark.pedantic(
+        enable_ec,
+        args=(row_par.formula,),
+        kwargs={
+            "options": EnablingOptions(mode="objective", support="chained"),
+            "time_limit": 120,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    assert result.succeeded
+
+
+@pytest.mark.benchmark(group="table1-ec-of")
+def bench_enabling_objective_ii(benchmark, row_ii):
+    """EC (OF) column on ii8a1."""
+    result = benchmark.pedantic(
+        enable_ec,
+        args=(row_ii.formula,),
+        kwargs={
+            "options": EnablingOptions(mode="objective", support="chained"),
+            "time_limit": 120,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    assert result.succeeded

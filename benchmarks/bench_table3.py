@@ -1,0 +1,55 @@
+"""Table 3 benchmark: preserving EC (paper §7, Table 3).
+
+Per trial the paper randomly adds and deletes five variables and five
+clauses (keeping the instance satisfiable), then compares the percentage
+of the original assignment preserved by an oblivious re-solve vs
+preserving EC.  Expected shape: preserving EC ~95-99 %, oblivious ~60-85%.
+
+Regenerate the full printed table with ``python -m repro.bench.table3``.
+"""
+
+import pytest
+
+from repro.cnf.mutations import table3_trial
+from repro.core.preserving import preserving_ec, resolve_oblivious
+
+
+@pytest.fixture(scope="module")
+def trial(solved_ii):
+    """One pinned Table-3 trial on the solved ii8a1 row."""
+    inst, original = solved_ii
+    modified, _log = table3_trial(inst.formula, original, rng=31)
+    return original, modified
+
+
+@pytest.mark.benchmark(group="table3-preserving")
+def bench_preserving_resolve(benchmark, trial):
+    """The "%Sol with EC" column: agreement-maximizing re-solve."""
+    original, modified = trial
+    result = benchmark.pedantic(
+        preserving_ec, args=(modified, original), rounds=2, iterations=1
+    )
+    assert result.succeeded
+    assert modified.is_satisfied(result.assignment)
+
+
+@pytest.mark.benchmark(group="table3-oblivious")
+def bench_oblivious_resolve(benchmark, trial):
+    """The "%Sol Original" column: re-solve with no preservation goal."""
+    original, modified = trial
+    result = benchmark.pedantic(
+        resolve_oblivious, args=(modified, original), rounds=2, iterations=1
+    )
+    assert result.succeeded
+
+
+def bench_shape_preserving_dominates(solved_ii):
+    """Shape check (not timed): preserving EC keeps (weakly) more of the
+    old assignment than the oblivious re-solve, and close to all of it."""
+    inst, original = solved_ii
+    modified, _ = table3_trial(inst.formula, original, rng=37)
+    pres = preserving_ec(modified, original)
+    obl = resolve_oblivious(modified, original)
+    assert pres.succeeded and obl.succeeded
+    assert pres.preserved_fraction >= obl.preserved_fraction - 1e-9
+    assert pres.preserved_fraction >= 0.85

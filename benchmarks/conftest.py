@@ -1,0 +1,49 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Instances here are the CI-tier benchmark rows (or purpose-built small
+instances) so the whole suite finishes in minutes.  Set
+``REPRO_BENCH_SCALE=paper`` to run the published sizes instead — expect
+hours, exactly like the original CPLEX runs.
+
+The printed tables (the paper's layout, with averages and medians) come
+from the module runners::
+
+    python -m repro.bench.table1   # enabling EC
+    python -m repro.bench.table2   # fast EC
+    python -m repro.bench.table3   # preserving EC
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import load_instance
+from repro.sat.encoding import encode_sat
+from repro.ilp.solver import solve
+
+
+@pytest.fixture(scope="session")
+def row_par():
+    """The par8-1-c row at the current tier."""
+    return load_instance("par8-1-c")
+
+
+@pytest.fixture(scope="session")
+def row_ii():
+    """The ii8a1 row at the current tier."""
+    return load_instance("ii8a1")
+
+
+@pytest.fixture(scope="session")
+def row_f():
+    """The f600 row at the current tier."""
+    return load_instance("f600")
+
+
+@pytest.fixture(scope="session")
+def solved_ii(row_ii):
+    """(instance, decoded original solution) for EC benchmarks."""
+    enc = encode_sat(row_ii.formula)
+    sol = solve(enc.model, method="exact", time_limit=120)
+    assert sol.status.has_solution
+    return row_ii, enc.decode(sol, default=False)

@@ -1,0 +1,51 @@
+"""Preserving EC: keep downstream synthesis results stable across changes.
+
+Run:  python examples/incremental_synthesis.py
+
+Scenario (§7 of the paper): "a single synthesis step is followed by a
+number of consecutive synthesis steps.  Therefore, if we want to avoid
+numerous changes to all steps, we have to preserve as much as possible of
+the initial solution at the higher levels of abstraction."
+
+We model a high-level decision vector as the solution of a SAT instance,
+apply a stream of specification changes, and compare how much of the
+decision vector survives with an oblivious re-solve vs preserving EC.
+Every preserved variable means a downstream step that does not need to be
+redone.
+"""
+
+from repro.cnf.families import ii_instance
+from repro.cnf.mutations import table3_trial
+from repro.core.preserving import preserving_ec, resolve_oblivious
+
+
+def main() -> None:
+    inst = ii_instance(80, 260, seed=5, name="hls-decisions")
+    formula, solution = inst.formula, inst.witness
+    print(f"high-level decision model: {formula.num_vars} decisions, "
+          f"{formula.num_clauses} constraints\n")
+
+    print(f"{'round':>5} {'changes':^34} {'oblivious':>10} {'preserving':>11}")
+    current = solution
+    current_formula = formula
+    for round_no in range(1, 4):
+        modified, log = table3_trial(current_formula, current, rng=round_no)
+        oblivious = resolve_oblivious(modified, current, method="exact")
+        preserving = preserving_ec(modified, current, method="exact")
+        assert oblivious.succeeded and preserving.succeeded
+        print(
+            f"{round_no:>5} {log.summary():^34} "
+            f"{oblivious.preserved_fraction:>9.1%} "
+            f"{preserving.preserved_fraction:>10.1%}"
+        )
+        # Chain: the preserving solution feeds the next round (the paper's
+        # "successive application to new requests").
+        current = preserving.assignment
+        current_formula = modified
+
+    print("\nEvery preserved decision is a downstream synthesis step kept "
+          "intact; preserving EC consistently retains (weakly) more.")
+
+
+if __name__ == "__main__":
+    main()

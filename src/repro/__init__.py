@@ -1,0 +1,71 @@
+"""repro — reproduction of "ILP-Based Engineering Change" (DAC 2002).
+
+Koushanfar, Wong, Feng, Potkonjak: a generic engineering-change (EC)
+methodology with three components — *enabling* EC (solve so the solution
+tolerates future changes), *fast* EC (re-solve only the affected
+sub-instance), and *preserving* EC (re-solve maximizing agreement with the
+previous solution) — demonstrated on Boolean satisfiability via a
+set-cover 0-1 ILP encoding, plus a graph-coloring domain.
+
+Quick start::
+
+    from repro import CNFFormula, ECFlow, ChangeSet, AddClause, Clause
+
+    formula = CNFFormula([[1, -3, -5], [2, -3, -5], [2, 4, 5], [-3, -4]])
+    flow = ECFlow(formula)
+    flow.solve_original(enable=True)                  # flexible solution
+    flow.apply_changes(ChangeSet([AddClause(Clause([-2, 4]))]))
+    flow.resolve(strategy="fast")                     # local re-solve
+
+Subpackages:
+
+* :mod:`repro.cnf` — CNF formulas, DIMACS I/O, benchmark families,
+  EC mutations, flexibility analysis;
+* :mod:`repro.ilp` — from-scratch 0-1 ILP substrate (simplex, presolve,
+  branch & bound, cuts, heuristic iterative improvement);
+* :mod:`repro.sat` — set cover, the SAT->ILP encoding, DPLL, WalkSAT;
+* :mod:`repro.core` — the EC methodology itself;
+* :mod:`repro.coloring` — EC for graph coloring;
+* :mod:`repro.bench` — harness regenerating the paper's Tables 1-3.
+"""
+
+from repro.cnf import Assignment, Clause, CNFFormula
+from repro.core import (
+    AddClause,
+    AddVariable,
+    ChangeSet,
+    ECFlow,
+    EnablingOptions,
+    RemoveClause,
+    RemoveVariable,
+    enable_ec,
+    fast_ec,
+    preserving_ec,
+)
+from repro.ilp import ILPModel, LinExpr, Solution, SolveStatus, solve
+from repro.sat import encode_sat
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddClause",
+    "AddVariable",
+    "Assignment",
+    "CNFFormula",
+    "ChangeSet",
+    "Clause",
+    "ECFlow",
+    "EnablingOptions",
+    "ILPModel",
+    "LinExpr",
+    "RemoveClause",
+    "RemoveVariable",
+    "Solution",
+    "SolveStatus",
+    "enable_ec",
+    "encode_sat",
+    "fast_ec",
+    "preserving_ec",
+    "solve",
+    "__version__",
+]

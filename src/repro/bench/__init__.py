@@ -1,0 +1,58 @@
+"""Benchmark harness regenerating the paper's Tables 1-3.
+
+* :mod:`repro.bench.registry` -- the instance suite (one entry per table
+  row) at two size tiers: ``ci`` (scaled down so the whole suite runs in
+  minutes on a laptop) and ``paper`` (the published sizes);
+* :mod:`repro.bench.runner` -- the per-row experiment drivers;
+* :mod:`repro.bench.tables` -- plain-text table formatting matching the
+  paper's layout;
+* ``python -m repro.bench.table1`` (2, 3) -- print a regenerated table.
+
+Absolute runtimes are not comparable to the paper's 2002 CPLEX/Pentium-III
+setup; every runtime column is *normalized* to the original-instance solve,
+as in the paper.
+"""
+
+from repro.bench.registry import (
+    BenchInstance,
+    SUITE_LARGE,
+    SUITE_SMALL,
+    load_instance,
+    suite,
+)
+from repro.bench.runner import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    run_table1,
+    run_table2,
+    run_table3,
+    table1_row,
+    table2_row,
+    table3_row,
+)
+from repro.bench.tables import format_table1, format_table2, format_table3
+from repro.bench.ablations import AblationRow, format_ablations, run_ablations
+
+__all__ = [
+    "AblationRow",
+    "BenchInstance",
+    "format_ablations",
+    "run_ablations",
+    "SUITE_LARGE",
+    "SUITE_SMALL",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "load_instance",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "suite",
+    "table1_row",
+    "table2_row",
+    "table3_row",
+]

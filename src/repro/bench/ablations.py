@@ -1,0 +1,156 @@
+"""Ablation table: ``python -m repro.bench.ablations``.
+
+Quantifies the design choices DESIGN.md calls out, on one pinned
+instance (ii8a1 at the current tier):
+
+* enabling support semantics: acyclic (sound) vs chained (paper-style);
+* branch-and-bound presolve on/off;
+* EC re-solve warm start on/off;
+* root cuts on/off;
+* LP backend: own simplex vs scipy HiGHS.
+
+Columns are wall seconds plus machine-independent effort counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.bench.registry import load_instance
+from repro.cnf.mutations import table2_trial
+from repro.core.enabling import EnablingOptions, build_enabling_encoding
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.cuts import strengthen_with_cuts
+from repro.ilp.lp_backend import ScipyBackend, SimplexBackend
+from repro.ilp.solver import solve
+from repro.sat.encoding import encode_sat
+
+
+@dataclass
+class AblationRow:
+    """One ablation measurement."""
+
+    group: str
+    variant: str
+    seconds: float
+    nodes: int
+    lp_solves: int
+    objective: float | None
+
+
+def _run(group: str, variant: str, fn) -> AblationRow:
+    t0 = time.perf_counter()
+    solution = fn()
+    return AblationRow(
+        group=group,
+        variant=variant,
+        seconds=time.perf_counter() - t0,
+        nodes=solution.stats.nodes,
+        lp_solves=solution.stats.lp_solves,
+        objective=solution.objective,
+    )
+
+
+def run_ablations(instance_name: str = "ii8a1", tier: str | None = None) -> list[AblationRow]:
+    """Run every ablation pair on the named registry instance."""
+    inst = load_instance(instance_name, tier=tier)
+    formula = inst.formula
+    rows: list[AblationRow] = []
+
+    for support in ("acyclic", "chained"):
+        options = EnablingOptions(mode="objective", support=support)
+        rows.append(
+            _run(
+                "enabling-support",
+                support,
+                lambda o=options: solve(
+                    build_enabling_encoding(formula, o).model,
+                    method="exact",
+                    time_limit=120,
+                ),
+            )
+        )
+
+    enc = encode_sat(formula)
+    for use_presolve in (True, False):
+        rows.append(
+            _run(
+                "presolve",
+                "on" if use_presolve else "off",
+                lambda u=use_presolve: BranchAndBoundSolver(
+                    use_presolve=u, time_limit=120
+                ).solve(enc.model),
+            )
+        )
+
+    original = enc.decode(solve(enc.model, method="exact", time_limit=120), default=False)
+    modified, _ = table2_trial(formula, original, rng=5)
+    ec_enc = encode_sat(modified)
+    warm = ec_enc.values_from_assignment(original.restricted_to(modified.variables))
+    for warm_start in (warm, None):
+        rows.append(
+            _run(
+                "ec-warm-start",
+                "warm" if warm_start is not None else "cold",
+                lambda w=warm_start: BranchAndBoundSolver(time_limit=120).solve(
+                    ec_enc.model, warm_start=w
+                ),
+            )
+        )
+
+    for with_cuts in (True, False):
+        def run_cuts(w=with_cuts):
+            model = enc.model
+            if w:
+                model, _added = strengthen_with_cuts(model, rounds=2)
+            return BranchAndBoundSolver(time_limit=120).solve(model)
+
+        rows.append(_run("root-cuts", "on" if with_cuts else "off", run_cuts))
+
+    for backend in (SimplexBackend(), ScipyBackend()):
+        rows.append(
+            _run(
+                "lp-backend",
+                backend.name,
+                lambda b=backend: BranchAndBoundSolver(
+                    backend=b, time_limit=120
+                ).solve(enc.model),
+            )
+        )
+    return rows
+
+
+def format_ablations(rows: list[AblationRow], instance_name: str) -> str:
+    """Render the ablation comparison table."""
+    header = (
+        f"{'group':<18} {'variant':<12} {'seconds':>9} {'nodes':>7} "
+        f"{'LP solves':>10} {'objective':>10}"
+    )
+    lines = [f"Ablations on {instance_name}", header, "-" * len(header)]
+    last_group = None
+    for row in rows:
+        if last_group is not None and row.group != last_group:
+            lines.append("")
+        last_group = row.group
+        obj = "-" if row.objective is None else f"{row.objective:.1f}"
+        lines.append(
+            f"{row.group:<18} {row.variant:<12} {row.seconds:>9.3f} "
+            f"{row.nodes:>7} {row.lp_solves:>10} {obj:>10}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the ablation table")
+    parser.add_argument("--instance", default="ii8a1")
+    parser.add_argument("--tier", choices=("ci", "paper"), default=None)
+    args = parser.parse_args(argv)
+    rows = run_ablations(args.instance, tier=args.tier)
+    print(format_ablations(rows, args.instance))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

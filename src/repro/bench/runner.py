@@ -1,0 +1,253 @@
+"""Per-row experiment drivers for Tables 1-3.
+
+Each ``tableN_row`` function runs the paper's experiment for one benchmark
+instance and returns a row record; ``run_tableN`` maps it over a suite.
+Runtime columns are wall-clock seconds, with the EC columns additionally
+normalized by the original-instance solve time (the paper's "N.R.").
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from statistics import mean, median
+
+from repro.bench.registry import BenchInstance
+from repro.cnf.assignment import Assignment
+from repro.cnf.mutations import table2_trial, table3_trial
+from repro.core.enabling import EnablingOptions, enable_ec
+from repro.core.fast import fast_ec
+from repro.core.preserving import preserving_ec, resolve_oblivious
+from repro.errors import ECError
+from repro.sat.encoding import encode_sat
+
+_MIN_TIME = 1e-6  # guards normalization on near-instant solves
+
+#: Per-solve wall-clock budget for exact solves in the harness.  A cut-off
+#: solve still yields its incumbent (status FEASIBLE), mirroring how MIP
+#: practitioners run CPLEX with a time limit.
+EXACT_TIME_LIMIT = 120.0
+
+
+def _solver_options(method: str) -> dict:
+    if method == "exact":
+        return {"time_limit": EXACT_TIME_LIMIT}
+    return {"stop_on_first_feasible": True}
+
+
+def _solve_original(
+    inst: BenchInstance, method: str | None = None
+) -> tuple[Assignment, float]:
+    """Solve the unmodified instance; returns (solution, wall seconds)."""
+    from repro.ilp.solver import solve
+
+    method = method or inst.solve_method
+    t0 = time.perf_counter()
+    encoding = encode_sat(inst.formula)
+    solution = solve(encoding.model, method=method, **_solver_options(method))
+    elapsed = time.perf_counter() - t0
+    if not solution.status.has_solution:
+        raise ECError(f"original instance {inst.name} did not solve ({solution.status})")
+    return encoding.decode(solution, default=False), max(elapsed, _MIN_TIME)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — enabling EC overhead
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Row:
+    """One row of Table 1."""
+
+    name: str
+    num_vars: int
+    num_clauses: int
+    orig_runtime: float
+    sc_normalized: float          # "EC (SC)" — specified constraints
+    of_normalized: float          # "EC (OF)" — objective function
+    solver: str = "exact"
+    sc_feasible: bool = True
+
+
+def table1_row(
+    inst: BenchInstance,
+    support: str = "chained",
+    method: str | None = None,
+) -> Table1Row:
+    """Run the Table-1 experiment: original vs SC-enabled vs OF-enabled.
+
+    ``support='chained'`` matches the paper's transitive support (always
+    feasible on unit-free instances); ``'acyclic'`` is the sound variant
+    and may make the SC column infeasible (reported via ``sc_feasible``).
+    """
+    method = method or inst.solve_method
+    _, orig = _solve_original(inst, method)
+
+    t0 = time.perf_counter()
+    sc_feasible = True
+    try:
+        enable_ec(
+            inst.formula,
+            EnablingOptions(mode="constraints", support=support),
+            method=method,
+        )
+    except ECError:
+        sc_feasible = False
+    sc_time = max(time.perf_counter() - t0, _MIN_TIME)
+
+    t0 = time.perf_counter()
+    enable_ec(
+        inst.formula,
+        EnablingOptions(mode="objective", support=support),
+        method=method,
+    )
+    of_time = max(time.perf_counter() - t0, _MIN_TIME)
+
+    return Table1Row(
+        name=inst.name,
+        num_vars=inst.num_vars,
+        num_clauses=inst.num_clauses,
+        orig_runtime=orig,
+        sc_normalized=sc_time / orig,
+        of_normalized=of_time / orig,
+        solver=method,
+        sc_feasible=sc_feasible,
+    )
+
+
+def run_table1(instances: list[BenchInstance], **kwargs) -> list[Table1Row]:
+    """Table 1 over a suite."""
+    return [table1_row(inst, **kwargs) for inst in instances]
+
+
+# ----------------------------------------------------------------------
+# Table 2 — fast EC
+# ----------------------------------------------------------------------
+@dataclass
+class Table2Row:
+    """One row of Table 2."""
+
+    name: str
+    num_vars: int
+    num_clauses: int
+    orig_runtime: float
+    avg_sub_vars: float
+    avg_sub_clauses: float
+    new_normalized: float         # avg fast-EC runtime / original runtime
+    trials: int = 10
+    fallbacks: int = 0
+    solver: str = "exact"
+
+
+def table2_row(
+    inst: BenchInstance,
+    trials: int = 10,
+    num_eliminated: int = 3,
+    num_added_clauses: int = 10,
+    seed: int = 0,
+    method: str | None = None,
+) -> Table2Row:
+    """Run the Table-2 experiment: 10 trials of (-3 vars, +10 clauses)."""
+    method = method or inst.solve_method
+    original, orig = _solve_original(inst, method)
+    rng = random.Random(seed)
+    sub_vars: list[int] = []
+    sub_clauses: list[int] = []
+    times: list[float] = []
+    fallbacks = 0
+    for _trial in range(trials):
+        modified, _log = table2_trial(
+            inst.formula,
+            original,
+            rng=rng,
+            num_eliminated=num_eliminated,
+            num_added_clauses=num_added_clauses,
+        )
+        t0 = time.perf_counter()
+        result = fast_ec(modified, original, method="exact")
+        times.append(max(time.perf_counter() - t0, _MIN_TIME))
+        if not result.succeeded:
+            raise ECError(f"fast EC failed on a satisfiable trial of {inst.name}")
+        sub_vars.append(result.instance.num_vars)
+        sub_clauses.append(result.instance.num_clauses)
+        if result.fell_back:
+            fallbacks += 1
+    return Table2Row(
+        name=inst.name,
+        num_vars=inst.num_vars,
+        num_clauses=inst.num_clauses,
+        orig_runtime=orig,
+        avg_sub_vars=mean(sub_vars),
+        avg_sub_clauses=mean(sub_clauses),
+        new_normalized=mean(times) / orig,
+        trials=trials,
+        fallbacks=fallbacks,
+        solver=method,
+    )
+
+
+def run_table2(instances: list[BenchInstance], **kwargs) -> list[Table2Row]:
+    """Table 2 over a suite."""
+    return [table2_row(inst, **kwargs) for inst in instances]
+
+
+# ----------------------------------------------------------------------
+# Table 3 — preserving EC
+# ----------------------------------------------------------------------
+@dataclass
+class Table3Row:
+    """One row of Table 3."""
+
+    name: str
+    num_vars: int
+    num_clauses: int
+    preserved_original: float     # % with oblivious re-solve
+    preserved_with_ec: float      # % with preserving EC
+    trials: int = 5
+    solver: str = "exact"
+
+
+def table3_row(
+    inst: BenchInstance,
+    trials: int = 5,
+    seed: int = 0,
+    method: str | None = None,
+) -> Table3Row:
+    """Run the Table-3 experiment: +-5 variables, +-5 clauses per trial."""
+    method = method or inst.solve_method
+    original, _orig = _solve_original(inst, method)
+    rng = random.Random(seed)
+    plain: list[float] = []
+    with_ec: list[float] = []
+    for _trial in range(trials):
+        modified, _log = table3_trial(inst.formula, original, rng=rng)
+        oblivious = resolve_oblivious(modified, original, method=method)
+        preserving = preserving_ec(modified, original, method=method)
+        if not (oblivious.succeeded and preserving.succeeded):
+            raise ECError(f"table-3 trial unsolvable on {inst.name}")
+        plain.append(oblivious.preserved_fraction)
+        with_ec.append(preserving.preserved_fraction)
+    return Table3Row(
+        name=inst.name,
+        num_vars=inst.num_vars,
+        num_clauses=inst.num_clauses,
+        preserved_original=100.0 * mean(plain),
+        preserved_with_ec=100.0 * mean(with_ec),
+        trials=trials,
+        solver=method,
+    )
+
+
+def run_table3(instances: list[BenchInstance], **kwargs) -> list[Table3Row]:
+    """Table 3 over a suite."""
+    return [table3_row(inst, **kwargs) for inst in instances]
+
+
+# ----------------------------------------------------------------------
+# summary helpers shared by the formatters
+# ----------------------------------------------------------------------
+def summarize(values: list[float]) -> tuple[float, float]:
+    """(mean, median), empty-safe."""
+    if not values:
+        return float("nan"), float("nan")
+    return mean(values), median(values)

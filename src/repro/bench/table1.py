@@ -1,0 +1,32 @@
+"""Regenerate Table 1 (enabling EC): ``python -m repro.bench.table1``.
+
+Options::
+
+    --tier ci|paper     instance sizes (default: REPRO_BENCH_SCALE or ci)
+    --block small|large|all
+    --support chained|acyclic
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.registry import suite
+from repro.bench.runner import run_table1
+from repro.bench.tables import format_table1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate Table 1")
+    parser.add_argument("--tier", choices=("ci", "paper"), default=None)
+    parser.add_argument("--block", choices=("small", "large", "all"), default="small")
+    parser.add_argument("--support", choices=("chained", "acyclic"), default="chained")
+    args = parser.parse_args(argv)
+    instances = suite(args.block, tier=args.tier)
+    rows = run_table1(instances, support=args.support)
+    print(format_table1(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Regenerate Table 2 (fast EC): ``python -m repro.bench.table2``.
+
+Options::
+
+    --tier ci|paper
+    --block small|large|all
+    --trials N          (paper: 10)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.registry import suite
+from repro.bench.runner import run_table2
+from repro.bench.tables import format_table2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate Table 2")
+    parser.add_argument("--tier", choices=("ci", "paper"), default=None)
+    parser.add_argument("--block", choices=("small", "large", "all"), default="small")
+    parser.add_argument("--trials", type=int, default=10)
+    args = parser.parse_args(argv)
+    instances = suite(args.block, tier=args.tier)
+    rows = run_table2(instances, trials=args.trials)
+    print(format_table2(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

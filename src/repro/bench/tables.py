@@ -1,0 +1,89 @@
+"""Plain-text formatting of the regenerated tables (paper layout)."""
+
+from __future__ import annotations
+
+from repro.bench.runner import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    summarize,
+)
+
+
+def _rule(widths: list[int]) -> str:
+    return "-" * (sum(widths) + 2 * (len(widths) - 1))
+
+
+def format_table1(rows: list[Table1Row], title: str | None = None) -> str:
+    """Render Table 1: enabling-EC normalized runtimes."""
+    title = title or "Table 1: Experimental Results for Enabling EC on SAT"
+    header = f"{'Instance':<12} {'#Vars':>6} {'#Clauses':>8} {'Orig(s)':>10} {'EC(SC) N.R.':>12} {'EC(OF) N.R.':>12}"
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        sc = f"{row.sc_normalized:.2f}" + ("" if row.sc_feasible else "*")
+        lines.append(
+            f"{row.name:<12} {row.num_vars:>6} {row.num_clauses:>8} "
+            f"{row.orig_runtime:>10.4f} {sc:>12} {row.of_normalized:>12.2f}"
+        )
+    sc_mean, sc_med = summarize([r.sc_normalized for r in rows])
+    of_mean, of_med = summarize([r.of_normalized for r in rows])
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'average':<12} {'-':>6} {'-':>8} {'-':>10} {sc_mean:>12.2f} {of_mean:>12.2f}"
+    )
+    lines.append(
+        f"{'median':<12} {'-':>6} {'-':>8} {'-':>10} {sc_med:>12.2f} {of_med:>12.2f}"
+    )
+    if any(not r.sc_feasible for r in rows):
+        lines.append("* SC constraints infeasible; time is the infeasibility proof.")
+    return "\n".join(lines)
+
+
+def format_table2(rows: list[Table2Row], title: str | None = None) -> str:
+    """Render Table 2: fast-EC shrinkage and normalized runtime."""
+    title = title or "Table 2: Experimental Results for fast EC on SAT"
+    header = (
+        f"{'Instance':<12} {'#Vars':>6} {'#Clauses':>8} {'Orig(s)':>10} "
+        f"{'Ave #V/C':>14} {'New N.R.':>10}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        vc = f"{row.avg_sub_vars:.1f}/{row.avg_sub_clauses:.1f}"
+        lines.append(
+            f"{row.name:<12} {row.num_vars:>6} {row.num_clauses:>8} "
+            f"{row.orig_runtime:>10.4f} {vc:>14} {row.new_normalized:>10.4f}"
+        )
+    v_mean, v_med = summarize([r.avg_sub_vars for r in rows])
+    c_mean, c_med = summarize([r.avg_sub_clauses for r in rows])
+    n_mean, n_med = summarize([r.new_normalized for r in rows])
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'average':<12} {'-':>6} {'-':>8} {'-':>10} "
+        f"{f'{v_mean:.1f}/{c_mean:.1f}':>14} {n_mean:>10.4f}"
+    )
+    lines.append(
+        f"{'median':<12} {'-':>6} {'-':>8} {'-':>10} "
+        f"{f'{v_med:.1f}/{c_med:.1f}':>14} {n_med:>10.4f}"
+    )
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[Table3Row], title: str | None = None) -> str:
+    """Render Table 3: preserved-assignment percentages."""
+    title = title or "Table 3: Experimental Results for preserving EC on SAT"
+    header = (
+        f"{'Instance':<12} {'#Vars':>6} {'#Clauses':>8} "
+        f"{'%Sol Original':>14} {'%Sol with EC':>13}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<12} {row.num_vars:>6} {row.num_clauses:>8} "
+            f"{row.preserved_original:>14.1f} {row.preserved_with_ec:>13.1f}"
+        )
+    p_mean, p_med = summarize([r.preserved_original for r in rows])
+    e_mean, e_med = summarize([r.preserved_with_ec for r in rows])
+    lines.append("-" * len(header))
+    lines.append(f"{'average':<12} {'-':>6} {'-':>8} {p_mean:>14.2f} {e_mean:>13.2f}")
+    lines.append(f"{'median':<12} {'-':>6} {'-':>8} {p_med:>14.2f} {e_med:>13.2f}")
+    return "\n".join(lines)

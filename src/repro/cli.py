@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``solve FILE.cnf``                 — solve a DIMACS instance via the ILP route;
+* ``enable FILE.cnf``                — solve with enabling EC and report flexibility;
+* ``fast FILE.cnf CHANGED.cnf``      — fast EC from FILE's solution to CHANGED;
+* ``preserve FILE.cnf CHANGED.cnf``  — preserving EC between the two instances;
+* ``bench {table1,table2,table3}``   — regenerate a paper table.
+
+The two-file EC commands treat the first file as the original
+specification (solved from scratch) and the second as the modified one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cnf.analysis import flexibility_report
+from repro.cnf.dimacs import read_dimacs
+from repro.core.enabling import EnablingOptions, enable_ec
+from repro.core.fast import fast_ec
+from repro.core.preserving import preserving_ec
+from repro.errors import ReproError
+from repro.sat.encoding import encode_sat
+from repro.ilp.solver import solve
+
+
+def _solve_file(path: str, method: str):
+    formula = read_dimacs(path)
+    encoding = encode_sat(formula)
+    solution = solve(encoding.model, method=method)
+    if not solution.status.has_solution:
+        raise ReproError(f"{path}: unsatisfiable ({solution.status.value})")
+    return formula, encoding.decode(solution, default=False)
+
+
+def _cmd_solve(args) -> int:
+    formula, assignment = _solve_file(args.file, args.method)
+    print(f"s SATISFIABLE ({formula.num_vars} vars, {formula.num_clauses} clauses)")
+    print("v " + " ".join(str(l) for l in assignment.to_literals()) + " 0")
+    return 0
+
+
+def _cmd_enable(args) -> int:
+    formula = read_dimacs(args.file)
+    options = EnablingOptions(mode=args.mode, support=args.support, k=args.k)
+    result = enable_ec(formula, options, method=args.method)
+    if not result.succeeded:
+        print("s UNSATISFIABLE (under enabling constraints)")
+        return 1
+    report = flexibility_report(formula, result.assignment, with_robustness=False)
+    print(f"s SATISFIABLE (enabled, {options.mode}/{options.support})")
+    print(f"c 2-satisfied fraction: {report.fraction_2_satisfied:.3f}")
+    print(f"c fragile clauses:      {report.fragile_clauses}")
+    print("v " + " ".join(str(l) for l in result.assignment.to_literals()) + " 0")
+    return 0
+
+
+def _cmd_fast(args) -> int:
+    _original_formula, assignment = _solve_file(args.original, args.method)
+    modified = read_dimacs(args.modified)
+    result = fast_ec(modified, assignment, method=args.method)
+    if not result.succeeded:
+        print("s UNSATISFIABLE (modified instance)")
+        return 1
+    print(f"c re-solved {result.instance.num_vars} vars / "
+          f"{result.instance.num_clauses} clauses"
+          + (" (fallback)" if result.fell_back else ""))
+    print("v " + " ".join(str(l) for l in result.assignment.to_literals()) + " 0")
+    return 0
+
+
+def _cmd_preserve(args) -> int:
+    _original_formula, assignment = _solve_file(args.original, args.method)
+    modified = read_dimacs(args.modified)
+    result = preserving_ec(modified, assignment, method=args.method)
+    if not result.succeeded:
+        print("s UNSATISFIABLE (modified instance)")
+        return 1
+    print(f"c preserved {result.preserved_count}/{result.comparable_variables} "
+          f"({result.preserved_fraction:.1%})")
+    print("v " + " ".join(str(l) for l in result.assignment.to_literals()) + " 0")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.bench.{args.table}")
+    forwarded = []
+    if args.tier:
+        forwarded += ["--tier", args.tier]
+    if args.block:
+        forwarded += ["--block", args.block]
+    return module.main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ILP-based engineering change (DAC 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve a DIMACS CNF via the ILP route")
+    p.add_argument("file")
+    p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"))
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("enable", help="solve with enabling EC")
+    p.add_argument("file")
+    p.add_argument("--mode", default="objective", choices=("constraints", "objective"))
+    p.add_argument("--support", default="chained", choices=("acyclic", "chained"))
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"))
+    p.set_defaults(func=_cmd_enable)
+
+    p = sub.add_parser("fast", help="fast EC between two instances")
+    p.add_argument("original")
+    p.add_argument("modified")
+    p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"))
+    p.set_defaults(func=_cmd_fast)
+
+    p = sub.add_parser("preserve", help="preserving EC between two instances")
+    p.add_argument("original")
+    p.add_argument("modified")
+    p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"))
+    p.set_defaults(func=_cmd_preserve)
+
+    p = sub.add_parser("bench", help="regenerate a paper table")
+    p.add_argument("table", choices=("table1", "table2", "table3"))
+    p.add_argument("--tier", choices=("ci", "paper"), default=None)
+    p.add_argument("--block", choices=("small", "large", "all"), default=None)
+    p.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

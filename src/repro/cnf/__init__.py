@@ -1,0 +1,75 @@
+"""CNF substrate: literals, clauses, formulas, DIMACS I/O and EC mutations.
+
+This subpackage provides everything the paper implicitly assumes about
+Boolean formulas in conjunctive normal form:
+
+* :mod:`repro.cnf.literals` -- DIMACS-style integer literal helpers;
+* :mod:`repro.cnf.clause` -- immutable clauses;
+* :mod:`repro.cnf.formula` -- mutable CNF formulas with stable variable ids;
+* :mod:`repro.cnf.assignment` -- (partial) truth assignments;
+* :mod:`repro.cnf.dimacs` -- DIMACS CNF reader/writer;
+* :mod:`repro.cnf.generators` -- random formula generators;
+* :mod:`repro.cnf.families` -- synthetic stand-ins for the DIMACS benchmark
+  families used in the paper's tables (par, ii, jnh, f, g);
+* :mod:`repro.cnf.mutations` -- the engineering-change edit operations
+  (add/remove clause, add/remove variable);
+* :mod:`repro.cnf.analysis` -- k-satisfiability census and flexibility
+  metrics used by enabling EC.
+"""
+
+from repro.cnf.literals import (
+    complement,
+    is_negative,
+    is_positive,
+    literal,
+    literal_to_str,
+    variable_of,
+)
+from repro.cnf.clause import Clause
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.dimacs import parse_dimacs, read_dimacs, to_dimacs, write_dimacs
+from repro.cnf.generators import (
+    random_ksat,
+    random_planted_ksat,
+    random_mixed_width,
+)
+from repro.cnf.analysis import (
+    clause_satisfaction_levels,
+    elimination_robustness,
+    flexibility_report,
+    k_satisfaction_census,
+    min_satisfaction_level,
+)
+from repro.cnf.simplify import (
+    SimplificationResult,
+    propagate_units,
+    simplify,
+)
+
+__all__ = [
+    "Assignment",
+    "CNFFormula",
+    "Clause",
+    "clause_satisfaction_levels",
+    "complement",
+    "elimination_robustness",
+    "flexibility_report",
+    "is_negative",
+    "is_positive",
+    "k_satisfaction_census",
+    "literal",
+    "literal_to_str",
+    "min_satisfaction_level",
+    "parse_dimacs",
+    "random_ksat",
+    "random_mixed_width",
+    "random_planted_ksat",
+    "read_dimacs",
+    "SimplificationResult",
+    "propagate_units",
+    "simplify",
+    "to_dimacs",
+    "variable_of",
+    "write_dimacs",
+]

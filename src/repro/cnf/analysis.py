@@ -1,0 +1,202 @@
+"""Flexibility analysis: the quantities enabling EC optimizes.
+
+The paper's enabling condition (§5) asks that every clause be at least
+*2-satisfied*, or have a supporting literal that can flip without breaking
+any other clause.  This module measures exactly those properties of a
+(formula, assignment) pair, which lets tests and benchmarks verify that
+enabling EC actually produced a more flexible solution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import evaluate_literal
+from repro.errors import AssignmentError
+
+
+def _require_total(formula: CNFFormula, assignment: Assignment) -> None:
+    missing = [v for v in formula.variables if v not in assignment]
+    if missing:
+        raise AssignmentError(
+            f"assignment leaves {len(missing)} formula variables unassigned "
+            f"(first few: {missing[:5]})"
+        )
+
+
+def clause_satisfaction_levels(
+    formula: CNFFormula, assignment: Assignment
+) -> list[int]:
+    """Per-clause number of true literals under *assignment*."""
+    return formula.satisfaction_levels(assignment)
+
+
+def k_satisfaction_census(
+    formula: CNFFormula, assignment: Assignment
+) -> Counter[int]:
+    """Histogram: satisfaction level -> number of clauses at that level.
+
+    A census with no mass at 0 means the assignment satisfies the formula;
+    the mass at 1 is the set of fragile clauses enabling EC targets.
+    """
+    return Counter(formula.satisfaction_levels(assignment))
+
+
+def min_satisfaction_level(formula: CNFFormula, assignment: Assignment) -> int:
+    """The smallest per-clause satisfaction level (0 if unsatisfied)."""
+    levels = formula.satisfaction_levels(assignment)
+    return min(levels) if levels else 0
+
+
+def fraction_k_satisfied(
+    formula: CNFFormula, assignment: Assignment, k: int = 2
+) -> float:
+    """Fraction of clauses with at least *k* true literals (1.0 if empty)."""
+    if formula.num_clauses == 0:
+        return 1.0
+    levels = formula.satisfaction_levels(assignment)
+    return sum(1 for level in levels if level >= k) / len(levels)
+
+
+def flip_is_safe(
+    formula: CNFFormula, assignment: Assignment, var: int
+) -> bool:
+    """True if flipping *var* keeps every clause of the formula satisfied.
+
+    This is the paper's "can switch its assignment ... without making any
+    other clauses unsatisfied" support test.
+    """
+    flipped = assignment.flipped(var)
+    for idx in formula.clauses_with_variable(var):
+        if not formula.clause(idx).is_satisfied(flipped):
+            return False
+    return True
+
+
+def clause_is_repairable(
+    formula: CNFFormula,
+    assignment: Assignment,
+    clause_index: int,
+    eliminated: set[int] | None = None,
+) -> bool:
+    """True if the clause can be re-satisfied by flipping one of its own
+    currently-false literals without breaking any other clause.
+
+    Args:
+        eliminated: variables that no longer exist (may not be flipped and
+            do not count as satisfying literals).
+    """
+    eliminated = eliminated or set()
+    clause = formula.clause(clause_index)
+    for lit in clause:
+        var = abs(lit)
+        if var in eliminated or var not in assignment:
+            continue
+        if evaluate_literal(lit, assignment[var]):
+            continue  # already true; repair means flipping a false literal
+        candidate = assignment.flipped(var)
+        ok = True
+        for idx in formula.clauses_with_variable(var):
+            cl = formula.clause(idx)
+            remaining = [l for l in cl if abs(l) not in eliminated]
+            if not any(
+                evaluate_literal(l, candidate[abs(l)])
+                for l in remaining
+                if abs(l) in candidate
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def survives_elimination(
+    formula: CNFFormula, assignment: Assignment, var: int
+) -> bool:
+    """True if eliminating *var* leaves a solution reachable by local repair.
+
+    After eliminating *var* every clause must either still be satisfied by
+    its remaining literals, or be repairable by flipping a single other
+    variable (the paper's solution-``E`` behaviour for ``v3``).
+    """
+    eliminated = {var}
+    for idx in formula.clauses_with_variable(var):
+        clause = formula.clause(idx)
+        remaining = [l for l in clause if abs(l) != var]
+        still_ok = any(
+            evaluate_literal(l, assignment[abs(l)])
+            for l in remaining
+            if abs(l) in assignment
+        )
+        if still_ok:
+            continue
+        if not clause_is_repairable(formula, assignment, idx, eliminated=eliminated):
+            return False
+    return True
+
+
+def elimination_robustness(formula: CNFFormula, assignment: Assignment) -> float:
+    """Fraction of variables whose elimination the solution locally survives.
+
+    The paper's motivating example: solution ``S`` has robustness 2/5
+    (only v1, v3 eliminations survive) while ``E`` has robustness 5/5.
+    """
+    _require_total(formula, assignment)
+    variables = formula.variables
+    if not variables:
+        return 1.0
+    good = sum(1 for v in variables if survives_elimination(formula, assignment, v))
+    return good / len(variables)
+
+
+@dataclass
+class FlexibilityReport:
+    """Summary of how EC-ready a (formula, assignment) pair is."""
+
+    num_vars: int
+    num_clauses: int
+    census: Counter[int] = field(default_factory=Counter)
+    fraction_2_satisfied: float = 0.0
+    min_level: int = 0
+    robustness: float = 0.0
+
+    @property
+    def fragile_clauses(self) -> int:
+        """Clauses satisfied by exactly one literal."""
+        return self.census.get(1, 0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlexibilityReport(vars={self.num_vars}, clauses={self.num_clauses}, "
+            f"2-sat={self.fraction_2_satisfied:.3f}, fragile={self.fragile_clauses}, "
+            f"robustness={self.robustness:.3f})"
+        )
+
+
+def flexibility_report(
+    formula: CNFFormula,
+    assignment: Assignment,
+    with_robustness: bool = True,
+) -> FlexibilityReport:
+    """Compute the full flexibility summary for a solution.
+
+    Args:
+        with_robustness: the elimination-robustness sweep is O(vars x
+            clauses); disable for very large instances.
+    """
+    _require_total(formula, assignment)
+    census = k_satisfaction_census(formula, assignment)
+    return FlexibilityReport(
+        num_vars=formula.num_vars,
+        num_clauses=formula.num_clauses,
+        census=census,
+        fraction_2_satisfied=fraction_k_satisfied(formula, assignment, k=2),
+        min_level=min_satisfaction_level(formula, assignment),
+        robustness=(
+            elimination_robustness(formula, assignment) if with_robustness else float("nan")
+        ),
+    )

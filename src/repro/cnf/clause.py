@@ -1,0 +1,140 @@
+"""Immutable CNF clauses.
+
+A :class:`Clause` is a duplicate-free, order-normalized disjunction of
+literals.  Clauses are hashable so formulas can be treated as multisets or
+sets of clauses, and so EC bookkeeping (which clauses were added / marked)
+can use them as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TYPE_CHECKING
+
+from repro.cnf.literals import check_literal, evaluate_literal, literal_to_str
+from repro.errors import ClauseError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cnf.assignment import Assignment
+
+
+class Clause:
+    """A disjunction of DIMACS-style integer literals.
+
+    Literals are deduplicated and stored sorted by (variable, polarity) so
+    two clauses with the same literal set compare and hash equal regardless
+    of construction order.
+
+    Args:
+        literals: any iterable of non-zero ints.
+
+    Raises:
+        ClauseError: if the clause is tautological (contains both ``v`` and
+            ``-v``) and ``allow_tautology`` is False, or any literal is
+            invalid.
+    """
+
+    __slots__ = ("_literals", "_variables")
+
+    def __init__(self, literals: Iterable[int], allow_tautology: bool = False):
+        lits = sorted({check_literal(l) for l in literals}, key=lambda l: (abs(l), l < 0))
+        variables = tuple(sorted({abs(l) for l in lits}))
+        if len(variables) < len(lits) and not allow_tautology:
+            both = sorted(abs(l) for l in lits if -l in set(lits))
+            raise ClauseError(f"tautological clause: variables {both} appear in both polarities")
+        self._literals: tuple[int, ...] = tuple(lits)
+        self._variables: tuple[int, ...] = variables
+
+    @property
+    def literals(self) -> tuple[int, ...]:
+        """The normalized literal tuple."""
+        return self._literals
+
+    @property
+    def variables(self) -> tuple[int, ...]:
+        """Sorted tuple of variable indices mentioned by the clause."""
+        return self._variables
+
+    def is_empty(self) -> bool:
+        """True for the empty clause (unsatisfiable)."""
+        return not self._literals
+
+    def is_unit(self) -> bool:
+        """True if the clause has exactly one literal."""
+        return len(self._literals) == 1
+
+    def is_tautology(self) -> bool:
+        """True if some variable occurs in both polarities."""
+        return len(self._variables) < len(self._literals)
+
+    def contains_variable(self, var: int) -> bool:
+        """True if either polarity of *var* appears in the clause."""
+        return var in set(self._variables)
+
+    def polarity_of(self, var: int) -> int | None:
+        """Return +1/-1 if *var* appears (un)complemented, else None.
+
+        Returns 0 if the clause is tautological in *var*.
+        """
+        pos = var in self._literals
+        neg = -var in self._literals
+        if pos and neg:
+            return 0
+        if pos:
+            return 1
+        if neg:
+            return -1
+        return None
+
+    def without_variable(self, var: int) -> "Clause":
+        """Return a copy with every literal of *var* removed.
+
+        This is the paper's notion of *eliminating a variable*: the clause
+        must then be satisfied by its remaining literals.  May produce the
+        empty clause.
+        """
+        return Clause((l for l in self._literals if abs(l) != var), allow_tautology=True)
+
+    def satisfied_literals(self, assignment: "Assignment") -> tuple[int, ...]:
+        """Literals that evaluate to true under *assignment*.
+
+        Unassigned variables count as not satisfying.
+        """
+        out = []
+        for lit in self._literals:
+            value = assignment.get(abs(lit))
+            if value is not None and evaluate_literal(lit, value):
+                out.append(lit)
+        return tuple(out)
+
+    def satisfaction_level(self, assignment: "Assignment") -> int:
+        """Number of true literals — the paper's *k* in "k-Satisfied"."""
+        return len(self.satisfied_literals(assignment))
+
+    def is_satisfied(self, assignment: "Assignment") -> bool:
+        """True if at least one literal evaluates to true."""
+        for lit in self._literals:
+            value = assignment.get(abs(lit))
+            if value is not None and evaluate_literal(lit, value):
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._literals)
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def __contains__(self, lit: int) -> bool:
+        return lit in self._literals
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self._literals == other._literals
+
+    def __hash__(self) -> int:
+        return hash(self._literals)
+
+    def __repr__(self) -> str:
+        body = " + ".join(literal_to_str(l) for l in self._literals) or "⊥"
+        return f"Clause({body})"

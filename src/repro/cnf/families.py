@@ -1,0 +1,331 @@
+"""Synthetic stand-ins for the DIMACS benchmark families of the paper.
+
+The paper's tables use the classic DIMACS SAT archive (par8-1-c, ii8a1,
+jnh1, f600, g250.15, ...).  Those files are not redistributable here and no
+network is available, so this module regenerates each *family* from its
+published construction recipe, at the exact (variables, clauses) sizes the
+tables report:
+
+* ``par``  — minimal-disagreement parity learning: XOR chains compiled to
+  CNF (each XOR constraint is four width-3 clauses) plus equivalence
+  2-clauses;
+* ``ii``   — inductive-inference covering instances: implication 2-clauses
+  plus long positive covering clauses;
+* ``jnh``  — random clauses with mixed widths averaging ~5;
+* ``f``    — uniform random 3-SAT near the phase-transition density;
+* ``g``    — graph k-colorability compiled to CNF (at-least-one-color rows
+  plus per-edge per-color conflict 2-clauses).
+
+Every generated instance is *planted-satisfiable*: clauses are constructed
+or filtered to be consistent with a hidden assignment, because each paper
+experiment requires satisfiable starting instances.  The generator returns
+the plant so tests never need an expensive solve to get a witness.
+
+Instances are deterministic functions of (name, seed); the benchmark
+registry (:mod:`repro.bench.registry`) pins both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import _rng, random_clause
+from repro.errors import CNFError
+
+
+@dataclass(frozen=True)
+class FamilyInstance:
+    """A generated benchmark instance with its satisfiability witness."""
+
+    name: str
+    formula: CNFFormula
+    witness: Assignment
+    family: str
+
+    def check(self) -> None:
+        """Assert the witness satisfies the formula (cheap sanity gate)."""
+        if not self.formula.is_satisfied(self.witness):
+            raise CNFError(f"witness does not satisfy generated instance {self.name}")
+
+
+def _pad_with_planted_clauses(
+    clauses: list[Clause],
+    num_vars: int,
+    target_clauses: int,
+    plant: Assignment,
+    rng: random.Random,
+    width: int = 2,
+    min_level: int = 2,
+) -> None:
+    """Append random plant-consistent clauses until *target_clauses*.
+
+    Args:
+        min_level: required number of plant-true literals per padding
+            clause.  Level 2 means no padding variable is ever the sole
+            satisfier of a padding clause, so eliminating it keeps the
+            plant working — the slack the paper's EC trials (which remove
+            variables "making sure that we did not make the instance
+            non-satisfiable") depend on.
+    """
+    variables = range(1, num_vars + 1)
+    w = min(width, num_vars)
+    level = min(min_level, w)
+    while len(clauses) < target_clauses:
+        cl = random_clause(variables, w, rng)
+        if cl.satisfaction_level(plant) >= level:
+            clauses.append(cl)
+
+
+def _xor_clauses(a: int, b: int, c: int, parity: bool) -> list[Clause]:
+    """CNF for the constraint ``a XOR b XOR c == parity``.
+
+    Four width-3 clauses: all sign patterns with an even (parity=True ->
+    odd) number of negations excluded.
+    """
+    out = []
+    for sa in (1, -1):
+        for sb in (1, -1):
+            for sc in (1, -1):
+                negs = (sa < 0) + (sb < 0) + (sc < 0)
+                # Clause (sa*a + sb*b + sc*c) forbids the single assignment
+                # a=(sa<0), b=(sb<0), c=(sc<0); that point has XOR value
+                # (sa<0)^(sb<0)^(sc<0) and must be forbidden iff it violates
+                # the constraint.
+                point_xor = bool(negs % 2)
+                if point_xor != parity:
+                    out.append(Clause([sa * a, sb * b, sc * c]))
+    return out
+
+
+def parity_instance(
+    num_vars: int,
+    num_clauses: int,
+    seed: int | random.Random | None = 0,
+    name: str = "par",
+    chain_fraction: float = 0.4,
+) -> FamilyInstance:
+    """par-family stand-in: planted XOR chains plus planted padding.
+
+    Only ``chain_fraction`` of the variables participate in the rigid XOR
+    chains; the remainder occur in padded width-2/3 clauses.  Real par
+    instances also mix rigid parity cores with softer equivalence
+    machinery, and the slack variables are what makes the paper's EC
+    trials (which eliminate variables while preserving satisfiability)
+    possible at all — eliminating any chain variable turns its XOR group
+    into a contradiction.
+    """
+    rng = _rng(seed)
+    if num_vars < 3:
+        raise CNFError("parity instances need at least 3 variables")
+    plant = Assignment({v: bool(rng.getrandbits(1)) for v in range(1, num_vars + 1)})
+    clauses: list[Clause] = []
+    # Chain XOR constraints over consecutive triples, consistent with plant.
+    order = list(range(1, num_vars + 1))
+    rng.shuffle(order)
+    chain_vars = max(3, int(num_vars * chain_fraction))
+    order = order[:chain_vars]
+    i = 0
+    while i + 2 < len(order) and len(clauses) + 4 <= num_clauses // 2:
+        a, b, c = order[i], order[i + 1], order[i + 2]
+        parity = plant[a] ^ plant[b] ^ plant[c]
+        clauses.extend(_xor_clauses(a, b, c, parity))
+        i += 2  # overlapping chain: c of this triple is a of the next
+    num_two = (num_clauses - len(clauses)) // 3 + len(clauses)
+    _pad_with_planted_clauses(clauses, num_vars, num_two, plant, rng, width=2)
+    _pad_with_planted_clauses(clauses, num_vars, num_clauses, plant, rng, width=3)
+    formula = CNFFormula(clauses[:num_clauses], num_vars=num_vars)
+    return FamilyInstance(name, formula, plant, family="par")
+
+
+def ii_instance(
+    num_vars: int,
+    num_clauses: int,
+    seed: int | random.Random | None = 0,
+    name: str = "ii",
+    cover_width: int = 8,
+    cover_fraction: float = 0.25,
+) -> FamilyInstance:
+    """ii-family stand-in: long covering clauses + short implications.
+
+    Padding mixes width 2 and 3; pure 2-clause padding would leave unit
+    clauses behind whenever an EC trial eliminates a variable, making most
+    eliminations unsatisfiable.
+    """
+    rng = _rng(seed)
+    plant = Assignment({v: bool(rng.getrandbits(1)) for v in range(1, num_vars + 1)})
+    clauses: list[Clause] = []
+    variables = range(1, num_vars + 1)
+    num_cover = int(num_clauses * cover_fraction)
+    w = min(cover_width, num_vars)
+    while len(clauses) < num_cover:
+        # Long positive "cover" clause: mostly positive literals, planted.
+        chosen = rng.sample(list(variables), w)
+        lits = [v if (plant[v] or rng.random() < 0.8) else -v for v in chosen]
+        cl = Clause(lits)
+        if cl.satisfaction_level(plant) >= min(2, len(cl)):
+            clauses.append(cl)
+    num_two = len(clauses) + (num_clauses - len(clauses)) // 2
+    _pad_with_planted_clauses(clauses, num_vars, num_two, plant, rng, width=2)
+    _pad_with_planted_clauses(clauses, num_vars, num_clauses, plant, rng, width=3)
+    formula = CNFFormula(clauses[:num_clauses], num_vars=num_vars)
+    return FamilyInstance(name, formula, plant, family="ii")
+
+
+def jnh_instance(
+    num_vars: int,
+    num_clauses: int,
+    seed: int | random.Random | None = 0,
+    name: str = "jnh",
+) -> FamilyInstance:
+    """jnh-family stand-in: mixed-width random clauses (mean width ~5).
+
+    Clauses are drawn at plant satisfaction level >= 2 (width permitting):
+    jnh instances are dense (clause/variable ratio ~8), and level-1
+    planting would leave no variable safely eliminable, foreclosing the
+    paper's variable-removal EC trials on these rows.
+    """
+    rng = _rng(seed)
+    plant = Assignment({v: bool(rng.getrandbits(1)) for v in range(1, num_vars + 1)})
+    widths = {2: 0.10, 3: 0.20, 4: 0.20, 5: 0.20, 6: 0.15, 7: 0.10, 8: 0.05}
+    choices = list(widths)
+    weights = [widths[w] for w in choices]
+    clauses: list[Clause] = []
+    variables = range(1, num_vars + 1)
+    while len(clauses) < num_clauses:
+        width = min(rng.choices(choices, weights=weights)[0], num_vars)
+        cl = random_clause(variables, width, rng)
+        if cl.satisfaction_level(plant) >= min(2, width):
+            clauses.append(cl)
+    formula = CNFFormula(clauses, num_vars=num_vars)
+    return FamilyInstance(name, formula, plant, family="jnh")
+
+
+def f_instance(
+    num_vars: int,
+    num_clauses: int,
+    seed: int | random.Random | None = 0,
+    name: str = "f",
+) -> FamilyInstance:
+    """f-family stand-in: planted random 3-SAT (f600 = 600 vars, 2550 cls)."""
+    rng = _rng(seed)
+    plant = Assignment({v: bool(rng.getrandbits(1)) for v in range(1, num_vars + 1)})
+    clauses: list[Clause] = []
+    variables = range(1, num_vars + 1)
+    while len(clauses) < num_clauses:
+        cl = random_clause(variables, min(3, num_vars), rng)
+        if cl.is_satisfied(plant):
+            clauses.append(cl)
+    formula = CNFFormula(clauses, num_vars=num_vars)
+    return FamilyInstance(name, formula, plant, family="f")
+
+
+def coloring_instance(
+    num_nodes: int,
+    num_colors: int,
+    num_edges: int,
+    seed: int | random.Random | None = 0,
+    name: str = "g",
+) -> FamilyInstance:
+    """g-family stand-in: random graph k-colorability compiled to CNF.
+
+    Variables ``x[node, color]`` are numbered ``(node-1) * num_colors +
+    color`` for node in 1..N, color in 1..C.  Clauses: one at-least-one-
+    color row per node, one binary conflict clause per (edge, color).
+    A hidden proper coloring is planted by only drawing non-monochromatic
+    edges, so ``num_vars = N*C`` and ``num_clauses = N + E*C`` exactly.
+    """
+    rng = _rng(seed)
+    if num_colors < 2:
+        raise CNFError("coloring instances need at least 2 colors")
+    color_of = {node: rng.randrange(1, num_colors + 1) for node in range(1, num_nodes + 1)}
+
+    def var(node: int, color: int) -> int:
+        return (node - 1) * num_colors + color
+
+    clauses: list[Clause] = [
+        Clause([var(node, c) for c in range(1, num_colors + 1)])
+        for node in range(1, num_nodes + 1)
+    ]
+    edges: set[tuple[int, int]] = set()
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise CNFError(f"{num_edges} edges requested but only {max_edges} possible")
+    attempts = 0
+    while len(edges) < num_edges:
+        attempts += 1
+        if attempts > 200 * num_edges + 1000:
+            raise CNFError("could not draw enough non-monochromatic edges")
+        u = rng.randrange(1, num_nodes + 1)
+        v = rng.randrange(1, num_nodes + 1)
+        if u == v or color_of[u] == color_of[v]:
+            continue
+        edges.add((min(u, v), max(u, v)))
+    for (u, v) in sorted(edges):
+        for c in range(1, num_colors + 1):
+            clauses.append(Clause([-var(u, c), -var(v, c)]))
+    plant = Assignment(
+        {
+            var(node, c): (color_of[node] == c)
+            for node in range(1, num_nodes + 1)
+            for c in range(1, num_colors + 1)
+        }
+    )
+    formula = CNFFormula(clauses, num_vars=num_nodes * num_colors)
+    return FamilyInstance(name, formula, plant, family="g")
+
+
+#: Paper-exact instance parameters: name -> (constructor kwargs).  Sizes are
+#: the (vars, clauses) columns of Tables 1-3.
+PAPER_INSTANCE_PARAMS: dict[str, dict] = {
+    "par8-1-c": {"family": "par", "num_vars": 64, "num_clauses": 254},
+    "ii8a1": {"family": "ii", "num_vars": 66, "num_clauses": 186},
+    "par8-3-c": {"family": "par", "num_vars": 75, "num_clauses": 298},
+    "jnh201": {"family": "jnh", "num_vars": 100, "num_clauses": 800},
+    "jnh1": {"family": "jnh", "num_vars": 100, "num_clauses": 850},
+    "ii8a2": {"family": "ii", "num_vars": 180, "num_clauses": 800},
+    "ii8b2": {"family": "ii", "num_vars": 576, "num_clauses": 4088},
+    "f600": {"family": "f", "num_vars": 600, "num_clauses": 2550},
+    "par32-5-c": {"family": "par", "num_vars": 1339, "num_clauses": 5350},
+    "ii16a1": {"family": "ii", "num_vars": 1650, "num_clauses": 19368},
+    "par32-5": {"family": "par", "num_vars": 3176, "num_clauses": 10325},
+    # g250.15: 250 nodes x 15 colors = 3750 vars; 250 + 15581*15 = 233965.
+    "g250.15": {"family": "g", "num_nodes": 250, "num_colors": 15, "num_edges": 15581},
+    # g250.29: 250 nodes x 29 colors = 7250 vars; 250 + 15668*29 = 454622.
+    "g250.29": {"family": "g", "num_nodes": 250, "num_colors": 29, "num_edges": 15668},
+}
+
+
+def make_instance(name: str, seed: int = 0, scale: float = 1.0) -> FamilyInstance:
+    """Generate the stand-in for a named paper instance.
+
+    Args:
+        name: a key of :data:`PAPER_INSTANCE_PARAMS`.
+        seed: RNG seed; the benchmark registry pins this.
+        scale: shrink factor in (0, 1] applied to the instance size so CI
+            and unit tests can exercise the same structure cheaply.
+
+    Raises:
+        CNFError: for unknown names or a degenerate scale.
+    """
+    try:
+        params = dict(PAPER_INSTANCE_PARAMS[name])
+    except KeyError:
+        known = ", ".join(sorted(PAPER_INSTANCE_PARAMS))
+        raise CNFError(f"unknown instance {name!r}; known: {known}") from None
+    if not 0 < scale <= 1:
+        raise CNFError(f"scale must be in (0, 1], got {scale}")
+    family = params.pop("family")
+    if family == "g":
+        nodes = max(4, round(params["num_nodes"] * scale))
+        colors = max(3, round(params["num_colors"] * (scale ** 0.5)))
+        edges = max(nodes, round(params["num_edges"] * scale * scale))
+        edges = min(edges, nodes * (nodes - 1) // 2)
+        return coloring_instance(nodes, colors, edges, seed=seed, name=name)
+    num_vars = max(6, round(params["num_vars"] * scale))
+    num_clauses = max(num_vars, round(params["num_clauses"] * scale))
+    maker = {"par": parity_instance, "ii": ii_instance, "jnh": jnh_instance, "f": f_instance}[family]
+    return maker(num_vars, num_clauses, seed=seed, name=name)

@@ -1,0 +1,118 @@
+"""Random CNF generators.
+
+These are the raw building blocks; :mod:`repro.cnf.families` composes them
+into the structured families that stand in for the DIMACS benchmarks of the
+paper's tables.  All generators accept an explicit :class:`random.Random`
+(or a seed) so instances are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.errors import CNFError
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    """Coerce a seed or Random into a Random instance."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_clause(
+    variables: Iterable[int],
+    width: int,
+    rng: int | random.Random | None = None,
+) -> Clause:
+    """A random non-tautological clause of exactly *width* distinct variables."""
+    rng = _rng(rng)
+    pool = list(variables)
+    if width > len(pool):
+        raise CNFError(f"cannot draw {width} distinct variables from {len(pool)}")
+    chosen = rng.sample(pool, width)
+    return Clause(v if rng.random() < 0.5 else -v for v in chosen)
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    rng: int | random.Random | None = None,
+) -> CNFFormula:
+    """Uniform random k-SAT: *num_clauses* clauses of width *k*.
+
+    No satisfiability guarantee — at clause/variable ratio ~4.27 (k=3) the
+    instance sits at the phase transition, which is how the paper's ``f600``
+    instance (600 vars, 2550 clauses) was constructed.
+    """
+    rng = _rng(rng)
+    variables = range(1, num_vars + 1)
+    return CNFFormula(
+        (random_clause(variables, k, rng) for _ in range(num_clauses)),
+        num_vars=num_vars,
+    )
+
+
+def random_planted_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    rng: int | random.Random | None = None,
+) -> tuple[CNFFormula, Assignment]:
+    """Random k-SAT with a planted satisfying assignment.
+
+    Each clause is re-drawn until it contains at least one literal true
+    under the hidden assignment, so the returned formula is guaranteed
+    satisfiable — a requirement for every table in the paper (EC trials
+    "make sure that we did not make the instance non-satisfiable").
+
+    Returns:
+        (formula, planted) where ``planted`` satisfies ``formula``.
+    """
+    rng = _rng(rng)
+    planted = Assignment({v: rng.random() < 0.5 for v in range(1, num_vars + 1)})
+    variables = range(1, num_vars + 1)
+    clauses = []
+    for _ in range(num_clauses):
+        while True:
+            cl = random_clause(variables, k, rng)
+            if cl.is_satisfied(planted):
+                clauses.append(cl)
+                break
+    return CNFFormula(clauses, num_vars=num_vars), planted
+
+
+def random_mixed_width(
+    num_vars: int,
+    num_clauses: int,
+    widths: dict[int, float],
+    rng: int | random.Random | None = None,
+    planted: Assignment | None = None,
+) -> CNFFormula:
+    """Random CNF with clause widths drawn from a distribution.
+
+    Args:
+        widths: mapping width -> probability weight (normalized internally).
+        planted: if given, clauses are re-drawn until satisfied by it.
+
+    jnh-style instances mix widths around an average of ~5; ii-style
+    instances mix many short clauses with a few long covering clauses.
+    """
+    rng = _rng(rng)
+    variables = range(1, num_vars + 1)
+    choices = list(widths)
+    weights = [widths[w] for w in choices]
+    clauses = []
+    for _ in range(num_clauses):
+        width = min(rng.choices(choices, weights=weights)[0], num_vars)
+        while True:
+            cl = random_clause(variables, width, rng)
+            if planted is None or cl.is_satisfied(planted):
+                clauses.append(cl)
+                break
+    return CNFFormula(clauses, num_vars=num_vars)

@@ -1,0 +1,91 @@
+"""DIMACS-style integer literals.
+
+A literal is a non-zero integer.  Positive ``v`` denotes the uncomplemented
+variable ``v``; negative ``-v`` denotes its complement.  Variable indices
+start at 1, matching the DIMACS CNF convention, so literal 0 is reserved as
+the DIMACS clause terminator and is never a valid literal.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LiteralError, VariableError
+
+
+def check_literal(lit: int) -> int:
+    """Return *lit* unchanged if it is a valid literal, else raise.
+
+    Raises:
+        LiteralError: if *lit* is zero or not an ``int``.
+    """
+    if not isinstance(lit, int) or isinstance(lit, bool):
+        raise LiteralError(f"literal must be an int, got {lit!r}")
+    if lit == 0:
+        raise LiteralError("0 is not a valid literal (reserved DIMACS terminator)")
+    return lit
+
+
+def check_variable(var: int) -> int:
+    """Return *var* unchanged if it is a valid variable index, else raise."""
+    if not isinstance(var, int) or isinstance(var, bool):
+        raise VariableError(f"variable must be an int, got {var!r}")
+    if var <= 0:
+        raise VariableError(f"variable indices start at 1, got {var}")
+    return var
+
+
+def literal(var: int, positive: bool = True) -> int:
+    """Build a literal from a variable index and a polarity.
+
+    >>> literal(3), literal(3, positive=False)
+    (3, -3)
+    """
+    check_variable(var)
+    return var if positive else -var
+
+
+def variable_of(lit: int) -> int:
+    """Return the variable index underlying a literal.
+
+    >>> variable_of(-7)
+    7
+    """
+    check_literal(lit)
+    return abs(lit)
+
+
+def complement(lit: int) -> int:
+    """Return the complemented literal.
+
+    >>> complement(4), complement(-4)
+    (-4, 4)
+    """
+    check_literal(lit)
+    return -lit
+
+
+def is_positive(lit: int) -> bool:
+    """True if the literal is the uncomplemented form of its variable."""
+    check_literal(lit)
+    return lit > 0
+
+
+def is_negative(lit: int) -> bool:
+    """True if the literal is the complemented form of its variable."""
+    check_literal(lit)
+    return lit < 0
+
+
+def literal_to_str(lit: int) -> str:
+    """Human-readable form used in docs and error messages.
+
+    >>> literal_to_str(5), literal_to_str(-5)
+    ("v5", "v5'")
+    """
+    check_literal(lit)
+    return f"v{abs(lit)}" + ("'" if lit < 0 else "")
+
+
+def evaluate_literal(lit: int, value: bool) -> bool:
+    """Evaluate a literal given the truth value of its variable."""
+    check_literal(lit)
+    return value if lit > 0 else not value

@@ -1,0 +1,274 @@
+"""Engineering-change mutation operators on CNF instances.
+
+The paper's experiments perturb instances in four ways: add clauses, delete
+clauses, add variables, delete (eliminate) variables.  Table 2 uses
+"eliminated three variables and added ten clauses"; Table 3 "randomly added
+and deleted five variables and randomly added and deleted five clauses,
+making sure that we did not make the instance non-satisfiable".
+
+This module implements those trial generators.  Each returns a *new*
+formula plus a :class:`MutationLog` describing the edits, leaving the
+original untouched so before/after comparisons stay easy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import _rng, random_clause
+from repro.errors import ChangeError
+
+
+@dataclass
+class MutationLog:
+    """Record of the EC edits applied to an instance."""
+
+    added_clauses: list[Clause] = field(default_factory=list)
+    removed_clauses: list[Clause] = field(default_factory=list)
+    added_variables: list[int] = field(default_factory=list)
+    removed_variables: list[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added_clauses)} clauses, -{len(self.removed_clauses)} clauses, "
+            f"+{len(self.added_variables)} vars, -{len(self.removed_variables)} vars"
+        )
+
+
+def add_random_clauses(
+    formula: CNFFormula,
+    count: int,
+    width: int = 3,
+    rng: int | random.Random | None = None,
+    satisfiable_with: Assignment | None = None,
+    log: MutationLog | None = None,
+) -> tuple[CNFFormula, MutationLog]:
+    """Add *count* random clauses of the given width.
+
+    Args:
+        satisfiable_with: if given, each new clause is re-drawn until it is
+            satisfied by this assignment, guaranteeing the mutated formula
+            stays satisfiable (the witness keeps working).
+    """
+    rng = _rng(rng)
+    out = formula.copy()
+    log = log or MutationLog()
+    variables = list(out.variables)
+    if not variables:
+        raise ChangeError("cannot add clauses to a formula with no variables")
+    w = min(width, len(variables))
+    for _ in range(count):
+        for _attempt in range(1000):
+            cl = random_clause(variables, w, rng)
+            if satisfiable_with is None or cl.is_satisfied(satisfiable_with):
+                break
+        else:  # pragma: no cover - probability ~0
+            raise ChangeError("could not draw a clause satisfied by the witness")
+        out.add_clause(cl)
+        log.added_clauses.append(cl)
+    return out, log
+
+
+def remove_random_clauses(
+    formula: CNFFormula,
+    count: int,
+    rng: int | random.Random | None = None,
+    log: MutationLog | None = None,
+) -> tuple[CNFFormula, MutationLog]:
+    """Delete *count* clauses chosen uniformly at random."""
+    rng = _rng(rng)
+    out = formula.copy()
+    log = log or MutationLog()
+    if count > out.num_clauses:
+        raise ChangeError(
+            f"cannot remove {count} clauses from a formula with {out.num_clauses}"
+        )
+    for _ in range(count):
+        idx = rng.randrange(out.num_clauses)
+        log.removed_clauses.append(out.remove_clause_at(idx))
+    return out, log
+
+
+def add_fresh_variables(
+    formula: CNFFormula,
+    count: int,
+    log: MutationLog | None = None,
+) -> tuple[CNFFormula, MutationLog]:
+    """Activate *count* fresh variables (don't-cares for any old solution)."""
+    out = formula.copy()
+    log = log or MutationLog()
+    for _ in range(count):
+        log.added_variables.append(out.add_variable())
+    return out, log
+
+
+def eliminate_random_variables(
+    formula: CNFFormula,
+    count: int,
+    rng: int | random.Random | None = None,
+    keep_satisfiable_with: Assignment | None = None,
+    log: MutationLog | None = None,
+    max_attempts: int = 200,
+) -> tuple[CNFFormula, MutationLog]:
+    """Eliminate *count* variables chosen at random.
+
+    Args:
+        keep_satisfiable_with: if given, each candidate elimination is
+            additionally vetted with a satisfiability check (WalkSAT
+            seeded near this assignment, DPLL as the complete fallback);
+            variables whose elimination makes the instance unsatisfiable
+            are skipped.  Without it only the cheap empty-clause guard
+            applies.  The strong check matters for rigid families: in a
+            parity (XOR) instance, eliminating *any* chain variable turns
+            its four XOR clauses into a contradiction.
+
+    Raises:
+        ChangeError: if no acceptable variable subset is found.
+    """
+    rng = _rng(rng)
+    log = log or MutationLog()
+    for _attempt in range(max_attempts):
+        out = formula.copy()
+        order = list(out.variables)
+        rng.shuffle(order)
+        chosen: list[int] = []
+        for var in order:
+            if len(chosen) == count:
+                break
+            trial = out.copy()
+            trial.remove_variable(var)
+            if trial.has_empty_clause():
+                continue
+            if keep_satisfiable_with is not None and not _is_satisfiable(
+                trial, keep_satisfiable_with
+            ):
+                continue
+            out = trial
+            chosen.append(var)
+        if len(chosen) == count:
+            log.removed_variables.extend(chosen)
+            return out, log
+    raise ChangeError(
+        f"could not eliminate {count} variables keeping the instance satisfiable"
+    )
+
+
+def _is_satisfiable(formula: CNFFormula, hint: Assignment | None = None) -> bool:
+    """Satisfiability check used to validate EC trials.
+
+    WalkSAT first (fast on satisfiable instances), DPLL for a complete
+    verdict when WalkSAT's budget runs out.
+    """
+    from repro.sat.dpll import dpll_solve
+    from repro.sat.walksat import walksat_solve
+
+    if formula.has_empty_clause():
+        return False
+    if formula.num_vars <= 200:
+        # Small instances: DPLL is fast and complete (rigid families make
+        # UNSAT outcomes common here, where WalkSAT would burn its budget).
+        return bool(dpll_solve(formula, polarity_hint=hint).satisfiable)
+    w = walksat_solve(formula, max_flips=20_000, max_restarts=3, rng=0, initial=hint)
+    if w.satisfiable:
+        return True
+    return bool(dpll_solve(formula).satisfiable)
+
+
+def table2_trial(
+    formula: CNFFormula,
+    assignment: Assignment,
+    rng: int | random.Random | None = None,
+    num_eliminated: int = 3,
+    num_added_clauses: int = 10,
+    clause_width: int = 3,
+    require_satisfiable: bool = True,
+    max_attempts: int = 50,
+) -> tuple[CNFFormula, MutationLog]:
+    """One fast-EC trial as in Table 2: eliminate 3 variables, add 10 clauses.
+
+    The added clauses avoid the eliminated variables.  With
+    ``require_satisfiable`` (the paper's setup) trials that would make the
+    instance unsatisfiable are redrawn.
+
+    Raises:
+        ChangeError: if no satisfiable trial is found in *max_attempts*.
+    """
+    rng = _rng(rng)
+    vet = assignment if require_satisfiable else None
+    for _attempt in range(max_attempts):
+        out, log = eliminate_random_variables(
+            formula, num_eliminated, rng, keep_satisfiable_with=vet
+        )
+        survivors = list(out.variables)
+        w = min(clause_width, len(survivors))
+        for _ in range(num_added_clauses):
+            cl = random_clause(survivors, w, rng)
+            out.add_clause(cl)
+            log.added_clauses.append(cl)
+        if not require_satisfiable or _is_satisfiable(out, assignment):
+            return out, log
+    raise ChangeError(
+        f"no satisfiable table-2 trial found in {max_attempts} attempts"
+    )
+
+
+def table3_trial(
+    formula: CNFFormula,
+    assignment: Assignment,
+    rng: int | random.Random | None = None,
+    num_var_adds: int = 5,
+    num_var_deletes: int = 5,
+    num_clause_adds: int = 5,
+    num_clause_deletes: int = 5,
+    clause_width: int = 3,
+    require_satisfiable: bool = True,
+    max_attempts: int = 50,
+) -> tuple[CNFFormula, MutationLog]:
+    """One preserving-EC trial as in Table 3.
+
+    Randomly adds and deletes five variables and five clauses "making sure
+    that we did not make the instance non-satisfiable": deletions only
+    loosen the instance; eliminations are drawn so no clause empties;
+    added clauses are drawn satisfied by a reference witness; and the
+    final instance is verified satisfiable (redrawing otherwise), because
+    variable elimination alone can break satisfiability in ways the local
+    checks cannot see.
+
+    Raises:
+        ChangeError: if no satisfiable trial is found in *max_attempts*.
+    """
+    rng = _rng(rng)
+    vet = assignment if require_satisfiable else None
+    for _attempt in range(max_attempts):
+        out, log = remove_random_clauses(
+            formula, min(num_clause_deletes, formula.num_clauses), rng
+        )
+        out, log = eliminate_random_variables(
+            out, num_var_deletes, rng, keep_satisfiable_with=vet, log=log
+        )
+        witness = assignment.restricted_to(out.variables)
+        out, log = add_fresh_variables(out, num_var_adds, log=log)
+        for var in log.added_variables:
+            witness[var] = bool(rng.getrandbits(1))
+        survivors = list(out.variables)
+        w = min(clause_width, len(survivors))
+        ok = True
+        for _ in range(num_clause_adds):
+            for _draw in range(1000):
+                cl = random_clause(survivors, w, rng)
+                if cl.is_satisfied(witness):
+                    break
+            else:  # pragma: no cover
+                ok = False
+                break
+            out.add_clause(cl)
+            log.added_clauses.append(cl)
+        if ok and (not require_satisfiable or _is_satisfiable(out, assignment)):
+            return out, log
+    raise ChangeError(
+        f"no satisfiable table-3 trial found in {max_attempts} attempts"
+    )

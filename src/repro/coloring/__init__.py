@@ -1,0 +1,33 @@
+"""Graph-coloring engineering change — the paper's second domain.
+
+§8 of the paper: "In addition to validating the new ILP-based engineering
+change approach on SAT benchmarks, we conducted comprehensive
+experimentation on the graph coloring problem."  The data lives in the
+unpublished tech report [6]; this subpackage rebuilds the domain from the
+generic methodology:
+
+* :mod:`repro.coloring.problem` -- k-coloring as a 0-1 ILP;
+* :mod:`repro.coloring.generators` -- random colorable graphs;
+* :mod:`repro.coloring.ec` -- enabling / fast / preserving EC for
+  coloring (edge insertion is the canonical engineering change).
+"""
+
+from repro.coloring.problem import GraphColoringProblem
+from repro.coloring.generators import random_colorable_graph
+from repro.coloring.ec import (
+    ColoringECResult,
+    coloring_flexibility,
+    enable_coloring_ec,
+    fast_coloring_ec,
+    preserving_coloring_ec,
+)
+
+__all__ = [
+    "ColoringECResult",
+    "GraphColoringProblem",
+    "coloring_flexibility",
+    "enable_coloring_ec",
+    "fast_coloring_ec",
+    "preserving_coloring_ec",
+    "random_colorable_graph",
+]

@@ -1,0 +1,278 @@
+"""Engineering change for graph coloring.
+
+The canonical coloring EC is *edge insertion* (two modules become
+conflicting after a specification change); node insertion/deletion and
+edge deletion follow the same loosening/tightening split as SAT:
+
+* deleting edges or adding isolated nodes never invalidates a coloring;
+* adding edges or deleting nodes (with reconnection) can.
+
+The three EC components map directly:
+
+* **enabling** — prefer colorings where nodes have *slack*: an alternate
+  color not used by any neighbour.  Implemented with an auxiliary
+  indicator per (node, spare color) and an objective/constraint on the
+  number of flexible nodes, mirroring §5's 2-satisfiability.
+* **fast** — after adding edges, re-color only the affected region (the
+  conflict endpoints plus neighbours without slack), mirroring Figure 2.
+* **preserving** — maximize the number of nodes keeping their old color
+  (hard-pin a user-specified set), mirroring §7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.cnf.generators import _rng
+from repro.coloring.problem import GraphColoringProblem, color_var_name
+from repro.errors import ECError
+from repro.ilp.expr import LinExpr
+from repro.ilp.solution import Solution, SolveStats
+from repro.ilp.variable import VarType
+
+
+def coloring_flexibility(
+    problem: GraphColoringProblem, coloring: Mapping[Hashable, int]
+) -> float:
+    """Fraction of nodes with at least one free alternate color.
+
+    The coloring analogue of the 2-satisfied clause fraction: a node is
+    *flexible* when some other color is absent from its neighbourhood, so
+    a future conflicting edge at this node can be fixed locally.
+    """
+    nodes = list(problem.graph.nodes)
+    if not nodes:
+        return 1.0
+    flexible = 0
+    for node in nodes:
+        neighbour_colors = {coloring[nb] for nb in problem.graph.neighbors(node)}
+        spare = [
+            c
+            for c in problem.colors
+            if c != coloring[node] and c not in neighbour_colors
+        ]
+        if spare:
+            flexible += 1
+    return flexible / len(nodes)
+
+
+@dataclass
+class ColoringECResult:
+    """Outcome of a coloring EC operation."""
+
+    coloring: dict[Hashable, int] | None
+    solution: Solution | None = None
+    recolored_nodes: tuple[Hashable, ...] = ()
+    preserved_fraction: float = 0.0
+    flexibility: float = 0.0
+    fell_back: bool = False
+    stats: SolveStats = field(default_factory=SolveStats)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.coloring is not None
+
+
+# ----------------------------------------------------------------------
+# enabling
+# ----------------------------------------------------------------------
+def enable_coloring_ec(
+    problem: GraphColoringProblem,
+    mode: str = "objective",
+    flexibility_weight: float = 1.0,
+    min_flexible_fraction: float = 0.0,
+    method: str = "exact",
+    **solver_options,
+) -> ColoringECResult:
+    """Solve the coloring so as many nodes as possible have a spare color.
+
+    Args:
+        mode: ``'objective'`` rewards flexible nodes; ``'constraints'``
+            requires at least ``min_flexible_fraction`` of nodes flexible.
+        flexibility_weight: objective weight per flexible node.
+        min_flexible_fraction: constraint-mode floor (0..1).
+
+    The ILP adds per (node, color != assigned) an indicator
+    ``spare[n, c] <= 1 - x[nb, c]`` for every neighbour ``nb``, and a node
+    indicator ``flex[n] <= sum_c spare[n, c]`` — the exact analogue of the
+    SAT support variables ``W`` and ``Z``.
+    """
+    from repro.ilp.solver import solve
+
+    model = problem.to_ilp(exactly_one=True)
+    flex_terms = []
+    for node in problem.graph.nodes:
+        neighbours = list(problem.graph.neighbors(node))
+        spares = []
+        for color in problem.colors:
+            spare = model.add_var(
+                f"spare::{node}::{color}", VarType.CONTINUOUS, 0.0, 1.0
+            )
+            # Spare color must differ from the node's own assignment...
+            model.add_constraint(
+                spare + model.var(color_var_name(node, color)) <= 1,
+                name=f"spare_self::{node}::{color}",
+            )
+            # ...and be unused by every neighbour.
+            for nb in neighbours:
+                model.add_constraint(
+                    spare + model.var(color_var_name(nb, color)) <= 1,
+                    name=f"spare_nb::{node}::{nb}::{color}",
+                )
+            spares.append(spare)
+        flex = model.add_var(f"flex::{node}", VarType.BINARY, 0.0, 1.0)
+        model.add_constraint(
+            LinExpr.sum(spares) >= flex, name=f"flex::{node}"
+        )
+        flex_terms.append(flex.to_expr())
+    total_flex = LinExpr.sum(flex_terms)
+    if mode == "objective":
+        model.set_objective(flexibility_weight * total_flex, sense="max")
+    elif mode == "constraints":
+        floor = min_flexible_fraction * problem.graph.number_of_nodes()
+        model.add_constraint(total_flex >= floor, name="flex_floor")
+        model.set_objective(total_flex, sense="max")
+    else:
+        raise ECError(f"mode must be 'objective' or 'constraints', got {mode!r}")
+
+    solution = solve(model, method=method, **solver_options)
+    if not solution.status.has_solution:
+        return ColoringECResult(None, solution, stats=solution.stats)
+    coloring = problem.decode(solution)
+    return ColoringECResult(
+        coloring,
+        solution,
+        flexibility=coloring_flexibility(problem, coloring),
+        stats=solution.stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# fast
+# ----------------------------------------------------------------------
+def fast_coloring_ec(
+    problem: GraphColoringProblem,
+    old_coloring: Mapping[Hashable, int],
+    method: str = "exact",
+    allow_fallback: bool = True,
+    **solver_options,
+) -> ColoringECResult:
+    """Repair a coloring after the graph changed, touching few nodes.
+
+    The affected region is the Figure-2 analogue: endpoints of
+    monochromatic edges plus any uncolored nodes.  The region sub-ILP is
+    solved with all outside colors frozen; the merge is proper by
+    construction (outside-outside edges were proper before the change and
+    region-outside edges are constrained explicitly).  When freezing makes
+    the sub-ILP infeasible — local repair cannot exist — the full problem
+    is re-solved (``allow_fallback``), preserving as a warm start.
+    """
+    from repro.ilp.solver import solve
+
+    conflicts = problem.conflicted_edges(old_coloring)
+    missing = [n for n in problem.graph.nodes if n not in old_coloring]
+    if not conflicts and not missing:
+        return ColoringECResult(dict(old_coloring), None)
+
+    region: set[Hashable] = set(missing)
+    for u, v in conflicts:
+        region.add(u)
+        region.add(v)
+
+    sub_nodes = sorted(region, key=repr)
+    sub_problem = GraphColoringProblem(
+        problem.graph.subgraph(region).copy(), problem.num_colors
+    )
+    model = sub_problem.to_ilp(exactly_one=True)
+    # Forbid colors taken by frozen outside neighbours.
+    for node in sub_nodes:
+        for nb in problem.graph.neighbors(node):
+            if nb in region:
+                continue
+            used = old_coloring.get(nb)
+            if used is not None and used in problem.colors:
+                model.add_constraint(
+                    model.var(color_var_name(node, used)) <= 0,
+                    name=f"frozen::{node}::{used}",
+                )
+    solution = solve(model, method=method, **solver_options)
+    if solution.status.has_solution:
+        sub_coloring = sub_problem.decode(solution)
+        merged = {n: c for n, c in old_coloring.items() if n not in region}
+        merged.update(sub_coloring)
+        if not problem.is_proper(merged):
+            raise ECError("fast coloring EC merged an improper coloring")
+        return ColoringECResult(
+            merged,
+            solution,
+            recolored_nodes=tuple(sub_nodes),
+            preserved_fraction=_preserved(old_coloring, merged),
+            stats=solution.stats,
+        )
+    if not allow_fallback:
+        return ColoringECResult(None, solution, stats=solution.stats)
+    full = solve(problem.to_ilp(), method=method, **solver_options)
+    if not full.status.has_solution:
+        return ColoringECResult(None, full, fell_back=True, stats=full.stats)
+    coloring = problem.decode(full)
+    return ColoringECResult(
+        coloring,
+        full,
+        recolored_nodes=tuple(problem.graph.nodes),
+        preserved_fraction=_preserved(old_coloring, coloring),
+        fell_back=True,
+        stats=full.stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# preserving
+# ----------------------------------------------------------------------
+def preserving_coloring_ec(
+    problem: GraphColoringProblem,
+    old_coloring: Mapping[Hashable, int],
+    preserve: Iterable[Hashable] = (),
+    method: str = "exact",
+    **solver_options,
+) -> ColoringECResult:
+    """Re-color maximizing the number of nodes that keep their color."""
+    from repro.ilp.solver import solve
+
+    model = problem.to_ilp(exactly_one=True)
+    terms = []
+    for node in problem.graph.nodes:
+        old = old_coloring.get(node)
+        if old is not None and old in problem.colors:
+            terms.append(model.var(color_var_name(node, old)).to_expr())
+    for node in preserve:
+        old = old_coloring.get(node)
+        if old is None:
+            raise ECError(f"cannot pin node {node!r}: it has no old color")
+        model.add_constraint(
+            model.var(color_var_name(node, old)).to_expr() >= 1,
+            name=f"pin::{node}",
+        )
+    model.set_objective(LinExpr.sum(terms), sense="max")
+    solution = solve(model, method=method, **solver_options)
+    if not solution.status.has_solution:
+        return ColoringECResult(None, solution, stats=solution.stats)
+    coloring = problem.decode(solution)
+    return ColoringECResult(
+        coloring,
+        solution,
+        preserved_fraction=_preserved(old_coloring, coloring),
+        stats=solution.stats,
+    )
+
+
+def _preserved(
+    old: Mapping[Hashable, int], new: Mapping[Hashable, int]
+) -> float:
+    common = [n for n in new if n in old]
+    if not common:
+        return 1.0
+    return sum(1 for n in common if old[n] == new[n]) / len(common)

@@ -1,0 +1,58 @@
+"""Random colorable graphs with a planted proper coloring."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.cnf.generators import _rng
+from repro.errors import ModelError
+
+
+def random_colorable_graph(
+    num_nodes: int,
+    num_colors: int,
+    num_edges: int,
+    rng: int | random.Random | None = 0,
+) -> tuple[nx.Graph, dict[int, int]]:
+    """Random graph guaranteed k-colorable, plus its planted coloring.
+
+    Nodes are ``0..num_nodes-1``; only non-monochromatic edges (under a
+    hidden random coloring) are drawn, mirroring how the DIMACS ``g``
+    instances were produced.
+
+    Returns:
+        (graph, planted_coloring with colors in 1..num_colors).
+
+    Raises:
+        ModelError: if the requested edge count cannot be reached.
+    """
+    rng = _rng(rng)
+    if num_colors < 2:
+        raise ModelError("need at least 2 colors to draw any edge")
+    coloring = {node: rng.randrange(1, num_colors + 1) for node in range(num_nodes)}
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    max_possible = sum(
+        1
+        for u in range(num_nodes)
+        for v in range(u + 1, num_nodes)
+        if coloring[u] != coloring[v]
+    )
+    if num_edges > max_possible:
+        raise ModelError(
+            f"{num_edges} edges requested but only {max_possible} are "
+            f"non-monochromatic under the planted coloring"
+        )
+    attempts = 0
+    while graph.number_of_edges() < num_edges:
+        attempts += 1
+        if attempts > 200 * num_edges + 1000:
+            raise ModelError("edge sampling stalled; lower num_edges")
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or coloring[u] == coloring[v] or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+    return graph, coloring

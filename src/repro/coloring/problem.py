@@ -1,0 +1,132 @@
+"""Graph k-coloring as a 0-1 ILP.
+
+Variables ``x[node, color]`` select a color per node; rows force exactly
+one color per node and forbid monochromatic edges.  The decode/verify
+helpers keep the EC layers free of index bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+from repro.errors import ModelError
+from repro.ilp.constraint import Sense
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import ILPModel
+from repro.ilp.solution import Solution
+
+
+def color_var_name(node: Hashable, color: int) -> str:
+    """ILP variable name for "node gets color"."""
+    return f"col::{node}::{color}"
+
+
+class GraphColoringProblem:
+    """k-colorability of an undirected graph.
+
+    Args:
+        graph: any networkx graph (self-loops are rejected — a self-loop
+            is never colorable).
+        num_colors: the available palette ``1..num_colors``.
+    """
+
+    def __init__(self, graph: nx.Graph, num_colors: int):
+        if num_colors < 1:
+            raise ModelError(f"need at least one color, got {num_colors}")
+        loops = list(nx.selfloop_edges(graph))
+        if loops:
+            raise ModelError(f"graph has self-loops (first: {loops[0]}); uncolorable")
+        self.graph = graph
+        self.num_colors = num_colors
+
+    @property
+    def colors(self) -> range:
+        return range(1, self.num_colors + 1)
+
+    # ------------------------------------------------------------------
+    def to_ilp(self, exactly_one: bool = True) -> ILPModel:
+        """Build the coloring ILP.
+
+        Args:
+            exactly_one: use ``== 1`` color rows; with False, ``>= 1``
+                (set-cover style, as the paper's SAT translation of the
+                ``g`` instances does) — conflict rows then do the pruning.
+        """
+        model = ILPModel("coloring")
+        for node in self.graph.nodes:
+            for color in self.colors:
+                model.add_binary(color_var_name(node, color))
+        for node in self.graph.nodes:
+            row = LinExpr.sum(
+                model.var(color_var_name(node, color)) for color in self.colors
+            )
+            if exactly_one:
+                model.add_constraint(
+                    row.__eq__(1.0), name=f"one_color::{node}"
+                )
+            else:
+                model.add_constraint(row >= 1, name=f"one_color::{node}")
+        for u, v in self.graph.edges:
+            for color in self.colors:
+                model.add_constraint(
+                    model.var(color_var_name(u, color))
+                    + model.var(color_var_name(v, color))
+                    <= 1,
+                    name=f"edge::{u}::{v}::{color}",
+                )
+        # Feasibility problem; a constant-0 objective keeps solvers honest.
+        model.set_objective(LinExpr(), sense="min")
+        return model
+
+    # ------------------------------------------------------------------
+    def decode(self, solution: Solution) -> dict[Hashable, int]:
+        """Extract the node -> color mapping from an ILP solution."""
+        coloring: dict[Hashable, int] = {}
+        for node in self.graph.nodes:
+            chosen = [
+                color
+                for color in self.colors
+                if solution.rounded(color_var_name(node, color)) == 1
+            ]
+            if not chosen:
+                raise ModelError(f"node {node!r} received no color")
+            coloring[node] = chosen[0]
+        return coloring
+
+    def values_from_coloring(
+        self, coloring: Mapping[Hashable, int]
+    ) -> dict[str, float]:
+        """Encode a coloring as ILP values (warm starts)."""
+        values: dict[str, float] = {}
+        for node in self.graph.nodes:
+            for color in self.colors:
+                values[color_var_name(node, color)] = float(
+                    coloring.get(node) == color
+                )
+        return values
+
+    def is_proper(self, coloring: Mapping[Hashable, int]) -> bool:
+        """True if *coloring* colors every node and no edge is monochromatic."""
+        for node in self.graph.nodes:
+            color = coloring.get(node)
+            if color is None or color not in self.colors:
+                return False
+        return all(coloring[u] != coloring[v] for u, v in self.graph.edges)
+
+    def conflicted_edges(
+        self, coloring: Mapping[Hashable, int]
+    ) -> list[tuple[Hashable, Hashable]]:
+        """Edges whose endpoints share a color under *coloring*."""
+        return [
+            (u, v)
+            for u, v in self.graph.edges
+            if coloring.get(u) is not None and coloring.get(u) == coloring.get(v)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphColoringProblem(nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()}, colors={self.num_colors})"
+        )

@@ -1,0 +1,56 @@
+"""The paper's contribution: generic ILP-based engineering change.
+
+Three components, mirroring §4-§7 of the paper:
+
+* :mod:`repro.core.enabling` -- solve the original instance so the
+  solution tolerates future changes (k-satisfiability + flip support);
+* :mod:`repro.core.fast` -- re-solve only the minimal affected
+  sub-instance after a change (Figure 2);
+* :mod:`repro.core.preserving` -- re-solve while maximizing (or pinning)
+  agreement with the previous solution;
+* :mod:`repro.core.change` -- typed change requests;
+* :mod:`repro.core.flow` -- the generic EC flow of Figure 1;
+* :mod:`repro.core.metrics` -- preserved fractions, flexibility reports.
+"""
+
+from repro.core.change import (
+    AddClause,
+    AddVariable,
+    Change,
+    ChangeSet,
+    RemoveClause,
+    RemoveVariable,
+)
+from repro.core.enabling import (
+    EnablingOptions,
+    build_enabling_encoding,
+    enable_ec,
+)
+from repro.core.fast import FastECResult, fast_ec, simplify_instance
+from repro.core.preserving import (
+    PreservingECResult,
+    preserving_ec,
+    resolve_oblivious,
+)
+from repro.core.flow import ECFlow
+from repro.core.metrics import preserved_fraction
+
+__all__ = [
+    "AddClause",
+    "AddVariable",
+    "Change",
+    "ChangeSet",
+    "ECFlow",
+    "EnablingOptions",
+    "FastECResult",
+    "PreservingECResult",
+    "RemoveClause",
+    "RemoveVariable",
+    "build_enabling_encoding",
+    "enable_ec",
+    "fast_ec",
+    "preserved_fraction",
+    "preserving_ec",
+    "resolve_oblivious",
+    "simplify_instance",
+]

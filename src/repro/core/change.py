@@ -1,0 +1,126 @@
+"""Typed engineering-change requests.
+
+§5 classifies changes by their effect: removing clauses or adding
+variables *loosens* the instance (the old solution keeps working);
+adding clauses or removing variables *tightens* it (a re-solve may be
+needed).  :class:`ChangeSet` applies a batch of changes to a formula and
+reports which regime the batch falls in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.errors import ChangeError
+
+
+@dataclass(frozen=True)
+class AddClause:
+    """Add a clause — a tightening change."""
+
+    clause: Clause
+
+    tightening = True
+
+    def apply(self, formula: CNFFormula) -> None:
+        formula.add_clause(self.clause)
+
+
+@dataclass(frozen=True)
+class RemoveClause:
+    """Delete a clause — a loosening change."""
+
+    clause: Clause
+
+    tightening = False
+
+    def apply(self, formula: CNFFormula) -> None:
+        formula.remove_clause(self.clause)
+
+
+@dataclass(frozen=True)
+class AddVariable:
+    """Introduce a new variable — a loosening change (it starts don't-care)."""
+
+    var: int | None = None
+
+    tightening = False
+
+    def apply(self, formula: CNFFormula) -> None:
+        formula.add_variable(self.var)
+
+
+@dataclass(frozen=True)
+class RemoveVariable:
+    """Eliminate a variable — a tightening change (clauses lose literals)."""
+
+    var: int
+
+    tightening = True
+
+    def apply(self, formula: CNFFormula) -> None:
+        formula.remove_variable(self.var)
+
+
+Change = Union[AddClause, RemoveClause, AddVariable, RemoveVariable]
+
+
+@dataclass
+class ChangeSet:
+    """An ordered batch of changes."""
+
+    changes: list[Change] = field(default_factory=list)
+
+    @classmethod
+    def from_changes(cls, changes: Iterable[Change]) -> "ChangeSet":
+        return cls(list(changes))
+
+    def add(self, change: Change) -> "ChangeSet":
+        """Append a change (chainable)."""
+        self.changes.append(change)
+        return self
+
+    @property
+    def is_loosening_only(self) -> bool:
+        """True if no change can invalidate an existing solution."""
+        return all(not c.tightening for c in self.changes)
+
+    @property
+    def tightening_changes(self) -> list[Change]:
+        return [c for c in self.changes if c.tightening]
+
+    def apply_to(self, formula: CNFFormula) -> CNFFormula:
+        """Return a modified copy of *formula*.
+
+        Raises:
+            ChangeError: if applying any change produced an empty clause
+                (a trivially unsatisfiable instance), or a change itself
+                was invalid.
+        """
+        out = formula.copy()
+        for change in self.changes:
+            change.apply(out)
+        if out.has_empty_clause():
+            raise ChangeError(
+                "change set empties a clause; the modified instance is "
+                "trivially unsatisfiable"
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self):
+        return iter(self.changes)
+
+    def summary(self) -> str:
+        kinds = {
+            "+clause": sum(isinstance(c, AddClause) for c in self.changes),
+            "-clause": sum(isinstance(c, RemoveClause) for c in self.changes),
+            "+var": sum(isinstance(c, AddVariable) for c in self.changes),
+            "-var": sum(isinstance(c, RemoveVariable) for c in self.changes),
+        }
+        return ", ".join(f"{k}:{v}" for k, v in kinds.items() if v)

@@ -1,0 +1,279 @@
+"""Enabling EC (§5): solve so the solution tolerates future changes.
+
+The paper's enabling condition, for ``k = 2``: every clause must either be
+at least 2-satisfied, or contain another literal that can *flip its
+assignment* to satisfy the clause without unsatisfying any other clause
+(constraint (7) plus the ``Z``/``Q`` support machinery).
+
+Formulation used here
+---------------------
+
+On top of the set-cover encoding (``pos::v`` / ``neg::v`` selection
+variables, clause rows, consistency rows) we add, per clause ``c_j``::
+
+    sum_{lit in c_j} x_lit  +  Z_j  >=  k          (the paper's (7))
+
+with a support chain bounding ``Z_j`` from above:
+
+* ``W_l`` (one per literal ``l`` of the instance) — "flipping the variable
+  of ``l`` so that ``l`` becomes true breaks nothing":
+  for every clause ``c_m`` containing ``comp(l)``::
+
+      sum_{lit in c_m, lit != comp(l)} x_lit  >=  W_l
+
+* ``Z_{j,l}`` (per clause-literal pair) — ``l`` supports ``c_j``::
+
+      Z_{j,l} <= W_l           Z_{j,l} <= 1 - x_l
+      Z_j     <= sum_{l in c_j} Z_{j,l}
+
+The paper introduces one ``Z_ijk`` per (literal, clause, supporting
+variable) occurrence and auxiliary ``Q`` variables to force ``Z = 0`` when
+no flip is possible.  The formulation above is the same polytope expressed
+with the flip-safety variable ``W_l`` *shared* across clauses (safety does
+not depend on which clause asks for support), which keeps the row count
+near-linear; the ``<=`` chain makes the ``Q`` forcing variables
+unnecessary because ``Z_j`` is only pushed *up* by (7).  All auxiliaries
+may be continuous: with binary selection variables their attainable upper
+bounds are 0/1, so integrality is implied.
+
+Support semantics: ``acyclic`` vs ``chained``
+---------------------------------------------
+
+With ``support='acyclic'`` (the sound default described above) a flip is
+safe only if every clause losing ``comp(l)`` retains an *already selected*
+literal.  This one-step guarantee is exactly verifiable, but it is
+*infeasible* on rigid structures: in an XOR constraint group (four
+width-3 clauses) every satisfying assignment leaves some clause
+1-satisfied with no safe flip, so the parity benchmark family admits no
+acyclic-enabled solution at ``k = 2``.
+
+The paper's ``Z_ijk`` machinery instead lets a supporting flip itself be
+covered by further support ("variable x_i receives support from clause
+c_j through variable x_k when x_k flips its value") — support may chain,
+and nothing in the ILP forbids two literals supporting each other.
+``support='chained'`` reproduces that: the safety rows become
+
+    W_l  <=  sum_{lit in c_m, lit != comp(l)} (x_lit + W_lit)
+
+for every clause ``c_m`` containing ``comp(l)``.  This is feasible on
+essentially every instance without unit clauses (matching the paper's
+ability to report Table-1 numbers on parity instances) at the price of a
+weaker guarantee: chained support certifies a *repair search direction*,
+not a one-flip repair.  The ablation benchmark compares both.
+
+Two modes, matching the two EC columns of Table 1:
+
+* ``mode='constraints'`` — (7) is a hard row for every clause wide enough
+  to support it ("EC (SC)");
+* ``mode='objective'`` — (7) is replaced by binary achievement variables
+  ``S_j`` with ``k * S_j <= sum x + Z_j`` and the objective gains
+  ``+ weight * sum S_j`` ("EC (OF)": *maximize the number of clauses that
+  are at least 2-satisfiable*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import complement
+from repro.errors import ECError
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import ILPModel
+from repro.ilp.solution import Solution
+from repro.ilp.variable import VarType
+from repro.sat.encoding import SATEncoding, encode_sat, literal_name
+
+
+@dataclass
+class EnablingOptions:
+    """Knobs for enabling EC.
+
+    Attributes:
+        k: required satisfaction level (the paper always uses 2).
+        mode: ``'constraints'`` (hard rows) or ``'objective'`` (weighted).
+        flexibility_weight: objective-mode weight of each flexible clause
+            relative to the set-cover quality term.
+        exempt_narrow_clauses: in constraint mode, clauses with fewer than
+            ``k`` literals cannot reach level ``k`` on their own; when True
+            they only need ``|clause|``-satisfaction plus support, when
+            False the model may be infeasible (the paper notes enabling
+            "can be very expensive or impossible in the general case").
+        keep_quality_objective: keep the set-cover minimization as the
+            quality term (constraint mode) / first component (objective
+            mode); when False the objective is flexibility only.
+        support: ``'acyclic'`` (sound one-step flip safety) or
+            ``'chained'`` (the paper's transitive support; always feasible
+            on unit-free instances but a weaker guarantee).
+    """
+
+    k: int = 2
+    mode: str = "constraints"
+    flexibility_weight: float = 1.0
+    exempt_narrow_clauses: bool = True
+    keep_quality_objective: bool = True
+    support: str = "acyclic"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ECError(f"k must be >= 1, got {self.k}")
+        if self.mode not in ("constraints", "objective"):
+            raise ECError(f"mode must be 'constraints' or 'objective', got {self.mode!r}")
+        if self.support not in ("acyclic", "chained"):
+            raise ECError(f"support must be 'acyclic' or 'chained', got {self.support!r}")
+
+
+def support_variable_name(lit: int) -> str:
+    """Name of the shared flip-safety variable ``W_l``."""
+    return f"W::{lit}"
+
+
+def _add_support_machinery(
+    model: ILPModel, formula: CNFFormula, support: str = "acyclic"
+) -> dict[int, str]:
+    """Add the ``W_l`` flip-safety variables and their rows.
+
+    Returns a mapping literal -> W variable name.  Only literals that occur
+    in some clause get a variable (a literal absent from the formula never
+    needs to supply support).
+    """
+    occurrences: dict[int, list[int]] = {}
+    for index, clause in enumerate(formula.clauses):
+        for lit in clause:
+            occurrences.setdefault(lit, []).append(index)
+    w_names: dict[int, str] = {}
+    # First pass creates every W variable so chained rows can reference
+    # the W of other literals regardless of ordering.
+    for lit in sorted(occurrences, key=lambda l: (abs(l), l < 0)):
+        name = support_variable_name(lit)
+        model.add_var(name, VarType.CONTINUOUS, 0.0, 1.0)
+        w_names[lit] = name
+    for lit, name in w_names.items():
+        w = model.var(name)
+        # Flipping var(lit) to make `lit` true falsifies comp(lit); every
+        # clause containing comp(lit) must be satisfied by something else
+        # (acyclic), or by something else possibly after further flips
+        # (chained -- the paper's transitive Z_ijk support).
+        for m_index in occurrences.get(complement(lit), ()):
+            clause = formula.clause(m_index)
+            others = [l for l in clause if l != complement(lit)]
+            if not others:
+                model.add_constraint(w <= 0, name=f"Wblock::{lit}::{m_index}")
+                continue
+            terms = [model.var(literal_name(l)).to_expr() for l in others]
+            if support == "chained":
+                terms += [
+                    model.var(w_names[l]).to_expr() for l in others if l in w_names
+                ]
+            model.add_constraint(
+                LinExpr.sum(terms) >= w, name=f"Wsafe::{lit}::{m_index}"
+            )
+    return w_names
+
+
+def build_enabling_encoding(
+    formula: CNFFormula, options: EnablingOptions | None = None
+) -> SATEncoding:
+    """Build the SAT encoding augmented with enabling-EC structure.
+
+    The returned encoding's model contains, besides the base rows:
+    ``W::<lit>`` safety variables, ``Zs::<j>::<lit>`` per-clause support,
+    ``Z::<j>`` clause support, and (objective mode) binary ``S::<j>``
+    achievement variables.
+    """
+    options = options or EnablingOptions()
+    encoding = encode_sat(formula, minimize_literals=True)
+    model = encoding.model
+    w_names = _add_support_machinery(model, formula, support=options.support)
+
+    achievement_terms: list[LinExpr] = []
+    for j, clause in enumerate(formula.clauses):
+        z_j = model.add_var(f"Z::{j}", VarType.CONTINUOUS, 0.0, 1.0)
+        z_parts = []
+        for lit in clause:
+            z_jl = model.add_var(f"Zs::{j}::{lit}", VarType.CONTINUOUS, 0.0, 1.0)
+            model.add_constraint(
+                z_jl <= model.var(w_names[lit]), name=f"sup_safe::{j}::{lit}"
+            )
+            model.add_constraint(
+                z_jl + model.var(literal_name(lit)) <= 1,
+                name=f"sup_false::{j}::{lit}",
+            )
+            z_parts.append(z_jl)
+        model.add_constraint(
+            LinExpr.sum(z_parts) >= z_j, name=f"sup_any::{j}"
+        )
+        level = LinExpr.sum(model.var(literal_name(lit)) for lit in clause)
+        required = options.k
+        if options.exempt_narrow_clauses and len(clause) < options.k:
+            required = len(clause)
+        if options.mode == "constraints":
+            model.add_constraint(level + z_j >= required, name=f"enable::{j}")
+        else:
+            s_j = model.add_var(f"S::{j}", VarType.BINARY, 0.0, 1.0)
+            model.add_constraint(
+                float(required) * s_j <= level + z_j, name=f"achieve::{j}"
+            )
+            achievement_terms.append(s_j.to_expr())
+
+    if options.mode == "objective":
+        flexibility = LinExpr.sum(achievement_terms)
+        if options.keep_quality_objective:
+            # Minimize literals, reward flexible clauses: a single
+            # maximization with two weighted components (§4).
+            quality = model.objective  # current: min sum x  ==  max -sum x
+            model.set_objective(
+                options.flexibility_weight * flexibility - quality, sense="max"
+            )
+        else:
+            model.set_objective(flexibility, sense="max")
+    elif not options.keep_quality_objective:
+        model.set_objective(LinExpr(), sense="min")
+    return encoding
+
+
+@dataclass
+class EnablingResult:
+    """Outcome of enabling EC."""
+
+    encoding: SATEncoding
+    solution: Solution
+    assignment: Assignment | None
+    options: EnablingOptions
+
+    @property
+    def succeeded(self) -> bool:
+        return self.assignment is not None
+
+
+def enable_ec(
+    formula: CNFFormula,
+    options: EnablingOptions | None = None,
+    method: str = "exact",
+    **solver_options,
+) -> EnablingResult:
+    """Solve *formula* with enabling EC and decode the flexible solution.
+
+    Don't-care variables are decoded to False so the result is a total
+    assignment (callers comparing flexibility need totality).
+
+    Raises:
+        ECError: in constraint mode when the enabling rows make the
+            instance infeasible (retry with ``mode='objective'``).
+    """
+    from repro.ilp.solver import solve
+
+    options = options or EnablingOptions()
+    encoding = build_enabling_encoding(formula, options)
+    solution = solve(encoding.model, method=method, **solver_options)
+    if not solution.status.has_solution:
+        if options.mode == "constraints":
+            raise ECError(
+                "enabling constraints are infeasible for this instance; "
+                "retry with EnablingOptions(mode='objective') or "
+                "support='chained'"
+            )
+        return EnablingResult(encoding, solution, None, options)
+    assignment = encoding.decode(solution, default=False)
+    return EnablingResult(encoding, solution, assignment, options)

@@ -1,0 +1,230 @@
+"""Fast EC (§6): re-solve only the minimal affected sub-instance.
+
+Figure 2 of the paper, line by line:
+
+1. if the original assignment still satisfies the modified formula, done;
+2. mark all unsatisfied clauses; collect their variables into ``V``;
+3. grow: any clause containing a variable of ``V`` that is *not* satisfied
+   by some variable outside ``V`` is marked and its variables join ``V``;
+   repeat until ``V`` stops growing;
+4. solve the ILP of the marked clauses over ``V`` (all other variables are
+   frozen at their original values);
+5. combine the original assignment with the partial new solution.
+
+Loosening changes (added variables, deleted clauses) need no re-solve:
+added variables become don't-cares, and clause deletion is an opportunity
+to *recover* don't-cares and 2-satisfiability for the next change (the
+``recover_flexibility`` option).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import evaluate_literal
+from repro.errors import ECError
+from repro.ilp.solution import Solution, SolveStats
+from repro.sat.encoding import encode_sat
+
+
+@dataclass
+class FastECInstance:
+    """The reduced instance produced by the Figure-2 simplification."""
+
+    subformula: CNFFormula
+    affected_variables: tuple[int, ...]
+    marked_indices: tuple[int, ...]
+    already_satisfied: bool = False
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.affected_variables)
+
+    @property
+    def num_clauses(self) -> int:
+        return self.subformula.num_clauses
+
+
+def simplify_instance(
+    modified: CNFFormula, original: Assignment
+) -> FastECInstance:
+    """Figure 2: extract the minimal sub-instance that must be re-solved.
+
+    Args:
+        modified: the formula after the EC (``F'`` in the paper).
+        original: the previous satisfying assignment ``p``; variables the
+            EC eliminated may simply be missing from it, and fresh
+            variables are treated as unassigned don't-cares.
+    """
+    # Restrict p to the surviving variables.
+    active = set(modified.variables)
+    p = original.restricted_to(active)
+
+    unsat = [
+        i
+        for i, clause in enumerate(modified.clauses)
+        if not clause.is_satisfied(p)
+    ]
+    if not unsat:
+        return FastECInstance(CNFFormula(), (), (), already_satisfied=True)
+
+    marked: set[int] = set(unsat)
+    affected: set[int] = set()
+    for i in unsat:
+        affected.update(modified.clause(i).variables)
+
+    # Grow V to a fixpoint: a clause touching V stays unmarked only if some
+    # variable outside V satisfies it (that variable will not move).
+    frontier = set(affected)
+    while frontier:
+        new_vars: set[int] = set()
+        candidate_clauses: set[int] = set()
+        for var in frontier:
+            candidate_clauses.update(modified.clauses_with_variable(var))
+        for ci in sorted(candidate_clauses - marked):
+            clause = modified.clause(ci)
+            outside_support = any(
+                abs(lit) not in affected
+                and abs(lit) in p
+                and evaluate_literal(lit, p[abs(lit)])
+                for lit in clause
+            )
+            if not outside_support:
+                marked.add(ci)
+                for v in clause.variables:
+                    if v not in affected:
+                        new_vars.add(v)
+        affected |= new_vars
+        frontier = new_vars
+
+    sub = CNFFormula()
+    marked_sorted = tuple(sorted(marked))
+    for ci in marked_sorted:
+        # Literals of unaffected variables are false in every marked clause
+        # (otherwise the clause would have outside support), so the
+        # sub-instance is solved over V only.
+        reduced = Clause(
+            (lit for lit in modified.clause(ci) if abs(lit) in affected),
+            allow_tautology=True,
+        )
+        if reduced.is_empty():
+            raise ECError(f"clause {ci} lost every literal during reduction")
+        sub.add_clause(reduced)
+    return FastECInstance(sub, tuple(sorted(affected)), marked_sorted)
+
+
+@dataclass
+class FastECResult:
+    """Outcome of a fast-EC re-solve."""
+
+    assignment: Assignment | None
+    instance: FastECInstance
+    solution: Solution | None = None
+    fell_back: bool = False           # local re-solve failed; solved full F'
+    stats: SolveStats = field(default_factory=SolveStats)
+    wall_time: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.assignment is not None
+
+
+def fast_ec(
+    modified: CNFFormula,
+    original: Assignment,
+    method: str = "exact",
+    allow_fallback: bool = True,
+    recover_flexibility: bool = False,
+    **solver_options,
+) -> FastECResult:
+    """Run fast EC: simplify, re-solve the sub-instance, merge.
+
+    Args:
+        modified: the changed formula ``F'``.
+        original: the previous satisfying assignment ``p``.
+        method: ILP method for the sub-instance ('exact' | 'heuristic').
+        allow_fallback: when the local sub-instance is unsatisfiable
+            (local repair cannot exist), solve the full modified formula
+            instead of failing.  The paper assumes localized changes; the
+            fallback covers the general case.
+        recover_flexibility: after merging, unassign don't-care-able
+            variables (those whose value no remaining clause needs) so the
+            next EC has more slack — §6's "recover as many DC variables
+            from the initial solution as possible".
+
+    Returns:
+        A :class:`FastECResult`; ``assignment is None`` only when the
+        modified formula is genuinely unsatisfiable.
+    """
+    from repro.ilp.solver import solve
+
+    t0 = time.perf_counter()
+    instance = simplify_instance(modified, original)
+    result = FastECResult(assignment=None, instance=instance)
+    if instance.already_satisfied:
+        merged = original.restricted_to(modified.variables)
+        result.assignment = (
+            _recover_dont_cares(modified, merged) if recover_flexibility else merged
+        )
+        result.wall_time = time.perf_counter() - t0
+        return result
+
+    encoding = encode_sat(instance.subformula)
+    warm = encoding.values_from_assignment(
+        original.restricted_to(instance.subformula.variables)
+    )
+    solution = solve(encoding.model, method=method, warm_start=warm, **solver_options)
+    result.solution = solution
+    result.stats = solution.stats
+    if solution.status.has_solution:
+        partial = encoding.decode(solution, default=False)
+        merged = original.restricted_to(modified.variables).merged_with(partial)
+        if not modified.is_satisfied(merged):
+            raise ECError(
+                "fast-EC merge does not satisfy the modified formula; "
+                "the simplification invariant was violated"
+            )
+        result.assignment = (
+            _recover_dont_cares(modified, merged) if recover_flexibility else merged
+        )
+        result.wall_time = time.perf_counter() - t0
+        return result
+
+    if not allow_fallback:
+        result.wall_time = time.perf_counter() - t0
+        return result
+
+    # Local repair impossible: solve the full modified instance.
+    result.fell_back = True
+    full = encode_sat(modified)
+    solution = solve(full.model, method=method, **solver_options)
+    result.solution = solution
+    result.stats = solution.stats
+    if solution.status.has_solution:
+        result.assignment = full.decode(solution, default=False)
+    result.wall_time = time.perf_counter() - t0
+    return result
+
+
+def _recover_dont_cares(formula: CNFFormula, assignment: Assignment) -> Assignment:
+    """Greedily unassign variables no clause depends on for satisfaction.
+
+    A variable can become a don't-care when every clause it satisfies is
+    also satisfied by another assigned literal.  Processing order is
+    deterministic (ascending variable id).
+    """
+    out = assignment.copy()
+    for var in sorted(formula.variables):
+        if var not in out:
+            continue
+        trial = out.copy().unassign(var)
+        if all(
+            formula.clause(ci).is_satisfied(trial)
+            for ci in formula.clauses_with_variable(var)
+        ):
+            out = trial
+    return out

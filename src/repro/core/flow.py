@@ -1,0 +1,162 @@
+"""The generic ILP-based EC flow (Figure 1 of the paper).
+
+``ECFlow`` wires the pieces together and supports *successive* change
+requests (one of the paper's claimed advantages over prior work)::
+
+    flow = ECFlow(formula)
+    flow.solve_original(enable=True)          # non-EC or EC solution
+    flow.apply_changes(ChangeSet([...]))      # new specification
+    flow.resolve(strategy="fast")             # or "preserving"
+    flow.apply_changes(ChangeSet([...]))      # and again...
+    flow.resolve(strategy="preserving")
+
+Every step is recorded in ``flow.history`` for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.core.change import ChangeSet
+from repro.core.enabling import EnablingOptions, enable_ec
+from repro.core.fast import FastECResult, fast_ec
+from repro.core.preserving import PreservingECResult, preserving_ec
+from repro.errors import ECError
+from repro.sat.encoding import encode_sat
+
+
+@dataclass
+class FlowStep:
+    """One entry of the flow history."""
+
+    kind: str                 # 'solve' | 'enable' | 'change' | 'fast' | 'preserving'
+    detail: str = ""
+    assignment: Assignment | None = None
+
+
+@dataclass
+class ECFlow:
+    """Stateful driver for the Figure-1 flow."""
+
+    formula: CNFFormula
+    assignment: Assignment | None = None
+    enabled: bool = False
+    history: list[FlowStep] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def solve_original(
+        self,
+        enable: bool | EnablingOptions = False,
+        method: str = "exact",
+        **solver_options,
+    ) -> Assignment:
+        """Solve the original specification (optionally with enabling EC).
+
+        Returns the (EC or non-EC) solution and stores it as the flow's
+        current assignment.
+
+        Raises:
+            ECError: if the original instance is unsatisfiable.
+        """
+        from repro.ilp.solver import solve
+
+        if enable:
+            options = enable if isinstance(enable, EnablingOptions) else EnablingOptions()
+            result = enable_ec(self.formula, options, method=method, **solver_options)
+            if not result.succeeded:
+                raise ECError("enabling EC failed to find a solution")
+            self.assignment = result.assignment
+            self.enabled = True
+            self.history.append(
+                FlowStep("enable", f"mode={options.mode}, k={options.k}", result.assignment)
+            )
+            return result.assignment
+
+        encoding = encode_sat(self.formula)
+        solution = solve(encoding.model, method=method, **solver_options)
+        if not solution.status.has_solution:
+            raise ECError("original instance is unsatisfiable")
+        self.assignment = encoding.decode(solution, default=False)
+        self.history.append(FlowStep("solve", f"method={method}", self.assignment))
+        return self.assignment
+
+    def set_solution(self, assignment: Assignment) -> None:
+        """Adopt an externally produced solution (heuristic, witness, ...)."""
+        if not self.formula.is_satisfied(assignment):
+            raise ECError("provided assignment does not satisfy the current formula")
+        self.assignment = assignment.copy()
+        self.history.append(FlowStep("solve", "external", self.assignment))
+
+    # ------------------------------------------------------------------
+    def apply_changes(self, changes: ChangeSet | Iterable) -> CNFFormula:
+        """Install the new specification (modified formula).
+
+        The previous solution is kept as the EC starting point.  Loosening
+        change sets keep the solution valid; tightening ones typically
+        require :meth:`resolve`.
+        """
+        if not isinstance(changes, ChangeSet):
+            changes = ChangeSet.from_changes(changes)
+        self.formula = changes.apply_to(self.formula)
+        self.history.append(FlowStep("change", changes.summary()))
+        return self.formula
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        strategy: str = "fast",
+        preserve: Iterable[int] = (),
+        method: str = "exact",
+        **options,
+    ) -> Assignment:
+        """Re-solve the modified specification with fast or preserving EC.
+
+        Raises:
+            ECError: on an unknown strategy, a missing starting solution,
+                or an unsatisfiable modified instance.
+        """
+        if self.assignment is None:
+            raise ECError("no starting solution; call solve_original first")
+        if strategy == "fast":
+            result: FastECResult = fast_ec(
+                self.formula, self.assignment, method=method, **options
+            )
+            if not result.succeeded:
+                raise ECError("modified instance is unsatisfiable")
+            detail = (
+                f"subproblem {result.instance.num_vars} vars / "
+                f"{result.instance.num_clauses} clauses"
+                + (" (fallback)" if result.fell_back else "")
+            )
+            self.assignment = result.assignment
+            self.history.append(FlowStep("fast", detail, result.assignment))
+            return result.assignment
+        if strategy == "preserving":
+            presult: PreservingECResult = preserving_ec(
+                self.formula,
+                self.assignment,
+                preserve=preserve,
+                method=method,
+                **options,
+            )
+            if not presult.succeeded:
+                raise ECError("modified instance is unsatisfiable")
+            self.assignment = presult.assignment
+            self.history.append(
+                FlowStep(
+                    "preserving",
+                    f"preserved {presult.preserved_fraction:.1%}",
+                    presult.assignment,
+                )
+            )
+            return presult.assignment
+        raise ECError(f"unknown strategy {strategy!r} (fast|preserving)")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_current_solution_valid(self) -> bool:
+        """Does the stored solution satisfy the current formula?"""
+        return self.assignment is not None and self.formula.is_satisfied(self.assignment)

@@ -1,0 +1,56 @@
+"""Solution-comparison and EC-quality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.analysis import flexibility_report, FlexibilityReport
+
+
+def preserved_fraction(
+    original: Assignment, new: Assignment, over: CNFFormula | None = None
+) -> float:
+    """Fraction of originally-assigned variables that kept their value.
+
+    Args:
+        over: if given, only variables active in this formula count
+            (eliminated variables cannot be "preserved" either way).
+    """
+    if over is not None:
+        original = original.restricted_to(over.variables)
+    if len(original) == 0:
+        return 1.0
+    return original.agreement_fraction(new)
+
+
+@dataclass
+class ECComparison:
+    """Before/after flexibility comparison used by tests and examples."""
+
+    before: FlexibilityReport
+    after: FlexibilityReport
+
+    @property
+    def flexibility_gain(self) -> float:
+        """Increase in the 2-satisfied clause fraction."""
+        return self.after.fraction_2_satisfied - self.before.fraction_2_satisfied
+
+    @property
+    def robustness_gain(self) -> float:
+        """Increase in elimination robustness."""
+        return self.after.robustness - self.before.robustness
+
+
+def compare_flexibility(
+    formula: CNFFormula,
+    plain: Assignment,
+    enabled: Assignment,
+    with_robustness: bool = True,
+) -> ECComparison:
+    """Flexibility reports for a plain vs an enabling-EC solution."""
+    return ECComparison(
+        before=flexibility_report(formula, plain, with_robustness=with_robustness),
+        after=flexibility_report(formula, enabled, with_robustness=with_robustness),
+    )

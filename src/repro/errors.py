@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one base class.  Sub-hierarchies exist per substrate (CNF handling,
+ILP solving, engineering change) so tests can assert on precise failure
+modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class CNFError(ReproError):
+    """Base class for CNF formula construction and manipulation errors."""
+
+
+class LiteralError(CNFError):
+    """An integer is not a valid DIMACS-style literal (e.g. zero)."""
+
+
+class VariableError(CNFError):
+    """A variable index is out of range or otherwise invalid."""
+
+
+class ClauseError(CNFError):
+    """A clause is malformed (empty where not allowed, tautological, ...)."""
+
+
+class DimacsError(CNFError):
+    """A DIMACS file or string could not be parsed."""
+
+
+class AssignmentError(CNFError):
+    """An assignment is incomplete or inconsistent for the requested use."""
+
+
+class ILPError(ReproError):
+    """Base class for ILP modeling and solving errors."""
+
+
+class ModelError(ILPError):
+    """An ILP model is malformed (unknown variable, bad bounds, ...)."""
+
+
+class InfeasibleError(ILPError):
+    """The (I)LP instance was proven infeasible."""
+
+
+class UnboundedError(ILPError):
+    """The (I)LP instance was proven unbounded."""
+
+
+class SolverLimitError(ILPError):
+    """A solver gave up because it hit a node/iteration/time limit."""
+
+
+class ECError(ReproError):
+    """Base class for engineering-change errors."""
+
+
+class ChangeError(ECError):
+    """A change request is invalid for the instance it is applied to."""
+
+
+class PreservationError(ECError):
+    """A preservation specification cannot be honoured."""

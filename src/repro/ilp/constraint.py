@@ -1,0 +1,86 @@
+"""Linear constraints."""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from repro.errors import ModelError
+from repro.ilp.expr import LinExpr, Operand
+
+
+class Sense(enum.Enum):
+    """Relational sense of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+    def holds(self, lhs: float, rhs: float, tol: float = 1e-9) -> bool:
+        """Numeric comparison with tolerance."""
+        if self is Sense.LE:
+            return lhs <= rhs + tol
+        if self is Sense.GE:
+            return lhs >= rhs - tol
+        return abs(lhs - rhs) <= tol
+
+
+class Constraint:
+    """``expr (<=|>=|==) rhs`` with the constant folded into the rhs.
+
+    Normal form: ``terms`` holds the variable coefficients of the left-hand
+    side, ``rhs`` the right-hand constant.  ``name`` is assigned by the
+    model when the constraint is added.
+    """
+
+    __slots__ = ("terms", "sense", "rhs", "name")
+
+    def __init__(
+        self,
+        terms: Mapping[str, float],
+        sense: Sense,
+        rhs: float,
+        name: str | None = None,
+    ):
+        self.terms: dict[str, float] = dict(terms)
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    @classmethod
+    def from_sides(cls, lhs: Operand, rhs: Operand, sense: Sense) -> "Constraint":
+        """Build the normal form of ``lhs sense rhs``."""
+        diff = LinExpr.coerce(lhs) - LinExpr.coerce(rhs)
+        if diff.is_constant():
+            raise ModelError("constraint involves no variables")
+        return cls(diff.terms, sense, -diff.constant)
+
+    def lhs_expr(self) -> LinExpr:
+        """The left-hand side as an expression (constant 0)."""
+        return LinExpr(self.terms)
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Left-hand-side value under *values*."""
+        return self.lhs_expr().evaluate(values)
+
+    def is_satisfied(self, values: Mapping[str, float], tol: float = 1e-9) -> bool:
+        """True if the constraint holds under *values* within *tol*."""
+        return self.sense.holds(self.evaluate(values), self.rhs, tol)
+
+    def violation(self, values: Mapping[str, float]) -> float:
+        """Non-negative amount by which the constraint is violated."""
+        lhs = self.evaluate(values)
+        if self.sense is Sense.LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+    def variables(self) -> tuple[str, ...]:
+        """Sorted names of the variables in the constraint."""
+        return tuple(sorted(self.terms))
+
+    def __repr__(self) -> str:
+        body = " ".join(f"{c:+g}*{n}" for n, c in sorted(self.terms.items()))
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({body} {self.sense.value} {self.rhs:g}{label})"

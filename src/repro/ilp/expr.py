@@ -1,0 +1,153 @@
+"""Linear expressions with operator overloading.
+
+A :class:`LinExpr` is an affine function ``sum(coef_i * var_i) + constant``
+over variables identified by name.  Arithmetic composes expressions;
+comparison operators build :class:`repro.ilp.constraint.Constraint`
+objects, so models read like the paper's formulas::
+
+    model.add_constraint(x[i] + x[i + n] <= 1)
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Iterable, Mapping, TYPE_CHECKING, Union
+
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ilp.constraint import Constraint
+    from repro.ilp.variable import Variable
+
+Operand = Union["LinExpr", "Variable", Real]
+
+
+class LinExpr:
+    """An affine expression over named variables."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[str, float] | None = None, constant: float = 0.0):
+        self.terms: dict[str, float] = dict(terms or {})
+        self.constant: float = float(constant)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def coerce(value: Operand) -> "LinExpr":
+        """Convert a variable or number into a LinExpr (copies are cheap)."""
+        from repro.ilp.variable import Variable
+
+        if isinstance(value, LinExpr):
+            return value.copy()
+        if isinstance(value, Variable):
+            return LinExpr({value.name: 1.0})
+        if isinstance(value, Real):
+            return LinExpr(constant=float(value))
+        raise ModelError(f"cannot use {value!r} in a linear expression")
+
+    @staticmethod
+    def sum(operands: Iterable[Operand]) -> "LinExpr":
+        """Sum an iterable of variables/expressions/numbers efficiently."""
+        out = LinExpr()
+        for op in operands:
+            out._iadd(LinExpr.coerce(op), +1.0)
+        return out
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.terms, self.constant)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _iadd(self, other: "LinExpr", sign: float) -> "LinExpr":
+        for name, coef in other.terms.items():
+            new = self.terms.get(name, 0.0) + sign * coef
+            if new == 0.0:
+                self.terms.pop(name, None)
+            else:
+                self.terms[name] = new
+        self.constant += sign * other.constant
+        return self
+
+    def __add__(self, other: Operand) -> "LinExpr":
+        return self.copy()._iadd(LinExpr.coerce(other), +1.0)
+
+    def __radd__(self, other: Operand) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: Operand) -> "LinExpr":
+        return self.copy()._iadd(LinExpr.coerce(other), -1.0)
+
+    def __rsub__(self, other: Operand) -> "LinExpr":
+        return LinExpr.coerce(other)._iadd(self, -1.0)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({n: -c for n, c in self.terms.items()}, -self.constant)
+
+    def __mul__(self, factor: Real) -> "LinExpr":
+        if not isinstance(factor, Real):
+            raise ModelError("only multiplication by a scalar is linear")
+        f = float(factor)
+        if f == 0.0:
+            return LinExpr()
+        return LinExpr({n: f * c for n, c in self.terms.items()}, f * self.constant)
+
+    def __rmul__(self, factor: Real) -> "LinExpr":
+        return self.__mul__(factor)
+
+    def __truediv__(self, divisor: Real) -> "LinExpr":
+        if not isinstance(divisor, Real) or float(divisor) == 0.0:
+            raise ModelError("division only by a non-zero scalar")
+        return self.__mul__(1.0 / float(divisor))
+
+    # ------------------------------------------------------------------
+    # comparisons build constraints
+    # ------------------------------------------------------------------
+    def __le__(self, other: Operand) -> "Constraint":
+        from repro.ilp.constraint import Constraint, Sense
+
+        return Constraint.from_sides(self, other, Sense.LE)
+
+    def __ge__(self, other: Operand) -> "Constraint":
+        from repro.ilp.constraint import Constraint, Sense
+
+        return Constraint.from_sides(self, other, Sense.GE)
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        from repro.ilp.constraint import Constraint, Sense
+
+        return Constraint.from_sides(self, other, Sense.EQ)  # type: ignore[arg-type]
+
+    __hash__ = None  # type: ignore[assignment] - expressions are not hashable
+
+    # ------------------------------------------------------------------
+    # evaluation / inspection
+    # ------------------------------------------------------------------
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Evaluate the expression under a name -> value mapping.
+
+        Raises:
+            ModelError: if a variable appearing in the expression is absent.
+        """
+        total = self.constant
+        for name, coef in self.terms.items():
+            try:
+                total += coef * values[name]
+            except KeyError:
+                raise ModelError(f"no value for variable {name!r}") from None
+        return total
+
+    def variables(self) -> tuple[str, ...]:
+        """Sorted names of variables with non-zero coefficients."""
+        return tuple(sorted(self.terms))
+
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+g}*{n}" for n, c in sorted(self.terms.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"

@@ -1,0 +1,207 @@
+"""The iterative-improvement heuristic ILP solver (paper reference [6]).
+
+The paper solves its largest table rows with "the heuristic iterative
+improvement-based ILP solver presented in [6]" (a UCLA tech report).  The
+report is unpublished; this module implements the class of algorithm it
+names: weighted iterative improvement over 0-1 variables, i.e. a
+constraint-repair local search with dynamic row weights (the classic
+*breakout* scheme) plus objective-improving sideways moves once feasible.
+
+Only pure binary models are supported — exactly the class every EC
+formulation in the paper produces.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.ilp.constraint import Sense
+from repro.ilp.model import ILPModel
+from repro.ilp.solution import Solution, SolveStats
+from repro.ilp.status import SolveStatus
+
+
+@dataclass
+class _Row:
+    """Flattened constraint for the inner loop."""
+
+    var_ids: list[int]
+    coefs: list[float]
+    sense: Sense
+    rhs: float
+    weight: float = 1.0
+    activity: float = 0.0
+
+    def violation(self) -> float:
+        if self.sense is Sense.LE:
+            return max(0.0, self.activity - self.rhs)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - self.activity)
+        return abs(self.activity - self.rhs)
+
+
+class HeuristicILPSolver:
+    """Weighted iterative-improvement search for binary ILPs.
+
+    Args:
+        max_flips: flip budget per restart.
+        max_restarts: independent restarts before giving up.
+        noise: probability of a random-walk move when repairing a row.
+        weight_increment: additive bump for rows violated at a local
+            minimum (the breakout rule).
+        seed: RNG seed; every run is deterministic given the seed.
+        time_limit: optional wall-clock budget in seconds.
+        stop_on_first_feasible: return as soon as any feasible point is
+            found instead of spending the remaining restarts improving the
+            objective (useful when EC only needs feasibility).
+    """
+
+    def __init__(
+        self,
+        max_flips: int = 200_000,
+        max_restarts: int = 10,
+        noise: float = 0.15,
+        weight_increment: float = 1.0,
+        seed: int | None = 0,
+        time_limit: float | None = None,
+        stop_on_first_feasible: bool = False,
+    ):
+        self.max_flips = max_flips
+        self.max_restarts = max_restarts
+        self.noise = noise
+        self.weight_increment = weight_increment
+        self.seed = seed
+        self.time_limit = time_limit
+        self.stop_on_first_feasible = stop_on_first_feasible
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        model: ILPModel,
+        warm_start: dict[str, float] | None = None,
+    ) -> Solution:
+        """Search for a good feasible 0-1 point.
+
+        Returns a solution with status ``FEASIBLE`` (never claims
+        optimality) or ``NODE_LIMIT`` when no feasible point was found.
+        """
+        t0 = time.perf_counter()
+        for v in model.variables:
+            if not v.is_integer or v.lb < -1e-9 or v.ub > 1 + 1e-9:
+                raise ModelError(
+                    "heuristic solver supports pure 0-1 models only; "
+                    f"variable {v.name!r} is {v.vartype.value} in [{v.lb}, {v.ub}]"
+                )
+        rng = random.Random(self.seed)
+        names = [v.name for v in model.variables]
+        index = {nm: i for i, nm in enumerate(names)}
+        n = len(names)
+        rows = [
+            _Row(
+                var_ids=[index[nm] for nm in con.terms],
+                coefs=list(con.terms.values()),
+                sense=con.sense,
+                rhs=con.rhs,
+            )
+            for con in model.constraints
+        ]
+        # var -> [(row_id, coef)] adjacency for O(degree) flip updates.
+        touching: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for r_id, row in enumerate(rows):
+            for v_id, coef in zip(row.var_ids, row.coefs):
+                touching[v_id].append((r_id, coef))
+        obj = [0.0] * n
+        for nm, coef in model.objective.terms.items():
+            obj[index[nm]] = coef
+        obj_sign = 1.0 if model.is_maximization else -1.0  # larger is better
+
+        stats = SolveStats()
+        best_x: list[int] | None = None
+        best_obj = -float("inf")
+
+        for restart in range(self.max_restarts):
+            stats.restarts += 1
+            if warm_start is not None and restart == 0:
+                x = [int(round(warm_start.get(nm, rng.random() < 0.5))) for nm in names]
+            else:
+                x = [int(rng.getrandbits(1)) for _ in range(n)]
+            for row in rows:
+                row.weight = 1.0
+                row.activity = sum(
+                    c * x[v] for v, c in zip(row.var_ids, row.coefs)
+                )
+            violated = {r_id for r_id, row in enumerate(rows) if row.violation() > 1e-9}
+
+            def flip(v_id: int) -> None:
+                delta = 1 - 2 * x[v_id]  # +1 or -1
+                x[v_id] += delta
+                for r_id, coef in touching[v_id]:
+                    row = rows[r_id]
+                    row.activity += coef * delta
+                    if row.violation() > 1e-9:
+                        violated.add(r_id)
+                    else:
+                        violated.discard(r_id)
+
+            def weighted_delta(v_id: int) -> float:
+                """Change in weighted violation if v_id were flipped."""
+                delta = 1 - 2 * x[v_id]
+                total = 0.0
+                for r_id, coef in touching[v_id]:
+                    row = rows[r_id]
+                    old = row.violation()
+                    row.activity += coef * delta
+                    total += row.weight * (row.violation() - old)
+                    row.activity -= coef * delta
+                return total
+
+            for _flip_no in range(self.max_flips):
+                if self.time_limit is not None and time.perf_counter() - t0 > self.time_limit:
+                    break
+                if not violated:
+                    obj_val = sum(o * xi for o, xi in zip(obj, x))
+                    if obj_sign * obj_val > obj_sign * best_obj or best_x is None:
+                        best_obj = obj_val
+                        best_x = list(x)
+                    # Objective-improving sideways move keeping feasibility.
+                    improving = [
+                        v_id
+                        for v_id in range(n)
+                        if obj_sign * obj[v_id] * (1 - 2 * x[v_id]) > 1e-12
+                        and weighted_delta(v_id) <= 1e-9
+                    ]
+                    if not improving:
+                        break  # local optimum of the feasible region
+                    flip(rng.choice(improving))
+                    stats.heuristic_moves += 1
+                    continue
+                r_id = rng.choice(tuple(violated))
+                row = rows[r_id]
+                if rng.random() < self.noise:
+                    v_id = rng.choice(row.var_ids)
+                else:
+                    v_id = min(row.var_ids, key=weighted_delta)
+                    if weighted_delta(v_id) >= 0:
+                        # Local minimum: breakout — bump violated weights.
+                        for rv in violated:
+                            rows[rv].weight += self.weight_increment
+                flip(v_id)
+                stats.heuristic_moves += 1
+            if best_x is not None and self.stop_on_first_feasible:
+                break
+            if self.time_limit is not None and time.perf_counter() - t0 > self.time_limit:
+                break
+
+        stats.wall_time = time.perf_counter() - t0
+        if best_x is None:
+            return Solution(SolveStatus.NODE_LIMIT, stats=stats)
+        values = {nm: float(val) for nm, val in zip(names, best_x)}
+        return Solution(
+            SolveStatus.FEASIBLE,
+            objective=model.objective_value(values),
+            values=values,
+            stats=stats,
+        )

@@ -1,0 +1,116 @@
+"""Pluggable LP-relaxation backends.
+
+Two interchangeable backends solve the LP relaxations inside branch and
+bound:
+
+* :class:`SimplexBackend` — the from-scratch solver in
+  :mod:`repro.ilp.simplex` (the default for small problems, and the one
+  that makes this reproduction self-contained);
+* :class:`ScipyBackend` — scipy's HiGHS, used for large relaxations and as
+  an independent cross-check in the test suite.
+
+``default_backend()`` picks per problem size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from repro.ilp.simplex import simplex_solve
+from repro.ilp.status import SolveStatus
+
+
+@dataclass
+class LPResult:
+    """Uniform result record for any LP backend."""
+
+    status: SolveStatus
+    x: np.ndarray | None = None
+    objective: float | None = None
+    iterations: int = 0
+
+
+class LPBackend(Protocol):
+    """Anything that can solve ``min c'x`` over a box + linear system."""
+
+    name: str
+
+    def solve(
+        self, c, a_ub, b_ub, a_eq, b_eq, bounds
+    ) -> LPResult:  # pragma: no cover - protocol
+        ...
+
+
+class SimplexBackend:
+    """The package's own dense two-phase simplex."""
+
+    name = "simplex"
+
+    def __init__(self, max_iterations: int = 50_000):
+        self.max_iterations = max_iterations
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds) -> LPResult:
+        res = simplex_solve(
+            c,
+            a_ub,
+            b_ub,
+            a_eq,
+            b_eq,
+            bounds,
+            maximize=False,
+            max_iterations=self.max_iterations,
+        )
+        return LPResult(res.status, res.x, res.objective, res.iterations)
+
+
+class ScipyBackend:
+    """scipy.optimize.linprog (HiGHS dual simplex)."""
+
+    name = "scipy-highs"
+
+    def solve(self, c, a_ub, b_ub, a_eq, b_eq, bounds) -> LPResult:
+        def _none_if_empty(a, b):
+            if a is None or b is None or (sp.issparse(a) and a.shape[0] == 0):
+                return None, None
+            if not sp.issparse(a) and np.asarray(a).size == 0:
+                return None, None
+            return a, b
+
+        a_ub, b_ub = _none_if_empty(a_ub, b_ub)
+        a_eq, b_eq = _none_if_empty(a_eq, b_eq)
+        res = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        iterations = int(getattr(res, "nit", 0) or 0)
+        if res.status == 0:
+            return LPResult(SolveStatus.OPTIMAL, np.asarray(res.x), float(res.fun), iterations)
+        if res.status == 2:
+            return LPResult(SolveStatus.INFEASIBLE, iterations=iterations)
+        if res.status == 3:
+            return LPResult(SolveStatus.UNBOUNDED, iterations=iterations)
+        if res.status == 1:
+            return LPResult(SolveStatus.ITERATION_LIMIT, iterations=iterations)
+        return LPResult(SolveStatus.ERROR, iterations=iterations)
+
+
+#: Problem size (vars * constraints) above which the scipy backend is used
+#: by ``default_backend``; the dense tableau grows quadratically.
+SIMPLEX_SIZE_LIMIT = 40_000
+
+
+def default_backend(num_vars: int, num_constraints: int) -> LPBackend:
+    """Choose a backend: own simplex when small, HiGHS when large."""
+    if num_vars * max(num_constraints, 1) <= SIMPLEX_SIZE_LIMIT:
+        return SimplexBackend()
+    return ScipyBackend()

@@ -1,0 +1,199 @@
+"""Presolve reductions for 0-1 dominated models.
+
+Standard MIP presolve specialized to the structures the EC encodings
+produce (set-cover ``>=`` rows, pairwise-conflict ``<=`` rows):
+
+* substitute variables whose bounds are already tight (``lb == ub``);
+* drop rows made redundant by activity bounds;
+* detect rows that are infeasible outright;
+* *forcing* rows: when a row can only be satisfied by pushing every free
+  variable to one of its bounds, fix those variables (this subsumes SAT
+  unit propagation on the covering rows);
+* iterate to a fixpoint.
+
+The result maps back to the original variable space, so callers never see
+the reduced model unless they ask for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.ilp.constraint import Constraint, Sense
+from repro.ilp.model import ILPModel
+from repro.ilp.status import SolveStatus
+
+_EPS = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of presolving a model."""
+
+    status: SolveStatus          # OPTIMAL = fully solved, FEASIBLE = reduced
+    model: ILPModel | None       # the reduced model (None when solved/infeasible)
+    fixed: dict[str, float] = field(default_factory=dict)
+    dropped_rows: int = 0
+
+    def lift(self, reduced_values: dict[str, float]) -> dict[str, float]:
+        """Combine reduced-model values with presolve fixings."""
+        out = dict(self.fixed)
+        out.update(reduced_values)
+        return out
+
+
+def _row_activity_bounds(
+    terms: dict[str, float], lbs: dict[str, float], ubs: dict[str, float]
+) -> tuple[float, float]:
+    """(min, max) achievable value of a linear form over the current box."""
+    lo = hi = 0.0
+    for name, coef in terms.items():
+        if coef >= 0:
+            lo += coef * lbs[name]
+            hi += coef * ubs[name]
+        else:
+            lo += coef * ubs[name]
+            hi += coef * lbs[name]
+    return lo, hi
+
+
+def presolve(model: ILPModel, max_rounds: int = 50) -> PresolveResult:
+    """Apply fixpoint presolve to *model*.
+
+    Returns:
+        A :class:`PresolveResult`:
+
+        * ``status == INFEASIBLE`` — a row cannot be satisfied;
+        * ``status == OPTIMAL`` — every variable was fixed; ``fixed`` is the
+          unique completion (objective evaluation is the caller's job);
+        * ``status == FEASIBLE`` — ``model`` holds the reduced instance.
+    """
+    lbs = {v.name: v.lb for v in model.variables}
+    ubs = {v.name: v.ub for v in model.variables}
+    integer = {v.name: v.is_integer for v in model.variables}
+    rows: list[Constraint] = [Constraint(c.terms, c.sense, c.rhs, c.name) for c in model.constraints]
+    dropped = 0
+
+    for _round in range(max_rounds):
+        changed = False
+        survivors: list[Constraint] = []
+        for con in rows:
+            # Substitute variables already fixed by earlier rounds.
+            terms = {}
+            rhs = con.rhs
+            for name, coef in con.terms.items():
+                if ubs[name] - lbs[name] <= _EPS:
+                    rhs -= coef * lbs[name]
+                else:
+                    terms[name] = coef
+            lo, hi = _row_activity_bounds(terms, lbs, ubs)
+            if con.sense is Sense.LE:
+                if lo > rhs + 1e-7:
+                    return PresolveResult(SolveStatus.INFEASIBLE, None, dropped_rows=dropped)
+                if hi <= rhs + _EPS:
+                    dropped += 1
+                    changed = True
+                    continue
+                if abs(lo - rhs) <= _EPS:
+                    # Forcing: every term must sit at its minimizing bound.
+                    for name, coef in terms.items():
+                        val = lbs[name] if coef >= 0 else ubs[name]
+                        lbs[name] = ubs[name] = val
+                    dropped += 1
+                    changed = True
+                    continue
+            elif con.sense is Sense.GE:
+                if hi < rhs - 1e-7:
+                    return PresolveResult(SolveStatus.INFEASIBLE, None, dropped_rows=dropped)
+                if lo >= rhs - _EPS:
+                    dropped += 1
+                    changed = True
+                    continue
+                if abs(hi - rhs) <= _EPS:
+                    for name, coef in terms.items():
+                        val = ubs[name] if coef >= 0 else lbs[name]
+                        lbs[name] = ubs[name] = val
+                    dropped += 1
+                    changed = True
+                    continue
+            else:  # EQ
+                if lo > rhs + 1e-7 or hi < rhs - 1e-7:
+                    return PresolveResult(SolveStatus.INFEASIBLE, None, dropped_rows=dropped)
+                if abs(lo - hi) <= _EPS and abs(lo - rhs) <= _EPS:
+                    dropped += 1
+                    changed = True
+                    continue
+            if not terms:
+                # Constant row that was not caught above is trivially decided
+                # by the activity checks; reaching here means it holds.
+                dropped += 1
+                changed = True
+                continue
+            survivors.append(Constraint(terms, con.sense, rhs, con.name))
+        rows = survivors
+
+        # Singleton rows tighten a single variable's bound directly.
+        tightened: list[Constraint] = []
+        for con in rows:
+            if len(con.terms) != 1:
+                tightened.append(con)
+                continue
+            (name, coef), = con.terms.items()
+            bound = con.rhs / coef
+            if con.sense is Sense.EQ:
+                new_lb = new_ub = bound
+            elif (con.sense is Sense.LE) == (coef > 0):
+                new_lb, new_ub = lbs[name], min(ubs[name], bound)
+            else:
+                new_lb, new_ub = max(lbs[name], bound), ubs[name]
+            if integer[name]:
+                import math
+
+                new_lb = math.ceil(new_lb - 1e-7)
+                new_ub = math.floor(new_ub + 1e-7)
+            if new_lb > new_ub + _EPS:
+                return PresolveResult(SolveStatus.INFEASIBLE, None, dropped_rows=dropped)
+            if new_lb > lbs[name] + _EPS or new_ub < ubs[name] - _EPS:
+                changed = True
+            lbs[name] = max(lbs[name], new_lb)
+            ubs[name] = min(ubs[name], new_ub)
+            dropped += 1
+        rows = tightened
+        if not changed:
+            break
+
+    fixed = {
+        name: lbs[name]
+        for name in lbs
+        if ubs[name] - lbs[name] <= _EPS
+    }
+    if len(fixed) == len(lbs):
+        return PresolveResult(SolveStatus.OPTIMAL, None, fixed=fixed, dropped_rows=dropped)
+
+    reduced = ILPModel(model.name + ".presolved")
+    for v in model.variables:
+        if v.name not in fixed:
+            reduced.add_var(v.name, v.vartype, lbs[v.name], ubs[v.name])
+    for con in rows:
+        # Rows may still mention variables fixed in the final round.
+        terms = {}
+        rhs = con.rhs
+        for name, coef in con.terms.items():
+            if name in fixed:
+                rhs -= coef * fixed[name]
+            else:
+                terms[name] = coef
+        if terms:
+            reduced.add_constraint(Constraint(terms, con.sense, rhs, con.name))
+        else:
+            if not con.sense.holds(0.0, rhs, tol=1e-7):
+                return PresolveResult(SolveStatus.INFEASIBLE, None, dropped_rows=dropped)
+    obj_terms = {}
+    for name, coef in model.objective.terms.items():
+        if name not in fixed:
+            obj_terms[name] = coef
+    from repro.ilp.expr import LinExpr
+
+    reduced.set_objective(LinExpr(obj_terms), sense=model.sense)
+    return PresolveResult(SolveStatus.FEASIBLE, reduced, fixed=fixed, dropped_rows=dropped)

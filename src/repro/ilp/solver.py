@@ -1,0 +1,46 @@
+"""The ``solve()`` facade the EC layers call.
+
+The paper's flow (Fig. 1) lets the user pick "a standard ILP solver or the
+heuristic iterative improvement-based ILP solver"; this function is that
+switch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.heuristic import HeuristicILPSolver
+from repro.ilp.model import ILPModel
+from repro.ilp.solution import Solution
+
+#: Problem size (vars) above which ``method='auto'`` prefers the heuristic,
+#: mirroring the paper's split between exact CPLEX rows and heuristic rows.
+AUTO_HEURISTIC_VARS = 2_000
+
+
+def solve(
+    model: ILPModel,
+    method: str = "exact",
+    warm_start: dict[str, float] | None = None,
+    **options,
+) -> Solution:
+    """Solve an ILP model.
+
+    Args:
+        model: the instance.
+        method: ``"exact"`` (branch and bound), ``"heuristic"`` (iterative
+            improvement), or ``"auto"`` (exact for small models, heuristic
+            for large ones — the paper's own policy for its tables).
+        warm_start: optional starting assignment (the previous EC solution).
+        **options: forwarded to the chosen solver's constructor.
+
+    Raises:
+        ModelError: on an unknown method name.
+    """
+    if method == "auto":
+        method = "exact" if model.num_vars <= AUTO_HEURISTIC_VARS else "heuristic"
+    if method == "exact":
+        return BranchAndBoundSolver(**options).solve(model, warm_start=warm_start)
+    if method == "heuristic":
+        return HeuristicILPSolver(**options).solve(model, warm_start=warm_start)
+    raise ModelError(f"unknown solve method {method!r} (exact|heuristic|auto)")

@@ -1,0 +1,27 @@
+"""Solve status codes shared by every solver in the package."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP/ILP solve."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"          # heuristic or limit-interrupted incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"      # exact search stopped with no incumbent
+    ITERATION_LIMIT = "iteration_limit"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """True if a variable assignment accompanies this status."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    @property
+    def is_proven(self) -> bool:
+        """True if the status is a proof (optimality or infeasibility)."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED)

@@ -1,0 +1,104 @@
+"""Decision variables for the ILP modeling layer."""
+
+from __future__ import annotations
+
+import enum
+import math
+from numbers import Real
+from typing import TYPE_CHECKING, Union
+
+from repro.errors import ModelError
+from repro.ilp.expr import LinExpr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ilp.constraint import Constraint
+
+
+class VarType(enum.Enum):
+    """Kind of decision variable."""
+
+    BINARY = "binary"
+    INTEGER = "integer"
+    CONTINUOUS = "continuous"
+
+
+class Variable:
+    """A named decision variable with bounds and a type.
+
+    Variables are created through :meth:`repro.ilp.model.ILPModel.add_var`
+    (or the ``add_binary`` / ``add_integer`` / ``add_continuous`` helpers)
+    so the model can keep a consistent index.  Arithmetic on variables
+    yields :class:`LinExpr`; comparisons yield constraints.
+    """
+
+    __slots__ = ("name", "vartype", "lb", "ub", "index")
+
+    def __init__(
+        self,
+        name: str,
+        vartype: VarType = VarType.BINARY,
+        lb: float = 0.0,
+        ub: float = 1.0,
+        index: int = -1,
+    ):
+        if not name or not isinstance(name, str):
+            raise ModelError(f"variable name must be a non-empty string, got {name!r}")
+        if math.isnan(lb) or math.isnan(ub) or lb > ub:
+            raise ModelError(f"invalid bounds [{lb}, {ub}] for variable {name!r}")
+        if vartype is VarType.BINARY and (lb < 0 or ub > 1):
+            raise ModelError(f"binary variable {name!r} must have bounds within [0, 1]")
+        self.name = name
+        self.vartype = vartype
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.index = index
+
+    @property
+    def is_integer(self) -> bool:
+        """True for binary and general-integer variables."""
+        return self.vartype in (VarType.BINARY, VarType.INTEGER)
+
+    def to_expr(self) -> LinExpr:
+        """This variable as a single-term expression."""
+        return LinExpr({self.name: 1.0})
+
+    # Arithmetic delegates to LinExpr so `2*x + y - 3 <= z` works.
+    def __add__(self, other) -> LinExpr:
+        return self.to_expr() + other
+
+    def __radd__(self, other) -> LinExpr:
+        return self.to_expr() + other
+
+    def __sub__(self, other) -> LinExpr:
+        return self.to_expr() - other
+
+    def __rsub__(self, other) -> LinExpr:
+        return LinExpr.coerce(other) - self.to_expr()
+
+    def __mul__(self, factor: Real) -> LinExpr:
+        return self.to_expr() * factor
+
+    def __rmul__(self, factor: Real) -> LinExpr:
+        return self.to_expr() * factor
+
+    def __truediv__(self, divisor: Real) -> LinExpr:
+        return self.to_expr() / divisor
+
+    def __neg__(self) -> LinExpr:
+        return -self.to_expr()
+
+    def __le__(self, other) -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self.to_expr() >= other
+
+    # NOTE: unlike LinExpr, variables keep identity-based __eq__/__hash__ so
+    # they can live in sets and dict keys; use `x.to_expr() == rhs` (or an
+    # explicit Constraint) for equality constraints anchored at a variable.
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, {self.vartype.value}, [{self.lb:g}, {self.ub:g}])"
+
+
+Operand = Union[LinExpr, Variable, Real]

@@ -1,0 +1,34 @@
+"""SAT substrate: set cover, SAT<->ILP encoding, and SAT solvers.
+
+The paper routes SAT through the set-cover ILP formulation (§3); this
+subpackage implements that route plus independent SAT solvers used for
+ground truth, witnesses, and cross-checks:
+
+* :mod:`repro.sat.setcover` -- the set cover problem and its ILP form;
+* :mod:`repro.sat.encoding` -- SAT -> set cover -> 0-1 ILP, and decoding
+  ILP solutions back to truth assignments;
+* :mod:`repro.sat.dpll` -- a complete DPLL solver (unit propagation,
+  watched literals, MOMS-style branching);
+* :mod:`repro.sat.walksat` -- WalkSAT local search for satisfiable
+  instances;
+* :mod:`repro.sat.brute` -- exhaustive enumeration for tests.
+"""
+
+from repro.sat.setcover import SetCoverProblem
+from repro.sat.encoding import SATEncoding, decode_values, encode_sat
+from repro.sat.dpll import DPLLSolver, dpll_solve
+from repro.sat.walksat import walksat_solve
+from repro.sat.brute import all_satisfying_assignments, brute_force_solve, count_models
+
+__all__ = [
+    "DPLLSolver",
+    "SATEncoding",
+    "SetCoverProblem",
+    "all_satisfying_assignments",
+    "brute_force_solve",
+    "count_models",
+    "decode_values",
+    "dpll_solve",
+    "encode_sat",
+    "walksat_solve",
+]

@@ -1,0 +1,61 @@
+"""Exhaustive SAT enumeration for small formulas (test oracle)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.errors import CNFError
+
+#: Enumeration guard: 2^22 assignments is the most the oracle will scan.
+MAX_BRUTE_VARS = 22
+
+
+def _check_size(formula: CNFFormula) -> list[int]:
+    variables = list(formula.variables)
+    if len(variables) > MAX_BRUTE_VARS:
+        raise CNFError(
+            f"brute force limited to {MAX_BRUTE_VARS} variables, got {len(variables)}"
+        )
+    return variables
+
+
+def all_satisfying_assignments(formula: CNFFormula) -> Iterator[Assignment]:
+    """Yield every total satisfying assignment (lexicographic order)."""
+    variables = _check_size(formula)
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = Assignment(dict(zip(variables, bits)))
+        if formula.is_satisfied(assignment):
+            yield assignment
+
+
+def brute_force_solve(formula: CNFFormula) -> Assignment | None:
+    """First satisfying assignment, or None if UNSAT."""
+    return next(all_satisfying_assignments(formula), None)
+
+
+def count_models(formula: CNFFormula) -> int:
+    """Number of total satisfying assignments."""
+    return sum(1 for _ in all_satisfying_assignments(formula))
+
+
+def max_agreement_model(
+    formula: CNFFormula, reference: Assignment
+) -> tuple[Assignment | None, int]:
+    """The model agreeing with *reference* on the most variables.
+
+    This is the brute-force oracle for preserving EC: the optimal value of
+    the paper's ``max sum Z_i`` objective.
+
+    Returns:
+        (best model or None, agreement count; -1 when UNSAT).
+    """
+    best: Assignment | None = None
+    best_score = -1
+    for model in all_satisfying_assignments(formula):
+        score = reference.agreement_with(model)
+        if score > best_score:
+            best, best_score = model, score
+    return best, best_score

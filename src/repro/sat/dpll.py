@@ -1,0 +1,196 @@
+"""A complete DPLL SAT solver.
+
+Used as independent ground truth for the ILP route (a satisfying ILP
+solution must decode to a model; an INFEASIBLE ILP must match an UNSAT
+verdict here) and as a general witness generator.
+
+Implementation: iterative trail-based search with two watched literals,
+MOMS-flavoured static branching order refreshed on restarts-free
+chronological backtracking, and phase saving.  No clause learning — the
+instances this reproduction solves exactly are small enough that plain
+DPLL with good propagation is sufficient, and the simplicity keeps the
+solver auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.errors import CNFError
+
+
+@dataclass
+class DPLLResult:
+    """Outcome of a DPLL solve."""
+
+    satisfiable: bool | None       # None = gave up (budget)
+    assignment: Assignment | None = None
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+
+
+@dataclass
+class DPLLSolver:
+    """Configurable DPLL search.
+
+    Args:
+        max_decisions: budget; None/0 means unlimited.
+    """
+
+    max_decisions: int = 0
+    _clauses: list[tuple[int, ...]] = field(default_factory=list, repr=False)
+
+    def solve(self, formula: CNFFormula, polarity_hint: Assignment | None = None) -> DPLLResult:
+        """Search for a satisfying assignment of *formula*.
+
+        Args:
+            polarity_hint: preferred initial phase per variable (EC hands
+                the previous solution here, which makes re-solves of lightly
+                modified instances nearly free).
+        """
+        if formula.has_empty_clause():
+            return DPLLResult(False)
+        clauses = [tuple(cl.literals) for cl in formula.clauses if not cl.is_tautology()]
+        variables = list(formula.variables)
+        if not clauses:
+            model = Assignment({v: False for v in variables})
+            return DPLLResult(True, model)
+
+        # value: var -> True/False/None
+        value: dict[int, bool | None] = {v: None for v in variables}
+        phase: dict[int, bool] = {
+            v: (polarity_hint.get(v, True) if polarity_hint is not None else True)
+            for v in variables
+        }
+
+        # Two watched literals per clause (unit clauses watch twice).
+        watches: dict[int, list[int]] = {}
+        watched: list[list[int]] = []
+        for ci, lits in enumerate(clauses):
+            w = [lits[0], lits[-1] if len(lits) > 1 else lits[0]]
+            watched.append(w)
+            for lit in set(w):
+                watches.setdefault(lit, []).append(ci)
+
+        def lit_value(lit: int) -> bool | None:
+            v = value[abs(lit)]
+            if v is None:
+                return None
+            return v if lit > 0 else not v
+
+        trail: list[tuple[int, bool]] = []  # (var, is_decision)
+        result = DPLLResult(None)
+
+        def assign(var: int, val: bool, decision: bool) -> int | None:
+            """Assign and propagate; returns a conflicting clause id or None."""
+            value[var] = val
+            phase[var] = val
+            trail.append((var, decision))
+            queue = [-var if val else var]  # literals that became false
+            while queue:
+                false_lit = queue.pop()
+                for ci in list(watches.get(false_lit, ())):
+                    w = watched[ci]
+                    if false_lit not in w:
+                        continue
+                    other = w[0] if w[1] == false_lit else w[1]
+                    if lit_value(other) is True:
+                        continue
+                    # Look for a replacement watch.
+                    replacement = None
+                    for lit in clauses[ci]:
+                        if lit != other and lit != false_lit and lit_value(lit) is not False:
+                            replacement = lit
+                            break
+                    if replacement is not None:
+                        idx = 0 if w[0] == false_lit else 1
+                        w[idx] = replacement
+                        watches[false_lit].remove(ci)
+                        watches.setdefault(replacement, []).append(ci)
+                        continue
+                    ov = lit_value(other)
+                    if ov is None:
+                        # Unit: other must be true.
+                        result.propagations += 1
+                        ovar, ophase = abs(other), other > 0
+                        value[ovar] = ophase
+                        phase[ovar] = ophase
+                        trail.append((ovar, False))
+                        queue.append(-ovar if ophase else ovar)
+                    elif ov is False:
+                        return ci
+            return None
+
+        def backtrack() -> int | None:
+            """Undo to the last decision; return its variable (or None)."""
+            while trail:
+                var, was_decision = trail.pop()
+                value[var] = None
+                if was_decision:
+                    return var
+            return None
+
+        # Static branching order: most frequent in the shortest clauses.
+        score: dict[int, float] = {v: 0.0 for v in variables}
+        for lits in clauses:
+            w = 2.0 ** (-len(lits))
+            for lit in lits:
+                score[abs(lit)] += w
+        order = sorted(variables, key=lambda v: -score[v])
+
+        # Initial unit propagation via fake assignments on unit clauses.
+        for ci, lits in enumerate(clauses):
+            if len(lits) == 1:
+                lit = lits[0]
+                lv = lit_value(lit)
+                if lv is False:
+                    return DPLLResult(False, conflicts=result.conflicts)
+                if lv is None:
+                    if assign(abs(lit), lit > 0, decision=False) is not None:
+                        return DPLLResult(False, conflicts=result.conflicts)
+
+        flipped: dict[int, bool] = {}  # decision var -> already tried both?
+        while True:
+            branch_var = next((v for v in order if value[v] is None), None)
+            if branch_var is None:
+                model = Assignment({v: bool(value[v]) for v in variables})
+                result.satisfiable = True
+                result.assignment = model
+                return result
+            if self.max_decisions and result.decisions >= self.max_decisions:
+                return result  # satisfiable=None: budget exhausted
+            result.decisions += 1
+            conflict = assign(branch_var, phase[branch_var], decision=True)
+            flipped[branch_var] = False
+            while conflict is not None:
+                result.conflicts += 1
+                var = backtrack()
+                while var is not None and flipped.get(var, True):
+                    flipped.pop(var, None)
+                    var = backtrack()
+                if var is None:
+                    result.satisfiable = False
+                    return result
+                flipped[var] = True
+                # phase[var] still holds the value just undone; try the other.
+                conflict = assign(var, not phase[var], decision=True)
+
+    # ------------------------------------------------------------------
+    def is_satisfiable(self, formula: CNFFormula) -> bool:
+        """Convenience wrapper raising if the budget ran out."""
+        res = self.solve(formula)
+        if res.satisfiable is None:
+            raise CNFError("DPLL budget exhausted before a verdict")
+        return res.satisfiable
+
+
+def dpll_solve(
+    formula: CNFFormula,
+    polarity_hint: Assignment | None = None,
+    max_decisions: int = 0,
+) -> DPLLResult:
+    """One-shot DPLL solve of *formula*."""
+    return DPLLSolver(max_decisions=max_decisions).solve(formula, polarity_hint)

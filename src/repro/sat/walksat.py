@@ -1,0 +1,117 @@
+"""WalkSAT local search for satisfiable CNF instances.
+
+Incomplete but fast; the EC harness uses it to find fresh witnesses on the
+large table rows (where the paper used its heuristic ILP solver) and the
+test suite uses it as a second opinion against DPLL.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import _rng
+
+
+@dataclass
+class WalkSATResult:
+    """Outcome of a WalkSAT run."""
+
+    satisfiable: bool | None       # None = budget exhausted (unknown)
+    assignment: Assignment | None = None
+    flips: int = 0
+    restarts: int = 0
+
+
+def walksat_solve(
+    formula: CNFFormula,
+    max_flips: int = 100_000,
+    max_restarts: int = 10,
+    noise: float = 0.5,
+    rng: int | random.Random | None = 0,
+    initial: Assignment | None = None,
+) -> WalkSATResult:
+    """Run WalkSAT with the classic break-count move selection.
+
+    Args:
+        noise: probability of a random walk move when every candidate flip
+            breaks some clause.
+        initial: starting assignment for the first restart (EC warm start).
+
+    Returns:
+        ``satisfiable=True`` with a model, or ``satisfiable=None`` if the
+        budget ran out (WalkSAT can never prove UNSAT).
+    """
+    rng = _rng(rng)
+    if formula.has_empty_clause():
+        return WalkSATResult(False)
+    variables = list(formula.variables)
+    if not variables or formula.num_clauses == 0:
+        return WalkSATResult(True, Assignment({v: False for v in variables}))
+    clauses = [tuple(cl.literals) for cl in formula.clauses]
+    occurs: dict[int, list[int]] = {v: [] for v in variables}
+    for ci, lits in enumerate(clauses):
+        for lit in lits:
+            occurs[abs(lit)].append(ci)
+
+    result = WalkSATResult(None)
+    for restart in range(max_restarts):
+        result.restarts += 1
+        if initial is not None and restart == 0:
+            value = {v: bool(initial.get(v, rng.random() < 0.5)) for v in variables}
+        else:
+            value = {v: bool(rng.getrandbits(1)) for v in variables}
+
+        def true_count(ci: int) -> int:
+            return sum(
+                1 for lit in clauses[ci] if (value[abs(lit)] if lit > 0 else not value[abs(lit)])
+            )
+
+        counts = [true_count(ci) for ci in range(len(clauses))]
+        unsat = {ci for ci, k in enumerate(counts) if k == 0}
+
+        def flip(var: int) -> None:
+            value[var] = not value[var]
+            for ci in occurs[var]:
+                counts[ci] = true_count(ci)
+                if counts[ci] == 0:
+                    unsat.add(ci)
+                else:
+                    unsat.discard(ci)
+
+        for _ in range(max_flips):
+            if not unsat:
+                return WalkSATResult(
+                    True,
+                    Assignment(value),
+                    flips=result.flips,
+                    restarts=result.restarts,
+                )
+            ci = rng.choice(tuple(unsat))
+            lits = clauses[ci]
+
+            def break_count(var: int) -> int:
+                broken = 0
+                for cj in occurs[var]:
+                    if counts[cj] == 1:
+                        # The single true literal must be the one we flip.
+                        for lit in clauses[cj]:
+                            if abs(lit) == var and (value[var] if lit > 0 else not value[var]):
+                                broken += 1
+                                break
+                return broken
+
+            candidates = [abs(lit) for lit in lits]
+            breaks = {v: break_count(v) for v in set(candidates)}
+            best = min(breaks.values())
+            if best == 0:
+                var = rng.choice([v for v, b in breaks.items() if b == 0])
+            elif rng.random() < noise:
+                var = rng.choice(candidates)
+            else:
+                var = rng.choice([v for v, b in breaks.items() if b == best])
+            flip(var)
+            result.flips += 1
+    return result

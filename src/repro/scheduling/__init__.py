@@ -1,0 +1,31 @@
+"""Scheduling engineering change — a third EC domain.
+
+The paper's closest prior work (Kirovski & Potkonjak, DAC 1999) handled
+EC for *graph coloring and scheduling*; the paper claims its ILP
+methodology is "completely general".  This subpackage backs that claim by
+porting all three EC components to resource-constrained scheduling (the
+behavioral-synthesis formulation: unit-latency operations, precedence
+edges, per-type resource capacities, time-indexed 0-1 variables).
+
+* :mod:`repro.scheduling.problem` -- the scheduling ILP;
+* :mod:`repro.scheduling.ec` -- enabling / fast / preserving EC for
+  schedules (the canonical changes: a new precedence edge, a tighter
+  resource budget, a new operation).
+"""
+
+from repro.scheduling.problem import Operation, SchedulingProblem
+from repro.scheduling.ec import (
+    SchedulingECResult,
+    enable_scheduling_ec,
+    preserving_scheduling_ec,
+    schedule_slack,
+)
+
+__all__ = [
+    "Operation",
+    "SchedulingECResult",
+    "SchedulingProblem",
+    "enable_scheduling_ec",
+    "preserving_scheduling_ec",
+    "schedule_slack",
+]

@@ -1,0 +1,181 @@
+"""Resource-constrained scheduling as a time-indexed 0-1 ILP.
+
+The classic behavioral-synthesis formulation (the paper cites Gebotys &
+Elmasry [2] for this ILP family): unit-latency operations, a precedence
+DAG, per-resource-type capacities, and a fixed horizon of control steps.
+
+Variables ``x[op, step]`` select the start step of each operation;
+rows enforce exactly-one-start, precedence, and per-step capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import ModelError
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import ILPModel
+from repro.ilp.solution import Solution
+
+
+def start_var_name(op: Hashable, step: int) -> str:
+    """ILP variable name for "operation starts at control step"."""
+    return f"start::{op}::{step}"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A unit-latency operation bound to a resource type."""
+
+    name: str
+    resource: str
+
+
+@dataclass
+class SchedulingProblem:
+    """Unit-latency resource-constrained scheduling.
+
+    Args:
+        operations: the operations to schedule.
+        precedence: (before, after) pairs of operation names.
+        capacities: resource type -> units available per control step.
+        horizon: number of control steps (steps are ``0..horizon-1``).
+    """
+
+    operations: list[Operation]
+    precedence: list[tuple[str, str]] = field(default_factory=list)
+    capacities: dict[str, int] = field(default_factory=dict)
+    horizon: int = 8
+
+    def __post_init__(self) -> None:
+        names = [op.name for op in self.operations]
+        if len(set(names)) != len(names):
+            raise ModelError("duplicate operation names")
+        self._by_name = {op.name: op for op in self.operations}
+        for before, after in self.precedence:
+            if before not in self._by_name or after not in self._by_name:
+                raise ModelError(f"precedence ({before!r}, {after!r}) names unknown ops")
+        for op in self.operations:
+            if op.resource not in self.capacities:
+                raise ModelError(f"no capacity declared for resource {op.resource!r}")
+        if self.horizon < 1:
+            raise ModelError("horizon must be at least one control step")
+
+    @property
+    def steps(self) -> range:
+        return range(self.horizon)
+
+    def operation(self, name: str) -> Operation:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ModelError(f"unknown operation {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def to_ilp(self) -> ILPModel:
+        """Build the time-indexed scheduling ILP (feasibility form)."""
+        model = ILPModel("scheduling")
+        for op in self.operations:
+            for step in self.steps:
+                model.add_binary(start_var_name(op.name, step))
+        for op in self.operations:
+            row = LinExpr.sum(
+                model.var(start_var_name(op.name, s)) for s in self.steps
+            )
+            model.add_constraint(row.__eq__(1.0), name=f"assign::{op.name}")
+        for before, after in self.precedence:
+            start_b = LinExpr.sum(
+                float(s) * model.var(start_var_name(before, s)) for s in self.steps
+            )
+            start_a = LinExpr.sum(
+                float(s) * model.var(start_var_name(after, s)) for s in self.steps
+            )
+            model.add_constraint(
+                start_a - start_b >= 1.0, name=f"prec::{before}::{after}"
+            )
+        for resource, capacity in self.capacities.items():
+            users = [op for op in self.operations if op.resource == resource]
+            for step in self.steps:
+                if users:
+                    model.add_constraint(
+                        LinExpr.sum(
+                            model.var(start_var_name(op.name, step)) for op in users
+                        )
+                        <= float(capacity),
+                        name=f"cap::{resource}::{step}",
+                    )
+        model.set_objective(LinExpr(), sense="min")
+        return model
+
+    # ------------------------------------------------------------------
+    def decode(self, solution: Solution) -> dict[str, int]:
+        """Extract operation -> start step from an ILP solution."""
+        schedule: dict[str, int] = {}
+        for op in self.operations:
+            starts = [
+                s
+                for s in self.steps
+                if solution.rounded(start_var_name(op.name, s)) == 1
+            ]
+            if len(starts) != 1:
+                raise ModelError(f"operation {op.name!r} has {len(starts)} start steps")
+            schedule[op.name] = starts[0]
+        return schedule
+
+    def values_from_schedule(self, schedule: Mapping[str, int]) -> dict[str, float]:
+        """Encode a schedule as ILP values (warm starts)."""
+        values: dict[str, float] = {}
+        for op in self.operations:
+            for step in self.steps:
+                values[start_var_name(op.name, step)] = float(
+                    schedule.get(op.name) == step
+                )
+        return values
+
+    def is_valid(self, schedule: Mapping[str, int]) -> bool:
+        """True if *schedule* meets assignment, precedence and capacity."""
+        for op in self.operations:
+            step = schedule.get(op.name)
+            if step is None or not 0 <= step < self.horizon:
+                return False
+        for before, after in self.precedence:
+            if schedule[after] < schedule[before] + 1:
+                return False
+        for resource, capacity in self.capacities.items():
+            for step in self.steps:
+                used = sum(
+                    1
+                    for op in self.operations
+                    if op.resource == resource and schedule[op.name] == step
+                )
+                if used > capacity:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    def with_precedence(self, before: str, after: str) -> "SchedulingProblem":
+        """Copy with one more precedence edge (the canonical EC)."""
+        return SchedulingProblem(
+            operations=list(self.operations),
+            precedence=[*self.precedence, (before, after)],
+            capacities=dict(self.capacities),
+            horizon=self.horizon,
+        )
+
+    def with_capacity(self, resource: str, capacity: int) -> "SchedulingProblem":
+        """Copy with a changed resource budget."""
+        caps = dict(self.capacities)
+        caps[resource] = capacity
+        return SchedulingProblem(
+            operations=list(self.operations),
+            precedence=list(self.precedence),
+            capacities=caps,
+            horizon=self.horizon,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SchedulingProblem(ops={len(self.operations)}, "
+            f"prec={len(self.precedence)}, horizon={self.horizon})"
+        )

@@ -1,0 +1,37 @@
+"""Unit tests for the ablation runner."""
+
+import pytest
+
+from repro.bench.ablations import AblationRow, format_ablations, run_ablations
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_ablations("ii8a1", tier="ci")
+
+    def test_every_group_has_two_variants(self, rows):
+        from collections import Counter
+
+        counts = Counter(r.group for r in rows)
+        assert set(counts) == {
+            "enabling-support", "presolve", "ec-warm-start",
+            "root-cuts", "lp-backend",
+        }
+        assert all(v == 2 for v in counts.values())
+
+    def test_paired_variants_reach_same_objective(self, rows):
+        by_group: dict[str, list[AblationRow]] = {}
+        for r in rows:
+            by_group.setdefault(r.group, []).append(r)
+        for group, pair in by_group.items():
+            if group == "enabling-support":
+                continue  # different formulations, same instance
+            a, b = pair
+            assert a.objective == pytest.approx(b.objective, abs=1e-6), group
+
+    def test_formatting(self, rows):
+        text = format_ablations(rows, "ii8a1")
+        assert "enabling-support" in text
+        assert "lp-backend" in text
+        assert "seconds" in text

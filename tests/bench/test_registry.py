@@ -1,0 +1,74 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.bench.registry import (
+    SUITE_LARGE,
+    SUITE_SMALL,
+    current_tier,
+    load_instance,
+    suite,
+)
+from repro.errors import ReproError
+
+
+class TestSuites:
+    def test_row_order_matches_paper(self):
+        assert SUITE_SMALL[0] == "par8-1-c"
+        assert SUITE_SMALL[-1] == "f600"
+        assert SUITE_LARGE[-1] == "g250.29"
+
+    def test_small_suite_loads(self):
+        instances = suite("small", tier="ci")
+        assert len(instances) == 8
+        for inst in instances:
+            assert inst.formula.is_satisfied(inst.witness)
+
+    def test_unknown_block(self):
+        with pytest.raises(ReproError):
+            suite("medium")
+
+    def test_all_block_length(self):
+        names = [i.name for i in suite("all", tier="ci")]
+        assert len(names) == 13
+
+
+class TestLoadInstance:
+    def test_ci_is_smaller_than_paper_size(self):
+        ci = load_instance("f600", tier="ci")
+        assert ci.num_vars < 600
+
+    def test_deterministic(self):
+        a = load_instance("jnh1", tier="ci")
+        b = load_instance("jnh1", tier="ci")
+        assert a.formula == b.formula
+
+    def test_solve_method_policy(self):
+        small = load_instance("par8-1-c", tier="ci")
+        assert small.solve_method == "exact"
+
+    def test_paper_tier_sizes(self):
+        inst = load_instance("par8-1-c", tier="paper")
+        assert inst.num_vars == 64 and inst.num_clauses == 254
+
+    def test_paper_tier_large_uses_heuristic(self):
+        # par32-5 has 3176 vars at paper size: heuristic per the paper.
+        from repro.bench.registry import EXACT_VARS_LIMIT, _SEEDS  # noqa: F401
+
+        inst = load_instance("par32-5-c", tier="paper")
+        assert inst.solve_method == "heuristic"
+
+
+class TestTierSelection:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_tier() == "ci"
+
+    def test_env_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert current_tier() == "paper"
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "jumbo")
+        with pytest.raises(ReproError):
+            current_tier()

@@ -1,0 +1,49 @@
+"""Unit tests for the table formatters (no solving involved)."""
+
+from repro.bench.runner import Table1Row, Table2Row, Table3Row
+from repro.bench.tables import format_table1, format_table2, format_table3
+
+
+def _t1(name="a", sc=0.5, of=1.5, feasible=True):
+    return Table1Row(
+        name=name, num_vars=10, num_clauses=20, orig_runtime=1.0,
+        sc_normalized=sc, of_normalized=of, sc_feasible=feasible,
+    )
+
+
+class TestTable1Format:
+    def test_average_and_median(self):
+        text = format_table1([_t1(sc=0.5, of=1.0), _t1("b", sc=1.5, of=3.0)])
+        assert "1.00" in text  # sc average
+        assert "2.00" in text  # of average
+
+    def test_infeasible_marker(self):
+        text = format_table1([_t1(feasible=False)])
+        assert "0.50*" in text
+        assert "infeasible" in text
+
+    def test_no_marker_when_all_feasible(self):
+        text = format_table1([_t1()])
+        assert "*" not in text.replace("0.50", "")
+
+
+class TestTable2Format:
+    def test_columns(self):
+        row = Table2Row(
+            name="x", num_vars=30, num_clauses=100, orig_runtime=2.0,
+            avg_sub_vars=5.5, avg_sub_clauses=20.25, new_normalized=0.01,
+        )
+        text = format_table2([row])
+        assert "5.5/20.2" in text or "5.5/20.3" in text
+        assert "0.0100" in text
+
+
+class TestTable3Format:
+    def test_percentages(self):
+        row = Table3Row(
+            name="x", num_vars=30, num_clauses=100,
+            preserved_original=72.5, preserved_with_ec=98.25,
+        )
+        text = format_table3([row])
+        assert "72.5" in text and "98.2" in text
+        assert "average" in text and "median" in text

@@ -1,0 +1,105 @@
+"""Unit tests for flexibility analysis (k-satisfaction, robustness)."""
+
+import pytest
+
+from repro.cnf.analysis import (
+    clause_is_repairable,
+    elimination_robustness,
+    flexibility_report,
+    flip_is_safe,
+    fraction_k_satisfied,
+    k_satisfaction_census,
+    min_satisfaction_level,
+    survives_elimination,
+)
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.errors import AssignmentError
+
+
+class TestCensus:
+    def test_census_counts(self):
+        f = CNFFormula([[1, 2], [1, -2], [-1, 2]])
+        a = Assignment({1: True, 2: True})
+        assert k_satisfaction_census(f, a) == {2: 1, 1: 2}
+
+    def test_min_level(self):
+        f = CNFFormula([[1, 2], [-1, -2]])
+        assert min_satisfaction_level(f, Assignment({1: True, 2: True})) == 0
+        assert min_satisfaction_level(f, Assignment({1: True, 2: False})) == 1
+
+    def test_min_level_empty_formula(self):
+        assert min_satisfaction_level(CNFFormula(), Assignment({})) == 0
+
+    def test_fraction_k_satisfied(self):
+        f = CNFFormula([[1, 2], [1, -2]])
+        a = Assignment({1: True, 2: True})
+        assert fraction_k_satisfied(f, a, k=1) == 1.0
+        assert fraction_k_satisfied(f, a, k=2) == 0.5
+        assert fraction_k_satisfied(CNFFormula(), Assignment({}), k=2) == 1.0
+
+
+class TestFlipSafety:
+    def test_safe_flip(self):
+        f = CNFFormula([[1, 2]])
+        a = Assignment({1: True, 2: True})
+        assert flip_is_safe(f, a, 1)  # clause still satisfied by v2
+
+    def test_unsafe_flip(self):
+        f = CNFFormula([[1, 2]])
+        a = Assignment({1: True, 2: False})
+        assert not flip_is_safe(f, a, 1)
+
+    def test_repairable_clause(self):
+        # (1+2) unsatisfied; flipping v2 to True repairs without damage.
+        f = CNFFormula([[1, 2], [3]])
+        a = Assignment({1: False, 2: False, 3: True})
+        assert clause_is_repairable(f, a, 0)
+
+    def test_unrepairable_when_flip_breaks_other(self):
+        # Flipping v2 satisfies clause 0 but breaks (−2 ∨ 3); flipping v1
+        # satisfies clause 0 but breaks the unit (−1).
+        f = CNFFormula([[1, 2], [-2, 3], [-1]])
+        a = Assignment({1: False, 2: False, 3: False})
+        assert not clause_is_repairable(f, a, 0)
+
+
+class TestPaperExample:
+    """The §1 motivating example: solution E beats solution S."""
+
+    def test_e_survives_everything(self, paper_formula, paper_solution_e):
+        for var in paper_formula.variables:
+            assert survives_elimination(paper_formula, paper_solution_e, var)
+        assert elimination_robustness(paper_formula, paper_solution_e) == 1.0
+
+    def test_s_is_less_robust(self, paper_formula, paper_solution_s, paper_solution_e):
+        rs = elimination_robustness(paper_formula, paper_solution_s)
+        re = elimination_robustness(paper_formula, paper_solution_e)
+        assert rs < re
+
+    def test_v3_elimination_repaired_by_v4(self, paper_formula, paper_solution_e):
+        # The paper: eliminating v3 unsatisfies f4, but flipping v4 fixes it.
+        assert survives_elimination(paper_formula, paper_solution_e, 3)
+
+
+class TestReport:
+    def test_report_fields(self, planted_small):
+        f, p = planted_small
+        rep = flexibility_report(f, p)
+        assert rep.num_vars == 20 and rep.num_clauses == 60
+        assert 0.0 <= rep.fraction_2_satisfied <= 1.0
+        assert 0.0 <= rep.robustness <= 1.0
+        assert rep.min_level >= 1  # p satisfies f
+        assert rep.fragile_clauses == rep.census.get(1, 0)
+
+    def test_report_without_robustness(self, planted_small):
+        import math
+
+        f, p = planted_small
+        rep = flexibility_report(f, p, with_robustness=False)
+        assert math.isnan(rep.robustness)
+
+    def test_partial_assignment_rejected(self):
+        f = CNFFormula([[1, 2]])
+        with pytest.raises(AssignmentError):
+            flexibility_report(f, Assignment({1: True}))

@@ -1,0 +1,93 @@
+"""Unit tests for the immutable Clause type."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.errors import ClauseError
+
+
+class TestClauseConstruction:
+    def test_normalizes_order(self):
+        assert Clause([3, -1, 2]) == Clause([-1, 2, 3])
+
+    def test_deduplicates(self):
+        assert Clause([1, 1, 2]).literals == (1, 2)
+
+    def test_tautology_rejected(self):
+        with pytest.raises(ClauseError):
+            Clause([1, -1, 2])
+
+    def test_tautology_allowed_when_asked(self):
+        cl = Clause([1, -1], allow_tautology=True)
+        assert cl.is_tautology()
+
+    def test_empty_clause(self):
+        cl = Clause([])
+        assert cl.is_empty() and len(cl) == 0
+
+    def test_hashable_and_equal(self):
+        assert hash(Clause([1, -2])) == hash(Clause([-2, 1]))
+        assert len({Clause([1, -2]), Clause([-2, 1])}) == 1
+
+
+class TestClauseQueries:
+    def test_variables(self):
+        assert Clause([3, -1, 2]).variables == (1, 2, 3)
+
+    def test_contains_variable(self):
+        cl = Clause([1, -2])
+        assert cl.contains_variable(2) and not cl.contains_variable(3)
+
+    def test_polarity_of(self):
+        cl = Clause([1, -2])
+        assert cl.polarity_of(1) == 1
+        assert cl.polarity_of(2) == -1
+        assert cl.polarity_of(3) is None
+
+    def test_polarity_of_tautology_is_zero(self):
+        cl = Clause([1, -1], allow_tautology=True)
+        assert cl.polarity_of(1) == 0
+
+    def test_is_unit(self):
+        assert Clause([5]).is_unit()
+        assert not Clause([5, 6]).is_unit()
+
+    def test_contains_literal(self):
+        cl = Clause([1, -2])
+        assert -2 in cl and 2 not in cl
+
+
+class TestWithoutVariable:
+    def test_removes_both_polarities(self):
+        cl = Clause([1, -2, 3])
+        assert cl.without_variable(2).literals == (1, 3)
+
+    def test_can_empty(self):
+        assert Clause([4]).without_variable(4).is_empty()
+
+    def test_noop_when_absent(self):
+        cl = Clause([1, 2])
+        assert cl.without_variable(9) == cl
+
+
+class TestClauseEvaluation:
+    def test_satisfied(self):
+        cl = Clause([1, -2])
+        assert cl.is_satisfied(Assignment({1: True, 2: True}))
+        assert cl.is_satisfied(Assignment({1: False, 2: False}))
+        assert not cl.is_satisfied(Assignment({1: False, 2: True}))
+
+    def test_unassigned_does_not_satisfy(self):
+        cl = Clause([1, 2])
+        assert not cl.is_satisfied(Assignment({}))
+        assert not cl.is_satisfied(Assignment({1: False}))
+
+    def test_satisfaction_level(self):
+        cl = Clause([1, 2, -3])
+        a = Assignment({1: True, 2: True, 3: False})
+        assert cl.satisfaction_level(a) == 3
+        assert cl.satisfied_literals(a) == (1, 2, -3)
+
+    def test_empty_clause_never_satisfied(self):
+        assert not Clause([]).is_satisfied(Assignment({1: True}))

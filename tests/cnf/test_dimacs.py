@@ -1,0 +1,107 @@
+"""Unit tests for DIMACS CNF parsing and serialization."""
+
+import io
+
+import pytest
+
+from repro.cnf.dimacs import parse_dimacs, read_dimacs, to_dimacs, write_dimacs
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_ksat
+from repro.errors import DimacsError
+
+
+GOOD = """\
+c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        f = parse_dimacs(GOOD)
+        assert f.num_vars == 3 and f.num_clauses == 2
+
+    def test_comments_and_blanks_ignored(self):
+        f = parse_dimacs("c x\n\nc y\np cnf 2 1\n\n1 2 0\n")
+        assert f.num_clauses == 1
+
+    def test_clause_spanning_lines(self):
+        f = parse_dimacs("p cnf 3 1\n1\n-2\n3 0\n")
+        assert f.clause(0).literals == (1, -2, 3)
+
+    def test_multiple_clauses_per_line(self):
+        f = parse_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert f.num_clauses == 2
+
+    def test_percent_terminator(self):
+        f = parse_dimacs("p cnf 2 1\n1 2 0\n%\n0\n")
+        assert f.num_clauses == 1
+
+    def test_header_declares_unused_vars(self):
+        f = parse_dimacs("p cnf 9 1\n1 2 0\n")
+        assert f.num_vars == 9
+
+
+class TestParseErrors:
+    def test_missing_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 2 0\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p sat 2 1\n1 0\n")
+
+    def test_non_integer_token(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 x 0\n")
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 5 0\n")
+
+    def test_unterminated_clause(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 5\n1 2 0\n")
+
+    def test_negative_counts(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf -2 1\n1 0\n")
+
+
+class TestRoundTrip:
+    def test_roundtrip_small(self):
+        f = CNFFormula([[1, -2], [2, 3]], num_vars=4)
+        g = parse_dimacs(to_dimacs(f))
+        assert g.num_vars == 4
+        assert [c.literals for c in g.clauses] == [c.literals for c in f.clauses]
+
+    def test_roundtrip_random(self):
+        f = random_ksat(15, 50, rng=3)
+        g = parse_dimacs(to_dimacs(f))
+        assert g == f
+
+    def test_comments_written(self):
+        text = to_dimacs(CNFFormula([[1]]), comments=["hello"])
+        assert text.startswith("c hello\n")
+
+    def test_file_io(self, tmp_path):
+        f = random_ksat(8, 20, rng=5)
+        path = tmp_path / "x.cnf"
+        write_dimacs(f, path)
+        assert read_dimacs(path) == f
+
+    def test_stream_io(self):
+        f = CNFFormula([[1, 2]])
+        buf = io.StringIO()
+        write_dimacs(f, buf)
+        assert parse_dimacs(buf.getvalue()) == f

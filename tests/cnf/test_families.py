@@ -1,0 +1,98 @@
+"""Unit tests for the DIMACS-family stand-in generators."""
+
+import pytest
+
+from repro.cnf.families import (
+    PAPER_INSTANCE_PARAMS,
+    coloring_instance,
+    f_instance,
+    ii_instance,
+    jnh_instance,
+    make_instance,
+    parity_instance,
+)
+from repro.errors import CNFError
+
+
+class TestFamilyGenerators:
+    @pytest.mark.parametrize(
+        "maker", [parity_instance, ii_instance, jnh_instance, f_instance]
+    )
+    def test_exact_sizes_and_witness(self, maker):
+        inst = maker(40, 150, seed=3)
+        assert inst.formula.num_vars == 40
+        assert inst.formula.num_clauses == 150
+        inst.check()  # witness satisfies
+
+    def test_deterministic(self):
+        a = jnh_instance(30, 120, seed=7)
+        b = jnh_instance(30, 120, seed=7)
+        assert a.formula == b.formula
+
+    def test_different_seeds_differ(self):
+        a = f_instance(30, 120, seed=1)
+        b = f_instance(30, 120, seed=2)
+        assert a.formula != b.formula
+
+    def test_parity_needs_three_vars(self):
+        with pytest.raises(CNFError):
+            parity_instance(2, 10)
+
+    def test_parity_has_xor_structure(self):
+        inst = parity_instance(30, 120, seed=1)
+        hist = inst.formula.clause_length_histogram()
+        assert hist.get(3, 0) > 0  # XOR clauses are width 3
+
+    def test_jnh_mixed_widths(self):
+        inst = jnh_instance(60, 300, seed=2)
+        widths = set(inst.formula.clause_length_histogram())
+        assert len(widths) >= 4  # genuinely mixed
+
+    def test_f_is_3sat(self):
+        inst = f_instance(50, 210, seed=2)
+        assert set(inst.formula.clause_length_histogram()) == {3}
+
+
+class TestColoringInstance:
+    def test_size_formula(self):
+        inst = coloring_instance(10, 3, 20, seed=1)
+        assert inst.formula.num_vars == 30          # N * C
+        assert inst.formula.num_clauses == 10 + 20 * 3  # N + E*C
+        inst.check()
+
+    def test_too_many_edges(self):
+        with pytest.raises(CNFError):
+            coloring_instance(4, 3, 100, seed=1)
+
+    def test_needs_two_colors(self):
+        with pytest.raises(CNFError):
+            coloring_instance(5, 1, 2, seed=1)
+
+
+class TestMakeInstance:
+    def test_all_paper_names_generate_scaled(self):
+        for name in PAPER_INSTANCE_PARAMS:
+            inst = make_instance(name, seed=1, scale=0.05)
+            inst.check()
+
+    def test_paper_exact_sizes(self):
+        inst = make_instance("par8-1-c", seed=1)
+        assert inst.formula.num_vars == 64
+        assert inst.formula.num_clauses == 254
+
+    def test_coloring_exact_sizes(self):
+        params = PAPER_INSTANCE_PARAMS["g250.15"]
+        expected_vars = params["num_nodes"] * params["num_colors"]
+        expected_clauses = params["num_nodes"] + params["num_edges"] * params["num_colors"]
+        assert expected_vars == 3750
+        assert expected_clauses == 233965
+
+    def test_unknown_name(self):
+        with pytest.raises(CNFError):
+            make_instance("nonexistent")
+
+    def test_bad_scale(self):
+        with pytest.raises(CNFError):
+            make_instance("f600", scale=0.0)
+        with pytest.raises(CNFError):
+            make_instance("f600", scale=1.5)

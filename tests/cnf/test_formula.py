@@ -1,0 +1,146 @@
+"""Unit tests for CNFFormula, including the four EC edit primitives."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.errors import ClauseError, VariableError
+
+
+@pytest.fixture
+def f():
+    return CNFFormula([[1, 2], [-1, 3], [2, -3]])
+
+
+class TestConstruction:
+    def test_from_literal_lists(self, f):
+        assert f.num_clauses == 3
+        assert f.variables == (1, 2, 3)
+
+    def test_num_vars_header(self):
+        g = CNFFormula([[1]], num_vars=5)
+        assert g.variables == (1, 2, 3, 4, 5)
+
+    def test_header_too_small_rejected(self):
+        with pytest.raises(VariableError):
+            CNFFormula([[7]], num_vars=3)
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ClauseError):
+            CNFFormula([[]])
+
+    def test_empty_formula(self):
+        g = CNFFormula()
+        assert g.num_vars == 0 and g.num_clauses == 0
+        assert g.is_satisfied(Assignment({}))
+
+
+class TestClauseEdits:
+    def test_add_clause_activates_variables(self, f):
+        f.add_clause([4, -5])
+        assert 4 in f.variables and 5 in f.variables
+
+    def test_remove_clause(self, f):
+        f.remove_clause([1, 2])
+        assert f.num_clauses == 2
+
+    def test_remove_missing_clause_raises(self, f):
+        with pytest.raises(ClauseError):
+            f.remove_clause([9, 10])
+
+    def test_remove_clause_keeps_variables_active(self, f):
+        f.remove_clause([1, 2])
+        assert 1 in f.variables  # still active (free) per EC semantics
+
+    def test_remove_clause_at(self, f):
+        removed = f.remove_clause_at(0)
+        assert removed == Clause([1, 2])
+        with pytest.raises(ClauseError):
+            f.remove_clause_at(99)
+
+    def test_duplicates_allowed(self):
+        g = CNFFormula([[1, 2], [1, 2]])
+        assert g.num_clauses == 2
+        assert g.deduplicated().num_clauses == 1
+
+
+class TestVariableEdits:
+    def test_add_variable_fresh(self, f):
+        v = f.add_variable()
+        assert v == 4 and 4 in f.variables
+
+    def test_add_existing_variable_raises(self, f):
+        with pytest.raises(VariableError):
+            f.add_variable(2)
+
+    def test_remove_variable_strips_literals(self, f):
+        touched = f.remove_variable(3)
+        assert touched == 2
+        assert 3 not in f.variables
+        assert all(not cl.contains_variable(3) for cl in f.clauses)
+
+    def test_remove_variable_can_empty_clause(self):
+        g = CNFFormula([[1]])
+        g.remove_variable(1)
+        assert g.has_empty_clause()
+
+    def test_remove_inactive_variable_raises(self, f):
+        with pytest.raises(VariableError):
+            f.remove_variable(9)
+
+
+class TestEvaluation:
+    def test_is_satisfied(self, f):
+        assert f.is_satisfied(Assignment({1: True, 2: True, 3: True}))
+        assert not f.is_satisfied(Assignment({1: False, 2: False, 3: True}))
+
+    def test_unsatisfied_clauses(self, f):
+        a = Assignment({1: False, 2: False, 3: True})
+        bad = f.unsatisfied_clauses(a)
+        assert bad == [Clause([1, 2]), Clause([2, -3])]
+        assert f.unsatisfied_indices(a) == [0, 2]
+
+    def test_satisfaction_levels(self, f):
+        levels = f.satisfaction_levels(Assignment({1: True, 2: True, 3: True}))
+        assert levels == [2, 1, 1]
+
+
+class TestStructureQueries:
+    def test_clauses_with_variable(self, f):
+        assert f.clauses_with_variable(1) == [0, 1]
+
+    def test_occurrence_counts(self, f):
+        occ = f.occurrence_counts()
+        assert occ[1] == 1 and occ[-1] == 1 and occ[2] == 2
+
+    def test_pure_literals(self, f):
+        assert f.pure_literals() == [2]
+
+    def test_unused_variables(self):
+        g = CNFFormula([[1]], num_vars=3)
+        assert g.unused_variables() == [2, 3]
+
+    def test_histogram_and_density(self, f):
+        assert f.clause_length_histogram() == {2: 3}
+        assert f.density() == pytest.approx(1.0)
+
+    def test_density_empty(self):
+        assert CNFFormula().density() == 0.0
+
+
+class TestCopies:
+    def test_copy_is_independent(self, f):
+        g = f.copy()
+        g.add_clause([1, 3])
+        assert f.num_clauses == 3 and g.num_clauses == 4
+
+    def test_restricted_to_clauses(self, f):
+        sub = f.restricted_to_clauses([0, 2])
+        assert sub.num_clauses == 2
+        assert sub.variables == (1, 2, 3)
+
+    def test_equality(self):
+        a = CNFFormula([[1, 2], [-1, 3]])
+        b = CNFFormula([[-1, 3], [1, 2]])
+        assert a == b

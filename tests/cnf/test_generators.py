@@ -1,0 +1,68 @@
+"""Unit tests for the random formula generators."""
+
+import random
+
+import pytest
+
+from repro.cnf.generators import (
+    random_clause,
+    random_ksat,
+    random_mixed_width,
+    random_planted_ksat,
+)
+from repro.errors import CNFError
+
+
+class TestRandomClause:
+    def test_width(self):
+        cl = random_clause(range(1, 11), 4, rng=0)
+        assert len(cl) == 4
+
+    def test_width_exceeds_pool(self):
+        with pytest.raises(CNFError):
+            random_clause([1, 2], 3, rng=0)
+
+    def test_deterministic_with_seed(self):
+        a = random_clause(range(1, 20), 3, rng=random.Random(9))
+        b = random_clause(range(1, 20), 3, rng=random.Random(9))
+        assert a == b
+
+
+class TestRandomKSat:
+    def test_shape(self):
+        f = random_ksat(30, 100, k=3, rng=1)
+        assert f.num_vars == 30 and f.num_clauses == 100
+        assert all(len(c) == 3 for c in f.clauses)
+
+    def test_deterministic(self):
+        assert random_ksat(10, 20, rng=4) == random_ksat(10, 20, rng=4)
+
+
+class TestPlanted:
+    def test_witness_satisfies(self):
+        f, p = random_planted_ksat(40, 160, rng=2)
+        assert f.is_satisfied(p)
+        assert len(p) == 40
+
+    def test_all_clause_widths(self):
+        f, _ = random_planted_ksat(20, 50, k=4, rng=2)
+        assert all(len(c) == 4 for c in f.clauses)
+
+
+class TestMixedWidth:
+    def test_width_distribution_support(self):
+        f = random_mixed_width(30, 200, {2: 0.5, 5: 0.5}, rng=3)
+        widths = {len(c) for c in f.clauses}
+        assert widths <= {2, 5}
+        assert len(widths) == 2  # both widths drawn at this sample size
+
+    def test_planted_mixed(self):
+        from repro.cnf.assignment import Assignment
+
+        plant = Assignment({v: v % 2 == 0 for v in range(1, 16)})
+        f = random_mixed_width(15, 60, {3: 1.0}, rng=5, planted=plant)
+        assert f.is_satisfied(plant)
+
+    def test_width_capped_at_num_vars(self):
+        f = random_mixed_width(3, 10, {8: 1.0}, rng=1)
+        assert all(len(c) <= 3 for c in f.clauses)

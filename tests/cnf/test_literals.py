@@ -1,0 +1,80 @@
+"""Unit tests for DIMACS-style literal helpers."""
+
+import pytest
+
+from repro.cnf.literals import (
+    check_literal,
+    check_variable,
+    complement,
+    evaluate_literal,
+    is_negative,
+    is_positive,
+    literal,
+    literal_to_str,
+    variable_of,
+)
+from repro.errors import LiteralError, VariableError
+
+
+class TestLiteralConstruction:
+    def test_positive_literal(self):
+        assert literal(3) == 3
+
+    def test_negative_literal(self):
+        assert literal(3, positive=False) == -3
+
+    def test_zero_variable_rejected(self):
+        with pytest.raises(VariableError):
+            literal(0)
+
+    def test_negative_variable_rejected(self):
+        with pytest.raises(VariableError):
+            literal(-2)
+
+    def test_bool_is_not_a_variable(self):
+        with pytest.raises(VariableError):
+            check_variable(True)
+
+
+class TestLiteralValidation:
+    def test_zero_literal_rejected(self):
+        with pytest.raises(LiteralError):
+            check_literal(0)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(LiteralError):
+            check_literal("3")
+
+    def test_bool_rejected(self):
+        with pytest.raises(LiteralError):
+            check_literal(True)
+
+    def test_valid_passthrough(self):
+        assert check_literal(-17) == -17
+
+
+class TestLiteralQueries:
+    def test_variable_of(self):
+        assert variable_of(5) == 5
+        assert variable_of(-5) == 5
+
+    def test_complement_involution(self):
+        for lit in (1, -1, 42, -42):
+            assert complement(complement(lit)) == lit
+
+    def test_polarity_predicates(self):
+        assert is_positive(9) and not is_negative(9)
+        assert is_negative(-9) and not is_positive(-9)
+
+    def test_to_str(self):
+        assert literal_to_str(5) == "v5"
+        assert literal_to_str(-5) == "v5'"
+
+
+class TestEvaluateLiteral:
+    @pytest.mark.parametrize(
+        "lit,value,expected",
+        [(1, True, True), (1, False, False), (-1, True, False), (-1, False, True)],
+    )
+    def test_truth_table(self, lit, value, expected):
+        assert evaluate_literal(lit, value) is expected

@@ -1,0 +1,105 @@
+"""Unit tests for the EC mutation operators."""
+
+import pytest
+
+from repro.cnf.generators import random_planted_ksat
+from repro.cnf.mutations import (
+    MutationLog,
+    add_fresh_variables,
+    add_random_clauses,
+    eliminate_random_variables,
+    remove_random_clauses,
+    table2_trial,
+    table3_trial,
+)
+from repro.errors import ChangeError
+from repro.sat.dpll import dpll_solve
+
+
+@pytest.fixture
+def planted():
+    return random_planted_ksat(30, 90, rng=5)
+
+
+class TestAddRandomClauses:
+    def test_count_and_log(self, planted):
+        f, p = planted
+        g, log = add_random_clauses(f, 7, rng=1)
+        assert g.num_clauses == f.num_clauses + 7
+        assert len(log.added_clauses) == 7
+        assert f.num_clauses == 90  # original untouched
+
+    def test_witness_constrained(self, planted):
+        f, p = planted
+        g, _ = add_random_clauses(f, 20, rng=1, satisfiable_with=p)
+        assert g.is_satisfied(p)
+
+    def test_no_variables_raises(self):
+        from repro.cnf.formula import CNFFormula
+
+        with pytest.raises(ChangeError):
+            add_random_clauses(CNFFormula(), 1, rng=0)
+
+
+class TestRemoveRandomClauses:
+    def test_count(self, planted):
+        f, _ = planted
+        g, log = remove_random_clauses(f, 5, rng=2)
+        assert g.num_clauses == 85
+        assert len(log.removed_clauses) == 5
+
+    def test_too_many(self, planted):
+        f, _ = planted
+        with pytest.raises(ChangeError):
+            remove_random_clauses(f, 91, rng=2)
+
+    def test_loosening_preserves_witness(self, planted):
+        f, p = planted
+        g, _ = remove_random_clauses(f, 10, rng=3)
+        assert g.is_satisfied(p)
+
+
+class TestAddFreshVariables:
+    def test_fresh_ids(self, planted):
+        f, _ = planted
+        g, log = add_fresh_variables(f, 3)
+        assert log.added_variables == [31, 32, 33]
+        assert g.num_vars == 33
+
+
+class TestEliminateRandomVariables:
+    def test_no_empty_clause(self, planted):
+        f, _ = planted
+        g, log = eliminate_random_variables(f, 3, rng=4)
+        assert not g.has_empty_clause()
+        assert len(log.removed_variables) == 3
+        assert g.num_vars == 27
+
+    def test_satisfiability_vetting(self, planted):
+        f, p = planted
+        g, _ = eliminate_random_variables(f, 3, rng=4, keep_satisfiable_with=p)
+        assert dpll_solve(g).satisfiable
+
+
+class TestTableTrials:
+    def test_table2_trial_shape(self, planted):
+        f, p = planted
+        g, log = table2_trial(f, p, rng=6)
+        assert len(log.removed_variables) == 3
+        assert len(log.added_clauses) == 10
+        assert g.num_vars == 27
+        assert dpll_solve(g).satisfiable
+
+    def test_table3_trial_shape(self, planted):
+        f, p = planted
+        g, log = table3_trial(f, p, rng=6)
+        assert len(log.added_variables) == 5
+        assert len(log.removed_variables) == 5
+        assert len(log.added_clauses) == 5
+        assert len(log.removed_clauses) == 5
+        assert g.num_vars == 30  # -5 +5
+        assert dpll_solve(g).satisfiable
+
+    def test_log_summary(self):
+        log = MutationLog()
+        assert "+0 clauses" in log.summary()

@@ -1,0 +1,127 @@
+"""Unit and property tests for CNF preprocessing."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.simplify import (
+    eliminate_pure_literals,
+    propagate_units,
+    remove_subsumed,
+    simplify,
+)
+from repro.sat.brute import brute_force_solve
+
+
+class TestUnitPropagation:
+    def test_chain(self):
+        f = CNFFormula([[1], [-1, 2], [-2, 3]])
+        res = propagate_units(f)
+        assert res.forced.as_dict() == {1: True, 2: True, 3: True}
+        assert res.formula.num_clauses == 0
+
+    def test_conflict_detected(self):
+        res = propagate_units(CNFFormula([[1], [-1]]))
+        assert res.proven_unsat
+
+    def test_derived_empty_clause(self):
+        res = propagate_units(CNFFormula([[1], [2], [-1, -2]]))
+        assert res.proven_unsat
+
+    def test_no_units_noop(self):
+        f = CNFFormula([[1, 2], [-1, -2]])
+        res = propagate_units(f)
+        assert len(res.forced) == 0
+        assert res.formula.num_clauses == 2
+
+    def test_shortened_clauses_survive(self):
+        f = CNFFormula([[1], [-1, 2, 3]])
+        res = propagate_units(f)
+        assert res.formula.clauses[0] == Clause([2, 3])
+
+
+class TestPureLiterals:
+    def test_pure_positive(self):
+        f = CNFFormula([[1, 2], [1, -2]])
+        res = eliminate_pure_literals(f)
+        assert res.forced.get(1) is True
+        assert res.formula.num_clauses == 0
+
+    def test_cascading_purity(self):
+        # Fixing pure v1 deletes the clause that kept v2 impure.
+        f = CNFFormula([[1, -2], [2, 3], [2, -3]])
+        res = eliminate_pure_literals(f)
+        assert res.forced.get(1) is True
+        assert res.forced.get(2) is True
+
+    def test_no_pure(self):
+        f = CNFFormula([[1, 2], [-1, -2]])
+        res = eliminate_pure_literals(f)
+        assert len(res.forced) == 0
+
+
+class TestSubsumption:
+    def test_subset_subsumes(self):
+        f = CNFFormula([[1, 2], [1, 2, 3]])
+        res = remove_subsumed(f)
+        assert res.formula.clauses == (Clause([1, 2]),)
+        assert res.removed_clauses == 1
+
+    def test_duplicates_collapse(self):
+        f = CNFFormula([[1, 2], [2, 1]])
+        assert remove_subsumed(f).formula.num_clauses == 1
+
+    def test_variables_stay_active(self):
+        f = CNFFormula([[1, 2], [1, 2, 3]])
+        assert 3 in remove_subsumed(f).formula.variables
+
+
+@st.composite
+def small_formulas(draw):
+    n_clauses = draw(st.integers(1, 10))
+    cls = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(1, 3))
+        variables = draw(
+            st.lists(st.integers(1, 6), min_size=width, max_size=width, unique=True)
+        )
+        signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+        cls.append(Clause([v if s else -v for v, s in zip(variables, signs)]))
+    return CNFFormula(cls, num_vars=6)
+
+
+class TestSimplifyPipeline:
+    @settings(max_examples=50, deadline=None)
+    @given(small_formulas())
+    def test_equisatisfiable(self, f):
+        res = simplify(f)
+        original_sat = brute_force_solve(f) is not None
+        if res.proven_unsat:
+            assert not original_sat
+            return
+        model = brute_force_solve(res.formula)
+        assert (model is not None) == original_sat
+        if model is not None:
+            lifted = res.lift(model)
+            # Complete don't-cares arbitrarily.
+            for var in f.variables:
+                if var not in lifted:
+                    lifted[var] = False
+            assert f.is_satisfied(lifted)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_formulas())
+    def test_never_grows(self, f):
+        res = simplify(f)
+        if not res.proven_unsat:
+            assert res.formula.num_clauses <= f.num_clauses
+
+    def test_fully_solves_horn_like(self):
+        f = CNFFormula([[1], [-1, 2], [-2, 3], [-3, 4]])
+        res = simplify(f)
+        assert not res.proven_unsat
+        assert res.formula.num_clauses == 0
+        assert f.is_satisfied(res.forced)

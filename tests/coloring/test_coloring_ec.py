@@ -1,0 +1,159 @@
+"""Unit tests for graph-coloring engineering change."""
+
+import networkx as nx
+import pytest
+
+from repro.coloring.ec import (
+    coloring_flexibility,
+    enable_coloring_ec,
+    fast_coloring_ec,
+    preserving_coloring_ec,
+)
+from repro.coloring.generators import random_colorable_graph
+from repro.coloring.problem import GraphColoringProblem
+from repro.errors import ECError, ModelError
+
+
+@pytest.fixture
+def small():
+    g, planted = random_colorable_graph(12, 4, 20, rng=3)
+    return GraphColoringProblem(g, 4), planted
+
+
+class TestFlexibility:
+    def test_planted_flexibility_in_range(self, small):
+        prob, planted = small
+        flex = coloring_flexibility(prob, planted)
+        assert 0.0 <= flex <= 1.0
+
+    def test_empty_graph_fully_flexible(self):
+        prob = GraphColoringProblem(nx.Graph(), 3)
+        assert coloring_flexibility(prob, {}) == 1.0
+
+    def test_path_two_colors_inflexible(self):
+        # A path with exactly 2 colors: middle node has no spare color.
+        g = nx.path_graph(3)
+        prob = GraphColoringProblem(g, 2)
+        flex = coloring_flexibility(prob, {0: 1, 1: 2, 2: 1})
+        assert flex == pytest.approx(0.0)
+
+
+class TestEnabling:
+    def test_objective_mode_maximizes_flexibility(self, small):
+        prob, planted = small
+        result = enable_coloring_ec(prob)
+        assert result.succeeded
+        assert prob.is_proper(result.coloring)
+        assert result.flexibility >= coloring_flexibility(prob, planted) - 1e-9
+
+    def test_constraint_mode_floor(self, small):
+        prob, _ = small
+        result = enable_coloring_ec(
+            prob, mode="constraints", min_flexible_fraction=0.5
+        )
+        assert result.succeeded
+        assert result.flexibility >= 0.5
+
+    def test_bad_mode(self, small):
+        prob, _ = small
+        with pytest.raises(ECError):
+            enable_coloring_ec(prob, mode="wishful")
+
+
+class TestFastEC:
+    def _add_conflicting_edges(self, g, coloring, count):
+        g = g.copy()
+        added = 0
+        for u in g.nodes:
+            for v in g.nodes:
+                if u < v and not g.has_edge(u, v) and coloring[u] == coloring[v]:
+                    g.add_edge(u, v)
+                    added += 1
+                    break
+            if added >= count:
+                break
+        assert added == count
+        return g
+
+    def test_no_change_is_noop(self, small):
+        prob, planted = small
+        result = fast_coloring_ec(prob, planted)
+        assert result.succeeded
+        assert result.coloring == dict(planted)
+        assert result.recolored_nodes == ()
+
+    def test_edge_insertion_repaired_locally(self, small):
+        prob, planted = small
+        g2 = self._add_conflicting_edges(prob.graph, planted, 2)
+        prob2 = GraphColoringProblem(g2, prob.num_colors)
+        result = fast_coloring_ec(prob2, planted)
+        assert result.succeeded
+        assert prob2.is_proper(result.coloring)
+        assert len(result.recolored_nodes) <= 4  # endpoints only
+
+    def test_uncolored_node_gets_color(self, small):
+        prob, planted = small
+        partial = {n: c for n, c in planted.items() if n != 0}
+        result = fast_coloring_ec(prob, partial)
+        assert result.succeeded
+        assert prob.is_proper(result.coloring)
+
+    def test_impossible_instance_fails(self):
+        g = nx.complete_graph(4)
+        prob = GraphColoringProblem(g, 3)  # K4 needs 4 colors
+        result = fast_coloring_ec(prob, {0: 1, 1: 2, 2: 3, 3: 3})
+        assert not result.succeeded
+        assert result.fell_back
+
+
+class TestPreserving:
+    def test_preserves_after_edge_insertion(self, small):
+        prob, planted = small
+        g2 = prob.graph.copy()
+        # Add one conflicting edge.
+        for u in g2.nodes:
+            done = False
+            for v in g2.nodes:
+                if u < v and not g2.has_edge(u, v) and planted[u] == planted[v]:
+                    g2.add_edge(u, v)
+                    done = True
+                    break
+            if done:
+                break
+        prob2 = GraphColoringProblem(g2, prob.num_colors)
+        result = preserving_coloring_ec(prob2, planted)
+        assert result.succeeded
+        assert prob2.is_proper(result.coloring)
+        # Optimal preservation changes at most one endpoint.
+        changed = sum(1 for n in planted if result.coloring[n] != planted[n])
+        assert changed <= 1
+
+    def test_pinned_nodes_kept(self, small):
+        prob, planted = small
+        pins = list(prob.graph.nodes)[:3]
+        result = preserving_coloring_ec(prob, planted, preserve=pins)
+        assert result.succeeded
+        for n in pins:
+            assert result.coloring[n] == planted[n]
+
+    def test_pin_without_old_color_raises(self, small):
+        prob, _ = small
+        with pytest.raises(ECError):
+            preserving_coloring_ec(prob, {}, preserve=[0])
+
+
+class TestGenerators:
+    def test_requested_sizes(self):
+        g, coloring = random_colorable_graph(15, 3, 25, rng=1)
+        assert g.number_of_nodes() == 15
+        assert g.number_of_edges() == 25
+        prob = GraphColoringProblem(g, 3)
+        assert prob.is_proper(coloring)
+
+    def test_impossible_edge_count(self):
+        with pytest.raises(ModelError):
+            random_colorable_graph(4, 2, 100, rng=1)
+
+    def test_one_color_rejected(self):
+        with pytest.raises(ModelError):
+            random_colorable_graph(4, 1, 1, rng=1)

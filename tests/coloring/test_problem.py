@@ -1,0 +1,78 @@
+"""Unit tests for the graph-coloring ILP formulation."""
+
+import networkx as nx
+import pytest
+
+from repro.coloring.problem import GraphColoringProblem, color_var_name
+from repro.errors import ModelError
+from repro.ilp.solver import solve
+from repro.ilp.status import SolveStatus
+
+
+@pytest.fixture
+def triangle():
+    g = nx.Graph([(0, 1), (1, 2), (0, 2)])
+    return GraphColoringProblem(g, 3)
+
+
+class TestConstruction:
+    def test_self_loop_rejected(self):
+        g = nx.Graph([(0, 0)])
+        with pytest.raises(ModelError):
+            GraphColoringProblem(g, 2)
+
+    def test_zero_colors_rejected(self):
+        with pytest.raises(ModelError):
+            GraphColoringProblem(nx.Graph(), 0)
+
+
+class TestILP:
+    def test_triangle_needs_three_colors(self, triangle):
+        sol = solve(triangle.to_ilp())
+        assert sol.status is SolveStatus.OPTIMAL
+        coloring = triangle.decode(sol)
+        assert triangle.is_proper(coloring)
+        assert len(set(coloring.values())) == 3
+
+    def test_triangle_two_colors_infeasible(self):
+        g = nx.Graph([(0, 1), (1, 2), (0, 2)])
+        prob = GraphColoringProblem(g, 2)
+        assert solve(prob.to_ilp()).status is SolveStatus.INFEASIBLE
+
+    def test_atleast_one_variant(self, triangle):
+        sol = solve(triangle.to_ilp(exactly_one=False))
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_row_counts(self, triangle):
+        m = triangle.to_ilp()
+        # 3 one-color rows + 3 edges * 3 colors conflict rows
+        assert m.num_constraints == 3 + 9
+        assert m.num_vars == 9
+
+
+class TestHelpers:
+    def test_is_proper(self, triangle):
+        assert triangle.is_proper({0: 1, 1: 2, 2: 3})
+        assert not triangle.is_proper({0: 1, 1: 1, 2: 3})
+        assert not triangle.is_proper({0: 1, 1: 2})        # missing node
+        assert not triangle.is_proper({0: 1, 1: 2, 2: 9})  # bad palette
+
+    def test_conflicted_edges(self, triangle):
+        assert triangle.conflicted_edges({0: 1, 1: 1, 2: 2}) == [(0, 1)]
+
+    def test_values_roundtrip(self, triangle):
+        coloring = {0: 1, 1: 2, 2: 3}
+        values = triangle.values_from_coloring(coloring)
+        assert values[color_var_name(0, 1)] == 1.0
+        assert values[color_var_name(0, 2)] == 0.0
+        assert triangle.to_ilp().is_feasible(values)
+
+    def test_decode_missing_color_raises(self, triangle):
+        from repro.ilp.solution import Solution
+        from repro.ilp.status import SolveStatus as S
+
+        empty = Solution(S.OPTIMAL, values={
+            color_var_name(n, c): 0.0 for n in range(3) for c in range(1, 4)
+        })
+        with pytest.raises(ModelError):
+            triangle.decode(empty)

@@ -1,0 +1,75 @@
+"""Unit tests for typed change requests."""
+
+import pytest
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.core.change import (
+    AddClause,
+    AddVariable,
+    ChangeSet,
+    RemoveClause,
+    RemoveVariable,
+)
+from repro.errors import ChangeError
+
+
+@pytest.fixture
+def f():
+    return CNFFormula([[1, 2], [-2, 3]])
+
+
+class TestSingleChanges:
+    def test_add_clause(self, f):
+        AddClause(Clause([1, 3])).apply(f)
+        assert f.num_clauses == 3
+
+    def test_remove_clause(self, f):
+        RemoveClause(Clause([1, 2])).apply(f)
+        assert f.num_clauses == 1
+
+    def test_add_variable(self, f):
+        AddVariable().apply(f)
+        assert 4 in f.variables
+
+    def test_remove_variable(self, f):
+        RemoveVariable(2).apply(f)
+        assert 2 not in f.variables
+
+    def test_tightening_flags(self):
+        assert AddClause(Clause([1])).tightening
+        assert RemoveVariable(1).tightening
+        assert not RemoveClause(Clause([1])).tightening
+        assert not AddVariable().tightening
+
+
+class TestChangeSet:
+    def test_apply_returns_copy(self, f):
+        cs = ChangeSet([AddClause(Clause([1, 3]))])
+        g = cs.apply_to(f)
+        assert g.num_clauses == 3 and f.num_clauses == 2
+
+    def test_loosening_only(self):
+        loose = ChangeSet([AddVariable(), RemoveClause(Clause([1, 2]))])
+        assert loose.is_loosening_only
+        tight = ChangeSet([AddVariable(), AddClause(Clause([1]))])
+        assert not tight.is_loosening_only
+        assert len(tight.tightening_changes) == 1
+
+    def test_emptying_clause_rejected(self):
+        f = CNFFormula([[1]])
+        cs = ChangeSet([RemoveVariable(1)])
+        with pytest.raises(ChangeError):
+            cs.apply_to(f)
+
+    def test_order_matters(self, f):
+        # Add a clause on v4, then remove v4 from it -> clause shrinks.
+        cs = ChangeSet([AddClause(Clause([4, 1])), RemoveVariable(4)])
+        g = cs.apply_to(f)
+        assert Clause([1]) in g.clauses
+
+    def test_builder_and_summary(self, f):
+        cs = ChangeSet().add(AddVariable()).add(AddClause(Clause([1])))
+        assert len(cs) == 2
+        assert "+var:1" in cs.summary() and "+clause:1" in cs.summary()
+        assert list(cs)  # iterable

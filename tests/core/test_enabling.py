@@ -1,0 +1,128 @@
+"""Unit tests for enabling EC (§5)."""
+
+import pytest
+
+from repro.cnf.analysis import flexibility_report
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.core.enabling import (
+    EnablingOptions,
+    build_enabling_encoding,
+    enable_ec,
+    support_variable_name,
+)
+from repro.errors import ECError
+
+
+class TestOptions:
+    def test_defaults(self):
+        o = EnablingOptions()
+        assert o.k == 2 and o.mode == "constraints" and o.support == "acyclic"
+
+    def test_bad_k(self):
+        with pytest.raises(ECError):
+            EnablingOptions(k=0)
+
+    def test_bad_mode(self):
+        with pytest.raises(ECError):
+            EnablingOptions(mode="soft")
+
+    def test_bad_support(self):
+        with pytest.raises(ECError):
+            EnablingOptions(support="psychic")
+
+
+class TestEncodingStructure:
+    def test_support_variables_created(self):
+        f = CNFFormula([[1, 2], [-1, 2]])
+        enc = build_enabling_encoding(f, EnablingOptions())
+        for lit in (1, 2, -1):
+            assert enc.model.has_var(support_variable_name(lit))
+
+    def test_objective_mode_has_achievement_vars(self):
+        f = CNFFormula([[1, 2, 3]])
+        enc = build_enabling_encoding(f, EnablingOptions(mode="objective"))
+        assert enc.model.has_var("S::0")
+
+    def test_constraint_mode_has_enable_rows(self):
+        f = CNFFormula([[1, 2, 3]])
+        enc = build_enabling_encoding(f, EnablingOptions(mode="constraints"))
+        assert any(c.name == "enable::0" for c in enc.model.constraints)
+
+    def test_unit_clause_blocks_support(self):
+        # comp literal in a unit clause can never flip-support anything.
+        f = CNFFormula([[1], [-1, 2]])
+        enc = build_enabling_encoding(f, EnablingOptions())
+        assert any(
+            c.name and c.name.startswith("Wblock::-1") for c in enc.model.constraints
+        )
+
+
+class TestSolvedFlexibility:
+    def test_objective_mode_improves_flexibility(self):
+        f, p = random_planted_ksat(12, 36, rng=21)
+        result = enable_ec(f, EnablingOptions(mode="objective"))
+        assert result.succeeded
+        enabled = flexibility_report(f, result.assignment)
+        plain = flexibility_report(f, p)
+        assert f.is_satisfied(result.assignment)
+        assert enabled.fraction_2_satisfied >= plain.fraction_2_satisfied - 0.15
+
+    def test_chained_constraints_feasible_on_dense(self):
+        f, _ = random_planted_ksat(12, 40, rng=2)
+        result = enable_ec(
+            f, EnablingOptions(mode="constraints", support="chained")
+        )
+        assert result.succeeded
+        assert f.is_satisfied(result.assignment)
+
+    def test_acyclic_constraints_raise_on_rigid(self):
+        # XOR group: provably no 2-satisfied-or-supported solution.
+        from repro.cnf.families import _xor_clauses
+
+        f = CNFFormula(_xor_clauses(1, 2, 3, True))
+        with pytest.raises(ECError):
+            enable_ec(f, EnablingOptions(mode="constraints", support="acyclic"))
+
+    def test_objective_mode_never_raises_on_rigid(self):
+        from repro.cnf.families import _xor_clauses
+
+        f = CNFFormula(_xor_clauses(1, 2, 3, True))
+        result = enable_ec(f, EnablingOptions(mode="objective", support="acyclic"))
+        assert result.succeeded
+        assert f.is_satisfied(result.assignment)
+
+    def test_acyclic_enabled_solution_is_robust(self):
+        # On a loose instance the constraint mode must produce a solution
+        # where every clause is 2-satisfied or one-flip repairable.
+        f = CNFFormula([[1, 2, 3], [2, 3, 4], [-1, 4, 5]], num_vars=5)
+        result = enable_ec(f, EnablingOptions(mode="constraints", support="acyclic"))
+        assert result.succeeded
+        rep = flexibility_report(f, result.assignment)
+        assert rep.min_level >= 1
+
+    def test_narrow_clause_exemption(self):
+        f = CNFFormula([[1], [1, 2, 3]])
+        result = enable_ec(
+            f, EnablingOptions(mode="constraints", support="chained")
+        )
+        assert result.succeeded  # unit clause exempted from the k=2 row
+
+    def test_narrow_exemption_disabled_infeasible(self):
+        f = CNFFormula([[1]])
+        with pytest.raises(ECError):
+            enable_ec(
+                f,
+                EnablingOptions(
+                    mode="constraints", exempt_narrow_clauses=False, support="chained"
+                ),
+            )
+
+    def test_flexibility_only_objective(self):
+        f, _ = random_planted_ksat(10, 25, rng=31)
+        result = enable_ec(
+            f,
+            EnablingOptions(mode="objective", keep_quality_objective=False),
+        )
+        assert result.succeeded
+        assert f.is_satisfied(result.assignment)

@@ -1,0 +1,161 @@
+"""Unit tests for fast EC (§6, Figure 2)."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.cnf.mutations import table2_trial
+from repro.core.fast import FastECInstance, fast_ec, simplify_instance
+
+
+class TestPaperFastExample:
+    """The §1 fast-EC walkthrough: F'' shrinks to 3 clauses over v2,v5,v6."""
+
+    @pytest.fixture
+    def formula(self):
+        # f1..f10 of the fast-EC example.
+        return CNFFormula(
+            [
+                [1, 2, 3],          # f1
+                [1, -2, -3, 4],     # f2
+                [1, 3, 6],          # f3
+                [1, 4, 5],          # f4
+                # f5: printed as (v1'+v3+v4); the prime on v3 is lost to
+                # OCR — with (v1'+v3'+v4) every §1 claim checks out.
+                [-1, -3, 4],
+                [2, -3, 5],         # f6
+                [2, -6],            # f7
+                [-2, 5],            # f8
+                [3, -4, 5],         # f9
+                [-3, 5],            # f10
+            ]
+        )
+
+    @pytest.fixture
+    def solution(self):
+        return Assignment({1: True, 2: True, 3: False, 4: False, 5: True, 6: False})
+
+    def test_original_satisfied(self, formula, solution):
+        assert formula.is_satisfied(solution)
+
+    def test_simplification_matches_paper(self, formula, solution):
+        modified = formula.copy()
+        modified.add_clause([-5, 6])      # f11
+        modified.add_clause([1, -3, 4])   # f12 (already satisfied)
+        inst = simplify_instance(modified, solution)
+        # Paper: F'' = (v5'+v6)(v2+v6')(v2'+v5) over v2, v5, v6.
+        assert set(inst.affected_variables) == {2, 5, 6}
+        assert inst.num_clauses == 3
+
+    def test_full_fast_ec_resolves(self, formula, solution):
+        modified = formula.copy()
+        modified.add_clause([-5, 6])
+        modified.add_clause([1, -3, 4])
+        result = fast_ec(modified, solution)
+        assert result.succeeded
+        assert modified.is_satisfied(result.assignment)
+        assert not result.fell_back
+        # Unaffected variables keep their original values.
+        for var in (1, 3, 4):
+            assert result.assignment[var] == solution[var]
+
+
+class TestSimplify:
+    def test_already_satisfied_noop(self, planted_small):
+        f, p = planted_small
+        inst = simplify_instance(f, p)
+        assert inst.already_satisfied
+        assert inst.num_vars == 0
+
+    def test_added_variable_is_dc(self, planted_small):
+        f, p = planted_small
+        g = f.copy()
+        g.add_variable()
+        inst = simplify_instance(g, p)
+        assert inst.already_satisfied
+
+    def test_deleted_clause_noop(self, planted_small):
+        f, p = planted_small
+        g = f.copy()
+        g.remove_clause_at(0)
+        assert simplify_instance(g, p).already_satisfied
+
+    def test_unsatisfied_clause_marked(self):
+        f = CNFFormula([[1, 2], [3, 4]])
+        p = Assignment({1: True, 2: False, 3: True, 4: False})
+        g = f.copy()
+        g.add_clause([-1, -3])  # unsatisfied under p
+        inst = simplify_instance(g, p)
+        assert not inst.already_satisfied
+        assert set(inst.affected_variables) >= {1, 3}
+
+    def test_outside_support_stops_growth(self):
+        # Clause (1 2): satisfied by v2 (outside V) -> not marked.
+        f = CNFFormula([[1, 2], [3]])
+        p = Assignment({1: True, 2: True, 3: True})
+        g = f.copy()
+        g.add_clause([-1])
+        inst = simplify_instance(g, p)
+        assert 2 not in inst.affected_variables
+        assert inst.num_clauses == 1  # only the new unit clause
+
+
+class TestFastEC:
+    def test_merge_preserves_unaffected(self, planted_medium):
+        f, p = planted_medium
+        modified, log = table2_trial(f, p, rng=17)
+        result = fast_ec(modified, p, time_limit=60)
+        assert result.succeeded
+        assert modified.is_satisfied(result.assignment)
+        untouched = set(modified.variables) - set(result.instance.affected_variables)
+        for var in untouched:
+            assert result.assignment[var] == p[var]
+
+    def test_unsat_without_fallback_returns_failure(self):
+        f = CNFFormula([[1, 2]])
+        p = Assignment({1: True, 2: False})
+        g = f.copy()
+        g.add_clause([-1])
+        g.add_clause([-2])
+        g.add_clause([1, 2])
+        result = fast_ec(g, p, allow_fallback=False)
+        # Local subproblem covers everything here and is UNSAT overall.
+        assert not result.succeeded
+
+    def test_unsat_instance_fails_even_with_fallback(self):
+        # The Figure-2 sub-instance is a subset of the modified clauses
+        # over their own variables, so a sub-UNSAT verdict implies the
+        # whole modified instance is UNSAT; the fallback full solve must
+        # agree and the result reports failure.
+        f = CNFFormula([[1, 2], [1, -2]])
+        p = Assignment({1: True, 2: True})
+        g = f.copy()
+        g.add_clause([-1])
+        g.add_clause([2, -1])
+        g.add_clause([-2])
+        result = fast_ec(g, p, allow_fallback=True)
+        assert not result.succeeded
+        assert result.fell_back
+
+    def test_recover_flexibility_unassigns_dcs(self):
+        f = CNFFormula([[1, 2]], num_vars=3)
+        p = Assignment({1: True, 2: True, 3: True})
+        result = fast_ec(f, p, recover_flexibility=True)
+        assert result.succeeded
+        # v3 occurs nowhere; at least it must be recovered as DC.
+        assert 3 not in result.assignment
+
+    def test_heuristic_subsolver(self, planted_medium):
+        f, p = planted_medium
+        modified, _ = table2_trial(f, p, rng=23)
+        result = fast_ec(modified, p, method="heuristic", seed=4)
+        assert result.succeeded
+        assert modified.is_satisfied(result.assignment)
+
+
+class TestFastECInstance:
+    def test_shape_properties(self):
+        inst = FastECInstance(CNFFormula([[1, 2]]), (1, 2), (0,))
+        assert inst.num_vars == 2 and inst.num_clauses == 1

@@ -1,0 +1,66 @@
+"""Focused tests for fast EC's flexibility-recovery path (§6 first half).
+
+"When clauses are deleted, the idea is to increase the enabling of the
+problem such that the next EC can be easily and properly handled.  We can
+increase the EC flexibility of the problem in two ways.  First, we try
+and recover as many DC variables from the initial solution as possible."
+"""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.core.fast import _recover_dont_cares, fast_ec
+
+
+class TestRecoverDontCares:
+    def test_redundantly_assigned_variable_freed(self):
+        # Clause (1 2) with both true: one of them can become DC.
+        f = CNFFormula([[1, 2]])
+        a = Assignment({1: True, 2: True})
+        out = _recover_dont_cares(f, a)
+        assert len(out) == 1
+        # The remaining partial assignment still satisfies every clause.
+        assert f.is_satisfied(out)
+
+    def test_sole_satisfier_kept(self):
+        f = CNFFormula([[1, 2]])
+        a = Assignment({1: True, 2: False})
+        out = _recover_dont_cares(f, a)
+        assert out.get(1) is True  # v1 is the only satisfier
+
+    def test_deterministic_order(self):
+        f = CNFFormula([[1, 2], [2, 3]])
+        a = Assignment({1: True, 2: True, 3: True})
+        out1 = _recover_dont_cares(f, a)
+        out2 = _recover_dont_cares(f, a)
+        assert out1 == out2
+
+    def test_unassigned_variables_skipped(self):
+        f = CNFFormula([[1, 2]], num_vars=3)
+        a = Assignment({1: True, 2: True})  # v3 already DC
+        out = _recover_dont_cares(f, a)
+        assert 3 not in out
+
+
+class TestClauseDeletionRecovery:
+    def test_deletion_then_recovery_increases_dcs(self):
+        # After deleting a clause, its sole satisfier can be recovered.
+        f = CNFFormula([[1, 2], [3]])
+        a = Assignment({1: True, 2: False, 3: True})
+        g = f.copy()
+        g.remove_clause([3])
+        result = fast_ec(g, a, recover_flexibility=True)
+        assert result.succeeded
+        assert 3 not in result.assignment  # v3 recovered as don't care
+        assert g.is_satisfied(result.assignment)
+
+    def test_recovered_solution_still_satisfies(self, planted_small):
+        f, p = planted_small
+        g = f.copy()
+        for _ in range(10):
+            g.remove_clause_at(0)
+        result = fast_ec(g, p, recover_flexibility=True)
+        assert result.succeeded
+        assert g.is_satisfied(result.assignment)
+        assert len(result.assignment) <= len(p)

@@ -1,0 +1,39 @@
+"""Unit tests for EC metrics."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.core.metrics import ECComparison, compare_flexibility, preserved_fraction
+
+
+class TestPreservedFraction:
+    def test_full_agreement(self):
+        a = Assignment({1: True, 2: False})
+        assert preserved_fraction(a, a.copy()) == 1.0
+
+    def test_partial(self):
+        a = Assignment({1: True, 2: False})
+        b = Assignment({1: True, 2: True})
+        assert preserved_fraction(a, b) == pytest.approx(0.5)
+
+    def test_restricted_to_formula(self):
+        f = CNFFormula([[1, 2]])
+        a = Assignment({1: True, 2: False, 9: True})  # v9 eliminated
+        b = Assignment({1: True, 2: False})
+        assert preserved_fraction(a, b, over=f) == 1.0
+
+    def test_empty_reference(self):
+        assert preserved_fraction(Assignment({}), Assignment({1: True})) == 1.0
+
+
+class TestCompareFlexibility:
+    def test_gains(self, paper_formula, paper_solution_s, paper_solution_e):
+        cmp = compare_flexibility(paper_formula, paper_solution_s, paper_solution_e)
+        assert isinstance(cmp, ECComparison)
+        assert cmp.robustness_gain > 0  # E is strictly more robust than S
+
+    def test_self_comparison_zero_gain(self, paper_formula, paper_solution_e):
+        cmp = compare_flexibility(paper_formula, paper_solution_e, paper_solution_e)
+        assert cmp.flexibility_gain == pytest.approx(0.0)
+        assert cmp.robustness_gain == pytest.approx(0.0)

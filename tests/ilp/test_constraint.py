@@ -1,0 +1,71 @@
+"""Unit tests for linear constraints."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.constraint import Constraint, Sense
+from repro.ilp.expr import LinExpr
+
+
+class TestSense:
+    def test_holds_le(self):
+        assert Sense.LE.holds(1.0, 2.0)
+        assert Sense.LE.holds(2.0, 2.0)
+        assert not Sense.LE.holds(2.1, 2.0)
+
+    def test_holds_ge(self):
+        assert Sense.GE.holds(3.0, 2.0)
+        assert not Sense.GE.holds(1.9, 2.0)
+
+    def test_holds_eq_with_tolerance(self):
+        assert Sense.EQ.holds(2.0 + 1e-12, 2.0)
+        assert not Sense.EQ.holds(2.1, 2.0)
+
+
+class TestNormalForm:
+    def test_constants_folded(self):
+        con = Constraint.from_sides(LinExpr({"x": 1.0}, 3.0), 5.0, Sense.LE)
+        assert con.terms == {"x": 1.0} and con.rhs == 2.0
+
+    def test_variables_collected_from_both_sides(self):
+        lhs = LinExpr({"x": 1.0})
+        rhs = LinExpr({"y": 2.0}, 1.0)
+        con = Constraint.from_sides(lhs, rhs, Sense.GE)
+        assert con.terms == {"x": 1.0, "y": -2.0}
+        assert con.rhs == 1.0
+
+    def test_no_variable_rejected(self):
+        with pytest.raises(ModelError):
+            Constraint.from_sides(LinExpr(constant=1.0), 2.0, Sense.LE)
+
+
+class TestEvaluation:
+    @pytest.fixture
+    def con(self):
+        return Constraint({"x": 2.0, "y": -1.0}, Sense.LE, 3.0)
+
+    def test_evaluate(self, con):
+        assert con.evaluate({"x": 2.0, "y": 1.0}) == 3.0
+
+    def test_is_satisfied(self, con):
+        assert con.is_satisfied({"x": 1.0, "y": 0.0})
+        assert not con.is_satisfied({"x": 3.0, "y": 0.0})
+
+    def test_violation_le(self, con):
+        assert con.violation({"x": 3.0, "y": 0.0}) == pytest.approx(3.0)
+        assert con.violation({"x": 0.0, "y": 0.0}) == 0.0
+
+    def test_violation_ge(self):
+        con = Constraint({"x": 1.0}, Sense.GE, 2.0)
+        assert con.violation({"x": 0.5}) == pytest.approx(1.5)
+
+    def test_violation_eq(self):
+        con = Constraint({"x": 1.0}, Sense.EQ, 2.0)
+        assert con.violation({"x": 3.5}) == pytest.approx(1.5)
+        assert con.violation({"x": 0.5}) == pytest.approx(1.5)
+
+    def test_variables_sorted(self, con):
+        assert con.variables() == ("x", "y")
+
+    def test_repr_contains_sense(self, con):
+        assert "<=" in repr(con)

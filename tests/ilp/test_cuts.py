@@ -1,0 +1,90 @@
+"""Unit tests for cutting planes."""
+
+import pytest
+
+from repro.ilp.cuts import (
+    clique_cuts,
+    conflict_graph,
+    knapsack_cover_cuts,
+    strengthen_with_cuts,
+)
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import ILPModel
+
+
+class TestCoverCuts:
+    def test_violated_cover_found(self):
+        m = ILPModel()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint(3 * xs[0] + 3 * xs[1] + 3 * xs[2] <= 5)
+        m.set_objective(LinExpr.sum(xs), "max")
+        # LP point (0.8, 0.8, 0) violates x0 + x1 <= 1 (cover {0, 1}).
+        cuts = knapsack_cover_cuts(m, {"x0": 0.8, "x1": 0.8, "x2": 0.0})
+        assert cuts, "expected a violated cover cut"
+        cut = cuts[0]
+        assert cut.rhs == pytest.approx(1.0)
+
+    def test_satisfied_point_yields_nothing(self):
+        m = ILPModel()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint(3 * xs[0] + 3 * xs[1] + 3 * xs[2] <= 5)
+        m.set_objective(LinExpr.sum(xs), "max")
+        assert not knapsack_cover_cuts(m, {"x0": 0.5, "x1": 0.5, "x2": 0.0})
+
+    def test_rows_with_negative_coefs_skipped(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x - y <= 0)
+        m.set_objective(x + 0, "max")
+        assert not knapsack_cover_cuts(m, {"x": 1.0, "y": 0.0})
+
+
+class TestCliqueCuts:
+    def _pairwise_model(self, n):
+        m = ILPModel()
+        xs = [m.add_binary(f"x{i}") for i in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                m.add_constraint(xs[i] + xs[j] <= 1)
+        m.set_objective(LinExpr.sum(xs), "max")
+        return m
+
+    def test_conflict_graph_edges(self):
+        m = self._pairwise_model(4)
+        g = conflict_graph(m)
+        assert g.number_of_edges() == 6
+
+    def test_violated_clique_found(self):
+        m = self._pairwise_model(3)
+        # LP point (0.5, 0.5, 0.5) sums to 1.5 > 1 over the triangle.
+        cuts = clique_cuts(m, {"x0": 0.5, "x1": 0.5, "x2": 0.5})
+        assert cuts
+        assert cuts[0].rhs == pytest.approx(1.0)
+        assert len(cuts[0].terms) == 3
+
+    def test_integral_point_yields_nothing(self):
+        m = self._pairwise_model(3)
+        assert not clique_cuts(m, {"x0": 1.0, "x1": 0.0, "x2": 0.0})
+
+
+class TestStrengthen:
+    def test_strengthen_tightens_lp_bound(self):
+        m = ILPModel()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                m.add_constraint(xs[i] + xs[j] <= 1)
+        m.set_objective(LinExpr.sum(xs), "max")
+        strengthened, added = strengthen_with_cuts(m)
+        assert added >= 1
+        assert strengthened.num_constraints > m.num_constraints
+        # The clique cut caps the LP relaxation at the true optimum 1.
+        from repro.ilp.lp_backend import SimplexBackend
+
+        a_ub, b_ub, a_eq, b_eq = strengthened.constraint_matrices()
+        res = SimplexBackend().solve(
+            -strengthened.objective_vector(), a_ub, b_ub, a_eq, b_eq,
+            strengthened.bounds(),
+        )
+        assert -res.objective == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,124 @@
+"""Unit tests for linear expressions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.constraint import Constraint, Sense
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import ILPModel
+
+
+@pytest.fixture
+def xy():
+    m = ILPModel()
+    return m.add_binary("x"), m.add_binary("y")
+
+
+class TestArithmetic:
+    def test_add_variables(self, xy):
+        x, y = xy
+        e = x + y
+        assert e.terms == {"x": 1.0, "y": 1.0}
+
+    def test_scalar_multiply(self, xy):
+        x, _ = xy
+        e = 3 * x
+        assert e.terms == {"x": 3.0}
+        assert (x * 3).terms == {"x": 3.0}
+
+    def test_subtract_cancels(self, xy):
+        x, y = xy
+        e = (x + y) - y
+        assert e.terms == {"x": 1.0}
+
+    def test_constants_fold(self, xy):
+        x, _ = xy
+        e = x + 2 - 5
+        assert e.constant == -3.0
+
+    def test_negation(self, xy):
+        x, y = xy
+        e = -(x - y + 1)
+        assert e.terms == {"x": -1.0, "y": 1.0} and e.constant == -1.0
+
+    def test_division(self, xy):
+        x, _ = xy
+        assert ((2 * x) / 2).terms == {"x": 1.0}
+
+    def test_divide_by_zero(self, xy):
+        x, _ = xy
+        with pytest.raises(ModelError):
+            x / 0
+
+    def test_nonlinear_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(ModelError):
+            x.to_expr() * y.to_expr()  # type: ignore[operator]
+
+    def test_rsub(self, xy):
+        x, _ = xy
+        e = 5 - x
+        assert e.terms == {"x": -1.0} and e.constant == 5.0
+
+    def test_sum_helper(self, xy):
+        x, y = xy
+        e = LinExpr.sum([x, y, 2 * x, 3])
+        assert e.terms == {"x": 3.0, "y": 1.0} and e.constant == 3.0
+
+    def test_zero_coefficient_dropped(self, xy):
+        x, _ = xy
+        e = x - x
+        assert e.terms == {}
+        assert e.is_constant()
+
+
+class TestComparisons:
+    def test_le_builds_constraint(self, xy):
+        x, y = xy
+        con = x + y <= 1
+        assert isinstance(con, Constraint)
+        assert con.sense is Sense.LE and con.rhs == 1.0
+
+    def test_ge(self, xy):
+        x, y = xy
+        con = x + y >= 1
+        assert con.sense is Sense.GE
+
+    def test_eq(self, xy):
+        x, y = xy
+        con = (x + y).__eq__(1)
+        assert con.sense is Sense.EQ
+
+    def test_constant_folded_to_rhs(self, xy):
+        x, _ = xy
+        con = x + 3 <= 5
+        assert con.rhs == 2.0 and con.terms == {"x": 1.0}
+
+    def test_variables_on_both_sides(self, xy):
+        x, y = xy
+        con = x <= y
+        assert con.terms == {"x": 1.0, "y": -1.0} and con.rhs == 0.0
+
+    def test_constraint_with_no_variables_rejected(self):
+        with pytest.raises(ModelError):
+            LinExpr(constant=1.0) <= 2
+
+
+class TestEvaluation:
+    def test_evaluate(self, xy):
+        x, y = xy
+        e = 2 * x + y - 1
+        assert e.evaluate({"x": 1.0, "y": 0.0}) == 1.0
+
+    def test_missing_value(self, xy):
+        x, _ = xy
+        with pytest.raises(ModelError):
+            (x + 0).evaluate({})
+
+    def test_variables_sorted(self, xy):
+        x, y = xy
+        assert (y + x).variables() == ("x", "y")
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(ModelError):
+            LinExpr.coerce("x")

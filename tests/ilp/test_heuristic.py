@@ -1,0 +1,79 @@
+"""Unit tests for the iterative-improvement heuristic ILP solver."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.expr import LinExpr
+from repro.ilp.heuristic import HeuristicILPSolver
+from repro.ilp.model import ILPModel
+from repro.ilp.status import SolveStatus
+from repro.sat.encoding import encode_sat
+
+
+class TestBasics:
+    def test_finds_feasible(self):
+        m = ILPModel()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add_constraint(LinExpr.sum(xs) >= 3)
+        m.add_constraint(LinExpr.sum(xs) <= 4)
+        m.set_objective(LinExpr.sum(xs), "max")
+        sol = HeuristicILPSolver(seed=1).solve(m)
+        assert sol.status is SolveStatus.FEASIBLE
+        assert m.is_feasible(sol.values)
+
+    def test_objective_improvement(self):
+        # Feasible region: any point; heuristic should climb to all-ones.
+        m = ILPModel()
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        m.add_constraint(LinExpr.sum(xs) >= 0)
+        m.set_objective(LinExpr.sum(xs), "max")
+        sol = HeuristicILPSolver(seed=2, max_restarts=3).solve(m)
+        assert sol.objective == pytest.approx(5.0)
+
+    def test_rejects_non_binary(self):
+        m = ILPModel()
+        m.add_integer("k", 0, 9)
+        m.set_objective(m.var("k") + 0, "max")
+        with pytest.raises(ModelError):
+            HeuristicILPSolver().solve(m)
+
+    def test_gives_up_on_infeasible(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        m.add_constraint(x + 0 >= 1)
+        m.add_constraint(x + 0 <= 0)
+        m.set_objective(x + 0, "max")
+        sol = HeuristicILPSolver(max_flips=300, max_restarts=2, seed=0).solve(m)
+        assert sol.status is SolveStatus.NODE_LIMIT
+
+    def test_deterministic_given_seed(self):
+        m = ILPModel()
+        xs = [m.add_binary(f"x{i}") for i in range(8)]
+        m.add_constraint(LinExpr.sum(xs) >= 4)
+        m.set_objective(LinExpr.sum(xs), "min")
+        a = HeuristicILPSolver(seed=7).solve(m)
+        b = HeuristicILPSolver(seed=7).solve(m)
+        assert a.values == b.values
+
+
+class TestOnSATEncodings:
+    def test_solves_planted_sat(self, planted_medium):
+        f, p = planted_medium
+        enc = encode_sat(f)
+        sol = HeuristicILPSolver(
+            seed=3, max_flips=50_000, max_restarts=3, stop_on_first_feasible=True
+        ).solve(enc.model)
+        assert sol.status is SolveStatus.FEASIBLE
+        a = enc.decode(sol, default=False)
+        assert f.is_satisfied(a)
+
+    def test_warm_start_speeds_convergence(self, planted_medium):
+        f, p = planted_medium
+        enc = encode_sat(f)
+        warm = enc.values_from_assignment(p)
+        sol = HeuristicILPSolver(seed=3, stop_on_first_feasible=True).solve(
+            enc.model, warm_start=warm
+        )
+        assert sol.status is SolveStatus.FEASIBLE
+        # Warm-started from a satisfying assignment: no repair moves needed.
+        assert sol.stats.heuristic_moves <= enc.model.num_vars

@@ -1,0 +1,71 @@
+"""Unit tests for the LP backend abstraction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ilp.lp_backend import (
+    ScipyBackend,
+    SimplexBackend,
+    SIMPLEX_SIZE_LIMIT,
+    default_backend,
+)
+from repro.ilp.status import SolveStatus
+
+
+@pytest.fixture(params=[SimplexBackend(), ScipyBackend()], ids=["simplex", "scipy"])
+def backend(request):
+    return request.param
+
+
+class TestBackendsUniformly:
+    def test_simple_lp(self, backend):
+        res = backend.solve(
+            np.array([-1.0, -1.0]),
+            np.array([[1.0, 2.0], [3.0, 1.0]]),
+            np.array([4.0, 6.0]),
+            None,
+            None,
+            [(0, 10), (0, 10)],
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-2.8)
+
+    def test_sparse_input(self, backend):
+        a = sp.csr_matrix(np.array([[1.0, 1.0]]))
+        res = backend.solve(
+            np.array([1.0, 1.0]), a, np.array([1.0]), None, None, [(0, 1), (0, 1)]
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(0.0)
+
+    def test_infeasible(self, backend):
+        res = backend.solve(
+            np.array([1.0]),
+            np.array([[1.0], [-1.0]]),
+            np.array([0.0, -2.0]),  # x <= 0 and x >= 2
+            None,
+            None,
+            [(0, 5)],
+        )
+        assert res.status is SolveStatus.INFEASIBLE
+
+    def test_empty_inequalities(self, backend):
+        res = backend.solve(
+            np.array([1.0]),
+            sp.csr_matrix((0, 1)),
+            np.zeros(0),
+            None,
+            None,
+            [(2, 5)],
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(2.0)
+
+
+class TestDefaultBackend:
+    def test_small_uses_simplex(self):
+        assert default_backend(10, 10).name == "simplex"
+
+    def test_large_uses_scipy(self):
+        assert default_backend(1000, SIMPLEX_SIZE_LIMIT).name == "scipy-highs"

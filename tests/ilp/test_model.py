@@ -1,0 +1,121 @@
+"""Unit tests for the ILP model container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.constraint import Sense
+from repro.ilp.model import ILPModel
+from repro.ilp.variable import VarType
+
+
+@pytest.fixture
+def model():
+    m = ILPModel("t")
+    x = m.add_binary("x")
+    y = m.add_binary("y")
+    z = m.add_continuous("z", 0, 4)
+    m.add_constraint(x + y <= 1, name="pack")
+    m.add_constraint(x + z >= 1)
+    m.add_constraint((y + z).__eq__(2), name="bal")
+    m.set_objective(x + 2 * y + 0.5 * z, "max")
+    return m
+
+
+class TestVariables:
+    def test_duplicate_name_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_binary("x")
+
+    def test_lookup(self, model):
+        assert model.var("x").vartype is VarType.BINARY
+        with pytest.raises(ModelError):
+            model.var("nope")
+
+    def test_bad_bounds(self):
+        m = ILPModel()
+        with pytest.raises(ModelError):
+            m.add_var("w", VarType.CONTINUOUS, 3, 1)
+
+    def test_binary_bounds_enforced(self):
+        m = ILPModel()
+        with pytest.raises(ModelError):
+            m.add_var("w", VarType.BINARY, 0, 2)
+
+    def test_add_binaries(self):
+        m = ILPModel()
+        vs = m.add_binaries(["a", "b", "c"])
+        assert [v.index for v in vs] == [0, 1, 2]
+
+    def test_integer_mask(self, model):
+        assert model.integer_mask().tolist() == [True, True, False]
+
+
+class TestConstraints:
+    def test_unknown_variable_rejected(self, model):
+        from repro.ilp.constraint import Constraint
+
+        with pytest.raises(ModelError):
+            model.add_constraint(Constraint({"ghost": 1.0}, Sense.LE, 1.0))
+
+    def test_auto_naming(self, model):
+        names = [c.name for c in model.constraints]
+        assert names[0] == "pack" and names[2] == "bal"
+
+    def test_matrices_shapes(self, model):
+        a_ub, b_ub, a_eq, b_eq = model.constraint_matrices()
+        assert a_ub.shape == (2, 3)   # LE row + flipped GE row
+        assert a_eq.shape == (1, 3)
+        assert b_ub.shape == (2,) and b_eq.shape == (1,)
+
+    def test_ge_rows_negated(self, model):
+        a_ub, b_ub, _, _ = model.constraint_matrices()
+        # second ub row is -(x + z) <= -1
+        row = a_ub.toarray()[1]
+        assert row[model.var("x").index] == -1.0
+        assert b_ub[1] == -1.0
+
+
+class TestObjective:
+    def test_vector(self, model):
+        np.testing.assert_allclose(model.objective_vector(), [1.0, 2.0, 0.5])
+
+    def test_bad_sense(self, model):
+        with pytest.raises(ModelError):
+            model.set_objective(model.var("x") + 0, "upward")
+
+    def test_unknown_objective_variable(self, model):
+        from repro.ilp.expr import LinExpr
+
+        with pytest.raises(ModelError):
+            model.set_objective(LinExpr({"ghost": 1.0}), "max")
+
+    def test_objective_value(self, model):
+        assert model.objective_value({"x": 1, "y": 0, "z": 2}) == 2.0
+
+
+class TestFeasibility:
+    def test_feasible_point(self, model):
+        assert model.is_feasible({"x": 0, "y": 1, "z": 1})
+
+    def test_violated_constraints(self, model):
+        bad = model.violated_constraints({"x": 1, "y": 1, "z": 1})
+        assert any(c.name == "pack" for c in bad)
+
+    def test_bounds_checked(self, model):
+        assert not model.is_feasible({"x": 0, "y": 1, "z": 9})
+
+    def test_integrality_checked(self, model):
+        assert not model.is_feasible({"x": 0.5, "y": 0.5, "z": 1.5})
+
+    def test_missing_value_infeasible(self, model):
+        assert not model.is_feasible({"x": 0, "y": 1})
+
+
+class TestCopy:
+    def test_copy_independent(self, model):
+        c = model.copy()
+        c.add_binary("w")
+        assert model.num_vars == 3 and c.num_vars == 4
+        assert c.sense == model.sense
+        assert c.num_constraints == model.num_constraints

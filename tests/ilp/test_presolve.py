@@ -1,0 +1,113 @@
+"""Unit tests for the 0-1 presolve reductions."""
+
+import pytest
+
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import ILPModel
+from repro.ilp.presolve import presolve
+from repro.ilp.status import SolveStatus
+
+
+class TestRedundancyAndInfeasibility:
+    def test_redundant_row_dropped(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y <= 5)  # never binding on binaries
+        m.set_objective(x + y, "max")
+        res = presolve(m)
+        assert res.status is SolveStatus.FEASIBLE
+        assert res.model.num_constraints == 0
+        assert res.dropped_rows >= 1
+
+    def test_infeasible_le(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        m.add_constraint(x + 0 <= -1)
+        m.set_objective(x + 0, "max")
+        assert presolve(m).status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_ge(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y >= 3)
+        m.set_objective(x + 0, "max")
+        assert presolve(m).status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_eq(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        m.add_constraint((2 * x).__eq__(5.0))
+        m.set_objective(x + 0, "max")
+        # max activity is 2 < 5
+        assert presolve(m).status is SolveStatus.INFEASIBLE
+
+
+class TestForcing:
+    def test_forcing_ge_fixes_all(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y >= 2)  # only (1, 1) works
+        m.set_objective(x + y, "max")
+        res = presolve(m)
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.fixed == {"x": 1.0, "y": 1.0}
+
+    def test_forcing_le_fixes_all(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y <= 0)
+        m.set_objective(x + y, "max")
+        res = presolve(m)
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.fixed == {"x": 0.0, "y": 0.0}
+
+    def test_unit_propagation_chain(self):
+        # x >= 1 forces x; then y + (1-x) >= 2 forces nothing... use a
+        # simple chain: x == 1, x + y <= 1 -> y = 0.
+        m = ILPModel()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + 0 >= 1)
+        m.add_constraint(x + y <= 1)
+        m.set_objective(y + 0, "max")
+        res = presolve(m)
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.fixed == {"x": 1.0, "y": 0.0}
+
+
+class TestSingleton:
+    def test_singleton_tightens_integer_bound(self):
+        m = ILPModel()
+        k = m.add_integer("k", 0, 10)
+        m.add_constraint(2 * k <= 7)   # k <= 3.5 -> k <= 3
+        m.set_objective(k + 0, "max")
+        res = presolve(m)
+        assert res.status is SolveStatus.FEASIBLE
+        assert res.model.var("k").ub == pytest.approx(3.0)
+
+    def test_singleton_infeasible(self):
+        m = ILPModel()
+        k = m.add_integer("k", 0, 3)
+        m.add_constraint(k + 0 >= 9)
+        m.set_objective(k + 0, "max")
+        assert presolve(m).status is SolveStatus.INFEASIBLE
+
+
+class TestLift:
+    def test_lift_combines(self):
+        m = ILPModel()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        z = m.add_binary("z")
+        m.add_constraint(x + 0 >= 1)          # forces x = 1
+        m.add_constraint(y + z >= 1)          # stays
+        m.set_objective(y + z, "max")
+        res = presolve(m)
+        assert res.status is SolveStatus.FEASIBLE
+        assert res.fixed == {"x": 1.0}
+        lifted = res.lift({"y": 1.0, "z": 0.0})
+        assert lifted == {"x": 1.0, "y": 1.0, "z": 0.0}

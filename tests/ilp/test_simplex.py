@@ -1,0 +1,99 @@
+"""Unit tests for the from-scratch two-phase simplex LP solver."""
+
+import numpy as np
+import pytest
+
+from repro.ilp.simplex import simplex_solve
+from repro.ilp.status import SolveStatus
+
+
+class TestBasicLPs:
+    def test_textbook_max(self):
+        # max x + y st x + 2y <= 4, 3x + y <= 6 -> (1.6, 1.2), obj 2.8
+        r = simplex_solve(
+            [1, 1], [[1, 2], [3, 1]], [4, 6], bounds=[(0, 10), (0, 10)], maximize=True
+        )
+        assert r.status is SolveStatus.OPTIMAL
+        np.testing.assert_allclose(r.x, [1.6, 1.2], atol=1e-8)
+        assert r.objective == pytest.approx(2.8)
+
+    def test_minimization(self):
+        # min x + y st x + y >= 2 (as -x - y <= -2)
+        r = simplex_solve([1, 1], [[-1, -1]], [-2], bounds=[(0, 5), (0, 5)])
+        assert r.status is SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(2.0)
+
+    def test_equality_constraint(self):
+        r = simplex_solve(
+            [1, 2], None, None, [[1, 1]], [3], bounds=[(0, 5), (0, 5)]
+        )
+        assert r.status is SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(3.0)  # min -> x=3, y=0
+
+    def test_lower_bound_shift(self):
+        # min x with x >= 2 via bounds
+        r = simplex_solve([1.0], None, None, None, None, bounds=[(2, 10)])
+        assert r.status is SolveStatus.OPTIMAL
+        assert r.x[0] == pytest.approx(2.0)
+
+    def test_negative_rhs_normalization(self):
+        # x <= -1 with x in [-5, 5]: feasible, optimum at boundary.
+        r = simplex_solve([1.0], [[1.0]], [-1.0], bounds=[(-5, 5)])
+        assert r.status is SolveStatus.OPTIMAL
+        assert r.x[0] == pytest.approx(-5.0)
+
+
+class TestDegenerateOutcomes:
+    def test_infeasible(self):
+        r = simplex_solve([1, 1], [[1, 1], [-1, -1]], [1, -3], bounds=[(0, 5)] * 2)
+        assert r.status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_bounds(self):
+        r = simplex_solve([1.0], bounds=[(3, 1)])
+        assert r.status is SolveStatus.INFEASIBLE
+
+    def test_boxed_problems_never_unbounded(self):
+        # All-variable boxes mean maximization saturates at upper bounds.
+        r = simplex_solve([1, 1], None, None, bounds=[(0, 7), (0, 9)], maximize=True)
+        assert r.status is SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(16.0)
+
+    def test_empty_constraint_systems(self):
+        r = simplex_solve([2.0], bounds=[(0, 3)], maximize=True)
+        assert r.objective == pytest.approx(6.0)
+
+
+class TestCrossCheckAgainstScipy:
+    """Random LPs: our simplex must agree with HiGHS."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_lp_agreement(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n, m = 6, 8
+        c = rng.normal(size=n)
+        a = rng.normal(size=(m, n))
+        b = rng.uniform(0.5, 3.0, size=m)
+        bounds = [(0.0, 1.0)] * n
+        ours = simplex_solve(c, a, b, bounds=bounds)
+        ref = linprog(c, A_ub=a, b_ub=b, bounds=bounds, method="highs")
+        assert ours.status is SolveStatus.OPTIMAL
+        assert ref.status == 0
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_lp_with_equalities(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(100 + seed)
+        n = 5
+        c = rng.normal(size=n)
+        a_eq = rng.normal(size=(2, n))
+        x_feas = rng.uniform(0.1, 0.9, size=n)
+        b_eq = a_eq @ x_feas  # guarantees feasibility
+        bounds = [(0.0, 1.0)] * n
+        ours = simplex_solve(c, None, None, a_eq, b_eq, bounds=bounds)
+        ref = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+        assert ours.status is SolveStatus.OPTIMAL and ref.status == 0
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)

@@ -1,0 +1,87 @@
+"""Unit tests for the solve() facade, Solution and SolveStatus."""
+
+import pytest
+
+from repro.errors import ILPError, ModelError
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import ILPModel
+from repro.ilp.solution import Solution, SolveStats
+from repro.ilp.solver import AUTO_HEURISTIC_VARS, solve
+from repro.ilp.status import SolveStatus
+
+
+@pytest.fixture
+def model():
+    m = ILPModel()
+    x = m.add_binary("x")
+    y = m.add_binary("y")
+    m.add_constraint(x + y >= 1)
+    m.set_objective(x + 2 * y, "max")
+    return m
+
+
+class TestFacade:
+    def test_exact(self, model):
+        sol = solve(model, method="exact")
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_heuristic(self, model):
+        sol = solve(model, method="heuristic", seed=1)
+        assert sol.status is SolveStatus.FEASIBLE
+        assert model.is_feasible(sol.values)
+
+    def test_auto_small_is_exact(self, model):
+        sol = solve(model, method="auto")
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_auto_threshold_constant(self):
+        assert AUTO_HEURISTIC_VARS >= 1000
+
+    def test_unknown_method(self, model):
+        with pytest.raises(ModelError):
+            solve(model, method="magic")
+
+    def test_options_forwarded(self, model):
+        sol = solve(model, method="exact", node_limit=5)
+        assert sol.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+class TestSolutionObject:
+    def test_value_accessors(self, model):
+        sol = solve(model)
+        assert sol.value("y") == pytest.approx(1.0)
+        assert sol.rounded(model.var("y")) == 1
+
+    def test_no_solution_raises(self):
+        sol = Solution(SolveStatus.INFEASIBLE)
+        with pytest.raises(ILPError):
+            sol.value("x")
+
+    def test_unknown_variable_raises(self, model):
+        sol = solve(model)
+        with pytest.raises(ILPError):
+            sol.value("ghost")
+
+    def test_binary_support(self, model):
+        sol = solve(model)
+        assert "y" in sol.binary_support()
+
+    def test_stats_merge(self):
+        a = SolveStats(nodes=2, lp_solves=3)
+        b = SolveStats(nodes=5, lp_solves=1, cuts_added=2)
+        a.merge(b)
+        assert a.nodes == 7 and a.lp_solves == 4 and a.cuts_added == 2
+
+
+class TestStatusProperties:
+    def test_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.NODE_LIMIT.has_solution
+
+    def test_is_proven(self):
+        assert SolveStatus.OPTIMAL.is_proven
+        assert SolveStatus.INFEASIBLE.is_proven
+        assert not SolveStatus.FEASIBLE.is_proven

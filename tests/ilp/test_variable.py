@@ -1,0 +1,67 @@
+"""Unit tests for decision variables."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.constraint import Constraint, Sense
+from repro.ilp.expr import LinExpr
+from repro.ilp.variable import VarType, Variable
+
+
+class TestConstruction:
+    def test_defaults_are_binary(self):
+        v = Variable("x")
+        assert v.vartype is VarType.BINARY
+        assert (v.lb, v.ub) == (0.0, 1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ModelError):
+            Variable(7)  # type: ignore[arg-type]
+
+    def test_nan_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("x", VarType.CONTINUOUS, float("nan"), 1.0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("x", VarType.CONTINUOUS, 2.0, 1.0)
+
+    def test_is_integer(self):
+        assert Variable("x", VarType.BINARY).is_integer
+        assert Variable("y", VarType.INTEGER, 0, 9).is_integer
+        assert not Variable("z", VarType.CONTINUOUS, 0, 9).is_integer
+
+
+class TestArithmetic:
+    def test_add_and_scale(self):
+        x, y = Variable("x"), Variable("y")
+        e = 2 * x + y - 1
+        assert isinstance(e, LinExpr)
+        assert e.terms == {"x": 2.0, "y": 1.0}
+        assert e.constant == -1.0
+
+    def test_rsub(self):
+        x = Variable("x")
+        e = 3 - x
+        assert e.terms == {"x": -1.0} and e.constant == 3.0
+
+    def test_negation_and_division(self):
+        x = Variable("x")
+        assert (-x).terms == {"x": -1.0}
+        assert (x / 4).terms == {"x": 0.25}
+
+    def test_comparisons_build_constraints(self):
+        x, y = Variable("x"), Variable("y")
+        le = x <= 1
+        ge = x + y >= 1
+        assert isinstance(le, Constraint) and le.sense is Sense.LE
+        assert isinstance(ge, Constraint) and ge.sense is Sense.GE
+
+    def test_identity_hashable(self):
+        x, x2 = Variable("x"), Variable("x")
+        s = {x, x2}
+        assert len(s) == 2  # identity semantics, not name equality

@@ -1,0 +1,94 @@
+"""End-to-end integration tests across all layers.
+
+These tests walk the paper's full story on real (small) instances:
+generate a benchmark-family instance, solve it through the ILP route,
+apply engineering changes, and run all three EC components.
+"""
+
+import pytest
+
+from repro.bench.registry import load_instance
+from repro.cnf.analysis import flexibility_report
+from repro.cnf.mutations import table2_trial, table3_trial
+from repro.core.change import AddClause, ChangeSet
+from repro.core.enabling import EnablingOptions, enable_ec
+from repro.core.fast import fast_ec
+from repro.core.flow import ECFlow
+from repro.core.preserving import preserving_ec, resolve_oblivious
+from repro.cnf.clause import Clause
+from repro.sat.dpll import dpll_solve
+from repro.sat.encoding import encode_sat
+from repro.ilp.solver import solve
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return load_instance("ii8a1", tier="ci")
+
+
+class TestFullPipeline:
+    def test_ilp_route_solves_family_instance(self, instance):
+        enc = encode_sat(instance.formula)
+        sol = solve(enc.model)
+        assert sol.status.has_solution
+        a = enc.decode(sol, default=False)
+        assert instance.formula.is_satisfied(a)
+
+    def test_enabling_then_fast_ec(self, instance):
+        enabled = enable_ec(
+            instance.formula,
+            EnablingOptions(mode="objective", support="chained"),
+            time_limit=60,
+        )
+        assert enabled.succeeded
+        modified, _ = table2_trial(instance.formula, enabled.assignment, rng=3)
+        result = fast_ec(modified, enabled.assignment)
+        assert result.succeeded
+        assert modified.is_satisfied(result.assignment)
+
+    def test_enabled_solutions_are_more_flexible(self, instance):
+        plain_enc = encode_sat(instance.formula)
+        plain = plain_enc.decode(solve(plain_enc.model), default=False)
+        enabled = enable_ec(
+            instance.formula,
+            EnablingOptions(mode="objective", support="acyclic"),
+            time_limit=60,
+        )
+        rep_plain = flexibility_report(instance.formula, plain, with_robustness=False)
+        rep_enabled = flexibility_report(
+            instance.formula, enabled.assignment, with_robustness=False
+        )
+        assert rep_enabled.fraction_2_satisfied >= rep_plain.fraction_2_satisfied
+
+    def test_preserving_vs_oblivious_shape(self, instance):
+        witness = instance.witness
+        modified, _ = table3_trial(instance.formula, witness, rng=9)
+        pres = preserving_ec(modified, witness)
+        obl = resolve_oblivious(modified, witness)
+        assert pres.succeeded and obl.succeeded
+        # The paper's Table-3 shape: preserving EC keeps (weakly) more.
+        assert pres.preserved_fraction >= obl.preserved_fraction - 1e-9
+        # And at these perturbation sizes it should be near-total.
+        assert pres.preserved_fraction >= 0.8
+
+    def test_flow_chains_strategies(self, instance):
+        flow = ECFlow(instance.formula.copy())
+        flow.set_solution(instance.witness)
+        variables = list(flow.formula.variables)
+        flow.apply_changes(
+            ChangeSet([AddClause(Clause([-variables[0], -variables[1]]))])
+        )
+        flow.resolve("fast")
+        assert flow.is_current_solution_valid
+        flow.apply_changes(
+            ChangeSet([AddClause(Clause([-variables[2], -variables[3]]))])
+        )
+        flow.resolve("preserving")
+        assert flow.is_current_solution_valid
+
+    def test_dpll_confirms_every_ec_output(self, instance):
+        modified, _ = table2_trial(instance.formula, instance.witness, rng=11)
+        result = fast_ec(modified, instance.witness)
+        assert result.succeeded
+        # Independent solver agrees the modified instance is satisfiable.
+        assert dpll_solve(modified).satisfiable

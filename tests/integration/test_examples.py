@@ -1,0 +1,40 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the quickstart runs in the default suite (the others take tens of
+seconds); they share all code paths with tests elsewhere.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "eco_respin.py",
+        "incremental_synthesis.py",
+        "register_binding_coloring.py",
+        "design_for_change.py",
+    } <= names
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Enabling EC" in out
+    assert "OK" in out
+
+
+@pytest.mark.slow
+def test_register_binding_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES / "register_binding_coloring.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "OK" in out

@@ -1,0 +1,113 @@
+"""The paper's §1 worked examples, verified end to end.
+
+Each motivating example in the introduction is reproduced literally:
+the enabling example (solutions S and E), the fast-EC example (F'' with
+three clauses over v2, v5, v6), and the preserving example (S2 keeps four
+of five assignments).
+"""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.analysis import elimination_robustness, survives_elimination
+from repro.core.fast import fast_ec, simplify_instance
+from repro.core.preserving import preserving_ec
+from repro.sat.brute import all_satisfying_assignments
+
+
+class TestEnablingExample:
+    """F = (v1+v3'+v5')(v2+v3'+v5)(v2+v4+v5)(v3'+v4'), solutions S and E."""
+
+    def test_both_are_solutions(self, paper_formula, paper_solution_s, paper_solution_e):
+        assert paper_formula.is_satisfied(paper_solution_s)
+        assert paper_formula.is_satisfied(paper_solution_e)
+
+    def test_e_survives_every_single_elimination(self, paper_formula, paper_solution_e):
+        # "Solution E always has the correct solution, regardless of which
+        #  variable is being eliminated."
+        assert elimination_robustness(paper_formula, paper_solution_e) == 1.0
+
+    def test_eliminating_v3_from_e_needs_the_v4_flip(
+        self, paper_formula, paper_solution_e
+    ):
+        # After eliminating v3, clause (v3'+v4') loses v3'; with v4 = 1 it
+        # is unsatisfied, and flipping v4 to 0 repairs it.
+        reduced = paper_formula.copy()
+        reduced.remove_variable(3)
+        broken = reduced.unsatisfied_clauses(paper_solution_e)
+        assert broken  # the clause really breaks...
+        repaired = paper_solution_e.flipped(4)
+        assert reduced.is_satisfied(repaired)  # ...and the flip repairs it
+
+    def test_s_is_strictly_less_robust(
+        self, paper_formula, paper_solution_s, paper_solution_e
+    ):
+        rs = elimination_robustness(paper_formula, paper_solution_s)
+        assert rs < 1.0
+
+
+class TestFastExample:
+    """Ten-clause F; adding f11, f12 shrinks the re-solve to 3 clauses."""
+
+    F = CNFFormula(
+        [
+            [1, 2, 3], [1, -2, -3, 4], [1, 3, 6], [1, 4, 5], [-1, -3, 4],
+            [2, -3, 5], [2, -6], [-2, 5], [3, -4, 5], [-3, 5],
+        ]
+    )
+    S = Assignment({1: True, 2: True, 3: False, 4: False, 5: True, 6: False})
+
+    def test_shrinks_ten_clauses_to_three(self):
+        modified = self.F.copy()
+        modified.add_clause([-5, 6])
+        modified.add_clause([1, -3, 4])
+        inst = simplify_instance(modified, self.S)
+        assert inst.num_clauses == 3
+        assert set(inst.affected_variables) == {2, 5, 6}
+
+    def test_resolving_the_small_instance_fixes_everything(self):
+        modified = self.F.copy()
+        modified.add_clause([-5, 6])
+        modified.add_clause([1, -3, 4])
+        result = fast_ec(modified, self.S)
+        assert result.succeeded and not result.fell_back
+        assert modified.is_satisfied(result.assignment)
+
+
+class TestPreservingExample:
+    """Six-clause F; S2 = flip only v2 preserves 4/5 assignments."""
+
+    F = CNFFormula(
+        [
+            [1, 2, 4], [1, 4, -5], [-1, -3, 4],
+            [2, 3, 5], [-2, 4, 5], [3, -4, 5],
+        ]
+    )
+    S = Assignment({1: True, 2: True, 3: False, 4: False, 5: True})
+
+    def _modified(self):
+        g = self.F.copy()
+        g.add_clause([-2, 3, 4])
+        g.add_clause([1, -2, -5])
+        return g
+
+    def test_change_invalidates_s(self):
+        assert self.F.is_satisfied(self.S)
+        assert not self._modified().is_satisfied(self.S)
+
+    def test_s2_is_a_model_preserving_four(self):
+        s2 = Assignment({1: True, 2: False, 3: False, 4: False, 5: True})
+        modified = self._modified()
+        assert modified.is_satisfied(s2)
+        assert self.S.agreement_with(s2) == 4
+
+    def test_preserving_ec_reaches_the_best_model(self):
+        modified = self._modified()
+        result = preserving_ec(modified, self.S)
+        assert result.succeeded
+        best = max(
+            self.S.agreement_with(m) for m in all_satisfying_assignments(modified)
+        )
+        assert result.preserved_count == best
+        assert best >= 4

@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for the CNF substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.dimacs import parse_dimacs, to_dimacs
+from repro.cnf.formula import CNFFormula
+
+
+@st.composite
+def clauses(draw, max_var=8, max_width=4):
+    """A non-tautological, non-empty clause."""
+    width = draw(st.integers(1, max_width))
+    variables = draw(
+        st.lists(
+            st.integers(1, max_var), min_size=width, max_size=width, unique=True
+        )
+    )
+    signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+    return Clause([v if s else -v for v, s in zip(variables, signs)])
+
+
+@st.composite
+def formulas(draw, max_var=8, max_clauses=12):
+    cls = draw(st.lists(clauses(max_var=max_var), min_size=0, max_size=max_clauses))
+    return CNFFormula(cls, num_vars=max_var)
+
+
+@st.composite
+def assignments(draw, max_var=8):
+    bits = draw(st.lists(st.booleans(), min_size=max_var, max_size=max_var))
+    return Assignment({v: b for v, b in zip(range(1, max_var + 1), bits)})
+
+
+class TestClauseProperties:
+    @given(clauses())
+    def test_literal_normalization_idempotent(self, cl):
+        assert Clause(cl.literals) == cl
+
+    @given(clauses(), st.integers(1, 8))
+    def test_without_variable_removes(self, cl, var):
+        reduced = cl.without_variable(var)
+        assert not reduced.contains_variable(var)
+        assert set(reduced.literals) <= set(cl.literals)
+
+    @given(clauses(), assignments())
+    def test_satisfaction_level_consistent(self, cl, a):
+        level = cl.satisfaction_level(a)
+        assert (level > 0) == cl.is_satisfied(a)
+        assert 0 <= level <= len(cl)
+
+
+class TestFormulaProperties:
+    @given(formulas())
+    def test_dimacs_roundtrip(self, f):
+        assert parse_dimacs(to_dimacs(f)) == f
+
+    @given(formulas(), assignments())
+    def test_unsatisfied_clause_partition(self, f, a):
+        unsat = f.unsatisfied_clauses(a)
+        assert len(unsat) + sum(1 for c in f.clauses if c.is_satisfied(a)) == len(f)
+        assert f.is_satisfied(a) == (not unsat)
+
+    @given(formulas())
+    def test_copy_equals_original(self, f):
+        assert f.copy() == f
+
+    @given(formulas(), st.integers(1, 8))
+    def test_remove_variable_clears_occurrences(self, f, var):
+        g = f.copy()
+        if var in g.variables:
+            g.remove_variable(var)
+            assert all(not cl.contains_variable(var) for cl in g.clauses)
+            assert var not in g.variables
+
+    @given(formulas())
+    def test_deduplicated_is_subset(self, f):
+        d = f.deduplicated()
+        assert d.num_clauses <= f.num_clauses
+        assert set(d.clauses) == set(f.clauses)
+
+    @given(formulas(), assignments())
+    def test_satisfaction_levels_match_census(self, f, a):
+        from repro.cnf.analysis import k_satisfaction_census
+
+        census = k_satisfaction_census(f, a)
+        assert sum(census.values()) == f.num_clauses
+
+
+class TestAssignmentProperties:
+    @given(assignments(), st.integers(1, 8))
+    def test_flip_involution(self, a, var):
+        assert a.flipped(var).flipped(var) == a
+
+    @given(assignments(), assignments())
+    def test_agreement_symmetric_on_equal_domains(self, a, b):
+        assert a.agreement_with(b) == b.agreement_with(a)
+
+    @given(assignments())
+    def test_literal_roundtrip(self, a):
+        assert Assignment.from_literals(a.to_literals()) == a
+
+    @given(assignments(), assignments())
+    def test_merge_respects_override(self, a, b):
+        merged = a.merged_with(b)
+        for var in b:
+            assert merged[var] == b[var]

@@ -1,0 +1,112 @@
+"""Property-based tests for the EC invariants.
+
+The two load-bearing guarantees of the paper:
+
+* fast EC's merged solution always satisfies the modified formula, and
+  never touches variables outside the affected set;
+* preserving EC's agreement count equals the brute-force optimum.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.core.fast import fast_ec, simplify_instance
+from repro.core.preserving import preserving_ec
+from repro.sat.brute import brute_force_solve, max_agreement_model
+
+
+@st.composite
+def formula_with_witness(draw, max_var=7, max_clauses=10):
+    """A satisfiable formula and one of its models."""
+    n_clauses = draw(st.integers(1, max_clauses))
+    bits = draw(st.lists(st.booleans(), min_size=max_var, max_size=max_var))
+    witness = Assignment({v: b for v, b in zip(range(1, max_var + 1), bits)})
+    cls = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(2, 3))
+        variables = draw(
+            st.lists(st.integers(1, max_var), min_size=width, max_size=width, unique=True)
+        )
+        signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+        lits = [v if s else -v for v, s in zip(variables, signs)]
+        # Force at least one literal true under the witness.
+        if not Clause(lits).is_satisfied(witness):
+            v0 = variables[0]
+            lits[0] = v0 if witness[v0] else -v0
+        cls.append(Clause(lits))
+    return CNFFormula(cls, num_vars=max_var), witness
+
+
+@st.composite
+def extra_clause(draw, max_var=7):
+    width = draw(st.integers(1, 3))
+    variables = draw(
+        st.lists(st.integers(1, max_var), min_size=width, max_size=width, unique=True)
+    )
+    signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+    return Clause([v if s else -v for v, s in zip(variables, signs)])
+
+
+class TestFastECProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(formula_with_witness(), extra_clause())
+    def test_merge_satisfies_or_instance_unsat(self, fw, cl):
+        f, p = fw
+        modified = f.copy()
+        modified.add_clause(cl)
+        result = fast_ec(modified, p)
+        truly_sat = brute_force_solve(modified) is not None
+        assert result.succeeded == truly_sat
+        if result.succeeded:
+            assert modified.is_satisfied(result.assignment)
+
+    @settings(max_examples=40, deadline=None)
+    @given(formula_with_witness(), extra_clause())
+    def test_untouched_variables_keep_values(self, fw, cl):
+        f, p = fw
+        modified = f.copy()
+        modified.add_clause(cl)
+        result = fast_ec(modified, p)
+        if result.succeeded and not result.fell_back:
+            outside = set(modified.variables) - set(result.instance.affected_variables)
+            for var in outside:
+                assert result.assignment[var] == p[var]
+
+    @settings(max_examples=40, deadline=None)
+    @given(formula_with_witness(), extra_clause())
+    def test_simplification_marks_superset_of_unsatisfied(self, fw, cl):
+        f, p = fw
+        modified = f.copy()
+        modified.add_clause(cl)
+        inst = simplify_instance(modified, p)
+        unsat = set(modified.unsatisfied_indices(p))
+        assert unsat <= set(inst.marked_indices) or inst.already_satisfied
+
+    @settings(max_examples=30, deadline=None)
+    @given(formula_with_witness())
+    def test_noop_when_nothing_changed(self, fw):
+        f, p = fw
+        result = fast_ec(f, p)
+        assert result.succeeded
+        assert result.instance.already_satisfied
+
+
+class TestPreservingECProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(formula_with_witness(), extra_clause())
+    def test_agreement_is_optimal(self, fw, cl):
+        f, p = fw
+        modified = f.copy()
+        modified.add_clause(cl)
+        result = preserving_ec(modified, p)
+        _, best = max_agreement_model(modified, p)
+        if best < 0:
+            assert not result.succeeded
+        else:
+            assert result.succeeded
+            assert result.preserved_count == best
+            assert modified.is_satisfied(result.assignment)

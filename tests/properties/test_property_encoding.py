@@ -1,0 +1,81 @@
+"""Property-based tests for the SAT->ILP encoding and the SAT solvers."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.ilp.solver import solve
+from repro.sat.brute import brute_force_solve, count_models
+from repro.sat.dpll import dpll_solve
+from repro.sat.encoding import encode_sat
+from repro.sat.walksat import walksat_solve
+
+
+@st.composite
+def small_formulas(draw, max_var=6, max_clauses=10):
+    n_clauses = draw(st.integers(1, max_clauses))
+    cls = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(1, 3))
+        variables = draw(
+            st.lists(st.integers(1, max_var), min_size=width, max_size=width, unique=True)
+        )
+        signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+        cls.append(Clause([v if s else -v for v, s in zip(variables, signs)]))
+    return CNFFormula(cls, num_vars=max_var)
+
+
+class TestEncodingCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(small_formulas())
+    def test_ilp_feasibility_equals_satisfiability(self, f):
+        enc = encode_sat(f)
+        sol = solve(enc.model)
+        sat = brute_force_solve(f) is not None
+        assert sol.status.has_solution == sat
+        if sat:
+            assert f.is_satisfied(enc.decode(sol, default=False))
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_formulas())
+    def test_decoded_solution_respects_consistency(self, f):
+        enc = encode_sat(f)
+        sol = solve(enc.model)
+        if sol.status.has_solution:
+            # No variable may be selected in both polarities.
+            for var in f.variables:
+                pos = sol.rounded(f"pos::{var}")
+                neg = sol.rounded(f"neg::{var}")
+                assert pos + neg <= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_formulas())
+    def test_warm_start_values_feasible_iff_model(self, f):
+        witness = brute_force_solve(f)
+        if witness is None:
+            return
+        enc = encode_sat(f)
+        values = enc.values_from_assignment(witness)
+        assert enc.model.is_feasible(values)
+
+
+class TestSolverAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(small_formulas())
+    def test_dpll_matches_brute_force(self, f):
+        expected = brute_force_solve(f) is not None
+        res = dpll_solve(f)
+        assert res.satisfiable is expected
+        if expected:
+            assert f.is_satisfied(res.assignment)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_formulas())
+    def test_walksat_models_are_models(self, f):
+        res = walksat_solve(f, max_flips=2000, max_restarts=3, rng=1)
+        if res.satisfiable:
+            assert f.is_satisfied(res.assignment)
+            assert count_models(f) > 0

@@ -1,0 +1,58 @@
+"""Unit tests for the brute-force SAT oracle."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.errors import CNFError
+from repro.sat.brute import (
+    MAX_BRUTE_VARS,
+    all_satisfying_assignments,
+    brute_force_solve,
+    count_models,
+    max_agreement_model,
+)
+
+
+class TestEnumeration:
+    def test_count_models_simple(self):
+        # (1 or 2): 3 of 4 assignments.
+        assert count_models(CNFFormula([[1, 2]])) == 3
+
+    def test_count_models_xor_like(self):
+        f = CNFFormula([[1, 2], [-1, -2]])
+        assert count_models(f) == 2
+
+    def test_unsat(self):
+        assert brute_force_solve(CNFFormula([[1], [-1]])) is None
+        assert count_models(CNFFormula([[1], [-1]])) == 0
+
+    def test_size_guard(self):
+        f = CNFFormula(num_vars=MAX_BRUTE_VARS + 1)
+        with pytest.raises(CNFError):
+            brute_force_solve(f)
+
+    def test_all_models_are_models(self):
+        f = CNFFormula([[1, 2], [2, 3], [-1, -3]])
+        models = list(all_satisfying_assignments(f))
+        assert models
+        assert all(f.is_satisfied(m) for m in models)
+
+
+class TestMaxAgreement:
+    def test_agrees_exactly_when_reference_is_model(self):
+        f = CNFFormula([[1, 2]])
+        ref = Assignment({1: True, 2: False})
+        best, score = max_agreement_model(f, ref)
+        assert score == 2 and best == ref
+
+    def test_unsat_returns_none(self):
+        best, score = max_agreement_model(CNFFormula([[1], [-1]]), Assignment({1: True}))
+        assert best is None and score == -1
+
+    def test_forced_disagreement_counted(self):
+        # Reference wants 1=False but the formula forces 1=True.
+        f = CNFFormula([[1], [2, 3]])
+        ref = Assignment({1: False, 2: True, 3: True})
+        _best, score = max_agreement_model(f, ref)
+        assert score == 2

@@ -1,0 +1,43 @@
+"""Cross-module integration: family instances through DIMACS and solvers."""
+
+import pytest
+
+from repro.cnf.dimacs import parse_dimacs, to_dimacs
+from repro.cnf.families import f_instance, ii_instance, jnh_instance, parity_instance
+from repro.cnf.simplify import simplify
+from repro.sat.dpll import dpll_solve
+from repro.sat.walksat import walksat_solve
+
+
+@pytest.mark.parametrize(
+    "maker", [parity_instance, ii_instance, jnh_instance, f_instance]
+)
+class TestFamilyPipelines:
+    def test_dimacs_roundtrip_preserves_instance(self, maker):
+        inst = maker(25, 90, seed=4)
+        again = parse_dimacs(to_dimacs(inst.formula))
+        assert again == inst.formula
+
+    def test_dpll_finds_model(self, maker):
+        inst = maker(25, 90, seed=4)
+        res = dpll_solve(inst.formula, polarity_hint=inst.witness)
+        assert res.satisfiable
+        assert inst.formula.is_satisfied(res.assignment)
+
+    def test_walksat_finds_model(self, maker):
+        inst = maker(25, 90, seed=4)
+        res = walksat_solve(inst.formula, rng=4, initial=inst.witness)
+        assert res.satisfiable
+
+    def test_simplify_preserves_satisfiability(self, maker):
+        inst = maker(25, 90, seed=4)
+        res = simplify(inst.formula)
+        assert not res.proven_unsat
+        if res.formula.num_clauses:
+            again = dpll_solve(res.formula)
+            assert again.satisfiable
+            lifted = res.lift(again.assignment)
+            for var in inst.formula.variables:
+                if var not in lifted:
+                    lifted[var] = False
+            assert inst.formula.is_satisfied(lifted)

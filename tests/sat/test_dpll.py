@@ -1,0 +1,90 @@
+"""Unit tests for the DPLL SAT solver."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_ksat, random_planted_ksat
+from repro.errors import CNFError
+from repro.sat.brute import brute_force_solve
+from repro.sat.dpll import DPLLSolver, dpll_solve
+
+
+class TestVerdicts:
+    def test_trivial_sat(self):
+        res = dpll_solve(CNFFormula([[1, 2]]))
+        assert res.satisfiable
+        assert CNFFormula([[1, 2]]).is_satisfied(res.assignment)
+
+    def test_trivial_unsat(self):
+        assert dpll_solve(CNFFormula([[1], [-1]])).satisfiable is False
+
+    def test_empty_formula_sat(self):
+        res = dpll_solve(CNFFormula(num_vars=3))
+        assert res.satisfiable
+        assert len(res.assignment) == 3
+
+    def test_empty_clause_unsat(self):
+        f = CNFFormula([[1]])
+        f.remove_variable(1)
+        assert dpll_solve(f).satisfiable is False
+
+    def test_unit_chain(self):
+        # units propagate: 1, then (−1∨2) forces 2, then (−2∨3) forces 3.
+        f = CNFFormula([[1], [-1, 2], [-2, 3]])
+        res = dpll_solve(f)
+        assert res.satisfiable
+        assert res.assignment.as_dict() == {1: True, 2: True, 3: True}
+
+    def test_conflicting_units(self):
+        assert dpll_solve(CNFFormula([[1], [-1, 2], [-2, -1]])).satisfiable is False
+
+    def test_tautologies_ignored(self):
+        from repro.cnf.clause import Clause
+
+        f = CNFFormula(num_vars=1)
+        f._clauses.append(Clause([1, -1], allow_tautology=True))
+        assert dpll_solve(f).satisfiable
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_small(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        f = random_ksat(rng.randint(3, 9), rng.randint(3, 35), k=3, rng=rng)
+        expected = brute_force_solve(f) is not None
+        res = dpll_solve(f)
+        assert res.satisfiable is expected
+        if expected:
+            assert f.is_satisfied(res.assignment)
+
+
+class TestScaling:
+    def test_planted_100_vars(self):
+        f, _ = random_planted_ksat(100, 400, rng=8)
+        res = dpll_solve(f)
+        assert res.satisfiable
+        assert f.is_satisfied(res.assignment)
+
+    def test_polarity_hint_restores_witness_quickly(self):
+        f, p = random_planted_ksat(80, 300, rng=9)
+        hinted = dpll_solve(f, polarity_hint=p)
+        assert hinted.satisfiable
+        # The hint points straight at a model: no conflicts needed.
+        assert hinted.conflicts == 0
+
+
+class TestBudget:
+    def test_decision_budget(self):
+        f = random_ksat(60, 255, rng=13)  # near-threshold: needs search
+        res = dpll_solve(f, max_decisions=1)
+        assert res.satisfiable is None or res.decisions <= 1
+
+    def test_is_satisfiable_raises_on_budget(self):
+        f = random_ksat(60, 255, rng=13)
+        solver = DPLLSolver(max_decisions=1)
+        if solver.solve(f).satisfiable is None:
+            with pytest.raises(CNFError):
+                solver.is_satisfiable(f)

@@ -1,0 +1,97 @@
+"""Unit tests for the SAT -> set cover -> ILP encoding of §3."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.errors import ModelError
+from repro.ilp.solver import solve
+from repro.ilp.status import SolveStatus
+from repro.sat.brute import brute_force_solve
+from repro.sat.encoding import encode_sat, literal_name, neg_name, pos_name
+
+
+@pytest.fixture
+def paper_f3():
+    """The §3 illustration: F = (v1' + v2)(v2 + v3)(v1 + v3')."""
+    return CNFFormula([[-1, 2], [2, 3], [1, -3]])
+
+
+class TestStructure:
+    def test_variable_count_doubles(self, paper_f3):
+        enc = encode_sat(paper_f3)
+        assert enc.model.num_vars == 6  # 2n selection variables
+
+    def test_row_count(self, paper_f3):
+        enc = encode_sat(paper_f3)
+        # one row per clause + one consistency row per variable
+        assert enc.model.num_constraints == 3 + 3
+
+    def test_names(self):
+        assert literal_name(4) == pos_name(4)
+        assert literal_name(-4) == neg_name(4)
+
+    def test_empty_clause_rejected(self):
+        f = CNFFormula()
+        f._clauses.append(__import__("repro.cnf.clause", fromlist=["Clause"]).Clause([]))
+        with pytest.raises(ModelError):
+            encode_sat(f)
+
+
+class TestSolveAndDecode:
+    def test_satisfiable_decodes_to_model(self, paper_f3):
+        enc = encode_sat(paper_f3)
+        sol = solve(enc.model)
+        assert sol.status is SolveStatus.OPTIMAL
+        a = enc.decode(sol, default=False)
+        assert paper_f3.is_satisfied(a)
+
+    def test_unsat_is_infeasible(self):
+        f = CNFFormula([[1], [-1]])
+        enc = encode_sat(f)
+        assert solve(enc.model).status is SolveStatus.INFEASIBLE
+
+    def test_objective_minimizes_literals(self):
+        # (1+2): one selected literal suffices; min objective = 1.
+        f = CNFFormula([[1, 2]])
+        sol = solve(encode_sat(f).model)
+        assert sol.objective == pytest.approx(1.0)
+
+    def test_decode_partial_when_no_default(self):
+        f = CNFFormula([[1, 2]], num_vars=3)
+        enc = encode_sat(f)
+        sol = solve(enc.model)
+        a = enc.decode(sol, default=None)
+        assert len(a) <= 3  # don't-cares stay unassigned
+
+    def test_decode_matches_brute_force_satisfiability(self):
+        from repro.cnf.generators import random_ksat
+
+        for seed in range(10):
+            f = random_ksat(6, 18, rng=seed)
+            enc = encode_sat(f)
+            sol = solve(enc.model)
+            sat = brute_force_solve(f) is not None
+            assert sol.status.has_solution == sat
+            if sat:
+                assert f.is_satisfied(enc.decode(sol, default=False))
+
+
+class TestWarmStartValues:
+    def test_values_roundtrip(self, paper_f3):
+        enc = encode_sat(paper_f3)
+        a = Assignment({1: True, 2: True, 3: False})
+        vals = enc.values_from_assignment(a)
+        assert vals[pos_name(1)] == 1.0 and vals[neg_name(1)] == 0.0
+        assert vals[pos_name(3)] == 0.0 and vals[neg_name(3)] == 1.0
+        assert enc.model.is_feasible(vals)
+
+    def test_unassigned_to_zero(self, paper_f3):
+        enc = encode_sat(paper_f3)
+        vals = enc.values_from_assignment(Assignment({1: True}))
+        assert vals[pos_name(2)] == 0.0 and vals[neg_name(2)] == 0.0
+
+    def test_unassigned_strict_raises(self, paper_f3):
+        enc = encode_sat(paper_f3)
+        with pytest.raises(ModelError):
+            enc.values_from_assignment(Assignment({}), unassigned_to_zero=False)

@@ -1,0 +1,68 @@
+"""Unit tests for the set cover problem and its ILP form."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.solver import solve
+from repro.ilp.status import SolveStatus
+from repro.sat.setcover import SetCoverProblem
+
+
+@pytest.fixture
+def cover():
+    return SetCoverProblem(
+        universe=["a", "b", "c", "d"],
+        subsets={"s1": ["a", "b"], "s2": ["b", "c"], "s3": ["c", "d"], "s4": ["a", "d"]},
+    )
+
+
+class TestConstruction:
+    def test_uncoverable_rejected(self):
+        with pytest.raises(ModelError):
+            SetCoverProblem(["a", "b"], {"s": ["a"]})
+
+    def test_duplicate_universe_elements_deduped(self):
+        p = SetCoverProblem(["a", "a"], {"s": ["a"]})
+        assert p.universe == ("a",)
+
+
+class TestILP:
+    def test_optimal_cover_size(self, cover):
+        sol = solve(cover.to_ilp())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(2.0)  # {s1, s3} or {s2, s4}
+        chosen = cover.decode(sol)
+        assert cover.is_cover(chosen)
+        assert len(chosen) == 2
+
+    def test_weighted(self, cover):
+        sol = solve(cover.to_ilp(weights={"s1": 10.0, "s3": 10.0}))
+        chosen = cover.decode(sol)
+        assert set(chosen) == {"s2", "s4"}
+
+    def test_single_subset_instance(self):
+        p = SetCoverProblem(["x"], {"only": ["x"]})
+        sol = solve(p.to_ilp())
+        assert p.decode(sol) == ["only"]
+
+
+class TestHelpers:
+    def test_is_cover(self, cover):
+        assert cover.is_cover(["s1", "s3"])
+        assert not cover.is_cover(["s1"])
+
+    def test_is_cover_unknown_subset(self, cover):
+        with pytest.raises(ModelError):
+            cover.is_cover(["nope"])
+
+    def test_greedy_cover_valid(self, cover):
+        assert cover.is_cover(cover.greedy_cover())
+
+    def test_greedy_on_chain(self):
+        p = SetCoverProblem(
+            range(6),
+            {"big": [0, 1, 2, 3], "l": [3, 4], "r": [4, 5], "tiny": [5]},
+        )
+        chosen = p.greedy_cover()
+        assert p.is_cover(chosen)
+        assert chosen[0] == "big"  # greedy takes the largest first

@@ -1,0 +1,52 @@
+"""Unit tests for WalkSAT."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.sat.walksat import walksat_solve
+
+
+class TestBasics:
+    def test_finds_planted_model(self):
+        f, _ = random_planted_ksat(50, 180, rng=3)
+        res = walksat_solve(f, rng=3)
+        assert res.satisfiable
+        assert f.is_satisfied(res.assignment)
+
+    def test_empty_formula(self):
+        res = walksat_solve(CNFFormula(num_vars=2))
+        assert res.satisfiable
+        assert len(res.assignment) == 2
+
+    def test_empty_clause_unsat(self):
+        f = CNFFormula([[1]])
+        f.remove_variable(1)
+        assert walksat_solve(f).satisfiable is False
+
+    def test_budget_exhaustion_returns_unknown(self):
+        # UNSAT instance: WalkSAT cannot prove it, must return None.
+        f = CNFFormula([[1], [-1]])
+        res = walksat_solve(f, max_flips=50, max_restarts=2, rng=0)
+        assert res.satisfiable is None
+
+    def test_deterministic_given_seed(self):
+        f, _ = random_planted_ksat(30, 100, rng=4)
+        a = walksat_solve(f, rng=9)
+        b = walksat_solve(f, rng=9)
+        assert a.assignment == b.assignment
+
+
+class TestWarmStart:
+    def test_initial_witness_needs_no_flips(self):
+        f, p = random_planted_ksat(40, 140, rng=5)
+        res = walksat_solve(f, initial=p, rng=5)
+        assert res.satisfiable
+        assert res.flips == 0
+
+    def test_initial_partial_assignment_completed(self):
+        f, p = random_planted_ksat(40, 140, rng=6)
+        partial = Assignment({v: p[v] for v in list(p)[:20]})
+        res = walksat_solve(f, initial=partial, rng=6)
+        assert res.satisfiable

@@ -1,0 +1,142 @@
+"""Unit tests for the scheduling EC extension."""
+
+import pytest
+
+from repro.errors import ECError, ModelError
+from repro.ilp.solver import solve
+from repro.ilp.status import SolveStatus
+from repro.scheduling.ec import (
+    enable_scheduling_ec,
+    preserving_scheduling_ec,
+    schedule_slack,
+)
+from repro.scheduling.problem import Operation, SchedulingProblem
+
+
+@pytest.fixture
+def dfg():
+    """A small dataflow graph: two multiplies feeding adds, one ALU each."""
+    return SchedulingProblem(
+        operations=[
+            Operation("m1", "mul"),
+            Operation("m2", "mul"),
+            Operation("a1", "alu"),
+            Operation("a2", "alu"),
+            Operation("a3", "alu"),
+        ],
+        precedence=[("m1", "a1"), ("m2", "a2"), ("a1", "a3"), ("a2", "a3")],
+        capacities={"mul": 1, "alu": 1},
+        horizon=6,
+    )
+
+
+class TestProblemValidation:
+    def test_duplicate_names(self):
+        with pytest.raises(ModelError):
+            SchedulingProblem(
+                [Operation("x", "alu"), Operation("x", "alu")],
+                capacities={"alu": 1},
+            )
+
+    def test_unknown_precedence_op(self):
+        with pytest.raises(ModelError):
+            SchedulingProblem(
+                [Operation("x", "alu")],
+                precedence=[("x", "ghost")],
+                capacities={"alu": 1},
+            )
+
+    def test_missing_capacity(self):
+        with pytest.raises(ModelError):
+            SchedulingProblem([Operation("x", "mul")], capacities={"alu": 1})
+
+    def test_bad_horizon(self):
+        with pytest.raises(ModelError):
+            SchedulingProblem(
+                [Operation("x", "alu")], capacities={"alu": 1}, horizon=0
+            )
+
+
+class TestILP:
+    def test_exact_solve_is_valid(self, dfg):
+        sol = solve(dfg.to_ilp())
+        assert sol.status is SolveStatus.OPTIMAL
+        schedule = dfg.decode(sol)
+        assert dfg.is_valid(schedule)
+
+    def test_precedence_respected(self, dfg):
+        schedule = dfg.decode(solve(dfg.to_ilp()))
+        assert schedule["a1"] >= schedule["m1"] + 1
+        assert schedule["a3"] >= schedule["a1"] + 1
+
+    def test_infeasible_horizon(self, dfg):
+        tight = SchedulingProblem(
+            operations=list(dfg.operations),
+            precedence=list(dfg.precedence),
+            capacities=dict(dfg.capacities),
+            horizon=2,  # chain m1 -> a1 -> a3 alone needs 3 steps
+        )
+        assert solve(tight.to_ilp()).status is SolveStatus.INFEASIBLE
+
+    def test_capacity_binding(self):
+        # Two ALU ops, capacity 1, horizon 2: they must serialize.
+        prob = SchedulingProblem(
+            [Operation("p", "alu"), Operation("q", "alu")],
+            capacities={"alu": 1},
+            horizon=2,
+        )
+        schedule = prob.decode(solve(prob.to_ilp()))
+        assert schedule["p"] != schedule["q"]
+
+    def test_is_valid_rejections(self, dfg):
+        schedule = dfg.decode(solve(dfg.to_ilp()))
+        bad = dict(schedule)
+        bad["a3"] = bad["a1"]  # violates precedence
+        assert not dfg.is_valid(bad)
+        assert not dfg.is_valid({})
+
+
+class TestSlack:
+    def test_slack_range(self, dfg):
+        schedule = dfg.decode(solve(dfg.to_ilp()))
+        assert 0.0 <= schedule_slack(dfg, schedule) <= 1.0
+
+    def test_empty_problem_slack(self):
+        prob = SchedulingProblem([], capacities={}, horizon=1)
+        assert schedule_slack(prob, {}) == 1.0
+
+
+class TestEnabling:
+    def test_enabled_schedule_valid_and_slack_measured(self, dfg):
+        result = enable_scheduling_ec(dfg)
+        assert result.succeeded
+        assert dfg.is_valid(result.schedule)
+        assert 0.0 <= result.slack <= 1.0
+
+
+class TestPreserving:
+    def test_new_precedence_edge(self, dfg):
+        schedule = dfg.decode(solve(dfg.to_ilp()))
+        changed = dfg.with_precedence("a3", "m2") if schedule["m2"] > schedule["a3"] \
+            else dfg.with_precedence("a1", "m2")
+        result = preserving_scheduling_ec(changed, schedule)
+        if result.succeeded:
+            assert changed.is_valid(result.schedule)
+            assert 0.0 <= result.preserved_fraction <= 1.0
+
+    def test_unchanged_problem_preserves_everything(self, dfg):
+        schedule = dfg.decode(solve(dfg.to_ilp()))
+        result = preserving_scheduling_ec(dfg, schedule)
+        assert result.succeeded
+        assert result.preserved_fraction == pytest.approx(1.0)
+
+    def test_capacity_change(self, dfg):
+        schedule = dfg.decode(solve(dfg.to_ilp()))
+        changed = dfg.with_capacity("alu", 2)  # loosening: schedule survives
+        result = preserving_scheduling_ec(changed, schedule)
+        assert result.succeeded
+        assert result.preserved_fraction == pytest.approx(1.0)
+
+    def test_pin_unknown_start_raises(self, dfg):
+        with pytest.raises(ECError):
+            preserving_scheduling_ec(dfg, {}, preserve=["m1"])

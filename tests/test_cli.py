@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.cnf.dimacs import write_dimacs
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+
+
+@pytest.fixture
+def cnf_file(tmp_path):
+    f, _ = random_planted_ksat(10, 30, rng=3)
+    path = tmp_path / "orig.cnf"
+    write_dimacs(f, path)
+    return path, f
+
+
+@pytest.fixture
+def modified_file(tmp_path, cnf_file):
+    _path, f = cnf_file
+    g = f.copy()
+    g.add_clause([-1, -2, -3])
+    path = tmp_path / "modified.cnf"
+    write_dimacs(g, path)
+    return path, g
+
+
+class TestSolve:
+    def test_satisfiable(self, cnf_file, capsys):
+        path, f = cnf_file
+        assert main(["solve", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("s SATISFIABLE")
+        lits = [int(t) for t in out.splitlines()[-1].split()[1:-1]]
+        from repro.cnf.assignment import Assignment
+
+        assert f.is_satisfied(Assignment.from_literals(lits))
+
+    def test_unsatisfiable(self, tmp_path, capsys):
+        path = tmp_path / "unsat.cnf"
+        write_dimacs(CNFFormula([[1], [-1]]), path)
+        assert main(["solve", str(path)]) == 2
+        assert "unsatisfiable" in capsys.readouterr().err
+
+
+class TestEnable:
+    def test_enable_reports_flexibility(self, cnf_file, capsys):
+        path, _f = cnf_file
+        assert main(["enable", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2-satisfied fraction" in out
+
+
+class TestECCommands:
+    def test_fast(self, cnf_file, modified_file, capsys):
+        orig, _ = cnf_file
+        mod_path, mod = modified_file
+        assert main(["fast", str(orig), str(mod_path)]) == 0
+        out = capsys.readouterr().out
+        assert "re-solved" in out
+
+    def test_preserve(self, cnf_file, modified_file, capsys):
+        orig, _ = cnf_file
+        mod_path, _ = modified_file
+        assert main(["preserve", str(orig), str(mod_path)]) == 0
+        out = capsys.readouterr().out
+        assert "preserved" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_table(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "table9"])

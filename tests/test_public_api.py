@@ -1,0 +1,74 @@
+"""Public API surface tests: imports, __all__, error hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.cnf", "repro.ilp", "repro.sat", "repro.core",
+            "repro.coloring", "repro.scheduling", "repro.bench", "repro.cli",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_domain_buckets(self):
+        assert issubclass(errors.DimacsError, errors.CNFError)
+        assert issubclass(errors.InfeasibleError, errors.ILPError)
+        assert issubclass(errors.PreservationError, errors.ECError)
+
+    def test_catchable_as_base(self):
+        from repro.cnf.clause import Clause
+
+        with pytest.raises(errors.ReproError):
+            Clause([1, -1])
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.cnf.formula", "repro.cnf.mutations", "repro.cnf.families",
+            "repro.ilp.model", "repro.ilp.branch_and_bound",
+            "repro.ilp.simplex", "repro.ilp.heuristic",
+            "repro.sat.encoding", "repro.sat.dpll",
+            "repro.core.enabling", "repro.core.fast", "repro.core.preserving",
+            "repro.core.flow", "repro.coloring.ec", "repro.scheduling.ec",
+        ],
+    )
+    def test_modules_documented(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__) > 40
+
+    def test_public_callables_documented(self):
+        from repro.core import enabling, fast, preserving
+
+        for mod in (enabling, fast, preserving):
+            for name in dir(mod):
+                obj = getattr(mod, name)
+                if callable(obj) and not name.startswith("_") and obj.__module__ == mod.__name__:
+                    assert obj.__doc__, f"{mod.__name__}.{name} lacks a docstring"
