@@ -1,0 +1,33 @@
+"""Engine comparison benchmark: sequential vs portfolio vs cached-incremental.
+
+Unlike the pytest-benchmark files alongside it, this driver is a plain
+script because it emits a committed JSON artifact (``BENCH_engine.json``
+at the repo root) so successive PRs accumulate a performance trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py           # ci tier
+    PYTHONPATH=src python benchmarks/bench_engine.py --rows 2  # quicker
+
+All options of :mod:`repro.bench.engine` are accepted and forwarded; the
+only difference is the default ``--out`` location.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench.engine import main as engine_main
+
+#: Default artifact path: the repository root, next to this directory.
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not any(a == "--out" or a.startswith("--out=") for a in argv):
+        argv += ["--out", str(DEFAULT_OUT)]
+    return engine_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,9 @@ Subpackages:
 * :mod:`repro.sat` — set cover, the SAT->ILP encoding, DPLL, WalkSAT;
 * :mod:`repro.core` — the EC methodology itself;
 * :mod:`repro.coloring` — EC for graph coloring;
-* :mod:`repro.bench` — harness regenerating the paper's Tables 1-3.
+* :mod:`repro.bench` — harness regenerating the paper's Tables 1-3;
+* :mod:`repro.engine` — the parallel portfolio solver engine with
+  fingerprint caching and incremental EC re-solve.
 """
 
 from repro.cnf import Assignment, Clause, CNFFormula
@@ -42,10 +44,18 @@ from repro.core import (
     fast_ec,
     preserving_ec,
 )
+from repro.engine import (
+    IncrementalSession,
+    Portfolio,
+    PortfolioEngine,
+    SolutionCache,
+    SolverConfig,
+    fingerprint,
+)
 from repro.ilp import ILPModel, LinExpr, Solution, SolveStatus, solve
 from repro.sat import encode_sat
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AddClause",
@@ -57,14 +67,20 @@ __all__ = [
     "ECFlow",
     "EnablingOptions",
     "ILPModel",
+    "IncrementalSession",
     "LinExpr",
+    "Portfolio",
+    "PortfolioEngine",
     "RemoveClause",
     "RemoveVariable",
     "Solution",
+    "SolutionCache",
     "SolveStatus",
+    "SolverConfig",
     "enable_ec",
     "encode_sat",
     "fast_ec",
+    "fingerprint",
     "preserving_ec",
     "solve",
     "__version__",

@@ -1,0 +1,236 @@
+"""Engine comparison bench: sequential vs portfolio vs cached-incremental.
+
+``python -m repro.bench.engine`` (or ``python -m repro bench engine``)
+runs three experiments per benchmark row:
+
+1. **sequential** — each single solver configuration (DPLL, WalkSAT, the
+   paper's exact ILP route) run alone; the per-row minimum is the "best
+   single sequential solver" baseline;
+2. **portfolio** — the :class:`~repro.engine.engine.PortfolioEngine` with
+   a warmed process pool and the cache bypassed, measuring the raw race;
+3. **successive-change** — a chain of loosening engineering changes
+   re-solved (a) from scratch with the best sequential solver and (b)
+   through an :class:`~repro.engine.session.IncrementalSession`, whose
+   revalidation path answers in O(clauses).
+
+Options::
+
+    --tier ci|paper     instance sizes (default: REPRO_BENCH_SCALE or ci)
+    --block small|large|all
+    --rows N            first N rows of the block (default 4)
+    --jobs N            portfolio pool width (default 4)
+    --rounds N          timing repetitions, best-of (default 3)
+    --changes N         successive loosening changes per row (default 8)
+    --out PATH          also write a JSON artifact (BENCH_engine.json)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.bench.registry import BenchInstance, suite
+from repro.core.change import AddVariable, ChangeSet, RemoveClause
+from repro.engine.adapters import DPLLAdapter, ExactILPAdapter, WalkSATAdapter
+from repro.engine.engine import PortfolioEngine
+from repro.engine.session import IncrementalSession
+from repro.errors import ReproError
+from repro.sat.dpll import dpll_solve
+
+_MIN_TIME = 1e-9
+
+#: Single-solver baselines raced by the sequential experiment.
+_SEQUENTIAL = (DPLLAdapter(), WalkSATAdapter(), ExactILPAdapter())
+
+
+def _best_of(rounds: int, fn, *args, **kwargs):
+    """(best wall seconds, last result) over *rounds* calls."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, rounds)):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return max(best, _MIN_TIME), result
+
+
+@dataclass
+class EngineBenchRow:
+    """One row of the engine comparison."""
+
+    name: str
+    num_vars: int
+    num_clauses: int
+    sequential: dict[str, float] = field(default_factory=dict)
+    best_sequential: float = 0.0
+    best_solver: str = ""
+    portfolio: float = 0.0
+    portfolio_winner: str = ""
+    portfolio_ratio: float = 0.0          # portfolio / best sequential
+    cached_hit: float = 0.0               # repeated-query cache lookup
+    scratch_resolve: float = 0.0          # successive changes, from scratch
+    incremental_resolve: float = 0.0      # successive changes, via session
+    incremental_speedup: float = 0.0
+    incremental_solver_calls: int = 0
+    changes: int = 0
+
+
+def bench_row(
+    inst: BenchInstance,
+    engine: PortfolioEngine,
+    rounds: int = 3,
+    changes: int = 8,
+    seed: int = 0,
+) -> EngineBenchRow:
+    """Run the three experiments on one benchmark instance."""
+    row = EngineBenchRow(inst.name, inst.num_vars, inst.num_clauses)
+
+    # 1. single-solver sequential baselines.
+    for adapter in _SEQUENTIAL:
+        wall, out = _best_of(
+            rounds, adapter.solve, inst.formula, seed=seed
+        )
+        if out.status == "sat":
+            row.sequential[adapter.name] = wall
+    if not row.sequential:
+        raise ReproError(f"no sequential solver decided {inst.name}")
+    row.best_solver = min(row.sequential, key=row.sequential.get)
+    row.best_sequential = row.sequential[row.best_solver]
+
+    # 2. the portfolio race (cache bypassed; pool already warm).
+    wall, eres = _best_of(
+        rounds, engine.solve, inst.formula, seed=seed, use_cache=False
+    )
+    if eres.status != "sat":
+        raise ReproError(f"portfolio did not decide {inst.name}")
+    row.portfolio = wall
+    row.portfolio_winner = eres.source
+    row.portfolio_ratio = row.portfolio / row.best_sequential
+
+    # ... and the repeated-query path through the fingerprint cache.
+    engine.solve(inst.formula, seed=seed)               # populate
+    row.cached_hit, cres = _best_of(rounds, engine.solve, inst.formula, seed=seed)
+    assert cres.from_cache
+
+    # 3. successive-change chain: loosening edits, re-solved K times.
+    rng = random.Random(seed)
+    session = IncrementalSession(inst.formula, engine=engine)
+    session.solve(seed=seed)
+    change_sets = []
+    working = inst.formula.copy()
+    for i in range(changes):
+        if working.num_clauses <= 1:
+            break
+        victim = rng.choice(working.clauses)
+        cs = ChangeSet([RemoveClause(victim)])
+        if i % 3 == 2:
+            cs.add(AddVariable())
+        working = cs.apply_to(working)
+        change_sets.append(cs)
+    row.changes = len(change_sets)
+
+    calls_before = session.solver_calls
+    t_inc = 0.0
+    scratch_formulas = []
+    for cs in change_sets:
+        session.apply_changes(cs)
+        scratch_formulas.append(session.formula)
+        t0 = time.perf_counter()
+        session.resolve(seed=seed)
+        t_inc += time.perf_counter() - t0
+    row.incremental_resolve = max(t_inc, _MIN_TIME)
+    row.incremental_solver_calls = session.solver_calls - calls_before
+
+    t_scratch = 0.0
+    for modified in scratch_formulas:
+        t0 = time.perf_counter()
+        res = dpll_solve(modified)
+        t_scratch += time.perf_counter() - t0
+        assert res.satisfiable
+    row.scratch_resolve = max(t_scratch, _MIN_TIME)
+    row.incremental_speedup = row.scratch_resolve / row.incremental_resolve
+    return row
+
+
+def run_engine_bench(
+    instances: list[BenchInstance],
+    jobs: int = 4,
+    rounds: int = 3,
+    changes: int = 8,
+    seed: int = 0,
+) -> list[EngineBenchRow]:
+    """The comparison over a suite, sharing one warmed engine."""
+    with PortfolioEngine(jobs=jobs) as engine:
+        engine.warm_up()
+        return [
+            bench_row(inst, engine, rounds=rounds, changes=changes, seed=seed)
+            for inst in instances
+        ]
+
+
+def format_engine_table(rows: list[EngineBenchRow]) -> str:
+    """Render the comparison as an aligned text table."""
+    header = (
+        f"{'instance':<12} {'vars':>5} {'cls':>5} "
+        f"{'best-seq':>9} {'(solver)':<14} {'portfolio':>9} {'ratio':>6} "
+        f"{'cache-hit':>9} {'inc-speedup':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:<12} {r.num_vars:>5} {r.num_clauses:>5} "
+            f"{r.best_sequential * 1e3:>8.2f}m {('(' + r.best_solver + ')'):<14} "
+            f"{r.portfolio * 1e3:>8.2f}m {r.portfolio_ratio:>6.2f} "
+            f"{r.cached_hit * 1e3:>8.3f}m {r.incremental_speedup:>10.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: print the table and optionally write the JSON artifact."""
+    parser = argparse.ArgumentParser(description="Engine comparison bench")
+    parser.add_argument("--tier", choices=("ci", "paper"), default=None)
+    parser.add_argument("--block", choices=("small", "large", "all"), default="small")
+    parser.add_argument("--rows", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--changes", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="write a JSON artifact here")
+    args = parser.parse_args(argv)
+
+    instances = suite(args.block, tier=args.tier)[: args.rows]
+    rows = run_engine_bench(
+        instances, jobs=args.jobs, rounds=args.rounds,
+        changes=args.changes, seed=args.seed,
+    )
+    print(format_engine_table(rows))
+
+    total_calls = sum(r.incremental_solver_calls for r in rows)
+    print(
+        f"\nincremental chains launched {total_calls} solver runs over "
+        f"{sum(r.changes for r in rows)} changes (loosening => revalidation)"
+    )
+    if args.out:
+        import os
+
+        artifact = {
+            "bench": "engine",
+            "tier": args.tier or "ci",
+            "jobs": args.jobs,
+            "rounds": args.rounds,
+            "cores": os.cpu_count(),
+            "rows": [asdict(r) for r in rows],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

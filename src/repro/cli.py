@@ -2,11 +2,14 @@
 
 Commands:
 
-* ``solve FILE.cnf``                 — solve a DIMACS instance via the ILP route;
+* ``solve FILE.cnf``                 — solve a DIMACS instance (``--engine
+  ilp`` for the paper's ILP route, ``--engine portfolio --jobs N`` for the
+  parallel portfolio engine);
 * ``enable FILE.cnf``                — solve with enabling EC and report flexibility;
 * ``fast FILE.cnf CHANGED.cnf``      — fast EC from FILE's solution to CHANGED;
 * ``preserve FILE.cnf CHANGED.cnf``  — preserving EC between the two instances;
-* ``bench {table1,table2,table3}``   — regenerate a paper table.
+* ``bench {table1,table2,table3,engine}`` — regenerate a paper table or the
+  engine comparison.
 
 The two-file EC commands treat the first file as the original
 specification (solved from scratch) and the second as the modified one.
@@ -15,6 +18,7 @@ specification (solved from scratch) and the second as the modified one.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.cnf.analysis import flexibility_report
@@ -23,23 +27,67 @@ from repro.core.enabling import EnablingOptions, enable_ec
 from repro.core.fast import fast_ec
 from repro.core.preserving import preserving_ec
 from repro.errors import ReproError
+from repro.ilp.status import SolveStatus
 from repro.sat.encoding import encode_sat
 from repro.ilp.solver import solve
 
 
-def _solve_file(path: str, method: str):
+def _solve_file(path: str, method: str, deadline: float | None = None,
+                seed: int | None = None):
+    """Solve a DIMACS file via the ILP route.
+
+    Returns ``(formula, assignment)``; the assignment is None when the
+    instance is *proven* unsatisfiable.
+
+    Raises:
+        ReproError: when the solver gave up undecided (budget statuses
+            such as node_limit must never be reported as UNSAT).
+    """
     formula = read_dimacs(path)
     encoding = encode_sat(formula)
-    solution = solve(encoding.model, method=method)
+    solution = solve(encoding.model, method=method, deadline=deadline, seed=seed)
+    if solution.status is SolveStatus.INFEASIBLE:
+        return formula, None
     if not solution.status.has_solution:
-        raise ReproError(f"{path}: unsatisfiable ({solution.status.value})")
+        raise ReproError(
+            f"{path}: undecided within budget ({solution.status.value})"
+        )
     return formula, encoding.decode(solution, default=False)
 
 
 def _cmd_solve(args) -> int:
-    formula, assignment = _solve_file(args.file, args.method)
+    if args.engine == "portfolio":
+        return _cmd_solve_portfolio(args)
+    formula, assignment = _solve_file(
+        args.file, args.method, deadline=args.deadline, seed=args.seed
+    )
+    if assignment is None:
+        # Same verdict convention as the portfolio path: a proven UNSAT is
+        # exit code 1, not an error.
+        print("s UNSATISFIABLE (via ilp)")
+        return 1
     print(f"s SATISFIABLE ({formula.num_vars} vars, {formula.num_clauses} clauses)")
     print("v " + " ".join(str(l) for l in assignment.to_literals()) + " 0")
+    return 0
+
+
+def _cmd_solve_portfolio(args) -> int:
+    from repro.engine import PortfolioEngine
+
+    formula = read_dimacs(args.file)
+    with PortfolioEngine(jobs=args.jobs) as engine:
+        result = engine.solve(formula, deadline=args.deadline, seed=args.seed)
+    if result.status == "unsat":
+        print(f"s UNSATISFIABLE (by {result.source})")
+        return 1
+    if result.status != "sat":
+        raise ReproError(f"{args.file}: undecided within budget")
+    print(
+        f"s SATISFIABLE ({formula.num_vars} vars, {formula.num_clauses} clauses)"
+    )
+    print(f"c engine: portfolio, winner: {result.source}, "
+          f"{result.wall_time:.3f}s")
+    print("v " + " ".join(str(l) for l in result.assignment.to_literals()) + " 0")
     return 0
 
 
@@ -59,9 +107,16 @@ def _cmd_enable(args) -> int:
 
 
 def _cmd_fast(args) -> int:
-    _original_formula, assignment = _solve_file(args.original, args.method)
+    _original_formula, assignment = _solve_file(
+        args.original, args.method, deadline=args.deadline, seed=args.seed
+    )
+    if assignment is None:
+        raise ReproError(f"{args.original}: original instance is unsatisfiable")
     modified = read_dimacs(args.modified)
-    result = fast_ec(modified, assignment, method=args.method)
+    result = fast_ec(
+        modified, assignment, method=args.method,
+        deadline=args.deadline, seed=args.seed,
+    )
     if not result.succeeded:
         print("s UNSATISFIABLE (modified instance)")
         return 1
@@ -73,9 +128,16 @@ def _cmd_fast(args) -> int:
 
 
 def _cmd_preserve(args) -> int:
-    _original_formula, assignment = _solve_file(args.original, args.method)
+    _original_formula, assignment = _solve_file(
+        args.original, args.method, deadline=args.deadline, seed=args.seed
+    )
+    if assignment is None:
+        raise ReproError(f"{args.original}: original instance is unsatisfiable")
     modified = read_dimacs(args.modified)
-    result = preserving_ec(modified, assignment, method=args.method)
+    result = preserving_ec(
+        modified, assignment, method=args.method,
+        deadline=args.deadline, seed=args.seed,
+    )
     if not result.succeeded:
         print("s UNSATISFIABLE (modified instance)")
         return 1
@@ -104,9 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("solve", help="solve a DIMACS CNF via the ILP route")
+    p = sub.add_parser("solve", help="solve a DIMACS CNF (ILP route or portfolio engine)")
     p.add_argument("file")
-    p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"))
+    p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"),
+                   help="ILP method (ignored with --engine portfolio)")
+    p.add_argument("--engine", default="ilp", choices=("ilp", "portfolio"),
+                   help="'ilp' = the paper's route; 'portfolio' = parallel engine")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="portfolio process-pool width (default: auto)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="race seed for randomized solvers")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock budget in seconds")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("enable", help="solve with enabling EC")
@@ -121,16 +192,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("original")
     p.add_argument("modified")
     p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"))
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock budget in seconds per solve")
     p.set_defaults(func=_cmd_fast)
 
     p = sub.add_parser("preserve", help="preserving EC between two instances")
     p.add_argument("original")
     p.add_argument("modified")
     p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"))
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock budget in seconds per solve")
     p.set_defaults(func=_cmd_preserve)
 
-    p = sub.add_parser("bench", help="regenerate a paper table")
-    p.add_argument("table", choices=("table1", "table2", "table3"))
+    p = sub.add_parser("bench", help="regenerate a paper table or the engine comparison")
+    p.add_argument("table", choices=("table1", "table2", "table3", "engine"))
     p.add_argument("--tier", choices=("ci", "paper"), default=None)
     p.add_argument("--block", choices=("small", "large", "all"), default=None)
     p.set_defaults(func=_cmd_bench)
@@ -141,7 +218,14 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except BrokenPipeError:
+        # A downstream consumer (e.g. `| head`) closed stdout after a
+        # successful solve; that is not an error.  Point stdout at
+        # /dev/null so the interpreter's exit flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

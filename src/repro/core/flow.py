@@ -16,7 +16,7 @@ Every step is recorded in ``flow.history`` for inspection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
@@ -27,12 +27,15 @@ from repro.core.preserving import PreservingECResult, preserving_ec
 from repro.errors import ECError
 from repro.sat.encoding import encode_sat
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from repro.engine.engine import PortfolioEngine
+
 
 @dataclass
 class FlowStep:
     """One entry of the flow history."""
 
-    kind: str                 # 'solve' | 'enable' | 'change' | 'fast' | 'preserving'
+    kind: str                 # 'solve' | 'enable' | 'change' | 'fast' | 'preserving' | 'portfolio'
     detail: str = ""
     assignment: Assignment | None = None
 
@@ -45,6 +48,7 @@ class ECFlow:
     assignment: Assignment | None = None
     enabled: bool = False
     history: list[FlowStep] = field(default_factory=list)
+    engine: "PortfolioEngine | None" = None
 
     # ------------------------------------------------------------------
     def solve_original(
@@ -112,7 +116,14 @@ class ECFlow:
         method: str = "exact",
         **options,
     ) -> Assignment:
-        """Re-solve the modified specification with fast or preserving EC.
+        """Re-solve the modified specification.
+
+        Strategies: ``"fast"`` (re-solve the minimal affected
+        sub-instance), ``"preserving"`` (maximize agreement with the
+        previous solution), or ``"portfolio"`` (the cached parallel
+        engine of :mod:`repro.engine`; accepts ``jobs=``, ``deadline=``,
+        and ``seed=`` options, and answers loosening-only changes by
+        revalidation without launching any solver).
 
         Raises:
             ECError: on an unknown strategy, a missing starting solution,
@@ -120,6 +131,33 @@ class ECFlow:
         """
         if self.assignment is None:
             raise ECError("no starting solution; call solve_original first")
+        if strategy == "portfolio":
+            jobs = options.pop("jobs", None)
+            deadline = options.pop("deadline", None)
+            seed = options.pop("seed", None)
+            # Validate before touching the engine: a rejected call must not
+            # leave a lazily-created engine configured from its arguments.
+            if options:
+                raise ECError(
+                    f"unknown portfolio options {sorted(options)} "
+                    "(supported: jobs, deadline, seed)"
+                )
+            engine = self._ensure_engine(jobs=jobs)
+            eresult = engine.solve(
+                self.formula, deadline=deadline, seed=seed, hint=self.assignment
+            )
+            if eresult.status == "unsat":
+                raise ECError("modified instance is unsatisfiable")
+            if eresult.status != "sat":
+                raise ECError(
+                    "portfolio engine could not decide the modified instance "
+                    "within its budget"
+                )
+            self.assignment = eresult.assignment
+            self.history.append(
+                FlowStep("portfolio", f"source={eresult.source}", eresult.assignment)
+            )
+            return eresult.assignment
         if strategy == "fast":
             result: FastECResult = fast_ec(
                 self.formula, self.assignment, method=method, **options
@@ -153,7 +191,26 @@ class ECFlow:
                 )
             )
             return presult.assignment
-        raise ECError(f"unknown strategy {strategy!r} (fast|preserving)")
+        raise ECError(f"unknown strategy {strategy!r} (fast|preserving|portfolio)")
+
+    # ------------------------------------------------------------------
+    def _ensure_engine(self, jobs: int | None = None) -> "PortfolioEngine":
+        """The flow's portfolio engine, created on first use.
+
+        ``jobs`` only takes effect at creation; later resolves reuse the
+        existing engine (inject a configured one via ``ECFlow(engine=...)``
+        to control the line-up or share a cache across flows).
+        """
+        if self.engine is None:
+            from repro.engine.engine import PortfolioEngine
+
+            self.engine = PortfolioEngine(jobs=jobs)
+        return self.engine
+
+    def close(self) -> None:
+        """Release the portfolio engine's worker pool, if one was created."""
+        if self.engine is not None:
+            self.engine.close()
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,68 @@
+"""Parallel portfolio solver engine with fingerprint caching.
+
+The paper's EC thesis is that successive specification changes should be
+*cheap* to absorb.  This subpackage industrialises that idea into an
+engine suitable for serving many queries:
+
+* :mod:`repro.engine.protocol`    -- the uniform ``Solver`` interface and
+  ``SolverOutcome`` result record every backend adapts to;
+* :mod:`repro.engine.adapters`    -- adapters giving DPLL, WalkSAT, brute
+  force, and both ILP solvers one ``solve(formula, *, deadline, seed)``
+  entry point;
+* :mod:`repro.engine.fingerprint` -- canonical, order-insensitive formula
+  fingerprints (normalized-clause hashes);
+* :mod:`repro.engine.cache`       -- a content-addressed LRU
+  :class:`SolutionCache` keyed by fingerprint;
+* :mod:`repro.engine.config`      -- picklable solver configurations and
+  the default portfolio line-up;
+* :mod:`repro.engine.portfolio`   -- the :class:`Portfolio` runner racing
+  N configurations across a process pool with deadline / cancellation
+  semantics;
+* :mod:`repro.engine.engine`      -- the :class:`PortfolioEngine` facade
+  combining cache, hint revalidation, and the portfolio race;
+* :mod:`repro.engine.session`     -- :class:`IncrementalSession`, the
+  successive-EC driver that classifies change sets and revalidates
+  instead of re-solving whenever the change only loosens the instance.
+"""
+
+from repro.engine.adapters import (
+    BruteForceAdapter,
+    DPLLAdapter,
+    ExactILPAdapter,
+    HeuristicILPAdapter,
+    WalkSATAdapter,
+    build_adapter,
+)
+from repro.engine.cache import CacheEntry, CacheStats, SolutionCache
+from repro.engine.config import SolverConfig, default_portfolio_configs
+from repro.engine.engine import EngineResult, EngineStats, PortfolioEngine
+from repro.engine.fingerprint import fingerprint
+from repro.engine.portfolio import Portfolio, PortfolioResult
+from repro.engine.protocol import SAT, UNKNOWN, UNSAT, Solver, SolverOutcome
+from repro.engine.session import IncrementalSession
+
+__all__ = [
+    "BruteForceAdapter",
+    "CacheEntry",
+    "CacheStats",
+    "DPLLAdapter",
+    "EngineResult",
+    "EngineStats",
+    "ExactILPAdapter",
+    "HeuristicILPAdapter",
+    "IncrementalSession",
+    "Portfolio",
+    "PortfolioEngine",
+    "PortfolioResult",
+    "SAT",
+    "SolutionCache",
+    "Solver",
+    "SolverConfig",
+    "SolverOutcome",
+    "UNKNOWN",
+    "UNSAT",
+    "WalkSATAdapter",
+    "build_adapter",
+    "default_portfolio_configs",
+    "fingerprint",
+]

@@ -1,0 +1,120 @@
+"""Content-addressed LRU cache of solver verdicts.
+
+Keys are formula fingerprints (:mod:`repro.engine.fingerprint`), values
+are verdicts: a verified model for satisfiable instances, or a proven
+UNSAT marker.  Successive-EC workloads revisit instances constantly —
+loosening changes restore earlier formulas, benchmark suites repeat rows,
+and production query streams are heavily skewed — so repeated queries
+should cost a hash plus an O(clauses) revalidation, never a solver run.
+
+Assignments are copied on the way in and out: callers mutate assignments
+freely (flips, don't-care recovery) and must not corrupt cached entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.cnf.assignment import Assignment
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never queried)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached verdict."""
+
+    fingerprint: str
+    satisfiable: bool
+    assignment: Assignment | None = None   # a model when satisfiable
+    solver: str = ""                       # config that produced it
+    hits: int = 0                          # times this entry was served
+
+
+@dataclass
+class SolutionCache:
+    """An LRU mapping ``fingerprint -> CacheEntry``.
+
+    Args:
+        max_entries: capacity; the least recently used entry is evicted
+            first.  ``0`` disables caching entirely (every get misses).
+    """
+
+    max_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict[str, CacheEntry] = field(
+        default_factory=OrderedDict, repr=False
+    )
+
+    def get(self, fp: str) -> CacheEntry | None:
+        """Look up a verdict, refreshing its LRU position on a hit.
+
+        The returned entry carries a *copy* of the cached assignment.
+        """
+        entry = self._entries.get(fp)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(fp)
+        self.stats.hits += 1
+        entry.hits += 1
+        return CacheEntry(
+            fingerprint=entry.fingerprint,
+            satisfiable=entry.satisfiable,
+            assignment=entry.assignment.copy() if entry.assignment else None,
+            solver=entry.solver,
+            hits=entry.hits,
+        )
+
+    def put(
+        self,
+        fp: str,
+        satisfiable: bool,
+        assignment: Assignment | None = None,
+        solver: str = "",
+    ) -> None:
+        """Store a verdict (no-op when capacity is 0)."""
+        if self.max_entries <= 0:
+            return
+        if satisfiable and assignment is None:
+            raise ValueError("a satisfiable entry requires a model")
+        self._entries[fp] = CacheEntry(
+            fingerprint=fp,
+            satisfiable=satisfiable,
+            assignment=assignment.copy() if assignment else None,
+            solver=solver,
+        )
+        self._entries.move_to_end(fp)
+        self.stats.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, fp: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        return self._entries.pop(fp, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

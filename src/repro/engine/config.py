@@ -1,0 +1,77 @@
+"""Picklable solver configurations and the default portfolio line-up.
+
+A :class:`SolverConfig` is pure data — (name, kind, params, seed offset) —
+so it crosses the process boundary cheaply and the worker builds the
+actual adapter on its side.  The default portfolio orders configurations
+by expected decisiveness: the complete DPLL solver leads (it also powers
+the in-process quick slice), diversified WalkSAT configurations chase
+satisfiable instances, and the paper's ILP route brings up the rear as
+both a cross-check and the historical baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.adapters import build_adapter
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """One racer in the portfolio.
+
+    Attributes:
+        name: unique display name within the portfolio.
+        kind: adapter kind (see :data:`repro.engine.adapters.ADAPTERS`).
+        params: adapter constructor parameters.
+        seed_offset: added to the race seed so identical adapters with
+            different offsets explore different trajectories.
+    """
+
+    name: str
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+    seed_offset: int = 0
+
+    @classmethod
+    def make(cls, name: str, kind: str, seed_offset: int = 0, **params) -> "SolverConfig":
+        """Build a config from keyword parameters."""
+        return cls(name, kind, tuple(sorted(params.items())), seed_offset)
+
+    def build(self):
+        """Instantiate this configuration's adapter."""
+        return build_adapter(self.kind, name=self.name, **dict(self.params))
+
+    @property
+    def complete(self) -> bool:
+        """Whether this kind's ``unsat`` verdicts are proofs.
+
+        Unknown kinds count as incomplete, so the race can never trust an
+        UNSAT from a racer it does not recognize.
+        """
+        from repro.engine.adapters import ADAPTERS
+
+        return bool(getattr(ADAPTERS.get(self.kind), "complete", False))
+
+
+def default_portfolio_configs(diversify: int = 2) -> list[SolverConfig]:
+    """The standard race line-up.
+
+    Args:
+        diversify: number of extra WalkSAT configurations with distinct
+            seeds/noise (0 keeps just the core trio).
+    """
+    configs = [SolverConfig.make("dpll", "dpll")]
+    configs.append(SolverConfig.make("walksat", "walksat"))
+    for i in range(max(0, diversify - 1)):
+        configs.append(
+            SolverConfig.make(
+                f"walksat-d{i + 1}",
+                "walksat",
+                seed_offset=101 + i,
+                noise=0.3 + 0.2 * (i % 2),
+            )
+        )
+    configs.append(SolverConfig.make("ilp-heuristic", "ilp-heuristic"))
+    configs.append(SolverConfig.make("ilp-exact", "ilp-exact"))
+    return configs

@@ -1,0 +1,178 @@
+"""The :class:`PortfolioEngine` facade: cache -> revalidate -> race.
+
+Query path for ``engine.solve(formula, hint=previous_solution)``:
+
+1. **Hint revalidation** — if the caller's previous solution already
+   satisfies the formula (every loosening EC lands here), it is adopted
+   and cached; no solver runs.  The hint outranks the cache so a
+   still-valid current solution is never churned for an older cached
+   model — minimal perturbation is the EC objective.
+2. **Fingerprint lookup** — a content-addressed
+   :class:`~repro.engine.cache.SolutionCache` hit answers repeated (and
+   round-tripped, reordered, re-derived) instances without any solving.
+   Cached models are still revalidated in O(clauses) before being served.
+3. **Portfolio race** — otherwise the configured
+   :class:`~repro.engine.portfolio.Portfolio` races its solvers, and any
+   trusted verdict (verified model, or UNSAT from a complete solver) is
+   cached for the next query.
+
+``EngineStats.solver_calls`` counts actual solver launches, so tests and
+benchmarks can assert that steps 1-2 never touched a solver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.engine.cache import SolutionCache
+from repro.engine.config import SolverConfig
+from repro.engine.fingerprint import fingerprint
+from repro.engine.portfolio import DEFAULT_QUICK_SLICE, Portfolio
+from repro.engine.protocol import SAT, UNSAT, SolverOutcome
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine's lifetime."""
+
+    solves: int = 0              # total engine.solve() calls
+    cache_hits: int = 0          # answered from the fingerprint cache
+    revalidations: int = 0       # answered by revalidating the hint
+    races: int = 0               # portfolio races actually run
+    solver_calls: int = 0        # solver runs that actually started
+
+
+@dataclass
+class EngineResult:
+    """What the engine returned for one query."""
+
+    status: str                  # "sat" | "unsat" | "unknown"
+    assignment: Assignment | None
+    fingerprint: str
+    source: str                  # "cache" | "revalidation" | name of winner | "portfolio"
+    wall_time: float
+    from_cache: bool = False
+    outcome: SolverOutcome | None = None
+
+    @property
+    def satisfiable(self) -> bool | None:
+        """Tri-state satisfiability (None = undecided)."""
+        if self.status == SAT:
+            return True
+        if self.status == UNSAT:
+            return False
+        return None
+
+
+class PortfolioEngine:
+    """Cache-fronted portfolio solver, the engine behind
+    ``ECFlow.resolve(strategy="portfolio")`` and ``repro solve --engine
+    portfolio``.
+
+    Args:
+        configs: portfolio line-up override.
+        jobs: process-pool width (``<= 1`` = in-process sequential race).
+        cache: shared :class:`SolutionCache` (a private one by default).
+        quick_slice: lead-solver in-process budget, see
+            :class:`~repro.engine.portfolio.Portfolio`.
+    """
+
+    def __init__(
+        self,
+        configs: list[SolverConfig] | None = None,
+        jobs: int | None = None,
+        cache: SolutionCache | None = None,
+        quick_slice: float = DEFAULT_QUICK_SLICE,
+    ):
+        self.portfolio = Portfolio(configs=configs, jobs=jobs, quick_slice=quick_slice)
+        self.cache = cache if cache is not None else SolutionCache()
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        formula: CNFFormula,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        hint: Assignment | None = None,
+        use_cache: bool = True,
+    ) -> EngineResult:
+        """Answer a satisfiability query through cache, hint, then race."""
+        t0 = time.perf_counter()
+        self.stats.solves += 1
+        # Hashing costs about as much as an easy solve; skip it entirely
+        # when the caller bypasses the cache.
+        fp = fingerprint(formula) if use_cache else ""
+
+        # The hint is checked BEFORE the cache: both are O(clauses), and a
+        # still-valid current solution must win over an older cached model
+        # — serving the cache here would churn the very solution the EC
+        # methodology tries to preserve.
+        if hint is not None and formula.is_satisfied(hint):
+            self.stats.revalidations += 1
+            model = hint.copy()
+            if use_cache:
+                self.cache.put(fp, True, model, solver="revalidation")
+            return EngineResult(
+                SAT, model, fp, "revalidation", time.perf_counter() - t0
+            )
+
+        if use_cache:
+            entry = self.cache.get(fp)
+            if entry is not None:
+                if entry.satisfiable and formula.is_satisfied(entry.assignment):
+                    self.stats.cache_hits += 1
+                    return EngineResult(
+                        SAT, entry.assignment, fp, "cache",
+                        time.perf_counter() - t0, from_cache=True,
+                    )
+                if not entry.satisfiable:
+                    self.stats.cache_hits += 1
+                    return EngineResult(
+                        UNSAT, None, fp, "cache",
+                        time.perf_counter() - t0, from_cache=True,
+                    )
+                # A cached model that no longer verifies means a hash
+                # collision or an upstream bug; drop it and fall through.
+                self.cache.invalidate(fp)
+
+        self.stats.races += 1
+        result = self.portfolio.solve(
+            formula, deadline=deadline, seed=seed, hint=hint
+        )
+        # Racers cancelled before their solver started are excluded;
+        # racers abandoned mid-run still count, so this is exact for the
+        # zero-solver paths and an upper bound on completed runs.
+        self.stats.solver_calls += result.executed
+        outcome = result.outcome
+        if use_cache and outcome.is_definitive:
+            self.cache.put(
+                fp, outcome.status == SAT, outcome.assignment, solver=outcome.solver
+            )
+        return EngineResult(
+            outcome.status,
+            outcome.assignment,
+            fp,
+            result.winner or "portfolio",
+            time.perf_counter() - t0,
+            outcome=outcome,
+        )
+
+    # ------------------------------------------------------------------
+    def warm_up(self) -> None:
+        """Pre-start the worker pool (benchmark hygiene)."""
+        self.portfolio.warm_up()
+
+    def close(self) -> None:
+        """Release the worker pool."""
+        self.portfolio.close()
+
+    def __enter__(self) -> "PortfolioEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

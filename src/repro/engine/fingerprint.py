@@ -1,0 +1,56 @@
+"""Canonical, content-addressed CNF formula fingerprints.
+
+The solution cache must recognize "the same instance" across sessions,
+clause reorderings, literal reorderings, and duplicated clauses — all of
+which are artifacts of how a formula was built, not of what it means.  The
+fingerprint therefore hashes the *normalized clause set*:
+
+* each clause contributes its literal tuple (already deduplicated and
+  order-normalized by :class:`~repro.cnf.clause.Clause`);
+* the clause collection is deduplicated and sorted, so neither clause
+  order nor multiplicity matters;
+* free variables (active but occurring in no clause) are excluded: they
+  are don't-cares and cannot affect satisfiability, which also makes the
+  fingerprint stable under the DIMACS round-trip (the format cannot
+  express gaps in the variable range).
+
+Two formulas with equal fingerprints are satisfied by exactly the same
+assignments over their clause variables, so a cached model for one is a
+model for the other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cnf.formula import CNFFormula
+
+#: Version tag mixed into every digest so a future normalization change
+#: invalidates old fingerprints instead of silently colliding with them.
+_VERSION = b"repro-cnf-fp-v1"
+
+
+def normalized_clauses(formula: CNFFormula) -> tuple[tuple[int, ...], ...]:
+    """The canonical clause-set form the fingerprint hashes.
+
+    A sorted tuple of distinct literal tuples; the empty clause (from
+    variable elimination) is kept — it makes the instance unsatisfiable
+    and must be distinguished.
+    """
+    return tuple(sorted({cl.literals for cl in formula.clauses}))
+
+
+def fingerprint(formula: CNFFormula) -> str:
+    """Hex SHA-256 fingerprint of *formula*'s normalized clause set.
+
+    Invariants (property-tested in ``tests/engine/test_fingerprint.py``):
+
+    * permuting clauses or literals never changes the fingerprint;
+    * duplicate clauses never change the fingerprint;
+    * ``fingerprint(parse_dimacs(to_dimacs(f))) == fingerprint(f)``.
+    """
+    h = hashlib.sha256(_VERSION)
+    for lits in normalized_clauses(formula):
+        h.update(b"|")
+        h.update(",".join(map(str, lits)).encode("ascii"))
+    return h.hexdigest()

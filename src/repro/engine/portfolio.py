@@ -1,0 +1,380 @@
+"""Race N solver configurations; first definitive answer wins.
+
+Strategy (classic parallel-portfolio with a twist for serial hardware):
+
+1. **Quick slice** — the lead configuration (complete DPLL by default)
+   runs *in-process* for a short budget.  Easy instances — the vast
+   majority in an EC workload — are decided here at sequential-solver
+   speed, with zero pool overhead.  This is what keeps the portfolio "no
+   slower than the best single sequential solver" even on one core.
+2. **Fan-out** — undecided instances are raced across a
+   ``concurrent.futures`` process pool.  Workers start staggered (so on
+   oversubscribed hardware the lead solver runs nearly uncontended) and
+   poll a shared cancellation event while waiting, so not-yet-started
+   losers stop cheaply once a winner crosses the line; losers already
+   mid-solve cannot be interrupted and are terminated with the pool
+   (rebuilt lazily for the next race).  The ``deadline`` is enforced
+   both inside each worker and by the parent's wait loop.
+
+An ``unsat`` outcome only wins if its solver is complete; ``sat``
+outcomes are verified models (see :mod:`repro.engine.adapters`), so the
+race can never return a wrong answer, only ``unknown``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.engine.config import SolverConfig, default_portfolio_configs
+from repro.engine.protocol import SAT, SolverOutcome, UNKNOWN, UNSAT
+
+#: Default in-process budget (seconds) for the lead solver before fan-out.
+DEFAULT_QUICK_SLICE = 0.05
+
+#: Worker-side cancellation event, installed by :func:`_init_worker`.
+_CANCEL = None
+
+
+def _init_worker(cancel_event) -> None:
+    """Pool initializer: adopt the shared cancellation event."""
+    global _CANCEL
+    _CANCEL = cancel_event
+
+
+def run_config(
+    config: SolverConfig,
+    formula: CNFFormula,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
+    hint: Assignment | None = None,
+) -> SolverOutcome:
+    """Run one configuration, mapping any crash to an ``unknown`` outcome.
+
+    The effective solver seed is ``(seed or 0) + config.seed_offset`` so a
+    single race seed still diversifies identical adapters.
+    """
+    t0 = time.perf_counter()
+    try:
+        adapter = config.build()
+        return adapter.solve(
+            formula,
+            deadline=deadline,
+            seed=(0 if seed is None else seed) + config.seed_offset,
+            hint=hint,
+        )
+    except Exception as exc:  # a crashed racer must not kill the race
+        return SolverOutcome(
+            UNKNOWN, None, config.name, time.perf_counter() - t0, f"error: {exc!r}"
+        )
+
+
+def _race_entry(
+    config: SolverConfig,
+    formula: CNFFormula,
+    deadline: float | None,
+    seed: int | None,
+    hint: Assignment | None,
+    stagger: float,
+) -> SolverOutcome:
+    """Worker-side entry: staggered, cancellable start, then the solver."""
+    t0 = time.perf_counter()
+    waited = 0.0
+    while waited < stagger:
+        if _CANCEL is not None and _CANCEL.is_set():
+            return SolverOutcome(UNKNOWN, None, config.name, 0.0, "cancelled")
+        step = min(0.01, stagger - waited)
+        time.sleep(step)
+        waited += step
+    if _CANCEL is not None and _CANCEL.is_set():
+        return SolverOutcome(UNKNOWN, None, config.name, 0.0, "cancelled")
+    remaining = None
+    if deadline is not None:
+        remaining = max(0.0, deadline - (time.perf_counter() - t0))
+    return run_config(config, formula, deadline=remaining, seed=seed, hint=hint)
+
+
+def _trusted(config: SolverConfig, out: SolverOutcome) -> bool:
+    """Can the race stop on this outcome?
+
+    A ``sat`` always can (models are verified); an ``unsat`` only counts
+    as a proof when the producing configuration is complete.
+    """
+    if out.status == SAT:
+        return True
+    return out.status == UNSAT and config.complete
+
+
+@dataclass
+class PortfolioResult:
+    """What a race produced.
+
+    ``launched`` counts submissions; ``executed`` excludes racers that
+    were cancelled before their solver ever started (``executed`` still
+    includes racers terminated mid-run, so it is exact for the
+    zero-solver paths and an upper bound otherwise).
+    """
+
+    outcome: SolverOutcome
+    winner: str | None
+    launched: int
+    wall_time: float
+    outcomes: list[SolverOutcome] = field(default_factory=list)
+    via_quick_slice: bool = False
+    executed: int = 0
+
+
+class Portfolio:
+    """A reusable racer over a fixed list of solver configurations.
+
+    Args:
+        configs: race line-up (default: :func:`default_portfolio_configs`).
+        jobs: process-pool width; ``<= 1`` disables the pool and runs the
+            line-up sequentially in-process (first definitive answer wins).
+            Default: ``min(4, os.cpu_count())``.
+        quick_slice: in-process lead-solver budget in seconds before
+            fanning out (0 disables the quick slice).
+        stagger: delay between worker starts; ``None`` auto-selects 0 on
+            machines with at least ``jobs`` cores and 50 ms otherwise.
+
+    The process pool is created lazily and reused across calls; use the
+    portfolio as a context manager (or call :meth:`close`) to release it.
+    """
+
+    def __init__(
+        self,
+        configs: list[SolverConfig] | None = None,
+        jobs: int | None = None,
+        quick_slice: float = DEFAULT_QUICK_SLICE,
+        stagger: float | None = None,
+    ):
+        self.configs = list(configs) if configs is not None else default_portfolio_configs()
+        cores = os.cpu_count() or 1
+        self.jobs = min(4, cores) if jobs is None else jobs
+        self.quick_slice = quick_slice
+        self.stagger = (0.0 if cores >= max(self.jobs, 2) else 0.05) if stagger is None else stagger
+        self.total_launched = 0
+        self._executor: ProcessPoolExecutor | None = None
+        self._cancel = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+            self._cancel = ctx.Event()
+            self._executor = ProcessPoolExecutor(
+                max_workers=max(1, self.jobs),
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(self._cancel,),
+            )
+        return self._executor
+
+    def warm_up(self) -> None:
+        """Spin up the worker pool ahead of the first race (benchmarks)."""
+        if self.jobs > 1:
+            executor = self._ensure_pool()
+            wait([executor.submit(os.getpid) for _ in range(self.jobs)])
+
+    def close(self) -> None:
+        """Tear the worker pool down (safe to call repeatedly).
+
+        Running workers are terminated: a mid-solve racer cannot be
+        interrupted cooperatively, and letting it run to completion would
+        block interpreter exit on the pool's atexit join.
+        """
+        self._terminate_pool()
+
+    def _terminate_pool(self) -> None:
+        executor, self._executor = self._executor, None
+        cancel, self._cancel = self._cancel, None
+        if executor is None:
+            return
+        if cancel is not None:
+            cancel.set()
+        # ProcessPoolExecutor exposes no public kill; fall back to leaving
+        # the workers alone if the private handle ever disappears.
+        procs = dict(getattr(executor, "_processes", None) or {})
+        executor.shutdown(wait=False, cancel_futures=True)
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+
+    def __enter__(self) -> "Portfolio":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        formula: CNFFormula,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        hint: Assignment | None = None,
+    ) -> PortfolioResult:
+        """Race the line-up on *formula*; see the module docstring.
+
+        Returns an ``unknown`` result only when every configuration came
+        back undecided within its budget.
+        """
+        if not self.configs:
+            raise ValueError("portfolio has no solver configurations")
+        t0 = time.perf_counter()
+        outcomes: list[SolverOutcome] = []
+        launched = 0
+
+        # Phase 1: in-process quick slice on the lead configuration.
+        if self.quick_slice > 0:
+            slice_budget = (
+                self.quick_slice if deadline is None else min(self.quick_slice, deadline)
+            )
+            lead = self.configs[0]
+            launched += 1
+            out = run_config(
+                lead, formula, deadline=slice_budget, seed=seed, hint=hint
+            )
+            outcomes.append(out)
+            if _trusted(lead, out):
+                self.total_launched += launched
+                return PortfolioResult(
+                    out, lead.name, launched, time.perf_counter() - t0,
+                    outcomes, via_quick_slice=True, executed=launched,
+                )
+
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - (time.perf_counter() - t0))
+
+        # Phase 2: fan out (or fall back to a sequential scan).
+        if self.jobs <= 1:
+            winner = None
+            for config in self.configs:
+                if deadline is not None:
+                    remaining = max(0.0, deadline - (time.perf_counter() - t0))
+                    if remaining == 0.0:
+                        break
+                launched += 1
+                out = run_config(
+                    config, formula, deadline=remaining, seed=seed, hint=hint
+                )
+                outcomes.append(out)
+                if _trusted(config, out):
+                    winner = out
+                    break
+            self.total_launched += launched
+            final = winner or _best_unknown(outcomes)
+            return PortfolioResult(
+                final, winner.solver if winner else None, launched,
+                time.perf_counter() - t0, outcomes, executed=launched,
+            )
+
+        def _submit_all():
+            executor = self._ensure_pool()
+            self._cancel.clear()
+            return {
+                executor.submit(
+                    _race_entry, config, formula, remaining, seed, hint,
+                    i * self.stagger,
+                ): config
+                for i, config in enumerate(self.configs)
+            }
+
+        try:
+            futures = _submit_all()
+        except BrokenExecutor:
+            # An idle worker died between races; rebuild the pool once.
+            self._terminate_pool()
+            futures = _submit_all()
+        launched += len(futures)
+        self.total_launched += launched
+
+        winner: SolverOutcome | None = None
+        timed_out = False
+        pool_broken = False
+        pending = set(futures)
+        while pending and winner is None:
+            # The parent enforces the deadline too: queued tasks only start
+            # their own budget when a worker picks them up, so with more
+            # configs than workers the race would otherwise overshoot.
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - (time.perf_counter() - t0)) + 0.05
+            done, pending = wait(
+                pending, return_when=FIRST_COMPLETED, timeout=timeout
+            )
+            if not done:
+                timed_out = True
+                break
+            for fut in done:
+                try:
+                    out = fut.result()
+                except BrokenExecutor as exc:
+                    pool_broken = True
+                    out = SolverOutcome(
+                        UNKNOWN, None, futures[fut].name, 0.0, f"worker error: {exc!r}"
+                    )
+                except Exception as exc:  # worker died (OOM, signal, ...)
+                    out = SolverOutcome(
+                        UNKNOWN, None, futures[fut].name, 0.0, f"worker error: {exc!r}"
+                    )
+                outcomes.append(out)
+                if winner is None and _trusted(futures[fut], out):
+                    winner = out
+        not_run = 0
+        if pending:
+            self._cancel.set()
+            for fut in pending:
+                if fut.cancel():       # still queued: its solver never ran
+                    not_run += 1
+            # Give cancelled workers a beat to drain (they poll the event
+            # every 10 ms while staggered); racers already mid-solve cannot
+            # be interrupted, so terminate them and rebuild the pool lazily
+            # on the next race rather than let losers burn CPU.
+            live = {fut for fut in pending if not fut.cancelled()}
+            done, still_running = wait(live, timeout=0.1)
+            for fut in done:
+                try:
+                    out = fut.result()
+                except Exception:
+                    continue
+                outcomes.append(out)
+                if out.detail == "cancelled":   # bailed during the stagger
+                    not_run += 1
+            if still_running:
+                self._terminate_pool()
+        if pool_broken:
+            # A dead worker poisons the whole executor: rebuild lazily so
+            # the next race degrades to "unknown", not BrokenProcessPool.
+            self._terminate_pool()
+
+        if winner is None and timed_out:
+            final = SolverOutcome(UNKNOWN, None, "portfolio", 0.0, "deadline exceeded")
+        else:
+            final = winner or _best_unknown(outcomes)
+        return PortfolioResult(
+            final, winner.solver if winner else None, launched,
+            time.perf_counter() - t0, outcomes, executed=launched - not_run,
+        )
+
+
+def _best_unknown(outcomes: list[SolverOutcome]) -> SolverOutcome:
+    """Aggregate an all-unknown race into one outcome."""
+    detail = "; ".join(
+        f"{o.solver}: {o.detail or o.status}" for o in outcomes
+    )
+    return SolverOutcome(UNKNOWN, None, "portfolio", 0.0, detail or "no outcomes")

@@ -1,0 +1,104 @@
+"""The uniform solver interface every backend adapts to.
+
+The repo grew four independent satisfiability routes (DPLL, WalkSAT,
+exhaustive enumeration, and the SAT->set-cover->0-1-ILP encoding solved by
+branch and bound or iterative improvement), each with its own calling
+convention.  The engine needs to race and cache them interchangeably, so
+this module fixes one contract:
+
+* ``solve(formula, *, deadline=None, seed=None, hint=None)`` returns a
+  :class:`SolverOutcome`;
+* ``deadline`` is a wall-clock budget in **seconds for this call** (not an
+  absolute timestamp — budgets survive pickling into worker processes);
+* ``seed`` makes any randomized search deterministic; deterministic
+  solvers accept and may ignore it;
+* ``hint`` is a previous assignment used as a warm start / phase hint;
+* a ``sat`` outcome always carries a *verified* model; ``unsat`` may only
+  be produced by a complete solver that proved it; everything else
+  (budget exhausted, deadline hit, solver error) is ``unknown``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+
+#: Outcome status values.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class SolverOutcome:
+    """The result of one solver run under the engine contract.
+
+    Attributes:
+        status: ``"sat"`` | ``"unsat"`` | ``"unknown"``.
+        assignment: a verified model when ``status == "sat"``, else None.
+        solver: name of the configuration that produced the outcome.
+        wall_time: seconds spent inside the solver call.
+        detail: free-form diagnostics (budget kind, fallback notes, ...).
+    """
+
+    status: str
+    assignment: Assignment | None = None
+    solver: str = ""
+    wall_time: float = 0.0
+    detail: str = ""
+
+    @property
+    def is_definitive(self) -> bool:
+        """True for ``sat``/``unsat`` — an answer the race can stop on."""
+        return self.status in (SAT, UNSAT)
+
+    def __post_init__(self):
+        if self.status not in (SAT, UNSAT, UNKNOWN):
+            raise ValueError(f"invalid solver status {self.status!r}")
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Anything the portfolio can race.
+
+    Implementations must be picklable (they cross a process boundary) and
+    deterministic given (formula, seed).
+    """
+
+    #: Display / telemetry name.
+    name: str
+    #: Whether an ``unsat`` verdict from this solver is a proof.
+    complete: bool
+
+    def solve(
+        self,
+        formula: CNFFormula,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        hint: Assignment | None = None,
+    ) -> SolverOutcome:
+        """Solve *formula* within the wall-clock budget ``deadline``."""
+        ...
+
+
+def verified_sat(
+    formula: CNFFormula,
+    assignment: Assignment | None,
+    solver: str,
+    wall_time: float,
+    detail: str = "",
+) -> SolverOutcome:
+    """Build a ``sat`` outcome, downgrading to ``unknown`` on a bad model.
+
+    Every adapter funnels its satisfiable results through this check so a
+    buggy backend can never poison the cache with a non-model.
+    """
+    if assignment is not None and formula.is_satisfied(assignment):
+        return SolverOutcome(SAT, assignment, solver, wall_time, detail)
+    return SolverOutcome(
+        UNKNOWN, None, solver, wall_time, detail or "model failed verification"
+    )

@@ -1,0 +1,174 @@
+"""Incremental EC sessions: classify changes, revalidate, re-solve.
+
+The paper's §5 taxonomy — removing clauses / adding variables *loosens*
+an instance, adding clauses / removing variables *tightens* it — becomes
+an execution policy here:
+
+* a **loosening-only** :class:`~repro.core.change.ChangeSet` can never
+  invalidate the current solution, so the session answers in O(1)
+  without touching the cache or launching any solver; a tightening
+  batch that happens not to break the solution is caught by an
+  O(clauses) revalidation;
+* a **tightening** batch goes to the :class:`PortfolioEngine` with the
+  previous solution as hint, which both warm-starts the racers and lets
+  the engine short-circuit when the change happened not to break the
+  solution after all.
+
+The session keeps the running formula, the current solution, and a
+history of (regime, source) pairs for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.core.change import ChangeSet
+from repro.engine.engine import EngineResult, PortfolioEngine
+from repro.engine.protocol import SAT, UNSAT
+from repro.errors import ECError
+
+
+@dataclass
+class SessionStep:
+    """One entry of the session history."""
+
+    kind: str          # 'solve' | 'change' | 'resolve'
+    regime: str = ""   # 'loosening' | 'tightening' | ''
+    source: str = ""   # engine source ('cache', 'revalidation', winner, ...)
+
+
+class IncrementalSession:
+    """Drive successive engineering changes through the engine.
+
+    Args:
+        formula: the original specification.
+        engine: a shared :class:`PortfolioEngine` (a private one with the
+            given ``jobs`` is created when omitted).
+        jobs: forwarded to the private engine when one is created.
+    """
+
+    def __init__(
+        self,
+        formula: CNFFormula,
+        engine: PortfolioEngine | None = None,
+        *,
+        jobs: int | None = None,
+    ):
+        self.formula = formula.copy()
+        self.engine = engine if engine is not None else PortfolioEngine(jobs=jobs)
+        self.assignment: Assignment | None = None
+        self.history: list[SessionStep] = []
+        self.revalidations = 0
+        self._pending_regime = ""
+        # True when some tightening change landed after the last accepted
+        # solution; only then can the solution have been invalidated.
+        self._tightening_pending = False
+
+    # ------------------------------------------------------------------
+    @property
+    def solver_calls(self) -> int:
+        """Solver runs the engine launched on this session's behalf."""
+        return self.engine.stats.solver_calls
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, *, deadline: float | None = None, seed: int | None = None
+    ) -> Assignment:
+        """Solve the current specification from scratch (cache permitting).
+
+        Raises:
+            ECError: when the instance is unsatisfiable or undecided
+                within the deadline.
+        """
+        result = self.engine.solve(
+            self.formula, deadline=deadline, seed=seed, hint=self.assignment
+        )
+        self.assignment = self._accept(result)
+        self._tightening_pending = False
+        self.history.append(SessionStep("solve", source=result.source))
+        return self.assignment
+
+    def apply_changes(self, changes: ChangeSet | Iterable) -> str:
+        """Install a change batch; returns its regime.
+
+        Returns:
+            ``"loosening"`` when no change in the batch can invalidate the
+            current solution, else ``"tightening"``.
+        """
+        if not isinstance(changes, ChangeSet):
+            changes = ChangeSet.from_changes(changes)
+        self.formula = changes.apply_to(self.formula)
+        regime = "loosening" if changes.is_loosening_only else "tightening"
+        self._pending_regime = regime
+        if regime == "tightening":
+            self._tightening_pending = True
+        self.history.append(SessionStep("change", regime=regime))
+        return regime
+
+    def resolve(
+        self, *, deadline: float | None = None, seed: int | None = None
+    ) -> Assignment:
+        """Re-solve after :meth:`apply_changes`.
+
+        Loosening-only batches are answered by revalidating the current
+        solution (no solver launches); tightening batches race the
+        portfolio with the previous solution as warm start.
+
+        Raises:
+            ECError: without a starting solution, or when the modified
+                instance is unsatisfiable / undecided.
+        """
+        if self.assignment is None:
+            raise ECError("no starting solution; call solve() first")
+        # §5 fast path: loosening changes (clause removal, variable
+        # addition) provably keep the solution valid, so an all-loosening
+        # chain resolves in O(1) — no check, no fingerprint, no solver.
+        # Tightening may or may not have broken the solution; there an
+        # O(clauses) revalidation is still far cheaper than any solver.
+        survived = not self._tightening_pending or self.formula.is_satisfied(
+            self.assignment
+        )
+        if survived:
+            self._tightening_pending = False
+            self.revalidations += 1
+            self.history.append(
+                SessionStep(
+                    "resolve", regime=self._pending_regime, source="revalidation"
+                )
+            )
+            self._pending_regime = ""
+            return self.assignment
+        result = self.engine.solve(
+            self.formula, deadline=deadline, seed=seed, hint=self.assignment
+        )
+        self.assignment = self._accept(result)
+        self._tightening_pending = False
+        self.history.append(
+            SessionStep("resolve", regime=self._pending_regime, source=result.source)
+        )
+        self._pending_regime = ""
+        return self.assignment
+
+    # ------------------------------------------------------------------
+    def _accept(self, result: EngineResult) -> Assignment:
+        if result.status == SAT:
+            return result.assignment
+        if result.status == UNSAT:
+            raise ECError("instance is unsatisfiable")
+        raise ECError(
+            "engine could not decide the instance within its budget "
+            f"({result.outcome.detail if result.outcome else 'no detail'})"
+        )
+
+    def close(self) -> None:
+        """Release the engine's worker pool."""
+        self.engine.close()
+
+    def __enter__(self) -> "IncrementalSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -22,6 +22,9 @@ def solve(
     model: ILPModel,
     method: str = "exact",
     warm_start: dict[str, float] | None = None,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
     **options,
 ) -> Solution:
     """Solve an ILP model.
@@ -32,6 +35,10 @@ def solve(
             improvement), or ``"auto"`` (exact for small models, heuristic
             for large ones — the paper's own policy for its tables).
         warm_start: optional starting assignment (the previous EC solution).
+        deadline: wall-clock budget in seconds (engine convention; an alias
+            for ``time_limit``, which takes precedence when both are given).
+        seed: RNG seed for the heuristic solver (the exact solver is
+            deterministic and ignores it).
         **options: forwarded to the chosen solver's constructor.
 
     Raises:
@@ -39,8 +46,12 @@ def solve(
     """
     if method == "auto":
         method = "exact" if model.num_vars <= AUTO_HEURISTIC_VARS else "heuristic"
+    if deadline is not None:
+        options.setdefault("time_limit", deadline)
     if method == "exact":
         return BranchAndBoundSolver(**options).solve(model, warm_start=warm_start)
     if method == "heuristic":
+        if seed is not None:
+            options.setdefault("seed", seed)
         return HeuristicILPSolver(**options).solve(model, warm_start=warm_start)
     raise ModelError(f"unknown solve method {method!r} (exact|heuristic|auto)")

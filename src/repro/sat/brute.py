@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Iterator
 
 from repro.cnf.assignment import Assignment
@@ -11,6 +12,9 @@ from repro.errors import CNFError
 
 #: Enumeration guard: 2^22 assignments is the most the oracle will scan.
 MAX_BRUTE_VARS = 22
+
+#: How many assignments are scanned between wall-clock deadline checks.
+_DEADLINE_STRIDE = 4096
 
 
 def _check_size(formula: CNFFormula) -> list[int]:
@@ -22,18 +26,50 @@ def _check_size(formula: CNFFormula) -> list[int]:
     return variables
 
 
-def all_satisfying_assignments(formula: CNFFormula) -> Iterator[Assignment]:
-    """Yield every total satisfying assignment (lexicographic order)."""
+def all_satisfying_assignments(
+    formula: CNFFormula, *, deadline: float | None = None
+) -> Iterator[Assignment]:
+    """Yield every total satisfying assignment (lexicographic order).
+
+    Args:
+        deadline: wall-clock budget in seconds for the whole enumeration.
+
+    Raises:
+        CNFError: if the deadline expires before the scan completes (a
+            partial enumeration would silently look like "few models").
+    """
     variables = _check_size(formula)
-    for bits in itertools.product((False, True), repeat=len(variables)):
+    t0 = time.perf_counter()
+    for scanned, bits in enumerate(
+        itertools.product((False, True), repeat=len(variables))
+    ):
+        if (
+            deadline is not None
+            and scanned % _DEADLINE_STRIDE == 0
+            and time.perf_counter() - t0 > deadline
+        ):
+            raise CNFError("brute-force enumeration hit its deadline")
         assignment = Assignment(dict(zip(variables, bits)))
         if formula.is_satisfied(assignment):
             yield assignment
 
 
-def brute_force_solve(formula: CNFFormula) -> Assignment | None:
-    """First satisfying assignment, or None if UNSAT."""
-    return next(all_satisfying_assignments(formula), None)
+def brute_force_solve(
+    formula: CNFFormula,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
+) -> Assignment | None:
+    """First satisfying assignment, or None if UNSAT.
+
+    Args:
+        deadline: wall-clock budget in seconds (raises
+            :class:`~repro.errors.CNFError` on expiry).
+        seed: accepted for the uniform solver convention; enumeration is
+            deterministic, so the seed has no effect.
+    """
+    del seed  # enumeration order is fixed; kept for signature uniformity
+    return next(all_satisfying_assignments(formula, deadline=deadline), None)
 
 
 def count_models(formula: CNFFormula) -> int:

@@ -14,11 +14,16 @@ solver auditable.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.errors import CNFError
+
+#: How many decisions happen between wall-clock deadline checks.
+_DEADLINE_STRIDE = 64
 
 
 @dataclass
@@ -43,14 +48,27 @@ class DPLLSolver:
     max_decisions: int = 0
     _clauses: list[tuple[int, ...]] = field(default_factory=list, repr=False)
 
-    def solve(self, formula: CNFFormula, polarity_hint: Assignment | None = None) -> DPLLResult:
+    def solve(
+        self,
+        formula: CNFFormula,
+        polarity_hint: Assignment | None = None,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+    ) -> DPLLResult:
         """Search for a satisfying assignment of *formula*.
 
         Args:
             polarity_hint: preferred initial phase per variable (EC hands
                 the previous solution here, which makes re-solves of lightly
                 modified instances nearly free).
+            deadline: wall-clock budget in seconds for this call; on expiry
+                the search stops with ``satisfiable=None``.
+            seed: deterministic tie-break shuffle for the static branching
+                order (DPLL is otherwise deterministic; identical seeds give
+                identical runs, and None keeps the legacy order).
         """
+        t0 = time.perf_counter()
         if formula.has_empty_clause():
             return DPLLResult(False)
         clauses = [tuple(cl.literals) for cl in formula.clauses if not cl.is_tautology()]
@@ -134,11 +152,16 @@ class DPLLSolver:
             return None
 
         # Static branching order: most frequent in the shortest clauses.
+        # A seed shuffles the pre-sort order, changing only how score ties
+        # break (sorted() is stable) — deterministic diversification for
+        # portfolio racing.
         score: dict[int, float] = {v: 0.0 for v in variables}
         for lits in clauses:
             w = 2.0 ** (-len(lits))
             for lit in lits:
                 score[abs(lit)] += w
+        if seed is not None:
+            random.Random(seed).shuffle(variables)
         order = sorted(variables, key=lambda v: -score[v])
 
         # Initial unit propagation via fake assignments on unit clauses.
@@ -162,6 +185,12 @@ class DPLLSolver:
                 return result
             if self.max_decisions and result.decisions >= self.max_decisions:
                 return result  # satisfiable=None: budget exhausted
+            if (
+                deadline is not None
+                and result.decisions % _DEADLINE_STRIDE == 0
+                and time.perf_counter() - t0 > deadline
+            ):
+                return result  # satisfiable=None: deadline hit
             result.decisions += 1
             conflict = assign(branch_var, phase[branch_var], decision=True)
             flipped[branch_var] = False
@@ -191,6 +220,11 @@ def dpll_solve(
     formula: CNFFormula,
     polarity_hint: Assignment | None = None,
     max_decisions: int = 0,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
 ) -> DPLLResult:
     """One-shot DPLL solve of *formula*."""
-    return DPLLSolver(max_decisions=max_decisions).solve(formula, polarity_hint)
+    return DPLLSolver(max_decisions=max_decisions).solve(
+        formula, polarity_hint, deadline=deadline, seed=seed
+    )

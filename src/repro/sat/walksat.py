@@ -8,11 +8,15 @@ test suite uses it as a second opinion against DPLL.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.generators import _rng
+
+#: How many flips happen between wall-clock deadline checks.
+_DEADLINE_STRIDE = 256
 
 
 @dataclass
@@ -32,6 +36,9 @@ def walksat_solve(
     noise: float = 0.5,
     rng: int | random.Random | None = 0,
     initial: Assignment | None = None,
+    *,
+    seed: int | random.Random | None = None,
+    deadline: float | None = None,
 ) -> WalkSATResult:
     """Run WalkSAT with the classic break-count move selection.
 
@@ -39,12 +46,18 @@ def walksat_solve(
         noise: probability of a random walk move when every candidate flip
             breaks some clause.
         initial: starting assignment for the first restart (EC warm start).
+        seed: engine-convention alias for ``rng``; when given it takes
+            precedence, so every solver entry point shares one seeding
+            convention.  Identical seeds give identical runs.
+        deadline: wall-clock budget in seconds for this call; on expiry the
+            search stops with ``satisfiable=None``.
 
     Returns:
         ``satisfiable=True`` with a model, or ``satisfiable=None`` if the
         budget ran out (WalkSAT can never prove UNSAT).
     """
-    rng = _rng(rng)
+    rng = _rng(rng if seed is None else seed)
+    t0 = time.perf_counter()
     if formula.has_empty_clause():
         return WalkSATResult(False)
     variables = list(formula.variables)
@@ -58,6 +71,8 @@ def walksat_solve(
 
     result = WalkSATResult(None)
     for restart in range(max_restarts):
+        if deadline is not None and time.perf_counter() - t0 > deadline:
+            return result
         result.restarts += 1
         if initial is not None and restart == 0:
             value = {v: bool(initial.get(v, rng.random() < 0.5)) for v in variables}
@@ -81,7 +96,13 @@ def walksat_solve(
                 else:
                     unsat.discard(ci)
 
-        for _ in range(max_flips):
+        for flip_no in range(max_flips):
+            if (
+                deadline is not None
+                and flip_no % _DEADLINE_STRIDE == 0
+                and time.perf_counter() - t0 > deadline
+            ):
+                return result
             if not unsat:
                 return WalkSATResult(
                     True,

@@ -107,3 +107,65 @@ class TestSuccessiveChanges:
             ChangeSet([AddVariable(), RemoveClause(first_clause)])
         )
         assert flow.is_current_solution_valid  # no resolve needed
+
+
+class TestPortfolioStrategy:
+    """ECFlow.resolve(strategy="portfolio") — the engine wired into Fig. 1."""
+
+    def test_end_to_end_with_solver_call_accounting(self, planted_small):
+        f, _ = planted_small
+        flow = ECFlow(f.copy())
+        flow.solve_original()
+
+        # Loosening-only batch: answered by revalidation, zero launches.
+        flow.apply_changes(ChangeSet([RemoveClause(flow.formula.clauses[0]),
+                                      AddVariable()]))
+        a = flow.resolve(strategy="portfolio", jobs=1)
+        assert flow.engine is not None
+        assert flow.engine.stats.solver_calls == 0
+        assert flow.engine.stats.revalidations == 1
+        assert flow.formula.is_satisfied(a)
+        assert flow.history[-1].kind == "portfolio"
+        assert "revalidation" in flow.history[-1].detail
+
+        # A contradicting clause forces a real portfolio re-solve.
+        broken = Clause(
+            [-v if a.get(v, False) else v for v in sorted(flow.formula.variables)[:3]]
+        )
+        flow.apply_changes(ChangeSet([AddClause(broken)]))
+        try:
+            b = flow.resolve(strategy="portfolio")
+        except ECError:
+            return  # the contradicting clause happened to make it UNSAT
+        assert flow.engine.stats.solver_calls > 0
+        assert flow.formula.is_satisfied(b)
+
+    def test_unsat_modified_instance_raises(self):
+        from repro.cnf.formula import CNFFormula
+
+        flow = ECFlow(CNFFormula([[1, 2]]))
+        flow.solve_original()
+        flow.apply_changes(ChangeSet([AddClause(Clause([-1])),
+                                      AddClause(Clause([-2]))]))
+        with pytest.raises(ECError, match="unsatisfiable"):
+            flow.resolve(strategy="portfolio", jobs=1)
+
+    def test_engine_reused_across_resolves(self, planted_small):
+        f, _ = planted_small
+        flow = ECFlow(f.copy())
+        flow.solve_original()
+        flow.apply_changes(ChangeSet([AddVariable()]))
+        flow.resolve(strategy="portfolio", jobs=1)
+        engine = flow.engine
+        flow.apply_changes(ChangeSet([AddVariable()]))
+        flow.resolve(strategy="portfolio")
+        assert flow.engine is engine
+        assert engine.stats.solves == 2
+
+
+    def test_stray_portfolio_option_rejected(self, planted_small):
+        f, p = planted_small
+        flow = ECFlow(f.copy())
+        flow.set_solution(p)
+        with pytest.raises(ECError, match="unknown portfolio option"):
+            flow.resolve(strategy="portfolio", deadine=1.0)  # typo'd on purpose

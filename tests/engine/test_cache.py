@@ -1,0 +1,81 @@
+"""SolutionCache: LRU behavior, copy semantics, statistics."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.engine.cache import SolutionCache
+
+
+@pytest.fixture
+def model():
+    return Assignment({1: True, 2: False})
+
+
+class TestBasics:
+    def test_miss_then_hit(self, model):
+        cache = SolutionCache()
+        assert cache.get("fp1") is None
+        cache.put("fp1", True, model, solver="dpll")
+        entry = cache.get("fp1")
+        assert entry.satisfiable and entry.solver == "dpll"
+        assert entry.assignment.as_dict() == model.as_dict()
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_unsat_entry_needs_no_model(self):
+        cache = SolutionCache()
+        cache.put("fp", False)
+        entry = cache.get("fp")
+        assert entry.satisfiable is False and entry.assignment is None
+
+    def test_sat_entry_requires_model(self):
+        with pytest.raises(ValueError):
+            SolutionCache().put("fp", True, None)
+
+    def test_contains_and_len(self, model):
+        cache = SolutionCache()
+        cache.put("a", True, model)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+    def test_invalidate_and_clear(self, model):
+        cache = SolutionCache()
+        cache.put("a", True, model)
+        assert cache.invalidate("a") and not cache.invalidate("a")
+        cache.put("b", True, model)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestIsolation:
+    def test_cached_model_immune_to_caller_mutation(self, model):
+        cache = SolutionCache()
+        cache.put("fp", True, model)
+        model.flip(1)                       # caller keeps mutating
+        entry = cache.get("fp")
+        assert entry.assignment[1] is True  # cache unaffected
+        entry.assignment.flip(2)            # returned copy is also private
+        assert cache.get("fp").assignment[2] is False
+
+
+class TestLRU:
+    def test_eviction_order(self, model):
+        cache = SolutionCache(max_entries=2)
+        cache.put("a", True, model)
+        cache.put("b", True, model)
+        cache.get("a")                      # refresh a; b is now LRU
+        cache.put("c", True, model)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_zero_capacity_disables(self, model):
+        cache = SolutionCache(max_entries=0)
+        cache.put("a", True, model)
+        assert cache.get("a") is None
+
+    def test_hit_rate(self, model):
+        cache = SolutionCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.put("a", True, model)
+        cache.get("a")
+        cache.get("zzz")
+        assert cache.stats.hit_rate == pytest.approx(0.5)

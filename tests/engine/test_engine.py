@@ -1,0 +1,120 @@
+"""PortfolioEngine: cache hits, hint revalidation, race fallback."""
+
+import pytest
+
+from repro.cnf.dimacs import parse_dimacs, to_dimacs
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.engine.cache import SolutionCache
+from repro.engine.engine import PortfolioEngine
+
+
+@pytest.fixture
+def engine():
+    # jobs=1 keeps these unit tests in-process; pool racing is covered by
+    # test_portfolio.py.
+    with PortfolioEngine(jobs=1) as eng:
+        yield eng
+
+
+@pytest.fixture(scope="module")
+def sat_instance():
+    f, _ = random_planted_ksat(18, 60, rng=6)
+    return f
+
+
+class TestCachePath:
+    def test_repeat_query_hits_cache_without_solving(self, engine, sat_instance):
+        first = engine.solve(sat_instance)
+        assert first.status == "sat" and not first.from_cache
+        calls = engine.stats.solver_calls
+        second = engine.solve(sat_instance)
+        assert second.from_cache and second.source == "cache"
+        assert engine.stats.solver_calls == calls
+        assert sat_instance.is_satisfied(second.assignment)
+
+    def test_reordered_formula_hits_same_entry(self, engine, sat_instance):
+        engine.solve(sat_instance)
+        calls = engine.stats.solver_calls
+        reordered = CNFFormula(list(reversed(sat_instance.clauses)))
+        assert engine.solve(reordered).from_cache
+        assert engine.stats.solver_calls == calls
+
+    def test_dimacs_roundtrip_hits_same_entry(self, engine, sat_instance):
+        engine.solve(sat_instance)
+        calls = engine.stats.solver_calls
+        again = parse_dimacs(to_dimacs(sat_instance))
+        assert engine.solve(again).from_cache
+        assert engine.stats.solver_calls == calls
+
+    def test_unsat_verdict_cached(self, engine):
+        unsat = CNFFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        assert engine.solve(unsat).status == "unsat"
+        second = engine.solve(unsat)
+        assert second.status == "unsat" and second.from_cache
+
+    def test_use_cache_false_bypasses(self, engine, sat_instance):
+        engine.solve(sat_instance)
+        result = engine.solve(sat_instance, use_cache=False)
+        assert not result.from_cache
+
+    def test_poisoned_entry_dropped_and_resolved(self, engine, sat_instance):
+        from repro.cnf.assignment import Assignment
+        from repro.engine.fingerprint import fingerprint
+
+        fp = fingerprint(sat_instance)
+        bogus = Assignment({v: False for v in sat_instance.variables})
+        if sat_instance.is_satisfied(bogus):  # pragma: no cover - paranoia
+            pytest.skip("bogus assignment accidentally satisfies")
+        engine.cache.put(fp, True, bogus, solver="poison")
+        result = engine.solve(sat_instance)
+        assert result.status == "sat" and not result.from_cache
+        assert sat_instance.is_satisfied(result.assignment)
+
+
+class TestRevalidationPath:
+    def test_valid_hint_short_circuits_solvers(self, engine, sat_instance):
+        model = engine.solve(sat_instance).assignment
+        loosened = sat_instance.copy()
+        loosened.remove_clause_at(0)
+        calls = engine.stats.solver_calls
+        result = engine.solve(loosened, hint=model)
+        assert result.status == "sat" and result.source == "revalidation"
+        assert engine.stats.solver_calls == calls
+        # ... and the revalidated model was cached for next time.
+        assert engine.solve(loosened).from_cache
+
+    def test_stale_hint_falls_through_to_race(self, engine):
+        f = CNFFormula([[1], [2]])
+        from repro.cnf.assignment import Assignment
+
+        stale = Assignment({1: True, 2: False})
+        result = engine.solve(f, hint=stale)
+        assert result.status == "sat"
+        assert result.source not in ("cache", "revalidation")
+        assert f.is_satisfied(result.assignment)
+
+
+class TestSharedCache:
+    def test_two_engines_one_cache(self, sat_instance):
+        shared = SolutionCache()
+        with PortfolioEngine(jobs=1, cache=shared) as a:
+            a.solve(sat_instance)
+        with PortfolioEngine(jobs=1, cache=shared) as b:
+            result = b.solve(sat_instance)
+            assert result.from_cache
+            assert b.stats.solver_calls == 0
+
+
+class TestHintOutranksCache:
+    def test_valid_hint_beats_older_cached_model(self, engine):
+        from repro.cnf.assignment import Assignment
+
+        f = CNFFormula([[1, 2], [2, 3]])
+        first = engine.solve(f)                      # caches some model M1
+        other = Assignment({1: False, 2: True, 3: False})
+        assert f.is_satisfied(other)
+        assert other.as_dict() != first.assignment.as_dict()
+        result = engine.solve(f, hint=other)
+        assert result.source == "revalidation"
+        assert result.assignment.as_dict() == other.as_dict()

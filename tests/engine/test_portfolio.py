@@ -1,0 +1,150 @@
+"""Portfolio racing: quick slice, process pool, sequential fallback."""
+
+import time
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.engine.config import SolverConfig, default_portfolio_configs
+from repro.engine.portfolio import Portfolio, run_config
+from repro.engine.protocol import SAT, UNKNOWN, UNSAT
+
+
+@pytest.fixture(scope="module")
+def sat_instance():
+    f, _ = random_planted_ksat(25, 90, rng=4)
+    return f
+
+
+@pytest.fixture(scope="module")
+def unsat_instance():
+    return CNFFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+
+
+class TestQuickSlice:
+    def test_easy_instance_decided_without_pool(self, sat_instance):
+        p = Portfolio(jobs=4)
+        result = p.solve(sat_instance, seed=0)
+        assert result.outcome.status == SAT
+        assert result.via_quick_slice
+        assert p._executor is None      # the pool was never created
+        p.close()
+
+    def test_unsat_decided_in_slice(self, unsat_instance):
+        with Portfolio(jobs=4) as p:
+            result = p.solve(unsat_instance, seed=0)
+            assert result.outcome.status == UNSAT
+            assert result.via_quick_slice
+
+
+class TestProcessPoolRace:
+    def test_pool_race_sat(self, sat_instance):
+        with Portfolio(jobs=2, quick_slice=0.0) as p:
+            result = p.solve(sat_instance, seed=0)
+            assert result.outcome.status == SAT
+            assert sat_instance.is_satisfied(result.outcome.assignment)
+            assert result.winner is not None
+            assert result.launched == len(p.configs)
+
+    def test_pool_race_unsat(self, unsat_instance):
+        with Portfolio(jobs=2, quick_slice=0.0) as p:
+            result = p.solve(unsat_instance, seed=0)
+            assert result.outcome.status == UNSAT
+
+    def test_pool_reuse_across_races(self, sat_instance, unsat_instance):
+        with Portfolio(jobs=2, quick_slice=0.0) as p:
+            assert p.solve(sat_instance, seed=0).outcome.status == SAT
+            assert p.solve(unsat_instance, seed=0).outcome.status == UNSAT
+            assert p.solve(sat_instance, seed=1).outcome.status == SAT
+            assert p.total_launched == 3 * len(p.configs)
+
+
+class TestSequentialFallback:
+    def test_jobs_one_never_forks(self, sat_instance):
+        p = Portfolio(jobs=1, quick_slice=0.0)
+        result = p.solve(sat_instance, seed=0)
+        assert result.outcome.status == SAT
+        assert p._executor is None
+        # first definitive answer stops the scan
+        assert result.launched <= len(p.configs)
+
+    def test_parallel_deadline_enforced_by_parent(self):
+        # More configs than workers: queued racers restart their own budget
+        # when picked up, so only the parent's wait-loop cut keeps the race
+        # inside the caller's deadline.
+        hard, _ = random_planted_ksat(150, 640, rng=9)
+        configs = [
+            SolverConfig.make(
+                f"ws{i}", "walksat", seed_offset=i,
+                max_flips=10**9, max_restarts=10**6,
+            )
+            for i in range(4)
+        ]
+        with Portfolio(configs=configs, jobs=2, quick_slice=0.0) as p:
+            t0 = time.perf_counter()
+            result = p.solve(hard, deadline=0.3, seed=0)
+            elapsed = time.perf_counter() - t0
+        assert result.outcome.status in (SAT, UNKNOWN)
+        assert elapsed < 2.0
+
+    def test_deadline_all_unknown(self):
+        hard, _ = random_planted_ksat(150, 640, rng=9)
+        incomplete = [
+            SolverConfig.make("ws-a", "walksat", max_flips=10**9),
+            SolverConfig.make("ws-b", "walksat", seed_offset=7, max_flips=10**9),
+        ]
+        p = Portfolio(configs=incomplete, jobs=1, quick_slice=0.0)
+        result = p.solve(hard, deadline=0.02, seed=0)
+        # WalkSAT may get lucky within 20ms, but must never claim UNSAT.
+        assert result.outcome.status in (SAT, UNKNOWN)
+
+    def test_empty_lineup_rejected(self, sat_instance):
+        with pytest.raises(ValueError):
+            Portfolio(configs=[], quick_slice=0.0).solve(sat_instance)
+
+
+class TestConfigs:
+    def test_default_lineup_shape(self):
+        configs = default_portfolio_configs()
+        names = [c.name for c in configs]
+        assert names[0] == "dpll"           # complete lead for the quick slice
+        assert len(names) == len(set(names))
+        assert any(c.kind == "ilp-exact" for c in configs)
+
+    def test_run_config_maps_crash_to_unknown(self, sat_instance):
+        bad = SolverConfig.make("bad", "walksat", no_such_param=1)  # TypeError inside
+        out = run_config(bad, sat_instance)
+        assert out.status == UNKNOWN and "error" in out.detail
+
+    def test_seed_offset_diversifies_deterministically(self, sat_instance):
+        base = SolverConfig.make("ws", "walksat")
+        off = SolverConfig.make("ws2", "walksat", seed_offset=50)
+        a1 = run_config(base, sat_instance, seed=3)
+        a2 = run_config(base, sat_instance, seed=3)
+        b = run_config(off, sat_instance, seed=3)
+        assert a1.assignment.as_dict() == a2.assignment.as_dict()
+        assert a1.status == b.status == SAT
+
+
+class TestUnsatTrustGate:
+    def test_incomplete_solver_cannot_win_with_unsat(self, sat_instance, monkeypatch):
+        from dataclasses import dataclass
+
+        from repro.engine import adapters
+        from repro.engine.protocol import SolverOutcome
+
+        @dataclass(frozen=True)
+        class LyingAdapter:
+            name: str = "liar"
+            complete: bool = False     # incomplete: its UNSAT is no proof
+
+            def solve(self, formula, *, deadline=None, seed=None, hint=None):
+                return SolverOutcome(UNSAT, None, self.name, 0.0, "guess")
+
+        monkeypatch.setitem(adapters.ADAPTERS, "liar", LyingAdapter)
+        configs = [SolverConfig.make("liar", "liar")]
+        p = Portfolio(configs=configs, jobs=1, quick_slice=0.0)
+        result = p.solve(sat_instance, seed=0)
+        assert result.outcome.status == UNKNOWN    # the guess did not win
+        assert result.winner is None

@@ -1,0 +1,118 @@
+"""IncrementalSession: the acceptance-criterion tests for incremental EC.
+
+The headline assertion: a loosening-only ChangeSet is answered from
+revalidation without invoking any solver, verified by counting solver
+launches.
+"""
+
+import pytest
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.core.change import (
+    AddClause,
+    AddVariable,
+    ChangeSet,
+    RemoveClause,
+    RemoveVariable,
+)
+from repro.engine.session import IncrementalSession
+from repro.errors import ECError
+
+
+@pytest.fixture
+def session():
+    f, _ = random_planted_ksat(20, 70, rng=8)
+    with IncrementalSession(f, jobs=1) as s:
+        yield s
+
+
+class TestLooseningFastPath:
+    def test_loosening_changeset_answered_without_any_solver(self, session):
+        session.solve(seed=0)
+        removed = session.formula.clauses[0]
+        regime = session.apply_changes(
+            ChangeSet([RemoveClause(removed), AddVariable()])
+        )
+        assert regime == "loosening"
+        calls_before = session.solver_calls
+        model = session.resolve(seed=0)
+        assert session.solver_calls == calls_before          # zero launches
+        assert session.history[-1].source == "revalidation"
+        assert session.formula.is_satisfied(model)
+
+    def test_chain_of_loosening_changes_never_solves(self, session):
+        session.solve(seed=0)
+        calls_before = session.solver_calls
+        for _ in range(5):
+            victim = session.formula.clauses[0]
+            session.apply_changes(ChangeSet([RemoveClause(victim)]))
+            session.resolve(seed=0)
+        assert session.solver_calls == calls_before
+        assert session.revalidations == 5
+
+
+class TestTightening:
+    def test_breaking_clause_triggers_resolve(self):
+        with IncrementalSession(CNFFormula([[1, 2], [3, 4]]), jobs=1) as s:
+            model = s.solve(seed=0)
+            # Demand that v1 or v3 differ from the current model: breaks
+            # the model, but the instance stays satisfiable by flipping v1.
+            breaking = Clause(
+                [-1 if model.get(1, False) else 1, -3 if model.get(3, False) else 3]
+            )
+            regime = s.apply_changes(ChangeSet([AddClause(breaking)]))
+            assert regime == "tightening"
+            calls_before = s.solver_calls
+            new_model = s.resolve(seed=0)
+            assert s.solver_calls > calls_before       # a real re-solve ran
+            assert s.formula.is_satisfied(new_model)
+
+    def test_harmless_tightening_revalidates_in_o_clauses(self, session):
+        model = session.solve(seed=0)
+        # A clause the current model already satisfies.
+        var = next(iter(session.formula.variables))
+        lit = var if model.get(var, False) else -var
+        session.apply_changes(ChangeSet([AddClause(Clause([lit]))]))
+        calls_before = session.solver_calls
+        session.resolve(seed=0)
+        assert session.solver_calls == calls_before
+        assert session.history[-1].source == "revalidation"
+
+    def test_remove_variable_is_tightening(self, session):
+        session.solve(seed=0)
+        var = next(iter(session.formula.variables))
+        regime = session.apply_changes(ChangeSet([RemoveVariable(var)]))
+        assert regime == "tightening"
+
+    def test_unsat_after_tightening_raises(self):
+        with IncrementalSession(CNFFormula([[1, 2]]), jobs=1) as s:
+            s.solve()
+            s.apply_changes(
+                ChangeSet([AddClause(Clause([-1])), AddClause(Clause([-2]))])
+            )
+            with pytest.raises(ECError, match="unsatisfiable"):
+                s.resolve()
+
+
+class TestLifecycle:
+    def test_resolve_without_solve_raises(self, session):
+        with pytest.raises(ECError, match="starting solution"):
+            session.resolve()
+
+    def test_original_formula_not_aliased(self):
+        f, _ = random_planted_ksat(10, 30, rng=3)
+        clauses_before = f.num_clauses
+        with IncrementalSession(f, jobs=1) as s:
+            s.solve()
+            s.apply_changes(ChangeSet([RemoveClause(s.formula.clauses[0])]))
+        assert f.num_clauses == clauses_before
+
+    def test_history_records_regimes(self, session):
+        session.solve(seed=0)
+        session.apply_changes(ChangeSet([AddVariable()]))
+        session.resolve(seed=0)
+        kinds = [(step.kind, step.regime) for step in session.history]
+        assert kinds == [("solve", ""), ("change", "loosening"),
+                         ("resolve", "loosening")]

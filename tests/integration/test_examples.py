@@ -21,6 +21,7 @@ def test_examples_exist():
         "incremental_synthesis.py",
         "register_binding_coloring.py",
         "design_for_change.py",
+        "portfolio_engine.py",
     } <= names
 
 
@@ -28,6 +29,14 @@ def test_quickstart_runs(capsys):
     runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
     out = capsys.readouterr().out
     assert "Enabling EC" in out
+    assert "OK" in out
+
+
+def test_portfolio_engine_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "portfolio_engine.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "revalidations: 2" in out
+    assert "source: cache" in out
     assert "OK" in out
 
 

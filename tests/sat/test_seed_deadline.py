@@ -1,0 +1,112 @@
+"""Uniform seed/deadline plumbing across every solver entry point.
+
+Satellite guarantee: ``seed=`` and ``deadline=`` are accepted everywhere,
+and identical seeds give identical runs.
+"""
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.errors import CNFError
+from repro.ilp.solver import solve
+from repro.sat.brute import all_satisfying_assignments, brute_force_solve
+from repro.sat.dpll import dpll_solve
+from repro.sat.encoding import encode_sat
+from repro.sat.walksat import walksat_solve
+
+
+@pytest.fixture(scope="module")
+def instance():
+    f, _ = random_planted_ksat(30, 100, rng=13)
+    return f
+
+
+class TestWalkSATSeeds:
+    def test_identical_seeds_identical_runs(self, instance):
+        a = walksat_solve(instance, seed=42)
+        b = walksat_solve(instance, seed=42)
+        assert a.satisfiable is b.satisfiable is True
+        assert a.assignment.as_dict() == b.assignment.as_dict()
+        assert (a.flips, a.restarts) == (b.flips, b.restarts)
+
+    def test_seed_overrides_legacy_rng(self, instance):
+        legacy = walksat_solve(instance, rng=7)
+        unified = walksat_solve(instance, rng=999, seed=7)
+        assert legacy.assignment.as_dict() == unified.assignment.as_dict()
+        assert legacy.flips == unified.flips
+
+    def test_different_seeds_may_differ_but_stay_models(self, instance):
+        for s in (1, 2, 3):
+            res = walksat_solve(instance, seed=s)
+            assert instance.is_satisfied(res.assignment)
+
+    def test_deadline_stops_search(self):
+        unsat = CNFFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        res = walksat_solve(
+            unsat, max_flips=10**9, max_restarts=10**6, seed=0, deadline=0.01
+        )
+        assert res.satisfiable is None
+
+
+class TestDPLLSeeds:
+    def test_identical_seeds_identical_runs(self, instance):
+        a = dpll_solve(instance, seed=5)
+        b = dpll_solve(instance, seed=5)
+        assert a.satisfiable is b.satisfiable is True
+        assert a.assignment.as_dict() == b.assignment.as_dict()
+        assert (a.decisions, a.propagations, a.conflicts) == (
+            b.decisions, b.propagations, b.conflicts,
+        )
+
+    def test_unseeded_order_unchanged(self, instance):
+        a = dpll_solve(instance)
+        b = dpll_solve(instance)
+        assert a.assignment.as_dict() == b.assignment.as_dict()
+
+    def test_deadline_returns_unknown(self):
+        f, _ = random_planted_ksat(60, 240, rng=17)
+        res = dpll_solve(f, deadline=0.0)
+        assert res.satisfiable is None
+
+    def test_seeded_verdicts_agree(self, instance):
+        assert dpll_solve(instance, seed=1).satisfiable is True
+        assert (
+            dpll_solve(CNFFormula([[1], [-1]]), seed=1).satisfiable is False
+        )
+
+
+class TestBruteDeadline:
+    def test_deadline_raises_rather_than_lies(self):
+        f, _ = random_planted_ksat(18, 50, rng=2)
+        with pytest.raises(CNFError, match="deadline"):
+            list(all_satisfying_assignments(f, deadline=0.0))
+
+    def test_seed_accepted_and_ignored(self):
+        f = CNFFormula([[1, 2]])
+        a = brute_force_solve(f, seed=1)
+        b = brute_force_solve(f, seed=99)
+        assert a.as_dict() == b.as_dict()
+
+
+class TestILPSeeds:
+    def test_heuristic_identical_seeds_identical_solutions(self, instance):
+        model = encode_sat(instance).model
+        a = solve(model, method="heuristic", seed=11, stop_on_first_feasible=True)
+        b = solve(model, method="heuristic", seed=11, stop_on_first_feasible=True)
+        assert a.status.has_solution and b.status.has_solution
+        assert a.values == b.values
+
+    def test_deadline_maps_to_time_limit(self):
+        f, _ = random_planted_ksat(40, 150, rng=19)
+        model = encode_sat(f).model
+        sol = solve(model, method="exact", deadline=0.001)
+        # A cut-off exact solve may still return its incumbent, but it
+        # must return promptly rather than run to optimality.
+        assert sol.stats.wall_time < 5.0
+
+    def test_exact_ignores_seed(self, instance):
+        model = encode_sat(instance).model
+        a = solve(model, method="exact", seed=3)
+        b = solve(model, method="exact", seed=4)
+        assert a.values == b.values

@@ -40,8 +40,13 @@ class TestSolve:
     def test_unsatisfiable(self, tmp_path, capsys):
         path = tmp_path / "unsat.cnf"
         write_dimacs(CNFFormula([[1], [-1]]), path)
-        assert main(["solve", str(path)]) == 2
-        assert "unsatisfiable" in capsys.readouterr().err
+        assert main(["solve", str(path)]) == 1
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_deadline_and_seed_forwarded(self, cnf_file, capsys):
+        path, _f = cnf_file
+        assert main(["solve", str(path), "--deadline", "60", "--seed", "3"]) == 0
+        assert capsys.readouterr().out.startswith("s SATISFIABLE")
 
 
 class TestEnable:
@@ -76,3 +81,49 @@ class TestParser:
     def test_bad_table(self):
         with pytest.raises(SystemExit):
             main(["bench", "table9"])
+
+
+class TestPortfolioEngine:
+    def test_solve_portfolio(self, cnf_file, capsys):
+        path, f = cnf_file
+        assert main(["solve", str(path), "--engine", "portfolio", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("s SATISFIABLE")
+        assert "c engine: portfolio" in out
+        lits = [int(t) for t in out.splitlines()[-1].split()[1:-1]]
+        from repro.cnf.assignment import Assignment
+
+        assert f.is_satisfied(Assignment.from_literals(lits))
+
+    def test_solve_portfolio_unsat(self, tmp_path, capsys):
+        path = tmp_path / "unsat.cnf"
+        write_dimacs(CNFFormula([[1], [-1]]), path)
+        assert main(["solve", str(path), "--engine", "portfolio", "--jobs", "1"]) == 1
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_solve_portfolio_accepts_seed_and_deadline(self, cnf_file, capsys):
+        path, _f = cnf_file
+        rc = main([
+            "solve", str(path), "--engine", "portfolio",
+            "--jobs", "1", "--seed", "7", "--deadline", "30",
+        ])
+        assert rc == 0
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["solve", "/no/such/file.cnf", "--engine", "portfolio"]) == 2
+        assert "No such file" in capsys.readouterr().err
+
+    def test_undecided_budget_is_error_not_unsat(self, cnf_file, capsys):
+        # A give-up status (node_limit) must never masquerade as UNSAT.
+        path, _f = cnf_file
+        rc = main([
+            "solve", str(path), "--method", "heuristic",
+            "--deadline", "0.0001", "--seed", "1",
+        ])
+        captured = capsys.readouterr()
+        if rc == 0:  # pragma: no cover - heuristic got lucky in the budget
+            assert captured.out.startswith("s SATISFIABLE")
+        else:
+            assert rc == 2
+            assert "undecided" in captured.err
+            assert "UNSATISFIABLE" not in captured.out

@@ -10,7 +10,7 @@ from repro import errors
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -21,6 +21,7 @@ class TestTopLevel:
         [
             "repro.cnf", "repro.ilp", "repro.sat", "repro.core",
             "repro.coloring", "repro.scheduling", "repro.bench", "repro.cli",
+            "repro.engine",
         ],
     )
     def test_subpackages_import(self, module):
@@ -58,6 +59,10 @@ class TestDocstrings:
             "repro.sat.encoding", "repro.sat.dpll",
             "repro.core.enabling", "repro.core.fast", "repro.core.preserving",
             "repro.core.flow", "repro.coloring.ec", "repro.scheduling.ec",
+            "repro.engine.protocol", "repro.engine.adapters",
+            "repro.engine.fingerprint", "repro.engine.cache",
+            "repro.engine.portfolio", "repro.engine.engine",
+            "repro.engine.session",
         ],
     )
     def test_modules_documented(self, module):
