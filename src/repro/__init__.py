@@ -23,7 +23,8 @@ Subpackages:
   EC mutations, flexibility analysis;
 * :mod:`repro.ilp` — from-scratch 0-1 ILP substrate (simplex, presolve,
   branch & bound, cuts, heuristic iterative improvement);
-* :mod:`repro.sat` — set cover, the SAT->ILP encoding, DPLL, WalkSAT;
+* :mod:`repro.sat` — set cover, the SAT->ILP encoding, CDCL, DPLL,
+  WalkSAT;
 * :mod:`repro.core` — the EC methodology itself;
 * :mod:`repro.coloring` — EC for graph coloring;
 * :mod:`repro.bench` — harness regenerating the paper's Tables 1-3;

@@ -3,15 +3,26 @@
 ``python -m repro.bench.engine`` (or ``python -m repro bench engine``)
 runs three experiments per benchmark row:
 
-1. **sequential** — each single solver configuration (DPLL, WalkSAT, the
-   paper's exact ILP route) run alone; the per-row minimum is the "best
-   single sequential solver" baseline;
+1. **sequential** — each single solver configuration (CDCL, DPLL,
+   WalkSAT, the paper's exact ILP route) run alone; the per-row minimum
+   is the "best single sequential solver" baseline;
 2. **portfolio** — the :class:`~repro.engine.engine.PortfolioEngine` with
    a warmed process pool and the cache bypassed, measuring the raw race;
 3. **successive-change** — a chain of loosening engineering changes
    re-solved (a) from scratch with the best sequential solver and (b)
    through an :class:`~repro.engine.session.IncrementalSession`, whose
    revalidation path answers in O(clauses).
+
+plus two suite-level comparisons isolating clause learning:
+
+4. **tightening chain** — a successive-change chain of clause-adding
+   engineering changes that assembles the contradictory dual parity
+   system of :func:`repro.cnf.generators.unsat_parity_pair` one XOR
+   group at a time; every step is re-solved by chronological DPLL and by
+   CDCL (previous solution as phase hint), so the chain ends in the
+   UNSAT-heavy regime the paper's EC trials fear most;
+5. **UNSAT refutation** — pinned provably-unsatisfiable families (dual
+   parity pair, near-threshold random 3-SAT) refuted by both solvers.
 
 Options::
 
@@ -33,8 +44,16 @@ import time
 from dataclasses import asdict, dataclass, field
 
 from repro.bench.registry import BenchInstance, suite
-from repro.core.change import AddVariable, ChangeSet, RemoveClause
-from repro.engine.adapters import DPLLAdapter, ExactILPAdapter, WalkSATAdapter
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import parity_pair_steps, random_ksat, unsat_parity_pair
+from repro.core.change import AddClause, AddVariable, ChangeSet, RemoveClause
+from repro.engine.adapters import (
+    CDCLAdapter,
+    DPLLAdapter,
+    ExactILPAdapter,
+    WalkSATAdapter,
+)
 from repro.engine.engine import PortfolioEngine
 from repro.engine.session import IncrementalSession
 from repro.errors import ReproError
@@ -43,7 +62,11 @@ from repro.sat.dpll import dpll_solve
 _MIN_TIME = 1e-9
 
 #: Single-solver baselines raced by the sequential experiment.
-_SEQUENTIAL = (DPLLAdapter(), WalkSATAdapter(), ExactILPAdapter())
+_SEQUENTIAL = (CDCLAdapter(), DPLLAdapter(), WalkSATAdapter(), ExactILPAdapter())
+
+#: Per-step wall-clock cap for the CDCL-vs-DPLL comparisons (a solver
+#: that cannot refute within this budget is recorded at the cap).
+_VERSUS_DEADLINE = 60.0
 
 
 def _best_of(rounds: int, fn, *args, **kwargs):
@@ -155,6 +178,110 @@ def bench_row(
     return row
 
 
+@dataclass
+class VersusRow:
+    """One CDCL-vs-DPLL comparison (chain step sum or one refutation)."""
+
+    name: str
+    num_vars: int
+    num_clauses: int
+    dpll: float = 0.0
+    cdcl: float = 0.0
+    cdcl_speedup: float = 0.0            # dpll / cdcl
+    dpll_verdict: str = ""
+    cdcl_verdict: str = ""
+    steps: int = 0                        # > 0 only for change chains
+
+
+def parity_change_chain(
+    num_inputs: int, seed: int = 0
+) -> tuple[CNFFormula, Assignment, list[ChangeSet]]:
+    """A tightening EC chain ending in the dual-parity contradiction.
+
+    The base instance carries one complete XOR accumulator chain over
+    *num_inputs* inputs plus its final parity unit — satisfiable, with a
+    planted witness.  Each :class:`ChangeSet` then adds one XOR group of
+    a second accumulator chain over the same inputs, and the last change
+    asserts the opposite final parity, tipping the instance into UNSAT.
+    Applying every change set reproduces
+    :func:`repro.cnf.generators.unsat_parity_pair` exactly (both wrap
+    :func:`repro.cnf.generators.parity_pair_steps`).
+
+    Returns:
+        (base formula, witness for the base, ordered change sets).
+    """
+    base, witness, groups = parity_pair_steps(num_inputs, rng=seed)
+    changes = [ChangeSet([AddClause(cl) for cl in group]) for group in groups]
+    return base, witness, changes
+
+
+def _timed_verdict(adapter, formula, hint, seed: int) -> tuple[float, str]:
+    """(wall seconds, status) for one capped adapter run."""
+    t0 = time.perf_counter()
+    out = adapter.solve(formula, deadline=_VERSUS_DEADLINE, seed=seed, hint=hint)
+    return max(time.perf_counter() - t0, _MIN_TIME), out.status
+
+
+def bench_tightening_chain(num_inputs: int, seed: int = 0) -> VersusRow:
+    """Experiment 4: re-solve every chain step with DPLL and with CDCL.
+
+    Both solvers see identical formulas and the same (increasingly stale)
+    witness hint; the final steps are where clause learning pays — the
+    modified instance is unsatisfiable and chronological DPLL re-derives
+    the same parity conflict exponentially often.
+    """
+    base, witness, changes = parity_change_chain(num_inputs, seed=seed)
+    row = VersusRow(f"ec-chain-k{num_inputs}", 0, 0, steps=len(changes))
+    for adapter in (DPLLAdapter(), CDCLAdapter()):
+        formula = base
+        total = 0.0
+        verdict = ""
+        for cs in changes:
+            formula = cs.apply_to(formula)
+            wall, verdict = _timed_verdict(adapter, formula, witness, seed)
+            total += wall
+        if isinstance(adapter, DPLLAdapter):
+            row.dpll, row.dpll_verdict = total, verdict
+        else:
+            row.cdcl, row.cdcl_verdict = total, verdict
+        row.num_vars = formula.num_vars
+        row.num_clauses = formula.num_clauses
+    if row.cdcl_verdict != "unsat":
+        # A censored (capped) CDCL time would fake the speedup this bench
+        # exists to guard; fail loudly instead.
+        raise ReproError(
+            f"CDCL failed to refute the final {row.name} step within the cap"
+        )
+    row.cdcl_speedup = row.dpll / row.cdcl
+    return row
+
+
+def unsat_family_instances(tier: str) -> list[tuple[str, CNFFormula]]:
+    """The pinned provably-UNSAT comparison instances for a tier."""
+    if tier == "paper":
+        pairs = [
+            ("par-unsat-k20", unsat_parity_pair(20, rng=1)),
+            ("rand-unsat-150", random_ksat(150, 690, k=3, rng=2)),
+        ]
+    else:
+        pairs = [
+            ("par-unsat-k14", unsat_parity_pair(14, rng=1)),
+            ("rand-unsat-110", random_ksat(110, 510, k=3, rng=2)),
+        ]
+    return pairs
+
+
+def bench_unsat_row(name: str, formula: CNFFormula, seed: int = 0) -> VersusRow:
+    """Experiment 5: one UNSAT-family refutation, DPLL vs CDCL."""
+    row = VersusRow(name, formula.num_vars, formula.num_clauses)
+    row.dpll, row.dpll_verdict = _timed_verdict(DPLLAdapter(), formula, None, seed)
+    row.cdcl, row.cdcl_verdict = _timed_verdict(CDCLAdapter(), formula, None, seed)
+    if row.cdcl_verdict != "unsat":
+        raise ReproError(f"CDCL failed to refute {name} within the cap")
+    row.cdcl_speedup = row.dpll / row.cdcl
+    return row
+
+
 def run_engine_bench(
     instances: list[BenchInstance],
     jobs: int = 4,
@@ -169,6 +296,23 @@ def run_engine_bench(
             bench_row(inst, engine, rounds=rounds, changes=changes, seed=seed)
             for inst in instances
         ]
+
+
+def format_versus_table(rows: list[VersusRow], title: str) -> str:
+    """Render the CDCL-vs-DPLL comparisons as an aligned text table."""
+    header = (
+        f"{title:<18} {'vars':>5} {'cls':>6} {'steps':>5} "
+        f"{'dpll':>9} {'cdcl':>9} {'cdcl-speedup':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:<18} {r.num_vars:>5} {r.num_clauses:>6} "
+            f"{(r.steps or '-'):>5} "
+            f"{r.dpll * 1e3:>8.2f}m {r.cdcl * 1e3:>8.2f}m "
+            f"{r.cdcl_speedup:>11.1f}x"
+        )
+    return "\n".join(lines)
 
 
 def format_engine_table(rows: list[EngineBenchRow]) -> str:
@@ -214,16 +358,33 @@ def main(argv: list[str] | None = None) -> int:
         f"\nincremental chains launched {total_calls} solver runs over "
         f"{sum(r.changes for r in rows)} changes (loosening => revalidation)"
     )
+
+    # Experiments 4 + 5: clause learning vs chronological backtracking.
+    from repro.bench.registry import current_tier
+
+    tier = args.tier or current_tier()
+    chain_inputs = 22 if tier == "paper" else 16
+    chain_row = bench_tightening_chain(chain_inputs, seed=args.seed)
+    unsat_rows = [
+        bench_unsat_row(name, formula, seed=args.seed)
+        for name, formula in unsat_family_instances(tier)
+    ]
+    print()
+    print(format_versus_table([chain_row], "tightening-chain"))
+    print()
+    print(format_versus_table(unsat_rows, "unsat-family"))
     if args.out:
         import os
 
         artifact = {
             "bench": "engine",
-            "tier": args.tier or "ci",
+            "tier": tier,
             "jobs": args.jobs,
             "rounds": args.rounds,
             "cores": os.cpu_count(),
             "rows": [asdict(r) for r in rows],
+            "tightening_chain": asdict(chain_row),
+            "unsat_rows": [asdict(r) for r in unsat_rows],
         }
         with open(args.out, "w") as fh:
             json.dump(artifact, fh, indent=2)

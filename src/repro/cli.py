@@ -4,7 +4,8 @@ Commands:
 
 * ``solve FILE.cnf``                 — solve a DIMACS instance (``--engine
   ilp`` for the paper's ILP route, ``--engine portfolio --jobs N`` for the
-  parallel portfolio engine);
+  parallel portfolio engine, or any single solver by name: ``--engine
+  cdcl|dpll|walksat|brute|ilp-exact|ilp-heuristic``);
 * ``enable FILE.cnf``                — solve with enabling EC and report flexibility;
 * ``fast FILE.cnf CHANGED.cnf``      — fast EC from FILE's solution to CHANGED;
 * ``preserve FILE.cnf CHANGED.cnf``  — preserving EC between the two instances;
@@ -58,6 +59,8 @@ def _solve_file(path: str, method: str, deadline: float | None = None,
 def _cmd_solve(args) -> int:
     if args.engine == "portfolio":
         return _cmd_solve_portfolio(args)
+    if args.engine != "ilp":
+        return _cmd_solve_single(args)
     formula, assignment = _solve_file(
         args.file, args.method, deadline=args.deadline, seed=args.seed
     )
@@ -88,6 +91,28 @@ def _cmd_solve_portfolio(args) -> int:
     print(f"c engine: portfolio, winner: {result.source}, "
           f"{result.wall_time:.3f}s")
     print("v " + " ".join(str(l) for l in result.assignment.to_literals()) + " 0")
+    return 0
+
+
+def _cmd_solve_single(args) -> int:
+    """Solve with one named solver behind the uniform engine contract."""
+    from repro.engine.adapters import build_adapter
+
+    formula = read_dimacs(args.file)
+    adapter = build_adapter(args.engine)
+    outcome = adapter.solve(formula, deadline=args.deadline, seed=args.seed)
+    if outcome.status == "unsat":
+        print(f"s UNSATISFIABLE (by {adapter.name})")
+        return 1
+    if outcome.status != "sat":
+        raise ReproError(
+            f"{args.file}: {adapter.name} undecided within budget"
+            + (f" ({outcome.detail})" if outcome.detail else "")
+        )
+    print(f"s SATISFIABLE ({formula.num_vars} vars, {formula.num_clauses} clauses)")
+    print(f"c engine: {adapter.name}, {outcome.wall_time:.3f}s"
+          + (f", {outcome.detail}" if outcome.detail else ""))
+    print("v " + " ".join(str(l) for l in outcome.assignment.to_literals()) + " 0")
     return 0
 
 
@@ -166,12 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("solve", help="solve a DIMACS CNF (ILP route or portfolio engine)")
+    from repro.engine.adapters import ADAPTERS
+
+    p = sub.add_parser("solve", help="solve a DIMACS CNF (ILP route, portfolio engine, or one named solver)")
     p.add_argument("file")
     p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"),
-                   help="ILP method (ignored with --engine portfolio)")
-    p.add_argument("--engine", default="ilp", choices=("ilp", "portfolio"),
-                   help="'ilp' = the paper's route; 'portfolio' = parallel engine")
+                   help="ILP method (only with --engine ilp)")
+    p.add_argument("--engine", default="ilp",
+                   choices=("ilp", "portfolio", *sorted(ADAPTERS)),
+                   help="'ilp' = the paper's route; 'portfolio' = parallel "
+                        "engine; any other name runs that single solver")
     p.add_argument("--jobs", type=int, default=None,
                    help="portfolio process-pool width (default: auto)")
     p.add_argument("--seed", type=int, default=None,

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from repro.cnf.assignment import Assignment
 from repro.cnf.clause import Clause
 from repro.cnf.formula import CNFFormula
-from repro.cnf.generators import _rng, random_clause
+from repro.cnf.generators import _rng, _xor_clauses, random_clause
 from repro.errors import CNFError
 
 
@@ -78,27 +78,6 @@ def _pad_with_planted_clauses(
         cl = random_clause(variables, w, rng)
         if cl.satisfaction_level(plant) >= level:
             clauses.append(cl)
-
-
-def _xor_clauses(a: int, b: int, c: int, parity: bool) -> list[Clause]:
-    """CNF for the constraint ``a XOR b XOR c == parity``.
-
-    Four width-3 clauses: all sign patterns with an even (parity=True ->
-    odd) number of negations excluded.
-    """
-    out = []
-    for sa in (1, -1):
-        for sb in (1, -1):
-            for sc in (1, -1):
-                negs = (sa < 0) + (sb < 0) + (sc < 0)
-                # Clause (sa*a + sb*b + sc*c) forbids the single assignment
-                # a=(sa<0), b=(sb<0), c=(sc<0); that point has XOR value
-                # (sa<0)^(sb<0)^(sc<0) and must be forbidden iff it violates
-                # the constraint.
-                point_xor = bool(negs % 2)
-                if point_xor != parity:
-                    out.append(Clause([sa * a, sb * b, sc * c]))
-    return out
 
 
 def parity_instance(

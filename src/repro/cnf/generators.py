@@ -87,6 +87,139 @@ def random_planted_ksat(
     return CNFFormula(clauses, num_vars=num_vars), planted
 
 
+def _xor_clauses(a: int, b: int, c: int, parity: bool) -> list[Clause]:
+    """CNF for the constraint ``a XOR b XOR c == parity``.
+
+    Four width-3 clauses: all sign patterns with an even (parity=True ->
+    odd) number of negations excluded.
+    """
+    out = []
+    for sa in (1, -1):
+        for sb in (1, -1):
+            for sc in (1, -1):
+                negs = (sa < 0) + (sb < 0) + (sc < 0)
+                # Clause (sa*a + sb*b + sc*c) forbids the single assignment
+                # a=(sa<0), b=(sb<0), c=(sc<0); that point has XOR value
+                # (sa<0)^(sb<0)^(sc<0) and must be forbidden iff it violates
+                # the constraint.
+                point_xor = bool(negs % 2)
+                if point_xor != parity:
+                    out.append(Clause([sa * a, sb * b, sc * c]))
+    return out
+
+
+def parity_pair_steps(
+    num_inputs: int,
+    rng: int | random.Random | None = 0,
+) -> tuple[CNFFormula, Assignment, list[list[Clause]]]:
+    """The dual-parity contradiction, staged as an EC change chain.
+
+    Returns ``(base, witness, groups)``:
+
+    * ``base`` — one complete XOR accumulator chain over *num_inputs*
+      input variables plus its final parity unit; satisfiable, and
+      ``witness`` is a planted model (inputs random, accumulators
+      forced).  The second chain's accumulator variables are already
+      active (DIMACS-header padding), so adding its clauses later is a
+      pure clause-adding (tightening) change;
+    * ``groups`` — ordered clause batches assembling a second accumulator
+      chain over the *same* inputs, ending with a unit asserting the
+      opposite final parity.  Every prefix of the groups keeps the
+      instance satisfiable (and ``witness`` valid); appending the last
+      group tips it into UNSAT.
+
+    Variable identifiers are shuffled by *rng* so static branching
+    orders cannot accidentally follow a chain.  Total size once all
+    groups are applied: ``3 * num_inputs - 2`` variables,
+    ``8 * (num_inputs - 1) + 2`` clauses.
+    """
+    rng = _rng(rng)
+    if num_inputs < 2:
+        raise CNFError("unsat parity instances need at least 2 inputs")
+    k = num_inputs
+    n = k + 2 * (k - 1)
+    ids = list(range(1, n + 1))
+    rng.shuffle(ids)
+    inputs = ids[:k]
+    acc_a = ids[k:k + (k - 1)]
+    acc_b = ids[k + (k - 1):]
+
+    # Plant the inputs, force both accumulator chains to match.
+    plant_bits = {v: bool(rng.getrandbits(1)) for v in inputs}
+    acc_values: dict[int, bool] = {}
+    running = plant_bits[inputs[0]] ^ plant_bits[inputs[1]]
+    for i, (a, b) in enumerate(zip(acc_a, acc_b)):
+        acc_values[a] = acc_values[b] = running
+        if i + 2 < k:
+            running ^= plant_bits[inputs[i + 2]]
+    parity = acc_values[acc_a[-1]]
+
+    base_clauses = list(_xor_clauses(acc_a[0], inputs[0], inputs[1], False))
+    for i in range(1, k - 1):
+        base_clauses.extend(_xor_clauses(acc_a[i], acc_a[i - 1], inputs[i + 1], False))
+    base_clauses.append(Clause([acc_a[-1] if parity else -acc_a[-1]]))
+    base = CNFFormula(base_clauses, num_vars=n)
+    witness = Assignment({**plant_bits, **acc_values})
+
+    groups = [_xor_clauses(acc_b[0], inputs[0], inputs[1], False)]
+    for i in range(1, k - 1):
+        groups.append(_xor_clauses(acc_b[i], acc_b[i - 1], inputs[i + 1], False))
+    # The contradiction: the second chain computes the same parity, but
+    # its final unit asserts the opposite value.
+    groups.append([Clause([-acc_b[-1] if parity else acc_b[-1]])])
+    return base, witness, groups
+
+
+def unsat_parity_pair(
+    num_inputs: int,
+    rng: int | random.Random | None = 0,
+) -> CNFFormula:
+    """Provably unsatisfiable parity instance (par-family UNSAT variant).
+
+    Two XOR accumulator chains compute the parity of the same
+    *num_inputs* input variables through disjoint accumulator variables,
+    and two unit clauses assert contradictory final parities — so the
+    instance is UNSAT, but only a reasoner that combines *every* chain
+    constraint can see it.  Chronological DPLL re-derives the same
+    contradiction in exponentially many leaves, while clause learning
+    refutes it in O(num_inputs) conflicts, which makes this the
+    benchmark separating CDCL from DPLL (see ``repro bench engine``).
+
+    This is exactly :func:`parity_pair_steps` with every group applied.
+    """
+    base, _witness, groups = parity_pair_steps(num_inputs, rng)
+    out = base.copy()
+    for group in groups:
+        for cl in group:
+            out.add_clause(cl)
+    return out
+
+
+def pigeonhole(holes: int) -> CNFFormula:
+    """The pigeonhole principle PHP(holes+1, holes) — provably UNSAT.
+
+    ``holes + 1`` pigeons must each take a hole (one long positive clause
+    per pigeon) and no hole may hold two pigeons (one binary clause per
+    hole and pigeon pair).  A classic resolution-hard refutation target;
+    the differential harness uses small sizes as guaranteed-UNSAT input.
+    """
+    if holes < 1:
+        raise CNFError("pigeonhole instances need at least 1 hole")
+    pigeons = holes + 1
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    clauses: list[Clause] = [
+        Clause([var(p, h) for h in range(holes)]) for p in range(pigeons)
+    ]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append(Clause([-var(p1, h), -var(p2, h)]))
+    return CNFFormula(clauses, num_vars=pigeons * holes)
+
+
 def random_mixed_width(
     num_vars: int,
     num_clauses: int,

@@ -6,9 +6,9 @@ engine suitable for serving many queries:
 
 * :mod:`repro.engine.protocol`    -- the uniform ``Solver`` interface and
   ``SolverOutcome`` result record every backend adapts to;
-* :mod:`repro.engine.adapters`    -- adapters giving DPLL, WalkSAT, brute
-  force, and both ILP solvers one ``solve(formula, *, deadline, seed)``
-  entry point;
+* :mod:`repro.engine.adapters`    -- adapters giving CDCL, DPLL, WalkSAT,
+  brute force, and both ILP solvers one ``solve(formula, *, deadline,
+  seed)`` entry point;
 * :mod:`repro.engine.fingerprint` -- canonical, order-insensitive formula
   fingerprints (normalized-clause hashes);
 * :mod:`repro.engine.cache`       -- a content-addressed LRU
@@ -27,6 +27,7 @@ engine suitable for serving many queries:
 
 from repro.engine.adapters import (
     BruteForceAdapter,
+    CDCLAdapter,
     DPLLAdapter,
     ExactILPAdapter,
     HeuristicILPAdapter,
@@ -43,6 +44,7 @@ from repro.engine.session import IncrementalSession
 
 __all__ = [
     "BruteForceAdapter",
+    "CDCLAdapter",
     "CacheEntry",
     "CacheStats",
     "DPLLAdapter",

@@ -18,9 +18,50 @@ from repro.engine.protocol import SolverOutcome, UNKNOWN, UNSAT, verified_sat
 from repro.errors import ReproError
 from repro.ilp.status import SolveStatus
 from repro.sat.brute import MAX_BRUTE_VARS, brute_force_solve
+from repro.sat.cdcl import CDCLSolver
 from repro.sat.dpll import dpll_solve
 from repro.sat.encoding import encode_sat
 from repro.sat.walksat import walksat_solve
+
+
+@dataclass(frozen=True)
+class CDCLAdapter:
+    """Complete clause-learning search; the hint becomes the initial phase.
+
+    The portfolio's default lead: on hard tightened EC instances its
+    learned clauses dominate chronological DPLL by orders of magnitude,
+    and on easy instances it costs the same unit propagation.
+    """
+
+    name: str = "cdcl"
+    complete: bool = True
+    max_conflicts: int = 0
+    restart_base: int = 64
+
+    def solve(
+        self,
+        formula: CNFFormula,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        hint: Assignment | None = None,
+    ) -> SolverOutcome:
+        """Run CDCL under the engine contract."""
+        t0 = time.perf_counter()
+        res = CDCLSolver(
+            max_conflicts=self.max_conflicts, restart_base=self.restart_base
+        ).solve(formula, polarity_hint=hint, deadline=deadline, seed=seed)
+        wall = time.perf_counter() - t0
+        if res.satisfiable is True:
+            return verified_sat(
+                formula, res.assignment, self.name, wall,
+                f"conflicts={res.conflicts} restarts={res.restarts}",
+            )
+        if res.satisfiable is False:
+            return SolverOutcome(
+                UNSAT, None, self.name, wall, f"learned={res.learned}"
+            )
+        return SolverOutcome(UNKNOWN, None, self.name, wall, "budget exhausted")
 
 
 @dataclass(frozen=True)
@@ -223,6 +264,7 @@ class HeuristicILPAdapter:
 
 #: Adapter constructors by configuration kind.
 ADAPTERS = {
+    "cdcl": CDCLAdapter,
     "dpll": DPLLAdapter,
     "walksat": WalkSATAdapter,
     "brute": BruteForceAdapter,

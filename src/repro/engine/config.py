@@ -3,10 +3,13 @@
 A :class:`SolverConfig` is pure data — (name, kind, params, seed offset) —
 so it crosses the process boundary cheaply and the worker builds the
 actual adapter on its side.  The default portfolio orders configurations
-by expected decisiveness: the complete DPLL solver leads (it also powers
-the in-process quick slice), diversified WalkSAT configurations chase
-satisfiable instances, and the paper's ILP route brings up the rear as
-both a cross-check and the historical baseline.
+by expected decisiveness: clause-learning CDCL leads (it powers the
+in-process quick slice and dominates hard tightened instances),
+chronological DPLL follows as the simpler complete cross-check,
+diversified WalkSAT configurations chase satisfiable instances, and the
+paper's ILP route brings up the rear as both a cross-check and the
+historical baseline.  List order is also stagger order: earlier racers
+start sooner on oversubscribed hardware.
 """
 
 from __future__ import annotations
@@ -59,9 +62,10 @@ def default_portfolio_configs(diversify: int = 2) -> list[SolverConfig]:
 
     Args:
         diversify: number of extra WalkSAT configurations with distinct
-            seeds/noise (0 keeps just the core trio).
+            seeds/noise (0 keeps just the core quartet).
     """
-    configs = [SolverConfig.make("dpll", "dpll")]
+    configs = [SolverConfig.make("cdcl", "cdcl")]
+    configs.append(SolverConfig.make("dpll", "dpll"))
     configs.append(SolverConfig.make("walksat", "walksat"))
     for i in range(max(0, diversify - 1)):
         configs.append(

@@ -56,6 +56,12 @@ class EngineResult:
     wall_time: float
     from_cache: bool = False
     outcome: SolverOutcome | None = None
+    #: Name of the solver configuration that decided the race (None when
+    #: the answer came from the cache / hint revalidation, or when every
+    #: racer came back undecided).  Unlike ``source`` this survives
+    #: cancellation: a racer crossing the line during the post-deadline
+    #: drain window is still credited.
+    winner: str | None = None
 
     @property
     def satisfiable(self) -> bool | None:
@@ -100,8 +106,15 @@ class PortfolioEngine:
         seed: int | None = None,
         hint: Assignment | None = None,
         use_cache: bool = True,
+        lead: str | None = None,
     ) -> EngineResult:
-        """Answer a satisfiability query through cache, hint, then race."""
+        """Answer a satisfiability query through cache, hint, then race.
+
+        Args:
+            lead: per-race lead-solver override forwarded to
+                :meth:`Portfolio.solve` (e.g. ``"cdcl"`` on tightening
+                engineering changes).
+        """
         t0 = time.perf_counter()
         self.stats.solves += 1
         # Hashing costs about as much as an easy solve; skip it entirely
@@ -142,7 +155,7 @@ class PortfolioEngine:
 
         self.stats.races += 1
         result = self.portfolio.solve(
-            formula, deadline=deadline, seed=seed, hint=hint
+            formula, deadline=deadline, seed=seed, hint=hint, lead=lead
         )
         # Racers cancelled before their solver started are excluded;
         # racers abandoned mid-run still count, so this is exact for the
@@ -160,6 +173,7 @@ class PortfolioEngine:
             result.winner or "portfolio",
             time.perf_counter() - t0,
             outcome=outcome,
+            winner=result.winner,
         )
 
     # ------------------------------------------------------------------

@@ -147,6 +147,9 @@ class Portfolio:
             fanning out (0 disables the quick slice).
         stagger: delay between worker starts; ``None`` auto-selects 0 on
             machines with at least ``jobs`` cores and 50 ms otherwise.
+        drain: how long (seconds) a cancelled race waits for already-
+            running racers to cross the line before terminating them; a
+            definitive answer arriving inside this window still wins.
 
     The process pool is created lazily and reused across calls; use the
     portfolio as a context manager (or call :meth:`close`) to release it.
@@ -158,12 +161,14 @@ class Portfolio:
         jobs: int | None = None,
         quick_slice: float = DEFAULT_QUICK_SLICE,
         stagger: float | None = None,
+        drain: float = 0.1,
     ):
         self.configs = list(configs) if configs is not None else default_portfolio_configs()
         cores = os.cpu_count() or 1
         self.jobs = min(4, cores) if jobs is None else jobs
         self.quick_slice = quick_slice
         self.stagger = (0.0 if cores >= max(self.jobs, 2) else 0.05) if stagger is None else stagger
+        self.drain = drain
         self.total_launched = 0
         self._executor: ProcessPoolExecutor | None = None
         self._cancel = None
@@ -226,8 +231,15 @@ class Portfolio:
         deadline: float | None = None,
         seed: int | None = None,
         hint: Assignment | None = None,
+        lead: str | None = None,
     ) -> PortfolioResult:
         """Race the line-up on *formula*; see the module docstring.
+
+        Args:
+            lead: name of the configuration to move to the front for this
+                race only — it takes the quick slice and the zero-stagger
+                slot (the session stages CDCL ahead of DPLL on tightening
+                changes this way).  Unknown names are ignored.
 
         Returns an ``unknown`` result only when every configuration came
         back undecided within its budget.
@@ -235,6 +247,11 @@ class Portfolio:
         if not self.configs:
             raise ValueError("portfolio has no solver configurations")
         t0 = time.perf_counter()
+        configs = self.configs
+        if lead is not None:
+            promoted = [c for c in configs if c.name == lead]
+            if promoted:
+                configs = promoted + [c for c in configs if c.name != lead]
         outcomes: list[SolverOutcome] = []
         launched = 0
 
@@ -243,16 +260,16 @@ class Portfolio:
             slice_budget = (
                 self.quick_slice if deadline is None else min(self.quick_slice, deadline)
             )
-            lead = self.configs[0]
+            first = configs[0]
             launched += 1
             out = run_config(
-                lead, formula, deadline=slice_budget, seed=seed, hint=hint
+                first, formula, deadline=slice_budget, seed=seed, hint=hint
             )
             outcomes.append(out)
-            if _trusted(lead, out):
+            if _trusted(first, out):
                 self.total_launched += launched
                 return PortfolioResult(
-                    out, lead.name, launched, time.perf_counter() - t0,
+                    out, first.name, launched, time.perf_counter() - t0,
                     outcomes, via_quick_slice=True, executed=launched,
                 )
 
@@ -263,7 +280,7 @@ class Portfolio:
         # Phase 2: fan out (or fall back to a sequential scan).
         if self.jobs <= 1:
             winner = None
-            for config in self.configs:
+            for config in configs:
                 if deadline is not None:
                     remaining = max(0.0, deadline - (time.perf_counter() - t0))
                     if remaining == 0.0:
@@ -291,7 +308,7 @@ class Portfolio:
                     _race_entry, config, formula, remaining, seed, hint,
                     i * self.stagger,
                 ): config
-                for i, config in enumerate(self.configs)
+                for i, config in enumerate(configs)
             }
 
         try:
@@ -346,7 +363,7 @@ class Portfolio:
             # be interrupted, so terminate them and rebuild the pool lazily
             # on the next race rather than let losers burn CPU.
             live = {fut for fut in pending if not fut.cancelled()}
-            done, still_running = wait(live, timeout=0.1)
+            done, still_running = wait(live, timeout=self.drain)
             for fut in done:
                 try:
                     out = fut.result()
@@ -355,6 +372,13 @@ class Portfolio:
                 outcomes.append(out)
                 if out.detail == "cancelled":   # bailed during the stagger
                     not_run += 1
+                elif winner is None and _trusted(futures[fut], out):
+                    # A racer crossed the line inside the drain window (the
+                    # deadline cut us loose, not an earlier winner): its
+                    # verdict is just as trustworthy, so it still wins
+                    # instead of being dropped on the floor.
+                    winner = out
+                    timed_out = False
             if still_running:
                 self._terminate_pool()
         if pool_broken:

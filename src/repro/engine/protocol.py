@@ -66,6 +66,25 @@ class Solver(Protocol):
 
     Implementations must be picklable (they cross a process boundary) and
     deterministic given (formula, seed).
+
+    The call contract, shared by every adapter and relied on by the
+    differential test harness:
+
+    * ``deadline`` is a **relative** wall-clock budget in seconds for
+      this call, not an absolute timestamp (budgets survive pickling
+      into worker processes).  On expiry the solver returns ``unknown``;
+      it never raises.  ``None`` means unlimited.
+    * ``seed`` makes any randomized choice deterministic: two calls with
+      the same (formula, seed) must produce the same outcome.  Complete
+      solvers may use it only for diversification (branching order);
+      ``None`` selects each solver's legacy default order.
+    * ``hint`` is a previous assignment used as a warm start / initial
+      phase.  A hint must never change the *verdict*, only how fast a
+      model is found; solvers are free to ignore it.
+    * ``sat`` outcomes always carry a model verified against the exact
+      formula argument; ``unsat`` may only be returned when
+      ``complete`` is True (the verdict is a proof); everything else —
+      budget exhausted, deadline hit, internal error — is ``unknown``.
     """
 
     #: Display / telemetry name.

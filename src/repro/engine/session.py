@@ -12,7 +12,10 @@ an execution policy here:
 * a **tightening** batch goes to the :class:`PortfolioEngine` with the
   previous solution as hint, which both warm-starts the racers and lets
   the engine short-circuit when the change happened not to break the
-  solution after all.
+  solution after all.  Tightening races lead with the clause-learning
+  CDCL solver (staggered ahead of chronological DPLL): every added
+  clause makes the instance harder, and on the UNSAT-heavy end of a
+  change chain learning dominates by orders of magnitude.
 
 The session keeps the running formula, the current solution, and a
 history of (regime, source) pairs for inspection.
@@ -115,7 +118,8 @@ class IncrementalSession:
 
         Loosening-only batches are answered by revalidating the current
         solution (no solver launches); tightening batches race the
-        portfolio with the previous solution as warm start.
+        portfolio with the previous solution as warm start and CDCL
+        promoted to the lead slot.
 
         Raises:
             ECError: without a starting solution, or when the modified
@@ -142,7 +146,8 @@ class IncrementalSession:
             self._pending_regime = ""
             return self.assignment
         result = self.engine.solve(
-            self.formula, deadline=deadline, seed=seed, hint=self.assignment
+            self.formula, deadline=deadline, seed=seed, hint=self.assignment,
+            lead="cdcl",
         )
         self.assignment = self._accept(result)
         self._tightening_pending = False

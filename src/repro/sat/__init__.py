@@ -9,6 +9,8 @@ ground truth, witnesses, and cross-checks:
   ILP solutions back to truth assignments;
 * :mod:`repro.sat.dpll` -- a complete DPLL solver (unit propagation,
   watched literals, MOMS-style branching);
+* :mod:`repro.sat.cdcl` -- a conflict-driven clause-learning solver
+  (1-UIP learning, VSIDS, Luby restarts, clause-DB reduction);
 * :mod:`repro.sat.walksat` -- WalkSAT local search for satisfiable
   instances;
 * :mod:`repro.sat.brute` -- exhaustive enumeration for tests.
@@ -16,16 +18,19 @@ ground truth, witnesses, and cross-checks:
 
 from repro.sat.setcover import SetCoverProblem
 from repro.sat.encoding import SATEncoding, decode_values, encode_sat
+from repro.sat.cdcl import CDCLSolver, cdcl_solve
 from repro.sat.dpll import DPLLSolver, dpll_solve
 from repro.sat.walksat import walksat_solve
 from repro.sat.brute import all_satisfying_assignments, brute_force_solve, count_models
 
 __all__ = [
+    "CDCLSolver",
     "DPLLSolver",
     "SATEncoding",
     "SetCoverProblem",
     "all_satisfying_assignments",
     "brute_force_solve",
+    "cdcl_solve",
     "count_models",
     "decode_values",
     "dpll_solve",

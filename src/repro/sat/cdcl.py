@@ -1,0 +1,488 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+The portfolio member that dominates on hard *tightened* EC instances:
+every clause-adding engineering change makes the instance harder, and an
+UNSAT-heavy change chain forces chronological DPLL (:mod:`repro.sat.dpll`)
+into exponential re-exploration of the same conflicts.  CDCL learns a new
+clause from every conflict instead, so refutations that take DPLL
+thousands of backtracks are found in a handful of restarts.
+
+Implementation — the classic MiniSat recipe, kept dependency-free:
+
+* **two-watched-literal propagation** — only clauses whose watched
+  literal just became false are visited, and backtracking never touches
+  the watch lists;
+* **1-UIP conflict analysis** — each conflict is resolved backwards along
+  the implication trail until a single literal of the current decision
+  level remains (the first unique implication point), yielding an
+  asserting clause and a backjump level;
+* **learned-clause minimization** — literals whose reason antecedents are
+  already implied by the rest of the learned clause are removed
+  (recursive self-subsumption), shortening what gets stored and watched;
+* **VSIDS branching** — per-variable activities bumped along every
+  conflict resolution and decayed geometrically, served from a lazy
+  max-heap; ties (and the initial order) are seed-shuffled so portfolio
+  races diversify deterministically;
+* **Luby restarts** — search restarts after ``restart_base * luby(i)``
+  conflicts, keeping learned clauses and saved phases;
+* **learned-clause DB reduction** — when the learned database outgrows
+  its budget the least active half is dropped (binary and reason clauses
+  are kept), so memory and propagation cost stay bounded on long runs.
+
+The entry points mirror :mod:`repro.sat.dpll`: ``cdcl_solve(formula,
+polarity_hint, *, deadline=, seed=)`` and a configurable
+:class:`CDCLSolver`, both returning a :class:`CDCLResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time
+from dataclasses import dataclass
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.errors import CNFError
+
+#: How many conflicts happen between wall-clock deadline checks.
+_DEADLINE_STRIDE = 128
+
+#: Activity magnitude that triggers rescaling (vars and clauses alike).
+_RESCALE_LIMIT = 1e100
+
+
+def luby(i: int) -> int:
+    """The *i*-th (1-based) term of the Luby restart sequence.
+
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ... — the universally
+    optimal restart schedule for Las-Vegas searches.
+    """
+    if i < 1:
+        raise CNFError(f"luby index must be >= 1, got {i}")
+    while True:
+        k = (i + 1).bit_length() - 1
+        if (1 << k) == i + 1:
+            return 1 << (k - 1) if k > 0 else 1
+        i -= (1 << k) - 1
+
+
+@dataclass
+class CDCLResult:
+    """Outcome of a CDCL solve."""
+
+    satisfiable: bool | None       # None = gave up (budget / deadline)
+    assignment: Assignment | None = None
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned: int = 0               # clauses learned (before any deletion)
+    restarts: int = 0
+    deleted: int = 0               # learned clauses dropped by DB reduction
+
+
+class _Clause:
+    """One clause in the solver's database (original or learned).
+
+    ``lits`` holds internal literal codes (``2*v`` positive, ``2*v + 1``
+    negative) with the two watched literals at positions 0 and 1.
+    Deletion is lazy: reduced clauses are flagged and dropped from each
+    watch list the next time propagation walks it.
+    """
+
+    __slots__ = ("lits", "learnt", "activity", "deleted")
+
+    def __init__(self, lits: list[int], learnt: bool = False):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.deleted = False
+
+
+@dataclass
+class CDCLSolver:
+    """Configurable conflict-driven clause-learning search.
+
+    Args:
+        max_conflicts: conflict budget; None/0 means unlimited.
+        restart_base: conflicts per Luby unit (restart ``i`` fires after
+            ``restart_base * luby(i)`` conflicts since the last restart).
+        var_decay: VSIDS geometric decay factor per conflict.
+        clause_decay: learned-clause activity decay factor per conflict.
+        max_learnts_factor: learned-DB budget as a multiple of the
+            original clause count (with a small absolute floor).
+    """
+
+    max_conflicts: int = 0
+    restart_base: int = 64
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    max_learnts_factor: float = 1.5
+
+    def solve(
+        self,
+        formula: CNFFormula,
+        polarity_hint: Assignment | None = None,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+    ) -> CDCLResult:
+        """Search for a satisfying assignment of *formula*.
+
+        Args:
+            polarity_hint: preferred initial phase per variable (EC hands
+                the previous solution here; phase saving takes over after
+                the first flip).
+            deadline: wall-clock budget in seconds for this call; on
+                expiry the search stops with ``satisfiable=None``.
+            seed: deterministic diversification of the initial VSIDS
+                order; identical seeds give identical runs, and None keeps
+                the index order.
+        """
+        t0 = time.perf_counter()
+        result = CDCLResult(None)
+        if formula.has_empty_clause():
+            result.satisfiable = False
+            return result
+        variables = list(formula.variables)
+        nvars = len(variables)
+        index_of = {v: i for i, v in enumerate(variables)}
+
+        # -- internal state -------------------------------------------------
+        assigns: list[int] = [-1] * nvars          # -1 unassigned, 0/1 value
+        level: list[int] = [0] * nvars
+        reason: list[_Clause | None] = [None] * nvars
+        saved_phase: list[bool] = [
+            (polarity_hint.get(v, True) if polarity_hint is not None else True)
+            for v in variables
+        ]
+        activity: list[float] = [0.0] * nvars
+        if seed is not None:
+            rnd = random.Random(seed)
+            activity = [rnd.random() * 1e-6 for _ in range(nvars)]
+        var_inc = 1.0
+        cla_inc = 1.0
+
+        trail: list[int] = []                       # literal codes, in order
+        trail_lim: list[int] = []                   # trail length per level
+        qhead = 0
+
+        watches: list[list[_Clause]] = [[] for _ in range(2 * nvars)]
+        clauses: list[_Clause] = []
+        learnts: list[_Clause] = []
+
+        seen: list[bool] = [False] * nvars
+
+        def lit_code(lit: int) -> int:
+            return 2 * index_of[abs(lit)] + (lit < 0)
+
+        def lit_value(code: int) -> bool | None:
+            a = assigns[code >> 1]
+            if a < 0:
+                return None
+            return bool(a) ^ bool(code & 1)
+
+        def enqueue(code: int, why: _Clause | None) -> None:
+            v = code >> 1
+            assigns[v] = (code & 1) ^ 1
+            saved_phase[v] = not (code & 1)
+            level[v] = len(trail_lim)
+            reason[v] = why
+            trail.append(code)
+
+        def attach(clause: _Clause) -> None:
+            # Watch lists are indexed by the watched literal itself; a list
+            # is walked exactly when its literal becomes false.
+            watches[clause.lits[0]].append(clause)
+            watches[clause.lits[1]].append(clause)
+
+        # -- load the problem clauses --------------------------------------
+        for cl in formula.clauses:
+            if cl.is_tautology():
+                continue
+            codes = list(dict.fromkeys(lit_code(l) for l in cl.literals))
+            if len(codes) == 1:
+                val = lit_value(codes[0])
+                if val is False:
+                    result.satisfiable = False
+                    return result
+                if val is None:
+                    enqueue(codes[0], None)
+                continue
+            clause = _Clause(codes)
+            clauses.append(clause)
+            attach(clause)
+        if not clauses and not trail:
+            result.satisfiable = True
+            result.assignment = Assignment({v: False for v in variables})
+            return result
+        max_learnts = max(100.0, len(clauses) * self.max_learnts_factor)
+
+        # -- propagation ---------------------------------------------------
+        def propagate() -> _Clause | None:
+            nonlocal qhead
+            while qhead < len(trail):
+                false_lit = trail[qhead] ^ 1
+                qhead += 1
+                wl = watches[false_lit]
+                kept: list[_Clause] = []
+                i = 0
+                n = len(wl)
+                while i < n:
+                    c = wl[i]
+                    i += 1
+                    if c.deleted:
+                        continue                    # lazy DB-reduction drop
+                    lits = c.lits
+                    if lits[0] == false_lit:
+                        lits[0], lits[1] = lits[1], lits[0]
+                    first = lits[0]
+                    if lit_value(first) is True:
+                        kept.append(c)
+                        continue
+                    for k in range(2, len(lits)):
+                        if lit_value(lits[k]) is not False:
+                            lits[1], lits[k] = lits[k], lits[1]
+                            watches[lits[1]].append(c)
+                            break
+                    else:
+                        kept.append(c)
+                        if lit_value(first) is False:
+                            # Conflict: keep the rest of the watch list.
+                            while i < n:
+                                if not wl[i].deleted:
+                                    kept.append(wl[i])
+                                i += 1
+                            watches[false_lit] = kept
+                            qhead = len(trail)
+                            return c
+                        result.propagations += 1
+                        enqueue(first, c)
+                watches[false_lit] = kept
+            return None
+
+        # -- activities ----------------------------------------------------
+        def bump_var(v: int) -> None:
+            nonlocal var_inc
+            activity[v] += var_inc
+            if activity[v] > _RESCALE_LIMIT:
+                for u in range(nvars):
+                    activity[u] *= 1e-100
+                var_inc *= 1e-100
+
+        def bump_clause(c: _Clause) -> None:
+            nonlocal cla_inc
+            c.activity += cla_inc
+            if c.activity > _RESCALE_LIMIT:
+                for lc in learnts:
+                    lc.activity *= 1e-100
+                cla_inc *= 1e-100
+
+        # Lazy max-heap over (-activity, var); stale entries are skipped.
+        order_heap: list[tuple[float, int]] = [
+            (-activity[v], v) for v in range(nvars)
+        ]
+        heapq.heapify(order_heap)
+
+        def push_order(v: int) -> None:
+            heapq.heappush(order_heap, (-activity[v], v))
+
+        def pick_branch_var() -> int | None:
+            while order_heap:
+                neg_act, v = heapq.heappop(order_heap)
+                if assigns[v] < 0 and -neg_act == activity[v]:
+                    return v
+            # Heap exhausted by stale entries; rebuild from scratch.
+            rest = [v for v in range(nvars) if assigns[v] < 0]
+            if not rest:
+                return None
+            for v in rest:
+                push_order(v)
+            return pick_branch_var()
+
+        # -- conflict analysis (1-UIP + recursive minimization) ------------
+        def analyze(confl: _Clause) -> tuple[list[int], int]:
+            learnt: list[int] = [0]                 # slot 0 for the UIP
+            path = 0
+            p: int | None = None
+            index = len(trail) - 1
+            to_clear: list[int] = []
+            while True:
+                if confl.learnt:
+                    bump_clause(confl)
+                start = 0 if p is None else 1
+                for q in confl.lits[start:]:
+                    v = q >> 1
+                    if not seen[v] and level[v] > 0:
+                        seen[v] = True
+                        to_clear.append(v)
+                        bump_var(v)
+                        push_order(v)
+                        if level[v] >= len(trail_lim):
+                            path += 1
+                        else:
+                            learnt.append(q)
+                while not seen[trail[index] >> 1]:
+                    index -= 1
+                p = trail[index]
+                index -= 1
+                pv = p >> 1
+                seen[pv] = False
+                path -= 1
+                if path == 0:
+                    break
+                confl = reason[pv]
+            learnt[0] = p ^ 1
+
+            # Minimization: a literal is redundant when its whole reason is
+            # already implied by the rest of the learned clause (checked
+            # recursively, conservatively failing on decision literals).
+            def redundant(code: int) -> bool:
+                stack = [code]
+                top = len(to_clear)
+                while stack:
+                    why = reason[stack.pop() >> 1]
+                    for q in why.lits[1:]:
+                        v = q >> 1
+                        if not seen[v] and level[v] > 0:
+                            if reason[v] is None:
+                                for u in to_clear[top:]:
+                                    seen[u] = False
+                                del to_clear[top:]
+                                return False
+                            seen[v] = True
+                            to_clear.append(v)
+                            stack.append(q)
+                return True
+
+            learnt = [learnt[0]] + [
+                q
+                for q in learnt[1:]
+                if reason[q >> 1] is None or not redundant(q)
+            ]
+            for v in to_clear:
+                seen[v] = False
+
+            if len(learnt) == 1:
+                return learnt, 0
+            # Backjump to the second-highest level; its literal watches slot 1.
+            hi = max(range(1, len(learnt)), key=lambda i: level[learnt[i] >> 1])
+            learnt[1], learnt[hi] = learnt[hi], learnt[1]
+            return learnt, level[learnt[1] >> 1]
+
+        def cancel_until(lvl: int) -> None:
+            nonlocal qhead
+            if len(trail_lim) <= lvl:
+                return
+            bound = trail_lim[lvl]
+            for code in reversed(trail[bound:]):
+                v = code >> 1
+                assigns[v] = -1
+                reason[v] = None
+                push_order(v)
+            del trail[bound:]
+            del trail_lim[lvl:]
+            qhead = bound
+
+        def reduce_db() -> None:
+            """Drop the least active half of the learned clauses."""
+            nonlocal learnts
+            learnts.sort(key=lambda c: c.activity)
+            keep: list[_Clause] = []
+            budget = len(learnts) // 2
+            for i, c in enumerate(learnts):
+                locked = reason[c.lits[0] >> 1] is c
+                if len(c.lits) <= 2 or locked or i >= budget:
+                    keep.append(c)
+                else:
+                    c.deleted = True
+                    result.deleted += 1
+            learnts = keep
+
+        # -- main search loop ----------------------------------------------
+        restart_num = 0
+        conflicts_since_restart = 0
+        restart_limit = self.restart_base * luby(1)
+        while True:
+            confl = propagate()
+            if confl is not None:
+                result.conflicts += 1
+                conflicts_since_restart += 1
+                if not trail_lim:
+                    result.satisfiable = False
+                    return result
+                learnt, back_level = analyze(confl)
+                cancel_until(back_level)
+                if len(learnt) == 1:
+                    enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    clause.activity = cla_inc
+                    learnts.append(clause)
+                    attach(clause)
+                    enqueue(learnt[0], clause)
+                result.learned += 1
+                var_inc /= self.var_decay
+                cla_inc /= self.clause_decay
+
+                if self.max_conflicts and result.conflicts >= self.max_conflicts:
+                    return result      # satisfiable=None: budget exhausted
+                if (
+                    deadline is not None
+                    and result.conflicts % _DEADLINE_STRIDE == 0
+                    and time.perf_counter() - t0 > deadline
+                ):
+                    return result      # satisfiable=None: deadline hit
+                if conflicts_since_restart >= restart_limit:
+                    restart_num += 1
+                    result.restarts += 1
+                    conflicts_since_restart = 0
+                    restart_limit = self.restart_base * luby(restart_num + 1)
+                    cancel_until(0)
+                if len(learnts) >= max_learnts:
+                    reduce_db()
+                    max_learnts *= 1.1
+            else:
+                v = pick_branch_var()
+                if v is None:
+                    result.satisfiable = True
+                    result.assignment = Assignment(
+                        {
+                            var: bool(assigns[index_of[var]])
+                            if assigns[index_of[var]] >= 0
+                            else saved_phase[index_of[var]]
+                            for var in variables
+                        }
+                    )
+                    return result
+                if (
+                    deadline is not None
+                    and result.decisions % _DEADLINE_STRIDE == 0
+                    and time.perf_counter() - t0 > deadline
+                ):
+                    return result      # satisfiable=None: deadline hit
+                result.decisions += 1
+                trail_lim.append(len(trail))
+                enqueue(2 * v + (0 if saved_phase[v] else 1), None)
+
+    # ------------------------------------------------------------------
+    def is_satisfiable(self, formula: CNFFormula) -> bool:
+        """Convenience wrapper raising if the budget ran out."""
+        res = self.solve(formula)
+        if res.satisfiable is None:
+            raise CNFError("CDCL budget exhausted before a verdict")
+        return res.satisfiable
+
+
+def cdcl_solve(
+    formula: CNFFormula,
+    polarity_hint: Assignment | None = None,
+    max_conflicts: int = 0,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
+) -> CDCLResult:
+    """One-shot CDCL solve of *formula*."""
+    return CDCLSolver(max_conflicts=max_conflicts).solve(
+        formula, polarity_hint, deadline=deadline, seed=seed
+    )

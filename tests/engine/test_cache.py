@@ -79,3 +79,37 @@ class TestLRU:
         cache.get("a")
         cache.get("zzz")
         assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_under_interleaved_hits(self, model):
+        # Hits interleaved with stores: every get refreshes recency, so
+        # the hot entry survives a full capacity's worth of cold inserts.
+        cache = SolutionCache(max_entries=3)
+        cache.put("hot", True, model)
+        for i in range(6):
+            cache.put(f"cold{i}", True, model)
+            assert cache.get("hot") is not None      # keep it hot
+        assert "hot" in cache
+        assert len(cache) == 3
+        # Only the two most recent cold entries survived alongside it.
+        assert "cold5" in cache and "cold4" in cache
+        assert cache.stats.evictions == 4
+
+    def test_interleaved_hits_preserve_lru_order_not_insert_order(self, model):
+        cache = SolutionCache(max_entries=2)
+        cache.put("a", True, model)
+        cache.put("b", True, model)
+        cache.get("a")                       # recency now: b < a
+        cache.put("c", True, model)          # evicts b (LRU), not a
+        cache.get("a")                       # recency now: c < a
+        cache.put("d", True, model)          # evicts c, not a
+        assert "a" in cache and "d" in cache
+        assert "b" not in cache and "c" not in cache
+
+    def test_overwrite_same_fingerprint_does_not_evict(self, model):
+        cache = SolutionCache(max_entries=2)
+        cache.put("a", True, model)
+        cache.put("b", True, model)
+        cache.put("a", True, model, solver="newer")   # update, not insert
+        assert len(cache) == 2 and cache.stats.evictions == 0
+        assert cache.get("a").solver == "newer"
+        assert "b" in cache

@@ -106,6 +106,29 @@ class TestSharedCache:
             assert b.stats.solver_calls == 0
 
 
+class TestWinnerMetadata:
+    def test_race_surfaces_winner(self, engine, sat_instance):
+        result = engine.solve(sat_instance, use_cache=False)
+        assert result.winner == "cdcl"          # the default lead
+        assert result.source == result.winner
+
+    def test_cache_hit_has_no_winner(self, engine, sat_instance):
+        engine.solve(sat_instance)
+        cached = engine.solve(sat_instance)
+        assert cached.from_cache and cached.winner is None
+
+    def test_revalidation_has_no_winner(self, engine, sat_instance):
+        model = engine.solve(sat_instance).assignment
+        loosened = sat_instance.copy()
+        loosened.remove_clause_at(0)
+        result = engine.solve(loosened, hint=model)
+        assert result.source == "revalidation" and result.winner is None
+
+    def test_lead_override_forwarded_to_race(self, engine, sat_instance):
+        result = engine.solve(sat_instance, use_cache=False, lead="dpll")
+        assert result.winner == "dpll"
+
+
 class TestHintOutranksCache:
     def test_valid_hint_beats_older_cached_model(self, engine):
         from repro.cnf.assignment import Assignment

@@ -1,14 +1,32 @@
 """Portfolio racing: quick slice, process pool, sequential fallback."""
 
 import time
+from dataclasses import dataclass
 
 import pytest
 
+from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.generators import random_planted_ksat
 from repro.engine.config import SolverConfig, default_portfolio_configs
 from repro.engine.portfolio import Portfolio, run_config
-from repro.engine.protocol import SAT, UNKNOWN, UNSAT
+from repro.engine.protocol import SAT, SolverOutcome, UNKNOWN, UNSAT
+
+
+@dataclass(frozen=True)
+class SleepyAdapter:
+    """Test double: blocks past any deadline, then answers ``sat``.
+
+    Module-level so forked pool workers can rebuild it from its config.
+    """
+
+    name: str = "sleepy"
+    complete: bool = True
+    naptime: float = 0.4
+
+    def solve(self, formula, *, deadline=None, seed=None, hint=None):
+        time.sleep(self.naptime)
+        return SolverOutcome(SAT, Assignment({1: True}), self.name, self.naptime)
 
 
 @pytest.fixture(scope="module")
@@ -108,7 +126,8 @@ class TestConfigs:
     def test_default_lineup_shape(self):
         configs = default_portfolio_configs()
         names = [c.name for c in configs]
-        assert names[0] == "dpll"           # complete lead for the quick slice
+        assert names[0] == "cdcl"           # complete lead for the quick slice
+        assert names[1] == "dpll"           # chronological cross-check next
         assert len(names) == len(set(names))
         assert any(c.kind == "ilp-exact" for c in configs)
 
@@ -125,6 +144,42 @@ class TestConfigs:
         b = run_config(off, sat_instance, seed=3)
         assert a1.assignment.as_dict() == a2.assignment.as_dict()
         assert a1.status == b.status == SAT
+
+
+class TestLeadPromotion:
+    def test_lead_takes_the_quick_slice(self, sat_instance):
+        with Portfolio(jobs=1) as p:
+            result = p.solve(sat_instance, seed=0, lead="dpll")
+            assert result.via_quick_slice
+            assert result.winner == "dpll"
+        # ... and the portfolio's own ordering is untouched.
+        assert p.configs[0].name == "cdcl"
+
+    def test_unknown_lead_name_ignored(self, sat_instance):
+        with Portfolio(jobs=1) as p:
+            result = p.solve(sat_instance, seed=0, lead="no-such-solver")
+            assert result.outcome.status == SAT
+            assert result.winner == "cdcl"
+
+
+class TestWinnerSurvivesCancellation:
+    def test_drain_window_win_is_not_dropped(self, monkeypatch):
+        # Both racers block past the deadline; the parent's wait loop cuts
+        # the race, cancels, and then a racer crosses the line inside the
+        # drain window.  Its verdict used to be discarded ("deadline
+        # exceeded"); it must win and be credited by name.
+        from repro.engine import adapters
+
+        monkeypatch.setitem(adapters.ADAPTERS, "sleepy", SleepyAdapter)
+        configs = [
+            SolverConfig.make("sleepy", "sleepy"),
+            SolverConfig.make("sleepy-2", "sleepy", naptime=0.5),
+        ]
+        f = CNFFormula([[1]])
+        with Portfolio(configs=configs, jobs=2, quick_slice=0.0, drain=5.0) as p:
+            result = p.solve(f, deadline=0.05, seed=0)
+        assert result.outcome.status == SAT
+        assert result.winner in ("sleepy", "sleepy-2")
 
 
 class TestUnsatTrustGate:

@@ -9,7 +9,7 @@ import pytest
 
 from repro.cnf.clause import Clause
 from repro.cnf.formula import CNFFormula
-from repro.cnf.generators import random_planted_ksat
+from repro.cnf.generators import random_planted_ksat, unsat_parity_pair
 from repro.core.change import (
     AddClause,
     AddVariable,
@@ -17,8 +17,21 @@ from repro.core.change import (
     RemoveClause,
     RemoveVariable,
 )
+from repro.engine.config import SolverConfig
+from repro.engine.engine import PortfolioEngine
 from repro.engine.session import IncrementalSession
 from repro.errors import ECError
+
+
+def _breaking_clause(formula, model, width=2):
+    """A clause every literal of which is false under *model*."""
+    lits = []
+    for var in formula.variables:
+        if model.is_assigned(var):
+            lits.append(-var if model[var] else var)
+        if len(lits) == width:
+            break
+    return Clause(lits)
 
 
 @pytest.fixture
@@ -94,6 +107,75 @@ class TestTightening:
             )
             with pytest.raises(ECError, match="unsatisfiable"):
                 s.resolve()
+
+
+class TestTighteningResolvePath:
+    """The re-solve path: CDCL leads, DPLL backstops, UNSAT surfaces."""
+
+    def test_tightening_resolve_won_by_cdcl_lead(self, session):
+        model = session.solve(seed=0)
+        session.apply_changes(
+            ChangeSet([AddClause(_breaking_clause(session.formula, model))])
+        )
+        calls_before = session.solver_calls
+        new_model = session.resolve(seed=0)
+        assert session.solver_calls > calls_before
+        # The session promotes CDCL to the lead slot on tightening races,
+        # and the winner's name is surfaced in the history.
+        assert session.history[-1].source == "cdcl"
+        assert session.formula.is_satisfied(new_model)
+
+    def test_cdcl_budget_exhaustion_falls_back_to_dpll(self):
+        # A CDCL configured with a 1-conflict budget cannot refute the
+        # parity contradiction; the complete DPLL backstop must still
+        # deliver the UNSAT proof (not an "undecided" error).
+        f, witness = random_planted_ksat(12, 30, rng=21)
+        configs = [
+            SolverConfig.make("cdcl", "cdcl", max_conflicts=1),
+            SolverConfig.make("dpll", "dpll"),
+        ]
+        engine = PortfolioEngine(configs=configs, jobs=1)
+        with IncrementalSession(f, engine=engine) as s:
+            s.solve(seed=0)
+            hard = unsat_parity_pair(8, rng=2)
+            shift = s.formula.max_var
+            for cl in hard.clauses:
+                s.apply_changes(
+                    ChangeSet([AddClause(Clause([
+                        l + shift if l > 0 else l - shift for l in cl.literals
+                    ]))])
+                )
+            with pytest.raises(ECError, match="unsatisfiable"):
+                s.resolve(seed=0)
+
+    def test_successive_tightening_chain_resolves_each_step(self, session):
+        model = session.solve(seed=0)
+        for _ in range(3):
+            session.apply_changes(
+                ChangeSet([AddClause(_breaking_clause(session.formula, model))])
+            )
+            model = session.resolve(seed=0)
+            assert session.formula.is_satisfied(model)
+        regimes = [s.regime for s in session.history if s.kind == "resolve"]
+        assert regimes == ["tightening"] * 3
+
+    def test_tightening_verdict_shared_via_engine_cache(self):
+        # A second session over the same engine re-deriving the tightened
+        # instance is answered by the fingerprint cache, not a new race.
+        f, _ = random_planted_ksat(16, 50, rng=9)
+        engine = PortfolioEngine(jobs=1)
+        with IncrementalSession(f, engine=engine) as a:
+            model = a.solve(seed=0)
+            a.apply_changes(
+                ChangeSet([AddClause(_breaking_clause(a.formula, model))])
+            )
+            a.resolve(seed=0)
+            modified = a.formula.copy()
+            calls = engine.stats.solver_calls
+            b = IncrementalSession(modified, engine=engine)
+            b.solve(seed=0)
+            assert engine.stats.solver_calls == calls
+            assert b.history[-1].source == "cache"
 
 
 class TestLifecycle:

@@ -1,0 +1,158 @@
+"""Unit tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import (
+    pigeonhole,
+    random_ksat,
+    random_planted_ksat,
+    unsat_parity_pair,
+)
+from repro.errors import CNFError
+from repro.sat.brute import brute_force_solve
+from repro.sat.cdcl import CDCLSolver, cdcl_solve, luby
+from repro.sat.dpll import dpll_solve
+
+
+class TestLuby:
+    def test_sequence_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(CNFError):
+            luby(0)
+
+
+class TestVerdicts:
+    def test_trivial_sat(self):
+        res = cdcl_solve(CNFFormula([[1, 2]]))
+        assert res.satisfiable
+        assert CNFFormula([[1, 2]]).is_satisfied(res.assignment)
+
+    def test_trivial_unsat(self):
+        assert cdcl_solve(CNFFormula([[1], [-1]])).satisfiable is False
+
+    def test_empty_formula_sat(self):
+        res = cdcl_solve(CNFFormula(num_vars=3))
+        assert res.satisfiable
+        assert len(res.assignment) == 3
+
+    def test_empty_clause_unsat(self):
+        f = CNFFormula([[1]])
+        f.remove_variable(1)
+        assert cdcl_solve(f).satisfiable is False
+
+    def test_unit_chain(self):
+        f = CNFFormula([[1], [-1, 2], [-2, 3]])
+        res = cdcl_solve(f)
+        assert res.satisfiable
+        assert res.assignment.as_dict() == {1: True, 2: True, 3: True}
+
+    def test_conflicting_units(self):
+        assert cdcl_solve(CNFFormula([[1], [-1, 2], [-2, -1]])).satisfiable is False
+
+    def test_model_covers_all_active_variables(self):
+        # v4 occurs in no clause; the model must still assign it.
+        f = CNFFormula([[1, 2], [-1, 3]], num_vars=4)
+        res = cdcl_solve(f)
+        assert res.satisfiable
+        assert res.assignment.is_assigned(4)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_small(self, seed):
+        rng = random.Random(seed)
+        f = random_ksat(rng.randint(3, 9), rng.randint(3, 35), k=3, rng=rng)
+        expected = brute_force_solve(f) is not None
+        res = cdcl_solve(f, seed=seed)
+        assert res.satisfiable is expected
+        if expected:
+            assert f.is_satisfied(res.assignment)
+
+
+class TestAgainstDPLL:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_medium_instances_agree(self, seed):
+        rng = random.Random(100 + seed)
+        f = random_ksat(rng.randint(20, 40), rng.randint(80, 180), k=3, rng=rng)
+        assert cdcl_solve(f, seed=seed).satisfiable == dpll_solve(f).satisfiable
+
+
+class TestUnsatFamilies:
+    def test_parity_pair_refuted(self):
+        f = unsat_parity_pair(14, rng=3)
+        res = cdcl_solve(f, seed=0)
+        assert res.satisfiable is False
+        assert res.learned > 0
+
+    def test_parity_pair_beats_dpll_on_conflicts(self):
+        # The separating family: chronological DPLL re-derives the same
+        # parity contradiction exponentially often; learning does not.
+        f = unsat_parity_pair(14, rng=3)
+        d = dpll_solve(f)
+        c = cdcl_solve(f, seed=0)
+        assert d.satisfiable is False and c.satisfiable is False
+        assert c.conflicts * 10 < d.conflicts
+
+    def test_small_pigeonhole_refuted(self):
+        assert cdcl_solve(pigeonhole(4), seed=0).satisfiable is False
+
+
+class TestHeuristics:
+    def test_planted_100_vars(self):
+        f, _ = random_planted_ksat(100, 400, rng=8)
+        res = cdcl_solve(f, seed=0)
+        assert res.satisfiable
+        assert f.is_satisfied(res.assignment)
+
+    def test_polarity_hint_restores_witness_quickly(self):
+        f, p = random_planted_ksat(80, 300, rng=9)
+        hinted = cdcl_solve(f, polarity_hint=p)
+        assert hinted.satisfiable
+        # The hint points straight at a model: no conflicts needed.
+        assert hinted.conflicts == 0
+
+    def test_seed_determinism(self):
+        f, _ = random_planted_ksat(30, 120, rng=5)
+        a = cdcl_solve(f, seed=7)
+        b = cdcl_solve(f, seed=7)
+        assert a.assignment.as_dict() == b.assignment.as_dict()
+        assert (a.conflicts, a.decisions) == (b.conflicts, b.decisions)
+
+    def test_restarts_fire_on_hard_instances(self):
+        solver = CDCLSolver(restart_base=2)
+        res = solver.solve(unsat_parity_pair(12, rng=1), seed=0)
+        assert res.satisfiable is False
+        assert res.restarts > 0
+
+    def test_db_reduction_fires_under_tiny_budget(self):
+        solver = CDCLSolver(max_learnts_factor=0.05)
+        res = solver.solve(unsat_parity_pair(24, rng=1), seed=0)
+        assert res.satisfiable is False
+        assert res.deleted > 0
+
+
+class TestBudget:
+    def test_conflict_budget(self):
+        f = unsat_parity_pair(16, rng=2)
+        res = cdcl_solve(f, max_conflicts=3)
+        assert res.satisfiable is None
+        assert res.conflicts <= 3
+
+    def test_deadline(self):
+        f = unsat_parity_pair(30, rng=2)
+        res = CDCLSolver().solve(f, deadline=0.0)
+        assert res.satisfiable is None
+
+    def test_is_satisfiable_raises_on_budget(self):
+        f = unsat_parity_pair(16, rng=2)
+        solver = CDCLSolver(max_conflicts=1)
+        if solver.solve(f).satisfiable is None:
+            with pytest.raises(CNFError):
+                solver.is_satisfiable(f)

@@ -113,6 +113,46 @@ class TestPortfolioEngine:
         assert main(["solve", "/no/such/file.cnf", "--engine", "portfolio"]) == 2
         assert "No such file" in capsys.readouterr().err
 
+    def test_portfolio_reports_winner(self, cnf_file, capsys):
+        path, _f = cnf_file
+        assert main(["solve", str(path), "--engine", "portfolio", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        # The quick slice decides this tiny instance: the winner is the
+        # portfolio's lead solver, surfaced by name.
+        assert "winner: cdcl" in out
+
+
+class TestSingleSolverEngines:
+    @pytest.mark.parametrize("engine", ["cdcl", "dpll", "walksat", "brute"])
+    def test_named_solver_sat(self, cnf_file, capsys, engine):
+        path, f = cnf_file
+        assert main(["solve", str(path), "--engine", engine, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("s SATISFIABLE")
+        assert f"c engine: {engine}" in out
+        lits = [int(t) for t in out.splitlines()[-1].split()[1:-1]]
+        from repro.cnf.assignment import Assignment
+
+        assert f.is_satisfied(Assignment.from_literals(lits))
+
+    @pytest.mark.parametrize("engine", ["cdcl", "dpll"])
+    def test_named_solver_unsat(self, tmp_path, capsys, engine):
+        path = tmp_path / "unsat.cnf"
+        write_dimacs(CNFFormula([[1], [-1]]), path)
+        assert main(["solve", str(path), "--engine", engine]) == 1
+        assert f"s UNSATISFIABLE (by {engine})" in capsys.readouterr().out
+
+    def test_incomplete_solver_undecided_is_error(self, tmp_path, capsys):
+        # WalkSAT cannot prove UNSAT: a non-trivial unsatisfiable instance
+        # must surface as an undecided error, never as exit code 1.
+        from repro.cnf.generators import unsat_parity_pair
+
+        path = tmp_path / "hard-unsat.cnf"
+        write_dimacs(unsat_parity_pair(6, rng=1), path)
+        rc = main(["solve", str(path), "--engine", "walksat", "--deadline", "0.2"])
+        assert rc == 2
+        assert "undecided" in capsys.readouterr().err
+
     def test_undecided_budget_is_error_not_unsat(self, cnf_file, capsys):
         # A give-up status (node_limit) must never masquerade as UNSAT.
         path, _f = cnf_file
