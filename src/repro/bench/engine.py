@@ -24,6 +24,20 @@ plus two suite-level comparisons isolating clause learning:
 5. **UNSAT refutation** — pinned provably-unsatisfiable families (dual
    parity pair, near-threshold random 3-SAT) refuted by both solvers.
 
+and two packed-kernel comparisons (the flat-array substrate):
+
+6. **packed vs object** — per row: (a) each packed-capable solver run
+   from a cold object graph (entry re-packs the formula) vs straight
+   off a prebuilt :class:`~repro.cnf.packed.PackedCNF`; (b) the
+   per-race worker-transport cost — pickled ``CNFFormula`` object graph
+   vs ``PackedCNF.to_bytes`` wire bytes, round-tripped (bytes and
+   latency); (c) fingerprint maintenance across an 8-change EC chain —
+   from-scratch fp-v1 re-hash per edit vs the incrementally maintained
+   fp-v2 digest;
+7. **batch** — ``PortfolioEngine.solve_many`` over the suite with every
+   instance duplicated: one pool warm-up, intra-batch fingerprint
+   dedup.
+
 Options::
 
     --tier ci|paper     instance sizes (default: REPRO_BENCH_SCALE or ci)
@@ -39,14 +53,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import random
 import time
 from dataclasses import asdict, dataclass, field
 
-from repro.bench.registry import BenchInstance, suite
+from repro.bench.registry import BenchInstance, load_instance, suite
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.generators import parity_pair_steps, random_ksat, unsat_parity_pair
+from repro.cnf.packed import PackedCNF
 from repro.core.change import AddClause, AddVariable, ChangeSet, RemoveClause
 from repro.engine.adapters import (
     CDCLAdapter,
@@ -55,6 +71,7 @@ from repro.engine.adapters import (
     WalkSATAdapter,
 )
 from repro.engine.engine import PortfolioEngine
+from repro.engine.fingerprint import fingerprint, fingerprint_v2
 from repro.engine.session import IncrementalSession
 from repro.errors import ReproError
 from repro.sat.dpll import dpll_solve
@@ -282,6 +299,180 @@ def bench_unsat_row(name: str, formula: CNFFormula, seed: int = 0) -> VersusRow:
     return row
 
 
+#: Packed-capable solvers compared in experiment 6.
+_PACKED_SOLVERS = (CDCLAdapter(), DPLLAdapter(), WalkSATAdapter())
+
+
+@dataclass
+class PackedRow:
+    """One packed-vs-object comparison row (experiment 6)."""
+
+    name: str
+    num_vars: int
+    num_clauses: int
+    #: Per-solver wall seconds: cold object graph (entry re-packs) vs a
+    #: prebuilt packed kernel, and their ratio.
+    solver_object: dict[str, float] = field(default_factory=dict)
+    solver_packed: dict[str, float] = field(default_factory=dict)
+    solver_speedup: dict[str, float] = field(default_factory=dict)
+    #: Per-race worker-transport cost: pickled object graph vs wire bytes.
+    transport_pickle_bytes: int = 0
+    transport_packed_bytes: int = 0
+    transport_bytes_ratio: float = 0.0     # pickle / packed
+    transport_pickle_time: float = 0.0     # dumps + loads round trip
+    transport_packed_time: float = 0.0     # to_bytes + from_bytes round trip
+    transport_speedup: float = 0.0         # pickle time / packed time
+    #: Fingerprint maintenance across an EC change chain: per-edit
+    #: from-scratch fp-v1 re-hash vs the incrementally maintained fp-v2.
+    fp_changes: int = 0
+    fp_scratch_time: float = 0.0
+    fp_incremental_time: float = 0.0
+    fp_speedup: float = 0.0
+
+
+def _fp_change_chain(
+    base: CNFFormula, changes: int, rng: random.Random
+) -> list[ChangeSet]:
+    """An EC chain alternating clause removals and random clause adds."""
+    from repro.cnf.clause import Clause
+
+    sets: list[ChangeSet] = []
+    working = base.copy()
+    for i in range(changes):
+        if i % 2 == 0 and working.num_clauses > 1:
+            cs = ChangeSet([RemoveClause(rng.choice(working.clauses))])
+        else:
+            vs = rng.sample(list(working.variables), k=min(3, working.num_vars))
+            cs = ChangeSet(
+                [AddClause(Clause(v if rng.random() < 0.5 else -v for v in vs))]
+            )
+        working = cs.apply_to(working)
+        sets.append(cs)
+    return sets
+
+
+def bench_packed_row(
+    inst: BenchInstance, rounds: int = 3, changes: int = 8, seed: int = 0
+) -> PackedRow:
+    """Experiment 6 on one instance (loaded fresh, so nothing is pre-packed)."""
+    row = PackedRow(inst.name, inst.num_vars, inst.num_clauses)
+
+    # (a) per-solver solve time: cold object graph vs prebuilt kernel.
+    # A fresh formula per round keeps the object path honest — the entry
+    # wrapper re-packs it, exactly what every pre-kernel solve paid.
+    packed = inst.formula.packed()
+    for adapter in _PACKED_SOLVERS:
+        colds = [CNFFormula(inst.formula.clauses) for _ in range(max(1, rounds))]
+        t_obj = float("inf")
+        for cold in colds:
+            t0 = time.perf_counter()
+            adapter.solve(cold, seed=seed)
+            t_obj = min(t_obj, time.perf_counter() - t0)
+        t_pak, _ = _best_of(rounds, adapter.solve_packed, packed, seed=seed)
+        row.solver_object[adapter.name] = max(t_obj, _MIN_TIME)
+        row.solver_packed[adapter.name] = t_pak
+        row.solver_speedup[adapter.name] = row.solver_object[adapter.name] / t_pak
+
+    # (b) worker-transport cost: what one racer receives per race.  The
+    # object path pickles the clause-object graph (pre-kernel wire
+    # format); the packed path ships raw array bytes.
+    cold = CNFFormula(inst.formula.clauses)
+    blob = pickle.dumps(cold)
+    payload = packed.to_bytes()
+    row.transport_pickle_bytes = len(blob)
+    row.transport_packed_bytes = len(payload)
+    row.transport_bytes_ratio = len(blob) / len(payload)
+    row.transport_pickle_time, _ = _best_of(
+        rounds, lambda: pickle.loads(pickle.dumps(cold))
+    )
+    row.transport_packed_time, _ = _best_of(
+        rounds, lambda: PackedCNF.from_bytes(packed.to_bytes())
+    )
+    row.transport_speedup = row.transport_pickle_time / row.transport_packed_time
+
+    # (c) fingerprint maintenance across an EC change chain: re-hash the
+    # whole clause set per edit (scratch) vs the incrementally maintained
+    # per-clause digest combine (fp-v2).
+    chain = _fp_change_chain(inst.formula, changes, random.Random(seed))
+    row.fp_changes = len(chain)
+    t_scratch = float("inf")
+    t_inc = float("inf")
+    for _ in range(max(1, rounds)):
+        scratch = CNFFormula(inst.formula.clauses)
+        t0 = time.perf_counter()
+        for cs in chain:
+            scratch = cs.apply_to(scratch)
+            fingerprint(scratch)
+        t_scratch = min(t_scratch, time.perf_counter() - t0)
+
+        inc = CNFFormula(inst.formula.clauses)
+        fingerprint_v2(inc)                 # prime kernel + digest state
+        t0 = time.perf_counter()
+        for cs in chain:
+            inc = cs.apply_to(inc)
+            fingerprint_v2(inc)
+        t_inc = min(t_inc, time.perf_counter() - t0)
+    row.fp_scratch_time = max(t_scratch, _MIN_TIME)
+    row.fp_incremental_time = max(t_inc, _MIN_TIME)
+    row.fp_speedup = row.fp_scratch_time / row.fp_incremental_time
+    return row
+
+
+def run_packed_bench(
+    names: list[str], tier: str, rounds: int = 3, changes: int = 8, seed: int = 0
+) -> list[PackedRow]:
+    """Experiment 6 over freshly loaded instances (no warm kernels)."""
+    return [
+        bench_packed_row(
+            load_instance(name, tier), rounds=rounds, changes=changes, seed=seed
+        )
+        for name in names
+    ]
+
+
+def bench_batch(
+    instances: list[BenchInstance], jobs: int = 4, seed: int = 0
+) -> dict:
+    """Experiment 7: ``solve_many`` over the suite with every row doubled."""
+    formulas: list[CNFFormula] = []
+    for inst in instances:
+        formulas.append(CNFFormula(inst.formula.clauses))
+        formulas.append(CNFFormula(inst.formula.clauses))   # intra-batch dup
+    with PortfolioEngine(jobs=jobs) as engine:
+        t0 = time.perf_counter()
+        results = engine.solve_many(formulas, seed=seed)
+        wall = time.perf_counter() - t0
+        return {
+            "instances": len(formulas),
+            "wall_time": wall,
+            "races": engine.stats.races,
+            "cache_hits": engine.stats.cache_hits,
+            "batch_dedups": engine.stats.batch_dedups,
+            "undecided": sum(1 for r in results if r.status == "unknown"),
+        }
+
+
+def format_packed_table(rows: list[PackedRow]) -> str:
+    """Render the packed-vs-object comparison as an aligned text table."""
+    header = (
+        f"{'packed-vs-object':<14} {'vars':>5} {'cls':>5} "
+        f"{'cdcl':>6} {'dpll':>6} {'wsat':>6} "
+        f"{'wire-x':>7} {'wire-t':>7} {'fp-x':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:<14} {r.num_vars:>5} {r.num_clauses:>5} "
+            f"{r.solver_speedup.get('cdcl', 0):>5.1f}x "
+            f"{r.solver_speedup.get('dpll', 0):>5.1f}x "
+            f"{r.solver_speedup.get('walksat', 0):>5.1f}x "
+            f"{r.transport_bytes_ratio:>6.1f}x "
+            f"{r.transport_speedup:>6.1f}x "
+            f"{r.fp_speedup:>6.1f}x"
+        )
+    return "\n".join(lines)
+
+
 def run_engine_bench(
     instances: list[BenchInstance],
     jobs: int = 4,
@@ -373,6 +564,21 @@ def main(argv: list[str] | None = None) -> int:
     print(format_versus_table([chain_row], "tightening-chain"))
     print()
     print(format_versus_table(unsat_rows, "unsat-family"))
+
+    # Experiments 6 + 7: the packed flat-array substrate.
+    packed_names = [inst.name for inst in instances]
+    packed_rows = run_packed_bench(
+        packed_names, tier, rounds=args.rounds, changes=args.changes,
+        seed=args.seed,
+    )
+    print()
+    print(format_packed_table(packed_rows))
+    batch = bench_batch(instances, jobs=args.jobs, seed=args.seed)
+    print(
+        f"\nbatch: {batch['instances']} queries -> {batch['races']} races, "
+        f"{batch['batch_dedups']} intra-batch dedups, "
+        f"{batch['cache_hits']} cache hits, {batch['wall_time']:.3f}s"
+    )
     if args.out:
         import os
 
@@ -385,6 +591,8 @@ def main(argv: list[str] | None = None) -> int:
             "rows": [asdict(r) for r in rows],
             "tightening_chain": asdict(chain_row),
             "unsat_rows": [asdict(r) for r in unsat_rows],
+            "packed_rows": [asdict(r) for r in packed_rows],
+            "batch": batch,
         }
         with open(args.out, "w") as fh:
             json.dump(artifact, fh, indent=2)

@@ -5,7 +5,10 @@ Commands:
 * ``solve FILE.cnf``                 — solve a DIMACS instance (``--engine
   ilp`` for the paper's ILP route, ``--engine portfolio --jobs N`` for the
   parallel portfolio engine, or any single solver by name: ``--engine
-  cdcl|dpll|walksat|brute|ilp-exact|ilp-heuristic``);
+  cdcl|dpll|walksat|brute|ilp-exact|ilp-heuristic``); with ``--batch`` the
+  FILE argument is a directory and every ``*.cnf`` inside is solved as one
+  batch through ``PortfolioEngine.solve_many`` (one shared pool,
+  fingerprint dedup across the batch);
 * ``enable FILE.cnf``                — solve with enabling EC and report flexibility;
 * ``fast FILE.cnf CHANGED.cnf``      — fast EC from FILE's solution to CHANGED;
 * ``preserve FILE.cnf CHANGED.cnf``  — preserving EC between the two instances;
@@ -57,9 +60,20 @@ def _solve_file(path: str, method: str, deadline: float | None = None,
 
 
 def _cmd_solve(args) -> int:
-    if args.engine == "portfolio":
+    if args.batch:
+        # The batch path always runs the portfolio engine (solve_many);
+        # silently discarding an explicitly requested single solver would
+        # be a lie, so reject the combination instead.
+        if args.engine not in (None, "portfolio"):
+            raise ReproError(
+                "--batch always uses the portfolio engine; drop --engine "
+                f"or pass --engine portfolio (got --engine {args.engine})"
+            )
+        return _cmd_solve_batch(args)
+    engine = args.engine or "ilp"
+    if engine == "portfolio":
         return _cmd_solve_portfolio(args)
-    if args.engine != "ilp":
+    if engine != "ilp":
         return _cmd_solve_single(args)
     formula, assignment = _solve_file(
         args.file, args.method, deadline=args.deadline, seed=args.seed
@@ -92,6 +106,53 @@ def _cmd_solve_portfolio(args) -> int:
           f"{result.wall_time:.3f}s")
     print("v " + " ".join(str(l) for l in result.assignment.to_literals()) + " 0")
     return 0
+
+
+def _cmd_solve_batch(args) -> int:
+    """Solve every ``*.cnf`` in a directory through one shared engine.
+
+    The batch rides ``PortfolioEngine.solve_many``: one shared (lazily
+    started) pool, fingerprint dedup across the batch, and the fingerprint cache shared
+    between instances.  Per-instance verdicts are printed one per line.
+    Exit codes follow the single-file convention: 0 when every instance
+    is satisfiable, 1 when all were decided but at least one is proven
+    UNSAT, 2 when any stayed undecided within its budget.
+    """
+    from pathlib import Path
+
+    from repro.engine import PortfolioEngine
+
+    directory = Path(args.file)
+    if not directory.is_dir():
+        raise ReproError(f"--batch expects a directory, got {args.file!r}")
+    paths = sorted(directory.glob("*.cnf"))
+    if not paths:
+        raise ReproError(f"no .cnf files in {args.file!r}")
+    formulas = [read_dimacs(str(p)) for p in paths]
+    with PortfolioEngine(jobs=args.jobs) as engine:
+        results = engine.solve_many(
+            formulas, deadline=args.deadline, seed=args.seed
+        )
+        undecided = 0
+        unsat = 0
+        for path, result in zip(paths, results):
+            if result.status == "sat":
+                print(f"{path.name}: SATISFIABLE (via {result.source})")
+            elif result.status == "unsat":
+                unsat += 1
+                print(f"{path.name}: UNSATISFIABLE (via {result.source})")
+            else:
+                undecided += 1
+                print(f"{path.name}: UNDECIDED")
+        stats = engine.stats
+        print(
+            f"c batch: {len(paths)} instances, {stats.races} races, "
+            f"{stats.cache_hits} cache hits, {stats.revalidations} "
+            f"revalidations, {stats.batch_dedups} batch dedups"
+        )
+    if undecided:
+        return 2
+    return 1 if unsat else 0
 
 
 def _cmd_solve_single(args) -> int:
@@ -197,12 +258,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--method", default="exact", choices=("exact", "heuristic", "auto"),
                    help="ILP method (only with --engine ilp)")
-    p.add_argument("--engine", default="ilp",
+    p.add_argument("--engine", default=None,
                    choices=("ilp", "portfolio", *sorted(ADAPTERS)),
-                   help="'ilp' = the paper's route; 'portfolio' = parallel "
-                        "engine; any other name runs that single solver")
+                   help="'ilp' = the paper's route (the default); "
+                        "'portfolio' = parallel engine; any other name runs "
+                        "that single solver (incompatible with --batch, "
+                        "which always races the portfolio)")
     p.add_argument("--jobs", type=int, default=None,
                    help="portfolio process-pool width (default: auto)")
+    p.add_argument("--batch", action="store_true",
+                   help="treat FILE as a directory and solve every *.cnf "
+                        "in it as one batch through the portfolio engine "
+                        "(one shared pool, fingerprint dedup)")
     p.add_argument("--seed", type=int, default=None,
                    help="race seed for randomized solvers")
     p.add_argument("--deadline", type=float, default=None,

@@ -6,6 +6,8 @@ Boolean formulas in conjunctive normal form:
 * :mod:`repro.cnf.literals` -- DIMACS-style integer literal helpers;
 * :mod:`repro.cnf.clause` -- immutable clauses;
 * :mod:`repro.cnf.formula` -- mutable CNF formulas with stable variable ids;
+* :mod:`repro.cnf.packed` -- the flat-array :class:`PackedCNF` kernel the
+  solvers, portfolio transport, and incremental fingerprints consume;
 * :mod:`repro.cnf.assignment` -- (partial) truth assignments;
 * :mod:`repro.cnf.dimacs` -- DIMACS CNF reader/writer;
 * :mod:`repro.cnf.generators` -- random formula generators;
@@ -28,6 +30,7 @@ from repro.cnf.literals import (
 from repro.cnf.clause import Clause
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
+from repro.cnf.packed import PackedCNF
 from repro.cnf.dimacs import parse_dimacs, read_dimacs, to_dimacs, write_dimacs
 from repro.cnf.generators import (
     random_ksat,
@@ -61,6 +64,7 @@ __all__ = [
     "literal",
     "literal_to_str",
     "min_satisfaction_level",
+    "PackedCNF",
     "parse_dimacs",
     "random_ksat",
     "random_mixed_width",

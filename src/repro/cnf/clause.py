@@ -39,7 +39,8 @@ class Clause:
         lits = sorted({check_literal(l) for l in literals}, key=lambda l: (abs(l), l < 0))
         variables = tuple(sorted({abs(l) for l in lits}))
         if len(variables) < len(lits) and not allow_tautology:
-            both = sorted(abs(l) for l in lits if -l in set(lits))
+            lit_set = set(lits)
+            both = sorted({abs(l) for l in lits if -l in lit_set})
             raise ClauseError(f"tautological clause: variables {both} appear in both polarities")
         self._literals: tuple[int, ...] = tuple(lits)
         self._variables: tuple[int, ...] = variables

@@ -15,6 +15,7 @@ from typing import Iterable, Iterator
 from repro.cnf.assignment import Assignment
 from repro.cnf.clause import Clause
 from repro.cnf.literals import check_variable
+from repro.cnf.packed import PackedCNF
 from repro.errors import ClauseError, VariableError
 
 
@@ -38,6 +39,12 @@ class CNFFormula:
     ):
         self._clauses: list[Clause] = []
         self._variables: set[int] = set()
+        # Derived-state caches.  ``_packed`` is the flat-array kernel,
+        # incrementally *maintained* by every EC edit once built; the
+        # fingerprint caches are invalidated (dirty-flag style) instead.
+        self._packed: PackedCNF | None = None
+        self._normalized_cache: tuple[tuple[int, ...], ...] | None = None
+        self._fingerprint_cache: str | None = None
         for cl in clauses:
             self.add_clause(cl)
         if num_vars is not None:
@@ -82,6 +89,25 @@ class CNFFormula:
         """The clause at position *index*."""
         return self._clauses[index]
 
+    def packed(self) -> PackedCNF:
+        """The flat-array kernel of this formula (built once, then cached).
+
+        The kernel is *incrementally maintained*: every EC edit primitive
+        below updates it in place (O(changed clauses) digest work, array
+        splices for storage) instead of invalidating it, so a change
+        chain never re-packs the formula.  Callers must treat the result
+        as read-only; it is also handed to solvers and shipped to
+        portfolio workers via :meth:`PackedCNF.to_bytes`.
+        """
+        if self._packed is None:
+            self._packed = PackedCNF.from_formula(self)
+        return self._packed
+
+    def _dirty(self) -> None:
+        """Invalidate the clause-set caches after a clause-changing edit."""
+        self._normalized_cache = None
+        self._fingerprint_cache = None
+
     # ------------------------------------------------------------------
     # mutation — the four EC edit primitives
     # ------------------------------------------------------------------
@@ -93,6 +119,9 @@ class CNFFormula:
             raise ClauseError("cannot add the empty clause to a formula")
         self._clauses.append(clause)
         self._variables.update(clause.variables)
+        self._dirty()
+        if self._packed is not None:
+            self._packed.append_clause(clause.literals)
         return clause
 
     def remove_clause(self, clause: Clause | Iterable[int]) -> Clause:
@@ -105,24 +134,34 @@ class CNFFormula:
         if not isinstance(clause, Clause):
             clause = Clause(clause)
         try:
-            self._clauses.remove(clause)
+            index = self._clauses.index(clause)
         except ValueError:
             raise ClauseError(f"clause {clause!r} not present in formula") from None
+        del self._clauses[index]
+        self._dirty()
+        if self._packed is not None:
+            self._packed.remove_clause_at(index)
         return clause
 
     def remove_clause_at(self, index: int) -> Clause:
         """Remove and return the clause at position *index*."""
+        size = len(self._clauses)
         try:
-            return self._clauses.pop(index)
+            clause = self._clauses.pop(index)
         except IndexError:
             raise ClauseError(f"no clause at index {index}") from None
+        self._dirty()
+        if self._packed is not None:
+            self._packed.remove_clause_at(index if index >= 0 else size + index)
+        return clause
 
     def add_variable(self, var: int | None = None) -> int:
         """Activate a new variable and return its id.
 
         With no argument a fresh id (``max_var + 1``) is allocated.  Adding a
         variable never invalidates an existing solution (the paper assigns
-        it a don't-care value).
+        it a don't-care value).  Free variables are excluded from the
+        fingerprint, so the clause-set caches stay valid.
         """
         if var is None:
             var = self.max_var + 1
@@ -130,6 +169,8 @@ class CNFFormula:
         if var in self._variables:
             raise VariableError(f"variable v{var} is already active")
         self._variables.add(var)
+        if self._packed is not None:
+            self._packed.add_variable(var)
         return var
 
     def remove_variable(self, var: int) -> int:
@@ -156,6 +197,9 @@ class CNFFormula:
                 new_clauses.append(cl)
         self._clauses = new_clauses
         self._variables.discard(var)
+        self._dirty()
+        if self._packed is not None:
+            self._packed.eliminate_variable(var)
         return touched
 
     # ------------------------------------------------------------------
@@ -231,10 +275,22 @@ class CNFFormula:
     # copies and normal forms
     # ------------------------------------------------------------------
     def copy(self) -> "CNFFormula":
-        """Deep-enough copy (clauses are immutable and shared)."""
+        """Deep-enough copy (clauses are immutable and shared).
+
+        The packed kernel and fingerprint caches are carried along (the
+        kernel as an independent copy — it is mutable), so an EC change
+        chain built from successive copies keeps its incremental state.
+        Copying the kernel is O(total literals) but pure C-level memcpy
+        (array slices, one dict copy); the expensive part — re-hashing
+        every clause digest — is what carrying the state avoids, and the
+        per-edit *hash* work stays O(changed clauses).
+        """
         out = CNFFormula()
         out._clauses = list(self._clauses)
         out._variables = set(self._variables)
+        out._packed = self._packed.copy() if self._packed is not None else None
+        out._normalized_cache = self._normalized_cache
+        out._fingerprint_cache = self._fingerprint_cache
         return out
 
     def deduplicated(self) -> "CNFFormula":

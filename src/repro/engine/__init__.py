@@ -37,7 +37,7 @@ from repro.engine.adapters import (
 from repro.engine.cache import CacheEntry, CacheStats, SolutionCache
 from repro.engine.config import SolverConfig, default_portfolio_configs
 from repro.engine.engine import EngineResult, EngineStats, PortfolioEngine
-from repro.engine.fingerprint import fingerprint
+from repro.engine.fingerprint import fingerprint, fingerprint_v2
 from repro.engine.portfolio import Portfolio, PortfolioResult
 from repro.engine.protocol import SAT, UNKNOWN, UNSAT, Solver, SolverOutcome
 from repro.engine.session import IncrementalSession
@@ -67,4 +67,5 @@ __all__ = [
     "build_adapter",
     "default_portfolio_configs",
     "fingerprint",
+    "fingerprint_v2",
 ]

@@ -5,6 +5,13 @@ solvers behind ``solve(formula, *, deadline, seed, hint)``.  Satisfiable
 results are verified against the formula before being reported (see
 :func:`repro.engine.protocol.verified_sat`), and ``unsat`` is only emitted
 by complete solvers whose verdict is a proof.
+
+Solvers with flat-array inner loops additionally expose
+``solve_packed(packed, *, deadline, seed, hint)`` taking a
+:class:`~repro.cnf.packed.PackedCNF` directly — the entry point portfolio
+workers use after deserializing the raw-bytes race payload, skipping the
+object graph entirely (models are verified against the packed arrays;
+``verified_sat`` only needs ``is_satisfied``).
 """
 
 from __future__ import annotations
@@ -14,14 +21,15 @@ from dataclasses import dataclass
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
+from repro.cnf.packed import PackedCNF
 from repro.engine.protocol import SolverOutcome, UNKNOWN, UNSAT, verified_sat
 from repro.errors import ReproError
 from repro.ilp.status import SolveStatus
 from repro.sat.brute import MAX_BRUTE_VARS, brute_force_solve
 from repro.sat.cdcl import CDCLSolver
-from repro.sat.dpll import dpll_solve
+from repro.sat.dpll import dpll_solve, dpll_solve_packed
 from repro.sat.encoding import encode_sat
-from repro.sat.walksat import walksat_solve
+from repro.sat.walksat import walksat_solve, walksat_solve_packed
 
 
 @dataclass(frozen=True)
@@ -47,14 +55,27 @@ class CDCLAdapter:
         hint: Assignment | None = None,
     ) -> SolverOutcome:
         """Run CDCL under the engine contract."""
+        return self.solve_packed(
+            formula.packed(), deadline=deadline, seed=seed, hint=hint
+        )
+
+    def solve_packed(
+        self,
+        packed: PackedCNF,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        hint: Assignment | None = None,
+    ) -> SolverOutcome:
+        """Run CDCL on a packed kernel (the worker-side race entry)."""
         t0 = time.perf_counter()
         res = CDCLSolver(
             max_conflicts=self.max_conflicts, restart_base=self.restart_base
-        ).solve(formula, polarity_hint=hint, deadline=deadline, seed=seed)
+        ).solve_packed(packed, polarity_hint=hint, deadline=deadline, seed=seed)
         wall = time.perf_counter() - t0
         if res.satisfiable is True:
             return verified_sat(
-                formula, res.assignment, self.name, wall,
+                packed, res.assignment, self.name, wall,
                 f"conflicts={res.conflicts} restarts={res.restarts}",
             )
         if res.satisfiable is False:
@@ -81,9 +102,22 @@ class DPLLAdapter:
         hint: Assignment | None = None,
     ) -> SolverOutcome:
         """Run DPLL under the engine contract."""
+        return self.solve_packed(
+            formula.packed(), deadline=deadline, seed=seed, hint=hint
+        )
+
+    def solve_packed(
+        self,
+        packed: PackedCNF,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        hint: Assignment | None = None,
+    ) -> SolverOutcome:
+        """Run DPLL on a packed kernel (the worker-side race entry)."""
         t0 = time.perf_counter()
-        res = dpll_solve(
-            formula,
+        res = dpll_solve_packed(
+            packed,
             polarity_hint=hint,
             max_decisions=self.max_decisions,
             deadline=deadline,
@@ -91,7 +125,7 @@ class DPLLAdapter:
         )
         wall = time.perf_counter() - t0
         if res.satisfiable is True:
-            return verified_sat(formula, res.assignment, self.name, wall)
+            return verified_sat(packed, res.assignment, self.name, wall)
         if res.satisfiable is False:
             return SolverOutcome(UNSAT, None, self.name, wall)
         return SolverOutcome(UNKNOWN, None, self.name, wall, "budget exhausted")
@@ -117,9 +151,22 @@ class WalkSATAdapter:
         hint: Assignment | None = None,
     ) -> SolverOutcome:
         """Run WalkSAT under the engine contract."""
+        return self.solve_packed(
+            formula.packed(), deadline=deadline, seed=seed, hint=hint
+        )
+
+    def solve_packed(
+        self,
+        packed: PackedCNF,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        hint: Assignment | None = None,
+    ) -> SolverOutcome:
+        """Run WalkSAT on a packed kernel (the worker-side race entry)."""
         t0 = time.perf_counter()
-        res = walksat_solve(
-            formula,
+        res = walksat_solve_packed(
+            packed,
             max_flips=self.max_flips,
             max_restarts=self.max_restarts,
             noise=self.noise,
@@ -130,7 +177,7 @@ class WalkSATAdapter:
         wall = time.perf_counter() - t0
         if res.satisfiable is True:
             return verified_sat(
-                formula, res.assignment, self.name, wall, f"flips={res.flips}"
+                packed, res.assignment, self.name, wall, f"flips={res.flips}"
             )
         if res.satisfiable is False:
             # Only for trivially-false formulas (empty clause) — still a proof.

@@ -23,13 +23,14 @@ benchmarks can assert that steps 1-2 never touched a solver.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.engine.cache import SolutionCache
 from repro.engine.config import SolverConfig
-from repro.engine.fingerprint import fingerprint
+from repro.engine.fingerprint import fingerprint_v2
 from repro.engine.portfolio import DEFAULT_QUICK_SLICE, Portfolio
 from repro.engine.protocol import SAT, UNSAT, SolverOutcome
 
@@ -43,6 +44,7 @@ class EngineStats:
     revalidations: int = 0       # answered by revalidating the hint
     races: int = 0               # portfolio races actually run
     solver_calls: int = 0        # solver runs that actually started
+    batch_dedups: int = 0        # solve_many() queries answered intra-batch
 
 
 @dataclass
@@ -117,9 +119,11 @@ class PortfolioEngine:
         """
         t0 = time.perf_counter()
         self.stats.solves += 1
-        # Hashing costs about as much as an easy solve; skip it entirely
+        # fp-v2 is incrementally maintained on the formula's packed
+        # kernel: the first query pays O(clauses) once, every query after
+        # an EC edit pays O(changed clauses).  Still skipped entirely
         # when the caller bypasses the cache.
-        fp = fingerprint(formula) if use_cache else ""
+        fp = fingerprint_v2(formula) if use_cache else ""
 
         # The hint is checked BEFORE the cache: both are O(clauses), and a
         # still-valid current solution must win over an older cached model
@@ -175,6 +179,74 @@ class PortfolioEngine:
             outcome=outcome,
             winner=result.winner,
         )
+
+    # ------------------------------------------------------------------
+    def solve_many(
+        self,
+        formulas: Iterable[CNFFormula],
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        use_cache: bool = True,
+        lead: str | None = None,
+    ) -> list[EngineResult]:
+        """Answer a batch of queries with one pool warm-up and batch dedup.
+
+        Bench sweeps and offline workloads hand over whole directories of
+        instances; solving them through one engine shares a single
+        (lazily started) worker pool and fingerprint cache across the
+        batch, and this entry point additionally deduplicates by fp-v2
+        fingerprint *within the batch*: repeats of an instance reuse the
+        already-computed :class:`EngineResult` directly (``source=
+        "batch-dedup"``), skipping even the cache round trip and its
+        O(clauses) revalidation.  The pool spins up at most once, on the
+        first query that actually fans out — easy batches decided by the
+        quick slice never pay process-spawn latency.
+
+        Args:
+            deadline: per-instance wall-clock budget (not a batch total).
+            deadline/seed/use_cache/lead: forwarded to :meth:`solve`.
+
+        Returns:
+            One :class:`EngineResult` per formula, in input order.
+        """
+        formulas = list(formulas)
+        results: list[EngineResult] = []
+        first_by_fp: dict[str, int] = {}
+        for formula in formulas:
+            fp = fingerprint_v2(formula)
+            prior = first_by_fp.get(fp)
+            if prior is not None:
+                self.stats.batch_dedups += 1
+                first = results[prior]
+                results.append(
+                    replace(
+                        first,
+                        # Each result owns its model: callers mutate
+                        # assignments freely (flips, don't-care recovery)
+                        # and must not corrupt their batch siblings —
+                        # the same invariant SolutionCache.get keeps.
+                        assignment=(
+                            first.assignment.copy()
+                            if first.assignment is not None
+                            else None
+                        ),
+                        source="batch-dedup",
+                        from_cache=True,
+                        wall_time=0.0,
+                    )
+                )
+                continue
+            result = self.solve(
+                formula,
+                deadline=deadline,
+                seed=seed,
+                use_cache=use_cache,
+                lead=lead,
+            )
+            first_by_fp[fp] = len(results)
+            results.append(result)
+        return results
 
     # ------------------------------------------------------------------
     def warm_up(self) -> None:

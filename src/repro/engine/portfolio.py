@@ -8,13 +8,19 @@ Strategy (classic parallel-portfolio with a twist for serial hardware):
    speed, with zero pool overhead.  This is what keeps the portfolio "no
    slower than the best single sequential solver" even on one core.
 2. **Fan-out** — undecided instances are raced across a
-   ``concurrent.futures`` process pool.  Workers start staggered (so on
-   oversubscribed hardware the lead solver runs nearly uncontended) and
-   poll a shared cancellation event while waiting, so not-yet-started
-   losers stop cheaply once a winner crosses the line; losers already
-   mid-solve cannot be interrupted and are terminated with the pool
-   (rebuilt lazily for the next race).  The ``deadline`` is enforced
-   both inside each worker and by the parent's wait loop.
+   ``concurrent.futures`` process pool.  Each worker receives the
+   instance as the packed kernel's raw wire bytes
+   (:meth:`~repro.cnf.packed.PackedCNF.to_bytes` — flat literal arrays
+   plus a clause-offset index), not a pickled ``CNFFormula`` object
+   graph; deserialization is a couple of C-level array copies, and
+   solvers with a ``solve_packed`` entry point consume the arrays
+   directly.  Workers start staggered (so on oversubscribed hardware
+   the lead solver runs nearly uncontended) and poll a shared
+   cancellation event while waiting, so not-yet-started losers stop
+   cheaply once a winner crosses the line; losers already mid-solve
+   cannot be interrupted and are terminated with the pool (rebuilt
+   lazily for the next race).  The ``deadline`` is enforced both inside
+   each worker and by the parent's wait loop.
 
 An ``unsat`` outcome only wins if its solver is complete; ``sat``
 outcomes are verified models (see :mod:`repro.engine.adapters`), so the
@@ -36,6 +42,7 @@ from dataclasses import dataclass, field
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
+from repro.cnf.packed import PackedCNF
 from repro.engine.config import SolverConfig, default_portfolio_configs
 from repro.engine.protocol import SAT, SolverOutcome, UNKNOWN, UNSAT
 
@@ -80,15 +87,49 @@ def run_config(
         )
 
 
+def run_packed(
+    config: SolverConfig,
+    packed: PackedCNF,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
+    hint: Assignment | None = None,
+) -> SolverOutcome:
+    """Run one configuration on a packed kernel.
+
+    Adapters with a ``solve_packed`` entry point consume the flat arrays
+    directly; the rest (brute force, the ILP routes) get a materialized
+    formula.  Crashes map to ``unknown`` exactly as in :func:`run_config`.
+    """
+    t0 = time.perf_counter()
+    try:
+        adapter = config.build()
+        solve_packed = getattr(adapter, "solve_packed", None)
+        effective = (0 if seed is None else seed) + config.seed_offset
+        if solve_packed is not None:
+            return solve_packed(packed, deadline=deadline, seed=effective, hint=hint)
+        return adapter.solve(
+            packed.to_formula(), deadline=deadline, seed=effective, hint=hint
+        )
+    except Exception as exc:  # a crashed racer must not kill the race
+        return SolverOutcome(
+            UNKNOWN, None, config.name, time.perf_counter() - t0, f"error: {exc!r}"
+        )
+
+
 def _race_entry(
     config: SolverConfig,
-    formula: CNFFormula,
+    payload: bytes,
     deadline: float | None,
     seed: int | None,
     hint: Assignment | None,
     stagger: float,
 ) -> SolverOutcome:
-    """Worker-side entry: staggered, cancellable start, then the solver."""
+    """Worker-side entry: staggered, cancellable start, then the solver.
+
+    *payload* is the packed kernel's wire bytes — two array copies to
+    deserialize, no clause objects.
+    """
     t0 = time.perf_counter()
     waited = 0.0
     while waited < stagger:
@@ -99,10 +140,11 @@ def _race_entry(
         waited += step
     if _CANCEL is not None and _CANCEL.is_set():
         return SolverOutcome(UNKNOWN, None, config.name, 0.0, "cancelled")
+    packed = PackedCNF.from_bytes(payload)
     remaining = None
     if deadline is not None:
         remaining = max(0.0, deadline - (time.perf_counter() - t0))
-    return run_config(config, formula, deadline=remaining, seed=seed, hint=hint)
+    return run_packed(config, packed, deadline=remaining, seed=seed, hint=hint)
 
 
 def _trusted(config: SolverConfig, out: SolverOutcome) -> bool:
@@ -133,6 +175,9 @@ class PortfolioResult:
     outcomes: list[SolverOutcome] = field(default_factory=list)
     via_quick_slice: bool = False
     executed: int = 0
+    #: Per-worker payload size in bytes (0 when the race never fanned out
+    #: to the pool — quick-slice wins and sequential scans ship nothing).
+    transport_bytes: int = 0
 
 
 class Portfolio:
@@ -300,12 +345,18 @@ class Portfolio:
                 time.perf_counter() - t0, outcomes, executed=launched,
             )
 
+        # Ship the packed kernel's raw bytes to every worker: building the
+        # payload is one call on the formula's cached kernel, and each
+        # worker pays two array copies instead of unpickling an object
+        # graph of clause instances.
+        payload = formula.packed().to_bytes()
+
         def _submit_all():
             executor = self._ensure_pool()
             self._cancel.clear()
             return {
                 executor.submit(
-                    _race_entry, config, formula, remaining, seed, hint,
+                    _race_entry, config, payload, remaining, seed, hint,
                     i * self.stagger,
                 ): config
                 for i, config in enumerate(configs)
@@ -393,6 +444,7 @@ class Portfolio:
         return PortfolioResult(
             final, winner.solver if winner else None, launched,
             time.perf_counter() - t0, outcomes, executed=launched - not_run,
+            transport_bytes=len(payload),
         )
 
 

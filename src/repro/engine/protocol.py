@@ -105,7 +105,7 @@ class Solver(Protocol):
 
 
 def verified_sat(
-    formula: CNFFormula,
+    formula,
     assignment: Assignment | None,
     solver: str,
     wall_time: float,
@@ -114,7 +114,11 @@ def verified_sat(
     """Build a ``sat`` outcome, downgrading to ``unknown`` on a bad model.
 
     Every adapter funnels its satisfiable results through this check so a
-    buggy backend can never poison the cache with a non-model.
+    buggy backend can never poison the cache with a non-model.  *formula*
+    is anything with ``is_satisfied(assignment)`` — a
+    :class:`~repro.cnf.formula.CNFFormula` or a
+    :class:`~repro.cnf.packed.PackedCNF` (packed adapters verify against
+    the flat arrays without materializing clause objects).
     """
     if assignment is not None and formula.is_satisfied(assignment):
         return SolverOutcome(SAT, assignment, solver, wall_time, detail)

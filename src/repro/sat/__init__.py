@@ -18,9 +18,9 @@ ground truth, witnesses, and cross-checks:
 
 from repro.sat.setcover import SetCoverProblem
 from repro.sat.encoding import SATEncoding, decode_values, encode_sat
-from repro.sat.cdcl import CDCLSolver, cdcl_solve
-from repro.sat.dpll import DPLLSolver, dpll_solve
-from repro.sat.walksat import walksat_solve
+from repro.sat.cdcl import CDCLSolver, cdcl_solve, cdcl_solve_packed
+from repro.sat.dpll import DPLLSolver, dpll_solve, dpll_solve_packed
+from repro.sat.walksat import walksat_solve, walksat_solve_packed
 from repro.sat.brute import all_satisfying_assignments, brute_force_solve, count_models
 
 __all__ = [
@@ -31,9 +31,12 @@ __all__ = [
     "all_satisfying_assignments",
     "brute_force_solve",
     "cdcl_solve",
+    "cdcl_solve_packed",
     "count_models",
     "decode_values",
     "dpll_solve",
+    "dpll_solve_packed",
     "encode_sat",
     "walksat_solve",
+    "walksat_solve_packed",
 ]

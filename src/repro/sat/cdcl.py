@@ -31,7 +31,11 @@ Implementation — the classic MiniSat recipe, kept dependency-free:
 
 The entry points mirror :mod:`repro.sat.dpll`: ``cdcl_solve(formula,
 polarity_hint, *, deadline=, seed=)`` and a configurable
-:class:`CDCLSolver`, both returning a :class:`CDCLResult`.
+:class:`CDCLSolver`, both returning a :class:`CDCLResult`.  The problem
+clauses are loaded straight from the :class:`~repro.cnf.packed.PackedCNF`
+flat arrays (``cdcl_solve_packed`` / :meth:`CDCLSolver.solve_packed`);
+the object-based entry points are thin wrappers over the formula's
+cached kernel.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ from dataclasses import dataclass
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
+from repro.cnf.packed import PackedCNF
 from repro.errors import CNFError
 
 #: How many conflicts happen between wall-clock deadline checks.
@@ -129,6 +134,9 @@ class CDCLSolver:
     ) -> CDCLResult:
         """Search for a satisfying assignment of *formula*.
 
+        A thin wrapper: fetches the formula's cached packed kernel and
+        delegates to :meth:`solve_packed`.
+
         Args:
             polarity_hint: preferred initial phase per variable (EC hands
                 the previous solution here; phase saving takes over after
@@ -139,12 +147,25 @@ class CDCLSolver:
                 order; identical seeds give identical runs, and None keeps
                 the index order.
         """
+        return self.solve_packed(
+            formula.packed(), polarity_hint, deadline=deadline, seed=seed
+        )
+
+    def solve_packed(
+        self,
+        packed: PackedCNF,
+        polarity_hint: Assignment | None = None,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+    ) -> CDCLResult:
+        """Search the packed kernel directly (flat-array clause loading)."""
         t0 = time.perf_counter()
         result = CDCLResult(None)
-        if formula.has_empty_clause():
+        if packed.has_empty_clause():
             result.satisfiable = False
             return result
-        variables = list(formula.variables)
+        variables = list(packed.variables)
         nvars = len(variables)
         index_of = {v: i for i, v in enumerate(variables)}
 
@@ -196,20 +217,26 @@ class CDCLSolver:
             watches[clause.lits[0]].append(clause)
             watches[clause.lits[1]].append(clause)
 
-        # -- load the problem clauses --------------------------------------
-        for cl in formula.clauses:
-            if cl.is_tautology():
-                continue
-            codes = list(dict.fromkeys(lit_code(l) for l in cl.literals))
-            if len(codes) == 1:
-                val = lit_value(codes[0])
+        # -- load the problem clauses straight off the flat arrays ---------
+        # Clause literals are duplicate-free and (variable, polarity)-sorted
+        # (the PackedCNF invariant), so no per-clause dedup pass is needed
+        # and tautologies show up as adjacent complementary literals.
+        flat = packed.lits
+        offsets = packed.offsets
+        for ci in range(len(offsets) - 1):
+            start, end = offsets[ci], offsets[ci + 1]
+            if end - start == 1:
+                code = lit_code(flat[start])
+                val = lit_value(code)
                 if val is False:
                     result.satisfiable = False
                     return result
                 if val is None:
-                    enqueue(codes[0], None)
+                    enqueue(code, None)
                 continue
-            clause = _Clause(codes)
+            if packed.is_tautology_at(ci):
+                continue
+            clause = _Clause([lit_code(flat[k]) for k in range(start, end)])
             clauses.append(clause)
             attach(clause)
         if not clauses and not trail:
@@ -485,4 +512,18 @@ def cdcl_solve(
     """One-shot CDCL solve of *formula*."""
     return CDCLSolver(max_conflicts=max_conflicts).solve(
         formula, polarity_hint, deadline=deadline, seed=seed
+    )
+
+
+def cdcl_solve_packed(
+    packed: PackedCNF,
+    polarity_hint: Assignment | None = None,
+    max_conflicts: int = 0,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
+) -> CDCLResult:
+    """One-shot CDCL solve of a packed kernel (no formula objects)."""
+    return CDCLSolver(max_conflicts=max_conflicts).solve_packed(
+        packed, polarity_hint, deadline=deadline, seed=seed
     )

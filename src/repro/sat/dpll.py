@@ -10,16 +10,25 @@ chronological backtracking, and phase saving.  No clause learning — the
 instances this reproduction solves exactly are small enough that plain
 DPLL with good propagation is sufficient, and the simplicity keeps the
 solver auditable.
+
+The inner loops consume the :class:`~repro.cnf.packed.PackedCNF` flat
+arrays directly (:meth:`DPLLSolver.solve_packed` /
+:func:`dpll_solve_packed`): clause *ci* is the index range
+``lits[starts[ci]:ends[ci]]``, so no per-clause objects or tuples are
+allocated on entry.  The object-based entry points are thin wrappers
+fetching the formula's cached kernel.
 """
 
 from __future__ import annotations
 
 import random
 import time
+from array import array
 from dataclasses import dataclass, field
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
+from repro.cnf.packed import PackedCNF
 from repro.errors import CNFError
 
 #: How many decisions happen between wall-clock deadline checks.
@@ -58,6 +67,9 @@ class DPLLSolver:
     ) -> DPLLResult:
         """Search for a satisfying assignment of *formula*.
 
+        A thin wrapper: fetches the formula's cached packed kernel and
+        delegates to :meth:`solve_packed`.
+
         Args:
             polarity_hint: preferred initial phase per variable (EC hands
                 the previous solution here, which makes re-solves of lightly
@@ -68,12 +80,34 @@ class DPLLSolver:
                 order (DPLL is otherwise deterministic; identical seeds give
                 identical runs, and None keeps the legacy order).
         """
+        return self.solve_packed(
+            formula.packed(), polarity_hint, deadline=deadline, seed=seed
+        )
+
+    def solve_packed(
+        self,
+        packed: PackedCNF,
+        polarity_hint: Assignment | None = None,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+    ) -> DPLLResult:
+        """Search the packed kernel directly (flat-array inner loops)."""
         t0 = time.perf_counter()
-        if formula.has_empty_clause():
+        if packed.has_empty_clause():
             return DPLLResult(False)
-        clauses = [tuple(cl.literals) for cl in formula.clauses if not cl.is_tautology()]
-        variables = list(formula.variables)
-        if not clauses:
+        flat = packed.lits
+        # Non-tautological clause spans, as parallel start/end arrays.
+        starts = array("i")
+        ends = array("i")
+        for ci in range(packed.num_clauses):
+            if not packed.is_tautology_at(ci):
+                s, e = packed.clause_bounds(ci)
+                starts.append(s)
+                ends.append(e)
+        num_clauses = len(starts)
+        variables = list(packed.variables)
+        if not num_clauses:
             model = Assignment({v: False for v in variables})
             return DPLLResult(True, model)
 
@@ -87,8 +121,9 @@ class DPLLSolver:
         # Two watched literals per clause (unit clauses watch twice).
         watches: dict[int, list[int]] = {}
         watched: list[list[int]] = []
-        for ci, lits in enumerate(clauses):
-            w = [lits[0], lits[-1] if len(lits) > 1 else lits[0]]
+        for ci in range(num_clauses):
+            s, e = starts[ci], ends[ci]
+            w = [flat[s], flat[e - 1] if e - s > 1 else flat[s]]
             watched.append(w)
             for lit in set(w):
                 watches.setdefault(lit, []).append(ci)
@@ -117,9 +152,10 @@ class DPLLSolver:
                     other = w[0] if w[1] == false_lit else w[1]
                     if lit_value(other) is True:
                         continue
-                    # Look for a replacement watch.
+                    # Look for a replacement watch in the flat span.
                     replacement = None
-                    for lit in clauses[ci]:
+                    for k in range(starts[ci], ends[ci]):
+                        lit = flat[k]
                         if lit != other and lit != false_lit and lit_value(lit) is not False:
                             replacement = lit
                             break
@@ -156,18 +192,19 @@ class DPLLSolver:
         # break (sorted() is stable) — deterministic diversification for
         # portfolio racing.
         score: dict[int, float] = {v: 0.0 for v in variables}
-        for lits in clauses:
-            w = 2.0 ** (-len(lits))
-            for lit in lits:
-                score[abs(lit)] += w
+        for ci in range(num_clauses):
+            s, e = starts[ci], ends[ci]
+            w = 2.0 ** (-(e - s))
+            for k in range(s, e):
+                score[abs(flat[k])] += w
         if seed is not None:
             random.Random(seed).shuffle(variables)
         order = sorted(variables, key=lambda v: -score[v])
 
         # Initial unit propagation via fake assignments on unit clauses.
-        for ci, lits in enumerate(clauses):
-            if len(lits) == 1:
-                lit = lits[0]
+        for ci in range(num_clauses):
+            if ends[ci] - starts[ci] == 1:
+                lit = flat[starts[ci]]
                 lv = lit_value(lit)
                 if lv is False:
                     return DPLLResult(False, conflicts=result.conflicts)
@@ -227,4 +264,18 @@ def dpll_solve(
     """One-shot DPLL solve of *formula*."""
     return DPLLSolver(max_decisions=max_decisions).solve(
         formula, polarity_hint, deadline=deadline, seed=seed
+    )
+
+
+def dpll_solve_packed(
+    packed: PackedCNF,
+    polarity_hint: Assignment | None = None,
+    max_decisions: int = 0,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
+) -> DPLLResult:
+    """One-shot DPLL solve of a packed kernel (no formula objects)."""
+    return DPLLSolver(max_decisions=max_decisions).solve_packed(
+        packed, polarity_hint, deadline=deadline, seed=seed
     )

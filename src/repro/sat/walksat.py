@@ -3,6 +3,12 @@
 Incomplete but fast; the EC harness uses it to find fresh witnesses on the
 large table rows (where the paper used its heuristic ILP solver) and the
 test suite uses it as a second opinion against DPLL.
+
+The flip loop reads clauses from the :class:`~repro.cnf.packed.PackedCNF`
+flat arrays (:func:`walksat_solve_packed`): clause *ci* is the index
+range ``lits[offsets[ci]:offsets[ci + 1]]``, so entry allocates no
+per-clause tuples.  :func:`walksat_solve` is a thin wrapper over the
+formula's cached kernel.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from dataclasses import dataclass
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.generators import _rng
+from repro.cnf.packed import PackedCNF
 
 #: How many flips happen between wall-clock deadline checks.
 _DEADLINE_STRIDE = 256
@@ -42,6 +49,34 @@ def walksat_solve(
 ) -> WalkSATResult:
     """Run WalkSAT with the classic break-count move selection.
 
+    A thin wrapper over :func:`walksat_solve_packed` on the formula's
+    cached packed kernel; see there for the argument semantics.
+    """
+    return walksat_solve_packed(
+        formula.packed(),
+        max_flips=max_flips,
+        max_restarts=max_restarts,
+        noise=noise,
+        rng=rng,
+        initial=initial,
+        seed=seed,
+        deadline=deadline,
+    )
+
+
+def walksat_solve_packed(
+    packed: PackedCNF,
+    max_flips: int = 100_000,
+    max_restarts: int = 10,
+    noise: float = 0.5,
+    rng: int | random.Random | None = 0,
+    initial: Assignment | None = None,
+    *,
+    seed: int | random.Random | None = None,
+    deadline: float | None = None,
+) -> WalkSATResult:
+    """Run WalkSAT over the packed kernel's flat clause arrays.
+
     Args:
         noise: probability of a random walk move when every candidate flip
             breaks some clause.
@@ -58,16 +93,18 @@ def walksat_solve(
     """
     rng = _rng(rng if seed is None else seed)
     t0 = time.perf_counter()
-    if formula.has_empty_clause():
+    if packed.has_empty_clause():
         return WalkSATResult(False)
-    variables = list(formula.variables)
-    if not variables or formula.num_clauses == 0:
+    variables = list(packed.variables)
+    num_clauses = packed.num_clauses
+    if not variables or num_clauses == 0:
         return WalkSATResult(True, Assignment({v: False for v in variables}))
-    clauses = [tuple(cl.literals) for cl in formula.clauses]
+    flat = packed.lits
+    offsets = packed.offsets
     occurs: dict[int, list[int]] = {v: [] for v in variables}
-    for ci, lits in enumerate(clauses):
-        for lit in lits:
-            occurs[abs(lit)].append(ci)
+    for ci in range(num_clauses):
+        for k in range(offsets[ci], offsets[ci + 1]):
+            occurs[abs(flat[k])].append(ci)
 
     result = WalkSATResult(None)
     for restart in range(max_restarts):
@@ -80,11 +117,14 @@ def walksat_solve(
             value = {v: bool(rng.getrandbits(1)) for v in variables}
 
         def true_count(ci: int) -> int:
-            return sum(
-                1 for lit in clauses[ci] if (value[abs(lit)] if lit > 0 else not value[abs(lit)])
-            )
+            total = 0
+            for k in range(offsets[ci], offsets[ci + 1]):
+                lit = flat[k]
+                if value[abs(lit)] if lit > 0 else not value[abs(lit)]:
+                    total += 1
+            return total
 
-        counts = [true_count(ci) for ci in range(len(clauses))]
+        counts = [true_count(ci) for ci in range(num_clauses)]
         unsat = {ci for ci, k in enumerate(counts) if k == 0}
 
         def flip(var: int) -> None:
@@ -111,20 +151,24 @@ def walksat_solve(
                     restarts=result.restarts,
                 )
             ci = rng.choice(tuple(unsat))
-            lits = clauses[ci]
 
             def break_count(var: int) -> int:
                 broken = 0
                 for cj in occurs[var]:
                     if counts[cj] == 1:
                         # The single true literal must be the one we flip.
-                        for lit in clauses[cj]:
-                            if abs(lit) == var and (value[var] if lit > 0 else not value[var]):
+                        for k in range(offsets[cj], offsets[cj + 1]):
+                            lit = flat[k]
+                            if abs(lit) == var and (
+                                value[var] if lit > 0 else not value[var]
+                            ):
                                 broken += 1
                                 break
                 return broken
 
-            candidates = [abs(lit) for lit in lits]
+            candidates = [
+                abs(flat[k]) for k in range(offsets[ci], offsets[ci + 1])
+            ]
             breaks = {v: break_count(v) for v in set(candidates)}
             best = min(breaks.values())
             if best == 0:

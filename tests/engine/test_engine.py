@@ -60,9 +60,10 @@ class TestCachePath:
 
     def test_poisoned_entry_dropped_and_resolved(self, engine, sat_instance):
         from repro.cnf.assignment import Assignment
-        from repro.engine.fingerprint import fingerprint
+        from repro.engine.fingerprint import fingerprint_v2
 
-        fp = fingerprint(sat_instance)
+        # The engine keys its cache by fp-v2, so the poison must too.
+        fp = fingerprint_v2(sat_instance)
         bogus = Assignment({v: False for v in sat_instance.variables})
         if sat_instance.is_satisfied(bogus):  # pragma: no cover - paranoia
             pytest.skip("bogus assignment accidentally satisfies")
@@ -141,3 +142,53 @@ class TestHintOutranksCache:
         result = engine.solve(f, hint=other)
         assert result.source == "revalidation"
         assert result.assignment.as_dict() == other.as_dict()
+
+
+class TestSolveMany:
+    def test_results_in_input_order(self, engine):
+        sat = CNFFormula([[1, 2], [2, 3]])
+        unsat = CNFFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        results = engine.solve_many([sat, unsat])
+        assert [r.status for r in results] == ["sat", "unsat"]
+        assert sat.is_satisfied(results[0].assignment)
+
+    def test_intra_batch_dedup_skips_repeat_queries(self, engine, sat_instance):
+        # Three semantically identical formulas: the original, a clause
+        # reordering, and a DIMACS round trip.
+        variants = [
+            sat_instance,
+            CNFFormula(list(reversed(sat_instance.clauses))),
+            parse_dimacs(to_dimacs(sat_instance)),
+        ]
+        results = engine.solve_many(variants)
+        assert engine.stats.batch_dedups == 2
+        assert [r.source for r in results[1:]] == ["batch-dedup", "batch-dedup"]
+        assert all(r.status == "sat" for r in results)
+        for variant, result in zip(variants, results):
+            assert variant.is_satisfied(result.assignment)
+
+    def test_dedup_results_own_their_models(self, engine, sat_instance):
+        # Mutating one batch result's assignment must not leak into its
+        # dedup siblings (same invariant as SolutionCache's per-hit copy).
+        results = engine.solve_many([sat_instance, sat_instance.copy()])
+        first, second = results
+        var = sat_instance.variables[0]
+        first.assignment[var] = not first.assignment.get(var)
+        assert second.assignment.get(var) != first.assignment.get(var)
+
+    def test_dedup_even_with_cache_bypassed(self, engine, sat_instance):
+        results = engine.solve_many(
+            [sat_instance, sat_instance.copy()], use_cache=False
+        )
+        assert engine.stats.batch_dedups == 1
+        assert results[1].source == "batch-dedup"
+
+    def test_unique_instances_each_race(self, engine):
+        a = CNFFormula([[1, 2]])
+        b = CNFFormula([[1, -2]])
+        races = engine.stats.races
+        engine.solve_many([a, b], use_cache=False)
+        assert engine.stats.races == races + 2
+
+    def test_empty_batch(self, engine):
+        assert engine.solve_many([]) == []

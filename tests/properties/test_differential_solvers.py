@@ -30,6 +30,7 @@ from repro.cnf.assignment import Assignment
 from repro.cnf.dimacs import to_dimacs
 from repro.cnf.families import f_instance, ii_instance, jnh_instance, parity_instance
 from repro.cnf.formula import CNFFormula
+from repro.cnf.packed import PackedCNF
 from repro.cnf.generators import (
     pigeonhole,
     random_ksat,
@@ -161,6 +162,55 @@ def test_differential_cross_solver_agreement():
     """All five solvers agree on every seeded instance (CI fast lane)."""
     count = int(os.environ.get("REPRO_FUZZ_INSTANCES", "200"))
     _run_sweep(count, stream=1)
+
+
+#: The packed-capable solvers fuzzed for object/packed path equality.
+_PACKED_SOLVERS = tuple(
+    s for s in SOLVERS if s.name in ("cdcl", "dpll", "walksat")
+)
+
+
+def _packed_mismatch(formula: CNFFormula, seed: int) -> str | None:
+    """One line describing an object/packed divergence, or None.
+
+    The packed kernel is round-tripped through its wire format first, so
+    this also fuses the portfolio's worker transport path into the
+    differential harness: object entry point, packed entry point, and
+    deserialized-payload entry point must produce the *same verdict and
+    the same model* (both wrappers delegate to the packed core, so any
+    difference is a kernel-maintenance or wire-format bug).
+    """
+    packed = PackedCNF.from_bytes(PackedCNF.from_formula(formula).to_bytes())
+    for solver in _PACKED_SOLVERS:
+        obj = solver.solve(formula, seed=seed, deadline=30.0)
+        pak = solver.solve_packed(packed, seed=seed, deadline=30.0)
+        if obj.status != pak.status:
+            return f"{solver.name}: object={obj.status} packed={pak.status}"
+        if (obj.assignment is None) != (pak.assignment is None):
+            return f"{solver.name}: only one path produced a model"
+        if obj.assignment is not None and (
+            obj.assignment.as_dict() != pak.assignment.as_dict()
+        ):
+            return f"{solver.name}: object and packed models differ"
+    return None
+
+
+def test_differential_packed_vs_object_paths():
+    """Packed and object entry points agree on verdict *and* model.
+
+    Runs over the same seeded instance stream as the cross-solver sweep
+    (stream 1), so a failure here and a failure there point at the same
+    reproducible (name, seed) pair.
+    """
+    count = int(os.environ.get("REPRO_FUZZ_INSTANCES", "200"))
+    for name, formula, seed in _instances(count, stream=1):
+        problem = _packed_mismatch(formula, seed)
+        if problem is not None:
+            pytest.fail(
+                f"packed/object divergence on {name} (seed={seed}): {problem}\n"
+                f"instance ({formula.num_vars} vars, "
+                f"{formula.num_clauses} clauses):\n{to_dimacs(formula)}"
+            )
 
 
 @pytest.mark.slow

@@ -167,3 +167,51 @@ class TestSingleSolverEngines:
             assert rc == 2
             assert "undecided" in captured.err
             assert "UNSATISFIABLE" not in captured.out
+
+
+class TestSolveBatch:
+    @pytest.fixture
+    def batch_dir(self, tmp_path):
+        f, _ = random_planted_ksat(10, 30, rng=3)
+        write_dimacs(f, tmp_path / "a.cnf")
+        write_dimacs(f, tmp_path / "b.cnf")            # duplicate of a
+        write_dimacs(CNFFormula([[1], [-1]]), tmp_path / "unsat.cnf")
+        return tmp_path
+
+    def test_batch_reports_per_file_verdicts(self, batch_dir, capsys):
+        # Exit 1: everything decided, at least one instance proven UNSAT
+        # (same convention as the single-file solve).
+        assert main(["solve", str(batch_dir), "--batch", "--jobs", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "a.cnf: SATISFIABLE" in out
+        assert "b.cnf: SATISFIABLE (via batch-dedup)" in out
+        assert "unsat.cnf: UNSATISFIABLE" in out
+        assert "1 batch dedups" in out
+
+    def test_all_sat_batch_exits_zero(self, tmp_path, capsys):
+        f, _ = random_planted_ksat(8, 24, rng=4)
+        write_dimacs(f, tmp_path / "only.cnf")
+        assert main(["solve", str(tmp_path), "--batch", "--jobs", "1"]) == 0
+        assert "only.cnf: SATISFIABLE" in capsys.readouterr().out
+
+    def test_batch_rejects_single_solver_engine(self, batch_dir, capsys):
+        code = main(["solve", str(batch_dir), "--batch", "--engine", "cdcl"])
+        assert code == 2
+        assert "portfolio" in capsys.readouterr().err
+
+    def test_batch_accepts_explicit_portfolio(self, tmp_path, capsys):
+        f, _ = random_planted_ksat(8, 24, rng=4)
+        write_dimacs(f, tmp_path / "only.cnf")
+        args = ["solve", str(tmp_path), "--batch", "--engine", "portfolio",
+                "--jobs", "1"]
+        assert main(args) == 0
+        capsys.readouterr()
+
+    def test_batch_on_file_is_an_error(self, cnf_file, capsys):
+        path, _f = cnf_file
+        assert main(["solve", str(path), "--batch"]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_batch_on_empty_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["solve", str(tmp_path), "--batch"]) == 2
+        assert "no .cnf files" in capsys.readouterr().err
