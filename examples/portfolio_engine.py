@@ -17,9 +17,11 @@ from repro.core.change import AddClause, AddVariable, ChangeSet, RemoveClause
 
 def main() -> None:
     formula, _witness = random_planted_ksat(40, 140, rng=7)
-    engine = PortfolioEngine(jobs=2)
 
-    with IncrementalSession(formula, engine=engine) as session:
+    # The session is one tenant of the shared engine and will not close
+    # it on exit; the engine's own context manager releases the pool.
+    with PortfolioEngine(jobs=2) as engine, \
+            IncrementalSession(formula, engine=engine) as session:
         model = session.solve(seed=0)
         print("== Original specification ==")
         print(f"solved by: {session.history[-1].source}  "

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""CI service lane: boot ``repro serve``, run a client round trip, shut down.
+
+The round trip is the acceptance loop of the service layer:
+
+1. start the daemon on a temp socket with the persistent disk cache;
+2. open a named session (solve), apply a loosening change (re-solved by
+   revalidation — no solver), apply a tightening change (a real
+   re-solve);
+3. shut the daemon down cleanly and assert exit code 0;
+4. start a *second* daemon over the same cache directory and assert the
+   original instance comes back as a cross-process cache hit.
+
+The daemon log lands in ``service-smoke/daemon.log`` (uploaded as a CI
+artifact on failure).  Run locally with::
+
+    PYTHONPATH=src python scripts/service_smoke.py [WORKDIR]
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cnf.clause import Clause                              # noqa: E402
+from repro.cnf.generators import random_planted_ksat             # noqa: E402
+from repro.core.change import (                                  # noqa: E402
+    AddClause,
+    AddVariable,
+    ChangeSet,
+    RemoveClause,
+)
+from repro.service.client import ServiceClient                   # noqa: E402
+from repro.service.requests import ChangeRequest, SolveRequest   # noqa: E402
+
+
+def spawn(socket_path: Path, cache_dir: Path, log_path: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", str(socket_path),
+            "--cache", "disk", "--cache-dir", str(cache_dir),
+            "--jobs", "2", "--log-file", str(log_path),
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if socket_path.exists():
+            try:
+                ServiceClient(str(socket_path)).close()
+                return proc
+            except OSError:
+                pass
+        if proc.poll() is not None:
+            raise SystemExit(f"serve died during startup:\n{proc.stderr.read()}")
+        time.sleep(0.05)
+    proc.kill()
+    raise SystemExit("serve did not come up within 60s")
+
+
+def stop(proc: subprocess.Popen) -> None:
+    out, err = proc.communicate(timeout=60)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"serve exited with {proc.returncode}\nstdout:\n{out}\nstderr:\n{err}"
+        )
+
+
+def main() -> int:
+    workdir = Path(sys.argv[1] if len(sys.argv) > 1 else "service-smoke")
+    workdir.mkdir(parents=True, exist_ok=True)
+    sock = workdir / "serve.sock"
+    cache_dir = workdir / "cache"
+    log = workdir / "daemon.log"
+
+    formula, _witness = random_planted_ksat(24, 80, rng=11)
+
+    proc = spawn(sock, cache_dir, log)
+    with ServiceClient(str(sock)) as client:
+        opened = client.solve(SolveRequest(formula=formula, session="ci", seed=0))
+        assert opened.status == "sat", opened
+        print(f"solve: {opened.status} via {opened.source}")
+
+        loosened = client.change(ChangeRequest(
+            "ci",
+            ChangeSet([RemoveClause(formula.clauses[0]), AddVariable()]),
+            seed=0,
+        ))
+        assert loosened.source == "revalidation", loosened
+        print(f"loosening change: re-solved via {loosened.source}")
+
+        model = opened.assignment
+        breaking = Clause([
+            -v if model.get(v, False) else v
+            for v in sorted(formula.variables)[:3]
+        ])
+        tightened = client.change(ChangeRequest(
+            "ci", ChangeSet([AddClause(breaking)]), seed=0,
+        ))
+        assert tightened.status in ("sat", "unsat"), tightened
+        print(f"tightening change: {tightened.status} via {tightened.source}")
+        client.shutdown()
+    stop(proc)
+    print("clean shutdown: ok")
+
+    # Restart over the same cache directory: the cross-process hit.
+    proc = spawn(sock, cache_dir, log)
+    with ServiceClient(str(sock)) as client:
+        warm = client.solve(SolveRequest(formula=formula, seed=0))
+        assert warm.status == "sat", warm
+        assert warm.from_cache, "expected a cross-process disk-cache hit"
+        stats = client.stats()
+        assert stats["engine"]["solver_calls"] == 0, stats
+        print(f"cross-process cache hit: ok ({stats['cache']['hits']} hits)")
+        client.shutdown()
+    stop(proc)
+    print("service smoke: all green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,10 @@ Subpackages:
 * :mod:`repro.coloring` — EC for graph coloring;
 * :mod:`repro.bench` — harness regenerating the paper's Tables 1-3;
 * :mod:`repro.engine` — the parallel portfolio solver engine with
-  fingerprint caching and incremental EC re-solve.
+  fingerprint caching and incremental EC re-solve;
+* :mod:`repro.service` — the :class:`SolverService` facade: one typed
+  request/response API over flow, engine, and sessions, with the
+  ``repro serve`` daemon and its client.
 """
 
 from repro.cnf import Assignment, Clause, CNFFormula
@@ -46,6 +49,8 @@ from repro.core import (
     preserving_ec,
 )
 from repro.engine import (
+    DiskCache,
+    EngineConfig,
     IncrementalSession,
     Portfolio,
     PortfolioEngine,
@@ -55,29 +60,45 @@ from repro.engine import (
 )
 from repro.ilp import ILPModel, LinExpr, Solution, SolveStatus, solve
 from repro.sat import encode_sat
+from repro.service import (
+    ChangeRequest,
+    PendingSolve,
+    ServiceClient,
+    SolveRequest,
+    SolveResponse,
+    SolverService,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AddClause",
     "AddVariable",
     "Assignment",
     "CNFFormula",
+    "ChangeRequest",
     "ChangeSet",
     "Clause",
+    "DiskCache",
     "ECFlow",
     "EnablingOptions",
+    "EngineConfig",
     "ILPModel",
     "IncrementalSession",
     "LinExpr",
+    "PendingSolve",
     "Portfolio",
     "PortfolioEngine",
     "RemoveClause",
     "RemoveVariable",
+    "ServiceClient",
     "Solution",
     "SolutionCache",
+    "SolveRequest",
+    "SolveResponse",
     "SolveStatus",
     "SolverConfig",
+    "SolverService",
     "enable_ec",
     "encode_sat",
     "fast_ec",

@@ -38,6 +38,17 @@ and two packed-kernel comparisons (the flat-array substrate):
    instance duplicated: one pool warm-up, intra-batch fingerprint
    dedup.
 
+and one service-layer comparison:
+
+8. **service** — (a) multi-tenant throughput: one
+   :class:`~repro.service.service.SolverService` hosting a named
+   session per instance (solve + loosening change + re-solve, all over
+   one shared pool and cache) vs constructing a fresh engine per query;
+   (b) persistent-cache hit latency: the suite solved cold through a
+   disk-backed service, then re-solved by a *second* service over the
+   same cache directory (the daemon-restart story) — every warm query
+   must be answered without any solver.
+
 Options::
 
     --tier ci|paper     instance sizes (default: REPRO_BENCH_SCALE or ci)
@@ -452,6 +463,90 @@ def bench_batch(
         }
 
 
+def bench_service(
+    instances: list[BenchInstance], jobs: int = 4, seed: int = 0
+) -> dict:
+    """Experiment 8: the service layer (see the module docstring)."""
+    import tempfile
+
+    from repro.core.change import RemoveClause
+    from repro.engine.config import EngineConfig
+    from repro.service.requests import ChangeRequest, SolveRequest
+    from repro.service.service import SolverService
+
+    # (a) shared pool: one service, one named session per instance, each
+    # tenant running solve -> loosening change -> re-solve.
+    t0 = time.perf_counter()
+    with SolverService(EngineConfig(jobs=jobs)) as service:
+        for i, inst in enumerate(instances):
+            name = f"tenant-{i}"
+            service.solve(SolveRequest(
+                formula=CNFFormula(inst.formula.clauses), session=name,
+                seed=seed,
+            ))
+            victim = service.session(name).formula.clauses[0]
+            service.change(ChangeRequest(
+                name, ChangeSet([RemoveClause(victim)]), seed=seed,
+            ))
+        shared_races = service.engine.stats.races
+    shared_wall = max(time.perf_counter() - t0, _MIN_TIME)
+
+    # ... vs a fresh engine per query (what per-call construction costs:
+    # no shared cache, no shared pool, the pre-service default).
+    t0 = time.perf_counter()
+    for inst in instances:
+        original = CNFFormula(inst.formula.clauses)
+        with PortfolioEngine(jobs=jobs) as engine:
+            engine.solve(original, seed=seed)
+        loosened = original.copy()
+        loosened.remove_clause_at(0)
+        with PortfolioEngine(jobs=jobs) as engine:
+            engine.solve(loosened, seed=seed)
+    percall_wall = max(time.perf_counter() - t0, _MIN_TIME)
+
+    # (b) persistent backend: cold solves, then a second service over the
+    # same cache directory — the daemon-restart path must be hit-only.
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        with SolverService(EngineConfig(
+            jobs=jobs, cache="disk", cache_dir=tmp
+        )) as service:
+            for inst in instances:
+                service.solve(SolveRequest(
+                    formula=CNFFormula(inst.formula.clauses), seed=seed
+                ))
+        cold_wall = max(time.perf_counter() - t0, _MIN_TIME)
+
+        t0 = time.perf_counter()
+        with SolverService(EngineConfig(
+            jobs=jobs, cache="disk", cache_dir=tmp
+        )) as service:
+            for inst in instances:
+                service.solve(SolveRequest(
+                    formula=CNFFormula(inst.formula.clauses), seed=seed
+                ))
+            disk_hits = service.engine.cache.stats.hits
+            warm_solver_calls = service.engine.stats.solver_calls
+        hit_wall = max(time.perf_counter() - t0, _MIN_TIME)
+    if warm_solver_calls:
+        raise ReproError(
+            "disk-backed re-solve launched solvers; the persistent cache "
+            "is not serving across service restarts"
+        )
+
+    return {
+        "sessions": len(instances),
+        "shared_wall": shared_wall,
+        "shared_races": shared_races,
+        "percall_wall": percall_wall,
+        "shared_speedup": percall_wall / shared_wall,
+        "disk_cold_wall": cold_wall,
+        "disk_hit_wall": hit_wall,
+        "disk_hits": disk_hits,
+        "disk_speedup": cold_wall / hit_wall,
+    }
+
+
 def format_packed_table(rows: list[PackedRow]) -> str:
     """Render the packed-vs-object comparison as an aligned text table."""
     header = (
@@ -579,6 +674,18 @@ def main(argv: list[str] | None = None) -> int:
         f"{batch['batch_dedups']} intra-batch dedups, "
         f"{batch['cache_hits']} cache hits, {batch['wall_time']:.3f}s"
     )
+
+    # Experiment 8: the service layer (shared pool + persistent cache).
+    service = bench_service(instances, jobs=args.jobs, seed=args.seed)
+    print(
+        f"\nservice: {service['sessions']} tenants, shared-pool "
+        f"{service['shared_wall']:.3f}s vs per-call "
+        f"{service['percall_wall']:.3f}s "
+        f"({service['shared_speedup']:.1f}x); disk-cache hits "
+        f"{service['disk_hit_wall'] * 1e3:.1f}ms vs cold "
+        f"{service['disk_cold_wall'] * 1e3:.1f}ms "
+        f"({service['disk_speedup']:.1f}x, {service['disk_hits']} hits)"
+    )
     if args.out:
         import os
 
@@ -593,6 +700,7 @@ def main(argv: list[str] | None = None) -> int:
             "unsat_rows": [asdict(r) for r in unsat_rows],
             "packed_rows": [asdict(r) for r in packed_rows],
             "batch": batch,
+            "service": service,
         }
         with open(args.out, "w") as fh:
             json.dump(artifact, fh, indent=2)

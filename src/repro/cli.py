@@ -7,13 +7,23 @@ Commands:
   parallel portfolio engine, or any single solver by name: ``--engine
   cdcl|dpll|walksat|brute|ilp-exact|ilp-heuristic``); with ``--batch`` the
   FILE argument is a directory and every ``*.cnf`` inside is solved as one
-  batch through ``PortfolioEngine.solve_many`` (one shared pool,
-  fingerprint dedup across the batch);
+  batch (one shared pool, fingerprint dedup across the batch); with
+  ``--connect SOCKET`` the query is shipped to a running ``repro serve``
+  daemon as packed wire bytes instead of being solved in-process;
+  ``--stats-json PATH`` dumps the engine/cache counters for scripting;
+* ``serve``                          — run the ``SolverService`` daemon on a
+  local socket (``--cache disk --cache-dir D`` for the persistent verdict
+  cache that survives restarts);
 * ``enable FILE.cnf``                — solve with enabling EC and report flexibility;
 * ``fast FILE.cnf CHANGED.cnf``      — fast EC from FILE's solution to CHANGED;
 * ``preserve FILE.cnf CHANGED.cnf``  — preserving EC between the two instances;
 * ``bench {table1,table2,table3,engine}`` — regenerate a paper table or the
   engine comparison.
+
+Every ``solve`` route goes through the :class:`~repro.service.
+SolverService` facade — the CLI builds a :class:`~repro.service.requests.
+SolveRequest` and prints the :class:`~repro.service.requests.
+SolveResponse`; it never touches a solver directly.
 
 The two-file EC commands treat the first file as the original
 specification (solved from scratch) and the second as the modified one.
@@ -22,6 +32,7 @@ specification (solved from scratch) and the second as the modified one.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -59,6 +70,38 @@ def _solve_file(path: str, method: str, deadline: float | None = None,
     return formula, encoding.decode(solution, default=False)
 
 
+def _write_stats_json(path: str | None, stats: dict, **extra) -> None:
+    """Dump an engine/cache counter snapshot (plus context) as JSON."""
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({**stats, **extra}, fh, indent=2)
+        fh.write("\n")
+
+
+def _print_verdict(args, formula, response, engine_label: str) -> int:
+    """Print one solve verdict in the CLI's stable format."""
+    if response.status == "unsat":
+        via = response.source or engine_label
+        preposition = "via" if engine_label == "ilp" else "by"
+        print(f"s UNSATISFIABLE ({preposition} {via})")
+        return 1
+    if response.status != "sat":
+        raise ReproError(
+            f"{args.file}: {engine_label} undecided within budget"
+            + (f" ({response.detail})" if response.detail else "")
+        )
+    print(f"s SATISFIABLE ({formula.num_vars} vars, {formula.num_clauses} clauses)")
+    if engine_label == "portfolio":
+        print(f"c engine: portfolio, winner: {response.source}, "
+              f"{response.wall_time:.3f}s")
+    elif engine_label != "ilp":
+        print(f"c engine: {engine_label}, {response.wall_time:.3f}s"
+              + (f", {response.detail}" if response.detail else ""))
+    print("v " + " ".join(str(l) for l in response.assignment.to_literals()) + " 0")
+    return 0
+
+
 def _cmd_solve(args) -> int:
     if args.batch:
         # The batch path always runs the portfolio engine (solve_many);
@@ -69,58 +112,82 @@ def _cmd_solve(args) -> int:
                 "--batch always uses the portfolio engine; drop --engine "
                 f"or pass --engine portfolio (got --engine {args.engine})"
             )
+        if args.connect:
+            raise ReproError("--batch and --connect cannot be combined")
         return _cmd_solve_batch(args)
+    if args.connect:
+        return _cmd_solve_connect(args)
     engine = args.engine or "ilp"
-    if engine == "portfolio":
-        return _cmd_solve_portfolio(args)
-    if engine != "ilp":
-        return _cmd_solve_single(args)
-    formula, assignment = _solve_file(
-        args.file, args.method, deadline=args.deadline, seed=args.seed
-    )
-    if assignment is None:
-        # Same verdict convention as the portfolio path: a proven UNSAT is
-        # exit code 1, not an error.
-        print("s UNSATISFIABLE (via ilp)")
-        return 1
-    print(f"s SATISFIABLE ({formula.num_vars} vars, {formula.num_clauses} clauses)")
-    print("v " + " ".join(str(l) for l in assignment.to_literals()) + " 0")
-    return 0
 
-
-def _cmd_solve_portfolio(args) -> int:
-    from repro.engine import PortfolioEngine
+    from repro.engine.config import EngineConfig
+    from repro.service.requests import SolveRequest
+    from repro.service.service import SolverService
 
     formula = read_dimacs(args.file)
-    with PortfolioEngine(jobs=args.jobs) as engine:
-        result = engine.solve(formula, deadline=args.deadline, seed=args.seed)
-    if result.status == "unsat":
-        print(f"s UNSATISFIABLE (by {result.source})")
-        return 1
-    if result.status != "sat":
-        raise ReproError(f"{args.file}: undecided within budget")
-    print(
-        f"s SATISFIABLE ({formula.num_vars} vars, {formula.num_clauses} clauses)"
-    )
-    print(f"c engine: portfolio, winner: {result.source}, "
-          f"{result.wall_time:.3f}s")
-    print("v " + " ".join(str(l) for l in result.assignment.to_literals()) + " 0")
-    return 0
+    with SolverService(EngineConfig(jobs=args.jobs)) as service:
+        response = service.solve(SolveRequest(
+            formula=formula, strategy=engine, method=args.method,
+            deadline=args.deadline, seed=args.seed,
+        ))
+        _write_stats_json(
+            args.stats_json, service.stats(),
+            winner=response.winner, status=response.status,
+            wall_time=response.wall_time,
+        )
+    # The ILP route keeps its historical undecided message (the ILP
+    # status value is the interesting part for scripting).
+    if engine == "ilp" and response.status not in ("sat", "unsat"):
+        raise ReproError(
+            f"{args.file}: undecided within budget ({response.detail})"
+        )
+    return _print_verdict(args, formula, response, engine)
+
+
+def _cmd_solve_connect(args) -> int:
+    """Ship the query to a running ``repro serve`` daemon.
+
+    The instance crosses the socket as the packed kernel's raw wire
+    bytes; the verdict comes back as a typed response and is printed in
+    the same format as a local solve.  ``--stats-json`` dumps the
+    *daemon's* counters, so a scripted client can watch the shared
+    cache working across processes.
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.requests import SolveRequest
+
+    engine = args.engine or "portfolio"
+    formula = read_dimacs(args.file)
+    # The socket timeout must outlive the solve budget: with a --deadline
+    # the daemon answers within it (plus slack for transport/queueing);
+    # without one the client blocks until the daemon answers.
+    timeout = None if args.deadline is None else args.deadline + 30.0
+    with ServiceClient(args.connect, timeout=timeout) as client:
+        response = client.solve(SolveRequest(
+            formula=formula, strategy=engine, method=args.method,
+            deadline=args.deadline, seed=args.seed,
+        ))
+        _write_stats_json(
+            args.stats_json, client.stats(),
+            winner=response.winner, status=response.status,
+            wall_time=response.wall_time,
+        )
+    return _print_verdict(args, formula, response, engine)
 
 
 def _cmd_solve_batch(args) -> int:
-    """Solve every ``*.cnf`` in a directory through one shared engine.
+    """Solve every ``*.cnf`` in a directory through one shared service.
 
-    The batch rides ``PortfolioEngine.solve_many``: one shared (lazily
-    started) pool, fingerprint dedup across the batch, and the fingerprint cache shared
-    between instances.  Per-instance verdicts are printed one per line.
-    Exit codes follow the single-file convention: 0 when every instance
-    is satisfiable, 1 when all were decided but at least one is proven
-    UNSAT, 2 when any stayed undecided within its budget.
+    The batch rides ``SolverService.solve_many``: one shared (lazily
+    started) pool, fingerprint dedup across the batch, and the verdict
+    cache shared between instances.  Per-instance verdicts are printed
+    one per line.  Exit codes follow the single-file convention: 0 when
+    every instance is satisfiable, 1 when all were decided but at least
+    one is proven UNSAT, 2 when any stayed undecided within its budget.
     """
     from pathlib import Path
 
-    from repro.engine import PortfolioEngine
+    from repro.engine.config import EngineConfig
+    from repro.service.service import SolverService
 
     directory = Path(args.file)
     if not directory.is_dir():
@@ -129,51 +196,63 @@ def _cmd_solve_batch(args) -> int:
     if not paths:
         raise ReproError(f"no .cnf files in {args.file!r}")
     formulas = [read_dimacs(str(p)) for p in paths]
-    with PortfolioEngine(jobs=args.jobs) as engine:
-        results = engine.solve_many(
+    with SolverService(EngineConfig(jobs=args.jobs)) as service:
+        responses = service.solve_many(
             formulas, deadline=args.deadline, seed=args.seed
         )
         undecided = 0
         unsat = 0
-        for path, result in zip(paths, results):
-            if result.status == "sat":
-                print(f"{path.name}: SATISFIABLE (via {result.source})")
-            elif result.status == "unsat":
+        for path, response in zip(paths, responses):
+            if response.status == "sat":
+                print(f"{path.name}: SATISFIABLE (via {response.source})")
+            elif response.status == "unsat":
                 unsat += 1
-                print(f"{path.name}: UNSATISFIABLE (via {result.source})")
+                print(f"{path.name}: UNSATISFIABLE (via {response.source})")
             else:
                 undecided += 1
                 print(f"{path.name}: UNDECIDED")
-        stats = engine.stats
+        stats = service.engine.stats
         print(
             f"c batch: {len(paths)} instances, {stats.races} races, "
             f"{stats.cache_hits} cache hits, {stats.revalidations} "
             f"revalidations, {stats.batch_dedups} batch dedups"
+        )
+        _write_stats_json(
+            args.stats_json, service.stats(),
+            winner=None,
+            results=[
+                {"file": p.name, "status": r.status, "source": r.source,
+                 "winner": r.winner}
+                for p, r in zip(paths, responses)
+            ],
         )
     if undecided:
         return 2
     return 1 if unsat else 0
 
 
-def _cmd_solve_single(args) -> int:
-    """Solve with one named solver behind the uniform engine contract."""
-    from repro.engine.adapters import build_adapter
+def _cmd_serve(args) -> int:
+    """Run the ``SolverService`` daemon on a local socket."""
+    from repro.engine.config import EngineConfig
+    from repro.service.daemon import ServiceDaemon
+    from repro.service.service import SolverService
 
-    formula = read_dimacs(args.file)
-    adapter = build_adapter(args.engine)
-    outcome = adapter.solve(formula, deadline=args.deadline, seed=args.seed)
-    if outcome.status == "unsat":
-        print(f"s UNSATISFIABLE (by {adapter.name})")
-        return 1
-    if outcome.status != "sat":
-        raise ReproError(
-            f"{args.file}: {adapter.name} undecided within budget"
-            + (f" ({outcome.detail})" if outcome.detail else "")
+    try:
+        config = EngineConfig(
+            jobs=args.jobs, cache=args.cache, cache_dir=args.cache_dir,
+            cache_entries=args.cache_entries,
         )
-    print(f"s SATISFIABLE ({formula.num_vars} vars, {formula.num_clauses} clauses)")
-    print(f"c engine: {adapter.name}, {outcome.wall_time:.3f}s"
-          + (f", {outcome.detail}" if outcome.detail else ""))
-    print("v " + " ".join(str(l) for l in outcome.assignment.to_literals()) + " 0")
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+    daemon = ServiceDaemon(
+        args.socket, SolverService(config), log_path=args.log_file
+    )
+    daemon.bind()
+    print(f"repro serve: listening on {args.socket}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        daemon.shutdown()
     return 0
 
 
@@ -274,7 +353,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="race seed for randomized solvers")
     p.add_argument("--deadline", type=float, default=None,
                    help="wall-clock budget in seconds")
+    p.add_argument("--connect", metavar="SOCKET", default=None,
+                   help="route the query to a running `repro serve` daemon "
+                        "on this socket (instance ships as packed wire "
+                        "bytes; default strategy becomes 'portfolio')")
+    p.add_argument("--stats-json", metavar="PATH", default=None,
+                   help="dump the engine/cache counters (hits, misses, "
+                        "batch dedups, transport bytes, winner) as JSON")
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the SolverService daemon on a local socket "
+             "(see `solve --connect`)",
+    )
+    p.add_argument("--socket", required=True,
+                   help="Unix socket path to listen on")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="portfolio process-pool width (default: auto)")
+    p.add_argument("--cache", default="memory",
+                   choices=("memory", "disk", "none"),
+                   help="verdict cache backend ('disk' persists across "
+                        "restarts and processes; requires --cache-dir)")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory for the disk cache backend")
+    p.add_argument("--cache-entries", type=int, default=4096,
+                   help="cache capacity before LRU eviction")
+    p.add_argument("--log-file", default=None,
+                   help="append one line per handled request here")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("enable", help="solve with enabling EC")
     p.add_argument("file")

@@ -29,6 +29,7 @@ from repro.sat.encoding import encode_sat
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
     from repro.engine.engine import PortfolioEngine
+    from repro.service.service import SolverService
 
 
 @dataclass
@@ -42,13 +43,20 @@ class FlowStep:
 
 @dataclass
 class ECFlow:
-    """Stateful driver for the Figure-1 flow."""
+    """Stateful driver for the Figure-1 flow.
+
+    The ``"portfolio"`` strategy routes through the
+    :class:`~repro.service.SolverService` facade (created lazily, or
+    wrapping an injected ``engine`` — the legacy injection point kept as
+    a shim so existing callers and a shared cache still work).
+    """
 
     formula: CNFFormula
     assignment: Assignment | None = None
     enabled: bool = False
     history: list[FlowStep] = field(default_factory=list)
     engine: "PortfolioEngine | None" = None
+    service: "SolverService | None" = None
 
     # ------------------------------------------------------------------
     def solve_original(
@@ -135,29 +143,34 @@ class ECFlow:
             jobs = options.pop("jobs", None)
             deadline = options.pop("deadline", None)
             seed = options.pop("seed", None)
-            # Validate before touching the engine: a rejected call must not
-            # leave a lazily-created engine configured from its arguments.
+            # Validate before touching the service: a rejected call must
+            # not leave a lazily-created engine configured from its
+            # arguments.
             if options:
                 raise ECError(
                     f"unknown portfolio options {sorted(options)} "
                     "(supported: jobs, deadline, seed)"
                 )
-            engine = self._ensure_engine(jobs=jobs)
-            eresult = engine.solve(
-                self.formula, deadline=deadline, seed=seed, hint=self.assignment
-            )
-            if eresult.status == "unsat":
+            from repro.service.requests import SolveRequest
+
+            service = self._ensure_service(jobs=jobs)
+            response = service.solve(SolveRequest(
+                formula=self.formula, deadline=deadline, seed=seed,
+                hint=self.assignment,
+            ))
+            if response.status == "unsat":
                 raise ECError("modified instance is unsatisfiable")
-            if eresult.status != "sat":
+            if response.status != "sat":
                 raise ECError(
                     "portfolio engine could not decide the modified instance "
                     "within its budget"
                 )
-            self.assignment = eresult.assignment
+            self.assignment = response.assignment
             self.history.append(
-                FlowStep("portfolio", f"source={eresult.source}", eresult.assignment)
+                FlowStep("portfolio", f"source={response.source}",
+                         response.assignment)
             )
-            return eresult.assignment
+            return response.assignment
         if strategy == "fast":
             result: FastECResult = fast_ec(
                 self.formula, self.assignment, method=method, **options
@@ -194,21 +207,34 @@ class ECFlow:
         raise ECError(f"unknown strategy {strategy!r} (fast|preserving|portfolio)")
 
     # ------------------------------------------------------------------
-    def _ensure_engine(self, jobs: int | None = None) -> "PortfolioEngine":
-        """The flow's portfolio engine, created on first use.
+    def _ensure_service(self, jobs: int | None = None) -> "SolverService":
+        """The flow's service facade, created on first use.
 
         ``jobs`` only takes effect at creation; later resolves reuse the
-        existing engine (inject a configured one via ``ECFlow(engine=...)``
-        to control the line-up or share a cache across flows).
+        existing service.  An engine injected via ``ECFlow(engine=...)``
+        is wrapped (to control the line-up or share a cache across
+        flows); ``self.engine`` always mirrors the service's engine so
+        legacy stats introspection keeps working.
         """
-        if self.engine is None:
-            from repro.engine.engine import PortfolioEngine
+        if self.service is None:
+            from repro.engine.config import EngineConfig
+            from repro.service.service import SolverService
 
-            self.engine = PortfolioEngine(jobs=jobs)
-        return self.engine
+            if self.engine is not None:
+                self.service = SolverService(engine=self.engine)
+            else:
+                self.service = SolverService(EngineConfig(jobs=jobs))
+        self.engine = self.service.engine
+        return self.service
 
     def close(self) -> None:
-        """Release the portfolio engine's worker pool, if one was created."""
+        """Release the engine's worker pool, if the flow created one.
+
+        Idempotent; an engine injected by the caller is closed too (the
+        flow was its only tenant under the legacy contract).
+        """
+        if self.service is not None:
+            self.service.close()
         if self.engine is not None:
             self.engine.close()
 

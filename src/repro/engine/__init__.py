@@ -11,10 +11,14 @@ engine suitable for serving many queries:
   seed)`` entry point;
 * :mod:`repro.engine.fingerprint` -- canonical, order-insensitive formula
   fingerprints (normalized-clause hashes);
-* :mod:`repro.engine.cache`       -- a content-addressed LRU
-  :class:`SolutionCache` keyed by fingerprint;
-* :mod:`repro.engine.config`      -- picklable solver configurations and
-  the default portfolio line-up;
+* :mod:`repro.engine.cache`       -- the :class:`CacheBackend` protocol and
+  the content-addressed in-memory LRU :class:`SolutionCache`;
+* :mod:`repro.engine.diskcache`   -- :class:`DiskCache`, the persistent
+  fingerprint-keyed file backend (atomic writes, mtime LRU) shared
+  across processes and restarts;
+* :mod:`repro.engine.config`      -- picklable solver configurations, the
+  default portfolio line-up, and the engine-level :class:`EngineConfig`
+  (pool width, quick slice, cache backend selection);
 * :mod:`repro.engine.portfolio`   -- the :class:`Portfolio` runner racing
   N configurations across a process pool with deadline / cancellation
   semantics;
@@ -34,8 +38,13 @@ from repro.engine.adapters import (
     WalkSATAdapter,
     build_adapter,
 )
-from repro.engine.cache import CacheEntry, CacheStats, SolutionCache
-from repro.engine.config import SolverConfig, default_portfolio_configs
+from repro.engine.cache import CacheBackend, CacheEntry, CacheStats, SolutionCache
+from repro.engine.config import (
+    EngineConfig,
+    SolverConfig,
+    default_portfolio_configs,
+)
+from repro.engine.diskcache import DiskCache
 from repro.engine.engine import EngineResult, EngineStats, PortfolioEngine
 from repro.engine.fingerprint import fingerprint, fingerprint_v2
 from repro.engine.portfolio import Portfolio, PortfolioResult
@@ -45,9 +54,12 @@ from repro.engine.session import IncrementalSession
 __all__ = [
     "BruteForceAdapter",
     "CDCLAdapter",
+    "CacheBackend",
     "CacheEntry",
     "CacheStats",
     "DPLLAdapter",
+    "DiskCache",
+    "EngineConfig",
     "EngineResult",
     "EngineStats",
     "ExactILPAdapter",

@@ -1,4 +1,4 @@
-"""Content-addressed LRU cache of solver verdicts.
+"""Content-addressed caches of solver verdicts.
 
 Keys are formula fingerprints (:mod:`repro.engine.fingerprint`), values
 are verdicts: a verified model for satisfiable instances, or a proven
@@ -6,6 +6,18 @@ UNSAT marker.  Successive-EC workloads revisit instances constantly —
 loosening changes restore earlier formulas, benchmark suites repeat rows,
 and production query streams are heavily skewed — so repeated queries
 should cost a hash plus an O(clauses) revalidation, never a solver run.
+
+Two implementations sit behind the :class:`CacheBackend` protocol:
+
+* :class:`SolutionCache` (here) — the in-memory LRU, fastest, dies with
+  the process;
+* :class:`~repro.engine.diskcache.DiskCache` — fingerprint-keyed files
+  with atomic writes and an mtime-based LRU sweep, shared across
+  processes and daemon restarts.
+
+Select one via :class:`~repro.engine.config.EngineConfig` (``cache=
+"memory" | "disk" | "none"``) or inject any object satisfying the
+protocol into :class:`~repro.engine.engine.PortfolioEngine`.
 
 Assignments are copied on the way in and out: callers mutate assignments
 freely (flips, don't-care recovery) and must not corrupt cached entries.
@@ -15,6 +27,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.cnf.assignment import Assignment
 
@@ -44,6 +57,45 @@ class CacheEntry:
     assignment: Assignment | None = None   # a model when satisfiable
     solver: str = ""                       # config that produced it
     hits: int = 0                          # times this entry was served
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the engine needs from a verdict cache.
+
+    Implementations must copy assignments on ``put`` and hand out copies
+    from ``get`` (callers mutate models freely), keep a :class:`CacheStats`
+    on ``stats``, and treat a zero/absent capacity as "caching disabled"
+    (every ``get`` misses, every ``put`` is a no-op).
+    """
+
+    stats: CacheStats
+
+    def get(self, fp: str) -> CacheEntry | None:
+        """Look up a verdict by fingerprint (None on a miss)."""
+        ...
+
+    def put(
+        self,
+        fp: str,
+        satisfiable: bool,
+        assignment: Assignment | None = None,
+        solver: str = "",
+    ) -> None:
+        """Store a verdict."""
+        ...
+
+    def invalidate(self, fp: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        ...
+
+    def __contains__(self, fp: str) -> bool: ...
+
+    def __len__(self) -> int: ...
 
 
 @dataclass

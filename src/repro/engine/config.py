@@ -1,4 +1,16 @@
-"""Picklable solver configurations and the default portfolio line-up.
+"""Engine and solver configuration objects.
+
+Two layers of configuration live here:
+
+* :class:`SolverConfig` — one racer in the portfolio line-up, pure data
+  so it crosses the process boundary cheaply;
+* :class:`EngineConfig` — the engine-level knobs (pool width, quick
+  slice, line-up, and the **cache backend** selection) consumed by
+  :meth:`~repro.engine.engine.PortfolioEngine.from_config` and by the
+  :class:`~repro.service.SolverService` facade, so a daemon, a CLI call,
+  and a library embedding all describe an engine the same way.
+
+Solver line-up notes:
 
 A :class:`SolverConfig` is pure data — (name, kind, params, seed offset) —
 so it crosses the process boundary cheaply and the worker builds the
@@ -17,6 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.adapters import build_adapter
+from repro.engine.cache import CacheBackend, SolutionCache
+
+#: Default in-process budget (seconds) for the lead solver before fan-out
+#: (re-exported by :mod:`repro.engine.portfolio`, which consumes it).
+DEFAULT_QUICK_SLICE = 0.05
+
+#: Recognized cache backend selectors for :class:`EngineConfig`.
+CACHE_BACKENDS = ("memory", "disk", "none")
 
 
 @dataclass(frozen=True)
@@ -79,3 +99,52 @@ def default_portfolio_configs(diversify: int = 2) -> list[SolverConfig]:
     configs.append(SolverConfig.make("ilp-heuristic", "ilp-heuristic"))
     configs.append(SolverConfig.make("ilp-exact", "ilp-exact"))
     return configs
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level configuration: pool, line-up, and cache backend.
+
+    Attributes:
+        jobs: process-pool width (``None`` = auto, ``<= 1`` = in-process
+            sequential race).
+        quick_slice: lead-solver in-process budget before fan-out.
+        configs: portfolio line-up override (``None`` = the default).
+        cache: cache backend selector — ``"memory"`` (the in-process
+            LRU :class:`~repro.engine.cache.SolutionCache`), ``"disk"``
+            (the persistent :class:`~repro.engine.diskcache.DiskCache`,
+            shared across processes and restarts; requires
+            ``cache_dir``), or ``"none"`` (caching disabled).
+        cache_dir: directory for the disk backend.
+        cache_entries: backend capacity (LRU eviction beyond it).
+        submit_workers: thread-pool width for
+            :meth:`~repro.service.SolverService.submit` (engine access
+            is still serialized; this bounds queued concurrency).
+    """
+
+    jobs: int | None = None
+    quick_slice: float = DEFAULT_QUICK_SLICE
+    configs: tuple[SolverConfig, ...] | None = None
+    cache: str = "memory"
+    cache_dir: str | None = None
+    cache_entries: int = 4096
+    submit_workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cache not in CACHE_BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {self.cache!r} "
+                f"(expected one of {CACHE_BACKENDS})"
+            )
+        if self.cache == "disk" and not self.cache_dir:
+            raise ValueError("cache='disk' requires cache_dir")
+
+    def build_cache(self) -> CacheBackend:
+        """Instantiate the configured cache backend."""
+        if self.cache == "disk":
+            from repro.engine.diskcache import DiskCache
+
+            return DiskCache(self.cache_dir, max_entries=self.cache_entries)
+        if self.cache == "none":
+            return SolutionCache(max_entries=0)
+        return SolutionCache(max_entries=self.cache_entries)

@@ -1,0 +1,207 @@
+"""Persistent on-disk verdict cache: one file per fingerprint.
+
+The in-memory :class:`~repro.engine.cache.SolutionCache` dies with the
+process, which wastes every verdict a daemon computed once it restarts
+and makes the cache invisible to sibling processes.  :class:`DiskCache`
+is the persistent sibling behind the same
+:class:`~repro.engine.cache.CacheBackend` protocol:
+
+* **layout** — one JSON file per verdict, named ``<fp-v2>.json`` (the
+  fingerprint is already a fixed-width hex digest, so it doubles as a
+  safe filename); the payload stores the verdict, the model as signed
+  DIMACS literals, and the producing solver;
+* **atomic writes** — each ``put`` writes a temp file in the cache
+  directory and ``os.replace``\\ s it into place, so a concurrent reader
+  (another engine process over the same directory) sees either the old
+  file or the new one, never a torn write;
+* **mtime LRU** — a ``get`` hit touches the file's mtime; when a ``put``
+  pushes the entry count past ``max_entries`` the sweep unlinks the
+  oldest-mtime files first, so the eviction order matches the in-memory
+  LRU's semantics across process restarts;
+* **self-healing** — an unreadable or corrupt entry (torn by a crash,
+  truncated disk) is treated as a miss and unlinked, never an error.
+
+The cache is safe for multiple processes on one host (atomic replace +
+unlink tolerate racing sweeps); it deliberately does no locking — a lost
+store or a double eviction only costs a future re-solve, never a wrong
+answer, because the engine revalidates every served model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cnf.assignment import Assignment
+from repro.engine.cache import CacheEntry, CacheStats
+from repro.errors import CNFError
+
+#: Suffix of finished entry files; temp files use a different one so the
+#: sweep and ``__len__`` never count half-written entries.
+_SUFFIX = ".json"
+_TMP_SUFFIX = ".tmp"
+
+
+@dataclass
+class DiskCache:
+    """Fingerprint-keyed persistent verdict store (see module docstring).
+
+    Args:
+        directory: cache directory, created on first use.
+        max_entries: capacity; oldest-mtime entries are swept first.
+            ``0`` disables caching entirely (every get misses).
+    """
+
+    directory: str | Path
+    max_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Approximate entry count so the steady-state put path is O(1):
+        # initialized from a scan on the first store, bumped per put
+        # (overwrites inflate it, sibling processes drift it), and
+        # resynced from a real scan whenever it crosses capacity.
+        self._approx_count: int | None = None
+
+    # ------------------------------------------------------------------
+    def _path(self, fp: str) -> Path:
+        return self.directory / f"{fp}{_SUFFIX}"
+
+    def _entry_paths(self) -> list[Path]:
+        # Temp files end in a different suffix, so this never counts a
+        # half-written entry.
+        return [
+            p for p in self.directory.iterdir() if p.name.endswith(_SUFFIX)
+        ]
+
+    # ------------------------------------------------------------------
+    def get(self, fp: str) -> CacheEntry | None:
+        """Look up a verdict, refreshing the file's mtime on a hit."""
+        path = self._path(fp)
+        try:
+            raw = json.loads(path.read_text("utf-8"))
+            if not isinstance(raw, dict) or raw.get("fp") != fp:
+                # Not an entry at all, or a payload filed under the wrong
+                # name (e.g. two writers racing): it must not serve
+                # another instance's verdict — UNSAT entries are trusted
+                # without revalidation.
+                raise ValueError("not this fingerprint's entry")
+            satisfiable = bool(raw["sat"])
+            # Materialize the model inside the try: a malformed "lits"
+            # value is one more corruption to self-heal, not a crash.
+            assignment = (
+                Assignment.from_literals(raw["lits"]) if satisfiable else None
+            )
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, CNFError):
+            # Torn or corrupt entry (including literals the Assignment
+            # constructor rejects): drop it and report a miss.
+            self._unlink(path)
+            self.stats.misses += 1
+            return None
+        try:
+            os.utime(path, None)            # refresh the LRU position
+        except OSError:
+            pass                            # raced with a sweep: still a hit
+        self.stats.hits += 1
+        return CacheEntry(
+            fingerprint=fp,
+            satisfiable=satisfiable,
+            assignment=assignment,
+            solver=raw.get("solver", ""),
+        )
+
+    def put(
+        self,
+        fp: str,
+        satisfiable: bool,
+        assignment: Assignment | None = None,
+        solver: str = "",
+    ) -> None:
+        """Store a verdict atomically (no-op when capacity is 0)."""
+        if self.max_entries <= 0:
+            return
+        if satisfiable and assignment is None:
+            raise ValueError("a satisfiable entry requires a model")
+        payload = json.dumps({
+            "fp": fp,
+            "sat": satisfiable,
+            "lits": list(assignment.to_literals()) if satisfiable else None,
+            "solver": solver,
+        })
+        # mkstemp guarantees a unique temp name even with many writers
+        # (threads or processes) sharing one directory; the os.replace
+        # into the final name is the atomic publish.
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".put-", suffix=_TMP_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._path(fp))
+        except BaseException:
+            self._unlink(Path(tmp))
+            raise
+        self.stats.stores += 1
+        if self._approx_count is None:
+            self._approx_count = len(self._entry_paths())
+        else:
+            self._approx_count += 1
+        # Only scan the directory when the (over-)estimate says we may be
+        # past capacity; the scan resyncs the estimate either way.
+        if self._approx_count > self.max_entries:
+            self._sweep()
+
+    def _sweep(self) -> None:
+        """Unlink oldest-mtime entries until back under capacity."""
+        paths = self._entry_paths()
+        self._approx_count = len(paths)
+        if len(paths) <= self.max_entries:
+            return
+        def _mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:               # raced with another sweep
+                return float("-inf")
+        paths.sort(key=_mtime)
+        for victim in paths[: len(paths) - self.max_entries]:
+            if self._unlink(victim):
+                self.stats.evictions += 1
+                self._approx_count -= 1
+
+    @staticmethod
+    def _unlink(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    def invalidate(self, fp: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        existed = self._unlink(self._path(fp))
+        if existed and self._approx_count is not None:
+            self._approx_count -= 1
+        return existed
+
+    def clear(self) -> None:
+        """Drop every entry, plus any orphaned temp file a crashed
+        writer left behind (statistics are kept)."""
+        for path in self.directory.iterdir():
+            if path.name.endswith((_SUFFIX, _TMP_SUFFIX)):
+                self._unlink(path)
+        self._approx_count = 0
+
+    def __contains__(self, fp: str) -> bool:
+        return self._path(fp).exists()
+
+    def __len__(self) -> int:
+        return len(self._entry_paths())

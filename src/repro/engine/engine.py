@@ -28,8 +28,8 @@ from typing import Iterable
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
-from repro.engine.cache import SolutionCache
-from repro.engine.config import SolverConfig
+from repro.engine.cache import CacheBackend, SolutionCache
+from repro.engine.config import EngineConfig, SolverConfig
 from repro.engine.fingerprint import fingerprint_v2
 from repro.engine.portfolio import DEFAULT_QUICK_SLICE, Portfolio
 from repro.engine.protocol import SAT, UNSAT, SolverOutcome
@@ -45,6 +45,7 @@ class EngineStats:
     races: int = 0               # portfolio races actually run
     solver_calls: int = 0        # solver runs that actually started
     batch_dedups: int = 0        # solve_many() queries answered intra-batch
+    transport_bytes: int = 0     # wire payload bytes shipped to race workers
 
 
 @dataclass
@@ -83,7 +84,10 @@ class PortfolioEngine:
     Args:
         configs: portfolio line-up override.
         jobs: process-pool width (``<= 1`` = in-process sequential race).
-        cache: shared :class:`SolutionCache` (a private one by default).
+        cache: shared :class:`~repro.engine.cache.CacheBackend` (a
+            private in-memory :class:`SolutionCache` by default; pass a
+            :class:`~repro.engine.diskcache.DiskCache` for persistence,
+            or build either via :meth:`from_config`).
         quick_slice: lead-solver in-process budget, see
             :class:`~repro.engine.portfolio.Portfolio`.
     """
@@ -92,12 +96,25 @@ class PortfolioEngine:
         self,
         configs: list[SolverConfig] | None = None,
         jobs: int | None = None,
-        cache: SolutionCache | None = None,
+        cache: CacheBackend | None = None,
         quick_slice: float = DEFAULT_QUICK_SLICE,
     ):
         self.portfolio = Portfolio(configs=configs, jobs=jobs, quick_slice=quick_slice)
         self.cache = cache if cache is not None else SolutionCache()
         self.stats = EngineStats()
+        self._closed = False
+
+    @classmethod
+    def from_config(cls, config: EngineConfig | None = None) -> "PortfolioEngine":
+        """Build an engine (pool width, line-up, cache backend) from an
+        :class:`~repro.engine.config.EngineConfig`."""
+        config = config if config is not None else EngineConfig()
+        return cls(
+            configs=list(config.configs) if config.configs is not None else None,
+            jobs=config.jobs,
+            cache=config.build_cache(),
+            quick_slice=config.quick_slice,
+        )
 
     # ------------------------------------------------------------------
     def solve(
@@ -165,6 +182,7 @@ class PortfolioEngine:
         # racers abandoned mid-run still count, so this is exact for the
         # zero-solver paths and an upper bound on completed runs.
         self.stats.solver_calls += result.executed
+        self.stats.transport_bytes += result.transport_bytes
         outcome = result.outcome
         if use_cache and outcome.is_definitive:
             self.cache.put(
@@ -253,8 +271,20 @@ class PortfolioEngine:
         """Pre-start the worker pool (benchmark hygiene)."""
         self.portfolio.warm_up()
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the engine stays queryable —
+        the pool is rebuilt lazily — but owners should not reuse it)."""
+        return self._closed
+
     def close(self) -> None:
-        """Release the worker pool."""
+        """Release the worker pool.
+
+        Idempotent: an explicit ``close()`` followed by the context
+        manager's ``__exit__`` (or any further close) is safe — the
+        second call finds no pool and does nothing.
+        """
+        self._closed = True
         self.portfolio.close()
 
     def __enter__(self) -> "PortfolioEngine":

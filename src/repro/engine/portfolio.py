@@ -43,11 +43,12 @@ from dataclasses import dataclass, field
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.packed import PackedCNF
-from repro.engine.config import SolverConfig, default_portfolio_configs
+from repro.engine.config import (
+    DEFAULT_QUICK_SLICE,
+    SolverConfig,
+    default_portfolio_configs,
+)
 from repro.engine.protocol import SAT, SolverOutcome, UNKNOWN, UNSAT
-
-#: Default in-process budget (seconds) for the lead solver before fan-out.
-DEFAULT_QUICK_SLICE = 0.05
 
 #: Worker-side cancellation event, installed by :func:`_init_worker`.
 _CANCEL = None

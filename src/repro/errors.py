@@ -67,3 +67,8 @@ class ChangeError(ECError):
 
 class PreservationError(ECError):
     """A preservation specification cannot be honoured."""
+
+
+class ServiceError(ReproError):
+    """A request to the :class:`~repro.service.SolverService` facade is
+    invalid (unknown session, bad strategy, closed service, ...)."""

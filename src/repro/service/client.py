@@ -1,0 +1,104 @@
+"""Thin client for a ``repro serve`` daemon.
+
+:class:`ServiceClient` mirrors the :class:`~repro.service.service.
+SolverService` surface over the wire — the same typed
+:class:`~repro.service.requests.SolveRequest` /
+:class:`~repro.service.requests.ChangeRequest` records go in, the same
+:class:`~repro.service.requests.SolveResponse` comes back — so code can
+switch between an in-process service and a daemon by swapping one
+object.  ``repro solve FILE --connect SOCKET`` is exactly this client.
+
+A by-value formula is shipped as the packed kernel's raw wire bytes
+(:meth:`~repro.cnf.packed.PackedCNF.to_bytes`): the daemon rebuilds the
+flat arrays with two C-level copies and never sees the client's object
+graph — the portfolio's worker transport, reused across the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ServiceError
+from repro.service.requests import ChangeRequest, SolveRequest, SolveResponse
+from repro.service.wire import (
+    change_request_to_wire,
+    recv_frame,
+    response_from_wire,
+    send_frame,
+    solve_request_to_wire,
+)
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.daemon.ServiceDaemon`.
+
+    Args:
+        socket_path: the daemon's Unix socket.
+        timeout: per-call socket timeout in seconds (None = block).
+    """
+
+    def __init__(self, socket_path: str, *, timeout: float | None = 60.0):
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix only
+            raise ServiceError("ServiceClient needs AF_UNIX sockets")
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(self.socket_path)
+        except OSError:
+            self._sock.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _call(self, header: dict, payload: bytes = b"") -> dict:
+        send_frame(self._sock, header, payload)
+        frame = recv_frame(self._sock)
+        if frame is None:
+            raise ServiceError("daemon closed the connection")
+        response, _ = frame
+        if not response.get("ok", False):
+            raise ServiceError(response.get("error", "daemon error"))
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness round trip."""
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """Route one solve request through the daemon."""
+        header, payload = solve_request_to_wire(request)
+        return response_from_wire(self._call(header, payload))
+
+    def change(self, request: ChangeRequest) -> SolveResponse:
+        """Route one change request through the daemon."""
+        return response_from_wire(self._call(change_request_to_wire(request)))
+
+    def close_session(self, name: str) -> bool:
+        """Drop a named session on the daemon."""
+        return bool(
+            self._call({"op": "close_session", "session": name}).get("existed")
+        )
+
+    def stats(self) -> dict:
+        """The daemon's engine/cache counter snapshot."""
+        return self._call({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (acknowledged before it exits)."""
+        self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never really fails
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

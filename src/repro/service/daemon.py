@@ -1,0 +1,231 @@
+"""``repro serve``: the :class:`SolverService` behind a local socket.
+
+The paper's EC loop — enable once, then absorb a stream of changes with
+cheap re-solves — is a long-lived service, not a batch tool: the value
+of the verdict cache, the warm process pool, and the per-session state
+compounds across requests.  :class:`ServiceDaemon` keeps one
+:class:`~repro.service.service.SolverService` alive behind a Unix domain
+socket speaking the length-prefixed JSON + packed-bytes frames of
+:mod:`repro.service.wire`, so any number of short-lived clients (``repro
+solve --connect``, :class:`~repro.service.client.ServiceClient`, or a
+foreign-language peer implementing the trivial frame format) share one
+pool and one cache.
+
+Protocol ops (one request frame -> one response frame per op, many ops
+per connection):
+
+``ping``
+    liveness check; answers ``{"ok": true, "pong": true}``.
+``solve``
+    a :class:`~repro.service.requests.SolveRequest` (instance in the
+    binary payload as packed wire bytes, or a server-side DIMACS path in
+    the header); with a ``session`` name it opens/re-queries a named
+    incremental session.
+``change``
+    a :class:`~repro.service.requests.ChangeRequest` against a named
+    session.
+``close_session``
+    drop one named session.
+``stats``
+    engine/cache counter snapshot.
+``shutdown``
+    acknowledge, then stop the accept loop and close the service.
+
+Errors are frames too — ``{"ok": false, "error": "..."}`` — a malformed
+request must never take the daemon down.  Pair it with the persistent
+disk cache backend (``repro serve --cache disk``) and verdicts survive
+daemon restarts: the second daemon over the same cache directory answers
+a repeated instance without any solver (the cross-process cache hit the
+round-trip test asserts).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+from repro.errors import ReproError, ServiceError
+from repro.service.service import SolverService
+from repro.service.wire import (
+    WireError,
+    change_request_from_wire,
+    recv_frame,
+    response_to_wire,
+    send_frame,
+    solve_request_from_wire,
+)
+
+
+class ServiceDaemon:
+    """Serve one :class:`SolverService` over a Unix domain socket.
+
+    Args:
+        socket_path: filesystem path to bind (a stale file is replaced).
+        service: the service to expose (a default one when omitted; the
+            daemon closes whatever it serves on shutdown).
+        log_path: append one line per handled op here (daemon forensics;
+            uploaded as a CI artifact when the service lane fails).
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        service: SolverService | None = None,
+        *,
+        log_path: str | None = None,
+    ):
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix only
+            raise ServiceError("repro serve needs AF_UNIX sockets")
+        self.socket_path = str(socket_path)
+        self.service = service if service is not None else SolverService()
+        self.log_path = log_path
+        self._listener: socket.socket | None = None
+        self._stop = threading.Event()
+        self._log_lock = threading.Lock()
+        self._conn_threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    def _log(self, line: str) -> None:
+        if self.log_path is None:
+            return
+        stamp = time.strftime("%H:%M:%S")
+        with self._log_lock:
+            with open(self.log_path, "a", encoding="utf-8") as fh:
+                fh.write(f"{stamp} {line}\n")
+
+    # ------------------------------------------------------------------
+    def bind(self) -> None:
+        """Bind and listen (separate from :meth:`serve_forever` so tests
+        and the CLI can report readiness before blocking)."""
+        if self._listener is not None:
+            return
+        try:
+            os.unlink(self.socket_path)
+        except FileNotFoundError:
+            pass
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(16)
+        # A short accept timeout keeps the loop responsive to shutdown()
+        # from another thread without busy-waiting.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._log(f"listening on {self.socket_path}")
+
+    def serve_forever(self) -> None:
+        """Accept-and-dispatch until :meth:`shutdown` (or a ``shutdown``
+        op) fires; then drain connections and close the service."""
+        self.bind()
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                thread.start()
+                # Keep only live handlers so a long-lived daemon's thread
+                # list stays bounded by its concurrent-connection count.
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
+        finally:
+            self._close_listener()
+            for thread in self._conn_threads:
+                thread.join(timeout=2.0)
+            self.service.close()
+            self._log("daemon stopped")
+
+    def start(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a background thread (tests)."""
+        self.bind()
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop the accept loop (idempotent; safe from any thread)."""
+        self._stop.set()
+
+    def _close_listener(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            finally:
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    frame = recv_frame(conn)
+                except WireError as exc:
+                    self._log(f"wire error: {exc}")
+                    self._try_send(conn, {"ok": False, "error": str(exc)})
+                    return
+                if frame is None:
+                    return
+                header, payload = frame
+                op = header.get("op", "")
+                t0 = time.perf_counter()
+                try:
+                    response, stop_after = self._dispatch(op, header, payload)
+                except ReproError as exc:
+                    response, stop_after = {"ok": False, "error": str(exc)}, False
+                except Exception as exc:  # a bug must not kill the daemon
+                    response, stop_after = (
+                        {"ok": False, "error": f"internal error: {exc!r}"},
+                        False,
+                    )
+                wall = time.perf_counter() - t0
+                self._log(
+                    f"op={op} ok={response.get('ok')} "
+                    f"status={response.get('status', '-')} "
+                    f"source={response.get('source', '-')} wall={wall:.4f}s"
+                )
+                if not self._try_send(conn, response):
+                    return
+                if stop_after:
+                    self.shutdown()
+                    return
+
+    def _dispatch(
+        self, op: str, header: dict, payload: bytes
+    ) -> tuple[dict, bool]:
+        """(response header, stop-after) for one op."""
+        if op == "ping":
+            return {"ok": True, "pong": True}, False
+        if op == "solve":
+            request = solve_request_from_wire(header, payload)
+            return response_to_wire(self.service.solve(request)), False
+        if op == "change":
+            request = change_request_from_wire(header)
+            return response_to_wire(self.service.change(request)), False
+        if op == "close_session":
+            existed = self.service.close_session(header.get("session", ""))
+            return {"ok": True, "existed": existed}, False
+        if op == "stats":
+            return {"ok": True, "stats": self.service.stats()}, False
+        if op == "shutdown":
+            return {"ok": True, "stopping": True}, True
+        raise ServiceError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _try_send(conn: socket.socket, header: dict) -> bool:
+        try:
+            send_frame(conn, header)
+            return True
+        except OSError:
+            return False

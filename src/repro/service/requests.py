@@ -1,0 +1,176 @@
+"""Typed request/response records for the :class:`SolverService` facade.
+
+Every front door of the repo — the Figure-1 :class:`~repro.core.flow.
+ECFlow`, the :class:`~repro.engine.session.IncrementalSession`, the CLI,
+and the ``repro serve`` daemon — speaks these three records instead of
+its own argument shapes:
+
+* :class:`SolveRequest` — one satisfiability query.  The formula arrives
+  **by value** (a :class:`~repro.cnf.formula.CNFFormula`), as a DIMACS
+  path the service reads, or as the packed kernel's wire bytes
+  (:meth:`~repro.cnf.packed.PackedCNF.to_bytes` — what a remote client
+  ships); exactly one source must be set.  ``strategy`` picks the route
+  (the portfolio engine, the paper's ILP encoding, or any single named
+  solver), ``session`` scopes the query to a named incremental session.
+* :class:`ChangeRequest` — one engineering-change batch against a named
+  session: apply the :class:`~repro.core.change.ChangeSet`, then re-solve
+  under the session's §5 policy (``ec_mode="auto"``: loosening batches
+  revalidate in O(1), tightening batches race with CDCL promoted) or
+  force a full engine query (``ec_mode="force"``).
+* :class:`SolveResponse` — the uniform answer: tri-state ``status``, the
+  model, fingerprint, and provenance (source/winner/from_cache).  A
+  proven-UNSAT or undecided query is a *response*, never an exception —
+  the service is a serving layer; the session/flow shims re-raise
+  :class:`~repro.errors.ECError` for their legacy contracts.
+
+All three are frozen: a request can be retried, logged, or shipped over
+the wire without defensive copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.core.change import ChangeSet
+from repro.engine.protocol import SAT, UNSAT
+
+#: Strategy selector for the paper's SAT -> set-cover -> ILP route.
+ILP_STRATEGY = "ilp"
+#: Strategy selector for the cached parallel portfolio (the default).
+PORTFOLIO_STRATEGY = "portfolio"
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One satisfiability query (see the module docstring).
+
+    Attributes:
+        formula: the instance by value.
+        dimacs_path: ... or a DIMACS file the service reads.
+        packed_bytes: ... or the packed kernel's wire bytes.
+        strategy: ``"portfolio"`` (default), ``"ilp"``, or a single
+            solver name (``cdcl``/``dpll``/``walksat``/``brute``/
+            ``ilp-exact``/``ilp-heuristic``).
+        method: ILP method (only with ``strategy="ilp"``).
+        deadline: wall-clock budget in seconds.
+        seed: race seed for randomized solvers.
+        use_cache: bypass the verdict cache when False.
+        lead: per-race lead-solver override (portfolio strategy only).
+        hint: previous solution to revalidate / warm-start from
+            (stateless requests only — a session-scoped request always
+            uses the session's own solution and rejects a caller hint).
+        session: name of the incremental session to route through — a
+            new session is opened when the request carries a formula
+            source, an existing one is re-queried when it does not.
+    """
+
+    formula: CNFFormula | None = None
+    dimacs_path: str | None = None
+    packed_bytes: bytes | None = None
+    strategy: str = PORTFOLIO_STRATEGY
+    method: str = "exact"
+    deadline: float | None = None
+    seed: int | None = None
+    use_cache: bool = True
+    lead: str | None = None
+    hint: Assignment | None = None
+    session: str | None = None
+
+    def __post_init__(self) -> None:
+        sources = sum(
+            x is not None
+            for x in (self.formula, self.dimacs_path, self.packed_bytes)
+        )
+        if sources > 1:
+            raise ValueError(
+                "SolveRequest takes at most one formula source "
+                "(formula | dimacs_path | packed_bytes)"
+            )
+        if sources == 0 and self.session is None:
+            raise ValueError(
+                "SolveRequest needs a formula source or a session name"
+            )
+
+    @property
+    def has_source(self) -> bool:
+        """Whether any formula source is set."""
+        return (
+            self.formula is not None
+            or self.dimacs_path is not None
+            or self.packed_bytes is not None
+        )
+
+
+#: Recognized :class:`ChangeRequest` execution modes.
+EC_MODES = ("auto", "force")
+
+
+@dataclass(frozen=True)
+class ChangeRequest:
+    """One engineering-change batch against a named session.
+
+    Attributes:
+        session: the session to mutate (must exist).
+        changes: the typed change batch to apply.
+        deadline/seed: forwarded to the re-solve.
+        ec_mode: ``"auto"`` (the session's §5 policy: revalidate
+            loosening batches without any solver, race tightening ones)
+            or ``"force"`` (always run a full engine query — cache,
+            hint revalidation, race — after applying the batch).
+    """
+
+    session: str
+    changes: ChangeSet
+    deadline: float | None = None
+    seed: int | None = None
+    ec_mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.ec_mode not in EC_MODES:
+            raise ValueError(
+                f"unknown ec_mode {self.ec_mode!r} (expected one of {EC_MODES})"
+            )
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """The uniform answer to a solve or change request.
+
+    ``status`` is tri-state (``"sat"`` / ``"unsat"`` / ``"unknown"``);
+    ``source`` names what answered (``cache``, ``revalidation``, a
+    winning solver, ``batch-dedup``, ...), ``winner`` the racer credited
+    with a decided race, and ``regime`` the §5 classification of the
+    change batch that triggered a re-solve (change responses only).
+    """
+
+    status: str
+    assignment: Assignment | None = None
+    fingerprint: str = ""
+    source: str = ""
+    winner: str | None = None
+    wall_time: float = 0.0
+    from_cache: bool = False
+    session: str | None = None
+    regime: str = ""
+    detail: str = ""
+
+    @property
+    def satisfiable(self) -> bool | None:
+        """Tri-state satisfiability (None = undecided)."""
+        if self.status == SAT:
+            return True
+        if self.status == UNSAT:
+            return False
+        return None
+
+    def with_context(self, *, session: str | None = None,
+                     regime: str | None = None) -> "SolveResponse":
+        """Copy with session/regime context filled in."""
+        updates: dict = {}
+        if session is not None:
+            updates["session"] = session
+        if regime is not None:
+            updates["regime"] = regime
+        return replace(self, **updates) if updates else self

@@ -1,0 +1,502 @@
+"""The :class:`SolverService` facade: one typed front door for everything.
+
+Before this layer the repo had three overlapping entry points —
+``ECFlow.resolve``, ``PortfolioEngine.solve``/``solve_many``, and
+``IncrementalSession`` — each with its own argument shapes and lifecycle
+rules.  ``SolverService`` is the single facade they all route through::
+
+    SolveRequest / ChangeRequest
+             │
+             ▼
+       SolverService ── submit() → PendingSolve (async queries)
+        │         │
+        │         ├── named IncrementalSessions (multi-tenant)
+        │         ▼
+        │   one shared PortfolioEngine
+        │         │
+        │     CacheBackend (in-memory LRU │ persistent disk)
+        ▼
+     SolveResponse
+
+Design points:
+
+* **one pool, many tenants** — the service owns a single
+  :class:`~repro.engine.engine.PortfolioEngine` (built from an
+  :class:`~repro.engine.config.EngineConfig`, or injected); every named
+  session and every stateless query shares its process pool, verdict
+  cache, and statistics, so N concurrent EC streams cost one pool, not N;
+* **requests, not call shapes** — callers hand over frozen
+  :class:`~repro.service.requests.SolveRequest` /
+  :class:`~repro.service.requests.ChangeRequest` records; the paper's
+  enable → change → re-solve loop (§5–§7) becomes a stream of such
+  records against a long-lived service, which is exactly what the
+  ``repro serve`` daemon (:mod:`repro.service.daemon`) exposes over a
+  socket;
+* **serving layer semantics** — UNSAT and undecided are *responses*
+  (tri-state ``status``), never exceptions; the legacy
+  ``ECFlow``/``IncrementalSession`` shims re-raise
+  :class:`~repro.errors.ECError` on top for their old contracts;
+* **serialized engine, concurrent submission** — engine access is
+  guarded by one re-entrant lock (the portfolio's cancellation event is
+  per-race state, so interleaved races would corrupt each other);
+  :meth:`SolverService.submit` queues requests on a small thread pool
+  and returns a future-like :class:`PendingSolve`, the seed of the
+  async query API.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Iterable
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.packed import PackedCNF
+from repro.engine.config import EngineConfig
+from repro.engine.engine import EngineResult, PortfolioEngine
+from repro.engine.protocol import SAT, UNKNOWN, UNSAT
+from repro.errors import ServiceError
+from repro.service.requests import (
+    ChangeRequest,
+    ILP_STRATEGY,
+    PORTFOLIO_STRATEGY,
+    SolveRequest,
+    SolveResponse,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from repro.engine.session import IncrementalSession
+
+
+def response_from_engine(result: EngineResult) -> SolveResponse:
+    """Map an :class:`EngineResult` onto the service's response record."""
+    return SolveResponse(
+        status=result.status,
+        assignment=result.assignment,
+        fingerprint=result.fingerprint,
+        source=result.source,
+        winner=result.winner,
+        wall_time=result.wall_time,
+        from_cache=result.from_cache,
+        detail=result.outcome.detail if result.outcome is not None else "",
+    )
+
+
+class PendingSolve:
+    """A future-like handle for a request accepted by :meth:`SolverService.submit`.
+
+    Wraps a :class:`concurrent.futures.Future`; the result is always a
+    :class:`SolveResponse` (service-layer errors surface from
+    :meth:`result` as exceptions, exactly like the synchronous calls).
+    """
+
+    def __init__(self, future):
+        self._future = future
+
+    def done(self) -> bool:
+        """Whether the response (or an error) is ready."""
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Try to cancel before execution starts."""
+        return self._future.cancel()
+
+    def result(self, timeout: float | None = None) -> SolveResponse:
+        """Block for the response (raises what the request raised)."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        """The exception the request raised, if any."""
+        return self._future.exception(timeout)
+
+
+class SolverService:
+    """One typed request/response API over flow, engine, and sessions.
+
+    Args:
+        config: engine-level configuration (pool width, quick slice,
+            line-up, cache backend); a default one when omitted.
+        engine: inject an existing engine instead of building one —
+            the service then *shares* it and will not close it.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        engine: PortfolioEngine | None = None,
+    ):
+        self.config = config if config is not None else EngineConfig()
+        if engine is not None:
+            self.engine = engine
+            self._owns_engine = False
+        else:
+            self.engine = PortfolioEngine.from_config(self.config)
+            self._owns_engine = True
+        self._sessions: dict[str, "IncrementalSession"] = {}
+        # One re-entrant lock serializes engine access (races are not
+        # interleavable) and session-table mutation; re-entrant because a
+        # session routed through change() calls back into query().
+        self._lock = threading.RLock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+        # True while close() drains queued submissions: new requests are
+        # rejected, but the queued ones still execute (and _check_open
+        # must keep letting them through until the drain finishes).
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # the engine-level primitive every route funnels through
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        formula: CNFFormula,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        hint=None,
+        use_cache: bool = True,
+        lead: str | None = None,
+    ) -> SolveResponse:
+        """One serialized query against the shared engine.
+
+        This is the single point where the facade touches
+        :meth:`PortfolioEngine.solve`; sessions and the flow shim call
+        it instead of holding their own engines.
+        """
+        self._check_open()
+        with self._lock:
+            result = self.engine.solve(
+                formula, deadline=deadline, seed=seed, hint=hint,
+                use_cache=use_cache, lead=lead,
+            )
+        return response_from_engine(result)
+
+    # ------------------------------------------------------------------
+    # the typed front door
+    # ------------------------------------------------------------------
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """Answer one :class:`SolveRequest` (see the module docstring).
+
+        Raises:
+            ServiceError: on an unknown strategy, a session mismatch, or
+                a closed service.  UNSAT/undecided are *responses*.
+        """
+        self._check_open()
+        if request.session is not None:
+            return self._solve_in_session(request)
+        formula = self._materialize(request)
+        if request.strategy == PORTFOLIO_STRATEGY:
+            return self.query(
+                formula,
+                deadline=request.deadline,
+                seed=request.seed,
+                hint=request.hint,
+                use_cache=request.use_cache,
+                lead=request.lead,
+            )
+        if request.strategy == ILP_STRATEGY:
+            return self._solve_ilp(formula, request)
+        return self._solve_single(formula, request)
+
+    def change(self, request: ChangeRequest) -> SolveResponse:
+        """Apply a change batch to a named session and re-solve.
+
+        ``ec_mode="auto"`` runs the session's §5 policy (loosening
+        batches revalidate without any solver, tightening batches race
+        with CDCL promoted); ``ec_mode="force"`` always runs a full
+        engine query after applying the batch.
+
+        Raises:
+            ServiceError: unknown session or closed service.
+            ChangeError: the batch is invalid for the session's formula.
+        """
+        self._check_open()
+        with self._lock:
+            session = self._session(request.session)
+            regime = session.apply_changes(request.changes)
+            if request.ec_mode == "force":
+                response = session.query(
+                    deadline=request.deadline, seed=request.seed
+                )
+            else:
+                response = session.resolve_query(
+                    deadline=request.deadline, seed=request.seed
+                )
+        return response.with_context(session=request.session, regime=regime)
+
+    def submit(
+        self, request: SolveRequest | ChangeRequest
+    ) -> PendingSolve:
+        """Queue a request for asynchronous execution.
+
+        Engine access stays serialized (see the class docstring), so
+        submission is about pipelining — callers enqueue a stream of
+        requests and collect :class:`PendingSolve` handles instead of
+        blocking per call.
+        """
+        with self._lock:
+            # Checked under the lock so a submit racing close() can
+            # neither enqueue after the drain started nor resurrect the
+            # executor close() just handed off.
+            if self._closed or self._draining:
+                raise ServiceError("service is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(1, self.config.submit_workers),
+                    thread_name_prefix="repro-service",
+                )
+            executor = self._executor
+            fn = self.change if isinstance(request, ChangeRequest) else self.solve
+            return PendingSolve(executor.submit(fn, request))
+
+    def solve_many(
+        self,
+        formulas: Iterable[CNFFormula],
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        use_cache: bool = True,
+        lead: str | None = None,
+    ) -> list[SolveResponse]:
+        """Batch entry point: one shared pool, intra-batch fp dedup.
+
+        Wraps :meth:`PortfolioEngine.solve_many` under the service lock
+        and maps each result to a :class:`SolveResponse` (in input
+        order).
+        """
+        self._check_open()
+        with self._lock:
+            results = self.engine.solve_many(
+                formulas, deadline=deadline, seed=seed,
+                use_cache=use_cache, lead=lead,
+            )
+        return [response_from_engine(r) for r in results]
+
+    # ------------------------------------------------------------------
+    # named sessions: many tenants, one pool
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        name: str,
+        formula: CNFFormula,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        use_cache: bool = True,
+        lead: str | None = None,
+    ) -> SolveResponse:
+        """Create a named session over the shared engine and solve it.
+
+        The initial solve's verdict comes back as the response; the
+        session exists afterwards either way (a caller may loosen an
+        UNSAT instance into satisfiability through change requests).
+
+        Raises:
+            ServiceError: the name is already taken or the service is
+                closed.
+        """
+        from repro.engine.session import IncrementalSession
+
+        self._check_open()
+        with self._lock:
+            if name in self._sessions:
+                raise ServiceError(f"session {name!r} already exists")
+            session = IncrementalSession(formula, service=self)
+            self._sessions[name] = session
+            response = session.query(
+                deadline=deadline, seed=seed, use_cache=use_cache, lead=lead
+            )
+        return response.with_context(session=name)
+
+    def close_session(self, name: str) -> bool:
+        """Drop a named session (the shared engine stays up)."""
+        with self._lock:
+            session = self._sessions.pop(name, None)
+        if session is None:
+            return False
+        session.close()
+        return True
+
+    def session(self, name: str) -> "IncrementalSession":
+        """The named session (raises :class:`ServiceError` if unknown)."""
+        with self._lock:
+            return self._session(name)
+
+    def _session(self, name: str) -> "IncrementalSession":
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise ServiceError(f"unknown session {name!r}") from None
+
+    @property
+    def session_names(self) -> tuple[str, ...]:
+        """Names of the live sessions, sorted."""
+        with self._lock:
+            return tuple(sorted(self._sessions))
+
+    def _solve_in_session(self, request: SolveRequest) -> SolveResponse:
+        if request.strategy != PORTFOLIO_STRATEGY:
+            raise ServiceError(
+                "session-scoped requests ride the shared portfolio engine; "
+                f"got strategy {request.strategy!r}"
+            )
+        if request.hint is not None:
+            raise ServiceError(
+                "session-scoped requests use the session's own solution as "
+                "the hint; drop the request hint"
+            )
+        name = request.session
+        with self._lock:
+            if name not in self._sessions:
+                if not request.has_source:
+                    raise ServiceError(f"unknown session {name!r}")
+                return self.open_session(
+                    name,
+                    self._materialize(request),
+                    deadline=request.deadline,
+                    seed=request.seed,
+                    use_cache=request.use_cache,
+                    lead=request.lead,
+                )
+            if request.has_source:
+                raise ServiceError(
+                    f"session {name!r} already exists; send a ChangeRequest "
+                    "to modify it or a sourceless request to re-query it"
+                )
+            session = self._sessions[name]
+            response = session.query(
+                deadline=request.deadline, seed=request.seed,
+                use_cache=request.use_cache, lead=request.lead,
+            )
+        return response.with_context(session=name)
+
+    # ------------------------------------------------------------------
+    # non-portfolio strategies
+    # ------------------------------------------------------------------
+    def _solve_single(
+        self, formula: CNFFormula, request: SolveRequest
+    ) -> SolveResponse:
+        """Run one named solver adapter under the uniform contract."""
+        from repro.engine.adapters import ADAPTERS, build_adapter
+
+        if request.strategy not in ADAPTERS:
+            raise ServiceError(
+                f"unknown strategy {request.strategy!r} (expected "
+                f"'portfolio', 'ilp', or one of {sorted(ADAPTERS)})"
+            )
+        adapter = build_adapter(request.strategy)
+        outcome = adapter.solve(
+            formula, deadline=request.deadline, seed=request.seed,
+            hint=request.hint,
+        )
+        return SolveResponse(
+            status=outcome.status,
+            assignment=outcome.assignment,
+            source=adapter.name,
+            winner=adapter.name if outcome.status in (SAT, UNSAT) else None,
+            wall_time=outcome.wall_time,
+            detail=outcome.detail,
+        )
+
+    def _solve_ilp(
+        self, formula: CNFFormula, request: SolveRequest
+    ) -> SolveResponse:
+        """The paper's SAT -> set-cover -> 0-1 ILP route."""
+        import time
+
+        from repro.ilp.solver import solve
+        from repro.ilp.status import SolveStatus
+        from repro.sat.encoding import encode_sat
+
+        t0 = time.perf_counter()
+        encoding = encode_sat(formula)
+        solution = solve(
+            encoding.model, method=request.method,
+            deadline=request.deadline, seed=request.seed,
+        )
+        wall = time.perf_counter() - t0
+        if solution.status is SolveStatus.INFEASIBLE:
+            return SolveResponse(
+                UNSAT, source="ilp", winner="ilp", wall_time=wall,
+                detail=solution.status.value,
+            )
+        if not solution.status.has_solution:
+            return SolveResponse(
+                UNKNOWN, source="ilp", wall_time=wall,
+                detail=solution.status.value,
+            )
+        return SolveResponse(
+            SAT,
+            assignment=encoding.decode(solution, default=False),
+            source="ilp",
+            winner="ilp",
+            wall_time=wall,
+            detail=solution.status.value,
+        )
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _materialize(self, request: SolveRequest) -> CNFFormula:
+        """The request's formula, whichever source carried it."""
+        if request.formula is not None:
+            return request.formula
+        if request.packed_bytes is not None:
+            return PackedCNF.from_bytes(request.packed_bytes).to_formula()
+        if request.dimacs_path is not None:
+            from repro.cnf.dimacs import read_dimacs
+
+            return read_dimacs(request.dimacs_path)
+        raise ServiceError("request carries no formula source")
+
+    def stats(self) -> dict:
+        """Engine + cache counters as one JSON-able snapshot."""
+        cache = self.engine.cache
+        return {
+            "engine": asdict(self.engine.stats),
+            "cache": {**asdict(cache.stats), "hit_rate": cache.stats.hit_rate,
+                      "entries": len(cache)},
+            "sessions": list(self.session_names),
+        }
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the service down (idempotent).
+
+        Drains the submission executor — already-queued
+        :class:`PendingSolve` requests still complete; only *new*
+        requests are rejected — then drops every session and closes the
+        engine's pool, but only when the service built that engine; an
+        injected engine belongs to its creator.
+        """
+        with self._lock:
+            if self._closed or self._draining:
+                return
+            self._draining = True
+            executor, self._executor = self._executor, None
+        # Drain outside the lock: the queued requests need it to run.
+        if executor is not None:
+            executor.shutdown(wait=True)
+        with self._lock:
+            self._closed = True
+            sessions, self._sessions = dict(self._sessions), {}
+        for session in sessions.values():
+            session.close()
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

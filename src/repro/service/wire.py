@@ -1,0 +1,247 @@
+"""Length-prefixed JSON + packed-bytes framing for ``repro serve``.
+
+One frame = a JSON header plus an optional binary payload::
+
+    header_len  u32 little-endian
+    header      UTF-8 JSON, header_len bytes
+    payload_len u32 little-endian
+    payload     payload_len raw bytes (the packed kernel's wire format)
+
+The header carries everything JSON can say cheaply (op, strategy,
+deadline, seed, literals of a model or hint, serialized change batches);
+the payload carries the one thing it cannot — a CNF instance — as
+:meth:`~repro.cnf.packed.PackedCNF.to_bytes` raw-array bytes, the same
+zero-object-graph transport the portfolio already ships to race workers.
+A frame with no instance has ``payload_len == 0``.
+
+This module also owns the JSON codecs for the typed records in
+:mod:`repro.service.requests` and for :class:`~repro.core.change.
+ChangeSet` batches, so the client and the daemon cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.core.change import (
+    AddClause,
+    AddVariable,
+    ChangeSet,
+    RemoveClause,
+    RemoveVariable,
+)
+from repro.errors import ReproError
+from repro.service.requests import ChangeRequest, SolveRequest, SolveResponse
+
+#: Sanity cap on header/payload sizes (a corrupt length prefix must not
+#: make the reader try to allocate gigabytes).
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+_LEN = struct.Struct("<I")
+
+
+class WireError(ReproError):
+    """A malformed frame or an unserializable record."""
+
+
+# ----------------------------------------------------------------------
+# frame transport
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, header: dict, payload: bytes = b"") -> None:
+    """Send one frame (header JSON + optional binary payload)."""
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_LEN.pack(len(raw)) + raw + _LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly *n* bytes, or None on a clean EOF at a frame start."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(65536, n - got))
+        if not chunk:
+            if got == 0:
+                return None
+            raise WireError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, bytes] | None:
+    """Receive one frame; None when the peer closed between frames."""
+    raw_len = _recv_exact(sock, _LEN.size)
+    if raw_len is None:
+        return None
+    (header_len,) = _LEN.unpack(raw_len)
+    if header_len > MAX_FRAME_BYTES:
+        raise WireError(f"header length {header_len} exceeds the frame cap")
+    header_raw = _recv_exact(sock, header_len)
+    if header_raw is None:
+        raise WireError("connection closed before the frame header")
+    try:
+        header = json.loads(header_raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise WireError("frame header must be a JSON object")
+    raw_len = _recv_exact(sock, _LEN.size)
+    if raw_len is None:
+        raise WireError("connection closed before the payload length")
+    (payload_len,) = _LEN.unpack(raw_len)
+    if payload_len > MAX_FRAME_BYTES:
+        raise WireError(f"payload length {payload_len} exceeds the frame cap")
+    payload = b"" if payload_len == 0 else _recv_exact(sock, payload_len)
+    if payload is None:
+        raise WireError("connection closed before the payload")
+    return header, payload
+
+
+# ----------------------------------------------------------------------
+# ChangeSet codec
+# ----------------------------------------------------------------------
+def changes_to_wire(changes: ChangeSet) -> list[dict]:
+    """Serialize a typed change batch to JSON-able operations."""
+    ops: list[dict] = []
+    for change in changes:
+        if isinstance(change, AddClause):
+            ops.append({"kind": "add-clause", "lits": list(change.clause.literals)})
+        elif isinstance(change, RemoveClause):
+            ops.append({"kind": "remove-clause", "lits": list(change.clause.literals)})
+        elif isinstance(change, AddVariable):
+            ops.append({"kind": "add-var", "var": change.var})
+        elif isinstance(change, RemoveVariable):
+            ops.append({"kind": "remove-var", "var": change.var})
+        else:  # pragma: no cover - the Change union is closed today
+            raise WireError(f"unserializable change {change!r}")
+    return ops
+
+
+def changes_from_wire(ops: list[dict]) -> ChangeSet:
+    """Rebuild a :class:`ChangeSet` from wire operations."""
+    changes = ChangeSet()
+    for op in ops:
+        kind = op.get("kind")
+        if kind == "add-clause":
+            changes.add(AddClause(Clause(op["lits"])))
+        elif kind == "remove-clause":
+            changes.add(RemoveClause(Clause(op["lits"])))
+        elif kind == "add-var":
+            changes.add(AddVariable(op.get("var")))
+        elif kind == "remove-var":
+            changes.add(RemoveVariable(op["var"]))
+        else:
+            raise WireError(f"unknown change kind {kind!r}")
+    return changes
+
+
+# ----------------------------------------------------------------------
+# request / response codecs
+# ----------------------------------------------------------------------
+def solve_request_to_wire(request: SolveRequest) -> tuple[dict, bytes]:
+    """(header, payload) for a solve request.
+
+    A by-value formula is shipped as its packed kernel's wire bytes — the
+    caller-side object graph never crosses the socket.
+    """
+    payload = b""
+    if request.formula is not None:
+        payload = request.formula.packed().to_bytes()
+    elif request.packed_bytes is not None:
+        payload = request.packed_bytes
+    header = {
+        "op": "solve",
+        "strategy": request.strategy,
+        "method": request.method,
+        "deadline": request.deadline,
+        "seed": request.seed,
+        "use_cache": request.use_cache,
+        "lead": request.lead,
+        "hint": (
+            list(request.hint.to_literals()) if request.hint is not None else None
+        ),
+        "session": request.session,
+        "dimacs_path": request.dimacs_path,
+    }
+    return header, payload
+
+
+def solve_request_from_wire(header: dict, payload: bytes) -> SolveRequest:
+    """Rebuild a :class:`SolveRequest` on the daemon side."""
+    hint = header.get("hint")
+    return SolveRequest(
+        packed_bytes=payload or None,
+        dimacs_path=header.get("dimacs_path"),
+        strategy=header.get("strategy", "portfolio"),
+        method=header.get("method", "exact"),
+        deadline=header.get("deadline"),
+        seed=header.get("seed"),
+        use_cache=bool(header.get("use_cache", True)),
+        lead=header.get("lead"),
+        hint=Assignment.from_literals(hint) if hint is not None else None,
+        session=header.get("session"),
+    )
+
+
+def change_request_to_wire(request: ChangeRequest) -> dict:
+    """Header for a change request (changes ride the header as JSON)."""
+    return {
+        "op": "change",
+        "session": request.session,
+        "changes": changes_to_wire(request.changes),
+        "deadline": request.deadline,
+        "seed": request.seed,
+        "ec_mode": request.ec_mode,
+    }
+
+
+def change_request_from_wire(header: dict) -> ChangeRequest:
+    """Rebuild a :class:`ChangeRequest` on the daemon side."""
+    return ChangeRequest(
+        session=header["session"],
+        changes=changes_from_wire(header.get("changes", [])),
+        deadline=header.get("deadline"),
+        seed=header.get("seed"),
+        ec_mode=header.get("ec_mode", "auto"),
+    )
+
+
+def response_to_wire(response: SolveResponse) -> dict:
+    """Header for a response frame."""
+    return {
+        "ok": True,
+        "status": response.status,
+        "literals": (
+            list(response.assignment.to_literals())
+            if response.assignment is not None else None
+        ),
+        "fingerprint": response.fingerprint,
+        "source": response.source,
+        "winner": response.winner,
+        "wall_time": response.wall_time,
+        "from_cache": response.from_cache,
+        "session": response.session,
+        "regime": response.regime,
+        "detail": response.detail,
+    }
+
+
+def response_from_wire(header: dict) -> SolveResponse:
+    """Rebuild a :class:`SolveResponse` on the client side."""
+    lits = header.get("literals")
+    return SolveResponse(
+        status=header["status"],
+        assignment=Assignment.from_literals(lits) if lits is not None else None,
+        fingerprint=header.get("fingerprint", ""),
+        source=header.get("source", ""),
+        winner=header.get("winner"),
+        wall_time=float(header.get("wall_time", 0.0)),
+        from_cache=bool(header.get("from_cache", False)),
+        session=header.get("session"),
+        regime=header.get("regime", ""),
+        detail=header.get("detail", ""),
+    )

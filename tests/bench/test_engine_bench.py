@@ -59,3 +59,27 @@ class TestUnsatRows:
         row = VersusRow("x", 10, 20, dpll=0.1, cdcl=0.01, cdcl_speedup=10.0)
         table = format_versus_table([row], "unsat-family")
         assert "x" in table and "10.0x" in table
+
+
+class TestServiceExperiment:
+    def test_bench_service_smoke(self):
+        """Experiment 8 at toy sizes: the disk-backed re-solve path must
+        be hit-only, and the shared-pool path must race once per tenant
+        (the loosening re-solves are revalidated, never raced)."""
+        from repro.bench.engine import bench_service
+        from repro.bench.registry import BenchInstance
+        from repro.cnf.generators import random_planted_ksat
+
+        instances = []
+        for i in range(2):
+            f, w = random_planted_ksat(10, 30, rng=50 + i)
+            instances.append(
+                BenchInstance(f"svc-{i}", "ci", f, w, "planted")
+            )
+        result = bench_service(instances, jobs=1, seed=0)
+        assert result["sessions"] == 2
+        assert result["disk_hits"] == 2
+        assert result["shared_wall"] > 0 and result["disk_speedup"] > 0
+        # One race per tenant's initial solve; the loosening change is
+        # answered by the session's O(1) revalidation path.
+        assert result["shared_races"] == 2

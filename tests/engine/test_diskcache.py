@@ -1,0 +1,162 @@
+"""DiskCache: the persistent fingerprint-keyed verdict backend."""
+
+import json
+import os
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+from repro.engine.cache import CacheBackend, SolutionCache
+from repro.engine.diskcache import DiskCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache", max_entries=8)
+
+
+def _model(*lits):
+    return Assignment.from_literals(lits)
+
+
+class TestProtocol:
+    def test_both_backends_satisfy_the_protocol(self, cache):
+        assert isinstance(cache, CacheBackend)
+        assert isinstance(SolutionCache(), CacheBackend)
+
+
+class TestRoundTrip:
+    def test_sat_entry_round_trips(self, cache):
+        cache.put("fp1", True, _model(1, -2, 3), solver="cdcl")
+        entry = cache.get("fp1")
+        assert entry.satisfiable
+        assert entry.assignment.as_dict() == {1: True, 2: False, 3: True}
+        assert entry.solver == "cdcl"
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_unsat_entry_round_trips(self, cache):
+        cache.put("fp2", False)
+        entry = cache.get("fp2")
+        assert not entry.satisfiable
+        assert entry.assignment is None
+
+    def test_miss_counts(self, cache):
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1
+
+    def test_served_model_is_a_copy(self, cache):
+        cache.put("fp", True, _model(1))
+        first = cache.get("fp").assignment
+        first.flip(1)
+        assert cache.get("fp").assignment[1] is True
+
+    def test_sat_without_model_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.put("fp", True, None)
+
+    def test_contains_len_invalidate_clear(self, cache):
+        cache.put("a", True, _model(1))
+        cache.put("b", False)
+        assert "a" in cache and "b" in cache and len(cache) == 2
+        assert cache.invalidate("a") and not cache.invalidate("a")
+        cache.clear()
+        assert len(cache) == 0 and "b" not in cache
+
+
+class TestPersistence:
+    def test_verdicts_survive_a_new_instance_over_the_same_dir(self, tmp_path):
+        # The process-restart story: a second backend (a restarted
+        # daemon) over the same directory serves the first one's work.
+        first = DiskCache(tmp_path / "c")
+        first.put("fp", True, _model(1, 2), solver="cdcl")
+        second = DiskCache(tmp_path / "c")
+        entry = second.get("fp")
+        assert entry.satisfiable and entry.solver == "cdcl"
+
+    def test_corrupt_entry_is_a_self_healing_miss(self, cache):
+        cache.put("fp", True, _model(1))
+        path = next(p for p in (cache.directory).iterdir())
+        path.write_text("{not json", "utf-8")
+        assert cache.get("fp") is None
+        assert len(cache) == 0            # the torn file was unlinked
+
+    @pytest.mark.parametrize("payload", [
+        "null",                                      # JSON, but not a dict
+        '{"fp": "fp", "sat": true, "lits": "abc"}',  # unusable model type
+        '{"fp": "fp", "sat": true, "lits": null}',   # sat without a model
+        '{"fp": "fp", "sat": true, "lits": [0]}',    # invalid literal
+        '{"fp": "fp"}',                              # missing verdict
+    ])
+    def test_every_corruption_shape_is_a_self_healing_miss(self, cache, payload):
+        (cache.directory / "fp.json").write_text(payload, "utf-8")
+        assert cache.get("fp") is None
+        assert "fp" not in cache          # unlinked, so no repeat crash
+        # ... and the slot is immediately reusable.
+        cache.put("fp", False)
+        assert cache.get("fp").satisfiable is False
+
+    def test_mismatched_fingerprint_is_a_miss_not_a_wrong_verdict(self, cache):
+        # A payload filed under the wrong name (racing writers, manual
+        # tampering) must never serve another instance's verdict — UNSAT
+        # entries are trusted without revalidation, so this would be a
+        # wrong answer, not just a stale model.
+        cache.put("fp-b", False)
+        os.rename(cache.directory / "fp-b.json", cache.directory / "fp-a.json")
+        assert cache.get("fp-a") is None
+        assert len(cache) == 0            # the mislabeled file was dropped
+
+    def test_clear_removes_orphaned_temp_files(self, cache):
+        cache.put("fp", False)
+        orphan = cache.directory / ".put-crashed.tmp"
+        orphan.write_text("half-written", "utf-8")
+        cache.clear()
+        assert not orphan.exists() and len(cache) == 0
+
+    def test_writes_are_atomic_renames(self, cache, monkeypatch):
+        # No entry file may ever exist in a half-written state: the
+        # payload lands under a temp name and is os.replace()d in.
+        seen = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            seen.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        cache.put("fp", False)
+        (src, dst) = seen[0]
+        assert src.endswith(".tmp") and dst.endswith("fp.json")
+        assert json.loads((cache.directory / "fp.json").read_text())["sat"] is False
+
+
+class TestEviction:
+    def test_lru_sweep_evicts_oldest_mtime_first(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_entries=3)
+        for i in range(3):
+            cache.put(f"fp{i}", False)
+            # mtime granularity on some filesystems is coarse; force a
+            # strictly increasing order instead of sleeping.
+            os.utime(cache.directory / f"fp{i}.json", (i, i))
+        cache.put("fp3", False)
+        os.utime(cache.directory / "fp3.json", (10, 10))
+        cache.put("fp4", False)          # pushes past capacity twice
+        assert cache.stats.evictions >= 1
+        assert "fp0" not in cache        # the oldest went first
+        assert "fp3" in cache and "fp4" in cache
+
+    def test_get_refreshes_lru_position(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_entries=2)
+        cache.put("a", False)
+        cache.put("b", False)
+        os.utime(cache.directory / "a.json", (1, 1))
+        os.utime(cache.directory / "b.json", (2, 2))
+        got = cache.get("a")             # bumps a's mtime to now
+        assert got is not None
+        cache.put("c", False)            # evicts b, the stale one
+        assert "a" in cache and "b" not in cache
+
+    def test_zero_capacity_disables_caching(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_entries=0)
+        cache.put("fp", False)
+        assert cache.get("fp") is None
+        assert len(cache) == 0

@@ -192,3 +192,60 @@ class TestSolveMany:
 
     def test_empty_batch(self, engine):
         assert engine.solve_many([]) == []
+
+
+def _tiny_cache(backend, tmp_path):
+    """A capacity-1 cache of the requested backend kind."""
+    if backend == "disk":
+        from repro.engine.diskcache import DiskCache
+
+        return DiskCache(tmp_path / "cache", max_entries=1)
+    return SolutionCache(max_entries=1)
+
+
+@pytest.mark.parametrize("backend", ["memory", "disk"])
+class TestEvictionInterleavedWithBatch:
+    """Cache eviction racing solve_many's dedup (both cache backends).
+
+    A capacity-1 cache guarantees every distinct instance evicts its
+    predecessor *mid-batch*; a repeat whose cache entry is long gone
+    must be re-answered (by batch dedup or a re-solve), never KeyError.
+    """
+
+    def test_entry_evicted_mid_batch_still_answered(self, backend, tmp_path):
+        a, _ = random_planted_ksat(10, 30, rng=31)
+        b, _ = random_planted_ksat(10, 30, rng=32)
+        c, _ = random_planted_ksat(10, 30, rng=33)
+        with PortfolioEngine(jobs=1, cache=_tiny_cache(backend, tmp_path)) as eng:
+            # b evicts a's entry, c evicts b's — yet the repeats of a and
+            # b later in the batch are still answered correctly.
+            results = eng.solve_many([a, b, a.copy(), c, b.copy()])
+            assert [r.status for r in results] == ["sat"] * 5
+            assert eng.stats.batch_dedups == 2
+            assert results[2].source == "batch-dedup"
+            assert results[4].source == "batch-dedup"
+            assert eng.cache.stats.evictions >= 2
+            assert len(eng.cache) == 1
+            for formula, result in zip([a, b, a, c, b], results):
+                assert formula.is_satisfied(result.assignment)
+
+    def test_next_batch_re_solves_evicted_entries(self, backend, tmp_path):
+        a, _ = random_planted_ksat(10, 30, rng=34)
+        b, _ = random_planted_ksat(10, 30, rng=35)
+        with PortfolioEngine(jobs=1, cache=_tiny_cache(backend, tmp_path)) as eng:
+            eng.solve_many([a, b])            # b's store evicted a
+            races = eng.stats.races
+            second = eng.solve_many([a.copy()])
+            # A fresh batch cannot dedup against the old one; the evicted
+            # entry forces a genuine re-solve (a race, not a cache hit).
+            assert second[0].status == "sat" and not second[0].from_cache
+            assert eng.stats.races == races + 1
+            assert eng.stats.batch_dedups == 0
+
+    def test_eviction_interleaved_with_unsat_entries(self, backend, tmp_path):
+        sat, _ = random_planted_ksat(8, 24, rng=36)
+        unsat = CNFFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        with PortfolioEngine(jobs=1, cache=_tiny_cache(backend, tmp_path)) as eng:
+            results = eng.solve_many([unsat, sat, unsat.copy(), sat.copy()])
+            assert [r.status for r in results] == ["unsat", "sat", "unsat", "sat"]
+            assert eng.stats.batch_dedups == 2

@@ -108,6 +108,25 @@ class TestTightening:
             with pytest.raises(ECError, match="unsatisfiable"):
                 s.resolve()
 
+    def test_failed_resolve_keeps_the_solution_suspect(self):
+        # An UNSAT re-solve must not settle the pending tightening: a
+        # later resolve has to re-check (and fail again), never serve
+        # the stale pre-change model as a valid solution.
+        with IncrementalSession(CNFFormula([[1, 2]]), jobs=1) as s:
+            s.solve()
+            s.apply_changes(
+                ChangeSet([AddClause(Clause([-1])), AddClause(Clause([-2]))])
+            )
+            with pytest.raises(ECError, match="unsatisfiable"):
+                s.resolve()
+            with pytest.raises(ECError, match="unsatisfiable"):
+                s.resolve()               # still unsatisfiable, still raises
+            # ... and a loosening change that does NOT fix the conflict
+            # must go through a real re-check, not the O(1) fast path.
+            s.apply_changes(ChangeSet([AddVariable()]))
+            with pytest.raises(ECError, match="unsatisfiable"):
+                s.resolve()
+
 
 class TestTighteningResolvePath:
     """The re-solve path: CDCL leads, DPLL backstops, UNSAT surfaces."""
@@ -198,3 +217,51 @@ class TestLifecycle:
         kinds = [(step.kind, step.regime) for step in session.history]
         assert kinds == [("solve", ""), ("change", "loosening"),
                          ("resolve", "loosening")]
+
+
+class TestIdempotentClose:
+    """Double shutdown must be safe, and shared pools must survive a
+    tenant leaving (the multi-tenant serving contract)."""
+
+    def test_session_close_then_exit_is_safe(self):
+        f, _ = random_planted_ksat(10, 30, rng=3)
+        with IncrementalSession(f, jobs=1) as s:
+            s.solve(seed=0)
+            s.close()                     # explicit close inside the with
+        s.close()                         # ... and once more for luck
+
+    def test_engine_close_then_exit_is_safe(self):
+        with PortfolioEngine(jobs=1) as engine:
+            engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_pool_double_shutdown_guarded(self):
+        # A real pool (jobs=2): close twice, then __exit__ again.
+        engine = PortfolioEngine(jobs=2)
+        engine.portfolio.warm_up()
+        engine.close()
+        engine.close()
+        engine.__exit__(None, None, None)
+
+    def test_session_over_shared_engine_does_not_close_it(self):
+        f, _ = random_planted_ksat(10, 30, rng=3)
+        g, _ = random_planted_ksat(10, 30, rng=4)
+        engine = PortfolioEngine(jobs=1)
+        with IncrementalSession(f, engine=engine) as a:
+            a.solve(seed=0)
+        # Tenant a left; the shared engine still serves tenant b.
+        assert not engine.closed
+        with IncrementalSession(g, engine=engine) as b:
+            assert engine.solve(g, seed=0).status == "sat"
+            b.solve(seed=0)
+        engine.close()
+        assert engine.closed
+
+    def test_session_close_releases_private_engine(self):
+        f, _ = random_planted_ksat(10, 30, rng=3)
+        s = IncrementalSession(f, jobs=1)
+        s.solve(seed=0)
+        engine = s.engine
+        s.close()
+        assert engine.closed

@@ -22,6 +22,7 @@ def test_examples_exist():
         "register_binding_coloring.py",
         "design_for_change.py",
         "portfolio_engine.py",
+        "solver_service.py",
     } <= names
 
 
@@ -37,6 +38,14 @@ def test_portfolio_engine_runs(capsys):
     out = capsys.readouterr().out
     assert "revalidations: 2" in out
     assert "source: cache" in out
+    assert "OK" in out
+
+
+def test_solver_service_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "solver_service.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "via revalidation" in out
+    assert "from_cache: True" in out
     assert "OK" in out
 
 

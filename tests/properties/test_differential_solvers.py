@@ -213,6 +213,55 @@ def test_differential_packed_vs_object_paths():
             )
 
 
+def _service_mismatch(direct, routed, name: str, seed: int) -> str | None:
+    """One line describing a service/engine divergence, or None."""
+    if direct.status != routed.status:
+        return (
+            f"engine={direct.status} service={routed.status} "
+            f"on {name} (seed={seed})"
+        )
+    if (direct.assignment is None) != (routed.assignment is None):
+        return f"only one route produced a model on {name} (seed={seed})"
+    if direct.assignment is not None and (
+        direct.assignment.as_dict() != routed.assignment.as_dict()
+    ):
+        return f"engine and service models differ on {name} (seed={seed})"
+    return None
+
+
+def test_differential_service_vs_direct_engine():
+    """The SolverService facade is a pass-through, not a reinterpretation.
+
+    Over the same seeded instance stream as the cross-solver sweep, a
+    request routed through the service must produce the *same verdict
+    and the same model* as a direct PortfolioEngine call with identical
+    parameters.  Both engines run single-job with a quick slice big
+    enough that the deterministic CDCL lead decides every CI-size
+    instance, so any divergence is a facade bug, not scheduling noise.
+    """
+    from repro.engine.config import EngineConfig
+    from repro.engine.engine import PortfolioEngine
+    from repro.service.requests import SolveRequest
+    from repro.service.service import SolverService
+
+    count = int(os.environ.get("REPRO_FUZZ_INSTANCES", "200"))
+    engine = PortfolioEngine(jobs=1, quick_slice=30.0)
+    service = SolverService(EngineConfig(jobs=1, quick_slice=30.0))
+    with engine, service:
+        for name, formula, seed in _instances(count, stream=1):
+            direct = engine.solve(formula, seed=seed, use_cache=False)
+            routed = service.solve(SolveRequest(
+                formula=formula, seed=seed, use_cache=False
+            ))
+            problem = _service_mismatch(direct, routed, name, seed)
+            if problem is not None:
+                pytest.fail(
+                    f"service/engine divergence: {problem}\n"
+                    f"instance ({formula.num_vars} vars, "
+                    f"{formula.num_clauses} clauses):\n{to_dimacs(formula)}"
+                )
+
+
 @pytest.mark.slow
 @pytest.mark.skipif(
     os.environ.get("REPRO_FUZZ_NIGHTLY") != "1",

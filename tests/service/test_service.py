@@ -1,0 +1,324 @@
+"""SolverService: the one facade over flow, engine, and sessions."""
+
+import pytest
+
+from repro.cnf.clause import Clause
+from repro.cnf.dimacs import write_dimacs
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.core.change import AddClause, AddVariable, ChangeSet, RemoveClause
+from repro.engine.config import EngineConfig
+from repro.engine.diskcache import DiskCache
+from repro.engine.engine import PortfolioEngine
+from repro.errors import ServiceError
+from repro.service.requests import ChangeRequest, SolveRequest
+from repro.service.service import PendingSolve, SolverService
+
+
+@pytest.fixture
+def planted():
+    return random_planted_ksat(12, 36, rng=5)
+
+
+@pytest.fixture
+def service():
+    with SolverService(EngineConfig(jobs=1)) as svc:
+        yield svc
+
+
+def _breaking_clause(formula, model, width=2):
+    lits = []
+    for var in sorted(formula.variables):
+        if model.is_assigned(var):
+            lits.append(-var if model[var] else var)
+        if len(lits) == width:
+            break
+    return Clause(lits)
+
+
+class TestStatelessSolve:
+    def test_portfolio_sat(self, service, planted):
+        f, _ = planted
+        response = service.solve(SolveRequest(formula=f, seed=0))
+        assert response.status == "sat"
+        assert f.is_satisfied(response.assignment)
+        assert response.fingerprint
+
+    def test_portfolio_unsat_is_a_response_not_an_exception(self, service):
+        response = service.solve(SolveRequest(formula=CNFFormula([[1], [-1]])))
+        assert response.status == "unsat" and response.assignment is None
+
+    def test_dimacs_path_source(self, service, planted, tmp_path):
+        f, _ = planted
+        path = tmp_path / "f.cnf"
+        write_dimacs(f, path)
+        response = service.solve(SolveRequest(dimacs_path=str(path), seed=0))
+        assert response.status == "sat"
+
+    def test_packed_bytes_source(self, service, planted):
+        f, _ = planted
+        payload = f.packed().to_bytes()
+        response = service.solve(SolveRequest(packed_bytes=payload, seed=0))
+        assert response.status == "sat"
+
+    def test_repeated_query_hits_the_cache(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, seed=0))
+        response = service.solve(SolveRequest(formula=f.copy(), seed=0))
+        assert response.from_cache and response.source == "cache"
+
+    def test_single_solver_strategy(self, service, planted):
+        f, _ = planted
+        response = service.solve(SolveRequest(formula=f, strategy="cdcl", seed=0))
+        assert response.status == "sat" and response.winner == "cdcl"
+        assert service.engine.stats.solves == 0   # engine untouched
+
+    def test_ilp_strategy(self, service, planted):
+        f, _ = planted
+        response = service.solve(SolveRequest(formula=f, strategy="ilp", seed=0))
+        assert response.status == "sat" and response.source == "ilp"
+        assert f.is_satisfied(response.assignment)
+
+    def test_ilp_strategy_unsat(self, service):
+        response = service.solve(SolveRequest(
+            formula=CNFFormula([[1], [-1]]), strategy="ilp"
+        ))
+        assert response.status == "unsat"
+
+    def test_unknown_strategy_rejected(self, service, planted):
+        f, _ = planted
+        with pytest.raises(ServiceError, match="unknown strategy"):
+            service.solve(SolveRequest(formula=f, strategy="quantum"))
+
+
+class TestSessions:
+    def test_open_change_resolve_loop(self, service, planted):
+        f, _ = planted
+        opened = service.solve(SolveRequest(formula=f, session="t1", seed=0))
+        assert opened.status == "sat" and opened.session == "t1"
+
+        # Loosening batch: answered by revalidation, zero solver runs.
+        victim = service.session("t1").formula.clauses[0]
+        calls = service.engine.stats.solver_calls
+        changed = service.change(ChangeRequest(
+            "t1", ChangeSet([RemoveClause(victim), AddVariable()]), seed=0,
+        ))
+        assert changed.status == "sat"
+        assert changed.regime == "loosening"
+        assert changed.source == "revalidation"
+        assert service.engine.stats.solver_calls == calls
+
+    def test_tightening_change_races_with_cdcl_lead(self, service, planted):
+        f, _ = planted
+        opened = service.solve(SolveRequest(formula=f, session="t", seed=0))
+        breaking = _breaking_clause(
+            service.session("t").formula, opened.assignment
+        )
+        calls = service.engine.stats.solver_calls
+        response = service.change(ChangeRequest(
+            "t", ChangeSet([AddClause(breaking)]), seed=0,
+        ))
+        assert response.regime == "tightening"
+        if response.status == "sat":
+            assert service.session("t").formula.is_satisfied(response.assignment)
+            assert service.engine.stats.solver_calls > calls
+
+    def test_force_mode_runs_a_full_engine_query(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, session="t", seed=0))
+        victim = service.session("t").formula.clauses[0]
+        solves = service.engine.stats.solves
+        response = service.change(ChangeRequest(
+            "t", ChangeSet([RemoveClause(victim)]), ec_mode="force", seed=0,
+        ))
+        # Force mode bypasses the session's O(1) fast path: the engine
+        # ran a query (the hint revalidation answered it — no race).
+        assert response.status == "sat"
+        assert service.engine.stats.solves == solves + 1
+
+    def test_many_sessions_share_one_engine(self, service):
+        # The multi-tenant headline: N sessions, one pool, one cache.
+        for i in range(4):
+            f, _ = random_planted_ksat(10, 30, rng=20 + i)
+            service.solve(SolveRequest(formula=f, session=f"s{i}", seed=0))
+        assert service.session_names == ("s0", "s1", "s2", "s3")
+        engines = {id(service.session(f"s{i}").engine) for i in range(4)}
+        assert engines == {id(service.engine)}
+
+    def test_sessions_share_the_verdict_cache(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, session="a", seed=0))
+        hits = service.engine.cache.stats.hits
+        response = service.solve(SolveRequest(formula=f.copy(), session="b", seed=0))
+        assert response.status == "sat"
+        assert service.engine.cache.stats.hits > hits
+
+    def test_requery_existing_session_without_source(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, session="t", seed=0))
+        response = service.solve(SolveRequest(session="t", seed=0))
+        assert response.status == "sat" and response.session == "t"
+
+    def test_session_request_honors_use_cache_and_lead(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, session="t", seed=0))
+        hits = service.engine.cache.stats.hits
+        fresh = service.solve(SolveRequest(
+            session="t", seed=0, use_cache=False, lead="dpll",
+        ))
+        # The bypass flag reached the engine: no cache hit recorded, and
+        # the hint revalidation answered (the session's own solution).
+        assert fresh.status == "sat" and not fresh.from_cache
+        assert service.engine.cache.stats.hits == hits
+
+    def test_session_request_rejects_a_caller_hint(self, service, planted):
+        f, _ = planted
+        from repro.cnf.assignment import Assignment
+
+        service.solve(SolveRequest(formula=f, session="t", seed=0))
+        with pytest.raises(ServiceError, match="hint"):
+            service.solve(SolveRequest(
+                session="t", hint=Assignment({1: True}),
+            ))
+
+    def test_open_duplicate_session_rejected(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, session="t", seed=0))
+        with pytest.raises(ServiceError, match="already exists"):
+            service.solve(SolveRequest(formula=f.copy(), session="t"))
+
+    def test_unknown_session_rejected(self, service):
+        with pytest.raises(ServiceError, match="unknown session"):
+            service.solve(SolveRequest(session="ghost"))
+        with pytest.raises(ServiceError, match="unknown session"):
+            service.change(ChangeRequest("ghost", ChangeSet()))
+
+    def test_close_session_keeps_the_engine_up(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, session="t", seed=0))
+        assert service.close_session("t")
+        assert not service.close_session("t")
+        # The shared engine is still serving.
+        assert service.solve(SolveRequest(formula=f.copy(), seed=0)).status == "sat"
+
+
+class TestSubmit:
+    def test_submit_returns_pending_responses(self, service):
+        pendings = []
+        for i in range(4):
+            f, _ = random_planted_ksat(10, 30, rng=40 + i)
+            pendings.append(service.submit(SolveRequest(formula=f, seed=0)))
+        assert all(isinstance(p, PendingSolve) for p in pendings)
+        responses = [p.result(timeout=60) for p in pendings]
+        assert all(r.status == "sat" for r in responses)
+        assert all(p.done() for p in pendings)
+
+    def test_submit_change_requests(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, session="t", seed=0))
+        victim = service.session("t").formula.clauses[0]
+        pending = service.submit(ChangeRequest(
+            "t", ChangeSet([RemoveClause(victim)]), seed=0,
+        ))
+        assert pending.result(timeout=60).source == "revalidation"
+
+    def test_submit_surfaces_request_errors(self, service):
+        pending = service.submit(SolveRequest(session="ghost"))
+        with pytest.raises(ServiceError, match="unknown session"):
+            pending.result(timeout=60)
+
+    def test_close_drains_queued_submissions(self):
+        # close() must let already-queued PendingSolves finish (the
+        # docstring's drain contract) while rejecting new requests.
+        svc = SolverService(EngineConfig(jobs=1, submit_workers=1))
+        pendings = []
+        for i in range(5):
+            f, _ = random_planted_ksat(10, 30, rng=60 + i)
+            pendings.append(svc.submit(SolveRequest(formula=f, seed=0)))
+        svc.close()
+        assert [p.result(timeout=60).status for p in pendings] == ["sat"] * 5
+        f, _ = random_planted_ksat(10, 30, rng=70)
+        with pytest.raises(ServiceError, match="closed"):
+            svc.submit(SolveRequest(formula=f))
+
+
+class TestBatch:
+    def test_solve_many_maps_to_responses(self, service, planted):
+        f, _ = planted
+        responses = service.solve_many([f, f.copy()], seed=0)
+        assert [r.status for r in responses] == ["sat", "sat"]
+        assert responses[1].source == "batch-dedup"
+        assert service.engine.stats.batch_dedups == 1
+
+
+class TestCacheBackends:
+    def test_disk_backend_via_engine_config(self, tmp_path, planted):
+        f, _ = planted
+        config = EngineConfig(jobs=1, cache="disk",
+                              cache_dir=str(tmp_path / "cache"))
+        with SolverService(config) as svc:
+            assert isinstance(svc.engine.cache, DiskCache)
+            first = svc.solve(SolveRequest(formula=f, seed=0))
+            assert first.status == "sat" and not first.from_cache
+        # A second service over the same directory — the restart story —
+        # answers from the persistent backend without any solver.
+        with SolverService(EngineConfig(
+            jobs=1, cache="disk", cache_dir=str(tmp_path / "cache")
+        )) as svc:
+            again = svc.solve(SolveRequest(formula=f.copy(), seed=0))
+            assert again.from_cache
+            assert svc.engine.stats.solver_calls == 0
+
+    def test_none_backend_disables_caching(self, planted):
+        f, _ = planted
+        with SolverService(EngineConfig(jobs=1, cache="none")) as svc:
+            svc.solve(SolveRequest(formula=f, seed=0))
+            again = svc.solve(SolveRequest(formula=f.copy(), seed=0))
+            assert not again.from_cache
+
+    def test_disk_backend_requires_a_directory(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            EngineConfig(cache="disk")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            EngineConfig(cache="redis")
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self, planted):
+        f, _ = planted
+        svc = SolverService(EngineConfig(jobs=1))
+        svc.solve(SolveRequest(formula=f, seed=0))
+        svc.close()
+        svc.close()                       # explicit double close
+        svc.__exit__(None, None, None)    # ... and __exit__ after close
+        with pytest.raises(ServiceError, match="closed"):
+            svc.solve(SolveRequest(formula=f))
+
+    def test_injected_engine_is_not_closed(self, planted):
+        f, _ = planted
+        engine = PortfolioEngine(jobs=1)
+        svc = SolverService(engine=engine)
+        svc.solve(SolveRequest(formula=f, seed=0))
+        svc.close()
+        assert not engine.closed
+        engine.close()
+        assert engine.closed
+
+    def test_owned_engine_is_closed(self, planted):
+        f, _ = planted
+        svc = SolverService(EngineConfig(jobs=1))
+        svc.solve(SolveRequest(formula=f, seed=0))
+        svc.close()
+        assert svc.engine.closed
+
+    def test_stats_snapshot_shape(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, seed=0))
+        service.solve(SolveRequest(formula=f.copy(), seed=0))
+        snapshot = service.stats()
+        assert snapshot["engine"]["solves"] == 2
+        assert snapshot["cache"]["hits"] >= 1
+        assert 0.0 < snapshot["cache"]["hit_rate"] <= 1.0
+        assert snapshot["sessions"] == []

@@ -169,6 +169,81 @@ class TestSingleSolverEngines:
             assert "UNSATISFIABLE" not in captured.out
 
 
+class TestStatsJson:
+    def test_portfolio_solve_dumps_engine_and_cache_stats(
+        self, cnf_file, tmp_path, capsys
+    ):
+        import json
+
+        path, _f = cnf_file
+        out = tmp_path / "stats.json"
+        rc = main([
+            "solve", str(path), "--engine", "portfolio", "--jobs", "1",
+            "--stats-json", str(out),
+        ])
+        assert rc == 0
+        stats = json.loads(out.read_text())
+        assert stats["engine"]["solves"] == 1
+        assert stats["engine"]["races"] == 1
+        assert stats["engine"]["batch_dedups"] == 0
+        assert "transport_bytes" in stats["engine"]
+        assert stats["cache"]["misses"] >= 1
+        assert stats["winner"] == "cdcl"
+        assert stats["status"] == "sat"
+
+    def test_batch_solve_dumps_per_file_results(self, tmp_path, capsys):
+        import json
+
+        f, _ = random_planted_ksat(10, 30, rng=3)
+        write_dimacs(f, tmp_path / "a.cnf")
+        write_dimacs(f, tmp_path / "b.cnf")
+        out = tmp_path / "stats.json"
+        rc = main([
+            "solve", str(tmp_path), "--batch", "--jobs", "1",
+            "--stats-json", str(out),
+        ])
+        assert rc == 0
+        stats = json.loads(out.read_text())
+        assert stats["engine"]["batch_dedups"] == 1
+        assert [r["file"] for r in stats["results"]] == ["a.cnf", "b.cnf"]
+        assert stats["results"][1]["source"] == "batch-dedup"
+
+    def test_stats_json_for_ilp_route(self, cnf_file, tmp_path, capsys):
+        # The flag works on every route; the engine counters just stay
+        # zero when the ILP encoding answered without the engine.
+        import json
+
+        path, _f = cnf_file
+        out = tmp_path / "stats.json"
+        assert main(["solve", str(path), "--stats-json", str(out)]) == 0
+        stats = json.loads(out.read_text())
+        assert stats["engine"]["solves"] == 0
+        assert stats["status"] == "sat"
+
+
+class TestServeParser:
+    def test_serve_requires_socket(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_disk_cache_requires_dir(self, tmp_path, capsys):
+        rc = main(["serve", "--socket", str(tmp_path / "s.sock"),
+                   "--cache", "disk"])
+        assert rc == 2
+        assert "cache_dir" in capsys.readouterr().err
+
+    def test_connect_with_batch_rejected(self, tmp_path, capsys):
+        rc = main(["solve", str(tmp_path), "--batch",
+                   "--connect", str(tmp_path / "s.sock")])
+        assert rc == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_connect_without_daemon_reports_error(self, cnf_file, capsys):
+        path, _f = cnf_file
+        rc = main(["solve", str(path), "--connect", "/no/such/socket.sock"])
+        assert rc == 2
+
+
 class TestSolveBatch:
     @pytest.fixture
     def batch_dir(self, tmp_path):

@@ -10,7 +10,7 @@ from repro import errors
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -21,7 +21,7 @@ class TestTopLevel:
         [
             "repro.cnf", "repro.ilp", "repro.sat", "repro.core",
             "repro.coloring", "repro.scheduling", "repro.bench", "repro.cli",
-            "repro.engine",
+            "repro.engine", "repro.service",
         ],
     )
     def test_subpackages_import(self, module):
@@ -62,7 +62,10 @@ class TestDocstrings:
             "repro.engine.protocol", "repro.engine.adapters",
             "repro.engine.fingerprint", "repro.engine.cache",
             "repro.engine.portfolio", "repro.engine.engine",
-            "repro.engine.session",
+            "repro.engine.session", "repro.engine.diskcache",
+            "repro.service.requests", "repro.service.service",
+            "repro.service.wire", "repro.service.daemon",
+            "repro.service.client",
         ],
     )
     def test_modules_documented(self, module):
