@@ -1,0 +1,35 @@
+"""Workload benchmark: scenario throughput, latency, replay fidelity.
+
+Like ``bench_engine.py``, a plain script emitting a committed JSON
+artifact (``BENCH_workload.json`` at the repo root) so successive PRs
+accumulate a load-trajectory — every future scale PR (cache sharding,
+parallel distinct-fingerprint execution, TCP transport) is judged
+against these numbers::
+
+    PYTHONPATH=src python benchmarks/bench_workload.py            # ci tier
+    PYTHONPATH=src python benchmarks/bench_workload.py --tier paper
+
+All options of :mod:`repro.bench.workload` are accepted and forwarded;
+the only difference is the default ``--out`` location.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench.workload import main as workload_main
+
+#: Default artifact path: the repository root, next to this directory.
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_workload.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not any(a == "--out" or a.startswith("--out=") for a in argv):
+        argv += ["--out", str(DEFAULT_OUT)]
+    return workload_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,11 @@ Subpackages:
   fingerprint caching and incremental EC re-solve;
 * :mod:`repro.service` — the :class:`SolverService` facade: one typed
   request/response API over flow, engine, and sessions, with the
-  ``repro serve`` daemon and its client.
+  ``repro serve`` daemon and its client;
+* :mod:`repro.workload` — scenario generators producing EC request
+  streams, the versioned request-trace record/replay format, and the
+  closed/open-loop load driver behind ``repro loadgen`` / ``repro
+  replay`` / ``repro bench workload``.
 """
 
 from repro.cnf import Assignment, Clause, CNFFormula
@@ -68,8 +72,15 @@ from repro.service import (
     SolveResponse,
     SolverService,
 )
+from repro.workload import (
+    TraceRecorder,
+    WorkloadEvent,
+    build_scenario,
+    read_trace,
+    replay_trace,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AddClause",
@@ -99,11 +110,16 @@ __all__ = [
     "SolveStatus",
     "SolverConfig",
     "SolverService",
+    "TraceRecorder",
+    "WorkloadEvent",
+    "build_scenario",
     "enable_ec",
     "encode_sat",
     "fast_ec",
     "fingerprint",
     "preserving_ec",
+    "read_trace",
+    "replay_trace",
     "solve",
     "__version__",
 ]

@@ -1,0 +1,233 @@
+"""Workload benchmark: the load driver's numbers, tracked per PR.
+
+``python -m repro bench workload`` (or ``python -m repro.bench.workload``)
+drives the :mod:`repro.workload` scenario generators through the
+closed/open-loop runner and records, per scenario:
+
+* **closed-loop throughput and latency percentiles** at worker counts 1
+  and 4 (one fresh in-process :class:`~repro.service.service.
+  SolverService` per run, so scenarios never warm each other's cache);
+* the run's **engine/cache counter deltas** (races, cache hits,
+  revalidations, batch dedups, transport bytes) — the substrate every
+  future scale PR (cache sharding, parallel distinct-fingerprint
+  execution, TCP transport) is judged against;
+
+plus two suite-level experiments:
+
+* **open-loop** — the ``sat-mixed`` stream offered at a seeded Poisson
+  rate derived from its measured closed-loop throughput, reporting
+  schedule lateness alongside service latency;
+* **record → replay fidelity** — the ``sat-mixed`` stream is recorded
+  to a trace and replayed against a *fresh* service; any verdict/
+  fingerprint/model mismatch fails the bench (replay fidelity is an
+  invariant, not a metric), and the replay's throughput is recorded.
+
+Options::
+
+    --tier ci|paper     stream sizes (default: REPRO_BENCH_SCALE or ci)
+    --scenarios A,B     comma-separated subset (default: five scenarios)
+    --jobs N            in-process pool width (default 2)
+    --seed N            stream seed (default 0)
+    --out PATH          also write a JSON artifact (BENCH_workload.json)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+
+from repro.bench.registry import current_tier
+from repro.engine.config import EngineConfig
+from repro.errors import ReproError
+from repro.service.service import SolverService
+from repro.workload.runner import (
+    LoadReport,
+    inprocess_factory,
+    replay_trace,
+    run_events,
+    summarize,
+    write_trace_from_run,
+)
+from repro.workload.scenarios import build_scenario
+from repro.workload.trace import read_trace
+
+#: Scenarios benchmarked by default (>= 3 per the acceptance bar).
+DEFAULT_SCENARIOS = (
+    "sat-mixed",
+    "sat-loosening",
+    "coloring-churn",
+    "scheduling-precedence",
+    "tenant-churn",
+)
+
+#: (tenants, changes) per tier.
+_SIZES = {"ci": (3, 5), "paper": (8, 10)}
+
+
+def bench_run(
+    scenario: str,
+    *,
+    tenants: int,
+    changes: int,
+    seed: int = 0,
+    jobs: int = 2,
+    mode: str = "closed",
+    concurrency: int = 1,
+    rate: float | None = None,
+) -> LoadReport:
+    """One scenario run over a fresh in-process service.
+
+    Raises:
+        ReproError: any event errored — a load number over a broken run
+            would poison the trajectory.
+    """
+    events = build_scenario(scenario, seed=seed, tenants=tenants, changes=changes)
+    with SolverService(EngineConfig(jobs=jobs)) as service:
+        factory = inprocess_factory(service)
+        before = factory().stats()
+        results, wall = run_events(
+            events, factory, mode=mode, concurrency=concurrency,
+            rate=rate, seed=seed,
+        )
+        after = factory().stats()
+    report = summarize(
+        results, wall, scenario=scenario, mode=mode, concurrency=concurrency,
+        stats_before=before, stats_after=after,
+    )
+    if report.errors:
+        raise ReproError(
+            f"workload bench: {scenario} had {report.errors} errored "
+            f"events: {report.error_detail[:3]}"
+        )
+    return report
+
+
+def bench_replay_fidelity(
+    *, tenants: int, changes: int, seed: int = 0, jobs: int = 2
+) -> dict:
+    """Record ``sat-mixed``, replay it fresh, demand byte-level fidelity."""
+    events = build_scenario(
+        "sat-mixed", seed=seed, tenants=tenants, changes=changes
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "bench.jsonl")
+        with SolverService(EngineConfig(jobs=jobs)) as service:
+            results, _wall = run_events(events, inprocess_factory(service))
+        recorded = write_trace_from_run(
+            trace_path, events, results, meta={"scenario": "sat-mixed"}
+        )
+        trace = read_trace(trace_path)
+        with SolverService(EngineConfig(jobs=jobs)) as service:
+            factory = inprocess_factory(service)
+            report = replay_trace(trace, factory, stats_target=factory())
+    if report.mismatches != 0 or report.errors != 0:
+        raise ReproError(
+            f"replay fidelity broken: {report.mismatches} mismatches, "
+            f"{report.errors} errors — {report.mismatch_detail[:3]}"
+        )
+    return {
+        "records": recorded,
+        "replay_throughput": report.throughput,
+        "replay_latency": report.latency,
+        "mismatches": report.mismatches,
+    }
+
+
+def format_workload_table(reports: list[LoadReport]) -> str:
+    """Render the runs as an aligned text table."""
+    header = (
+        f"{'scenario':<22} {'mode':<6} {'c':>2} {'events':>6} "
+        f"{'ev/s':>8} {'p50':>8} {'p99':>8} "
+        f"{'races':>5} {'hits':>5} {'reval':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        engine = (r.counters or {}).get("engine", {})
+        lines.append(
+            f"{r.scenario:<22} {r.mode:<6} {r.concurrency:>2} {r.events:>6} "
+            f"{r.throughput:>8.1f} {r.latency['p50'] * 1e3:>7.2f}m "
+            f"{r.latency['p99'] * 1e3:>7.2f}m "
+            f"{engine.get('races', 0):>5} {engine.get('cache_hits', 0):>5} "
+            f"{engine.get('revalidations', 0):>5}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: print the table and optionally write the artifact."""
+    parser = argparse.ArgumentParser(description="Workload/load-driver bench")
+    parser.add_argument("--tier", choices=("ci", "paper"), default=None)
+    # Accepted for `repro bench` forwarding parity; workload streams have
+    # no small/large block split.
+    parser.add_argument("--block", choices=("small", "large", "all"), default=None)
+    parser.add_argument(
+        "--scenarios", default=",".join(DEFAULT_SCENARIOS),
+        help="comma-separated scenario names",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="write a JSON artifact here")
+    args = parser.parse_args(argv)
+
+    tier = args.tier or current_tier()
+    tenants, changes = _SIZES[tier]
+    scenarios = [s for s in args.scenarios.split(",") if s]
+
+    reports: list[LoadReport] = []
+    for scenario in scenarios:
+        for concurrency in (1, 4):
+            reports.append(
+                bench_run(
+                    scenario, tenants=tenants, changes=changes,
+                    seed=args.seed, jobs=args.jobs, concurrency=concurrency,
+                )
+            )
+    print(format_workload_table(reports))
+
+    # Open-loop: offer ~1.5x the measured closed-loop throughput so the
+    # lateness column actually means something.
+    c1 = reports[0]
+    rate = max(20.0, min(2000.0, 1.5 * c1.throughput))
+    open_report = bench_run(
+        scenarios[0], tenants=tenants, changes=changes, seed=args.seed,
+        jobs=args.jobs, mode="open", concurrency=1, rate=rate,
+    )
+    print(
+        f"\nopen-loop {open_report.scenario} @ {rate:.0f} ev/s: "
+        f"{open_report.throughput:.1f} ev/s through, latency p99 "
+        f"{open_report.latency['p99'] * 1e3:.2f}ms, lateness p99 "
+        f"{open_report.lateness['p99'] * 1e3:.2f}ms"
+    )
+
+    fidelity = bench_replay_fidelity(
+        tenants=tenants, changes=changes, seed=args.seed, jobs=args.jobs
+    )
+    print(
+        f"replay fidelity: {fidelity['records']} records, 0 mismatches, "
+        f"{fidelity['replay_throughput']:.1f} ev/s replayed"
+    )
+
+    if args.out:
+        artifact = {
+            "bench": "workload",
+            "tier": tier,
+            "jobs": args.jobs,
+            "seed": args.seed,
+            "cores": os.cpu_count(),
+            "tenants": tenants,
+            "changes": changes,
+            "runs": [r.to_dict() for r in reports],
+            "open_loop": {**open_report.to_dict(), "offered_rate": rate},
+            "replay": fidelity,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

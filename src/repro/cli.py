@@ -13,12 +13,23 @@ Commands:
   ``--stats-json PATH`` dumps the engine/cache counters for scripting;
 * ``serve``                          — run the ``SolverService`` daemon on a
   local socket (``--cache disk --cache-dir D`` for the persistent verdict
-  cache that survives restarts);
+  cache that survives restarts; ``--record PATH`` records every handled
+  request/response to a replayable trace; ``--max-requests N`` and SIGTERM
+  both trigger a graceful drain — in-flight requests finish, the recorder
+  is flushed, then the daemon exits);
+* ``loadgen SCENARIO``               — generate a seeded EC request stream
+  (see ``repro.workload.scenarios``) and drive it closed-loop (``--concurrency
+  N``) or open-loop (``--rate R``) against an in-process service or a
+  running daemon (``--connect``), optionally recording the stream
+  (``--record``);
+* ``replay TRACE.jsonl``             — re-execute a recorded trace and verify
+  every response against the recorded one (status, fingerprint, model);
+  exit code 1 on any mismatch;
 * ``enable FILE.cnf``                — solve with enabling EC and report flexibility;
 * ``fast FILE.cnf CHANGED.cnf``      — fast EC from FILE's solution to CHANGED;
 * ``preserve FILE.cnf CHANGED.cnf``  — preserving EC between the two instances;
-* ``bench {table1,table2,table3,engine}`` — regenerate a paper table or the
-  engine comparison.
+* ``bench {table1,table2,table3,engine,workload}`` — regenerate a paper
+  table, the engine comparison, or the workload/load-driver benchmark.
 
 Every ``solve`` route goes through the :class:`~repro.service.
 SolverService` facade — the CLI builds a :class:`~repro.service.requests.
@@ -233,6 +244,8 @@ def _cmd_solve_batch(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run the ``SolverService`` daemon on a local socket."""
+    import signal
+
     from repro.engine.config import EngineConfig
     from repro.service.daemon import ServiceDaemon
     from repro.service.service import SolverService
@@ -244,16 +257,173 @@ def _cmd_serve(args) -> int:
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
+    recorder = None
+    if args.record:
+        from repro.workload.trace import TraceRecorder
+
+        recorder = TraceRecorder(
+            args.record,
+            meta={"source": "repro serve", "socket": args.socket},
+        )
     daemon = ServiceDaemon(
-        args.socket, SolverService(config), log_path=args.log_file
+        args.socket,
+        SolverService(config, recorder=recorder),
+        log_path=args.log_file,
+        max_requests=args.max_requests,
     )
     daemon.bind()
+    try:
+        # Graceful drain on SIGTERM: stop accepting, finish in-flight
+        # requests, flush the recorder, exit 0 (how replay runs against
+        # a recorded daemon end cleanly under process supervisors).
+        signal.signal(signal.SIGTERM, lambda _sig, _frm: daemon.shutdown())
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     print(f"repro serve: listening on {args.socket}", flush=True)
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         daemon.shutdown()
     return 0
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _print_load_report(report, label: str) -> None:
+    """Print one load run in the CLI's stable format."""
+    lat = report.latency
+    print(
+        f"{label}: {report.events} events in {report.wall_time:.3f}s "
+        f"({report.throughput:.1f} ev/s, mode={report.mode} "
+        f"c={report.concurrency}), errors {report.errors}"
+    )
+    print(
+        f"c latency: mean {_ms(lat['mean'])} p50 {_ms(lat['p50'])} "
+        f"p90 {_ms(lat['p90'])} p99 {_ms(lat['p99'])} max {_ms(lat['max'])}"
+    )
+    if report.lateness is not None:
+        print(
+            f"c lateness: p50 {_ms(report.lateness['p50'])} "
+            f"p99 {_ms(report.lateness['p99'])} max {_ms(report.lateness['max'])}"
+        )
+    if report.counters:
+        engine = report.counters.get("engine", {})
+        print(
+            "c counters: "
+            f"{engine.get('solves', 0)} solves, "
+            f"{engine.get('races', 0)} races, "
+            f"{engine.get('cache_hits', 0)} cache hits, "
+            f"{engine.get('revalidations', 0)} revalidations, "
+            f"{engine.get('batch_dedups', 0)} batch dedups, "
+            f"{engine.get('transport_bytes', 0)} transport bytes"
+        )
+    for line in report.error_detail:
+        print(f"c error: {line}")
+
+
+def _write_report_json(path: str | None, report) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2)
+        fh.write("\n")
+
+
+def _cmd_loadgen(args) -> int:
+    """Generate a scenario stream and drive it at load."""
+    from repro.workload import (
+        build_scenario,
+        client_factory,
+        inprocess_factory,
+        run_events,
+        summarize,
+        write_trace_from_run,
+    )
+
+    events = build_scenario(
+        args.scenario, seed=args.seed, tenants=args.tenants, changes=args.changes
+    )
+    mode = "open" if args.rate is not None else args.mode
+    if mode == "open" and args.rate is None:
+        raise ReproError("loadgen --mode open needs --rate (events/second)")
+
+    def drive(factory, stats_target):
+        before = stats_target.stats()
+        results, wall = run_events(
+            events, factory, mode=mode, concurrency=args.concurrency,
+            rate=args.rate, seed=args.seed,
+        )
+        after = stats_target.stats()
+        return results, summarize(
+            results, wall, scenario=args.scenario, mode=mode,
+            concurrency=args.concurrency, stats_before=before, stats_after=after,
+        )
+
+    if args.connect:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(args.connect) as stats_client:
+            results, report = drive(client_factory(args.connect), stats_client)
+    else:
+        from repro.engine.config import EngineConfig
+        from repro.service.service import SolverService
+
+        with SolverService(EngineConfig(jobs=args.jobs)) as service:
+            factory = inprocess_factory(service)
+            results, report = drive(factory, factory())
+    if args.record:
+        written = write_trace_from_run(
+            args.record, events, results,
+            meta={"scenario": args.scenario, "seed": args.seed,
+                  "tenants": args.tenants, "changes": args.changes},
+        )
+        print(f"c recorded {written} events -> {args.record}")
+    _print_load_report(report, f"loadgen {args.scenario}")
+    _write_report_json(args.out, report)
+    return 0 if report.errors == 0 else 1
+
+
+def _cmd_replay(args) -> int:
+    """Re-execute a recorded trace and verify it reproduced itself."""
+    from repro.workload import client_factory, inprocess_factory, read_trace, replay_trace
+
+    trace = read_trace(args.trace)
+    mode = "open" if (args.rate is not None or args.mode == "open") else "closed"
+    kwargs = dict(
+        mode=mode, concurrency=args.concurrency, rate=args.rate,
+        speed=args.speed, verify=not args.no_verify,
+        batch_segments=args.batch_segments, seed=args.seed,
+    )
+    if args.connect:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(args.connect) as stats_client:
+            report = replay_trace(
+                trace, client_factory(args.connect),
+                stats_target=stats_client, **kwargs,
+            )
+    else:
+        from repro.engine.config import EngineConfig
+        from repro.service.service import SolverService
+
+        with SolverService(EngineConfig(jobs=args.jobs)) as service:
+            factory = inprocess_factory(service)
+            report = replay_trace(
+                trace, factory, stats_target=factory(), **kwargs
+            )
+    _print_load_report(report, f"replay {args.trace}")
+    if not args.no_verify:
+        print(
+            f"c verify: {report.mismatches} mismatches over "
+            f"{len(trace)} records"
+        )
+        for line in report.mismatch_detail:
+            print(f"c mismatch: {line}")
+    _write_report_json(args.out, report)
+    failed = report.errors > 0 or (not args.no_verify and report.mismatches > 0)
+    return 1 if failed else 0
 
 
 def _cmd_enable(args) -> int:
@@ -381,7 +551,82 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache capacity before LRU eviction")
     p.add_argument("--log-file", default=None,
                    help="append one line per handled request here")
+    p.add_argument("--record", metavar="PATH", default=None,
+                   help="record every handled request/response (with "
+                        "timing) to this JSONL trace (an existing file "
+                        "is overwritten); replay it with `repro replay`")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="gracefully drain and exit after this many "
+                        "handled requests (pings excluded)")
     p.set_defaults(func=_cmd_serve)
+
+    from repro.workload.scenarios import SCENARIOS
+
+    p = sub.add_parser(
+        "loadgen",
+        help="generate a seeded EC request stream and drive it at load "
+             "(closed-loop workers or open-loop arrivals)",
+    )
+    p.add_argument("scenario", choices=sorted(SCENARIOS),
+                   help="scenario generator (see repro.workload.scenarios)")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="concurrent EC sessions in the stream")
+    p.add_argument("--changes", type=int, default=6,
+                   help="engineering changes per session")
+    p.add_argument("--seed", type=int, default=0,
+                   help="stream seed (same seed => identical stream)")
+    p.add_argument("--concurrency", type=int, default=1,
+                   help="closed-loop worker count")
+    p.add_argument("--mode", choices=("closed", "open"), default="closed",
+                   help="closed-loop (completion-driven) or open-loop "
+                        "(schedule-driven) load")
+    p.add_argument("--rate", type=float, default=None,
+                   help="open-loop Poisson arrival rate in events/second "
+                        "(implies --mode open)")
+    p.add_argument("--connect", metavar="SOCKET", default=None,
+                   help="drive a running `repro serve` daemon instead of "
+                        "an in-process service")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="in-process pool width (ignored with --connect)")
+    p.add_argument("--record", metavar="PATH", default=None,
+                   help="record the executed stream as a replayable trace "
+                        "(an existing file is overwritten)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the JSON load report here")
+    p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-execute a recorded trace and verify every response "
+             "against the recorded one",
+    )
+    p.add_argument("trace", help="a trace written by --record")
+    p.add_argument("--connect", metavar="SOCKET", default=None,
+                   help="replay against a running daemon instead of an "
+                        "in-process service")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="in-process pool width (ignored with --connect)")
+    p.add_argument("--concurrency", type=int, default=1,
+                   help="closed-loop worker count")
+    p.add_argument("--mode", choices=("closed", "open"), default="closed",
+                   help="closed-loop replay, or open-loop on the trace's "
+                        "recorded arrival offsets")
+    p.add_argument("--rate", type=float, default=None,
+                   help="override the recorded offsets with a Poisson "
+                        "arrival rate (implies --mode open)")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="time-compression for recorded offsets (open "
+                        "mode; 2.0 = twice as fast)")
+    p.add_argument("--batch-segments", action="store_true",
+                   help="coalesce consecutive stateless solves into "
+                        "wire-level solve_many batches")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip response verification (pure load replay)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for --rate arrival schedules")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the JSON replay report here")
+    p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("enable", help="solve with enabling EC")
     p.add_argument("file")
@@ -410,7 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_preserve)
 
     p = sub.add_parser("bench", help="regenerate a paper table or the engine comparison")
-    p.add_argument("table", choices=("table1", "table2", "table3", "engine"))
+    p.add_argument("table", choices=("table1", "table2", "table3", "engine", "workload"))
     p.add_argument("--tier", choices=("ci", "paper"), default=None)
     p.add_argument("--block", choices=("small", "large", "all"), default=None)
     p.set_defaults(func=_cmd_bench)

@@ -22,8 +22,9 @@ benchmarks can assert that steps 1-2 never touched a solver.
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Iterable
 
 from repro.cnf.assignment import Assignment
@@ -46,6 +47,15 @@ class EngineStats:
     solver_calls: int = 0        # solver runs that actually started
     batch_dedups: int = 0        # solve_many() queries answered intra-batch
     transport_bytes: int = 0     # wire payload bytes shipped to race workers
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of the counters (JSON-able, diffable).
+
+        The workload driver takes one snapshot before and one after a
+        run and reports the difference, so per-run cache/transport
+        counters survive on a long-lived shared engine.
+        """
+        return asdict(self)
 
 
 @dataclass
@@ -102,6 +112,15 @@ class PortfolioEngine:
         self.portfolio = Portfolio(configs=configs, jobs=jobs, quick_slice=quick_slice)
         self.cache = cache if cache is not None else SolutionCache()
         self.stats = EngineStats()
+        # Serializes whole queries (the portfolio's cancellation event is
+        # per-race state — interleaved races would corrupt each other)
+        # and therefore also guards every EngineStats/cache-stats
+        # increment.  The SolverService facade holds its own lock *and*
+        # this one (re-entrant, consistent order: service -> engine), so
+        # two services or sessions sharing one engine from different
+        # threads — each with a different service lock — still cannot
+        # race a query or tear a counter update.
+        self.lock = threading.RLock()
         self._closed = False
 
     @classmethod
@@ -134,69 +153,70 @@ class PortfolioEngine:
                 :meth:`Portfolio.solve` (e.g. ``"cdcl"`` on tightening
                 engineering changes).
         """
-        t0 = time.perf_counter()
-        self.stats.solves += 1
-        # fp-v2 is incrementally maintained on the formula's packed
-        # kernel: the first query pays O(clauses) once, every query after
-        # an EC edit pays O(changed clauses).  Still skipped entirely
-        # when the caller bypasses the cache.
-        fp = fingerprint_v2(formula) if use_cache else ""
+        with self.lock:
+            t0 = time.perf_counter()
+            self.stats.solves += 1
+            # fp-v2 is incrementally maintained on the formula's packed
+            # kernel: the first query pays O(clauses) once, every query after
+            # an EC edit pays O(changed clauses).  Still skipped entirely
+            # when the caller bypasses the cache.
+            fp = fingerprint_v2(formula) if use_cache else ""
 
-        # The hint is checked BEFORE the cache: both are O(clauses), and a
-        # still-valid current solution must win over an older cached model
-        # — serving the cache here would churn the very solution the EC
-        # methodology tries to preserve.
-        if hint is not None and formula.is_satisfied(hint):
-            self.stats.revalidations += 1
-            model = hint.copy()
+            # The hint is checked BEFORE the cache: both are O(clauses), and a
+            # still-valid current solution must win over an older cached model
+            # — serving the cache here would churn the very solution the EC
+            # methodology tries to preserve.
+            if hint is not None and formula.is_satisfied(hint):
+                self.stats.revalidations += 1
+                model = hint.copy()
+                if use_cache:
+                    self.cache.put(fp, True, model, solver="revalidation")
+                return EngineResult(
+                    SAT, model, fp, "revalidation", time.perf_counter() - t0
+                )
+
             if use_cache:
-                self.cache.put(fp, True, model, solver="revalidation")
+                entry = self.cache.get(fp)
+                if entry is not None:
+                    if entry.satisfiable and formula.is_satisfied(entry.assignment):
+                        self.stats.cache_hits += 1
+                        return EngineResult(
+                            SAT, entry.assignment, fp, "cache",
+                            time.perf_counter() - t0, from_cache=True,
+                        )
+                    if not entry.satisfiable:
+                        self.stats.cache_hits += 1
+                        return EngineResult(
+                            UNSAT, None, fp, "cache",
+                            time.perf_counter() - t0, from_cache=True,
+                        )
+                    # A cached model that no longer verifies means a hash
+                    # collision or an upstream bug; drop it and fall through.
+                    self.cache.invalidate(fp)
+
+            self.stats.races += 1
+            result = self.portfolio.solve(
+                formula, deadline=deadline, seed=seed, hint=hint, lead=lead
+            )
+            # Racers cancelled before their solver started are excluded;
+            # racers abandoned mid-run still count, so this is exact for the
+            # zero-solver paths and an upper bound on completed runs.
+            self.stats.solver_calls += result.executed
+            self.stats.transport_bytes += result.transport_bytes
+            outcome = result.outcome
+            if use_cache and outcome.is_definitive:
+                self.cache.put(
+                    fp, outcome.status == SAT, outcome.assignment, solver=outcome.solver
+                )
             return EngineResult(
-                SAT, model, fp, "revalidation", time.perf_counter() - t0
+                outcome.status,
+                outcome.assignment,
+                fp,
+                result.winner or "portfolio",
+                time.perf_counter() - t0,
+                outcome=outcome,
+                winner=result.winner,
             )
-
-        if use_cache:
-            entry = self.cache.get(fp)
-            if entry is not None:
-                if entry.satisfiable and formula.is_satisfied(entry.assignment):
-                    self.stats.cache_hits += 1
-                    return EngineResult(
-                        SAT, entry.assignment, fp, "cache",
-                        time.perf_counter() - t0, from_cache=True,
-                    )
-                if not entry.satisfiable:
-                    self.stats.cache_hits += 1
-                    return EngineResult(
-                        UNSAT, None, fp, "cache",
-                        time.perf_counter() - t0, from_cache=True,
-                    )
-                # A cached model that no longer verifies means a hash
-                # collision or an upstream bug; drop it and fall through.
-                self.cache.invalidate(fp)
-
-        self.stats.races += 1
-        result = self.portfolio.solve(
-            formula, deadline=deadline, seed=seed, hint=hint, lead=lead
-        )
-        # Racers cancelled before their solver started are excluded;
-        # racers abandoned mid-run still count, so this is exact for the
-        # zero-solver paths and an upper bound on completed runs.
-        self.stats.solver_calls += result.executed
-        self.stats.transport_bytes += result.transport_bytes
-        outcome = result.outcome
-        if use_cache and outcome.is_definitive:
-            self.cache.put(
-                fp, outcome.status == SAT, outcome.assignment, solver=outcome.solver
-            )
-        return EngineResult(
-            outcome.status,
-            outcome.assignment,
-            fp,
-            result.winner or "portfolio",
-            time.perf_counter() - t0,
-            outcome=outcome,
-            winner=result.winner,
-        )
 
     # ------------------------------------------------------------------
     def solve_many(
@@ -229,42 +249,43 @@ class PortfolioEngine:
             One :class:`EngineResult` per formula, in input order.
         """
         formulas = list(formulas)
-        results: list[EngineResult] = []
-        first_by_fp: dict[str, int] = {}
-        for formula in formulas:
-            fp = fingerprint_v2(formula)
-            prior = first_by_fp.get(fp)
-            if prior is not None:
-                self.stats.batch_dedups += 1
-                first = results[prior]
-                results.append(
-                    replace(
-                        first,
-                        # Each result owns its model: callers mutate
-                        # assignments freely (flips, don't-care recovery)
-                        # and must not corrupt their batch siblings —
-                        # the same invariant SolutionCache.get keeps.
-                        assignment=(
-                            first.assignment.copy()
-                            if first.assignment is not None
-                            else None
-                        ),
-                        source="batch-dedup",
-                        from_cache=True,
-                        wall_time=0.0,
+        with self.lock:
+            results: list[EngineResult] = []
+            first_by_fp: dict[str, int] = {}
+            for formula in formulas:
+                fp = fingerprint_v2(formula)
+                prior = first_by_fp.get(fp)
+                if prior is not None:
+                    self.stats.batch_dedups += 1
+                    first = results[prior]
+                    results.append(
+                        replace(
+                            first,
+                            # Each result owns its model: callers mutate
+                            # assignments freely (flips, don't-care recovery)
+                            # and must not corrupt their batch siblings —
+                            # the same invariant SolutionCache.get keeps.
+                            assignment=(
+                                first.assignment.copy()
+                                if first.assignment is not None
+                                else None
+                            ),
+                            source="batch-dedup",
+                            from_cache=True,
+                            wall_time=0.0,
+                        )
                     )
+                    continue
+                result = self.solve(
+                    formula,
+                    deadline=deadline,
+                    seed=seed,
+                    use_cache=use_cache,
+                    lead=lead,
                 )
-                continue
-            result = self.solve(
-                formula,
-                deadline=deadline,
-                seed=seed,
-                use_cache=use_cache,
-                lead=lead,
-            )
-            first_by_fp[fp] = len(results)
-            results.append(result)
-        return results
+                first_by_fp[fp] = len(results)
+                results.append(result)
+            return results
 
     # ------------------------------------------------------------------
     def warm_up(self) -> None:

@@ -22,6 +22,8 @@ import socket
 from repro.errors import ServiceError
 from repro.service.requests import ChangeRequest, SolveRequest, SolveResponse
 from repro.service.wire import (
+    batch_request_to_wire,
+    batch_response_from_wire,
     change_request_to_wire,
     recv_frame,
     response_from_wire,
@@ -74,6 +76,27 @@ class ServiceClient:
     def change(self, request: ChangeRequest) -> SolveResponse:
         """Route one change request through the daemon."""
         return response_from_wire(self._call(change_request_to_wire(request)))
+
+    def solve_many(
+        self,
+        formulas: list,
+        *,
+        deadline: float | None = None,
+        seed: int | None = None,
+        use_cache: bool = True,
+        lead: str | None = None,
+    ) -> list[SolveResponse]:
+        """Ship a whole batch in one frame (wire-level ``solve_many``).
+
+        Mirrors :meth:`SolverService.solve_many`: one shared pool and
+        intra-batch fingerprint dedup on the daemon side, one network
+        round trip instead of N on this side.  The replay driver uses
+        this for batched trace segments.
+        """
+        header, payload = batch_request_to_wire(
+            formulas, deadline=deadline, seed=seed, use_cache=use_cache, lead=lead
+        )
+        return batch_response_from_wire(self._call(header, payload))
 
     def close_session(self, name: str) -> bool:
         """Drop a named session on the daemon."""

@@ -24,12 +24,25 @@ per connection):
 ``change``
     a :class:`~repro.service.requests.ChangeRequest` against a named
     session.
+``solve_many``
+    a whole batch in one frame (concatenated packed payloads, split by
+    the header's ``lens`` list) answered through
+    :meth:`~repro.service.service.SolverService.solve_many` — one
+    shared pool and intra-batch fingerprint dedup, one round trip.
 ``close_session``
     drop one named session.
 ``stats``
     engine/cache counter snapshot.
 ``shutdown``
     acknowledge, then stop the accept loop and close the service.
+
+Shutdown is always a **graceful drain**: whether triggered by the
+``shutdown`` op, :meth:`ServiceDaemon.shutdown` (the CLI wires SIGTERM
+to it), or the ``max_requests`` budget, the accept loop stops, every
+in-flight request finishes and its response is sent, the service is
+closed (which drains queued ``submit()`` work and flushes any attached
+trace recorder), and only then does ``serve_forever`` return — so a
+recorded replay run always ends on a complete trace.
 
 Errors are frames too — ``{"ok": false, "error": "..."}`` — a malformed
 request must never take the daemon down.  Pair it with the persistent
@@ -50,6 +63,7 @@ from repro.errors import ReproError, ServiceError
 from repro.service.service import SolverService
 from repro.service.wire import (
     WireError,
+    batch_request_from_wire,
     change_request_from_wire,
     recv_frame,
     response_to_wire,
@@ -67,6 +81,9 @@ class ServiceDaemon:
             daemon closes whatever it serves on shutdown).
         log_path: append one line per handled op here (daemon forensics;
             uploaded as a CI artifact when the service lane fails).
+        max_requests: stop accepting and drain after this many handled
+            non-ping ops (``repro serve --max-requests``) — how replay
+            and load runs get a deterministic, clean daemon exit.
     """
 
     def __init__(
@@ -75,12 +92,18 @@ class ServiceDaemon:
         service: SolverService | None = None,
         *,
         log_path: str | None = None,
+        max_requests: int | None = None,
     ):
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix only
             raise ServiceError("repro serve needs AF_UNIX sockets")
+        if max_requests is not None and max_requests < 1:
+            raise ServiceError("max_requests must be at least 1")
         self.socket_path = str(socket_path)
         self.service = service if service is not None else SolverService()
         self.log_path = log_path
+        self.max_requests = max_requests
+        self._handled = 0
+        self._handled_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._stop = threading.Event()
         self._log_lock = threading.Lock()
@@ -138,8 +161,13 @@ class ServiceDaemon:
                 self._conn_threads.append(thread)
         finally:
             self._close_listener()
+            live = [t for t in self._conn_threads if t.is_alive()]
+            if live:
+                self._log(f"draining {len(live)} connection(s)")
             for thread in self._conn_threads:
-                thread.join(timeout=2.0)
+                thread.join(timeout=10.0)
+            # Closing the service drains queued submit() work and
+            # flushes/closes any attached trace recorder.
             self.service.close()
             self._log("daemon stopped")
 
@@ -167,10 +195,19 @@ class ServiceDaemon:
 
     # ------------------------------------------------------------------
     def _serve_connection(self, conn: socket.socket) -> None:
+        # A short receive timeout keeps an *idle* connection's handler
+        # responsive to shutdown(): without it a client holding the
+        # socket open without sending would pin this thread in recv and
+        # stall the graceful drain by the full join timeout.  In-flight
+        # requests are unaffected — dispatch is never interrupted, and a
+        # local peer's frame chunks arrive faster than the timeout.
+        conn.settimeout(0.25)
         with conn:
             while not self._stop.is_set():
                 try:
                     frame = recv_frame(conn)
+                except socket.timeout:
+                    continue
                 except WireError as exc:
                     self._log(f"wire error: {exc}")
                     self._try_send(conn, {"ok": False, "error": str(exc)})
@@ -200,6 +237,12 @@ class ServiceDaemon:
                 if stop_after:
                     self.shutdown()
                     return
+                if op != "ping" and self._budget_spent():
+                    self._log(
+                        f"max_requests={self.max_requests} reached; draining"
+                    )
+                    self.shutdown()
+                    return
 
     def _dispatch(
         self, op: str, header: dict, payload: bytes
@@ -213,6 +256,13 @@ class ServiceDaemon:
         if op == "change":
             request = change_request_from_wire(header)
             return response_to_wire(self.service.change(request)), False
+        if op == "solve_many":
+            formulas, options = batch_request_from_wire(header, payload)
+            responses = self.service.solve_many(formulas, **options)
+            return {
+                "ok": True,
+                "results": [response_to_wire(r) for r in responses],
+            }, False
         if op == "close_session":
             existed = self.service.close_session(header.get("session", ""))
             return {"ok": True, "existed": existed}, False
@@ -221,6 +271,14 @@ class ServiceDaemon:
         if op == "shutdown":
             return {"ok": True, "stopping": True}, True
         raise ServiceError(f"unknown op {op!r}")
+
+    def _budget_spent(self) -> bool:
+        """Count one handled op; True once ``max_requests`` is reached."""
+        if self.max_requests is None:
+            return False
+        with self._handled_lock:
+            self._handled += 1
+            return self._handled >= self.max_requests
 
     @staticmethod
     def _try_send(conn: socket.socket, header: dict) -> bool:

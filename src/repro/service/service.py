@@ -47,6 +47,7 @@ Design points:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 from typing import TYPE_CHECKING, Iterable
@@ -119,6 +120,12 @@ class SolverService:
             line-up, cache backend); a default one when omitted.
         engine: inject an existing engine instead of building one —
             the service then *shares* it and will not close it.
+        recorder: a :class:`~repro.workload.trace.TraceRecorder` (or
+            anything with its ``record_*`` hooks); every *successful*
+            typed op — solve, change, close_session, solve_many — is
+            appended after it completes, with its service-side wall
+            time.  The service owns the recorder and flushes/closes it
+            in :meth:`close` (``repro serve --record`` rides this).
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class SolverService:
         config: EngineConfig | None = None,
         *,
         engine: PortfolioEngine | None = None,
+        recorder=None,
     ):
         self.config = config if config is not None else EngineConfig()
         if engine is not None:
@@ -134,6 +142,7 @@ class SolverService:
         else:
             self.engine = PortfolioEngine.from_config(self.config)
             self._owns_engine = True
+        self.recorder = recorder
         self._sessions: dict[str, "IncrementalSession"] = {}
         # One re-entrant lock serializes engine access (races are not
         # interleavable) and session-table mutation; re-entrant because a
@@ -183,6 +192,13 @@ class SolverService:
             ServiceError: on an unknown strategy, a session mismatch, or
                 a closed service.  UNSAT/undecided are *responses*.
         """
+        t0 = time.perf_counter()
+        response = self._solve(request)
+        if self.recorder is not None:
+            self.recorder.record_solve(request, response, time.perf_counter() - t0)
+        return response
+
+    def _solve(self, request: SolveRequest) -> SolveResponse:
         self._check_open()
         if request.session is not None:
             return self._solve_in_session(request)
@@ -212,6 +228,7 @@ class SolverService:
             ServiceError: unknown session or closed service.
             ChangeError: the batch is invalid for the session's formula.
         """
+        t0 = time.perf_counter()
         self._check_open()
         with self._lock:
             session = self._session(request.session)
@@ -224,7 +241,10 @@ class SolverService:
                 response = session.resolve_query(
                     deadline=request.deadline, seed=request.seed
                 )
-        return response.with_context(session=request.session, regime=regime)
+        response = response.with_context(session=request.session, regime=regime)
+        if self.recorder is not None:
+            self.recorder.record_change(request, response, time.perf_counter() - t0)
+        return response
 
     def submit(
         self, request: SolveRequest | ChangeRequest
@@ -264,15 +284,27 @@ class SolverService:
 
         Wraps :meth:`PortfolioEngine.solve_many` under the service lock
         and maps each result to a :class:`SolveResponse` (in input
-        order).
+        order).  Remote clients reach this through the daemon's
+        ``solve_many`` op (one frame per batch).
         """
+        t0 = time.perf_counter()
         self._check_open()
+        formulas = list(formulas)
         with self._lock:
             results = self.engine.solve_many(
                 formulas, deadline=deadline, seed=seed,
                 use_cache=use_cache, lead=lead,
             )
-        return [response_from_engine(r) for r in results]
+        responses = [response_from_engine(r) for r in results]
+        if self.recorder is not None:
+            self.recorder.record_solve_many(
+                formulas,
+                {"deadline": deadline, "seed": seed,
+                 "use_cache": use_cache, "lead": lead},
+                responses,
+                time.perf_counter() - t0,
+            )
+        return responses
 
     # ------------------------------------------------------------------
     # named sessions: many tenants, one pool
@@ -312,12 +344,16 @@ class SolverService:
 
     def close_session(self, name: str) -> bool:
         """Drop a named session (the shared engine stays up)."""
+        t0 = time.perf_counter()
         with self._lock:
             session = self._sessions.pop(name, None)
-        if session is None:
-            return False
-        session.close()
-        return True
+        if session is not None:
+            session.close()
+        if self.recorder is not None:
+            self.recorder.record_close_session(
+                name, session is not None, time.perf_counter() - t0
+            )
+        return session is not None
 
     def session(self, name: str) -> "IncrementalSession":
         """The named session (raises :class:`ServiceError` if unknown)."""
@@ -452,14 +488,20 @@ class SolverService:
         raise ServiceError("request carries no formula source")
 
     def stats(self) -> dict:
-        """Engine + cache counters as one JSON-able snapshot."""
-        cache = self.engine.cache
-        return {
-            "engine": asdict(self.engine.stats),
-            "cache": {**asdict(cache.stats), "hit_rate": cache.stats.hit_rate,
-                      "entries": len(cache)},
-            "sessions": list(self.session_names),
-        }
+        """Engine + cache counters as one JSON-able snapshot.
+
+        Taken under the service lock so a snapshot racing concurrent
+        ``submit()`` work never reads a half-updated counter set (the
+        load driver diffs two snapshots to report per-run counters).
+        """
+        with self._lock:
+            cache = self.engine.cache
+            return {
+                "engine": self.engine.stats.snapshot(),
+                "cache": {**asdict(cache.stats), "hit_rate": cache.stats.hit_rate,
+                          "entries": len(cache)},
+                "sessions": sorted(self._sessions),
+            }
 
     def _check_open(self) -> None:
         if self._closed:
@@ -494,6 +536,8 @@ class SolverService:
             session.close()
         if self._owns_engine:
             self.engine.close()
+        if self.recorder is not None:
+            self.recorder.close()
 
     def __enter__(self) -> "SolverService":
         return self

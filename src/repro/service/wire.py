@@ -27,6 +27,7 @@ import struct
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.clause import Clause
+from repro.cnf.packed import PackedCNF
 from repro.core.change import (
     AddClause,
     AddVariable,
@@ -58,11 +59,25 @@ def send_frame(sock: socket.socket, header: dict, payload: bytes = b"") -> None:
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
-    """Read exactly *n* bytes, or None on a clean EOF at a frame start."""
+    """Read exactly *n* bytes, or None on a clean EOF at a frame start.
+
+    On a socket with a receive timeout, ``socket.timeout`` propagates
+    only when *no* bytes have been read yet (an idle poll the caller may
+    retry); once any byte arrived, a timeout means a truncated stream
+    and raises :class:`WireError` — retrying would desynchronize the
+    framing.
+    """
     chunks: list[bytes] = []
     got = 0
     while got < n:
-        chunk = sock.recv(min(65536, n - got))
+        try:
+            chunk = sock.recv(min(65536, n - got))
+        except socket.timeout:
+            if got == 0:
+                raise
+            raise WireError(
+                f"connection timed out mid-read ({got}/{n} bytes)"
+            ) from None
         if not chunk:
             if got == 0:
                 return None
@@ -73,13 +88,28 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
 
 
 def recv_frame(sock: socket.socket) -> tuple[dict, bytes] | None:
-    """Receive one frame; None when the peer closed between frames."""
+    """Receive one frame; None when the peer closed between frames.
+
+    On a socket with a receive timeout, ``socket.timeout`` escapes only
+    while waiting for a frame to *start* (safe to retry — the daemon's
+    shutdown poll); a timeout after the length prefix arrived is a
+    :class:`WireError` like any other truncation.
+    """
     raw_len = _recv_exact(sock, _LEN.size)
     if raw_len is None:
         return None
     (header_len,) = _LEN.unpack(raw_len)
     if header_len > MAX_FRAME_BYTES:
         raise WireError(f"header length {header_len} exceeds the frame cap")
+    try:
+        return _recv_frame_body(sock, header_len)
+    except socket.timeout:
+        raise WireError("connection timed out mid-frame") from None
+
+
+def _recv_frame_body(
+    sock: socket.socket, header_len: int
+) -> tuple[dict, bytes]:
     header_raw = _recv_exact(sock, header_len)
     if header_raw is None:
         raise WireError("connection closed before the frame header")
@@ -208,6 +238,64 @@ def change_request_from_wire(header: dict) -> ChangeRequest:
         seed=header.get("seed"),
         ec_mode=header.get("ec_mode", "auto"),
     )
+
+
+def batch_request_to_wire(
+    formulas: list,
+    *,
+    deadline: float | None = None,
+    seed: int | None = None,
+    use_cache: bool = True,
+    lead: str | None = None,
+) -> tuple[dict, bytes]:
+    """(header, payload) for a ``solve_many`` batch request.
+
+    The payload concatenates each instance's packed wire bytes; the
+    header's ``lens`` list is the split index.  One frame per batch —
+    the replay driver ships whole trace segments this way instead of
+    paying a round trip per instance.
+    """
+    payloads = [f.packed().to_bytes() for f in formulas]
+    header = {
+        "op": "solve_many",
+        "lens": [len(p) for p in payloads],
+        "deadline": deadline,
+        "seed": seed,
+        "use_cache": use_cache,
+        "lead": lead,
+    }
+    return header, b"".join(payloads)
+
+
+def batch_request_from_wire(header: dict, payload: bytes) -> tuple[list, dict]:
+    """(formulas, shared options) for a ``solve_many`` request frame."""
+    lens = header.get("lens", [])
+    if not isinstance(lens, list) or any(
+        not isinstance(n, int) or n <= 0 for n in lens
+    ):
+        raise WireError("solve_many header needs a positive-int 'lens' list")
+    if sum(lens) != len(payload):
+        raise WireError(
+            f"solve_many payload is {len(payload)} bytes but 'lens' sums "
+            f"to {sum(lens)}"
+        )
+    formulas = []
+    offset = 0
+    for n in lens:
+        formulas.append(PackedCNF.from_bytes(payload[offset:offset + n]).to_formula())
+        offset += n
+    options = {
+        "deadline": header.get("deadline"),
+        "seed": header.get("seed"),
+        "use_cache": bool(header.get("use_cache", True)),
+        "lead": header.get("lead"),
+    }
+    return formulas, options
+
+
+def batch_response_from_wire(header: dict) -> list[SolveResponse]:
+    """Rebuild the per-instance responses of a ``solve_many`` frame."""
+    return [response_from_wire(r) for r in header.get("results", [])]
 
 
 def response_to_wire(response: SolveResponse) -> dict:

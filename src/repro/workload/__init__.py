@@ -1,0 +1,75 @@
+"""Workload subsystem: scenario generation, trace record/replay, load.
+
+The measurement substrate for every scale direction of the ROADMAP's
+north star — before a cache shard, a parallel execution path, or a new
+transport can claim a win, it has to move the numbers this package
+produces:
+
+* :mod:`repro.workload.scenarios` — seeded, parameterized generators of
+  EC *request streams* (not just formulas) over the SAT, graph-coloring,
+  and scheduling domains, plus multi-tenant churn;
+* :mod:`repro.workload.trace`     — the versioned JSONL-with-packed-
+  bytes trace schema, the :class:`TraceRecorder` hook ``repro serve
+  --record`` installs on the service, and the lossless reader;
+* :mod:`repro.workload.runner`    — the closed/open-loop load driver
+  behind ``repro loadgen`` / ``repro replay`` / ``repro bench
+  workload``, with byte-level replay verification.
+"""
+
+from repro.workload.runner import (
+    EventResult,
+    LoadReport,
+    client_factory,
+    coalesce_batches,
+    inprocess_factory,
+    latency_summary,
+    replay_trace,
+    run_closed,
+    run_events,
+    run_open,
+    summarize,
+    verify_results,
+    write_trace_from_run,
+)
+from repro.workload.scenarios import (
+    SCENARIOS,
+    WorkloadEvent,
+    build_scenario,
+)
+from repro.workload.trace import (
+    TRACE_VERSION,
+    Trace,
+    TraceError,
+    TraceRecord,
+    TraceRecorder,
+    event_to_wire,
+    read_trace,
+    record_to_event,
+)
+
+__all__ = [
+    "EventResult",
+    "LoadReport",
+    "SCENARIOS",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceError",
+    "TraceRecord",
+    "TraceRecorder",
+    "WorkloadEvent",
+    "build_scenario",
+    "client_factory",
+    "coalesce_batches",
+    "event_to_wire",
+    "inprocess_factory",
+    "latency_summary",
+    "read_trace",
+    "record_to_event",
+    "replay_trace",
+    "run_closed",
+    "run_events",
+    "run_open",
+    "summarize",
+    "verify_results",
+    "write_trace_from_run",
+]

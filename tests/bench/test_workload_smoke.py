@@ -1,0 +1,101 @@
+"""Fast-lane workload smoke: bench plumbing + CLI record/replay loop.
+
+The heavyweight sweep runs nightly (``benchmarks/bench_workload.py``
+uploading ``BENCH_workload.json``); this guard keeps the fast lane
+honest — a tiny in-process record → replay round trip and a minimal
+bench invocation must stay green on every push.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.workload import (
+    bench_replay_fidelity,
+    bench_run,
+    format_workload_table,
+    main as workload_bench_main,
+)
+from repro.cli import main as cli_main
+
+
+class TestBenchWorkload:
+    def test_bench_run_produces_percentiles_and_counters(self):
+        report = bench_run(
+            "sat-mixed", tenants=2, changes=3, seed=0, jobs=1
+        )
+        assert report.errors == 0
+        assert report.throughput > 0
+        for key in ("mean", "p50", "p90", "p99", "max"):
+            assert key in report.latency
+        engine = report.counters["engine"]
+        assert engine["solves"] > 0
+
+    def test_replay_fidelity_segment(self):
+        fidelity = bench_replay_fidelity(tenants=2, changes=3, seed=0, jobs=1)
+        assert fidelity["mismatches"] == 0
+        assert fidelity["records"] > 0
+
+    def test_table_renders_every_run(self):
+        reports = [
+            bench_run("sat-loosening", tenants=2, changes=3, seed=0, jobs=1)
+        ]
+        table = format_workload_table(reports)
+        assert "sat-loosening" in table
+        assert "ev/s" in table
+
+    def test_main_writes_the_artifact(self, tmp_path):
+        out = tmp_path / "BENCH_workload.json"
+        rc = workload_bench_main(
+            ["--tier", "ci", "--scenarios", "sat-mixed,tenant-churn",
+             "--jobs", "1", "--out", str(out)]
+        )
+        assert rc == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["bench"] == "workload"
+        assert {r["scenario"] for r in artifact["runs"]} == {
+            "sat-mixed", "tenant-churn"
+        }
+        assert artifact["replay"]["mismatches"] == 0
+        assert artifact["open_loop"]["lateness"]["p99"] >= 0
+
+
+class TestCliLoop:
+    def test_loadgen_record_then_replay_verifies(self, tmp_path, capsys):
+        trace = tmp_path / "cli.jsonl"
+        report = tmp_path / "cli.json"
+        rc = cli_main([
+            "loadgen", "scheduling-precedence", "--tenants", "2",
+            "--changes", "3", "--jobs", "1",
+            "--record", str(trace), "--out", str(report),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "errors 0" in out
+        assert json.loads(report.read_text())["errors"] == 0
+
+        rc = cli_main(["replay", str(trace), "--jobs", "1"])
+        assert rc == 0
+        assert "0 mismatches" in capsys.readouterr().out
+
+    def test_replay_exits_nonzero_on_mismatch(self, tmp_path, capsys):
+        trace = tmp_path / "cli.jsonl"
+        rc = cli_main([
+            "loadgen", "sat-tightening", "--tenants", "1", "--changes", "2",
+            "--jobs", "1", "--record", str(trace),
+        ])
+        assert rc == 0
+        text = trace.read_text()
+        assert '"status":"sat"' in text
+        trace.write_text(text.replace('"status":"sat"', '"status":"unsat"'))
+        rc = cli_main(["replay", str(trace), "--jobs", "1"])
+        assert rc == 1
+        assert "mismatch" in capsys.readouterr().out
+
+    def test_loadgen_open_loop(self, tmp_path, capsys):
+        rc = cli_main([
+            "loadgen", "sat-loosening", "--tenants", "2", "--changes", "3",
+            "--jobs", "1", "--rate", "300",
+        ])
+        assert rc == 0
+        assert "lateness" in capsys.readouterr().out

@@ -23,6 +23,7 @@ def test_examples_exist():
         "design_for_change.py",
         "portfolio_engine.py",
         "solver_service.py",
+        "workload_replay.py",
     } <= names
 
 
@@ -46,6 +47,14 @@ def test_solver_service_runs(capsys):
     out = capsys.readouterr().out
     assert "via revalidation" in out
     assert "from_cache: True" in out
+    assert "OK" in out
+
+
+def test_workload_replay_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "workload_replay.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "same seed, same stream: True" in out
+    assert "0 mismatches" in out
     assert "OK" in out
 
 

@@ -1,0 +1,87 @@
+"""Workload properties: generator determinism, replay fidelity.
+
+Two invariants the whole subsystem hangs on:
+
+1. **seeded determinism** — the same (scenario, seed, tenants, changes)
+   must produce a *wire-identical* request stream: every event
+   serializes to the same (op, header, payload) triple, payload bytes
+   included.  Traces, replay verification, and benchmark trajectories
+   all assume it.
+2. **record → replay fidelity** — executing a stream, recording it, and
+   replaying the trace against a fresh service must reproduce the exact
+   fingerprint sequence and verdict sequence (and the models, which the
+   replay verifier also checks byte-for-byte).
+"""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.service.service import SolverService
+from repro.workload.runner import (
+    inprocess_factory,
+    replay_trace,
+    run_events,
+    write_trace_from_run,
+)
+from repro.workload.scenarios import SCENARIOS, build_scenario
+from repro.workload.trace import event_to_wire, read_trace
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", [0, 7, 123])
+def test_same_seed_means_wire_identical_stream(name, seed):
+    first = build_scenario(name, seed=seed, tenants=3, changes=5)
+    second = build_scenario(name, seed=seed, tenants=3, changes=5)
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        assert event_to_wire(a) == event_to_wire(b)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_distinct_seeds_diverge(name):
+    import json
+
+    def digest(seed):
+        return tuple(
+            (op, json.dumps(header, sort_keys=True), payload)
+            for op, header, payload in map(
+                event_to_wire, build_scenario(name, seed=seed, tenants=2, changes=4)
+            )
+        )
+
+    assert len({digest(s) for s in (0, 1, 2)}) == 3
+
+
+@pytest.mark.parametrize(
+    "name", ["sat-tightening", "sat-loosening", "coloring-churn", "tenant-churn"]
+)
+def test_record_replay_reproduces_fingerprints_and_verdicts(name, tmp_path):
+    events = build_scenario(name, seed=11, tenants=2, changes=4)
+    with SolverService(EngineConfig(jobs=1)) as service:
+        results, _ = run_events(events, inprocess_factory(service))
+    assert all(r.ok for r in results)
+    recorded_sequence = [
+        (resp.status, resp.fingerprint)
+        for result in results
+        for resp in result.responses
+    ]
+
+    path = tmp_path / "trace.jsonl"
+    write_trace_from_run(str(path), events, results, meta={"scenario": name})
+    trace = read_trace(str(path))
+
+    with SolverService(EngineConfig(jobs=1)) as fresh:
+        report = replay_trace(trace, inprocess_factory(fresh))
+    assert report.errors == 0, report.error_detail
+    assert report.mismatches == 0, report.mismatch_detail
+
+    # Belt and braces: re-execute once more by hand and compare the raw
+    # (verdict, fingerprint) sequence, independent of the verifier.
+    with SolverService(EngineConfig(jobs=1)) as again:
+        rerun, _ = run_events(trace.events(), inprocess_factory(again))
+    rerun_sequence = [
+        (resp.status, resp.fingerprint)
+        for result in rerun
+        for resp in result.responses
+    ]
+    assert rerun_sequence == recorded_sequence

@@ -1,0 +1,268 @@
+"""Wire-level solve_many, graceful drain, recorder hook, counter safety."""
+
+import os
+import signal
+import socket as socket_mod
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_planted_ksat
+from repro.core.change import AddVariable, ChangeSet, RemoveClause
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PortfolioEngine
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon
+from repro.service.requests import ChangeRequest, SolveRequest
+from repro.service.service import SolverService
+from repro.workload.trace import read_trace
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket_mod, "AF_UNIX"), reason="needs AF_UNIX sockets"
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = ServiceDaemon(
+        str(tmp_path / "svc.sock"), SolverService(EngineConfig(jobs=1))
+    )
+    thread = d.start()
+    yield d
+    d.shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+class TestWireBatch:
+    def test_solve_many_round_trip_with_dedup(self, daemon):
+        f1, _ = random_planted_ksat(12, 36, rng=1)
+        f2, _ = random_planted_ksat(12, 36, rng=2)
+        with ServiceClient(daemon.socket_path) as client:
+            responses = client.solve_many(
+                [f1, CNFFormula(f1.clauses), f2], seed=0
+            )
+        assert [r.status for r in responses] == ["sat", "sat", "sat"]
+        assert responses[1].source == "batch-dedup"
+        assert responses[0].fingerprint == responses[1].fingerprint
+        assert responses[2].fingerprint != responses[0].fingerprint
+        for f, r in zip((f1, f1, f2), responses):
+            assert f.is_satisfied(r.assignment)
+
+    def test_solve_many_empty_batch(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            assert client.solve_many([]) == []
+
+    def test_malformed_lens_is_an_error_frame_not_a_crash(self, daemon):
+        from repro.service.wire import recv_frame, send_frame
+
+        f1, _ = random_planted_ksat(8, 20, rng=3)
+        payload = f1.packed().to_bytes()
+        with ServiceClient(daemon.socket_path) as client:
+            send_frame(
+                client._sock,
+                {"op": "solve_many", "lens": [len(payload) + 5]},
+                payload,
+            )
+            header, _ = recv_frame(client._sock)
+            assert header["ok"] is False
+            assert "lens" in header["error"]
+        # The daemon survived: a fresh client still gets answers.
+        with ServiceClient(daemon.socket_path) as client:
+            assert client.ping()
+
+
+class TestGracefulDrain:
+    def test_max_requests_drains_and_stops(self, tmp_path):
+        d = ServiceDaemon(
+            str(tmp_path / "drain.sock"),
+            SolverService(EngineConfig(jobs=1)),
+            max_requests=2,
+        )
+        thread = d.start()
+        f1, _ = random_planted_ksat(10, 30, rng=4)
+        with ServiceClient(d.socket_path) as client:
+            assert client.ping()           # pings do not consume budget
+            r1 = client.solve(SolveRequest(formula=f1, seed=0))
+            assert r1.status == "sat"
+            r2 = client.solve(SolveRequest(formula=CNFFormula(f1.clauses), seed=0))
+            assert r2.status == "sat"      # the budget-spending request completes
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert d.service.closed
+
+    def test_idle_connections_do_not_stall_the_drain(self, tmp_path):
+        """A client holding an open, silent connection must not pin the
+        shutdown on the per-thread join timeout."""
+        d = ServiceDaemon(
+            str(tmp_path / "idle.sock"), SolverService(EngineConfig(jobs=1))
+        )
+        thread = d.start()
+        idle = ServiceClient(d.socket_path)
+        try:
+            assert idle.ping()             # the connection is live...
+            t0 = time.monotonic()          # ...and now just sits there
+            d.shutdown()
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+            assert time.monotonic() - t0 < 3.0
+        finally:
+            idle.close()
+
+    def test_max_requests_must_be_positive(self, tmp_path):
+        with pytest.raises(ServiceError, match="max_requests"):
+            ServiceDaemon(str(tmp_path / "x.sock"), max_requests=0)
+
+    def test_sigterm_drains_flushes_recorder_and_exits_zero(self, tmp_path):
+        """The CLI acceptance path: serve --record, traffic, SIGTERM."""
+        sock = tmp_path / "term.sock"
+        trace_path = tmp_path / "term.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", str(sock), "--jobs", "1",
+                "--record", str(trace_path),
+            ],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not sock.exists():
+                assert proc.poll() is None, proc.stderr.read()
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            f1, _ = random_planted_ksat(10, 30, rng=5)
+            with ServiceClient(str(sock)) as client:
+                assert client.solve(SolveRequest(formula=f1, seed=0)).status == "sat"
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, (out, err)
+        trace = read_trace(str(trace_path))
+        assert [r.op for r in trace.records] == ["solve"]
+        assert trace.records[0].response["status"] == "sat"
+
+
+class TestRecorderHook:
+    def test_service_records_every_typed_op(self, tmp_path):
+        from repro.workload.trace import TraceRecorder
+
+        f1, witness = random_planted_ksat(10, 30, rng=6)
+        path = tmp_path / "svc.jsonl"
+        service = SolverService(
+            EngineConfig(jobs=1), recorder=TraceRecorder(str(path))
+        )
+        service.solve(SolveRequest(formula=f1, session="t", seed=0))
+        service.change(
+            ChangeRequest("t", ChangeSet([RemoveClause(f1.clauses[0])]), seed=0)
+        )
+        service.solve_many([CNFFormula(f1.clauses)], seed=0)
+        service.close_session("t")
+        service.close()                    # flushes + closes the recorder
+        trace = read_trace(str(path))
+        assert [r.op for r in trace.records] == [
+            "solve", "change", "solve_many", "close_session",
+        ]
+        assert all(r.wall >= 0 for r in trace.records)
+        assert trace.records[1].response["regime"] == "loosening"
+        assert trace.records[3].response["existed"] is True
+
+    def test_failed_ops_are_not_recorded(self, tmp_path):
+        from repro.workload.trace import TraceRecorder
+
+        path = tmp_path / "err.jsonl"
+        with SolverService(
+            EngineConfig(jobs=1), recorder=TraceRecorder(str(path))
+        ) as service:
+            with pytest.raises(ServiceError):
+                service.change(
+                    ChangeRequest("ghost", ChangeSet([AddVariable()]), seed=0)
+                )
+            service.close_session("ghost")     # a miss is still an op
+        trace = read_trace(str(path))
+        assert [r.op for r in trace.records] == ["close_session"]
+        assert trace.records[0].response["existed"] is False
+
+
+class TestCounterSafetyUnderConcurrency:
+    """The audit satellite: EngineStats mutation is lock-guarded."""
+
+    def test_concurrent_submit_keeps_counters_consistent(self):
+        with SolverService(EngineConfig(jobs=1, submit_workers=4)) as service:
+            formulas = [
+                random_planted_ksat(12, 36, rng=i)[0] for i in range(6)
+            ]
+            pending = []
+            for round_index in range(4):
+                for f in formulas:
+                    pending.append(
+                        service.submit(
+                            SolveRequest(formula=CNFFormula(f.clauses), seed=0)
+                        )
+                    )
+            snapshots = [service.stats() for _ in range(3)]   # racing reads
+            responses = [p.result(timeout=60) for p in pending]
+            assert all(r.status == "sat" for r in responses)
+            stats = service.stats()["engine"]
+        assert stats["solves"] == len(pending)
+        # Every solve is answered by exactly one of the three paths; a
+        # torn increment would break this identity.
+        assert stats["solves"] == (
+            stats["cache_hits"] + stats["revalidations"] + stats["races"]
+        )
+        # Snapshots taken while submissions raced were read under the
+        # lock, so the identity must hold exactly in each of them too.
+        for snap in snapshots:
+            engine = snap["engine"]
+            assert engine["solves"] == (
+                engine["cache_hits"] + engine["revalidations"] + engine["races"]
+            )
+
+    def test_two_services_sharing_one_engine_cannot_tear_counters(self):
+        """Shared-engine embeddings have *different* service locks; the
+        engine's own lock is what keeps the counters coherent."""
+        with PortfolioEngine(jobs=1) as engine:
+            services = [SolverService(engine=engine) for _ in range(2)]
+            formulas = [random_planted_ksat(12, 36, rng=i)[0] for i in range(4)]
+            errors: list[str] = []
+
+            def hammer(service):
+                try:
+                    for _ in range(5):
+                        for f in formulas:
+                            response = service.solve(
+                                SolveRequest(formula=CNFFormula(f.clauses), seed=0)
+                            )
+                            assert response.status == "sat"
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(repr(exc))
+
+            threads = [
+                threading.Thread(target=hammer, args=(s,)) for s in services
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert errors == []
+            stats = engine.stats
+            assert stats.solves == 2 * 5 * len(formulas)
+            assert stats.solves == (
+                stats.cache_hits + stats.revalidations + stats.races
+            )
+            for service in services:
+                service.close()

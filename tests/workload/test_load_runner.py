@@ -1,0 +1,186 @@
+"""Load driver: closed/open loops, ordering, replay verification."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.service.service import SolverService
+from repro.workload.runner import (
+    coalesce_batches,
+    counters_delta,
+    inprocess_factory,
+    latency_summary,
+    percentile,
+    replay_trace,
+    run_closed,
+    run_events,
+    run_open,
+    summarize,
+    write_trace_from_run,
+)
+from repro.workload.scenarios import build_scenario
+from repro.workload.trace import expected_outcomes, read_trace, record_to_event
+
+
+@pytest.fixture
+def service():
+    with SolverService(EngineConfig(jobs=1)) as svc:
+        yield svc
+
+
+def run_scenario(service, name="sat-mixed", seed=1, **kwargs):
+    events = build_scenario(name, seed=seed, tenants=2, changes=4)
+    results, wall = run_events(events, inprocess_factory(service), **kwargs)
+    return events, results, wall
+
+
+class TestClosedLoop:
+    def test_single_worker_runs_clean(self, service):
+        events, results, wall = run_scenario(service)
+        report = summarize(results, wall, scenario="sat-mixed")
+        assert report.errors == 0, report.error_detail
+        assert report.events == len(events)
+        assert set(report.statuses) == {"sat"}
+        assert report.throughput > 0
+        assert report.latency["p99"] >= report.latency["p50"] >= 0
+
+    def test_concurrent_workers_preserve_session_order(self, service):
+        """Three workers over interleaved tenants: a change must never
+        reach the daemon before the open that creates its session."""
+        events = build_scenario("tenant-churn", seed=2, tenants=3, changes=4)
+        results, _ = run_closed(
+            events, inprocess_factory(service), concurrency=3
+        )
+        errors = [r.error for r in results if not r.ok]
+        assert errors == []
+
+    def test_results_keep_stream_order(self, service):
+        events, results, _ = run_scenario(service)
+        assert [r.index for r in results] == list(range(len(events)))
+        assert [r.kind for r in results] == [e.kind for e in events]
+
+
+class TestOpenLoop:
+    def test_poisson_arrivals_run_clean_and_report_lateness(self, service):
+        events, results, wall = run_scenario(
+            service, mode="open", rate=500.0, seed=3
+        )
+        report = summarize(results, wall, mode="open")
+        assert report.errors == 0, report.error_detail
+        assert report.lateness is not None
+        assert all(r.due is not None for r in results)
+        # Arrival schedule is monotone.
+        dues = [r.due for r in results]
+        assert dues == sorted(dues)
+
+    def test_recorded_offsets_drive_the_schedule(self, service):
+        events, results, _ = run_scenario(service)
+        trace_events = [
+            dataclasses.replace(e, at=i * 0.001) for i, e in enumerate(events)
+        ]
+        with SolverService(EngineConfig(jobs=1)) as fresh:
+            replay_results, _ = run_open(
+                trace_events, inprocess_factory(fresh), speed=2.0
+            )
+        assert all(r.ok for r in replay_results)
+        assert replay_results[-1].due == pytest.approx(
+            (len(events) - 1) * 0.001 / 2.0
+        )
+
+    def test_bad_rate_rejected(self, service):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="rate must be positive"):
+            run_open([], inprocess_factory(service), rate=0.0)
+
+
+class TestReplay:
+    def test_record_then_replay_reproduces_fingerprints_and_verdicts(
+        self, service, tmp_path
+    ):
+        events, results, _ = run_scenario(service, name="sat-tightening")
+        path = tmp_path / "t.jsonl"
+        write_trace_from_run(str(path), events, results, meta={"scenario": "x"})
+        trace = read_trace(str(path))
+        with SolverService(EngineConfig(jobs=1)) as fresh:
+            factory = inprocess_factory(fresh)
+            report = replay_trace(trace, factory, stats_target=factory())
+        assert report.errors == 0, report.error_detail
+        assert report.mismatches == 0, report.mismatch_detail
+
+    def test_replay_detects_a_tampered_trace(self, service, tmp_path):
+        events, results, _ = run_scenario(service)
+        path = tmp_path / "t.jsonl"
+        write_trace_from_run(str(path), events, results)
+        text = path.read_text()
+        fp = next(
+            r.fingerprint
+            for res in results
+            for r in res.responses
+            if r.fingerprint
+        )
+        assert fp in text
+        path.write_text(text.replace(fp, "0" * len(fp)))
+        trace = read_trace(str(path))
+        with SolverService(EngineConfig(jobs=1)) as fresh:
+            report = replay_trace(trace, inprocess_factory(fresh))
+        assert report.mismatches > 0
+        assert any("fingerprint" in d for d in report.mismatch_detail)
+
+    def test_batch_segments_coalesce_and_still_verify(self, service, tmp_path):
+        events, results, _ = run_scenario(service, name="tenant-churn", seed=4)
+        path = tmp_path / "t.jsonl"
+        write_trace_from_run(str(path), events, results)
+        trace = read_trace(str(path))
+        pairs = [(record_to_event(r), expected_outcomes(r)) for r in trace.records]
+        coalesced = coalesce_batches(pairs)
+        assert any(e.kind == "solve_many" for e, _ in coalesced)
+        assert len(coalesced) < len(pairs)
+        # Expected-outcome counts are conserved across coalescing.
+        assert sum(len(x) for _, x in coalesced) == sum(len(x) for _, x in pairs)
+        with SolverService(EngineConfig(jobs=1)) as fresh:
+            report = replay_trace(
+                trace, inprocess_factory(fresh), batch_segments=True
+            )
+        assert report.errors == 0, report.error_detail
+        assert report.mismatches == 0, report.mismatch_detail
+        assert report.by_kind.get("solve_many", 0) >= 1
+
+
+class TestReporting:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_latency_summary_shape(self):
+        summary = latency_summary([0.004, 0.001, 0.002, 0.003])
+        assert summary["p50"] <= summary["p90"] <= summary["p99"] <= summary["max"]
+        assert summary["max"] == 0.004
+        assert summary["mean"] == pytest.approx(0.0025)
+
+    def test_counters_delta_diffs_numeric_leaves(self):
+        before = {"engine": {"solves": 3, "races": 1}, "sessions": ["a"]}
+        after = {"engine": {"solves": 10, "races": 4}, "sessions": ["b"]}
+        delta = counters_delta(before, after)
+        assert delta["engine"] == {"solves": 7, "races": 3}
+        assert delta["sessions"] == ["b"]
+
+    def test_stats_delta_counts_only_this_run(self, service):
+        factory = inprocess_factory(service)
+        run_scenario(service)                      # warm-up traffic
+        before = factory().stats()
+        events, results, wall = run_scenario(service, seed=9)
+        after = factory().stats()
+        report = summarize(
+            results, wall, stats_before=before, stats_after=after
+        )
+        engine = report.counters["engine"]
+        assert 0 < engine["solves"] <= len(events)
+        assert engine["solves"] == (
+            engine["cache_hits"] + engine["revalidations"] + engine["races"]
+        )
