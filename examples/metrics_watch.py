@@ -1,0 +1,101 @@
+"""Live observability: histograms, metric frames, and the watch stream.
+
+Run:  python examples/metrics_watch.py
+
+Demonstrates the observability layer end to end: the log-bucketed
+:class:`~repro.LatencyHistogram` (merge per-worker shards, read bucket-
+resolved percentiles), the :class:`~repro.MetricsRegistry` every
+:class:`~repro.SolverService` publishes into, and an in-process
+``repro serve`` daemon streaming per-interval metric frames to a
+subscriber over its ``watch`` op while a load burst runs — exactly what
+``repro stats --watch --connect SOCKET`` renders.
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro import EngineConfig, LatencyHistogram, ServiceClient, SolverService
+from repro.service.daemon import ServiceDaemon
+from repro.workload import build_scenario, client_factory, run_events
+
+
+def histogram_basics() -> None:
+    print("== Log-bucketed histograms ==")
+    # Two workers observe different latency mixes; folding their shards
+    # is exact — bucket counts just add.
+    fast = LatencyHistogram.of([0.0008, 0.0011, 0.0009, 0.0012])
+    slow = LatencyHistogram.of([0.040, 0.055, 0.120])
+    merged = fast.copy().merge(slow)
+    summary = merged.summary()
+    print(f"merged {merged.count} samples: "
+          f"p50 {summary['p50'] * 1e3:.2f}ms, p99 {summary['p99'] * 1e3:.2f}ms, "
+          f"max {summary['max'] * 1e3:.2f}ms (max is exact)")
+    # The JSON form is what BENCH_workload.json rows carry.
+    data = merged.to_dict()
+    print(f"serialized: {len(data['buckets'])} nonzero buckets, "
+          f"round-trips to p99 {LatencyHistogram.from_dict(data).percentile(99) * 1e3:.2f}ms")
+
+
+def registry_basics() -> None:
+    print("\n== The service's metrics registry ==")
+    with SolverService(EngineConfig(jobs=1)) as service:
+        events = build_scenario("sat-mixed", seed=3, tenants=2, changes=3)
+        from repro.workload import inprocess_factory
+
+        run_events(events, inprocess_factory(service))
+        snap = service.metrics.snapshot()
+        print(f"counters: {snap['counters']}")
+        print(f"per-session requests: {snap['families'].get('session_requests')}")
+        latency = snap["histograms"]["solve_latency"]
+        print(f"solve latency: {latency['count']} samples, "
+              f"p99 {latency['p99'] * 1e3:.2f}ms")
+
+
+def daemon_watch() -> None:
+    print("\n== Watching a daemon under load ==")
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = str(Path(tmp) / "svc.sock")
+        daemon = ServiceDaemon(
+            sock, SolverService(EngineConfig(jobs=1)), monitor_interval=0.2
+        )
+        thread = daemon.start()
+
+        events = build_scenario("tenant-churn", seed=7, tenants=3, changes=4)
+        loader = threading.Thread(
+            target=run_events, args=(events, client_factory(sock)),
+            kwargs={"concurrency": 2},
+        )
+        loader.start()
+
+        # Subscribe: the daemon pushes one frame per interval on this
+        # connection; each subscriber gets its own diffing cursor.
+        with ServiceClient(sock) as client:
+            for frame in client.watch(interval=0.25, count=4):
+                lat = frame["latency"]
+                print(f"  [{frame['uptime']:5.1f}s] {frame['rps']:6.1f} rps  "
+                      f"p99 {lat['p99'] * 1e3:7.2f}ms  "
+                      f"hit {frame['hit_rate'] * 100:5.1f}%  "
+                      f"inflight {frame['inflight']:.0f}")
+        loader.join()
+
+        # The one-shot frame folds the monitor's ring-buffer history, so
+        # the burst's rate is still visible after the burst ended.
+        with ServiceClient(sock) as client:
+            frame = client.stats_frame(window=60.0)
+            client.shutdown()
+        thread.join(timeout=10)
+        print(f"one-shot after the burst: {frame['rps']:.1f} rps over the "
+              f"{frame['window']:.0f}s window, "
+              f"{frame['latency_histogram']['count']} latency samples")
+
+
+def main() -> None:
+    histogram_basics()
+    registry_basics()
+    daemon_watch()
+    print("\nOK: observability end to end.")
+
+
+if __name__ == "__main__":
+    main()

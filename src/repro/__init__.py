@@ -36,7 +36,11 @@ Subpackages:
 * :mod:`repro.workload` — scenario generators producing EC request
   streams, the versioned request-trace record/replay format, and the
   closed/open-loop load driver behind ``repro loadgen`` / ``repro
-  replay`` / ``repro bench workload``.
+  replay`` / ``repro bench workload``;
+* :mod:`repro.obs` — the live observability layer: log-bucketed HDR
+  latency histograms, rrd-style ring-buffer time series, the narrow-lock
+  metrics registry the engine and service publish into, and the daemon
+  monitor behind ``repro stats [--watch]``.
 """
 
 from repro.cnf import Assignment, Clause, CNFFormula
@@ -63,6 +67,12 @@ from repro.engine import (
     fingerprint,
 )
 from repro.ilp import ILPModel, LinExpr, Solution, SolveStatus, solve
+from repro.obs import (
+    LatencyHistogram,
+    MetricsRegistry,
+    RingSeries,
+    StatsMonitor,
+)
 from repro.sat import encode_sat
 from repro.service import (
     ChangeRequest,
@@ -80,7 +90,7 @@ from repro.workload import (
     replay_trace,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AddClause",
@@ -96,12 +106,15 @@ __all__ = [
     "EngineConfig",
     "ILPModel",
     "IncrementalSession",
+    "LatencyHistogram",
     "LinExpr",
+    "MetricsRegistry",
     "PendingSolve",
     "Portfolio",
     "PortfolioEngine",
     "RemoveClause",
     "RemoveVariable",
+    "RingSeries",
     "ServiceClient",
     "Solution",
     "SolutionCache",
@@ -110,6 +123,7 @@ __all__ = [
     "SolveStatus",
     "SolverConfig",
     "SolverService",
+    "StatsMonitor",
     "TraceRecorder",
     "WorkloadEvent",
     "build_scenario",

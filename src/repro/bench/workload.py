@@ -11,6 +11,10 @@ closed/open-loop runner and records, per scenario:
   revalidations, batch dedups, transport bytes) — the substrate every
   future scale PR (cache sharding, parallel distinct-fingerprint
   execution, TCP transport) is judged against;
+* the full **log-bucketed latency histogram** of each run
+  (``latency_histogram`` in every artifact row, the sparse-bucket form
+  of :class:`~repro.obs.histogram.LatencyHistogram`), so a regression
+  shows up as a shifted distribution, not just three moved percentiles;
 
 plus two suite-level experiments:
 

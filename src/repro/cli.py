@@ -25,6 +25,11 @@ Commands:
 * ``replay TRACE.jsonl``             — re-execute a recorded trace and verify
   every response against the recorded one (status, fingerprint, model);
   exit code 1 on any mismatch;
+* ``stats --connect SOCKET``         — one observability frame from a running
+  daemon (windowed rps, hit rate, latency percentiles off the live
+  log-bucketed histogram, queue depths, cache size); ``--watch`` subscribes
+  to the daemon's push-stream and prints one frame per ``--interval``
+  seconds; ``--json`` emits machine-readable frames either way;
 * ``enable FILE.cnf``                — solve with enabling EC and report flexibility;
 * ``fast FILE.cnf CHANGED.cnf``      — fast EC from FILE's solution to CHANGED;
 * ``preserve FILE.cnf CHANGED.cnf``  — preserving EC between the two instances;
@@ -426,6 +431,78 @@ def _cmd_replay(args) -> int:
     return 1 if failed else 0
 
 
+def _frame_line(frame: dict) -> str:
+    """One metric frame as a fixed-width live line (``stats --watch``)."""
+    lat = frame.get("latency", {})
+    return (
+        f"{frame.get('uptime', 0.0):8.1f}s  "
+        f"rps {frame.get('rps', 0.0):7.1f}  "
+        f"p50 {_ms(lat.get('p50', 0.0)):>9}  "
+        f"p99 {_ms(lat.get('p99', 0.0)):>9}  "
+        f"hit {frame.get('hit_rate', 0.0) * 100:5.1f}%  "
+        f"inflight {frame.get('inflight', 0):3.0f}  "
+        f"queued {frame.get('queued', 0):3.0f}  "
+        f"sessions {frame.get('sessions', 0):3.0f}  "
+        f"errors {frame.get('errors', 0):3.0f}"
+    )
+
+
+def _cmd_stats(args) -> int:
+    """One-shot or streaming metrics from a running daemon."""
+    from repro.service.client import ServiceClient
+
+    if args.watch:
+        # A dedicated connection: the watch generator owns its receive
+        # side for the whole stream.
+        with ServiceClient(args.connect, timeout=30.0) as client:
+            try:
+                for frame in client.watch(
+                    interval=args.interval, count=args.frames
+                ):
+                    if args.json:
+                        print(json.dumps(frame), flush=True)
+                    else:
+                        print(_frame_line(frame), flush=True)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+        return 0
+    with ServiceClient(args.connect, timeout=30.0) as client:
+        frame = client.stats_frame(window=args.window)
+    if args.json:
+        print(json.dumps(frame, indent=2))
+        return 0
+    lat = frame.get("latency", {})
+    totals = frame.get("totals", {})
+    print(
+        f"daemon up {frame.get('uptime', 0.0):.1f}s, window "
+        f"{frame.get('window', 0.0):.0f}s: {frame.get('rps', 0.0):.1f} rps, "
+        f"hit rate {frame.get('hit_rate', 0.0) * 100:.1f}%"
+    )
+    print(
+        f"c window: {frame.get('requests', 0):.0f} requests, "
+        f"{frame.get('solves', 0):.0f} solves, "
+        f"{frame.get('races', 0):.0f} races, "
+        f"{frame.get('cache_hits', 0):.0f} cache hits, "
+        f"{frame.get('errors', 0):.0f} errors"
+    )
+    print(
+        f"c latency (lifetime, {lat.get('count', 0)} samples): "
+        f"mean {_ms(lat.get('mean', 0.0))} p50 {_ms(lat.get('p50', 0.0))} "
+        f"p90 {_ms(lat.get('p90', 0.0))} p99 {_ms(lat.get('p99', 0.0))} "
+        f"max {_ms(lat.get('max', 0.0))}"
+    )
+    print(
+        f"c gauges: inflight {frame.get('inflight', 0):.0f}, "
+        f"queued {frame.get('queued', 0):.0f}, "
+        f"sessions {frame.get('sessions', 0):.0f}"
+    )
+    print(
+        f"c totals: {totals.get('requests', 0):.0f} requests, "
+        f"{totals.get('solves', 0):.0f} solves since daemon start"
+    )
+    return 0
+
+
 def _cmd_enable(args) -> int:
     formula = read_dimacs(args.file)
     options = EnablingOptions(mode=args.mode, support=args.support, k=args.k)
@@ -627,6 +704,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the JSON replay report here")
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "stats",
+        help="observability frames from a running daemon "
+             "(one-shot, or --watch for the live push-stream)",
+    )
+    p.add_argument("--connect", metavar="SOCKET", required=True,
+                   help="the daemon's Unix socket")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable frames (one JSON object "
+                        "one-shot; one JSON line per frame with --watch)")
+    p.add_argument("--watch", action="store_true",
+                   help="subscribe to the daemon's metric push-stream "
+                        "and print one line per interval (Ctrl-C to stop)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between watch frames (default 1.0)")
+    p.add_argument("--frames", type=int, default=None,
+                   help="stop after this many watch frames "
+                        "(default: until Ctrl-C or daemon drain)")
+    p.add_argument("--window", type=float, default=None,
+                   help="trailing seconds folded into one-shot rates "
+                        "(default 60)")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("enable", help="solve with enabling EC")
     p.add_argument("file")

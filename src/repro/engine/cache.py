@@ -93,6 +93,11 @@ class CacheBackend(Protocol):
         """Drop every entry (statistics are kept)."""
         ...
 
+    def info(self) -> dict:
+        """Introspection snapshot: ``backend`` name, ``entries`` count,
+        (approximate) resident ``bytes``, and lifetime ``evictions``."""
+        ...
+
     def __contains__(self, fp: str) -> bool: ...
 
     def __len__(self) -> int: ...
@@ -164,6 +169,26 @@ class SolutionCache:
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._entries.clear()
+
+    def info(self) -> dict:
+        """Entry count, approximate resident bytes, and evictions.
+
+        The byte size is an estimate (per-entry object overhead plus
+        ~48 bytes per assigned variable for the model's dict slots) —
+        good enough to watch a cache grow toward capacity, not an
+        allocator-exact audit.
+        """
+        size = 0
+        for fp, entry in self._entries.items():
+            size += 120 + len(fp)
+            if entry.assignment is not None:
+                size += 48 * len(entry.assignment.assigned_variables())
+        return {
+            "backend": "memory",
+            "entries": len(self._entries),
+            "bytes": size,
+            "evictions": self.stats.evictions,
+        }
 
     def __contains__(self, fp: str) -> bool:
         return fp in self._entries

@@ -200,6 +200,24 @@ class DiskCache:
                 self._unlink(path)
         self._approx_count = 0
 
+    def info(self) -> dict:
+        """Entry count, on-disk bytes, and evictions (one stat pass;
+        entries unlinked by a racing sweep simply don't count)."""
+        entries = 0
+        size = 0
+        for path in self._entry_paths():
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {
+            "backend": "disk",
+            "entries": entries,
+            "bytes": size,
+            "evictions": self.stats.evictions,
+        }
+
     def __contains__(self, fp: str) -> bool:
         return self._path(fp).exists()
 

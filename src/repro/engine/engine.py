@@ -34,6 +34,13 @@ from repro.engine.config import EngineConfig, SolverConfig
 from repro.engine.fingerprint import fingerprint_v2
 from repro.engine.portfolio import DEFAULT_QUICK_SLICE, Portfolio
 from repro.engine.protocol import SAT, UNSAT, SolverOutcome
+from repro.obs.metrics import LATENCY_HISTOGRAM, MetricsRegistry
+
+#: EngineStats fields mirrored into the metrics registry per query.
+_METRIC_FIELDS = (
+    "cache_hits", "revalidations", "races", "solver_calls",
+    "batch_dedups", "transport_bytes",
+)
 
 
 @dataclass
@@ -100,6 +107,11 @@ class PortfolioEngine:
             or build either via :meth:`from_config`).
         quick_slice: lead-solver in-process budget, see
             :class:`~repro.engine.portfolio.Portfolio`.
+        metrics: a :class:`~repro.obs.metrics.MetricsRegistry` to
+            publish live counters and latency observations into (a
+            private one by default).  Unlike :attr:`stats`, the
+            registry has its own narrow lock, so samplers and ``repro
+            stats`` readers never queue behind a running race.
     """
 
     def __init__(
@@ -108,10 +120,12 @@ class PortfolioEngine:
         jobs: int | None = None,
         cache: CacheBackend | None = None,
         quick_slice: float = DEFAULT_QUICK_SLICE,
+        metrics: MetricsRegistry | None = None,
     ):
         self.portfolio = Portfolio(configs=configs, jobs=jobs, quick_slice=quick_slice)
         self.cache = cache if cache is not None else SolutionCache()
         self.stats = EngineStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Serializes whole queries (the portfolio's cancellation event is
         # per-race state — interleaved races would corrupt each other)
         # and therefore also guards every EngineStats/cache-stats
@@ -154,69 +168,98 @@ class PortfolioEngine:
                 engineering changes).
         """
         with self.lock:
-            t0 = time.perf_counter()
-            self.stats.solves += 1
-            # fp-v2 is incrementally maintained on the formula's packed
-            # kernel: the first query pays O(clauses) once, every query after
-            # an EC edit pays O(changed clauses).  Still skipped entirely
-            # when the caller bypasses the cache.
-            fp = fingerprint_v2(formula) if use_cache else ""
+            before = [getattr(self.stats, f) for f in _METRIC_FIELDS]
+            result = self._solve_locked(
+                formula, deadline=deadline, seed=seed, hint=hint,
+                use_cache=use_cache, lead=lead,
+            )
+            deltas = {
+                f: getattr(self.stats, f) - b
+                for f, b in zip(_METRIC_FIELDS, before)
+            }
+        # Published OUTSIDE the engine lock: the registry's own narrow
+        # lock is the only thing a live reader contends with.
+        deltas["solves"] = 1
+        self.metrics.bump(
+            counts={k: v for k, v in deltas.items() if v},
+            observe={LATENCY_HISTOGRAM: result.wall_time},
+        )
+        return result
 
-            # The hint is checked BEFORE the cache: both are O(clauses), and a
-            # still-valid current solution must win over an older cached model
-            # — serving the cache here would churn the very solution the EC
-            # methodology tries to preserve.
-            if hint is not None and formula.is_satisfied(hint):
-                self.stats.revalidations += 1
-                model = hint.copy()
-                if use_cache:
-                    self.cache.put(fp, True, model, solver="revalidation")
-                return EngineResult(
-                    SAT, model, fp, "revalidation", time.perf_counter() - t0
-                )
+    def _solve_locked(
+        self,
+        formula: CNFFormula,
+        *,
+        deadline: float | None,
+        seed: int | None,
+        hint: Assignment | None,
+        use_cache: bool,
+        lead: str | None,
+    ) -> EngineResult:
+        """The cache -> hint -> race pipeline (caller holds the lock)."""
+        t0 = time.perf_counter()
+        self.stats.solves += 1
+        # fp-v2 is incrementally maintained on the formula's packed
+        # kernel: the first query pays O(clauses) once, every query after
+        # an EC edit pays O(changed clauses).  Still skipped entirely
+        # when the caller bypasses the cache.
+        fp = fingerprint_v2(formula) if use_cache else ""
 
+        # The hint is checked BEFORE the cache: both are O(clauses), and a
+        # still-valid current solution must win over an older cached model
+        # — serving the cache here would churn the very solution the EC
+        # methodology tries to preserve.
+        if hint is not None and formula.is_satisfied(hint):
+            self.stats.revalidations += 1
+            model = hint.copy()
             if use_cache:
-                entry = self.cache.get(fp)
-                if entry is not None:
-                    if entry.satisfiable and formula.is_satisfied(entry.assignment):
-                        self.stats.cache_hits += 1
-                        return EngineResult(
-                            SAT, entry.assignment, fp, "cache",
-                            time.perf_counter() - t0, from_cache=True,
-                        )
-                    if not entry.satisfiable:
-                        self.stats.cache_hits += 1
-                        return EngineResult(
-                            UNSAT, None, fp, "cache",
-                            time.perf_counter() - t0, from_cache=True,
-                        )
-                    # A cached model that no longer verifies means a hash
-                    # collision or an upstream bug; drop it and fall through.
-                    self.cache.invalidate(fp)
-
-            self.stats.races += 1
-            result = self.portfolio.solve(
-                formula, deadline=deadline, seed=seed, hint=hint, lead=lead
-            )
-            # Racers cancelled before their solver started are excluded;
-            # racers abandoned mid-run still count, so this is exact for the
-            # zero-solver paths and an upper bound on completed runs.
-            self.stats.solver_calls += result.executed
-            self.stats.transport_bytes += result.transport_bytes
-            outcome = result.outcome
-            if use_cache and outcome.is_definitive:
-                self.cache.put(
-                    fp, outcome.status == SAT, outcome.assignment, solver=outcome.solver
-                )
+                self.cache.put(fp, True, model, solver="revalidation")
             return EngineResult(
-                outcome.status,
-                outcome.assignment,
-                fp,
-                result.winner or "portfolio",
-                time.perf_counter() - t0,
-                outcome=outcome,
-                winner=result.winner,
+                SAT, model, fp, "revalidation", time.perf_counter() - t0
             )
+
+        if use_cache:
+            entry = self.cache.get(fp)
+            if entry is not None:
+                if entry.satisfiable and formula.is_satisfied(entry.assignment):
+                    self.stats.cache_hits += 1
+                    return EngineResult(
+                        SAT, entry.assignment, fp, "cache",
+                        time.perf_counter() - t0, from_cache=True,
+                    )
+                if not entry.satisfiable:
+                    self.stats.cache_hits += 1
+                    return EngineResult(
+                        UNSAT, None, fp, "cache",
+                        time.perf_counter() - t0, from_cache=True,
+                    )
+                # A cached model that no longer verifies means a hash
+                # collision or an upstream bug; drop it and fall through.
+                self.cache.invalidate(fp)
+
+        self.stats.races += 1
+        result = self.portfolio.solve(
+            formula, deadline=deadline, seed=seed, hint=hint, lead=lead
+        )
+        # Racers cancelled before their solver started are excluded;
+        # racers abandoned mid-run still count, so this is exact for the
+        # zero-solver paths and an upper bound on completed runs.
+        self.stats.solver_calls += result.executed
+        self.stats.transport_bytes += result.transport_bytes
+        outcome = result.outcome
+        if use_cache and outcome.is_definitive:
+            self.cache.put(
+                fp, outcome.status == SAT, outcome.assignment, solver=outcome.solver
+            )
+        return EngineResult(
+            outcome.status,
+            outcome.assignment,
+            fp,
+            result.winner or "portfolio",
+            time.perf_counter() - t0,
+            outcome=outcome,
+            winner=result.winner,
+        )
 
     # ------------------------------------------------------------------
     def solve_many(
@@ -257,6 +300,9 @@ class PortfolioEngine:
                 prior = first_by_fp.get(fp)
                 if prior is not None:
                     self.stats.batch_dedups += 1
+                    # Mirror the dedup into the live registry (no latency
+                    # observation — nothing was served, just aliased).
+                    self.metrics.bump(counts={"solves": 1, "batch_dedups": 1})
                     first = results[prior]
                     results.append(
                         replace(

@@ -1,0 +1,38 @@
+"""Observability: histograms, ring-buffer time series, live metrics.
+
+The serving story (``repro serve`` + ``repro loadgen``) needs more than
+end-of-run counter snapshots: this package holds the pieces that make a
+running daemon introspectable —
+
+* :mod:`repro.obs.histogram`  — log-bucketed HDR-style latency
+  histograms (mergeable, diffable, JSON-able bucket arrays);
+* :mod:`repro.obs.timeseries` — rrd-style fixed-memory per-second ring
+  buffers;
+* :mod:`repro.obs.metrics`    — the narrow-lock :class:`MetricsRegistry`
+  the engine and service publish into, plus the frame diffing behind
+  ``repro stats --watch`` and the daemon's :class:`StatsMonitor`.
+"""
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.metrics import (
+    FRAME_COUNTERS,
+    LATENCY_HISTOGRAM,
+    FrameTracker,
+    MetricsRegistry,
+    StatsMonitor,
+    build_frame,
+    hit_rate,
+)
+from repro.obs.timeseries import RingSeries
+
+__all__ = [
+    "FRAME_COUNTERS",
+    "FrameTracker",
+    "LATENCY_HISTOGRAM",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "RingSeries",
+    "StatsMonitor",
+    "build_frame",
+    "hit_rate",
+]

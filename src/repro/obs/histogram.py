@@ -1,0 +1,286 @@
+"""Log-bucketed latency histograms (HDR-style, mergeable, JSON-able).
+
+A :class:`LatencyHistogram` keeps exact *counts* in geometrically spaced
+buckets: every recorded value lands in exactly one bucket whose width is
+a fixed *relative* error bound (``10 ** (1 / buckets_per_decade)``), so
+a p99 read off the histogram is within that bound of the exact
+sorted-list p99 no matter how skewed the sample is.  Unlike a fixed
+percentile list, histograms compose:
+
+* **merge** — bucket counts add, so per-worker histograms fold into one
+  run histogram and per-run histograms fold into a suite trajectory;
+* **diff** — cumulative bucket counts subtract, which is how the daemon
+  turns its lifetime latency histogram into per-second frames for
+  ``repro stats --watch`` without ever storing raw samples;
+* **serialize** — :meth:`to_dict` emits the sparse bucket array that
+  ``BENCH_workload.json`` rows carry, so a regression shows up as a
+  shifted distribution, not just three moved numbers.
+
+Count/sum/min/max are tracked exactly; only the quantile *positions*
+are bucket-resolved.  The empty and single-sample edge cases the old
+sorted-list code guarded ad hoc are exact here by construction: an
+empty histogram answers 0.0 everywhere, and quantiles are clamped to
+the exact observed ``[min, max]`` range, so one sample answers itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: Default resolvable range: 1 microsecond .. ~17 minutes of latency.
+DEFAULT_MIN = 1e-6
+DEFAULT_MAX = 1e3
+#: Default relative resolution: 10**(1/32) - 1 ~= 7.5% per bucket.
+DEFAULT_BUCKETS_PER_DECADE = 32
+
+
+class LatencyHistogram:
+    """Fixed-memory log-bucketed histogram of nonnegative values.
+
+    Args:
+        min_value: smallest resolvable value; everything in ``(0,
+            min_value)`` lands in the underflow bucket (index 0) and
+            zero/negative values are counted there too.
+        max_value: start of the overflow bucket; values at or above it
+            are counted but only resolved as ">= max_value".
+        buckets_per_decade: buckets per factor-of-10, i.e. the relative
+            resolution ``10**(1/buckets_per_decade) - 1``.
+    """
+
+    __slots__ = (
+        "min_value", "max_value", "buckets_per_decade",
+        "counts", "count", "sum", "min", "max",
+    )
+
+    def __init__(
+        self,
+        *,
+        min_value: float = DEFAULT_MIN,
+        max_value: float = DEFAULT_MAX,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+    ):
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError("need 0 < min_value < max_value")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = math.log10(self.max_value / self.min_value)
+        # +2: one underflow bucket in front, one overflow bucket behind.
+        self.counts = [0] * (int(math.ceil(decades * buckets_per_decade)) + 2)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    # ------------------------------------------------------------------
+    def _index(self, value: float) -> int:
+        if value < self.min_value:            # includes 0 and negatives
+            return 0
+        if value >= self.max_value:
+            return len(self.counts) - 1
+        return 1 + int(
+            math.log10(value / self.min_value) * self.buckets_per_decade
+        )
+
+    def _bucket_value(self, index: int) -> float:
+        """A bucket's representative value (geometric midpoint)."""
+        if index <= 0:
+            return self.min_value
+        if index >= len(self.counts) - 1:
+            return self.max_value
+        lo = self.min_value * 10 ** ((index - 1) / self.buckets_per_decade)
+        return lo * 10 ** (0.5 / self.buckets_per_decade)
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Count one value (nonnegative seconds, typically)."""
+        value = float(value)
+        self.counts[self._index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Count every value in an iterable."""
+        for value in values:
+            self.record(value)
+
+    # ------------------------------------------------------------------
+    def _compatible(self, other: "LatencyHistogram") -> None:
+        if (
+            other.min_value != self.min_value
+            or other.max_value != self.max_value
+            or other.buckets_per_decade != self.buckets_per_decade
+        ):
+            raise ValueError("histograms use different bucket schemes")
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold *other*'s counts into this histogram (in place)."""
+        self._compatible(other)
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def diff(self, earlier: "LatencyHistogram") -> "LatencyHistogram":
+        """The histogram of everything recorded *since* ``earlier``.
+
+        Both must be snapshots of one monotonically growing histogram
+        (bucket counts only ever increase); the result's min/max are
+        bucket-resolved, not exact — the interval's extremes were never
+        stored separately.
+        """
+        self._compatible(earlier)
+        out = LatencyHistogram(
+            min_value=self.min_value, max_value=self.max_value,
+            buckets_per_decade=self.buckets_per_decade,
+        )
+        for i, n in enumerate(self.counts):
+            d = n - earlier.counts[i]
+            if d < 0:
+                raise ValueError("diff against a non-earlier snapshot")
+            out.counts[i] = d
+        out.count = self.count - earlier.count
+        out.sum = self.sum - earlier.sum
+        if out.count:
+            lo = next(i for i, n in enumerate(out.counts) if n)
+            hi = next(
+                i for i in range(len(out.counts) - 1, -1, -1) if out.counts[i]
+            )
+            out.min = min(self._bucket_value(lo), max(0.0, out.sum / out.count))
+            out.max = self._bucket_value(hi + 1)
+        return out
+
+    def copy(self) -> "LatencyHistogram":
+        """An independent snapshot (the substrate of :meth:`diff`)."""
+        out = LatencyHistogram(
+            min_value=self.min_value, max_value=self.max_value,
+            buckets_per_decade=self.buckets_per_decade,
+        )
+        out.counts = list(self.counts)
+        out.count = self.count
+        out.sum = self.sum
+        out.min = self.min
+        out.max = self.max
+        return out
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1], bucket-resolved.
+
+        Empty histograms answer 0.0; otherwise the answer is the
+        representative value of the bucket holding the rank, clamped to
+        the exact observed [min, max] — so a single-sample histogram
+        answers that sample exactly, and q=1 is always the exact max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen > rank:
+                if i == len(self.counts) - 1:
+                    # Overflow values are only resolved as ">= max_value";
+                    # the exact tracked max is the honest answer.
+                    return self.max
+                return min(max(self._bucket_value(i), self.min), self.max)
+        return self.max  # pragma: no cover - rank < count by construction
+
+    def percentile(self, p: float) -> float:
+        """:meth:`quantile` with p in 0..100 (the CLI-facing spelling)."""
+        return self.quantile(p / 100.0)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean (sum and count are tracked exactly)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """The classic report shape: mean/p50/p90/p99/max (+ count).
+
+        mean and max are exact; the percentiles are bucket-resolved.
+        """
+        return {
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "max": self.max if self.count else 0.0,
+            "count": self.count,
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able form: scheme + exact aggregates + sparse buckets.
+
+        ``buckets`` is a ``[[index, count], ...]`` list of the nonzero
+        buckets only — most latency distributions occupy a handful of
+        the few hundred slots.
+        """
+        return {
+            "scheme": {
+                "min_value": self.min_value,
+                "max_value": self.max_value,
+                "buckets_per_decade": self.buckets_per_decade,
+            },
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [[i, n] for i, n in enumerate(self.counts) if n],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        """Rebuild a histogram serialized by :meth:`to_dict`."""
+        scheme = data.get("scheme", {})
+        out = cls(
+            min_value=scheme.get("min_value", DEFAULT_MIN),
+            max_value=scheme.get("max_value", DEFAULT_MAX),
+            buckets_per_decade=scheme.get(
+                "buckets_per_decade", DEFAULT_BUCKETS_PER_DECADE
+            ),
+        )
+        for index, n in data.get("buckets", []):
+            if not 0 <= index < len(out.counts) or n < 0:
+                raise ValueError(f"bucket [{index}, {n}] outside the scheme")
+            out.counts[index] = n
+        out.count = int(data.get("count", sum(out.counts)))
+        if out.count != sum(out.counts):
+            raise ValueError("bucket counts disagree with the total")
+        out.sum = float(data.get("sum", 0.0))
+        if out.count:
+            out.min = float(data["min"]) if data.get("min") is not None else 0.0
+            out.max = (
+                float(data["max"]) if data.get("max") is not None
+                else out._bucket_value(len(out.counts) - 1)
+            )
+        return out
+
+    @classmethod
+    def of(cls, values: Iterable[float], **kwargs) -> "LatencyHistogram":
+        """Build and fill a histogram in one call."""
+        out = cls(**kwargs)
+        out.record_many(values)
+        return out
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyHistogram(count={self.count}, mean={self.mean:.6f}, "
+            f"p99={self.quantile(0.99):.6f}, max={self.max:.6f})"
+        )

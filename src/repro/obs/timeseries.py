@@ -1,0 +1,127 @@
+"""Fixed-memory per-second time series (rrd-style ring buffers).
+
+A long-lived daemon cannot keep an unbounded log of per-second samples;
+an rrd-style ring buffer keeps exactly the last *N* slots in constant
+memory and overwrites the oldest as time advances.  :class:`RingSeries`
+is one such buffer over a fixed field tuple; the daemon's monitor
+samples one row per second (rps, hit rate, races, in-flight, latency
+percentiles) so both the one-shot ``repro stats`` frame and a late
+``--watch`` subscriber can see the recent past, not just the instant of
+the request.
+
+Rows are stamped with an integer slot time (``int(t // step)``);
+writing a row for a newer slot implicitly expires every slot the clock
+skipped — a gap in traffic reads back as missing rows, never as stale
+numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class RingSeries:
+    """A fixed-size ring of per-step sample rows.
+
+    Args:
+        fields: the row schema (every row carries exactly these keys).
+        slots: ring capacity (how much history survives).
+        step: slot width in seconds (1.0 = per-second samples).
+    """
+
+    def __init__(
+        self, fields: tuple[str, ...], *, slots: int = 300, step: float = 1.0
+    ):
+        if not fields:
+            raise ValueError("RingSeries needs at least one field")
+        if slots < 1:
+            raise ValueError("RingSeries needs at least one slot")
+        if step <= 0:
+            raise ValueError("RingSeries step must be positive")
+        self.fields = tuple(fields)
+        self.slots = int(slots)
+        self.step = float(step)
+        self._rows: list[list[float] | None] = [None] * self.slots
+        self._stamps: list[int] = [-1] * self.slots
+        self._latest_slot = -1
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def put(self, t: float, values: dict) -> None:
+        """Write one sample row for the slot containing time ``t``.
+
+        A second write to the same slot overwrites it; a write to an
+        older slot than the latest is dropped (the ring only moves
+        forward).  Unknown keys are rejected — the schema is fixed.
+        """
+        unknown = set(values) - set(self.fields)
+        if unknown:
+            raise ValueError(f"unknown series fields {sorted(unknown)}")
+        slot = int(t // self.step)
+        row = [float(values.get(f, 0.0)) for f in self.fields]
+        with self._lock:
+            if slot < self._latest_slot:
+                return
+            # Invalidate every slot the clock skipped so a quiet minute
+            # never reads back as the last busy second repeated.
+            if self._latest_slot >= 0:
+                for missed in range(
+                    max(self._latest_slot + 1, slot - self.slots + 1), slot
+                ):
+                    i = missed % self.slots
+                    self._rows[i] = None
+                    self._stamps[i] = -1
+            i = slot % self.slots
+            self._rows[i] = row
+            self._stamps[i] = slot
+            self._latest_slot = slot
+
+    # ------------------------------------------------------------------
+    def rows(self, last: int | None = None) -> list[dict]:
+        """The most recent rows, oldest first, each with a ``"t"`` key
+        (slot start time in seconds)."""
+        with self._lock:
+            stamped = sorted(
+                (stamp, row)
+                for stamp, row in zip(self._stamps, self._rows)
+                if row is not None and stamp >= 0
+            )
+        if last is not None:
+            stamped = stamped[-last:]
+        return [
+            {"t": stamp * self.step, **dict(zip(self.fields, row))}
+            for stamp, row in stamped
+        ]
+
+    def latest(self) -> dict | None:
+        """The newest row (or None when nothing was sampled yet)."""
+        rows = self.rows(last=1)
+        return rows[0] if rows else None
+
+    def window(self, seconds: float) -> list[dict]:
+        """Rows from the trailing ``seconds`` of recorded time."""
+        rows = self.rows()
+        if not rows:
+            return []
+        cutoff = rows[-1]["t"] - seconds
+        return [r for r in rows if r["t"] > cutoff]
+
+    def totals(self, seconds: float | None = None) -> dict:
+        """Field sums over the trailing window (the whole ring when
+        ``seconds`` is None) plus the covered ``"span"`` in seconds.
+
+        This is how a one-shot ``repro stats`` frame reports a real
+        rate after the burst that produced it already ended: events
+        summed over the window divided by the window's span.
+        """
+        rows = self.rows() if seconds is None else self.window(seconds)
+        out = {f: 0.0 for f in self.fields}
+        for row in rows:
+            for f in self.fields:
+                out[f] += row[f]
+        out["span"] = len(rows) * self.step
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for row in self._rows if row is not None)

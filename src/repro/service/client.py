@@ -108,6 +108,65 @@ class ServiceClient:
         """The daemon's engine/cache counter snapshot."""
         return self._call({"op": "stats"})["stats"]
 
+    def stats_frame(
+        self, *, window: float | None = None, recent: int = 0
+    ) -> dict:
+        """One observability frame: windowed rps/hit-rate, gauges, and
+        the lifetime latency histogram (``repro stats --json``).
+
+        Args:
+            window: trailing seconds of monitor history folded into the
+                rates (daemon default: 60).
+            recent: also include this many raw per-second rows under
+                ``"series"``.
+        """
+        header: dict = {"op": "stats_frame"}
+        if window is not None:
+            header["window"] = window
+        if recent:
+            header["recent"] = recent
+        return self._call(header)["frame"]
+
+    def watch(self, *, interval: float = 1.0, count: int | None = None):
+        """Subscribe to the daemon's metric push-stream.
+
+        Yields one frame dict per ``interval`` seconds until ``count``
+        frames arrived or the daemon drains.  The generator consumes the
+        connection's receive side for its whole lifetime — make no other
+        calls on this client until it is exhausted (or just dedicate a
+        client to watching, as ``repro stats --watch`` does).
+        """
+        header: dict = {"op": "watch", "interval": interval}
+        if count is not None:
+            header["count"] = count
+        send_frame(self._sock, header)
+        ack = recv_frame(self._sock)
+        if ack is None:
+            raise ServiceError("daemon closed the connection")
+        response, _ = ack
+        if not response.get("ok", False):
+            raise ServiceError(response.get("error", "daemon error"))
+        # Frames arrive at most `interval` apart (plus solve jitter);
+        # wait generously past that instead of the per-call timeout.
+        previous = self._sock.gettimeout()
+        self._sock.settimeout(max(interval * 3.0, 10.0))
+        try:
+            while True:
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    return          # daemon drained mid-stream
+                response, _ = frame
+                if not response.get("ok", False):
+                    raise ServiceError(response.get("error", "daemon error"))
+                if response.get("done"):
+                    return
+                yield response["frame"]
+        finally:
+            try:
+                self._sock.settimeout(previous)
+            except OSError:
+                pass        # socket already closed; nothing to restore
+
     def shutdown(self) -> None:
         """Ask the daemon to stop (acknowledged before it exits)."""
         self._call({"op": "shutdown"})

@@ -32,9 +32,27 @@ per connection):
 ``close_session``
     drop one named session.
 ``stats``
-    engine/cache counter snapshot.
+    engine/cache counter snapshot (now including cache introspection —
+    entries/bytes/evictions — and the live metrics registry).
+``stats_frame``
+    one observability frame: windowed rps/hit-rate over the monitor's
+    ring-buffer history, gauges, and the lifetime latency histogram
+    (``repro stats --json --connect``).
+``watch`` (alias ``subscribe``)
+    a *streaming* op: the daemon acknowledges, then pushes one metric
+    frame per ``interval`` seconds on the same connection until
+    ``count`` frames were sent, the client disconnects, or the daemon
+    drains — the push-stream behind ``repro stats --watch``.
 ``shutdown``
     acknowledge, then stop the accept loop and close the service.
+
+The daemon also runs a :class:`~repro.obs.metrics.StatsMonitor`: one
+sample per second into an rrd-style ring buffer, so a one-shot
+``stats_frame`` right after a load burst still reports the burst's
+request rate rather than the idle instant's zero.  The forensics log
+(``log_path``) is structured: one JSON record per event with a
+monotonic timestamp, op, session, fingerprint prefix, latency, and
+outcome — parseable by tools, not just eyeballs.
 
 Shutdown is always a **graceful drain**: whether triggered by the
 ``shutdown`` op, :meth:`ServiceDaemon.shutdown` (the CLI wires SIGTERM
@@ -54,12 +72,14 @@ round-trip test asserts).
 
 from __future__ import annotations
 
+import json
 import os
 import socket
 import threading
 import time
 
 from repro.errors import ReproError, ServiceError
+from repro.obs.metrics import FrameTracker, StatsMonitor
 from repro.service.service import SolverService
 from repro.service.wire import (
     WireError,
@@ -93,6 +113,7 @@ class ServiceDaemon:
         *,
         log_path: str | None = None,
         max_requests: int | None = None,
+        monitor_interval: float = 1.0,
     ):
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix only
             raise ServiceError("repro serve needs AF_UNIX sockets")
@@ -102,6 +123,11 @@ class ServiceDaemon:
         self.service = service if service is not None else SolverService()
         self.log_path = log_path
         self.max_requests = max_requests
+        #: Per-second sampler over the service's metrics registry; its
+        #: thread runs for exactly the lifetime of :meth:`serve_forever`.
+        self.monitor = StatsMonitor(
+            self.service.metrics, interval=monitor_interval
+        )
         self._handled = 0
         self._handled_lock = threading.Lock()
         self._listener: socket.socket | None = None
@@ -110,13 +136,26 @@ class ServiceDaemon:
         self._conn_threads: list[threading.Thread] = []
 
     # ------------------------------------------------------------------
-    def _log(self, line: str) -> None:
+    def _log(self, event: str, **fields) -> None:
+        """Append one structured JSON record to the forensics log.
+
+        Every record carries ``mono`` (monotonic seconds — orderable
+        across system clock steps), ``ts`` (wall clock, for humans
+        correlating with the outside world), and ``event``; op records
+        add op/session/fingerprint-prefix/latency/outcome fields.
+        """
         if self.log_path is None:
             return
-        stamp = time.strftime("%H:%M:%S")
+        record = {
+            "mono": round(time.monotonic(), 6),
+            "ts": round(time.time(), 3),
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
         with self._log_lock:
             with open(self.log_path, "a", encoding="utf-8") as fh:
-                fh.write(f"{stamp} {line}\n")
+                fh.write(line + "\n")
 
     # ------------------------------------------------------------------
     def bind(self) -> None:
@@ -135,12 +174,13 @@ class ServiceDaemon:
         # from another thread without busy-waiting.
         listener.settimeout(0.2)
         self._listener = listener
-        self._log(f"listening on {self.socket_path}")
+        self._log("listening", socket=self.socket_path)
 
     def serve_forever(self) -> None:
         """Accept-and-dispatch until :meth:`shutdown` (or a ``shutdown``
         op) fires; then drain connections and close the service."""
         self.bind()
+        self.monitor.start()
         try:
             while not self._stop.is_set():
                 try:
@@ -163,13 +203,14 @@ class ServiceDaemon:
             self._close_listener()
             live = [t for t in self._conn_threads if t.is_alive()]
             if live:
-                self._log(f"draining {len(live)} connection(s)")
+                self._log("draining", connections=len(live))
             for thread in self._conn_threads:
                 thread.join(timeout=10.0)
+            self.monitor.stop()
             # Closing the service drains queued submit() work and
             # flushes/closes any attached trace recorder.
             self.service.close()
-            self._log("daemon stopped")
+            self._log("stopped")
 
     def start(self) -> threading.Thread:
         """Run :meth:`serve_forever` on a background thread (tests)."""
@@ -209,13 +250,25 @@ class ServiceDaemon:
                 except socket.timeout:
                     continue
                 except WireError as exc:
-                    self._log(f"wire error: {exc}")
+                    self._log("wire_error", error=str(exc))
+                    self.service.metrics.inc("errors")
                     self._try_send(conn, {"ok": False, "error": str(exc)})
                     return
                 if frame is None:
                     return
                 header, payload = frame
                 op = header.get("op", "")
+                if op in ("watch", "subscribe"):
+                    # Streaming op: one request frame, many pushed
+                    # response frames on this connection (its own path —
+                    # _dispatch is strictly one-request-one-response).
+                    if not self._serve_watch(conn, header):
+                        return
+                    if self._budget_spent():
+                        self._log("drain_budget", max_requests=self.max_requests)
+                        self.shutdown()
+                        return
+                    continue
                 t0 = time.perf_counter()
                 try:
                     response, stop_after = self._dispatch(op, header, payload)
@@ -227,10 +280,19 @@ class ServiceDaemon:
                         False,
                     )
                 wall = time.perf_counter() - t0
+                if not response.get("ok"):
+                    self.service.metrics.inc("errors")
+                fp = response.get("fingerprint") or ""
                 self._log(
-                    f"op={op} ok={response.get('ok')} "
-                    f"status={response.get('status', '-')} "
-                    f"source={response.get('source', '-')} wall={wall:.4f}s"
+                    "op",
+                    op=op,
+                    ok=bool(response.get("ok")),
+                    status=response.get("status"),
+                    source=response.get("source"),
+                    session=header.get("session"),
+                    fp=fp[:12] or None,
+                    wall=round(wall, 6),
+                    error=response.get("error"),
                 )
                 if not self._try_send(conn, response):
                     return
@@ -238,9 +300,7 @@ class ServiceDaemon:
                     self.shutdown()
                     return
                 if op != "ping" and self._budget_spent():
-                    self._log(
-                        f"max_requests={self.max_requests} reached; draining"
-                    )
+                    self._log("drain_budget", max_requests=self.max_requests)
                     self.shutdown()
                     return
 
@@ -268,9 +328,71 @@ class ServiceDaemon:
             return {"ok": True, "existed": existed}, False
         if op == "stats":
             return {"ok": True, "stats": self.service.stats()}, False
+        if op == "stats_frame":
+            window = header.get("window")
+            recent = int(header.get("recent") or 0)
+            frame = self.monitor.snapshot_frame(
+                window=float(window) if window is not None else 60.0,
+                recent=max(0, recent),
+            )
+            return {"ok": True, "frame": frame}, False
         if op == "shutdown":
             return {"ok": True, "stopping": True}, True
         raise ServiceError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    def _serve_watch(self, conn: socket.socket, header: dict) -> bool:
+        """Stream metric frames until done/disconnect/drain.
+
+        Returns whether the connection is still usable for further ops.
+        A subscriber that vanished mid-stream only costs this handler
+        thread its send; the accept loop and the graceful drain path
+        never block on it — the loop re-checks ``_stop`` every tick and
+        caps the tick at one second of drain latency.
+        """
+        try:
+            interval = float(header.get("interval") or 1.0)
+            count = header.get("count")
+            count = int(count) if count is not None else None
+        except (TypeError, ValueError):
+            return self._try_send(
+                conn, {"ok": False, "error": "bad watch interval/count"}
+            )
+        interval = min(max(interval, 0.05), 60.0)
+        if count is not None and count < 1:
+            return self._try_send(
+                conn, {"ok": False, "error": "watch count must be >= 1"}
+            )
+        if not self._try_send(
+            conn, {"ok": True, "watching": True, "interval": interval}
+        ):
+            return False
+        self._log("watch_start", interval=interval, count=count)
+        # Each subscriber diffs the registry through its own tracker, so
+        # concurrent watchers at different intervals never share a
+        # cursor; uptime is reported against the daemon monitor's epoch.
+        tracker = FrameTracker(self.service.metrics, t0=self.monitor.t0)
+        sent = 0
+        while count is None or sent < count:
+            # Wake at least once a second so a drain is never stuck
+            # behind a long subscriber interval.
+            deadline = time.monotonic() + interval
+            stopped = False
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if self._stop.wait(min(remaining, 1.0)):
+                    stopped = True
+                    break
+            if stopped:
+                break
+            if not self._try_send(conn, {"ok": True, "frame": tracker.frame()}):
+                self._log("watch_disconnect", frames=sent)
+                return False
+            sent += 1
+        self._log("watch_done", frames=sent)
+        return self._try_send(conn, {"ok": True, "done": True, "frames": sent})
 
     def _budget_spent(self) -> bool:
         """Count one handled op; True once ``max_requests`` is reached."""

@@ -142,6 +142,12 @@ class SolverService:
         else:
             self.engine = PortfolioEngine.from_config(self.config)
             self._owns_engine = True
+        # The service shares the engine's live registry: engine-level
+        # counters and the latency histogram land there per query, and
+        # the service adds request/gauge/per-session telemetry on top.
+        # Readers (the daemon's monitor, `repro stats`) only ever touch
+        # the registry's narrow lock — never the engine lock.
+        self.metrics = self.engine.metrics
         self.recorder = recorder
         self._sessions: dict[str, "IncrementalSession"] = {}
         # One re-entrant lock serializes engine access (races are not
@@ -193,10 +199,22 @@ class SolverService:
                 a closed service.  UNSAT/undecided are *responses*.
         """
         t0 = time.perf_counter()
-        response = self._solve(request)
+        self.metrics.adjust_gauge("inflight", 1)
+        try:
+            response = self._solve(request)
+        finally:
+            self.metrics.adjust_gauge("inflight", -1)
+        self._count_request(request.session)
         if self.recorder is not None:
             self.recorder.record_solve(request, response, time.perf_counter() - t0)
         return response
+
+    def _count_request(self, session: str | None, n: int = 1) -> None:
+        """One registry bump per front-door op (rps + per-tenant usage)."""
+        families = (
+            {"session_requests": {session: n}} if session is not None else None
+        )
+        self.metrics.bump(counts={"requests": n}, families=families)
 
     def _solve(self, request: SolveRequest) -> SolveResponse:
         self._check_open()
@@ -230,17 +248,22 @@ class SolverService:
         """
         t0 = time.perf_counter()
         self._check_open()
-        with self._lock:
-            session = self._session(request.session)
-            regime = session.apply_changes(request.changes)
-            if request.ec_mode == "force":
-                response = session.query(
-                    deadline=request.deadline, seed=request.seed
-                )
-            else:
-                response = session.resolve_query(
-                    deadline=request.deadline, seed=request.seed
-                )
+        self.metrics.adjust_gauge("inflight", 1)
+        try:
+            with self._lock:
+                session = self._session(request.session)
+                regime = session.apply_changes(request.changes)
+                if request.ec_mode == "force":
+                    response = session.query(
+                        deadline=request.deadline, seed=request.seed
+                    )
+                else:
+                    response = session.resolve_query(
+                        deadline=request.deadline, seed=request.seed
+                    )
+        finally:
+            self.metrics.adjust_gauge("inflight", -1)
+        self._count_request(request.session)
         response = response.with_context(session=request.session, regime=regime)
         if self.recorder is not None:
             self.recorder.record_change(request, response, time.perf_counter() - t0)
@@ -269,7 +292,19 @@ class SolverService:
                 )
             executor = self._executor
             fn = self.change if isinstance(request, ChangeRequest) else self.solve
-            return PendingSolve(executor.submit(fn, request))
+            self.metrics.adjust_gauge("queued", 1)
+
+            def run(request=request, fn=fn):
+                # Queue depth covers the wait *before* execution starts;
+                # from here the in-flight gauge takes over.
+                self.metrics.adjust_gauge("queued", -1)
+                return fn(request)
+
+            try:
+                return PendingSolve(executor.submit(run))
+            except BaseException:
+                self.metrics.adjust_gauge("queued", -1)
+                raise
 
     def solve_many(
         self,
@@ -290,11 +325,17 @@ class SolverService:
         t0 = time.perf_counter()
         self._check_open()
         formulas = list(formulas)
-        with self._lock:
-            results = self.engine.solve_many(
-                formulas, deadline=deadline, seed=seed,
-                use_cache=use_cache, lead=lead,
-            )
+        self.metrics.adjust_gauge("inflight", 1)
+        try:
+            with self._lock:
+                results = self.engine.solve_many(
+                    formulas, deadline=deadline, seed=seed,
+                    use_cache=use_cache, lead=lead,
+                )
+        finally:
+            self.metrics.adjust_gauge("inflight", -1)
+        if formulas:
+            self._count_request(None, len(formulas))
         responses = [response_from_engine(r) for r in results]
         if self.recorder is not None:
             self.recorder.record_solve_many(
@@ -337,6 +378,8 @@ class SolverService:
                 raise ServiceError(f"session {name!r} already exists")
             session = IncrementalSession(formula, service=self)
             self._sessions[name] = session
+            self.metrics.set_gauge("sessions", len(self._sessions))
+            self.metrics.bump(counts={"session_opens": 1})
             response = session.query(
                 deadline=deadline, seed=seed, use_cache=use_cache, lead=lead
             )
@@ -347,6 +390,8 @@ class SolverService:
         t0 = time.perf_counter()
         with self._lock:
             session = self._sessions.pop(name, None)
+            self.metrics.set_gauge("sessions", len(self._sessions))
+        self._count_request(None)
         if session is not None:
             session.close()
         if self.recorder is not None:
@@ -493,14 +538,25 @@ class SolverService:
         Taken under the service lock so a snapshot racing concurrent
         ``submit()`` work never reads a half-updated counter set (the
         load driver diffs two snapshots to report per-run counters).
+        The ``cache`` block carries the backend's introspection
+        (``entries``/``bytes``/``evictions`` from
+        :meth:`~repro.engine.cache.CacheBackend.info`), and ``metrics``
+        carries the live registry — counters, gauges, per-session
+        request families, and the solve-latency histogram summary.
         """
         with self._lock:
             cache = self.engine.cache
+            cache_info = (
+                cache.info() if hasattr(cache, "info")
+                else {"backend": type(cache).__name__, "entries": len(cache),
+                      "bytes": 0, "evictions": cache.stats.evictions}
+            )
             return {
                 "engine": self.engine.stats.snapshot(),
                 "cache": {**asdict(cache.stats), "hit_rate": cache.stats.hit_rate,
-                          "entries": len(cache)},
+                          **cache_info},
                 "sessions": sorted(self._sessions),
+                "metrics": self.metrics.snapshot(),
             }
 
     def _check_open(self) -> None:

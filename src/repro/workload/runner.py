@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.cnf.packed import PackedCNF
 from repro.errors import ReproError
+from repro.obs.histogram import LatencyHistogram
 from repro.service.requests import SolveRequest, SolveResponse
 from repro.service.wire import response_to_wire
 from repro.workload.scenarios import WorkloadEvent
@@ -329,24 +330,28 @@ def percentile(sorted_values: list[float], q: float) -> float:
 
 
 def latency_summary(latencies: list[float]) -> dict:
-    """mean/p50/p90/p99/max of a latency sample, in seconds."""
-    ordered = sorted(latencies)
-    if not ordered:
-        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
-    return {
-        "mean": sum(ordered) / len(ordered),
-        "p50": percentile(ordered, 50),
-        "p90": percentile(ordered, 90),
-        "p99": percentile(ordered, 99),
-        "max": ordered[-1],
-    }
+    """mean/p50/p90/p99/max (+ count) of a latency sample, in seconds.
+
+    Backed by the shared log-bucketed histogram
+    (:class:`~repro.obs.histogram.LatencyHistogram`): mean and max are
+    exact, the percentiles bucket-resolved (within ~7.5% relative), and
+    the empty/single-sample edge cases are exact by construction — the
+    same math every other observability surface reports.
+    """
+    return LatencyHistogram.of(latencies).summary()
 
 
-#: Snapshot leaves that are gauges/ratios, not monotone counters —
-#: subtracting them would report nonsense (a falling cumulative
-#: ``hit_rate`` is not a per-run rate, and ``entries`` shrinks under
-#: eviction), so they keep their *after* value.
-_GAUGE_KEYS = frozenset({"hit_rate", "entries"})
+#: Snapshot leaves that are gauges/ratios/distribution summaries, not
+#: monotone counters — subtracting them would report nonsense (a falling
+#: cumulative ``hit_rate`` is not a per-run rate, ``entries``/``bytes``
+#: shrink under eviction, ``inflight``/``queued``/``sessions`` are
+#: instantaneous depths, and histogram summary leaves like ``p99`` are
+#: positions, not counts), so they keep their *after* value.
+_GAUGE_KEYS = frozenset({
+    "hit_rate", "entries", "bytes",
+    "inflight", "queued", "sessions",
+    "mean", "min", "max", "p50", "p90", "p99",
+})
 
 
 def counters_delta(before: dict, after: dict) -> dict:
@@ -386,6 +391,7 @@ class LoadReport:
     wall_time: float
     throughput: float                      # completed events / second
     latency: dict = field(default_factory=dict)
+    latency_histogram: dict | None = None  # serialized LatencyHistogram
     lateness: dict | None = None           # open-loop only
     by_kind: dict = field(default_factory=dict)
     statuses: dict = field(default_factory=dict)
@@ -407,6 +413,8 @@ class LoadReport:
             "by_kind": self.by_kind,
             "statuses": self.statuses,
         }
+        if self.latency_histogram is not None:
+            out["latency_histogram"] = self.latency_histogram
         if self.lateness is not None:
             out["lateness"] = self.lateness
         if self.counters is not None:
@@ -438,6 +446,7 @@ def summarize(
         by_kind[r.kind] = by_kind.get(r.kind, 0) + 1
         for response in r.responses:
             statuses[response.status] = statuses.get(response.status, 0) + 1
+    hist = LatencyHistogram.of(r.latency for r in ok)
     report = LoadReport(
         scenario=scenario,
         mode=mode,
@@ -446,7 +455,8 @@ def summarize(
         errors=len(results) - len(ok),
         wall_time=wall,
         throughput=len(ok) / wall,
-        latency=latency_summary([r.latency for r in ok]),
+        latency=hist.summary(),
+        latency_histogram=hist.to_dict(),
         by_kind=by_kind,
         statuses=statuses,
         error_detail=[

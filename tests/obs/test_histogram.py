@@ -1,0 +1,167 @@
+"""Log-bucketed latency histogram: exactness, merge/diff, serialization."""
+
+import math
+
+import pytest
+
+from repro.obs.histogram import LatencyHistogram
+
+
+class TestRecordingAndExactAggregates:
+    def test_count_sum_min_max_are_exact(self):
+        values = [0.0012, 0.5, 0.0012, 0.033, 7.5]
+        h = LatencyHistogram.of(values)
+        assert h.count == len(values)
+        assert h.sum == pytest.approx(sum(values))
+        assert h.min == min(values)
+        assert h.max == max(values)
+        assert h.mean == pytest.approx(sum(values) / len(values))
+        assert len(h) == len(values)
+
+    def test_empty_histogram_answers_zero_everywhere(self):
+        h = LatencyHistogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        summary = h.summary()
+        assert summary == {
+            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            "max": 0.0, "count": 0,
+        }
+
+    def test_single_sample_quantiles_are_exact(self):
+        h = LatencyHistogram.of([0.0421])
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == 0.0421
+
+    def test_zero_and_subresolution_values_land_in_underflow(self):
+        h = LatencyHistogram.of([0.0, 1e-9, 1e-8])
+        assert h.counts[0] == 3
+        assert h.count == 3
+        # The underflow bucket's representative (min_value) is clamped
+        # to the exact observed range.
+        assert h.quantile(0.5) == 1e-8
+
+    def test_overflow_values_are_counted_and_resolved_as_max(self):
+        h = LatencyHistogram.of([0.001, 5000.0])
+        assert h.counts[-1] == 1
+        assert h.max == 5000.0
+        assert h.quantile(1.0) == 5000.0
+
+    def test_relative_error_bound_holds(self):
+        """Every in-range value's bucket midpoint is within the scheme's
+        relative resolution of the value itself."""
+        h = LatencyHistogram()
+        bound = 10 ** (1 / h.buckets_per_decade) - 1
+        for value in (1e-5, 3.7e-4, 0.0123, 0.5, 2.0, 99.0, 999.0):
+            mid = h._bucket_value(h._index(value))
+            assert abs(mid - value) / value <= bound
+
+    def test_quantiles_are_monotone(self):
+        import random
+
+        rng = random.Random(7)
+        h = LatencyHistogram.of(rng.expovariate(20.0) for _ in range(500))
+        qs = [h.quantile(q / 100) for q in range(0, 101, 5)]
+        assert qs == sorted(qs)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=1.0, max_value=0.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets_per_decade=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+
+class TestMergeAndDiff:
+    def test_merge_adds_counts_and_extremes(self):
+        a = LatencyHistogram.of([0.001, 0.002])
+        b = LatencyHistogram.of([0.5, 0.0005])
+        a.merge(b)
+        assert a.count == 4
+        assert a.min == 0.0005
+        assert a.max == 0.5
+        assert a.sum == pytest.approx(0.5035)
+
+    def test_merge_rejects_different_schemes(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram(buckets_per_decade=8)
+        with pytest.raises(ValueError, match="scheme"):
+            a.merge(b)
+
+    def test_diff_recovers_the_interval(self):
+        h = LatencyHistogram.of([0.001, 0.002])
+        snap = h.copy()
+        h.record_many([0.01, 0.02, 0.04])
+        d = h.diff(snap)
+        assert d.count == 3
+        assert d.sum == pytest.approx(0.07)
+        # Interval extremes are bucket-resolved, not exact: max is the
+        # representative of the bucket *after* the highest occupied one,
+        # so it can exceed the true value by up to 1.5 bucket widths.
+        bound = 10 ** (1 / h.buckets_per_decade)
+        assert d.min <= 0.01 * bound and d.min >= 0.01 / bound
+        assert d.max >= 0.04 and d.max <= 0.04 * bound ** 1.5
+
+    def test_diff_of_identical_snapshots_is_empty(self):
+        h = LatencyHistogram.of([0.3, 0.001])
+        d = h.diff(h.copy())
+        assert d.count == 0
+        assert d.quantile(0.99) == 0.0
+
+    def test_diff_against_a_later_snapshot_raises(self):
+        h = LatencyHistogram.of([0.001])
+        later = h.copy()
+        later.record(0.002)
+        with pytest.raises(ValueError, match="non-earlier"):
+            h.diff(later)
+
+    def test_copy_is_independent(self):
+        h = LatencyHistogram.of([0.01])
+        c = h.copy()
+        c.record(0.02)
+        assert h.count == 1 and c.count == 2
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        h = LatencyHistogram.of([0.0013, 0.9, 0.033, 0.033, 15.0])
+        data = h.to_dict()
+        back = LatencyHistogram.from_dict(data)
+        assert back.counts == h.counts
+        assert back.count == h.count
+        assert back.sum == pytest.approx(h.sum)
+        assert back.min == h.min and back.max == h.max
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert back.quantile(q) == h.quantile(q)
+
+    def test_buckets_are_sparse(self):
+        h = LatencyHistogram.of([0.01, 0.01, 0.02])
+        buckets = h.to_dict()["buckets"]
+        assert len(buckets) == 2
+        assert sum(n for _, n in buckets) == 3
+
+    def test_json_round_trip(self):
+        import json
+
+        h = LatencyHistogram.of([0.004, 0.1])
+        back = LatencyHistogram.from_dict(json.loads(json.dumps(h.to_dict())))
+        assert back.summary() == h.summary()
+
+    def test_empty_round_trip(self):
+        back = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert back.count == 0
+        assert back.min == math.inf
+
+    def test_corrupt_dicts_rejected(self):
+        h = LatencyHistogram.of([0.01])
+        data = h.to_dict()
+        bad_index = dict(data, buckets=[[10_000_000, 1]])
+        with pytest.raises(ValueError, match="scheme"):
+            LatencyHistogram.from_dict(bad_index)
+        bad_total = dict(data, count=5)
+        with pytest.raises(ValueError, match="disagree"):
+            LatencyHistogram.from_dict(bad_total)

@@ -1,0 +1,101 @@
+"""Ring-buffer time series: slot math, gap invalidation, windows."""
+
+import pytest
+
+from repro.obs.timeseries import RingSeries
+
+
+def make(slots=5, step=1.0):
+    return RingSeries(("a", "b"), slots=slots, step=step)
+
+
+class TestPutAndRows:
+    def test_rows_come_back_oldest_first_with_timestamps(self):
+        s = make()
+        s.put(100.0, {"a": 1})
+        s.put(101.0, {"a": 2, "b": 7})
+        s.put(102.0, {"a": 3})
+        rows = s.rows()
+        assert [r["a"] for r in rows] == [1, 2, 3]
+        assert [r["t"] for r in rows] == [100.0, 101.0, 102.0]
+        assert rows[1]["b"] == 7
+        assert rows[0]["b"] == 0
+        assert len(s) == 3
+
+    def test_same_slot_overwrites(self):
+        s = make()
+        s.put(100.1, {"a": 1})
+        s.put(100.9, {"a": 5})
+        rows = s.rows()
+        assert len(rows) == 1
+        assert rows[0]["a"] == 5
+
+    def test_older_writes_are_dropped(self):
+        s = make()
+        s.put(105.0, {"a": 1})
+        s.put(101.0, {"a": 9})      # a clock step backwards
+        assert [r["a"] for r in s.rows()] == [1]
+
+    def test_capacity_wraps(self):
+        s = make(slots=3)
+        for i in range(6):
+            s.put(100.0 + i, {"a": i})
+        rows = s.rows()
+        assert [r["a"] for r in rows] == [3, 4, 5]
+        assert len(s) == 3
+
+    def test_clock_gap_invalidates_skipped_slots(self):
+        """A stalled sampler must not leave stale rows inside the gap."""
+        s = make(slots=5)
+        s.put(100.0, {"a": 1})
+        s.put(101.0, {"a": 2})
+        s.put(104.0, {"a": 3})      # slots 102 and 103 never happened
+        rows = s.rows()
+        assert [r["t"] for r in rows] == [100.0, 101.0, 104.0]
+
+    def test_unknown_field_rejected(self):
+        s = make()
+        with pytest.raises(ValueError, match="unknown"):
+            s.put(100.0, {"nope": 1})
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            RingSeries(("a",), slots=0)
+        with pytest.raises(ValueError):
+            RingSeries(("a",), step=0.0)
+        with pytest.raises(ValueError):
+            RingSeries(())
+
+
+class TestWindows:
+    def test_latest_and_window(self):
+        s = make()
+        for i in range(4):
+            s.put(200.0 + i, {"a": i, "b": 10 * i})
+        assert s.latest()["a"] == 3
+        recent = s.window(2.0)
+        assert [r["a"] for r in recent] == [2, 3]
+
+    def test_rows_last_n(self):
+        s = make()
+        for i in range(4):
+            s.put(200.0 + i, {"a": i})
+        assert [r["a"] for r in s.rows(last=2)] == [2, 3]
+
+    def test_totals_sum_fields_and_report_span(self):
+        s = make()
+        for i in range(4):
+            s.put(300.0 + i, {"a": 1, "b": i})
+        totals = s.totals(2.0)
+        assert totals["a"] == 2
+        assert totals["b"] == 2 + 3
+        assert totals["span"] == pytest.approx(2.0)
+        everything = s.totals(None)
+        assert everything["a"] == 4
+        assert everything["span"] == pytest.approx(4.0)
+
+    def test_empty_series(self):
+        s = make()
+        assert s.rows() == []
+        assert s.latest() is None
+        assert s.totals(10.0) == {"a": 0, "b": 0, "span": 0.0}

@@ -1,0 +1,146 @@
+"""Histogram properties: quantile accuracy vs exact sorted-list math.
+
+The observability layer replaced the runner's sorted-list percentile
+math with the shared log-bucketed histogram, so the accuracy claim must
+hold as a *property*, not an example: under seeded sweeps over several
+latency-shaped distributions, every histogram quantile must agree with
+the exact sorted-sample answer to within the scheme's bucket resolution
+(one bucket of relative error on either side of the bracketing order
+statistics), mean/max must stay exact, and merge must equal
+concatenation — the invariant per-worker folding rides on.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.histogram import LatencyHistogram
+from repro.workload.runner import latency_summary, percentile
+
+
+def _bound(hist: LatencyHistogram) -> float:
+    """One bucket of relative width for *hist*'s scheme."""
+    return 10 ** (1 / hist.buckets_per_decade)
+
+
+def draw(kind: str, rng: random.Random, n: int) -> list[float]:
+    """Latency-shaped samples, clamped inside the default scheme range."""
+    if kind == "uniform":
+        raw = [rng.uniform(1e-4, 1.0) for _ in range(n)]
+    elif kind == "exponential":
+        raw = [rng.expovariate(50.0) for _ in range(n)]
+    elif kind == "lognormal":
+        raw = [rng.lognormvariate(math.log(5e-3), 1.5) for _ in range(n)]
+    else:  # bimodal: fast cache hits + slow solver races
+        raw = [
+            rng.uniform(1e-4, 5e-4) if rng.random() < 0.8
+            else rng.uniform(0.5, 2.0)
+            for _ in range(n)
+        ]
+    return [min(max(v, 1e-5), 500.0) for v in raw]
+
+
+QS = (0.10, 0.50, 0.90, 0.99, 1.0)
+
+
+@pytest.mark.parametrize("kind", ("uniform", "exponential", "lognormal", "bimodal"))
+@pytest.mark.parametrize("seed", (0, 1, 7, 42))
+@pytest.mark.parametrize("n", (1, 2, 17, 400))
+def test_quantiles_bracket_the_exact_order_statistics(kind, seed, n):
+    """hist.quantile(q) lands within one bucket of the order statistics
+    that bracket the exact rank — the bucket-resolution accuracy claim."""
+    values = draw(kind, random.Random(seed), n)
+    ordered = sorted(values)
+    hist = LatencyHistogram.of(values)
+    bound = _bound(hist)
+    for q in QS:
+        got = hist.quantile(q)
+        rank = q * (n - 1)
+        lo = ordered[int(math.floor(rank))]
+        hi = ordered[int(math.ceil(rank))]
+        assert lo / bound <= got <= hi * bound, (kind, seed, n, q)
+        # Clamping keeps every answer inside the observed range.
+        assert hist.min <= got <= hist.max
+
+
+@pytest.mark.parametrize("kind", ("exponential", "bimodal"))
+@pytest.mark.parametrize("seed", (3, 11))
+def test_summary_agrees_with_sorted_list_percentiles(kind, seed):
+    """The runner-facing summary: mean/max exact, percentiles within
+    bucket resolution of the old interpolated sorted-list answers."""
+    values = draw(kind, random.Random(seed), 300)
+    ordered = sorted(values)
+    summary = latency_summary(values)
+    assert summary["mean"] == pytest.approx(sum(values) / len(values))
+    assert summary["max"] == max(values)
+    assert summary["count"] == len(values)
+    bound = _bound(LatencyHistogram())
+    for key, p in (("p50", 50.0), ("p90", 90.0), ("p99", 99.0)):
+        exact = percentile(ordered, p)
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = ordered[int(math.floor(rank))]
+        hi = ordered[int(math.ceil(rank))]
+        # Both answers live inside the same bracket, one bucket wide.
+        assert lo <= exact <= hi
+        assert lo / bound <= summary[key] <= hi * bound
+
+
+@pytest.mark.parametrize("seed", (0, 5, 9))
+def test_edge_cases_match_exact_math(seed):
+    """Satellite: the empty/single-sample paths the old code guarded
+    ad hoc are exact by construction now."""
+    assert latency_summary([]) == {
+        "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        "max": 0.0, "count": 0,
+    }
+    value = random.Random(seed).uniform(1e-4, 10.0)
+    single = latency_summary([value])
+    for key in ("mean", "p50", "p90", "p99", "max"):
+        assert single[key] == pytest.approx(value)
+
+
+@pytest.mark.parametrize("seed", (2, 13, 77))
+@pytest.mark.parametrize("workers", (2, 5))
+def test_merge_equals_concatenation(seed, workers):
+    """Folding per-worker histograms must equal one histogram over the
+    concatenated sample — counts, aggregates, and quantiles alike."""
+    rng = random.Random(seed)
+    shards = [draw("lognormal", rng, rng.randint(0, 80)) for _ in range(workers)]
+    merged = LatencyHistogram()
+    for shard in shards:
+        merged.merge(LatencyHistogram.of(shard))
+    whole = LatencyHistogram.of(v for shard in shards for v in shard)
+    assert merged.counts == whole.counts
+    assert merged.count == whole.count
+    assert merged.sum == pytest.approx(whole.sum)
+    assert merged.min == whole.min and merged.max == whole.max
+    for q in QS:
+        assert merged.quantile(q) == whole.quantile(q)
+
+
+@pytest.mark.parametrize("seed", (4, 21))
+def test_diff_counts_equal_the_interval_sample(seed):
+    """Snapshot diffing (the daemon's per-frame path) recovers exactly
+    the interval's bucket counts for any split point."""
+    rng = random.Random(seed)
+    values = draw("exponential", rng, 120)
+    split = rng.randint(0, len(values))
+    hist = LatencyHistogram.of(values[:split])
+    snap = hist.copy()
+    hist.record_many(values[split:])
+    interval = hist.diff(snap)
+    direct = LatencyHistogram.of(values[split:])
+    assert interval.counts == direct.counts
+    assert interval.count == direct.count
+    assert interval.sum == pytest.approx(direct.sum)
+
+
+@pytest.mark.parametrize("seed", (0, 8))
+def test_serialization_preserves_quantiles(seed):
+    values = draw("bimodal", random.Random(seed), 150)
+    hist = LatencyHistogram.of(values)
+    back = LatencyHistogram.from_dict(hist.to_dict())
+    for q in QS:
+        assert back.quantile(q) == hist.quantile(q)
+    assert back.summary() == hist.summary()

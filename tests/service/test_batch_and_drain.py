@@ -1,4 +1,4 @@
-"""Wire-level solve_many, graceful drain, recorder hook, counter safety."""
+"""Wire-level solve_many, graceful drain, watch stream, counter safety."""
 
 import os
 import signal
@@ -155,6 +155,144 @@ class TestGracefulDrain:
         trace = read_trace(str(trace_path))
         assert [r.op for r in trace.records] == ["solve"]
         assert trace.records[0].response["status"] == "sat"
+
+
+class TestWatchStream:
+    """The subscribe/watch push-stream: frames under load, disconnect
+    resilience, and drain responsiveness."""
+
+    def test_frames_stream_while_load_runs(self, tmp_path):
+        from repro.workload import build_scenario, client_factory, run_events
+
+        d = ServiceDaemon(
+            str(tmp_path / "watch.sock"),
+            SolverService(EngineConfig(jobs=1)),
+            monitor_interval=0.1,
+        )
+        thread = d.start()
+        try:
+            events = build_scenario("sat-mixed", seed=5, tenants=2, changes=3)
+            load_errors: list[str] = []
+
+            def load():
+                results, _ = run_events(
+                    events, client_factory(d.socket_path), concurrency=2
+                )
+                load_errors.extend(r.error for r in results if not r.ok)
+
+            loader = threading.Thread(target=load)
+            loader.start()
+            with ServiceClient(d.socket_path) as client:
+                frames = list(client.watch(interval=0.15, count=5))
+                # The connection is still usable after the done frame.
+                assert client.ping()
+            loader.join(timeout=60)
+            assert load_errors == []
+            assert len(frames) == 5
+            for frame in frames:
+                assert frame["interval"] > 0
+                assert frame["latency"]["count"] >= 0
+            # The concurrent load showed up in at least one frame.
+            assert sum(f["requests"] for f in frames) > 0
+            assert any(f["rps"] > 0 for f in frames)
+            # Cumulative totals are monotone across pushed frames.
+            totals = [f["totals"].get("requests", 0) for f in frames]
+            assert totals == sorted(totals)
+        finally:
+            d.shutdown()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+
+    def test_disconnect_mid_stream_stalls_neither_accepts_nor_drain(
+        self, tmp_path
+    ):
+        """A subscriber vanishing mid-stream must cost only its own
+        handler thread — new connections keep being served and a
+        subsequent drain finishes promptly."""
+        d = ServiceDaemon(
+            str(tmp_path / "gone.sock"),
+            SolverService(EngineConfig(jobs=1)),
+            monitor_interval=0.1,
+        )
+        thread = d.start()
+        try:
+            watcher = ServiceClient(d.socket_path)
+            stream = watcher.watch(interval=0.1)   # unbounded stream
+            assert next(stream) is not None        # ack consumed, one frame
+            watcher.close()                        # vanish mid-stream
+            # The accept loop still answers fresh clients...
+            with ServiceClient(d.socket_path) as client:
+                assert client.ping()
+                f1, _ = random_planted_ksat(10, 30, rng=9)
+                assert client.solve(SolveRequest(formula=f1, seed=0)).status == "sat"
+        finally:
+            # ...and the drain is not pinned on the dead subscriber.
+            t0 = time.monotonic()
+            d.shutdown()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            assert time.monotonic() - t0 < 5.0
+
+    def test_drain_interrupts_an_idle_watch_stream(self, tmp_path):
+        """Shutdown mid-interval ends the stream with a done frame
+        instead of waiting out the subscriber's cadence."""
+        d = ServiceDaemon(
+            str(tmp_path / "drainwatch.sock"),
+            SolverService(EngineConfig(jobs=1)),
+            monitor_interval=0.1,
+        )
+        thread = d.start()
+        watcher = ServiceClient(d.socket_path)
+        try:
+            stream = watcher.watch(interval=30.0)  # one frame per 30s
+            shutdown_timer = threading.Timer(0.3, d.shutdown)
+            shutdown_timer.start()
+            t0 = time.monotonic()
+            frames = list(stream)                  # ends on the drain
+            assert time.monotonic() - t0 < 10.0
+            assert frames == []                    # interval never elapsed
+        finally:
+            watcher.close()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+
+    def test_bad_watch_parameters_are_error_frames(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            with pytest.raises(ServiceError, match="interval"):
+                list(client.watch(interval="bogus"))
+        with ServiceClient(daemon.socket_path) as client:
+            with pytest.raises(ServiceError, match="count"):
+                list(client.watch(count=0))
+        # The daemon survived both.
+        with ServiceClient(daemon.socket_path) as client:
+            assert client.ping()
+
+    def test_stats_frame_reports_windowed_rates_and_histogram(self, daemon):
+        f1, _ = random_planted_ksat(10, 30, rng=8)
+        with ServiceClient(daemon.socket_path) as client:
+            assert client.solve(SolveRequest(formula=f1, seed=0)).status == "sat"
+            daemon.monitor.sample()     # deterministic ring row
+            frame = client.stats_frame(window=60.0, recent=10)
+        assert frame["requests"] >= 1
+        assert frame["rps"] > 0
+        assert frame["latency_histogram"]["count"] >= 1
+        assert frame["window"] > 0
+        assert len(frame["series"]) >= 1
+        assert frame["totals"]["requests"] >= 1
+
+    def test_stats_op_carries_cache_info_and_metrics(self, daemon):
+        f1, _ = random_planted_ksat(10, 30, rng=7)
+        with ServiceClient(daemon.socket_path) as client:
+            client.solve(SolveRequest(formula=f1, seed=0))
+            stats = client.stats()
+        cache = stats["cache"]
+        assert cache["backend"] == "memory"
+        assert cache["entries"] >= 1
+        assert cache["bytes"] > 0
+        assert cache["evictions"] == 0
+        metrics = stats["metrics"]
+        assert metrics["counters"]["requests"] >= 1
+        assert metrics["histograms"]["solve_latency"]["count"] >= 1
 
 
 class TestRecorderHook:

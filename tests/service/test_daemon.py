@@ -7,6 +7,7 @@ a solve + change + re-solve round trip, clean shutdown, and (with the
 disk backend) a cache hit served *across daemon processes*.
 """
 
+import json
 import os
 import socket as socket_mod
 import subprocess
@@ -261,7 +262,18 @@ class TestCrossProcess:
         finally:
             out, err = proc.communicate(timeout=30)
         assert proc.returncode == 0, err
-        assert log.exists() and "op=solve" in log.read_text()
+        # The forensics log is structured: one JSON record per event.
+        records = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        solve_ops = [
+            r for r in records if r["event"] == "op" and r["op"] == "solve"
+        ]
+        assert len(solve_ops) == 2           # one per daemon process
+        assert all(r["ok"] for r in solve_ops)
+        assert all(r["wall"] >= 0 for r in solve_ops)
+        assert solve_ops[-1]["source"] == "cache"
+        assert {r["event"] for r in records} >= {"listening", "op", "stopped"}
 
     def test_dimacs_path_request_served_from_daemon_host(self, tmp_path, planted):
         # The daemon reads a server-side DIMACS path: useful when client

@@ -10,7 +10,7 @@ from repro import errors
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -21,7 +21,7 @@ class TestTopLevel:
         [
             "repro.cnf", "repro.ilp", "repro.sat", "repro.core",
             "repro.coloring", "repro.scheduling", "repro.bench", "repro.cli",
-            "repro.engine", "repro.service", "repro.workload",
+            "repro.engine", "repro.service", "repro.workload", "repro.obs",
         ],
     )
     def test_subpackages_import(self, module):
