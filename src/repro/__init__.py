@@ -90,7 +90,7 @@ from repro.workload import (
     replay_trace,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AddClause",

@@ -6,7 +6,14 @@ closed/open-loop runner and records, per scenario:
 
 * **closed-loop throughput and latency percentiles** at worker counts 1
   and 4 (one fresh in-process :class:`~repro.service.service.
-  SolverService` per run, so scenarios never warm each other's cache);
+  SolverService` per run, so scenarios never warm each other's cache;
+  each row is the median-throughput run of ``--repeats`` attempts).
+  Closed rows run **pool-bound** (``quick_slice=0``, pre-warmed pool):
+  every uncached solve fans out to the shared worker pool, so the
+  c=1 → c=4 ratio measures what PR 7 unblocked — concurrent
+  distinct-fingerprint races overlapping their pool round trips —
+  instead of GIL-serialized in-process quick-slice solving, which is
+  structurally flat across client counts on one core;
 * the run's **engine/cache counter deltas** (races, cache hits,
   revalidations, batch dedups, transport bytes) — the substrate every
   future scale PR (cache sharding, parallel distinct-fingerprint
@@ -32,6 +39,7 @@ Options::
     --scenarios A,B     comma-separated subset (default: five scenarios)
     --jobs N            in-process pool width (default 2)
     --seed N            stream seed (default 0)
+    --repeats N         closed-row repeats, median kept (default 3)
     --out PATH          also write a JSON artifact (BENCH_workload.json)
 """
 
@@ -66,8 +74,11 @@ DEFAULT_SCENARIOS = (
     "tenant-churn",
 )
 
-#: (tenants, changes) per tier.
-_SIZES = {"ci": (3, 5), "paper": (8, 10)}
+#: (tenants, changes) per tier.  The closed-loop runner pins every
+#: session's events to one worker (per-key ordering), so the c=4 rows
+#: need at least four tenant streams — fewer would leave workers idle
+#: and measure key starvation, not engine concurrency.
+_SIZES = {"ci": (6, 8), "paper": (8, 10)}
 
 
 def bench_run(
@@ -80,15 +91,30 @@ def bench_run(
     mode: str = "closed",
     concurrency: int = 1,
     rate: float | None = None,
+    pool_bound: bool = False,
 ) -> LoadReport:
     """One scenario run over a fresh in-process service.
+
+    Args:
+        pool_bound: disable the quick slice and pre-warm the pool, so
+            every uncached solve races over the shared worker pool — the
+            configuration whose closed-loop c=1 vs c=4 ratio exposes
+            engine-level concurrency (the replay/open-loop experiments
+            keep the default engine: fan-out races pick nondeterministic
+            winners, which would break byte-level replay fidelity).
 
     Raises:
         ReproError: any event errored — a load number over a broken run
             would poison the trajectory.
     """
     events = build_scenario(scenario, seed=seed, tenants=tenants, changes=changes)
-    with SolverService(EngineConfig(jobs=jobs)) as service:
+    config = (
+        EngineConfig(jobs=jobs, quick_slice=0.0) if pool_bound
+        else EngineConfig(jobs=jobs)
+    )
+    with SolverService(config) as service:
+        if pool_bound:
+            service.engine.warm_up()
         factory = inprocess_factory(service)
         before = factory().stats()
         results, wall = run_events(
@@ -144,7 +170,7 @@ def format_workload_table(reports: list[LoadReport]) -> str:
     header = (
         f"{'scenario':<22} {'mode':<6} {'c':>2} {'events':>6} "
         f"{'ev/s':>8} {'p50':>8} {'p99':>8} "
-        f"{'races':>5} {'hits':>5} {'reval':>5}"
+        f"{'races':>5} {'hits':>5} {'reval':>5} {'joins':>5}"
     )
     lines = [header, "-" * len(header)]
     for r in reports:
@@ -154,9 +180,23 @@ def format_workload_table(reports: list[LoadReport]) -> str:
             f"{r.throughput:>8.1f} {r.latency['p50'] * 1e3:>7.2f}m "
             f"{r.latency['p99'] * 1e3:>7.2f}m "
             f"{engine.get('races', 0):>5} {engine.get('cache_hits', 0):>5} "
-            f"{engine.get('revalidations', 0):>5}"
+            f"{engine.get('revalidations', 0):>5} "
+            f"{engine.get('inflight_joins', 0):>5}"
         )
     return "\n".join(lines)
+
+
+def concurrency_ratios(reports: list[LoadReport]) -> dict:
+    """c=4 / c=1 closed-loop throughput per scenario (the PR 7 yardstick)."""
+    by_scenario: dict[str, dict[int, float]] = {}
+    for r in reports:
+        if r.mode == "closed":
+            by_scenario.setdefault(r.scenario, {})[r.concurrency] = r.throughput
+    return {
+        scenario: round(points[4] / points[1], 3)
+        for scenario, points in by_scenario.items()
+        if points.get(1) and points.get(4)
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -172,6 +212,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="closed-row repeats; the median-throughput run is kept "
+             "(streams finish in tens of milliseconds, so a single shot "
+             "is hostage to scheduler noise)",
+    )
     parser.add_argument("--out", default=None, help="write a JSON artifact here")
     args = parser.parse_args(argv)
 
@@ -182,18 +228,33 @@ def main(argv: list[str] | None = None) -> int:
     reports: list[LoadReport] = []
     for scenario in scenarios:
         for concurrency in (1, 4):
-            reports.append(
+            runs = [
                 bench_run(
                     scenario, tenants=tenants, changes=changes,
                     seed=args.seed, jobs=args.jobs, concurrency=concurrency,
+                    pool_bound=True,
                 )
-            )
+                for _ in range(max(1, args.repeats))
+            ]
+            runs.sort(key=lambda r: r.throughput)
+            reports.append(runs[len(runs) // 2])
     print(format_workload_table(reports))
+    ratios = concurrency_ratios(reports)
+    if ratios:
+        print(
+            "c4/c1 throughput: "
+            + "  ".join(f"{s}={r:.2f}x" for s, r in sorted(ratios.items()))
+        )
 
-    # Open-loop: offer ~1.5x the measured closed-loop throughput so the
-    # lateness column actually means something.
-    c1 = reports[0]
-    rate = max(20.0, min(2000.0, 1.5 * c1.throughput))
+    # Open-loop: offer ~1.5x the measured closed-loop throughput of the
+    # same default-engine configuration the open run uses (the pool-bound
+    # rows above are an order of magnitude slower by design, so deriving
+    # the rate from them would make the lateness column meaningless).
+    baseline = bench_run(
+        scenarios[0], tenants=tenants, changes=changes, seed=args.seed,
+        jobs=args.jobs, concurrency=1,
+    )
+    rate = max(20.0, min(2000.0, 1.5 * baseline.throughput))
     open_report = bench_run(
         scenarios[0], tenants=tenants, changes=changes, seed=args.seed,
         jobs=args.jobs, mode="open", concurrency=1, rate=rate,
@@ -222,6 +283,9 @@ def main(argv: list[str] | None = None) -> int:
             "cores": os.cpu_count(),
             "tenants": tenants,
             "changes": changes,
+            "closed_loop_pool_bound": True,
+            "closed_loop_repeats": max(1, args.repeats),
+            "concurrency_ratios": ratios,
             "runs": [r.to_dict() for r in reports],
             "open_loop": {**open_report.to_dict(), "offered_rate": rate},
             "replay": fidelity,

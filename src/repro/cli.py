@@ -256,9 +256,12 @@ def _cmd_serve(args) -> int:
     from repro.service.service import SolverService
 
     try:
+        extra = {}
+        if args.quick_slice is not None:
+            extra["quick_slice"] = args.quick_slice
         config = EngineConfig(
             jobs=args.jobs, cache=args.cache, cache_dir=args.cache_dir,
-            cache_entries=args.cache_entries,
+            cache_entries=args.cache_entries, **extra,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
@@ -618,6 +621,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Unix socket path to listen on")
     p.add_argument("--jobs", type=int, default=None,
                    help="portfolio process-pool width (default: auto)")
+    p.add_argument("--quick-slice", type=float, default=None,
+                   help="in-process lead-solver budget in seconds before "
+                        "fan-out; 0 sends every uncached solve straight "
+                        "to the worker pool (default: engine default)")
     p.add_argument("--cache", default="memory",
                    choices=("memory", "disk", "none"),
                    help="verdict cache backend ('disk' persists across "

@@ -1,30 +1,46 @@
-"""The :class:`PortfolioEngine` facade: cache -> revalidate -> race.
+"""The :class:`PortfolioEngine` facade: coalesce -> cache -> revalidate -> race.
 
 Query path for ``engine.solve(formula, hint=previous_solution)``:
 
-1. **Hint revalidation** — if the caller's previous solution already
+1. **Single-flight coalescing** — an fp-v2 identical query already being
+   solved by another thread is *joined*, not re-run: the caller parks on
+   the in-flight entry and receives an independently-owned copy of the
+   leader's result (``source="inflight-join"``).  This generalizes
+   :meth:`~PortfolioEngine.solve_many`'s intra-batch dedup across
+   requests and threads.
+2. **Hint revalidation** — if the caller's previous solution already
    satisfies the formula (every loosening EC lands here), it is adopted
    and cached; no solver runs.  The hint outranks the cache so a
    still-valid current solution is never churned for an older cached
    model — minimal perturbation is the EC objective.
-2. **Fingerprint lookup** — a content-addressed
+3. **Fingerprint lookup** — a content-addressed
    :class:`~repro.engine.cache.SolutionCache` hit answers repeated (and
    round-tripped, reordered, re-derived) instances without any solving.
    Cached models are still revalidated in O(clauses) before being served.
-3. **Portfolio race** — otherwise the configured
+4. **Portfolio race** — otherwise the configured
    :class:`~repro.engine.portfolio.Portfolio` races its solvers, and any
    trusted verdict (verified model, or UNSAT from a complete solver) is
    cached for the next query.
 
+Concurrency model (PR 7): the engine no longer serializes queries.
+Distinct fingerprints race *concurrently* over the portfolio's shared
+process pool — each race owns per-query
+:class:`~repro.engine.portfolio.RaceHandle` state, and a scheduler
+apportions pool workers between live races.  ``self.lock`` shrank to a
+narrow mutex guarding only shared mutable state with no thread-safety of
+its own: the :class:`EngineStats` counters (merged as per-query deltas
+after each solve), the cache's LRU order, and the in-flight table.  It
+is **never held across solver execution**.
+
 ``EngineStats.solver_calls`` counts actual solver launches, so tests and
-benchmarks can assert that steps 1-2 never touched a solver.
+benchmarks can assert that steps 1-3 never touched a solver.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable
 
 from repro.cnf.assignment import Assignment
@@ -36,23 +52,24 @@ from repro.engine.portfolio import DEFAULT_QUICK_SLICE, Portfolio
 from repro.engine.protocol import SAT, UNSAT, SolverOutcome
 from repro.obs.metrics import LATENCY_HISTOGRAM, MetricsRegistry
 
-#: EngineStats fields mirrored into the metrics registry per query.
-_METRIC_FIELDS = (
-    "cache_hits", "revalidations", "races", "solver_calls",
-    "batch_dedups", "transport_bytes",
-)
-
 
 @dataclass
 class EngineStats:
-    """Counters for one engine's lifetime."""
+    """Counters for one engine's lifetime.
 
-    solves: int = 0              # total engine.solve() calls
+    Invariant (every query is answered exactly one way)::
+
+        solves == cache_hits + revalidations + races
+                  + batch_dedups + inflight_joins
+    """
+
+    solves: int = 0              # total queries answered (any path below)
     cache_hits: int = 0          # answered from the fingerprint cache
     revalidations: int = 0       # answered by revalidating the hint
     races: int = 0               # portfolio races actually run
     solver_calls: int = 0        # solver runs that actually started
     batch_dedups: int = 0        # solve_many() queries answered intra-batch
+    inflight_joins: int = 0      # queries coalesced onto a concurrent twin
     transport_bytes: int = 0     # wire payload bytes shipped to race workers
 
     def snapshot(self) -> dict:
@@ -65,6 +82,30 @@ class EngineStats:
         return asdict(self)
 
 
+#: EngineStats fields a query delta may carry (and the metrics registry
+#: mirrors).  Deltas are accumulated lock-free per query, then merged
+#: into ``engine.stats`` in one short critical section.
+_DELTA_FIELDS = (
+    "solves", "cache_hits", "revalidations", "races", "solver_calls",
+    "batch_dedups", "inflight_joins", "transport_bytes",
+)
+
+
+@dataclass
+class _InFlight:
+    """One pending fingerprint in the single-flight table.
+
+    The first thread to install an entry is the *leader* and runs the
+    real pipeline; everyone else parks on ``event`` and copies the
+    leader's result (or re-raises its error) when it fires.
+    """
+
+    event: threading.Event = field(default_factory=threading.Event)
+    result: "EngineResult | None" = None
+    error: BaseException | None = None
+    joiners: int = 0
+
+
 @dataclass
 class EngineResult:
     """What the engine returned for one query."""
@@ -72,7 +113,7 @@ class EngineResult:
     status: str                  # "sat" | "unsat" | "unknown"
     assignment: Assignment | None
     fingerprint: str
-    source: str                  # "cache" | "revalidation" | name of winner | "portfolio"
+    source: str                  # "cache" | "revalidation" | "inflight-join" | winner | "portfolio"
     wall_time: float
     from_cache: bool = False
     outcome: SolverOutcome | None = None
@@ -97,6 +138,11 @@ class PortfolioEngine:
     """Cache-fronted portfolio solver, the engine behind
     ``ECFlow.resolve(strategy="portfolio")`` and ``repro solve --engine
     portfolio``.
+
+    Thread-safe, and deliberately *concurrent*: callers on distinct
+    fingerprints overlap end-to-end (their races share one process pool),
+    while callers on the same fingerprint coalesce through the
+    single-flight in-flight table — one race, N answers.
 
     Args:
         configs: portfolio line-up override.
@@ -126,15 +172,14 @@ class PortfolioEngine:
         self.cache = cache if cache is not None else SolutionCache()
         self.stats = EngineStats()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        # Serializes whole queries (the portfolio's cancellation event is
-        # per-race state — interleaved races would corrupt each other)
-        # and therefore also guards every EngineStats/cache-stats
-        # increment.  The SolverService facade holds its own lock *and*
-        # this one (re-entrant, consistent order: service -> engine), so
-        # two services or sessions sharing one engine from different
-        # threads — each with a different service lock — still cannot
-        # race a query or tear a counter update.
+        # Narrow mutex over shared mutable state that is not thread-safe
+        # by itself: EngineStats merges, the cache's LRU bookkeeping, and
+        # the in-flight table.  Never held while a solver (or the
+        # portfolio) runs — concurrency across queries is the point.
+        # RLock so legacy callers that wrapped engine calls in
+        # ``with engine.lock:`` keep working.
         self.lock = threading.RLock()
+        self._inflight: dict[str, _InFlight] = {}
         self._closed = False
 
     @classmethod
@@ -150,6 +195,19 @@ class PortfolioEngine:
         )
 
     # ------------------------------------------------------------------
+    def _merge_delta(self, delta: dict) -> None:
+        """Fold one query's counter delta into the shared stats."""
+        with self.lock:
+            for key, value in delta.items():
+                if value:
+                    setattr(self.stats, key, getattr(self.stats, key) + value)
+
+    def stats_snapshot(self) -> dict:
+        """A consistent (non-torn) copy of :attr:`stats`."""
+        with self.lock:
+            return self.stats.snapshot()
+
+    # ------------------------------------------------------------------
     def solve(
         self,
         formula: CNFFormula,
@@ -160,97 +218,170 @@ class PortfolioEngine:
         use_cache: bool = True,
         lead: str | None = None,
     ) -> EngineResult:
-        """Answer a satisfiability query through cache, hint, then race.
+        """Answer a satisfiability query: coalesce, then cache/hint/race.
 
         Args:
             lead: per-race lead-solver override forwarded to
                 :meth:`Portfolio.solve` (e.g. ``"cdcl"`` on tightening
                 engineering changes).
         """
-        with self.lock:
-            before = [getattr(self.stats, f) for f in _METRIC_FIELDS]
-            result = self._solve_locked(
-                formula, deadline=deadline, seed=seed, hint=hint,
-                use_cache=use_cache, lead=lead,
+        t0 = time.perf_counter()
+        # fp-v2 is incrementally maintained on the formula's packed
+        # kernel: the first query pays O(clauses) once, every query after
+        # an EC edit pays O(changed clauses).  Skipped entirely when the
+        # caller bypasses the cache — which also opts out of coalescing
+        # (no fingerprint, no coalescing key).
+        fp = fingerprint_v2(formula) if use_cache else ""
+
+        flight: _InFlight | None = None
+        if use_cache:
+            with self.lock:
+                flight = self._inflight.get(fp)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[fp] = flight
+                    leader = True
+                else:
+                    flight.joiners += 1
+                    leader = False
+            if not leader:
+                return self._join(flight, fp, t0)
+
+        delta = dict.fromkeys(_DELTA_FIELDS, 0)
+        try:
+            result = self._solve_pipeline(
+                formula, fp, deadline=deadline, seed=seed, hint=hint,
+                use_cache=use_cache, lead=lead, delta=delta, t0=t0,
             )
-            deltas = {
-                f: getattr(self.stats, f) - b
-                for f, b in zip(_METRIC_FIELDS, before)
-            }
+        except BaseException as exc:
+            self._finish_flight(fp, flight, None, exc)
+            raise
+        self._finish_flight(fp, flight, result, None)
+        self._merge_delta(delta)
         # Published OUTSIDE the engine lock: the registry's own narrow
         # lock is the only thing a live reader contends with.
-        deltas["solves"] = 1
         self.metrics.bump(
-            counts={k: v for k, v in deltas.items() if v},
+            counts={k: v for k, v in delta.items() if v},
             observe={LATENCY_HISTOGRAM: result.wall_time},
         )
         return result
 
-    def _solve_locked(
+    def _join(self, flight: _InFlight, fp: str, t0: float) -> EngineResult:
+        """Park on a concurrent identical query and copy its answer."""
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        base = flight.result
+        wall = time.perf_counter() - t0
+        self._merge_delta({"solves": 1, "inflight_joins": 1})
+        self.metrics.bump(
+            counts={"solves": 1, "inflight_joins": 1},
+            observe={LATENCY_HISTOGRAM: wall},
+        )
+        return replace(
+            base,
+            # Each joiner owns its model: callers mutate assignments
+            # freely (flips, don't-care recovery) and must not corrupt
+            # the leader's copy — the same invariant SolutionCache.get
+            # keeps.  The raw SolverOutcome stays with the leader for the
+            # same reason.
+            assignment=(
+                base.assignment.copy() if base.assignment is not None else None
+            ),
+            source="inflight-join",
+            from_cache=True,
+            outcome=None,
+            wall_time=wall,
+        )
+
+    def _finish_flight(
+        self,
+        fp: str,
+        flight: _InFlight | None,
+        result: "EngineResult | None",
+        error: BaseException | None,
+    ) -> None:
+        """Retire the in-flight entry and release any parked joiners."""
+        if flight is None:
+            return
+        with self.lock:
+            self._inflight.pop(fp, None)
+        flight.result = result
+        flight.error = error
+        flight.event.set()
+
+    def _solve_pipeline(
         self,
         formula: CNFFormula,
+        fp: str,
         *,
         deadline: float | None,
         seed: int | None,
         hint: Assignment | None,
         use_cache: bool,
         lead: str | None,
+        delta: dict,
+        t0: float,
     ) -> EngineResult:
-        """The cache -> hint -> race pipeline (caller holds the lock)."""
-        t0 = time.perf_counter()
-        self.stats.solves += 1
-        # fp-v2 is incrementally maintained on the formula's packed
-        # kernel: the first query pays O(clauses) once, every query after
-        # an EC edit pays O(changed clauses).  Still skipped entirely
-        # when the caller bypasses the cache.
-        fp = fingerprint_v2(formula) if use_cache else ""
+        """The hint -> cache -> race pipeline (leader path).
+
+        Counter changes go into *delta* (merged by the caller in one
+        critical section); ``self.lock`` is taken only around individual
+        cache operations, never across solving.
+        """
+        delta["solves"] += 1
 
         # The hint is checked BEFORE the cache: both are O(clauses), and a
         # still-valid current solution must win over an older cached model
         # — serving the cache here would churn the very solution the EC
         # methodology tries to preserve.
         if hint is not None and formula.is_satisfied(hint):
-            self.stats.revalidations += 1
+            delta["revalidations"] += 1
             model = hint.copy()
             if use_cache:
-                self.cache.put(fp, True, model, solver="revalidation")
+                with self.lock:
+                    self.cache.put(fp, True, model, solver="revalidation")
             return EngineResult(
                 SAT, model, fp, "revalidation", time.perf_counter() - t0
             )
 
         if use_cache:
-            entry = self.cache.get(fp)
+            with self.lock:
+                entry = self.cache.get(fp)
             if entry is not None:
                 if entry.satisfiable and formula.is_satisfied(entry.assignment):
-                    self.stats.cache_hits += 1
+                    delta["cache_hits"] += 1
                     return EngineResult(
                         SAT, entry.assignment, fp, "cache",
                         time.perf_counter() - t0, from_cache=True,
                     )
                 if not entry.satisfiable:
-                    self.stats.cache_hits += 1
+                    delta["cache_hits"] += 1
                     return EngineResult(
                         UNSAT, None, fp, "cache",
                         time.perf_counter() - t0, from_cache=True,
                     )
                 # A cached model that no longer verifies means a hash
                 # collision or an upstream bug; drop it and fall through.
-                self.cache.invalidate(fp)
+                with self.lock:
+                    self.cache.invalidate(fp)
 
-        self.stats.races += 1
+        delta["races"] += 1
         result = self.portfolio.solve(
             formula, deadline=deadline, seed=seed, hint=hint, lead=lead
         )
         # Racers cancelled before their solver started are excluded;
         # racers abandoned mid-run still count, so this is exact for the
         # zero-solver paths and an upper bound on completed runs.
-        self.stats.solver_calls += result.executed
-        self.stats.transport_bytes += result.transport_bytes
+        delta["solver_calls"] += result.executed
+        delta["transport_bytes"] += result.transport_bytes
         outcome = result.outcome
         if use_cache and outcome.is_definitive:
-            self.cache.put(
-                fp, outcome.status == SAT, outcome.assignment, solver=outcome.solver
-            )
+            with self.lock:
+                self.cache.put(
+                    fp, outcome.status == SAT, outcome.assignment,
+                    solver=outcome.solver,
+                )
         return EngineResult(
             outcome.status,
             outcome.assignment,
@@ -284,6 +415,11 @@ class PortfolioEngine:
         first query that actually fans out — easy batches decided by the
         quick slice never pay process-spawn latency.
 
+        The batch does NOT serialize the engine: concurrent callers (other
+        batches, single queries) interleave freely between this batch's
+        queries, coalescing with them through the in-flight table when
+        fingerprints collide.
+
         Args:
             deadline: per-instance wall-clock budget (not a batch total).
             deadline/seed/use_cache/lead: forwarded to :meth:`solve`.
@@ -292,46 +428,46 @@ class PortfolioEngine:
             One :class:`EngineResult` per formula, in input order.
         """
         formulas = list(formulas)
-        with self.lock:
-            results: list[EngineResult] = []
-            first_by_fp: dict[str, int] = {}
-            for formula in formulas:
-                fp = fingerprint_v2(formula)
-                prior = first_by_fp.get(fp)
-                if prior is not None:
-                    self.stats.batch_dedups += 1
-                    # Mirror the dedup into the live registry (no latency
-                    # observation — nothing was served, just aliased).
-                    self.metrics.bump(counts={"solves": 1, "batch_dedups": 1})
-                    first = results[prior]
-                    results.append(
-                        replace(
-                            first,
-                            # Each result owns its model: callers mutate
-                            # assignments freely (flips, don't-care recovery)
-                            # and must not corrupt their batch siblings —
-                            # the same invariant SolutionCache.get keeps.
-                            assignment=(
-                                first.assignment.copy()
-                                if first.assignment is not None
-                                else None
-                            ),
-                            source="batch-dedup",
-                            from_cache=True,
-                            wall_time=0.0,
-                        )
+        results: list[EngineResult] = []
+        first_by_fp: dict[str, int] = {}
+        for formula in formulas:
+            fp = fingerprint_v2(formula)
+            prior = first_by_fp.get(fp)
+            if prior is not None:
+                # Merged + mirrored OUTSIDE any engine-wide lock (there is
+                # none left to hold): stats under the narrow mutex, the
+                # registry under its own.
+                self._merge_delta({"solves": 1, "batch_dedups": 1})
+                self.metrics.bump(counts={"solves": 1, "batch_dedups": 1})
+                first = results[prior]
+                results.append(
+                    replace(
+                        first,
+                        # Each result owns its model: callers mutate
+                        # assignments freely (flips, don't-care recovery)
+                        # and must not corrupt their batch siblings —
+                        # the same invariant SolutionCache.get keeps.
+                        assignment=(
+                            first.assignment.copy()
+                            if first.assignment is not None
+                            else None
+                        ),
+                        source="batch-dedup",
+                        from_cache=True,
+                        wall_time=0.0,
                     )
-                    continue
-                result = self.solve(
-                    formula,
-                    deadline=deadline,
-                    seed=seed,
-                    use_cache=use_cache,
-                    lead=lead,
                 )
-                first_by_fp[fp] = len(results)
-                results.append(result)
-            return results
+                continue
+            result = self.solve(
+                formula,
+                deadline=deadline,
+                seed=seed,
+                use_cache=use_cache,
+                lead=lead,
+            )
+            first_by_fp[fp] = len(results)
+            results.append(result)
+        return results
 
     # ------------------------------------------------------------------
     def warm_up(self) -> None:

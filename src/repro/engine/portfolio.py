@@ -14,13 +14,28 @@ Strategy (classic parallel-portfolio with a twist for serial hardware):
    plus a clause-offset index), not a pickled ``CNFFormula`` object
    graph; deserialization is a couple of C-level array copies, and
    solvers with a ``solve_packed`` entry point consume the arrays
-   directly.  Workers start staggered (so on oversubscribed hardware
-   the lead solver runs nearly uncontended) and poll a shared
-   cancellation event while waiting, so not-yet-started losers stop
-   cheaply once a winner crosses the line; losers already mid-solve
-   cannot be interrupted and are terminated with the pool (rebuilt
-   lazily for the next race).  The ``deadline`` is enforced both inside
-   each worker and by the parent's wait loop.
+   directly.
+
+The pool is **shared between concurrent races**.  Where the pre-PR-7
+design kept one engine-global cancellation event (forcing the engine to
+serialize whole queries), every race now leases a :class:`RaceHandle`:
+a private cancellation *slot* out of a fixed slot array the workers
+inherit at pool start, plus the set of futures the race submitted.
+Concurrent races over distinct instances therefore overlap on one
+executor, and a scheduler apportions worker submissions: a race running
+alone bursts its whole line-up at once (the historical behaviour), while
+N concurrent races each trickle ``jobs / N`` racers at a time so no
+single query can bury the others' leads at the back of the pool queue.
+
+Workers start staggered (so on oversubscribed hardware the lead solver
+runs nearly uncontended) and poll their race's cancellation slot while
+waiting, so not-yet-started losers stop cheaply once a winner crosses
+the line.  Losers already mid-solve cannot be interrupted; instead of
+blocking the winning caller (or tearing down the shared pool under
+sibling races), their slot is handed to a lazy reaper that releases it
+once the stragglers finish — and only if zombies linger with *no* race
+active does the pool get terminated and rebuilt.  The ``deadline`` is
+enforced both inside each worker and by the parent's wait loop.
 
 An ``unsat`` outcome only wins if its solver is complete; ``sat``
 outcomes are verified models (see :mod:`repro.engine.adapters`), so the
@@ -31,10 +46,12 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
+    Future,
     ProcessPoolExecutor,
     wait,
 )
@@ -50,14 +67,22 @@ from repro.engine.config import (
 )
 from repro.engine.protocol import SAT, SolverOutcome, UNKNOWN, UNSAT
 
-#: Worker-side cancellation event, installed by :func:`_init_worker`.
-_CANCEL = None
+#: Worker-side cancellation slot array, installed by :func:`_init_worker`.
+#: Each concurrently running race owns one slot for its lifetime.
+_CANCEL_SLOTS = None
 
 
-def _init_worker(cancel_event) -> None:
-    """Pool initializer: adopt the shared cancellation event."""
-    global _CANCEL
-    _CANCEL = cancel_event
+def _init_worker(cancel_slots) -> None:
+    """Pool initializer: adopt the shared per-race cancellation slots."""
+    global _CANCEL_SLOTS
+    _CANCEL_SLOTS = cancel_slots
+
+
+def _slot_cancelled(slot) -> bool:
+    """Whether the race owning *slot* has been cancelled (worker side)."""
+    if slot is None or _CANCEL_SLOTS is None:
+        return False
+    return _CANCEL_SLOTS[slot].is_set()
 
 
 def run_config(
@@ -125,21 +150,24 @@ def _race_entry(
     seed: int | None,
     hint: Assignment | None,
     stagger: float,
+    slot: int | None = None,
 ) -> SolverOutcome:
     """Worker-side entry: staggered, cancellable start, then the solver.
 
     *payload* is the packed kernel's wire bytes — two array copies to
-    deserialize, no clause objects.
+    deserialize, no clause objects.  *slot* selects which race's
+    cancellation event this worker polls; racing queries never observe
+    each other's cancellations.
     """
     t0 = time.perf_counter()
     waited = 0.0
     while waited < stagger:
-        if _CANCEL is not None and _CANCEL.is_set():
+        if _slot_cancelled(slot):
             return SolverOutcome(UNKNOWN, None, config.name, 0.0, "cancelled")
         step = min(0.01, stagger - waited)
         time.sleep(step)
         waited += step
-    if _CANCEL is not None and _CANCEL.is_set():
+    if _slot_cancelled(slot):
         return SolverOutcome(UNKNOWN, None, config.name, 0.0, "cancelled")
     packed = PackedCNF.from_bytes(payload)
     remaining = None
@@ -165,8 +193,8 @@ class PortfolioResult:
 
     ``launched`` counts submissions; ``executed`` excludes racers that
     were cancelled before their solver ever started (``executed`` still
-    includes racers terminated mid-run, so it is exact for the
-    zero-solver paths and an upper bound otherwise).
+    includes racers terminated or abandoned mid-run, so it is exact for
+    the zero-solver paths and an upper bound otherwise).
     """
 
     outcome: SolverOutcome
@@ -181,8 +209,59 @@ class PortfolioResult:
     transport_bytes: int = 0
 
 
+class RaceHandle:
+    """Per-race mutable state over the shared executor.
+
+    Everything that used to be engine-global (and forced whole-query
+    serialization) lives here instead: the cancellation event — one
+    *slot* of the pool's shared slot array, leased for this race — the
+    futures this race submitted, and the pool generation the lease
+    belongs to (a terminated/rebuilt pool invalidates old handles).
+    """
+
+    __slots__ = ("slot", "generation", "futures", "_portfolio", "_executor")
+
+    def __init__(
+        self,
+        portfolio: "Portfolio",
+        executor: ProcessPoolExecutor,
+        slot: int,
+        generation: int,
+    ):
+        self._portfolio = portfolio
+        self._executor = executor
+        self.slot = slot
+        self.generation = generation
+        self.futures: dict[Future, SolverConfig] = {}
+
+    def submit(
+        self,
+        config: SolverConfig,
+        payload: bytes,
+        deadline: float | None,
+        seed: int | None,
+        hint: Assignment | None,
+        stagger: float,
+    ) -> Future:
+        """Submit one racer bound to this race's cancellation slot."""
+        fut = self._executor.submit(
+            _race_entry, config, payload, deadline, seed, hint, stagger, self.slot
+        )
+        self.futures[fut] = config
+        return fut
+
+    def cancel(self) -> None:
+        """Tell this race's not-yet-solving workers to stand down."""
+        self._portfolio._set_cancel(self)
+
+
 class Portfolio:
     """A reusable racer over a fixed list of solver configurations.
+
+    Thread-safe: any number of threads may call :meth:`solve`
+    concurrently; distinct races overlap on one shared process pool,
+    each owning a private :class:`RaceHandle` (cancellation slot +
+    futures).  See the module docstring for the scheduling policy.
 
     Args:
         configs: race line-up (default: :func:`default_portfolio_configs`).
@@ -193,9 +272,13 @@ class Portfolio:
             fanning out (0 disables the quick slice).
         stagger: delay between worker starts; ``None`` auto-selects 0 on
             machines with at least ``jobs`` cores and 50 ms otherwise.
-        drain: how long (seconds) a cancelled race waits for already-
-            running racers to cross the line before terminating them; a
-            definitive answer arriving inside this window still wins.
+        drain: how long (seconds) a race that hit its *deadline* waits
+            for already-running racers to cross the line; a definitive
+            answer arriving inside this window still wins.  Races ended
+            by a winner skip this wait — leftovers go to the reaper.
+        reap_patience: how long abandoned mid-solve losers may clog
+            workers before an *idle* portfolio terminates the pool
+            (rebuilt lazily) to reclaim them.
 
     The process pool is created lazily and reused across calls; use the
     portfolio as a context manager (or call :meth:`close`) to release it.
@@ -208,6 +291,7 @@ class Portfolio:
         quick_slice: float = DEFAULT_QUICK_SLICE,
         stagger: float | None = None,
         drain: float = 0.1,
+        reap_patience: float = 2.0,
     ):
         self.configs = list(configs) if configs is not None else default_portfolio_configs()
         cores = os.cpu_count() or 1
@@ -215,28 +299,184 @@ class Portfolio:
         self.quick_slice = quick_slice
         self.stagger = (0.0 if cores >= max(self.jobs, 2) else 0.05) if stagger is None else stagger
         self.drain = drain
+        self.reap_patience = reap_patience
         self.total_launched = 0
+        #: Mid-solve losers abandoned past ``reap_patience`` (cumulative);
+        #: each one cost a pool rebuild to reclaim its worker.
+        self.leaked = 0
         self._executor: ProcessPoolExecutor | None = None
-        self._cancel = None
+        # One lock/condition guards pool lifetime, the slot free-list,
+        # the reap queue, and the active-race count.  It is never held
+        # while waiting on solver futures.
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._events: list | None = None     # per-slot cancellation events
+        self._free: list[int] = []           # free slot indices
+        self._reaping: list[tuple[int, list[Future], float]] = []
+        self._generation = 0                 # bumped on every pool teardown
+        self._active = 0                     # races currently in fan-out
+        self._slot_count = max(8, 2 * max(1, self.jobs))
 
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    # pool + slot lifecycle (all *_locked helpers need self._lock held)
+    # ------------------------------------------------------------------
+    def _ensure_pool_locked(self) -> ProcessPoolExecutor:
         if self._executor is None:
             methods = mp.get_all_start_methods()
             ctx = mp.get_context("fork" if "fork" in methods else methods[0])
-            self._cancel = ctx.Event()
+            self._events = [ctx.Event() for _ in range(self._slot_count)]
+            self._free = list(range(self._slot_count))
+            self._reaping = []
             self._executor = ProcessPoolExecutor(
                 max_workers=max(1, self.jobs),
                 mp_context=ctx,
                 initializer=_init_worker,
-                initargs=(self._cancel,),
+                initargs=(self._events,),
             )
         return self._executor
 
+    def _terminate_pool_locked(self) -> None:
+        executor, self._executor = self._executor, None
+        events, self._events = self._events, None
+        self._free = []
+        self._reaping = []
+        self._generation += 1
+        self._cond.notify_all()
+        if executor is None:
+            return
+        if events is not None:
+            for event in events:
+                event.set()
+        # ProcessPoolExecutor exposes no public kill; fall back to leaving
+        # the workers alone if the private handle ever disappears.
+        procs = dict(getattr(executor, "_processes", None) or {})
+        executor.shutdown(wait=False, cancel_futures=True)
+        # Wait for the management thread to process the shutdown wakeup:
+        # it prunes already-cancelled work items (races cancel losers) and
+        # then clears _cancel_pending_futures.  Terminating workers before
+        # that prune makes its broken-pool cleanup set_exception() on
+        # cancelled futures — an InvalidStateError that kills the thread
+        # mid-cleanup and leaks its queues.
+        deadline = time.monotonic() + 1.0
+        while (
+            getattr(executor, "_cancel_pending_futures", False)
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+
+    def _reap_locked(self) -> None:
+        """Release slots whose abandoned futures have since finished.
+
+        A slot's cancellation event stays set until every straggler is
+        gone, so a reused slot can never un-cancel a stale worker.  If
+        zombies outlive ``reap_patience`` while *no* race is active, the
+        pool is terminated (rebuilt lazily) to reclaim their workers.
+        """
+        if self._events is None:
+            self._reaping = []
+            return
+        still: list[tuple[int, list[Future], float]] = []
+        now = time.monotonic()
+        for slot, futs, since in self._reaping:
+            live = [f for f in futs if not f.done()]
+            if not live:
+                self._events[slot].clear()
+                self._free.append(slot)
+                self._cond.notify()
+            elif now - since > self.reap_patience and self._active == 0:
+                self.leaked += len(live)
+                self._terminate_pool_locked()
+                return
+            else:
+                still.append((slot, live, since))
+        self._reaping = still
+
+    def _begin_race(self) -> RaceHandle:
+        """Lease a cancellation slot over the (lazily built) shared pool."""
+        with self._cond:
+            while True:
+                executor = self._ensure_pool_locked()
+                self._reap_locked()
+                if self._executor is None:   # reaper just tore it down
+                    continue
+                if self._free:
+                    slot = self._free.pop()
+                    self._active += 1
+                    return RaceHandle(self, executor, slot, self._generation)
+                # Every slot is leased (concurrent races plus unreaped
+                # leftovers): wait for one, re-reaping on each wake.
+                self._cond.wait(0.05)
+
+    def _end_race(self, handle: RaceHandle) -> None:
+        """Return a race's slot — directly, or via the reaper when the
+        race abandoned still-running futures."""
+        with self._cond:
+            self._active -= 1
+            if handle.generation != self._generation or self._events is None:
+                return
+            live = [
+                f for f in handle.futures if not f.done() and not f.cancelled()
+            ]
+            if live:
+                self._reaping.append((handle.slot, live, time.monotonic()))
+            else:
+                self._events[handle.slot].clear()
+                self._free.append(handle.slot)
+                self._cond.notify()
+                return
+        # Outside the lock (a done future runs its callback inline): when
+        # the stragglers finish, the slot comes home immediately instead
+        # of waiting for the next race to trip the reaper.
+        for fut in live:
+            fut.add_done_callback(lambda _f: self._reap())
+
+    def _reap(self) -> None:
+        """Opportunistic reap (future done-callbacks and idle cleanup)."""
+        with self._cond:
+            self._reap_locked()
+
+    def _set_cancel(self, handle: RaceHandle) -> None:
+        with self._lock:
+            if handle.generation == self._generation and self._events is not None:
+                self._events[handle.slot].set()
+
+    def _rebuild_if_solo(self) -> bool:
+        """After a ``BrokenExecutor``: terminate the dead pool for a lazy
+        rebuild, but only when the caller is the only active race —
+        sibling races degrade to ``unknown`` on their own terms."""
+        with self._cond:
+            if self._active > 1:
+                return False
+            self._terminate_pool_locked()
+            return True
+
+    def _share(self, total: int) -> int:
+        """How many racers this race may have in flight right now.
+
+        Alone: the whole line-up (burst submission, the historical
+        behaviour).  With N concurrent races: ``jobs / N`` (min 1), so
+        every query keeps a lead racer moving instead of queueing whole
+        line-ups behind each other.
+        """
+        with self._lock:
+            active = self._active
+        if active <= 1:
+            return total
+        return max(1, self.jobs // active)
+
+    def _note_launched(self, n: int) -> None:
+        with self._lock:
+            self.total_launched += n
+
+    # ------------------------------------------------------------------
     def warm_up(self) -> None:
         """Spin up the worker pool ahead of the first race (benchmarks)."""
         if self.jobs > 1:
-            executor = self._ensure_pool()
+            with self._lock:
+                executor = self._ensure_pool_locked()
             wait([executor.submit(os.getpid) for _ in range(self.jobs)])
 
     def close(self) -> None:
@@ -246,22 +486,8 @@ class Portfolio:
         interrupted cooperatively, and letting it run to completion would
         block interpreter exit on the pool's atexit join.
         """
-        self._terminate_pool()
-
-    def _terminate_pool(self) -> None:
-        executor, self._executor = self._executor, None
-        cancel, self._cancel = self._cancel, None
-        if executor is None:
-            return
-        if cancel is not None:
-            cancel.set()
-        # ProcessPoolExecutor exposes no public kill; fall back to leaving
-        # the workers alone if the private handle ever disappears.
-        procs = dict(getattr(executor, "_processes", None) or {})
-        executor.shutdown(wait=False, cancel_futures=True)
-        for proc in procs.values():
-            if proc.is_alive():
-                proc.terminate()
+        with self._cond:
+            self._terminate_pool_locked()
 
     def __enter__(self) -> "Portfolio":
         return self
@@ -280,6 +506,9 @@ class Portfolio:
         lead: str | None = None,
     ) -> PortfolioResult:
         """Race the line-up on *formula*; see the module docstring.
+
+        Safe to call from any number of threads at once — each call runs
+        its own race over the shared pool.
 
         Args:
             lead: name of the configuration to move to the front for this
@@ -313,7 +542,7 @@ class Portfolio:
             )
             outcomes.append(out)
             if _trusted(first, out):
-                self.total_launched += launched
+                self._note_launched(launched)
                 return PortfolioResult(
                     out, first.name, launched, time.perf_counter() - t0,
                     outcomes, via_quick_slice=True, executed=launched,
@@ -339,7 +568,7 @@ class Portfolio:
                 if _trusted(config, out):
                     winner = out
                     break
-            self.total_launched += launched
+            self._note_launched(launched)
             final = winner or _best_unknown(outcomes)
             return PortfolioResult(
                 final, winner.solver if winner else None, launched,
@@ -351,92 +580,115 @@ class Portfolio:
         # worker pays two array copies instead of unpickling an object
         # graph of clause instances.
         payload = formula.packed().to_bytes()
-
-        def _submit_all():
-            executor = self._ensure_pool()
-            self._cancel.clear()
-            return {
-                executor.submit(
-                    _race_entry, config, payload, remaining, seed, hint,
-                    i * self.stagger,
-                ): config
-                for i, config in enumerate(configs)
-            }
-
-        try:
-            futures = _submit_all()
-        except BrokenExecutor:
-            # An idle worker died between races; rebuild the pool once.
-            self._terminate_pool()
-            futures = _submit_all()
-        launched += len(futures)
-        self.total_launched += launched
-
+        handle = self._begin_race()
+        pending: set[Future] = set()
         winner: SolverOutcome | None = None
         timed_out = False
         pool_broken = False
-        pending = set(futures)
-        while pending and winner is None:
-            # The parent enforces the deadline too: queued tasks only start
-            # their own budget when a worker picks them up, so with more
-            # configs than workers the race would otherwise overshoot.
-            timeout = None
-            if deadline is not None:
-                timeout = max(0.0, deadline - (time.perf_counter() - t0)) + 0.05
-            done, pending = wait(
-                pending, return_when=FIRST_COMPLETED, timeout=timeout
-            )
-            if not done:
-                timed_out = True
-                break
-            for fut in done:
-                try:
-                    out = fut.result()
-                except BrokenExecutor as exc:
-                    pool_broken = True
-                    out = SolverOutcome(
-                        UNKNOWN, None, futures[fut].name, 0.0, f"worker error: {exc!r}"
-                    )
-                except Exception as exc:  # worker died (OOM, signal, ...)
-                    out = SolverOutcome(
-                        UNKNOWN, None, futures[fut].name, 0.0, f"worker error: {exc!r}"
-                    )
-                outcomes.append(out)
-                if winner is None and _trusted(futures[fut], out):
-                    winner = out
+        retried = False
         not_run = 0
-        if pending:
-            self._cancel.set()
-            for fut in pending:
-                if fut.cancel():       # still queued: its solver never ran
-                    not_run += 1
-            # Give cancelled workers a beat to drain (they poll the event
-            # every 10 ms while staggered); racers already mid-solve cannot
-            # be interrupted, so terminate them and rebuild the pool lazily
-            # on the next race rather than let losers burn CPU.
-            live = {fut for fut in pending if not fut.cancelled()}
-            done, still_running = wait(live, timeout=self.drain)
-            for fut in done:
-                try:
-                    out = fut.result()
-                except Exception:
-                    continue
-                outcomes.append(out)
-                if out.detail == "cancelled":   # bailed during the stagger
-                    not_run += 1
-                elif winner is None and _trusted(futures[fut], out):
-                    # A racer crossed the line inside the drain window (the
-                    # deadline cut us loose, not an earlier winner): its
-                    # verdict is just as trustworthy, so it still wins
-                    # instead of being dropped on the floor.
-                    winner = out
-                    timed_out = False
-            if still_running:
-                self._terminate_pool()
+        next_config = 0
+        try:
+            while True:
+                # Top up this race's apportioned share of the pool.
+                if winner is None and not timed_out and not pool_broken:
+                    share = self._share(len(configs))
+                    while next_config < len(configs) and len(pending) < share:
+                        config = configs[next_config]
+                        try:
+                            fut = handle.submit(
+                                config, payload, remaining, seed, hint,
+                                next_config * self.stagger,
+                            )
+                        except BrokenExecutor:
+                            # An idle worker died between races; rebuild
+                            # the pool once if nobody else is racing on it.
+                            if (
+                                not retried
+                                and not pending
+                                and self._rebuild_if_solo()
+                            ):
+                                retried = True
+                                self._end_race(handle)
+                                handle = self._begin_race()
+                                continue
+                            pool_broken = True
+                            break
+                        pending.add(fut)
+                        launched += 1
+                        next_config += 1
+                if winner is not None or not pending:
+                    break
+                # The parent enforces the deadline too: queued tasks only
+                # start their own budget when a worker picks them up, so
+                # with more configs than workers the race would otherwise
+                # overshoot.
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - (time.perf_counter() - t0)) + 0.05
+                done, pending = wait(
+                    pending, return_when=FIRST_COMPLETED, timeout=timeout
+                )
+                if not done:
+                    timed_out = True
+                    break
+                for fut in done:
+                    try:
+                        out = fut.result()
+                    except BrokenExecutor as exc:
+                        pool_broken = True
+                        out = SolverOutcome(
+                            UNKNOWN, None, handle.futures[fut].name, 0.0,
+                            f"worker error: {exc!r}",
+                        )
+                    except Exception as exc:  # worker died (OOM, signal, ...)
+                        out = SolverOutcome(
+                            UNKNOWN, None, handle.futures[fut].name, 0.0,
+                            f"worker error: {exc!r}",
+                        )
+                    outcomes.append(out)
+                    if winner is None and _trusted(handle.futures[fut], out):
+                        winner = out
+            self._note_launched(launched)
+
+            if pending:
+                handle.cancel()
+                for fut in pending:
+                    if fut.cancel():       # still queued: its solver never ran
+                        not_run += 1
+                live = {fut for fut in pending if not fut.cancelled()}
+                if winner is None and live:
+                    # The deadline cut us loose, not an earlier winner:
+                    # give running racers the drain window to cross the
+                    # line — a definitive verdict arriving now is just as
+                    # trustworthy, so it still wins instead of being
+                    # dropped on the floor.
+                    done, _still = wait(live, timeout=self.drain)
+                    for fut in done:
+                        try:
+                            out = fut.result()
+                        except Exception:
+                            continue
+                        outcomes.append(out)
+                        if out.detail == "cancelled":   # bailed in the stagger
+                            not_run += 1
+                        elif winner is None and _trusted(handle.futures[fut], out):
+                            winner = out
+                            timed_out = False
+                # Anything still running is a mid-solve loser: it cannot
+                # be interrupted, and terminating the shared pool would
+                # kill sibling races — the reaper (via _end_race) holds
+                # its slot until it finishes, and only tears the pool
+                # down if zombies linger while the portfolio is idle.
+        finally:
+            self._end_race(handle)
         if pool_broken:
-            # A dead worker poisons the whole executor: rebuild lazily so
-            # the next race degrades to "unknown", not BrokenProcessPool.
-            self._terminate_pool()
+            # A dead worker poisons the whole executor: once no sibling
+            # race is left on it, rebuild lazily so the next race degrades
+            # to "unknown", not BrokenProcessPool.
+            with self._cond:
+                if self._active == 0:
+                    self._terminate_pool_locked()
 
         if winner is None and timed_out:
             final = SolverOutcome(UNKNOWN, None, "portfolio", 0.0, "deadline exceeded")

@@ -20,9 +20,13 @@ an execution policy here:
 Sessions are tenants of the :class:`~repro.service.SolverService`
 facade: every engine query goes through
 :meth:`~repro.service.service.SolverService.query`, so N sessions share
-one pool, one verdict cache, and one serialization lock (the
-multi-tenant serving model; the service's session table is where named
-sessions live).  The legacy constructor shapes still work —
+one pool, one verdict cache, and one single-flight in-flight table —
+queries from *different* sessions overlap end-to-end, coalescing only
+when their fingerprints collide (the multi-tenant serving model; the
+service's session table is where named sessions live).  Each session
+carries its own re-entrant lock, so one session's change → resolve
+sequence is atomic while its siblings keep running.  The legacy
+constructor shapes still work —
 ``IncrementalSession(f, jobs=1)`` builds a private service, and
 ``IncrementalSession(f, engine=e)`` wraps a shared engine the session
 will *not* close.
@@ -33,6 +37,7 @@ history of (regime, source) pairs for inspection.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -96,6 +101,14 @@ class IncrementalSession:
             self._owns_service = True
         self.assignment: Assignment | None = None
         self.history: list[SessionStep] = []
+        # Guards this session's own state (formula, current solution,
+        # history, pending-regime flags) so threads sharing one session
+        # see consistent change → resolve sequences.  Re-entrant because
+        # the service layer locks the session around its own calls into
+        # these methods.  Engine concurrency is unaffected: the lock is
+        # per-session, and the engine path below it takes no service- or
+        # engine-wide lock.
+        self.lock = threading.RLock()
         self.revalidations = 0
         self._pending_regime = ""
         # True when some tightening change landed after the last accepted
@@ -135,15 +148,16 @@ class IncrementalSession:
         session's current solution.  The session's own solution is the
         hint; ``use_cache``/``lead`` forward to the engine.
         """
-        response = self._service.query(
-            self.formula, deadline=deadline, seed=seed, hint=self.assignment,
-            use_cache=use_cache, lead=lead,
-        )
-        if response.status == SAT:
-            self.assignment = response.assignment
-            self._tightening_pending = False
-        self.history.append(SessionStep("solve", source=response.source))
-        return response
+        with self.lock:
+            response = self._service.query(
+                self.formula, deadline=deadline, seed=seed,
+                hint=self.assignment, use_cache=use_cache, lead=lead,
+            )
+            if response.status == SAT:
+                self.assignment = response.assignment
+                self._tightening_pending = False
+            self.history.append(SessionStep("solve", source=response.source))
+            return response
 
     def solve(
         self, *, deadline: float | None = None, seed: int | None = None
@@ -165,13 +179,14 @@ class IncrementalSession:
         """
         if not isinstance(changes, ChangeSet):
             changes = ChangeSet.from_changes(changes)
-        self.formula = changes.apply_to(self.formula)
-        regime = "loosening" if changes.is_loosening_only else "tightening"
-        self._pending_regime = regime
-        if regime == "tightening":
-            self._tightening_pending = True
-        self.history.append(SessionStep("change", regime=regime))
-        return regime
+        with self.lock:
+            self.formula = changes.apply_to(self.formula)
+            regime = "loosening" if changes.is_loosening_only else "tightening"
+            self._pending_regime = regime
+            if regime == "tightening":
+                self._tightening_pending = True
+            self.history.append(SessionStep("change", regime=regime))
+            return regime
 
     def resolve_query(
         self, *, deadline: float | None = None, seed: int | None = None
@@ -189,6 +204,14 @@ class IncrementalSession:
         """
         from repro.service.requests import SolveResponse
 
+        with self.lock:
+            return self._resolve_query_locked(
+                SolveResponse, deadline=deadline, seed=seed
+            )
+
+    def _resolve_query_locked(
+        self, SolveResponse, *, deadline: float | None, seed: int | None
+    ) -> "SolveResponse":
         if self.assignment is None:
             raise ECError("no starting solution; call solve() first")
         regime = self._pending_regime

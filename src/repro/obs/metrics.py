@@ -1,12 +1,13 @@
 """Live metrics: a narrow-lock registry, frame diffing, and the monitor.
 
 The engine's :class:`~repro.engine.engine.EngineStats` counters are
-updated *under the big engine lock* — correct, but useless for live
-introspection: a reader would queue behind a multi-second race.  The
-observability layer instead has the hot paths publish **per-query
-deltas** into a :class:`MetricsRegistry` guarded by its own narrow lock
-(one acquisition per query, dict adds inside), so samplers and
-``stats`` readers never contend with solving.
+merged under the engine's narrow stats lock — consistent, but a live
+reader should not touch engine internals at all.  The observability
+layer instead has the hot paths publish **per-query deltas** into a
+:class:`MetricsRegistry` guarded by its own narrow lock (one
+acquisition per query, dict adds inside), so samplers and ``stats``
+readers never contend with solving — including the concurrent
+distinct-fingerprint races the engine runs since PR 7.
 
 Three layers stack on the registry:
 
@@ -41,6 +42,7 @@ FRAME_COUNTERS = (
     "races",
     "solver_calls",
     "batch_dedups",
+    "inflight_joins",
     "errors",
 )
 
@@ -191,7 +193,8 @@ class FrameTracker:
 
 def hit_rate(deltas: dict) -> float:
     """Solver-work avoided per solve: (hits + revalidations + batch
-    dedups) / solves over a window (0.0 on an idle window)."""
+    dedups + in-flight joins) / solves over a window (0.0 on an idle
+    window)."""
     solves = deltas.get("solves", 0)
     if solves <= 0:
         return 0.0
@@ -199,6 +202,7 @@ def hit_rate(deltas: dict) -> float:
         deltas.get("cache_hits", 0)
         + deltas.get("revalidations", 0)
         + deltas.get("batch_dedups", 0)
+        + deltas.get("inflight_joins", 0)
     )
     return min(1.0, avoided / solves)
 
@@ -242,7 +246,7 @@ class StatsMonitor:
 
     FIELDS = (
         "requests", "solves", "cache_hits", "revalidations", "races",
-        "solver_calls", "batch_dedups", "errors",
+        "solver_calls", "batch_dedups", "inflight_joins", "errors",
         "inflight", "queued", "sessions", "p50", "p99",
     )
 

@@ -280,8 +280,10 @@ class ServiceDaemon:
                         False,
                     )
                 wall = time.perf_counter() - t0
-                if not response.get("ok"):
-                    self.service.metrics.inc("errors")
+                # No blanket errors bump here: the service counts its own
+                # failed solve/change/solve_many requests (in a finally),
+                # and _dispatch counts the failures that never reach the
+                # service — a blanket inc would double-count every one.
                 fp = response.get("fingerprint") or ""
                 self._log(
                     "op",
@@ -304,6 +306,19 @@ class ServiceDaemon:
                     self.shutdown()
                     return
 
+    def _parse(self, build):
+        """Build a request record, counting parse failures as errors.
+
+        Requests that fail *before* reaching the service would otherwise
+        be invisible to metrics — the service's own error accounting only
+        covers calls that got through the front door.
+        """
+        try:
+            return build()
+        except Exception:
+            self.service.metrics.inc("errors")
+            raise
+
     def _dispatch(
         self, op: str, header: dict, payload: bytes
     ) -> tuple[dict, bool]:
@@ -311,13 +326,17 @@ class ServiceDaemon:
         if op == "ping":
             return {"ok": True, "pong": True}, False
         if op == "solve":
-            request = solve_request_from_wire(header, payload)
+            request = self._parse(
+                lambda: solve_request_from_wire(header, payload)
+            )
             return response_to_wire(self.service.solve(request)), False
         if op == "change":
-            request = change_request_from_wire(header)
+            request = self._parse(lambda: change_request_from_wire(header))
             return response_to_wire(self.service.change(request)), False
         if op == "solve_many":
-            formulas, options = batch_request_from_wire(header, payload)
+            formulas, options = self._parse(
+                lambda: batch_request_from_wire(header, payload)
+            )
             responses = self.service.solve_many(formulas, **options)
             return {
                 "ok": True,
@@ -338,6 +357,7 @@ class ServiceDaemon:
             return {"ok": True, "frame": frame}, False
         if op == "shutdown":
             return {"ok": True, "stopping": True}, True
+        self.service.metrics.inc("errors")
         raise ServiceError(f"unknown op {op!r}")
 
     # ------------------------------------------------------------------

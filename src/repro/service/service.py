@@ -36,12 +36,17 @@ Design points:
   (tri-state ``status``), never exceptions; the legacy
   ``ECFlow``/``IncrementalSession`` shims re-raise
   :class:`~repro.errors.ECError` on top for their old contracts;
-* **serialized engine, concurrent submission** — engine access is
-  guarded by one re-entrant lock (the portfolio's cancellation event is
-  per-race state, so interleaved races would corrupt each other);
+* **concurrent engine, narrow service lock** — the engine path takes no
+  service-wide lock: distinct-fingerprint queries overlap end-to-end
+  (each race owns per-query ``RaceHandle`` state over the engine's
+  shared pool), and identical fingerprints coalesce through the
+  engine's single-flight in-flight table.  The service lock shrank to
+  session-table and lifecycle mutation only; per-session atomicity
+  (change → re-solve) rides each session's own lock.
   :meth:`SolverService.submit` queues requests on a small thread pool
-  and returns a future-like :class:`PendingSolve`, the seed of the
-  async query API.
+  and returns a future-like :class:`PendingSolve` — with the engine
+  concurrent, submission is now genuine parallelism, not just
+  pipelining.
 """
 
 from __future__ import annotations
@@ -92,16 +97,28 @@ class PendingSolve:
     :meth:`result` as exceptions, exactly like the synchronous calls).
     """
 
-    def __init__(self, future):
+    def __init__(self, future, on_cancel=None):
         self._future = future
+        self._on_cancel = on_cancel
 
     def done(self) -> bool:
         """Whether the response (or an error) is ready."""
         return self._future.done()
 
     def cancel(self) -> bool:
-        """Try to cancel before execution starts."""
-        return self._future.cancel()
+        """Try to cancel before execution starts.
+
+        A successful cancel runs the service's cancel hook (exactly
+        once, even across repeated calls): the ``run`` wrapper that
+        normally releases the request's ``queued`` gauge slot will never
+        execute for a cancelled future, so the hook releases it instead.
+        """
+        cancelled = self._future.cancel()
+        if cancelled:
+            on_cancel, self._on_cancel = self._on_cancel, None
+            if on_cancel is not None:
+                on_cancel()
+        return cancelled
 
     def result(self, timeout: float | None = None) -> SolveResponse:
         """Block for the response (raises what the request raised)."""
@@ -150,9 +167,11 @@ class SolverService:
         self.metrics = self.engine.metrics
         self.recorder = recorder
         self._sessions: dict[str, "IncrementalSession"] = {}
-        # One re-entrant lock serializes engine access (races are not
-        # interleavable) and session-table mutation; re-entrant because a
-        # session routed through change() calls back into query().
+        # Narrow re-entrant lock over session-table and lifecycle
+        # mutation ONLY.  The engine path deliberately runs outside it:
+        # the engine is thread-safe (single-flight table + shared-pool
+        # race scheduling), so holding a service lock across a solve
+        # would just re-serialize what PR 7 unblocked.
         self._lock = threading.RLock()
         self._executor: ThreadPoolExecutor | None = None
         self._closed = False
@@ -174,18 +193,19 @@ class SolverService:
         use_cache: bool = True,
         lead: str | None = None,
     ) -> SolveResponse:
-        """One serialized query against the shared engine.
+        """One query against the shared engine — lock-free on this layer.
 
         This is the single point where the facade touches
         :meth:`PortfolioEngine.solve`; sessions and the flow shim call
-        it instead of holding their own engines.
+        it instead of holding their own engines.  Concurrent callers on
+        distinct fingerprints overlap inside the engine; identical
+        fingerprints coalesce onto one in-flight race.
         """
         self._check_open()
-        with self._lock:
-            result = self.engine.solve(
-                formula, deadline=deadline, seed=seed, hint=hint,
-                use_cache=use_cache, lead=lead,
-            )
+        result = self.engine.solve(
+            formula, deadline=deadline, seed=seed, hint=hint,
+            use_cache=use_cache, lead=lead,
+        )
         return response_from_engine(result)
 
     # ------------------------------------------------------------------
@@ -200,21 +220,39 @@ class SolverService:
         """
         t0 = time.perf_counter()
         self.metrics.adjust_gauge("inflight", 1)
+        response = None
         try:
             response = self._solve(request)
+            return response
         finally:
+            # Counted in the finally so failed requests are visible too:
+            # a stream of ServiceErrors must show up as rps + errors, not
+            # as a dead service.  The recorder stays success-only — a
+            # trace is a replayable stream of completed ops.
             self.metrics.adjust_gauge("inflight", -1)
-        self._count_request(request.session)
-        if self.recorder is not None:
-            self.recorder.record_solve(request, response, time.perf_counter() - t0)
-        return response
+            self._count_request(
+                request.session, errors=0 if response is not None else 1
+            )
+            if response is not None and self.recorder is not None:
+                self.recorder.record_solve(
+                    request, response, time.perf_counter() - t0
+                )
 
-    def _count_request(self, session: str | None, n: int = 1) -> None:
-        """One registry bump per front-door op (rps + per-tenant usage)."""
+    def _count_request(
+        self, session: str | None, n: int = 1, errors: int = 0
+    ) -> None:
+        """One registry bump per front-door op (rps + per-tenant usage).
+
+        ``errors`` feeds the ``errors`` counter surfaced in
+        ``stats_frame`` — failed requests still count as requests.
+        """
         families = (
             {"session_requests": {session: n}} if session is not None else None
         )
-        self.metrics.bump(counts={"requests": n}, families=families)
+        counts = {"requests": n}
+        if errors:
+            counts["errors"] = errors
+        self.metrics.bump(counts=counts, families=families)
 
     def _solve(self, request: SolveRequest) -> SolveResponse:
         self._check_open()
@@ -249,35 +287,46 @@ class SolverService:
         t0 = time.perf_counter()
         self._check_open()
         self.metrics.adjust_gauge("inflight", 1)
+        response = None
         try:
             with self._lock:
                 session = self._session(request.session)
+            # Per-session lock: this tenant's apply → re-solve pair is
+            # atomic, while other sessions' changes and queries overlap
+            # freely on the shared engine.
+            with session.lock:
                 regime = session.apply_changes(request.changes)
                 if request.ec_mode == "force":
-                    response = session.query(
+                    raw = session.query(
                         deadline=request.deadline, seed=request.seed
                     )
                 else:
-                    response = session.resolve_query(
+                    raw = session.resolve_query(
                         deadline=request.deadline, seed=request.seed
                     )
+            response = raw.with_context(
+                session=request.session, regime=regime
+            )
+            return response
         finally:
             self.metrics.adjust_gauge("inflight", -1)
-        self._count_request(request.session)
-        response = response.with_context(session=request.session, regime=regime)
-        if self.recorder is not None:
-            self.recorder.record_change(request, response, time.perf_counter() - t0)
-        return response
+            self._count_request(
+                request.session, errors=0 if response is not None else 1
+            )
+            if response is not None and self.recorder is not None:
+                self.recorder.record_change(
+                    request, response, time.perf_counter() - t0
+                )
 
     def submit(
         self, request: SolveRequest | ChangeRequest
     ) -> PendingSolve:
         """Queue a request for asynchronous execution.
 
-        Engine access stays serialized (see the class docstring), so
-        submission is about pipelining — callers enqueue a stream of
-        requests and collect :class:`PendingSolve` handles instead of
-        blocking per call.
+        With the engine concurrent (see the class docstring), submitted
+        requests on distinct fingerprints genuinely overlap — the worker
+        threads race the shared pool side by side, and identical
+        fingerprints coalesce onto one in-flight result.
         """
         with self._lock:
             # Checked under the lock so a submit racing close() can
@@ -301,7 +350,13 @@ class SolverService:
                 return fn(request)
 
             try:
-                return PendingSolve(executor.submit(run))
+                return PendingSolve(
+                    executor.submit(run),
+                    # A successful cancel() means `run` never executes, so
+                    # its -1 never fires; this hook balances the gauge
+                    # instead (the two paths are mutually exclusive).
+                    on_cancel=lambda: self.metrics.adjust_gauge("queued", -1),
+                )
             except BaseException:
                 self.metrics.adjust_gauge("queued", -1)
                 raise
@@ -317,25 +372,29 @@ class SolverService:
     ) -> list[SolveResponse]:
         """Batch entry point: one shared pool, intra-batch fp dedup.
 
-        Wraps :meth:`PortfolioEngine.solve_many` under the service lock
-        and maps each result to a :class:`SolveResponse` (in input
-        order).  Remote clients reach this through the daemon's
-        ``solve_many`` op (one frame per batch).
+        Wraps :meth:`PortfolioEngine.solve_many` (no service lock — the
+        batch interleaves freely with concurrent queries, coalescing via
+        the in-flight table on fingerprint collisions) and maps each
+        result to a :class:`SolveResponse` (in input order).  Remote
+        clients reach this through the daemon's ``solve_many`` op (one
+        frame per batch).
         """
         t0 = time.perf_counter()
         self._check_open()
         formulas = list(formulas)
         self.metrics.adjust_gauge("inflight", 1)
+        results = None
         try:
-            with self._lock:
-                results = self.engine.solve_many(
-                    formulas, deadline=deadline, seed=seed,
-                    use_cache=use_cache, lead=lead,
-                )
+            results = self.engine.solve_many(
+                formulas, deadline=deadline, seed=seed,
+                use_cache=use_cache, lead=lead,
+            )
         finally:
             self.metrics.adjust_gauge("inflight", -1)
-        if formulas:
-            self._count_request(None, len(formulas))
+            if formulas:
+                self._count_request(
+                    None, len(formulas), errors=0 if results is not None else 1
+                )
         responses = [response_from_engine(r) for r in results]
         if self.recorder is not None:
             self.recorder.record_solve_many(
@@ -380,9 +439,12 @@ class SolverService:
             self._sessions[name] = session
             self.metrics.set_gauge("sessions", len(self._sessions))
             self.metrics.bump(counts={"session_opens": 1})
-            response = session.query(
-                deadline=deadline, seed=seed, use_cache=use_cache, lead=lead
-            )
+        # The initial solve runs outside the service lock so concurrent
+        # opens (and everything else) overlap; the session is visible in
+        # the table already, and its own lock orders any racing change().
+        response = session.query(
+            deadline=deadline, seed=seed, use_cache=use_cache, lead=lead
+        )
         return response.with_context(session=name)
 
     def close_session(self, name: str) -> bool:
@@ -430,27 +492,29 @@ class SolverService:
             )
         name = request.session
         with self._lock:
-            if name not in self._sessions:
-                if not request.has_source:
-                    raise ServiceError(f"unknown session {name!r}")
-                return self.open_session(
-                    name,
-                    self._materialize(request),
-                    deadline=request.deadline,
-                    seed=request.seed,
-                    use_cache=request.use_cache,
-                    lead=request.lead,
-                )
-            if request.has_source:
+            session = self._sessions.get(name)
+            if session is None and not request.has_source:
+                raise ServiceError(f"unknown session {name!r}")
+            if session is not None and request.has_source:
                 raise ServiceError(
                     f"session {name!r} already exists; send a ChangeRequest "
                     "to modify it or a sourceless request to re-query it"
                 )
-            session = self._sessions[name]
-            response = session.query(
-                deadline=request.deadline, seed=request.seed,
-                use_cache=request.use_cache, lead=request.lead,
+        if session is None:
+            # Two concurrent creators race to open_session's own check:
+            # exactly one wins, the other gets the "already exists" error.
+            return self.open_session(
+                name,
+                self._materialize(request),
+                deadline=request.deadline,
+                seed=request.seed,
+                use_cache=request.use_cache,
+                lead=request.lead,
             )
+        response = session.query(
+            deadline=request.deadline, seed=request.seed,
+            use_cache=request.use_cache, lead=request.lead,
+        )
         return response.with_context(session=name)
 
     # ------------------------------------------------------------------
@@ -535,29 +599,38 @@ class SolverService:
     def stats(self) -> dict:
         """Engine + cache counters as one JSON-able snapshot.
 
-        Taken under the service lock so a snapshot racing concurrent
-        ``submit()`` work never reads a half-updated counter set (the
-        load driver diffs two snapshots to report per-run counters).
-        The ``cache`` block carries the backend's introspection
-        (``entries``/``bytes``/``evictions`` from
+        The engine block is read under the engine's *narrow* lock (via
+        :meth:`PortfolioEngine.stats_snapshot`), so a snapshot racing
+        concurrent queries never reads a half-merged delta — without
+        queueing behind a running race (the load driver diffs two
+        snapshots to report per-run counters).  The ``cache`` block
+        carries the backend's introspection (``entries``/``bytes``/
+        ``evictions`` from
         :meth:`~repro.engine.cache.CacheBackend.info`), and ``metrics``
         carries the live registry — counters, gauges, per-session
         request families, and the solve-latency histogram summary.
         """
-        with self._lock:
-            cache = self.engine.cache
+        engine = self.engine
+        with engine.lock:
+            engine_stats = engine.stats.snapshot()
+            cache = engine.cache
             cache_info = (
                 cache.info() if hasattr(cache, "info")
                 else {"backend": type(cache).__name__, "entries": len(cache),
                       "bytes": 0, "evictions": cache.stats.evictions}
             )
-            return {
-                "engine": self.engine.stats.snapshot(),
-                "cache": {**asdict(cache.stats), "hit_rate": cache.stats.hit_rate,
-                          **cache_info},
-                "sessions": sorted(self._sessions),
-                "metrics": self.metrics.snapshot(),
+            cache_block = {
+                **asdict(cache.stats), "hit_rate": cache.stats.hit_rate,
+                **cache_info,
             }
+        with self._lock:
+            sessions = sorted(self._sessions)
+        return {
+            "engine": engine_stats,
+            "cache": cache_block,
+            "sessions": sessions,
+            "metrics": self.metrics.snapshot(),
+        }
 
     def _check_open(self) -> None:
         if self._closed:

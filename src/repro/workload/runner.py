@@ -358,22 +358,30 @@ def counters_delta(before: dict, after: dict) -> dict:
     """Numeric difference of two nested counter snapshots.
 
     Gauge leaves (:data:`_GAUGE_KEYS`) and non-numeric leaves keep their
-    *after* value; keys only one side has are dropped — the result is
-    what the run itself contributed on a long-lived shared engine.
+    *after* value.  A counter missing from *before* starts at 0 — a
+    counter born mid-run (the first ``errors`` or ``inflight_joins``
+    bump on a fresh registry) must show up in the run's delta, not
+    vanish.  Keys only *before* has are dropped — the result is what
+    the run itself contributed on a long-lived shared engine.
     """
     out: dict = {}
     for key, after_value in after.items():
-        if key not in before:
-            continue
-        before_value = before[key]
-        if isinstance(after_value, dict) and isinstance(before_value, dict):
-            out[key] = counters_delta(before_value, after_value)
+        before_value = before.get(key)
+        if isinstance(after_value, dict):
+            if isinstance(before_value, dict) or before_value is None:
+                out[key] = counters_delta(before_value or {}, after_value)
+            else:
+                out[key] = after_value
         elif key not in _GAUGE_KEYS and isinstance(
             after_value, (int, float)
-        ) and not isinstance(after_value, bool) and isinstance(
-            before_value, (int, float)
+        ) and not isinstance(after_value, bool) and (
+            before_value is None
+            or (
+                isinstance(before_value, (int, float))
+                and not isinstance(before_value, bool)
+            )
         ):
-            out[key] = after_value - before_value
+            out[key] = after_value - (before_value or 0)
         else:
             out[key] = after_value
     return out

@@ -357,17 +357,22 @@ class TestCounterSafetyUnderConcurrency:
             assert all(r.status == "sat" for r in responses)
             stats = service.stats()["engine"]
         assert stats["solves"] == len(pending)
-        # Every solve is answered by exactly one of the three paths; a
-        # torn increment would break this identity.
+        # Every solve is answered by exactly one of the paths; a torn
+        # increment would break this identity.  Concurrent identical
+        # fingerprints may now coalesce (inflight_joins) instead of
+        # hitting the cache — both count as exactly one answer path.
         assert stats["solves"] == (
             stats["cache_hits"] + stats["revalidations"] + stats["races"]
+            + stats["batch_dedups"] + stats["inflight_joins"]
         )
         # Snapshots taken while submissions raced were read under the
-        # lock, so the identity must hold exactly in each of them too.
+        # engine's stats lock, so the identity must hold exactly in each
+        # of them too.
         for snap in snapshots:
             engine = snap["engine"]
             assert engine["solves"] == (
                 engine["cache_hits"] + engine["revalidations"] + engine["races"]
+                + engine["batch_dedups"] + engine["inflight_joins"]
             )
 
     def test_two_services_sharing_one_engine_cannot_tear_counters(self):
@@ -401,6 +406,7 @@ class TestCounterSafetyUnderConcurrency:
             assert stats.solves == 2 * 5 * len(formulas)
             assert stats.solves == (
                 stats.cache_hits + stats.revalidations + stats.races
+                + stats.batch_dedups + stats.inflight_joins
             )
             for service in services:
                 service.close()

@@ -241,6 +241,30 @@ class TestSubmit:
         with pytest.raises(ServiceError, match="closed"):
             svc.submit(SolveRequest(formula=f))
 
+    def test_cancel_releases_the_queued_gauge(self):
+        # Regression: cancelling a not-yet-started request used to skip
+        # the run wrapper, so its -1 never fired and the gauge leaked
+        # upward forever.
+        import threading
+
+        with SolverService(EngineConfig(jobs=1, submit_workers=1)) as svc:
+            f0, _ = random_planted_ksat(10, 30, rng=81)
+            svc.submit(SolveRequest(formula=f0, seed=0)).result(timeout=60)
+            release = threading.Event()
+            # Pin the single submit worker so the next request stays
+            # queued (and is therefore deterministically cancellable).
+            pin = svc._executor.submit(release.wait, 30)
+            f, _ = random_planted_ksat(10, 30, rng=80)
+            queued = svc.submit(SolveRequest(formula=f, seed=0))
+            assert svc.metrics.gauge("queued") == 1
+            assert queued.cancel() is True
+            assert svc.metrics.gauge("queued") == 0
+            # Repeated cancels must not decrement twice.
+            assert queued.cancel() is True
+            assert svc.metrics.gauge("queued") == 0
+            release.set()
+            pin.result(timeout=60)
+
 
 class TestBatch:
     def test_solve_many_maps_to_responses(self, service, planted):
@@ -249,6 +273,39 @@ class TestBatch:
         assert [r.status for r in responses] == ["sat", "sat"]
         assert responses[1].source == "batch-dedup"
         assert service.engine.stats.batch_dedups == 1
+
+
+class TestErrorAccounting:
+    """Failed requests must be visible: counted as requests AND errors."""
+
+    def test_failed_solve_counts_request_and_error(self, service):
+        with pytest.raises(ServiceError, match="unknown session"):
+            service.solve(SolveRequest(session="ghost"))
+        assert service.metrics.counter("requests") == 1
+        assert service.metrics.counter("errors") == 1
+
+    def test_failed_change_counts_request_and_error(self, service):
+        with pytest.raises(ServiceError, match="unknown session"):
+            service.change(
+                ChangeRequest("ghost", ChangeSet([AddVariable()]), seed=0)
+            )
+        assert service.metrics.counter("requests") == 1
+        assert service.metrics.counter("errors") == 1
+
+    def test_successful_requests_do_not_count_errors(self, service, planted):
+        f, _ = planted
+        service.solve(SolveRequest(formula=f, seed=0))
+        assert service.metrics.counter("requests") == 1
+        assert service.metrics.counter("errors") == 0
+
+    def test_error_stream_shows_up_as_rps(self, service):
+        # A stream of pure failures used to report zero rps — the whole
+        # point of the finally-based accounting.
+        for _ in range(5):
+            with pytest.raises(ServiceError):
+                service.solve(SolveRequest(session="ghost"))
+        assert service.metrics.counter("requests") == 5
+        assert service.metrics.counter("errors") == 5
 
 
 class TestCacheBackends:

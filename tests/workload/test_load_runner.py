@@ -183,4 +183,13 @@ class TestReporting:
         assert 0 < engine["solves"] <= len(events)
         assert engine["solves"] == (
             engine["cache_hits"] + engine["revalidations"] + engine["races"]
+            + engine["batch_dedups"] + engine["inflight_joins"]
         )
+
+    def test_counters_delta_defaults_missing_before_keys_to_zero(self):
+        # A counter born mid-run (first bump after the before-snapshot)
+        # must appear in the delta, not be silently dropped.
+        before = {"metrics": {"counters": {"requests": 5}}}
+        after = {"metrics": {"counters": {"requests": 9, "errors": 2}}}
+        delta = counters_delta(before, after)
+        assert delta["metrics"]["counters"] == {"requests": 4, "errors": 2}
