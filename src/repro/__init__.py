@@ -40,7 +40,11 @@ Subpackages:
 * :mod:`repro.obs` — the live observability layer: log-bucketed HDR
   latency histograms, rrd-style ring-buffer time series, the narrow-lock
   metrics registry the engine and service publish into, and the daemon
-  monitor behind ``repro stats [--watch]``.
+  monitor behind ``repro stats [--watch]``;
+* :mod:`repro.faults` — seeded deterministic fault injection (chaos
+  testing): worker kills/hangs, cache I/O failures and torn writes, and
+  wire drops/truncations, activated via ``repro serve --chaos`` /
+  ``EngineConfig(chaos=...)`` / the ``REPRO_CHAOS`` env var.
 """
 
 from repro.cnf import Assignment, Clause, CNFFormula
@@ -90,7 +94,7 @@ from repro.workload import (
     replay_trace,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AddClause",

@@ -57,7 +57,7 @@ from repro.cnf.dimacs import read_dimacs
 from repro.core.enabling import EnablingOptions, enable_ec
 from repro.core.fast import fast_ec
 from repro.core.preserving import preserving_ec
-from repro.errors import ReproError
+from repro.errors import ConnectError, ReproError
 from repro.ilp.status import SolveStatus
 from repro.sat.encoding import encode_sat
 from repro.ilp.solver import solve
@@ -261,7 +261,7 @@ def _cmd_serve(args) -> int:
             extra["quick_slice"] = args.quick_slice
         config = EngineConfig(
             jobs=args.jobs, cache=args.cache, cache_dir=args.cache_dir,
-            cache_entries=args.cache_entries, **extra,
+            cache_entries=args.cache_entries, chaos=args.chaos, **extra,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
@@ -278,6 +278,7 @@ def _cmd_serve(args) -> int:
         SolverService(config, recorder=recorder),
         log_path=args.log_file,
         max_requests=args.max_requests,
+        max_frame_bytes=args.max_frame_bytes,
     )
     daemon.bind()
     try:
@@ -471,7 +472,13 @@ def _cmd_stats(args) -> int:
         return 0
     with ServiceClient(args.connect, timeout=30.0) as client:
         frame = client.stats_frame(window=args.window)
+        try:
+            health = client.health()
+        except ReproError:
+            health = None          # older daemon without the health op
     if args.json:
+        if health is not None:
+            frame = dict(frame, health=health)
         print(json.dumps(frame, indent=2))
         return 0
     lat = frame.get("latency", {})
@@ -503,6 +510,18 @@ def _cmd_stats(args) -> int:
         f"c totals: {totals.get('requests', 0):.0f} requests, "
         f"{totals.get('solves', 0):.0f} solves since daemon start"
     )
+    if health is not None:
+        engine = health.get("engine", {})
+        pool = engine.get("pool", {})
+        cache = engine.get("cache", {})
+        degraded = " DEGRADED" if cache.get("degraded") else ""
+        print(
+            f"c health: pool gen {pool.get('generation', 0)}, "
+            f"{pool.get('solo_fallbacks', 0)} solo fallbacks, "
+            f"cache errors {cache.get('errors', 0)}{degraded}, "
+            f"daemon errors {health.get('errors', 0):.0f}"
+            + (", draining" if health.get("draining") else "")
+        )
     return 0
 
 
@@ -641,7 +660,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "is overwritten); replay it with `repro replay`")
     p.add_argument("--max-requests", type=int, default=None,
                    help="gracefully drain and exit after this many "
-                        "handled requests (pings excluded)")
+                        "handled requests (pings and health excluded)")
+    p.add_argument("--max-frame-bytes", type=int, default=None,
+                   help="per-daemon cap on incoming wire frame sizes "
+                        "(default: the wire module's 512 MiB sanity cap)")
+    p.add_argument("--chaos", metavar="SPEC", default=None,
+                   help="fault-injection plan, e.g. "
+                        "'seed=42;worker.kill:p=0.1,count=2;wire.drop:p=0.05' "
+                        "— deterministic per seed, propagated to pool "
+                        "workers (testing only; see repro.faults)")
     p.set_defaults(func=_cmd_serve)
 
     from repro.workload.scenarios import SCENARIOS
@@ -780,6 +807,12 @@ def main(argv: list[str] | None = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+    except ConnectError as exc:
+        # A missing/dead daemon socket is an operational condition, not a
+        # crash: one line on stderr, exit 1 (the client already spent its
+        # connect-retry budget, which rides out a daemon mid-restart).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -40,6 +40,9 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     stores: int = 0
+    #: I/O failures a persistent backend absorbed (degraded-mode stores
+    #: count here, not as exceptions into the solve path).
+    errors: int = 0
 
     @property
     def hit_rate(self) -> float:

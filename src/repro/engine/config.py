@@ -120,6 +120,11 @@ class EngineConfig:
         submit_workers: thread-pool width for
             :meth:`~repro.service.SolverService.submit` (engine access
             is still serialized; this bounds queued concurrency).
+        chaos: fault-injection plan spec (see
+            :meth:`repro.faults.FaultPlan.from_spec`), installed
+            process-globally — with env-var propagation to pool workers
+            — when the engine is built from this config.  ``None``
+            (production default) injects nothing.
     """
 
     jobs: int | None = None
@@ -129,6 +134,7 @@ class EngineConfig:
     cache_dir: str | None = None
     cache_entries: int = 4096
     submit_workers: int = 2
+    chaos: str | None = None
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_BACKENDS:
@@ -138,6 +144,13 @@ class EngineConfig:
             )
         if self.cache == "disk" and not self.cache_dir:
             raise ValueError("cache='disk' requires cache_dir")
+        if self.chaos is not None:
+            from repro.faults import FaultError, FaultPlan
+
+            try:
+                FaultPlan.from_spec(self.chaos)
+            except FaultError as exc:
+                raise ValueError(f"invalid chaos spec: {exc}") from None
 
     def build_cache(self) -> CacheBackend:
         """Instantiate the configured cache backend."""

@@ -25,18 +25,35 @@ The cache is safe for multiple processes on one host (atomic replace +
 unlink tolerate racing sweeps); it deliberately does no locking — a lost
 store or a double eviction only costs a future re-solve, never a wrong
 answer, because the engine revalidates every served model.
+
+**Degraded mode** — a failing disk (ENOSPC, EIO, a yanked mount) must
+never raise out of ``put`` into the solve path: the verdict was already
+computed, and losing persistence is strictly better than failing the
+request.  On any ``OSError`` during a store the cache counts a
+``stats.errors``, parks itself in a memory-only window
+(``reprobe_interval`` seconds), and stores the verdict into a small
+in-process :class:`~repro.engine.cache.SolutionCache` overlay instead;
+``get`` consults the overlay after a disk miss, so verdicts stored while
+degraded are still served.  After the window expires the next ``put``
+re-probes the disk — a recovered filesystem promotes the cache back to
+persistent operation automatically.  :meth:`health` reports the degraded
+flag, the error count, and the overlay size for the daemon's ``health``
+op.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
 from repro.cnf.assignment import Assignment
-from repro.engine.cache import CacheEntry, CacheStats
+from repro.engine.cache import CacheEntry, CacheStats, SolutionCache
 from repro.errors import CNFError
 
 #: Suffix of finished entry files; temp files use a different one so the
@@ -58,6 +75,9 @@ class DiskCache:
     directory: str | Path
     max_entries: int = 4096
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Seconds a failed store parks the cache in memory-only mode before
+    #: the next put re-probes the disk.
+    reprobe_interval: float = 5.0
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
@@ -67,6 +87,14 @@ class DiskCache:
         # (overwrites inflate it, sibling processes drift it), and
         # resynced from a real scan whenever it crosses capacity.
         self._approx_count: int | None = None
+        # Degraded-mode state: the monotonic instant until which stores
+        # bypass the disk, and the lazily built in-memory overlay that
+        # holds verdicts stored while degraded.  Mutated without a lock
+        # like the rest of this class — the engine serializes cache
+        # calls under its own narrow lock, and a racing double-build of
+        # the overlay would only cost a lost store.
+        self._degraded_until = 0.0
+        self._overlay: SolutionCache | None = None
 
     # ------------------------------------------------------------------
     def _path(self, fp: str) -> Path:
@@ -98,14 +126,12 @@ class DiskCache:
                 Assignment.from_literals(raw["lits"]) if satisfiable else None
             )
         except FileNotFoundError:
-            self.stats.misses += 1
-            return None
+            return self._get_overlay(fp)
         except (OSError, ValueError, KeyError, TypeError, CNFError):
             # Torn or corrupt entry (including literals the Assignment
             # constructor rejects): drop it and report a miss.
             self._unlink(path)
-            self.stats.misses += 1
-            return None
+            return self._get_overlay(fp)
         try:
             os.utime(path, None)            # refresh the LRU position
         except OSError:
@@ -118,6 +144,37 @@ class DiskCache:
             solver=raw.get("solver", ""),
         )
 
+    def _get_overlay(self, fp: str) -> CacheEntry | None:
+        """Disk-miss fallback: serve the degraded-mode overlay, if any."""
+        if self._overlay is not None:
+            entry = self._overlay.get(fp)
+            if entry is not None:
+                self.stats.hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def _put_overlay(
+        self,
+        fp: str,
+        satisfiable: bool,
+        assignment: Assignment | None,
+        solver: str,
+    ) -> None:
+        if self._overlay is None:
+            # Small on purpose: the overlay is a crutch for a failing
+            # disk, not a second full cache tier.
+            self._overlay = SolutionCache(
+                max_entries=min(256, max(1, self.max_entries))
+            )
+        self._overlay.put(fp, satisfiable, assignment, solver)
+        self.stats.stores += 1
+
+    @property
+    def degraded(self) -> bool:
+        """Whether stores currently bypass the disk (memory-only window)."""
+        return time.monotonic() < self._degraded_until
+
     def put(
         self,
         fp: str,
@@ -125,17 +182,60 @@ class DiskCache:
         assignment: Assignment | None = None,
         solver: str = "",
     ) -> None:
-        """Store a verdict atomically (no-op when capacity is 0)."""
+        """Store a verdict atomically (no-op when capacity is 0).
+
+        I/O failures degrade instead of raising: see the module
+        docstring.  Only genuine programming errors (a satisfiable entry
+        without a model) still raise.
+        """
         if self.max_entries <= 0:
             return
         if satisfiable and assignment is None:
             raise ValueError("a satisfiable entry requires a model")
+        if self.degraded:
+            self._put_overlay(fp, satisfiable, assignment, solver)
+            return
         payload = json.dumps({
             "fp": fp,
             "sat": satisfiable,
             "lits": list(assignment.to_literals()) if satisfiable else None,
             "solver": solver,
         })
+        try:
+            self._write_entry(fp, payload)
+        except OSError:
+            # A full or failing disk must not fail the solve that already
+            # produced this verdict: count it, park in memory-only mode
+            # until the re-probe window expires, keep serving.
+            self.stats.errors += 1
+            self._degraded_until = time.monotonic() + self.reprobe_interval
+            self._put_overlay(fp, satisfiable, assignment, solver)
+            return
+        self.stats.stores += 1
+        if self._approx_count is None:
+            self._approx_count = len(self._entry_paths())
+        else:
+            self._approx_count += 1
+        # Only scan the directory when the (over-)estimate says we may be
+        # past capacity; the scan resyncs the estimate either way.
+        if self._approx_count > self.max_entries:
+            self._sweep()
+
+    def _write_entry(self, fp: str, payload: str) -> None:
+        """Temp-file + atomic-replace store (the only disk-write path).
+
+        The ``cache.put.io`` / ``cache.put.torn`` fault points live here:
+        the first simulates ENOSPC before anything lands on disk, the
+        second a writer crashing *after* publishing a truncated entry —
+        the worst case the self-healing reader must absorb.
+        """
+        if faults.fire("cache.put.io") is not None:
+            raise OSError(errno.ENOSPC, "chaos: no space left on device")
+        if faults.fire("cache.put.torn") is not None:
+            self._path(fp).write_text(
+                payload[: max(1, len(payload) // 3)], encoding="utf-8"
+            )
+            raise OSError(errno.EIO, "chaos: torn write")
         # mkstemp guarantees a unique temp name even with many writers
         # (threads or processes) sharing one directory; the os.replace
         # into the final name is the atomic publish.
@@ -149,15 +249,6 @@ class DiskCache:
         except BaseException:
             self._unlink(Path(tmp))
             raise
-        self.stats.stores += 1
-        if self._approx_count is None:
-            self._approx_count = len(self._entry_paths())
-        else:
-            self._approx_count += 1
-        # Only scan the directory when the (over-)estimate says we may be
-        # past capacity; the scan resyncs the estimate either way.
-        if self._approx_count > self.max_entries:
-            self._sweep()
 
     def _sweep(self) -> None:
         """Unlink oldest-mtime entries until back under capacity."""
@@ -216,6 +307,17 @@ class DiskCache:
             "entries": entries,
             "bytes": size,
             "evictions": self.stats.evictions,
+        }
+
+    def health(self) -> dict:
+        """Degraded-mode flags for the daemon's ``health`` op."""
+        return {
+            "backend": "disk",
+            "degraded": self.degraded,
+            "errors": self.stats.errors,
+            "overlay_entries": (
+                len(self._overlay) if self._overlay is not None else 0
+            ),
         }
 
     def __contains__(self, fp: str) -> bool:

@@ -43,6 +43,7 @@ import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable
 
+from repro import faults
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.engine.cache import CacheBackend, SolutionCache
@@ -185,8 +186,15 @@ class PortfolioEngine:
     @classmethod
     def from_config(cls, config: EngineConfig | None = None) -> "PortfolioEngine":
         """Build an engine (pool width, line-up, cache backend) from an
-        :class:`~repro.engine.config.EngineConfig`."""
+        :class:`~repro.engine.config.EngineConfig`.
+
+        A ``config.chaos`` fault-plan spec is installed process-globally
+        here, with env-var propagation so pool workers spawned later
+        adopt the same plan — this is the ``repro serve --chaos`` path.
+        """
         config = config if config is not None else EngineConfig()
+        if config.chaos:
+            faults.install(config.chaos, propagate=True)
         return cls(
             configs=list(config.configs) if config.configs is not None else None,
             jobs=config.jobs,
@@ -470,6 +478,27 @@ class PortfolioEngine:
         return results
 
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Degradation snapshot: pool generation/fallbacks, cache
+        degraded flags, and in-flight table depth (the daemon's
+        ``health`` op rides this)."""
+        cache = self.cache
+        if hasattr(cache, "health"):
+            cache_health = cache.health()
+        else:
+            cache_health = {
+                "backend": type(cache).__name__,
+                "degraded": False,
+                "errors": cache.stats.errors,
+            }
+        with self.lock:
+            inflight = len(self._inflight)
+        return {
+            "pool": self.portfolio.health(),
+            "cache": cache_health,
+            "inflight_fingerprints": inflight,
+        }
+
     def warm_up(self) -> None:
         """Pre-start the worker pool (benchmark hygiene)."""
         self.portfolio.warm_up()

@@ -57,6 +57,7 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.packed import PackedCNF
@@ -169,11 +170,46 @@ def _race_entry(
         waited += step
     if _slot_cancelled(slot):
         return SolverOutcome(UNKNOWN, None, config.name, 0.0, "cancelled")
+    chaos = _worker_chaos(config, slot, t0)
+    if chaos is not None:
+        return chaos
     packed = PackedCNF.from_bytes(payload)
     remaining = None
     if deadline is not None:
         remaining = max(0.0, deadline - (time.perf_counter() - t0))
     return run_packed(config, packed, deadline=remaining, seed=seed, hint=hint)
+
+
+def _worker_chaos(
+    config: SolverConfig, slot: int | None, t0: float
+) -> SolverOutcome | None:
+    """Worker-side fault points (active only under an installed plan).
+
+    ``worker.kill`` SIGKILLs this worker mid-task — the real crash the
+    pool's BrokenExecutor recovery and the engine's solo fallback exist
+    for.  ``worker.hang`` simulates a racer stuck past every budget: it
+    sleeps the point's ``delay`` (default 5 s), polling its race's
+    cancellation slot like a well-behaved stagger wait, then returns
+    undecided.
+    """
+    if faults.fire("worker.kill") is not None:
+        os.kill(os.getpid(), 9)  # SIGKILL: no cleanup, no excuses
+    hang = faults.fire("worker.hang")
+    if hang is not None:
+        budget = hang.delay or 5.0
+        waited = 0.0
+        while waited < budget:
+            if _slot_cancelled(slot):
+                return SolverOutcome(
+                    UNKNOWN, None, config.name, 0.0, "cancelled"
+                )
+            time.sleep(min(0.02, budget - waited))
+            waited += 0.02
+        return SolverOutcome(
+            UNKNOWN, None, config.name, time.perf_counter() - t0,
+            "chaos: hang",
+        )
+    return None
 
 
 def _trusted(config: SolverConfig, out: SolverOutcome) -> bool:
@@ -304,6 +340,10 @@ class Portfolio:
         #: Mid-solve losers abandoned past ``reap_patience`` (cumulative);
         #: each one cost a pool rebuild to reclaim its worker.
         self.leaked = 0
+        #: Races the broken-pool in-process fallback decided (cumulative):
+        #: the pool died under them and the parent solved solo instead of
+        #: returning ``unknown``.
+        self.solo_fallbacks = 0
         self._executor: ProcessPoolExecutor | None = None
         # One lock/condition guards pool lifetime, the slot free-list,
         # the reap queue, and the active-race count.  It is never held
@@ -470,6 +510,31 @@ class Portfolio:
     def _note_launched(self, n: int) -> None:
         with self._lock:
             self.total_launched += n
+
+    @property
+    def generation(self) -> int:
+        """Pool generation: bumped once per pool teardown/rebuild cycle.
+
+        The chaos harness asserts on it — a worker SIGKILL mid-race must
+        advance it exactly once, not once per orphaned future.
+        """
+        with self._lock:
+            return self._generation
+
+    def health(self) -> dict:
+        """Pool liveness/degradation snapshot (the daemon ``health`` op)."""
+        with self._lock:
+            return {
+                "generation": self._generation,
+                "pool_alive": self._executor is not None,
+                "active_races": self._active,
+                "free_slots": len(self._free),
+                "reaping": len(self._reaping),
+                "leaked": self.leaked,
+                "solo_fallbacks": self.solo_fallbacks,
+                "total_launched": self.total_launched,
+                "jobs": self.jobs,
+            }
 
     # ------------------------------------------------------------------
     def warm_up(self) -> None:
@@ -689,6 +754,29 @@ class Portfolio:
             with self._cond:
                 if self._active == 0:
                     self._terminate_pool_locked()
+
+        if winner is None and pool_broken:
+            # Last resort: the pool died under this race before any racer
+            # produced a trusted verdict.  Solve solo in the parent
+            # process — immune to worker SIGKILLs by construction — with
+            # whatever deadline budget is left, so a broken pool degrades
+            # to a slower correct answer instead of "unknown".
+            solo_budget = None
+            if deadline is not None:
+                solo_budget = max(0.0, deadline - (time.perf_counter() - t0))
+            if solo_budget is None or solo_budget > 0.0:
+                first = configs[0]
+                launched += 1
+                out = run_config(
+                    first, formula, deadline=solo_budget, seed=seed, hint=hint
+                )
+                outcomes.append(out)
+                with self._lock:
+                    self.solo_fallbacks += 1
+                    self.total_launched += 1
+                if _trusted(first, out):
+                    winner = out
+                    timed_out = False
 
         if winner is None and timed_out:
             final = SolverOutcome(UNKNOWN, None, "portfolio", 0.0, "deadline exceeded")

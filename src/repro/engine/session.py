@@ -109,6 +109,18 @@ class IncrementalSession:
         # per-session, and the engine path below it takes no service- or
         # engine-wide lock.
         self.lock = threading.RLock()
+        # Idempotent-retry memory: the last change_id the service applied
+        # to this session and the response it produced, so a retried
+        # change (client reconnect after a dropped wire) replays instead
+        # of mutating the formula twice.  One slot suffices — the client
+        # serializes changes per session and only ever retries the last.
+        self.last_change_id: str | None = None
+        self.last_change_response = None
+        # Same contract for the solve that *opened* this session: the
+        # open mutates the session table, so a retried opening solve
+        # must replay the recorded response, not hit "already exists".
+        self.open_id: str | None = None
+        self.open_response = None
         self.revalidations = 0
         self._pending_regime = ""
         # True when some tightening change landed after the last accepted

@@ -72,3 +72,14 @@ class PreservationError(ECError):
 class ServiceError(ReproError):
     """A request to the :class:`~repro.service.SolverService` facade is
     invalid (unknown session, bad strategy, closed service, ...)."""
+
+
+class ConnectError(ServiceError, ConnectionError):
+    """The daemon socket could not be reached (missing, refused, or dead)
+    after the client's connect-retry budget.
+
+    Also a :class:`ConnectionError` (hence ``OSError``), so callers with
+    blanket ``except OSError`` transport handling keep working; the CLI
+    catches it specifically to exit 1 with a one-line message instead of
+    a traceback.
+    """

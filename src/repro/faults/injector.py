@@ -1,0 +1,145 @@
+"""The live fault injector and the process-global installation plumbing.
+
+One :class:`FaultInjector` holds the mutable state of a running plan:
+per-point fired/checked counters and a per-point ``random.Random``
+seeded from ``(plan seed, point name)`` — string seeding hashes via
+SHA-512, so the decision sequence at a point is identical in every
+process running the same plan, regardless of ``PYTHONHASHSEED``.
+Which *call* in a process's lifetime fires is therefore deterministic
+per point per process; the global interleaving across worker processes
+still depends on OS scheduling (and is reported, not asserted, by the
+chaos harness).
+
+Installation is process-global on purpose: chaos is an environment
+property, not a per-object one, and the injection points live in layers
+(pool worker entry, cache writes, the daemon's wire loop) that share no
+object graph.  ``install(spec, propagate=True)`` additionally exports
+the spec through the ``REPRO_CHAOS`` environment variable, which is how
+*spawned/forked pool workers* adopt the plan: their first
+:func:`get_injector` call finds no installed injector and builds one
+from the env var.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+from repro.faults.plan import FaultPlan, FaultPoint
+
+#: Environment variable carrying the plan spec to subprocess workers.
+ENV_VAR = "REPRO_CHAOS"
+
+
+class FaultInjector:
+    """Mutable runtime state of one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._rngs = {
+            p.name: random.Random(f"{plan.seed}:{p.name}")
+            for p in plan.points
+        }
+        self.fired: dict[str, int] = {p.name: 0 for p in plan.points}
+        self.checked: dict[str, int] = {p.name: 0 for p in plan.points}
+
+    def fire(self, name: str) -> FaultPoint | None:
+        """Decide whether the named point fires on this call.
+
+        Returns the point's budget (so the caller can read ``delay``)
+        when it fires, else None — also None for points the plan does
+        not mention, so call sites need no membership check.
+        """
+        point = self.plan.point(name)
+        if point is None:
+            return None
+        with self._lock:
+            self.checked[name] += 1
+            if point.count is not None and self.fired[name] >= point.count:
+                return None
+            if self._rngs[name].random() >= point.probability:
+                return None
+            self.fired[name] += 1
+        return point
+
+    def snapshot(self) -> dict:
+        """Plan spec + per-point checked/fired counts (health surface)."""
+        with self._lock:
+            return {
+                "spec": self.plan.spec(),
+                "seed": self.plan.seed,
+                "points": {
+                    name: {
+                        "checked": self.checked[name],
+                        "fired": self.fired[name],
+                    }
+                    for name in self.fired
+                },
+            }
+
+
+_STATE_LOCK = threading.Lock()
+_ACTIVE: FaultInjector | None = None
+#: Whether this process already consulted ``REPRO_CHAOS`` (consulted at
+#: most once, so a long-lived daemon is immune to env mutation races).
+_ENV_CHECKED = False
+
+
+def install(
+    plan: FaultPlan | str, *, propagate: bool = False
+) -> FaultInjector:
+    """Install a plan (or spec string) process-globally.
+
+    Args:
+        propagate: also export the spec via ``REPRO_CHAOS`` so pool
+            workers spawned *after* this call adopt the same plan.
+    """
+    global _ACTIVE, _ENV_CHECKED
+    if isinstance(plan, str):
+        plan = FaultPlan.from_spec(plan)
+    injector = FaultInjector(plan)
+    with _STATE_LOCK:
+        _ACTIVE = injector
+        _ENV_CHECKED = True
+        if propagate:
+            os.environ[ENV_VAR] = plan.spec()
+    return injector
+
+
+def clear() -> None:
+    """Uninstall any active plan and drop the env-var export."""
+    global _ACTIVE, _ENV_CHECKED
+    with _STATE_LOCK:
+        _ACTIVE = None
+        _ENV_CHECKED = False
+        os.environ.pop(ENV_VAR, None)
+
+
+def get_injector() -> FaultInjector | None:
+    """The active injector, lazily adopting ``REPRO_CHAOS`` if set.
+
+    The lazy env-var pickup is the worker-process path: a forked worker
+    inherits the parent's installed injector outright, but a *spawned*
+    one re-imports this module fresh and finds the plan in its
+    environment instead.
+    """
+    global _ACTIVE, _ENV_CHECKED
+    if _ACTIVE is not None:
+        return _ACTIVE
+    if _ENV_CHECKED:
+        return None
+    with _STATE_LOCK:
+        if _ACTIVE is None and not _ENV_CHECKED:
+            _ENV_CHECKED = True
+            spec = os.environ.get(ENV_VAR)
+            if spec:
+                _ACTIVE = FaultInjector(FaultPlan.from_spec(spec))
+    return _ACTIVE
+
+
+def fire(name: str) -> FaultPoint | None:
+    """Module-level shorthand: fire against the active injector, if any."""
+    injector = get_injector()
+    return injector.fire(name) if injector is not None else None

@@ -1,0 +1,133 @@
+"""Fault plans: named injection points with seeded budgets.
+
+A plan is written as a compact one-line spec so it fits a CLI flag and
+an environment variable (the transport to subprocess pool workers)::
+
+    seed=42;worker.kill:p=0.2,count=2;wire.drop:p=0.05;wire.slow:delay=0.1
+
+Segments are ``;``-separated.  ``seed=N`` sets the plan seed (default
+0); every other segment is ``point[:param=value,...]`` with parameters
+
+* ``p`` (or ``probability``) — chance each :meth:`FaultInjector.fire`
+  call at that point actually fires (default 1.0);
+* ``count`` — lifetime fire budget per injector instance (default
+  unlimited; pool workers each hold their own injector, so the budget
+  is per process);
+* ``delay`` — seconds, consumed by sleep-flavoured points
+  (``worker.hang``, ``wire.slow``).
+
+``FaultPlan.from_spec(plan.spec())`` round-trips exactly, so a failing
+chaos run's plan can be reprinted and replayed verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class FaultError(ReproError):
+    """A malformed fault-plan spec."""
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One named injection point's budget within a plan."""
+
+    name: str
+    probability: float = 1.0
+    count: int | None = None
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in ";:,= \t"):
+            raise FaultError(f"bad fault point name {self.name!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultError(
+                f"{self.name}: probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.count is not None and self.count < 0:
+            raise FaultError(f"{self.name}: count must be >= 0")
+        if self.delay < 0:
+            raise FaultError(f"{self.name}: delay must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of :class:`FaultPoint` budgets."""
+
+    points: tuple[FaultPoint, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.points]
+        if len(names) != len(set(names)):
+            raise FaultError(f"duplicate fault points in plan: {names}")
+
+    def point(self, name: str) -> FaultPoint | None:
+        """The named point's budget, or None when the plan omits it."""
+        for point in self.points:
+            if point.name == name:
+                return point
+        return None
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse the one-line spec format (see the module docstring)."""
+        seed = 0
+        points: list[FaultPoint] = []
+        for segment in spec.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            if segment.startswith("seed="):
+                try:
+                    seed = int(segment[len("seed="):])
+                except ValueError:
+                    raise FaultError(f"bad seed segment {segment!r}") from None
+                continue
+            name, _, params = segment.partition(":")
+            kwargs: dict = {}
+            for param in filter(None, params.split(",")):
+                key, eq, value = param.partition("=")
+                if not eq:
+                    raise FaultError(
+                        f"{name}: parameter {param!r} needs key=value"
+                    )
+                key = key.strip()
+                try:
+                    if key in ("p", "probability"):
+                        kwargs["probability"] = float(value)
+                    elif key == "count":
+                        kwargs["count"] = int(value)
+                    elif key == "delay":
+                        kwargs["delay"] = float(value)
+                    else:
+                        raise FaultError(
+                            f"{name}: unknown parameter {key!r} "
+                            "(expected p/probability, count, or delay)"
+                        )
+                except ValueError:
+                    raise FaultError(
+                        f"{name}: bad value {value!r} for {key}"
+                    ) from None
+            points.append(FaultPoint(name.strip(), **kwargs))
+        return cls(points=tuple(points), seed=seed)
+
+    def spec(self) -> str:
+        """Serialize back to the one-line spec (parse → spec round-trips)."""
+        segments = [f"seed={self.seed}"]
+        for p in self.points:
+            params = []
+            if p.probability != 1.0:
+                params.append(f"p={p.probability:g}")
+            if p.count is not None:
+                params.append(f"count={p.count}")
+            if p.delay:
+                params.append(f"delay={p.delay:g}")
+            segments.append(
+                p.name + (":" + ",".join(params) if params else "")
+            )
+        return ";".join(segments)

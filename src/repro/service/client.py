@@ -13,15 +13,35 @@ A by-value formula is shipped as the packed kernel's raw wire bytes
 flat arrays with two C-level copies and never sees the client's object
 graph — the portfolio's worker transport, reused across the process
 boundary.
+
+**Retry policy** — the client retries *transport* failures (a dropped
+connection, a truncated frame, a refused connect while the daemon
+restarts), never *service* errors (an error response is the daemon's
+authoritative answer).  Each retry reconnects and resends after an
+exponentially growing, jittered backoff; a request deadline is a total
+budget — the re-sent header carries only what is left of it.  Retried
+requests are safe by construction: solves are read-only over the
+engine's single-flight table, and every change carries an idempotency
+``change_id`` the daemon deduplicates (filled in automatically here).
+The one visible caveat: a retried ``close_session`` may report
+``existed=False`` because the first attempt already closed it.  When
+the connect budget itself is exhausted the client raises
+:class:`~repro.errors.ConnectError` — still an ``OSError`` for blanket
+handlers, but specific enough for the CLI to exit 1 with one line.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+import uuid
+from dataclasses import replace
 
-from repro.errors import ServiceError
+from repro.errors import ConnectError, ServiceError
 from repro.service.requests import ChangeRequest, SolveRequest, SolveResponse
 from repro.service.wire import (
+    WireError,
     batch_request_to_wire,
     batch_response_from_wire,
     change_request_to_wire,
@@ -38,43 +58,154 @@ class ServiceClient:
     Args:
         socket_path: the daemon's Unix socket.
         timeout: per-call socket timeout in seconds (None = block).
+        retries: transport-failure retries per request (and connect
+            attempts past the first); ``0`` restores fail-fast behaviour.
+        backoff: base retry delay in seconds; attempt *n* waits
+            ``backoff * 2**n`` plus up to one ``backoff`` of jitter.
+        backoff_max: cap on any single retry delay.
     """
 
-    def __init__(self, socket_path: str, *, timeout: float | None = 60.0):
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        timeout: float | None = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+    ):
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix only
             raise ServiceError("ServiceClient needs AF_UNIX sockets")
         self.socket_path = str(socket_path)
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        try:
-            self._sock.connect(self.socket_path)
-        except OSError:
-            self._sock.close()
-            raise
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        #: Transport failures absorbed by retries (observability only).
+        self.retried = 0
+        self._sock: socket.socket | None = None
+        self._connect()
 
     # ------------------------------------------------------------------
-    def _call(self, header: dict, payload: bytes = b"") -> dict:
-        send_frame(self._sock, header, payload)
-        frame = recv_frame(self._sock)
-        if frame is None:
-            raise ServiceError("daemon closed the connection")
-        response, _ = frame
-        if not response.get("ok", False):
-            raise ServiceError(response.get("error", "daemon error"))
-        return response
+    def _delay(self, attempt: int) -> float:
+        base = min(self.backoff * (2 ** attempt), self.backoff_max)
+        return base + random.random() * self.backoff
+
+    def _connect(self) -> None:
+        """(Re)connect, retrying refused/missing sockets per the policy.
+
+        Raises :class:`ConnectError` once the budget is spent — the
+        daemon is missing, dead, or still draining.
+        """
+        self._reset()
+        last: OSError | None = None
+        for attempt in range(self.retries + 1):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                sock.close()
+                last = exc
+                if attempt < self.retries:
+                    time.sleep(self._delay(attempt))
+                continue
+            self._sock = sock
+            return
+        raise ConnectError(
+            f"cannot reach daemon at {self.socket_path}: {last}"
+        ) from last
+
+    def _reset(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close never really fails
+                pass
+            self._sock = None
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, header: dict, payload: bytes = b"", *, attempts: int | None = None
+    ) -> dict:
+        """One request/response round trip with transport retries.
+
+        A header ``deadline`` is treated as the *total* budget: each
+        resend ships only the remainder, so retries never extend the
+        caller's wall-clock contract.
+        """
+        budget = header.get("deadline")
+        t0 = time.monotonic() if budget is not None else 0.0
+        total = self.retries + 1 if attempts is None else attempts
+        last: Exception | None = None
+        for attempt in range(total):
+            if attempt and budget is not None:
+                header = dict(
+                    header,
+                    deadline=max(0.0, budget - (time.monotonic() - t0)),
+                )
+            try:
+                if self._sock is None:
+                    self._connect()
+                send_frame(self._sock, header, payload)
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    raise WireError("daemon closed the connection")
+            except ConnectError:
+                # _connect already spent its own retry budget.
+                raise
+            except (OSError, WireError) as exc:
+                self._reset()
+                last = exc
+                if attempt < total - 1:
+                    self.retried += 1
+                    time.sleep(self._delay(attempt))
+                    continue
+                raise
+            response, _ = frame
+            if not response.get("ok", False):
+                raise ServiceError(response.get("error", "daemon error"))
+            return response
+        raise ServiceError(f"request failed: {last}")  # pragma: no cover
 
     # ------------------------------------------------------------------
     def ping(self) -> bool:
         """Liveness round trip."""
         return bool(self._call({"op": "ping"}).get("pong"))
 
+    def health(self) -> dict:
+        """The daemon's degradation snapshot: pool generation, cache
+        degraded flags/error counters, fault-plan state (if chaos is
+        installed), drain status."""
+        return self._call({"op": "health"})["health"]
+
     def solve(self, request: SolveRequest) -> SolveResponse:
-        """Route one solve request through the daemon."""
+        """Route one solve request through the daemon.
+
+        A session-*opening* solve mutates the daemon's session table, so
+        it gets an idempotency ``request_id`` (when the request has
+        none) — a transport retry replays the recorded open response
+        instead of landing on the "already exists" error.  Stateless
+        solves and sourceless re-queries are naturally idempotent.
+        """
+        if (
+            request.session is not None
+            and request.has_source
+            and request.request_id is None
+        ):
+            request = replace(request, request_id=uuid.uuid4().hex)
         header, payload = solve_request_to_wire(request)
         return response_from_wire(self._call(header, payload))
 
     def change(self, request: ChangeRequest) -> SolveResponse:
-        """Route one change request through the daemon."""
+        """Route one change request through the daemon.
+
+        Fills in an idempotency ``change_id`` when the request has none,
+        so a transport retry replays the daemon's recorded response
+        instead of applying the batch twice.
+        """
+        if request.change_id is None:
+            request = replace(request, change_id=uuid.uuid4().hex)
         return response_from_wire(self._call(change_request_to_wire(request)))
 
     def solve_many(
@@ -99,7 +230,12 @@ class ServiceClient:
         return batch_response_from_wire(self._call(header, payload))
 
     def close_session(self, name: str) -> bool:
-        """Drop a named session on the daemon."""
+        """Drop a named session on the daemon.
+
+        On a retried call the first attempt may already have closed it,
+        in which case this reports ``False`` like any other already-gone
+        session.
+        """
         return bool(
             self._call({"op": "close_session", "session": name}).get("existed")
         )
@@ -134,8 +270,12 @@ class ServiceClient:
         frames arrived or the daemon drains.  The generator consumes the
         connection's receive side for its whole lifetime — make no other
         calls on this client until it is exhausted (or just dedicate a
-        client to watching, as ``repro stats --watch`` does).
+        client to watching, as ``repro stats --watch`` does).  The
+        stream is *not* retried: a reconnect could not resume a
+        half-consumed subscription, so transport errors propagate.
         """
+        if self._sock is None:
+            self._connect()
         header: dict = {"op": "watch", "interval": interval}
         if count is not None:
             header["count"] = count
@@ -163,21 +303,23 @@ class ServiceClient:
                 yield response["frame"]
         finally:
             try:
-                self._sock.settimeout(previous)
+                if self._sock is not None:
+                    self._sock.settimeout(previous)
             except OSError:
                 pass        # socket already closed; nothing to restore
 
     def shutdown(self) -> None:
-        """Ask the daemon to stop (acknowledged before it exits)."""
-        self._call({"op": "shutdown"})
+        """Ask the daemon to stop (acknowledged before it exits).
+
+        Single-attempt on purpose: retrying against a daemon that obeyed
+        the first request would just burn the connect budget.
+        """
+        self._call({"op": "shutdown"}, attempts=1)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the connection (idempotent)."""
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - close never really fails
-            pass
+        self._reset()
 
     def __enter__(self) -> "ServiceClient":
         return self

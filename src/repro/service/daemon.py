@@ -16,6 +16,11 @@ per connection):
 
 ``ping``
     liveness check; answers ``{"ok": true, "pong": true}``.
+``health``
+    degradation snapshot: pool generation and solo-fallback count,
+    cache degraded/error flags, drain state, and the live fault-plan
+    counters when chaos is installed (``repro stats`` surfaces it).
+    Exempt from the ``max_requests`` budget, like ``ping``.
 ``solve``
     a :class:`~repro.service.requests.SolveRequest` (instance in the
     binary payload as packed wire bytes, or a server-side DIMACS path in
@@ -78,6 +83,7 @@ import socket
 import threading
 import time
 
+from repro import faults
 from repro.errors import ReproError, ServiceError
 from repro.obs.metrics import FrameTracker, StatsMonitor
 from repro.service.service import SolverService
@@ -88,6 +94,7 @@ from repro.service.wire import (
     recv_frame,
     response_to_wire,
     send_frame,
+    send_truncated_frame,
     solve_request_from_wire,
 )
 
@@ -104,6 +111,10 @@ class ServiceDaemon:
         max_requests: stop accepting and drain after this many handled
             non-ping ops (``repro serve --max-requests``) — how replay
             and load runs get a deterministic, clean daemon exit.
+        max_frame_bytes: per-daemon cap on incoming header/payload sizes
+            (``repro serve --max-frame-bytes``); defaults to the wire
+            module's global cap.  An over-cap frame is logged with its
+            offending declared length before the connection closes.
     """
 
     def __init__(
@@ -114,15 +125,19 @@ class ServiceDaemon:
         log_path: str | None = None,
         max_requests: int | None = None,
         monitor_interval: float = 1.0,
+        max_frame_bytes: int | None = None,
     ):
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix only
             raise ServiceError("repro serve needs AF_UNIX sockets")
         if max_requests is not None and max_requests < 1:
             raise ServiceError("max_requests must be at least 1")
+        if max_frame_bytes is not None and max_frame_bytes < 1:
+            raise ServiceError("max_frame_bytes must be at least 1")
         self.socket_path = str(socket_path)
         self.service = service if service is not None else SolverService()
         self.log_path = log_path
         self.max_requests = max_requests
+        self.max_frame_bytes = max_frame_bytes
         #: Per-second sampler over the service's metrics registry; its
         #: thread runs for exactly the lifetime of :meth:`serve_forever`.
         self.monitor = StatsMonitor(
@@ -243,68 +258,118 @@ class ServiceDaemon:
         # requests are unaffected — dispatch is never interrupted, and a
         # local peer's frame chunks arrive faster than the timeout.
         conn.settimeout(0.25)
-        with conn:
-            while not self._stop.is_set():
-                try:
-                    frame = recv_frame(conn)
-                except socket.timeout:
-                    continue
-                except WireError as exc:
-                    self._log("wire_error", error=str(exc))
-                    self.service.metrics.inc("errors")
-                    self._try_send(conn, {"ok": False, "error": str(exc)})
-                    return
-                if frame is None:
-                    return
-                header, payload = frame
-                op = header.get("op", "")
-                if op in ("watch", "subscribe"):
-                    # Streaming op: one request frame, many pushed
-                    # response frames on this connection (its own path —
-                    # _dispatch is strictly one-request-one-response).
-                    if not self._serve_watch(conn, header):
-                        return
-                    if self._budget_spent():
-                        self._log("drain_budget", max_requests=self.max_requests)
-                        self.shutdown()
-                        return
-                    continue
-                t0 = time.perf_counter()
-                try:
-                    response, stop_after = self._dispatch(op, header, payload)
-                except ReproError as exc:
-                    response, stop_after = {"ok": False, "error": str(exc)}, False
-                except Exception as exc:  # a bug must not kill the daemon
-                    response, stop_after = (
-                        {"ok": False, "error": f"internal error: {exc!r}"},
-                        False,
-                    )
-                wall = time.perf_counter() - t0
-                # No blanket errors bump here: the service counts its own
-                # failed solve/change/solve_many requests (in a finally),
-                # and _dispatch counts the failures that never reach the
-                # service — a blanket inc would double-count every one.
-                fp = response.get("fingerprint") or ""
+        try:
+            self._serve_frames(conn)
+        finally:
+            # shutdown() before close(): forked pool workers inherit a
+            # dup of every connection fd open at fork time, so a plain
+            # close() here does NOT deliver EOF to the peer while any
+            # worker lives — the client would stall out its full socket
+            # timeout on every connection the daemon drops (error
+            # frames, chaos drops, drain).  Tearing the connection down
+            # explicitly signals the peer regardless of dup'd fds.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    def _serve_frames(self, conn: socket.socket) -> None:
+        while not self._stop.is_set():
+            try:
+                frame = recv_frame(conn, self.max_frame_bytes)
+            except socket.timeout:
+                continue
+            except ConnectionError:
+                # A hard peer disconnect (RST) between frames is the
+                # moral equivalent of a clean close, not a daemon
+                # error — drop the connection and keep serving.
+                return
+            except WireError as exc:
+                # Structured record: the offending declared length
+                # and the op being read (when the header got that
+                # far) make a corrupt-peer forensics trail.
                 self._log(
-                    "op",
-                    op=op,
-                    ok=bool(response.get("ok")),
-                    status=response.get("status"),
-                    source=response.get("source"),
-                    session=header.get("session"),
-                    fp=fp[:12] or None,
-                    wall=round(wall, 6),
-                    error=response.get("error"),
+                    "wire_error",
+                    error=str(exc),
+                    length=exc.length,
+                    op=exc.op,
                 )
-                if not self._try_send(conn, response):
+                self.service.metrics.inc("errors")
+                self._try_send(conn, {"ok": False, "error": str(exc)})
+                return
+            if frame is None:
+                return
+            header, payload = frame
+            op = header.get("op", "")
+            # Wire-level chaos (no-ops without an installed plan).
+            # Drop fires BEFORE dispatch — the request never executed,
+            # so any op is safe to retry; slow just stalls the peer.
+            if faults.fire("wire.drop") is not None:
+                self._log("chaos", point="wire.drop", op=op)
+                return
+            slow = faults.fire("wire.slow")
+            if slow is not None:
+                self._log("chaos", point="wire.slow", op=op)
+                time.sleep(slow.delay or 0.05)
+            if op in ("watch", "subscribe"):
+                # Streaming op: one request frame, many pushed
+                # response frames on this connection (its own path —
+                # _dispatch is strictly one-request-one-response).
+                if not self._serve_watch(conn, header):
                     return
-                if stop_after:
-                    self.shutdown()
-                    return
-                if op != "ping" and self._budget_spent():
+                if self._budget_spent():
                     self._log("drain_budget", max_requests=self.max_requests)
                     self.shutdown()
                     return
+                continue
+            t0 = time.perf_counter()
+            try:
+                response, stop_after = self._dispatch(op, header, payload)
+            except ReproError as exc:
+                response, stop_after = {"ok": False, "error": str(exc)}, False
+            except Exception as exc:  # a bug must not kill the daemon
+                response, stop_after = (
+                    {"ok": False, "error": f"internal error: {exc!r}"},
+                    False,
+                )
+            wall = time.perf_counter() - t0
+            # No blanket errors bump here: the service counts its own
+            # failed solve/change/solve_many requests (in a finally),
+            # and _dispatch counts the failures that never reach the
+            # service — a blanket inc would double-count every one.
+            fp = response.get("fingerprint") or ""
+            self._log(
+                "op",
+                op=op,
+                ok=bool(response.get("ok")),
+                status=response.get("status"),
+                source=response.get("source"),
+                session=header.get("session"),
+                fp=fp[:12] or None,
+                wall=round(wall, 6),
+                error=response.get("error"),
+            )
+            if faults.fire("wire.truncate") is not None:
+                # Fires AFTER dispatch: the request executed but the
+                # client never sees the response — the shape a daemon
+                # crash mid-send produces.  Retry-safe because solves
+                # coalesce and changes carry idempotency ids.
+                self._log("chaos", point="wire.truncate", op=op)
+                try:
+                    send_truncated_frame(conn)
+                except OSError:
+                    pass
+                return
+            if not self._try_send(conn, response):
+                return
+            if stop_after:
+                self.shutdown()
+                return
+            if op not in ("ping", "health") and self._budget_spent():
+                self._log("drain_budget", max_requests=self.max_requests)
+                self.shutdown()
+                return
 
     def _parse(self, build):
         """Build a request record, counting parse failures as errors.
@@ -325,6 +390,10 @@ class ServiceDaemon:
         """(response header, stop-after) for one op."""
         if op == "ping":
             return {"ok": True, "pong": True}, False
+        if op == "health":
+            # Exempt from the max_requests budget (like ping): probes
+            # from orchestration must not drain a quota'd daemon.
+            return {"ok": True, "health": self.service.health()}, False
         if op == "solve":
             request = self._parse(
                 lambda: solve_request_from_wire(header, payload)

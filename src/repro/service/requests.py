@@ -64,6 +64,13 @@ class SolveRequest:
         session: name of the incremental session to route through — a
             new session is opened when the request carries a formula
             source, an existing one is re-queried when it does not.
+        request_id: idempotency token for session-*opening* solves.  The
+            open mutates service state (the session table), so a blind
+            transport retry would land on the "already exists" error;
+            the service replays the recorded open response when it sees
+            the same id again on the same session.  The wire client
+            fills one in automatically; stateless solves (no session)
+            are naturally idempotent and never need one.
     """
 
     formula: CNFFormula | None = None
@@ -77,6 +84,7 @@ class SolveRequest:
     lead: str | None = None
     hint: Assignment | None = None
     session: str | None = None
+    request_id: str | None = None
 
     def __post_init__(self) -> None:
         sources = sum(
@@ -119,6 +127,10 @@ class ChangeRequest:
             loosening batches without any solver, race tightening ones)
             or ``"force"`` (always run a full engine query — cache,
             hint revalidation, race — after applying the batch).
+        change_id: idempotency token.  A change mutates the session, so a
+            blind retry would apply the batch twice; the service replays
+            the recorded response when it sees the same id again on the
+            same session.  The wire client fills one in automatically.
     """
 
     session: str
@@ -126,6 +138,7 @@ class ChangeRequest:
     deadline: float | None = None
     seed: int | None = None
     ec_mode: str = "auto"
+    change_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.ec_mode not in EC_MODES:

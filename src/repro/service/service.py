@@ -221,22 +221,56 @@ class SolverService:
         t0 = time.perf_counter()
         self.metrics.adjust_gauge("inflight", 1)
         response = None
+        replayed = False
         try:
+            response = self._replayed_open(request)
+            if response is not None:
+                replayed = True
+                return response
             response = self._solve(request)
             return response
         finally:
             # Counted in the finally so failed requests are visible too:
             # a stream of ServiceErrors must show up as rps + errors, not
             # as a dead service.  The recorder stays success-only — a
-            # trace is a replayable stream of completed ops.
+            # trace is a replayable stream of completed ops — and replays
+            # stay out of it: the logical op already happened once.
             self.metrics.adjust_gauge("inflight", -1)
             self._count_request(
                 request.session, errors=0 if response is not None else 1
             )
-            if response is not None and self.recorder is not None:
+            if response is not None and self.recorder is not None and not replayed:
                 self.recorder.record_solve(
                     request, response, time.perf_counter() - t0
                 )
+
+    def _replayed_open(self, request: SolveRequest) -> SolveResponse | None:
+        """The stored response for a retried session-opening solve.
+
+        Mirrors the ``change_id`` replay in :meth:`change`: the open
+        mutated the session table, so a transport retry of the same
+        request must replay the recorded response instead of landing on
+        the "already exists" error.  Returns None for anything that is
+        not a recognized replay — the request then runs normally.
+        """
+        if (
+            request.request_id is None
+            or request.session is None
+            or not request.has_source
+        ):
+            return None
+        with self._lock:
+            session = self._sessions.get(request.session)
+        if session is None:
+            return None
+        with session.lock:
+            if (
+                request.request_id == session.open_id
+                and session.open_response is not None
+            ):
+                self.metrics.bump(counts={"open_replays": 1})
+                return session.open_response
+        return None
 
     def _count_request(
         self, session: str | None, n: int = 1, errors: int = 0
@@ -280,6 +314,11 @@ class SolverService:
         with CDCL promoted); ``ec_mode="force"`` always runs a full
         engine query after applying the batch.
 
+        A request carrying a ``change_id`` the session already applied
+        replays the recorded response instead of mutating the formula
+        again — the idempotency contract the wire client's transport
+        retries rely on.
+
         Raises:
             ServiceError: unknown session or closed service.
             ChangeError: the batch is invalid for the session's formula.
@@ -288,6 +327,7 @@ class SolverService:
         self._check_open()
         self.metrics.adjust_gauge("inflight", 1)
         response = None
+        replayed = False
         try:
             with self._lock:
                 session = self._session(request.session)
@@ -295,6 +335,17 @@ class SolverService:
             # atomic, while other sessions' changes and queries overlap
             # freely on the shared engine.
             with session.lock:
+                if (
+                    request.change_id is not None
+                    and request.change_id == session.last_change_id
+                    and session.last_change_response is not None
+                ):
+                    # A retried change the session already absorbed:
+                    # applying it again would double-mutate the formula.
+                    replayed = True
+                    self.metrics.bump(counts={"change_replays": 1})
+                    response = session.last_change_response
+                    return response
                 regime = session.apply_changes(request.changes)
                 if request.ec_mode == "force":
                     raw = session.query(
@@ -304,16 +355,21 @@ class SolverService:
                     raw = session.resolve_query(
                         deadline=request.deadline, seed=request.seed
                     )
-            response = raw.with_context(
-                session=request.session, regime=regime
-            )
+                response = raw.with_context(
+                    session=request.session, regime=regime
+                )
+                if request.change_id is not None:
+                    session.last_change_id = request.change_id
+                    session.last_change_response = response
             return response
         finally:
             self.metrics.adjust_gauge("inflight", -1)
             self._count_request(
                 request.session, errors=0 if response is not None else 1
             )
-            if response is not None and self.recorder is not None:
+            # Replays stay out of the trace: the recorder captures the
+            # logical op stream, and the op already happened once.
+            if response is not None and self.recorder is not None and not replayed:
                 self.recorder.record_change(
                     request, response, time.perf_counter() - t0
                 )
@@ -503,7 +559,7 @@ class SolverService:
         if session is None:
             # Two concurrent creators race to open_session's own check:
             # exactly one wins, the other gets the "already exists" error.
-            return self.open_session(
+            response = self.open_session(
                 name,
                 self._materialize(request),
                 deadline=request.deadline,
@@ -511,6 +567,16 @@ class SolverService:
                 use_cache=request.use_cache,
                 lead=request.lead,
             )
+            if request.request_id is not None:
+                # Recorded before the response frame leaves the daemon,
+                # so a retry after a cut/dropped reply always finds it.
+                with self._lock:
+                    created = self._sessions.get(name)
+                if created is not None:
+                    with created.lock:
+                        created.open_id = request.request_id
+                        created.open_response = response
+            return response
         response = session.query(
             deadline=request.deadline, seed=request.seed,
             use_cache=request.use_cache, lead=request.lead,
@@ -630,6 +696,31 @@ class SolverService:
             "cache": cache_block,
             "sessions": sessions,
             "metrics": self.metrics.snapshot(),
+        }
+
+    def health(self) -> dict:
+        """Degradation snapshot for the daemon's ``health`` op.
+
+        Complements :meth:`stats` (throughput counters) with the flags
+        an operator checks when things go wrong: pool generation and
+        solo-fallback count, cache degraded mode and error counters,
+        drain state, and the live fault-plan snapshot when chaos is
+        installed.
+        """
+        from repro import faults
+
+        with self._lock:
+            sessions = len(self._sessions)
+            draining = self._draining
+            closed = self._closed
+        injector = faults.get_injector()
+        return {
+            "engine": self.engine.health(),
+            "sessions": sessions,
+            "draining": draining,
+            "closed": closed,
+            "errors": self.metrics.counter("errors"),
+            "faults": injector.snapshot() if injector is not None else None,
         }
 
     def _check_open(self) -> None:

@@ -46,7 +46,24 @@ _LEN = struct.Struct("<I")
 
 
 class WireError(ReproError):
-    """A malformed frame or an unserializable record."""
+    """A malformed frame or an unserializable record.
+
+    Carries structured context when available — the offending declared
+    ``length`` (an over-cap or truncated prefix) and the ``op`` of the
+    request being read — so the daemon can log a useful record before
+    closing the connection instead of a bare message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        length: int | None = None,
+        op: str | None = None,
+    ):
+        super().__init__(message)
+        self.length = length
+        self.op = op
 
 
 # ----------------------------------------------------------------------
@@ -87,28 +104,38 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> tuple[dict, bytes] | None:
+def recv_frame(
+    sock: socket.socket, max_bytes: int | None = None
+) -> tuple[dict, bytes] | None:
     """Receive one frame; None when the peer closed between frames.
 
     On a socket with a receive timeout, ``socket.timeout`` escapes only
     while waiting for a frame to *start* (safe to retry — the daemon's
     shutdown poll); a timeout after the length prefix arrived is a
     :class:`WireError` like any other truncation.
+
+    Args:
+        max_bytes: per-connection cap on header/payload sizes; defaults
+            to the module-level :data:`MAX_FRAME_BYTES`.
     """
+    cap = MAX_FRAME_BYTES if max_bytes is None else max_bytes
     raw_len = _recv_exact(sock, _LEN.size)
     if raw_len is None:
         return None
     (header_len,) = _LEN.unpack(raw_len)
-    if header_len > MAX_FRAME_BYTES:
-        raise WireError(f"header length {header_len} exceeds the frame cap")
+    if header_len > cap:
+        raise WireError(
+            f"header length {header_len} exceeds the frame cap ({cap})",
+            length=header_len,
+        )
     try:
-        return _recv_frame_body(sock, header_len)
+        return _recv_frame_body(sock, header_len, cap)
     except socket.timeout:
         raise WireError("connection timed out mid-frame") from None
 
 
 def _recv_frame_body(
-    sock: socket.socket, header_len: int
+    sock: socket.socket, header_len: int, cap: int
 ) -> tuple[dict, bytes]:
     header_raw = _recv_exact(sock, header_len)
     if header_raw is None:
@@ -119,16 +146,35 @@ def _recv_frame_body(
         raise WireError(f"malformed frame header: {exc}") from None
     if not isinstance(header, dict):
         raise WireError("frame header must be a JSON object")
+    op = header.get("op") if isinstance(header.get("op"), str) else None
     raw_len = _recv_exact(sock, _LEN.size)
     if raw_len is None:
-        raise WireError("connection closed before the payload length")
+        raise WireError("connection closed before the payload length", op=op)
     (payload_len,) = _LEN.unpack(raw_len)
-    if payload_len > MAX_FRAME_BYTES:
-        raise WireError(f"payload length {payload_len} exceeds the frame cap")
-    payload = b"" if payload_len == 0 else _recv_exact(sock, payload_len)
+    if payload_len > cap:
+        raise WireError(
+            f"payload length {payload_len} exceeds the frame cap ({cap})",
+            length=payload_len,
+            op=op,
+        )
+    try:
+        payload = b"" if payload_len == 0 else _recv_exact(sock, payload_len)
+    except WireError as exc:
+        raise WireError(str(exc), length=payload_len, op=op) from None
     if payload is None:
-        raise WireError("connection closed before the payload")
+        raise WireError("connection closed before the payload", op=op)
     return header, payload
+
+
+def send_truncated_frame(sock: socket.socket) -> None:
+    """Chaos helper: publish a length prefix, then stop mid-frame.
+
+    The peer's framing reader sees a declared header it never receives —
+    exactly the torn-write shape a daemon crash mid-``sendall`` would
+    produce — and must surface a :class:`WireError`, not hang or
+    misparse the next frame.
+    """
+    sock.sendall(_LEN.pack(64) + b'{"truncated"')
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +242,7 @@ def solve_request_to_wire(request: SolveRequest) -> tuple[dict, bytes]:
         ),
         "session": request.session,
         "dimacs_path": request.dimacs_path,
+        "request_id": request.request_id,
     }
     return header, payload
 
@@ -214,6 +261,7 @@ def solve_request_from_wire(header: dict, payload: bytes) -> SolveRequest:
         lead=header.get("lead"),
         hint=Assignment.from_literals(hint) if hint is not None else None,
         session=header.get("session"),
+        request_id=header.get("request_id"),
     )
 
 
@@ -226,6 +274,7 @@ def change_request_to_wire(request: ChangeRequest) -> dict:
         "deadline": request.deadline,
         "seed": request.seed,
         "ec_mode": request.ec_mode,
+        "change_id": request.change_id,
     }
 
 
@@ -237,6 +286,7 @@ def change_request_from_wire(header: dict) -> ChangeRequest:
         deadline=header.get("deadline"),
         seed=header.get("seed"),
         ec_mode=header.get("ec_mode", "auto"),
+        change_id=header.get("change_id"),
     )
 
 

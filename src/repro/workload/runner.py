@@ -178,7 +178,18 @@ def run_closed(
     t0 = time.perf_counter()
 
     def work(indices: list[int]) -> None:
-        target = target_factory()
+        try:
+            target = target_factory()
+        except (ReproError, OSError) as exc:
+            # A worker that cannot reach the daemon (dead socket, spent
+            # connect budget) fails its share of events, not the run.
+            started = time.perf_counter() - t0
+            for i in indices:
+                results[i] = EventResult(
+                    index=i, kind=events[i].kind, ok=False,
+                    error=f"{type(exc).__name__}: {exc}", started=started,
+                )
+            return
         try:
             for i in indices:
                 results[i] = _run_one(target, events[i], i, t0)
@@ -275,7 +286,19 @@ def run_open(
                         predecessor.result()
                     except Exception:  # the dependency's own result records it
                         pass
-                results[i] = _run_one(get_target(), event, i, t0, due=due)
+                try:
+                    target = get_target()
+                except (ReproError, OSError) as exc:
+                    # Connect failure fails this event, not the pool
+                    # thread — later events retry the factory fresh.
+                    local.target = None
+                    results[i] = EventResult(
+                        index=i, kind=event.kind, ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                        started=time.perf_counter() - t0, due=due,
+                    )
+                    return
+                results[i] = _run_one(target, event, i, t0, due=due)
 
             future = executor.submit(task)
             if event.key is not None:

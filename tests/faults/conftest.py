@@ -1,0 +1,20 @@
+"""Shared hygiene for the fault-injection tests.
+
+Chaos installation is process-global (that is the point), so every test
+in this directory gets a clean slate on both sides: no injector, no
+``REPRO_CHAOS`` in the environment.  Without this an installed plan
+would leak into the next test — or worse, into a forked pool worker
+created by an unrelated suite.
+"""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()

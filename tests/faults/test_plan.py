@@ -1,0 +1,153 @@
+"""Fault plans and the injector: spec round-trips, seeded determinism,
+probability/count budgets, and the process-global install plumbing."""
+
+import pytest
+
+from repro import faults
+from repro.engine.config import EngineConfig
+from repro.faults import FaultError, FaultInjector, FaultPlan, FaultPoint
+
+
+class TestSpecParsing:
+    def test_round_trip_is_exact(self):
+        spec = "seed=42;worker.kill:p=0.2,count=2;wire.slow:delay=0.1"
+        assert FaultPlan.from_spec(spec).spec() == spec
+
+    def test_defaults_are_omitted_from_the_spec(self):
+        plan = FaultPlan.from_spec("wire.drop")
+        assert plan.spec() == "seed=0;wire.drop"
+        point = plan.point("wire.drop")
+        assert point.probability == 1.0
+        assert point.count is None
+        assert point.delay == 0.0
+
+    def test_probability_alias_and_whitespace(self):
+        plan = FaultPlan.from_spec(" seed=7 ; wire.drop : probability=0.5 ")
+        assert plan.seed == 7
+        assert plan.point("wire.drop").probability == 0.5
+
+    def test_unknown_point_lookup_returns_none(self):
+        assert FaultPlan.from_spec("wire.drop").point("worker.kill") is None
+
+    @pytest.mark.parametrize("bad, match", [
+        ("seed=x", "bad seed segment"),
+        ("bogus::", "needs key=value"),
+        ("p1:frobnicate=3", "unknown parameter"),
+        ("p1:p=lots", "bad value"),
+        ("p1:count=2.5", "bad value"),
+    ])
+    def test_malformed_specs_raise_fault_error(self, bad, match):
+        with pytest.raises(FaultError, match=match):
+            FaultPlan.from_spec(bad)
+
+    def test_point_validation(self):
+        with pytest.raises(FaultError, match="probability"):
+            FaultPoint("x", probability=1.5)
+        with pytest.raises(FaultError, match="count"):
+            FaultPoint("x", count=-1)
+        with pytest.raises(FaultError, match="delay"):
+            FaultPoint("x", delay=-0.1)
+        with pytest.raises(FaultError, match="bad fault point name"):
+            FaultPoint("a b")
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultPlan.from_spec("wire.drop;wire.drop:p=0.5")
+
+
+class TestInjector:
+    def test_decisions_are_deterministic_across_instances(self):
+        plan = FaultPlan.from_spec("seed=9;a:p=0.3;b:p=0.7")
+        one = FaultInjector(plan)
+        two = FaultInjector(plan)
+        for name in ("a", "b"):
+            seq1 = [one.fire(name) is not None for _ in range(200)]
+            seq2 = [two.fire(name) is not None for _ in range(200)]
+            assert seq1 == seq2
+            assert any(seq1) and not all(seq1)
+
+    def test_different_seeds_differ(self):
+        spec = "a:p=0.5"
+        one = FaultInjector(FaultPlan.from_spec("seed=1;" + spec))
+        two = FaultInjector(FaultPlan.from_spec("seed=2;" + spec))
+        assert (
+            [one.fire("a") is not None for _ in range(64)]
+            != [two.fire("a") is not None for _ in range(64)]
+        )
+
+    def test_count_is_a_lifetime_budget(self):
+        injector = FaultInjector(FaultPlan.from_spec("a:p=1,count=2"))
+        fired = [injector.fire("a") is not None for _ in range(10)]
+        assert fired == [True, True] + [False] * 8
+        assert injector.fired["a"] == 2
+        assert injector.checked["a"] == 10
+
+    def test_probability_zero_never_fires(self):
+        injector = FaultInjector(FaultPlan.from_spec("a:p=0"))
+        assert all(injector.fire("a") is None for _ in range(50))
+        assert injector.fired["a"] == 0
+
+    def test_unplanned_point_is_a_silent_no_op(self):
+        injector = FaultInjector(FaultPlan.from_spec("a"))
+        assert injector.fire("nope") is None
+        assert "nope" not in injector.checked
+
+    def test_fire_returns_the_point_budget(self):
+        injector = FaultInjector(FaultPlan.from_spec("slow:delay=0.25"))
+        assert injector.fire("slow").delay == 0.25
+
+    def test_snapshot_reports_spec_and_counters(self):
+        injector = FaultInjector(FaultPlan.from_spec("seed=3;a:count=1"))
+        injector.fire("a")
+        injector.fire("a")
+        snap = injector.snapshot()
+        assert snap["spec"] == "seed=3;a:count=1"
+        assert snap["seed"] == 3
+        assert snap["points"]["a"] == {"checked": 2, "fired": 1}
+
+
+class TestInstallPlumbing:
+    def test_no_plan_means_no_fires(self):
+        assert faults.get_injector() is None
+        assert faults.fire("worker.kill") is None
+
+    def test_install_and_clear(self):
+        faults.install("seed=1;a")
+        assert faults.fire("a") is not None
+        faults.clear()
+        assert faults.fire("a") is None
+
+    def test_propagate_exports_and_clear_drops_the_env_var(self):
+        import os
+
+        faults.install("seed=5;a:p=0.5", propagate=True)
+        assert os.environ[faults.ENV_VAR] == "seed=5;a:p=0.5"
+        faults.clear()
+        assert faults.ENV_VAR not in os.environ
+
+    def test_env_var_is_adopted_lazily(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "seed=4;a:count=1")
+        injector = faults.get_injector()
+        assert injector is not None
+        assert injector.plan.spec() == "seed=4;a:count=1"
+
+    def test_env_var_is_consulted_at_most_once(self, monkeypatch):
+        assert faults.get_injector() is None
+        monkeypatch.setenv(faults.ENV_VAR, "seed=4;a")
+        # The daemon decided chaos-free at startup; later env mutation
+        # must not flip a long-lived process mid-run.
+        assert faults.get_injector() is None
+        # clear() re-arms the check (and drops the export, so re-set it).
+        faults.clear()
+        monkeypatch.setenv(faults.ENV_VAR, "seed=4;a")
+        assert faults.get_injector() is not None
+
+
+class TestEngineConfigValidation:
+    def test_valid_spec_is_accepted(self):
+        cfg = EngineConfig(chaos="seed=1;worker.kill:p=0.1,count=2")
+        assert cfg.chaos.startswith("seed=1")
+
+    def test_invalid_spec_is_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="invalid chaos spec"):
+            EngineConfig(chaos="bogus::")

@@ -238,10 +238,27 @@ class TestServeParser:
         assert rc == 2
         assert "cannot be combined" in capsys.readouterr().err
 
-    def test_connect_without_daemon_reports_error(self, cnf_file, capsys):
+    def test_connect_without_daemon_reports_error(
+        self, cnf_file, capsys, monkeypatch
+    ):
+        # The one-line exit-1 contract for an unreachable daemon (the
+        # retry budget is shrunk: only the failure shape matters here).
+        import repro.service.client as client_mod
+
+        original = client_mod.ServiceClient.__init__
+
+        def quick(self, socket_path, **kwargs):
+            kwargs.setdefault("retries", 1)
+            kwargs.setdefault("backoff", 0.01)
+            original(self, socket_path, **kwargs)
+
+        monkeypatch.setattr(client_mod.ServiceClient, "__init__", quick)
         path, _f = cnf_file
         rc = main(["solve", str(path), "--connect", "/no/such/socket.sock"])
-        assert rc == 2
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot reach daemon")
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestSolveBatch:
