@@ -1,0 +1,321 @@
+#!/usr/bin/env python
+"""CI cluster lane: two nodes + a router must equal one clean node.
+
+The acceptance loop of the multi-node tier: a tenant-churn workload
+driven through ``repro route`` over two token-guarded ``repro serve
+--tcp`` nodes — with anti-entropy sync replicating their verdict caches
+and a chaos plan dropping sync pulls and killing a pool worker — must
+finish with every verdict matching a clean single-node in-process
+baseline.  Then one node is SIGKILLed and the same stream must complete
+again, errorless, against the survivor.
+
+1. compute the expected outcome of every event with a clean in-process
+   service (no cluster, no chaos anywhere);
+2. boot node A, then node B with ``--peer`` at A (pull replication),
+   both under one auth token and a seeded chaos plan, then a router
+   across them;
+3. phase 1: drive the stream through the router from concurrent
+   retrying clients — zero errors, zero verdict mismatches;
+4. prove replication end-to-end: a verdict node A computed must land on
+   node B via sync (nonzero ``sync_merged``) and be answered *from
+   cache* on B with the identical status/fingerprint/model;
+5. phase 2: SIGKILL node A, re-drive the stream through the router —
+   zero errors, zero mismatches, and the router's cluster picture shows
+   A down and failovers absorbed.
+
+Every node writes a structured log under WORKDIR (``node-a.log``,
+``node-b.log``, ``router.log``); the CI step uploads them on failure.
+
+Run locally with::
+
+    PYTHONPATH=src python scripts/cluster_smoke.py [WORKDIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine.config import EngineConfig                     # noqa: E402
+from repro.service.client import ServiceClient                   # noqa: E402
+from repro.service.requests import SolveRequest                  # noqa: E402
+from repro.service.service import SolverService                  # noqa: E402
+from repro.cnf.generators import random_planted_ksat             # noqa: E402
+from repro.workload import (                                     # noqa: E402
+    build_scenario,
+    client_factory,
+    inprocess_factory,
+    run_events,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+SCENARIO = "tenant-churn"
+TENANTS = 3
+CHANGES = 3
+CONCURRENCY = 3
+TOKEN = "cluster-smoke-token"
+
+#: Seeded chaos on both nodes: drop a few sync pulls mid-replication
+#: (the cursor never advances, so the re-pull converges) and kill one
+#: pool worker (the generation bump + retry machinery absorbs it).
+CHAOS = "seed={seed};sync.drop:p=0.3,count=3;worker.kill:p=0.05,count=1"
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_CHAOS", None)
+    env["REPRO_AUTH_TOKEN"] = TOKEN
+    return env
+
+
+def spawn_node(workdir: Path, name: str, seed: int,
+               peers: list[str]) -> tuple[subprocess.Popen, str]:
+    """Boot ``repro serve --tcp 127.0.0.1:0`` and return (proc, address)."""
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--tcp", "127.0.0.1:0",
+        "--jobs", "2", "--quick-slice", "0",
+        "--cache", "disk", "--cache-dir", str(workdir / f"cache-{name}"),
+        "--log-file", str(workdir / f"node-{name}.log"),
+        "--auth-token", TOKEN,
+        "--chaos", CHAOS.format(seed=seed),
+        "--sync-interval", "0.2",
+    ]
+    for peer in peers:
+        cmd += ["--peer", peer]
+    proc = subprocess.Popen(
+        cmd, env=_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise SystemExit(f"node {name} died during startup")
+        match = re.search(r"listening on (tcp://\S+)", line or "")
+        if match:
+            address = match.group(1)
+            print(f"node {name}: {address} (log: {workdir}/node-{name}.log)")
+            return proc, address
+    proc.kill()
+    raise SystemExit(f"node {name} did not come up within 60s")
+
+
+def spawn_router(workdir: Path, nodes: list[str]) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "route",
+            "--listen", "tcp://127.0.0.1:0",
+            *[arg for node in nodes for arg in ("--node", node)],
+            "--auth-token", TOKEN,
+            "--health-interval", "0.3",
+            "--log-file", str(workdir / "router.log"),
+        ],
+        env=_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise SystemExit("router died during startup")
+        match = re.search(r"listening on (tcp://\S+)", line or "")
+        if match:
+            address = match.group(1)
+            print(f"router: {address} (log: {workdir}/router.log)")
+            return proc, address
+    proc.kill()
+    raise SystemExit("router did not come up within 60s")
+
+
+def outcome_keys(result) -> list[tuple] | None:
+    """(status, fingerprint) per response; None = skip (close replay)."""
+    if result.kind == "close_session":
+        return None
+    return [(r.status, r.fingerprint) for r in result.responses]
+
+
+def drive(events, address: str, expected, phase: str) -> None:
+    results, wall = run_events(
+        events,
+        client_factory(address, auth_token=TOKEN),
+        concurrency=CONCURRENCY,
+    )
+    errors = [r for r in results if not r.ok]
+    mismatches = []
+    for r, want in zip(results, expected):
+        if not r.ok or want is None:
+            continue
+        got = outcome_keys(r)
+        if got != want:
+            mismatches.append(f"event {r.index} ({r.kind}): {got!r} != {want!r}")
+    print(
+        f"{phase}: {len(events)} events in {wall:.2f}s, "
+        f"{len(errors)} errors, {len(mismatches)} mismatches"
+    )
+    for line in mismatches[:10]:
+        print(f"  mismatch: {line}")
+    if errors:
+        detail = "; ".join(
+            f"event {r.index} ({r.kind}): {r.error}" for r in errors[:5]
+        )
+        raise SystemExit(f"{phase}: {len(errors)} errored events — {detail}")
+    if mismatches:
+        raise SystemExit(f"{phase}: {len(mismatches)} wrong verdicts")
+
+
+def check_cross_node_hit(addr_a: str, addr_b: str) -> None:
+    """A verdict solved on A must be served *from cache* on B via sync."""
+    f, _ = random_planted_ksat(16, 48, rng=424242)
+    with ServiceClient(addr_a, auth_token=TOKEN) as client:
+        origin = client.solve(SolveRequest(formula=f, seed=0))
+    with ServiceClient(addr_b, auth_token=TOKEN) as client:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            counters = client.stats()["metrics"]["counters"]
+            sync = client.health().get("sync") or {}
+            cursor = (sync.get("peers", {}).get(addr_a) or {}).get("cursor", 0)
+            if counters.get("sync_merged", 0) >= 1 and cursor >= 1:
+                replica = client.solve(SolveRequest(formula=f, seed=0))
+                if replica.from_cache:
+                    break
+            time.sleep(0.1)
+        else:
+            raise SystemExit(
+                "node B never served node A's verdict from its replica "
+                f"(sync status: {sync!r})"
+            )
+    if (replica.status, replica.fingerprint) != (origin.status, origin.fingerprint):
+        raise SystemExit(
+            f"replicated verdict diverged: {replica.status}/"
+            f"{replica.fingerprint} != {origin.status}/{origin.fingerprint}"
+        )
+    if origin.assignment is not None and replica.assignment != origin.assignment:
+        raise SystemExit("replicated model diverged from the origin's")
+    print(
+        f"cross-node hit: ok ({counters.get('sync_merged', 0)} merged, "
+        f"cursor {cursor})"
+    )
+
+
+def wait_node_down(router_addr: str, dead: str) -> dict:
+    with ServiceClient(router_addr, auth_token=TOKEN) as client:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            picture = client.cluster_health()
+            if picture["nodes"].get(dead, {}).get("alive") is False:
+                return picture
+            time.sleep(0.1)
+    raise SystemExit(f"router never noticed {dead} going down")
+
+
+def stop(proc: subprocess.Popen | None, *, hard: bool = False) -> None:
+    if proc is None or proc.poll() is not None:
+        return
+    proc.send_signal(signal.SIGKILL if hard else signal.SIGTERM)
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=15)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workdir", nargs="?", default="cluster-smoke")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    events = build_scenario(
+        SCENARIO, seed=args.seed, tenants=TENANTS, changes=CHANGES,
+    )
+    print(f"scenario: {SCENARIO}, {len(events)} events")
+
+    # Clean single-node baseline: the ground truth for every verdict.
+    with SolverService(EngineConfig(jobs=2)) as service:
+        baseline, wall = run_events(events, inprocess_factory(service))
+    failed = [r for r in baseline if not r.ok]
+    if failed:
+        raise SystemExit(f"baseline failed {len(failed)} events")
+    expected = [outcome_keys(r) for r in baseline]
+    print(f"baseline: {len(events)} events in {wall:.2f}s, all ok")
+
+    node_a = node_b = router = None
+    try:
+        node_a, addr_a = spawn_node(workdir, "a", args.seed, peers=[])
+        node_b, addr_b = spawn_node(
+            workdir, "b", args.seed + 1, peers=[addr_a]
+        )
+        router, router_addr = spawn_router(workdir, [addr_a, addr_b])
+
+        drive(events, router_addr, expected, "phase 1 (both nodes)")
+        check_cross_node_hit(addr_a, addr_b)
+
+        print("SIGKILL node a")
+        stop(node_a, hard=True)
+        # Race the prober: distinct solves fired immediately after the
+        # kill.  Keys the dead node owned hit its corpse first and must
+        # fail over to B mid-request — errorless either way.
+        with ServiceClient(router_addr, auth_token=TOKEN) as client:
+            for i in range(12):
+                f, _ = random_planted_ksat(12, 36, rng=900 + i)
+                r = client.solve(SolveRequest(formula=f, seed=0))
+                if r.status not in ("sat", "unsat"):
+                    raise SystemExit(f"post-kill solve returned {r.status!r}")
+        picture = wait_node_down(router_addr, addr_a)
+        print(
+            f"router sees: "
+            f"{[(a, s['alive']) for a, s in picture['nodes'].items()]}"
+        )
+
+        drive(events, router_addr, expected, "phase 2 (one node dead)")
+
+        with ServiceClient(router_addr, auth_token=TOKEN) as client:
+            counters = client.cluster_health()["router"]
+        print(
+            f"router counters: routed={counters['routed']} "
+            f"failovers={counters['failovers']} "
+            f"unrouted={counters['unrouted']}"
+        )
+        if counters["routed"] == 0:
+            raise SystemExit("router relayed nothing — lane is broken")
+        if counters["unrouted"]:
+            raise SystemExit(
+                f"{counters['unrouted']} requests found no reachable node"
+            )
+        if counters["failovers"] == 0:
+            # The prober can win the post-kill race and re-home every
+            # key before a relay ever touches the corpse; the errorless
+            # burst above still proved the behavioral failover.
+            print("note: prober re-homed all keys before a counted failover")
+        print("cluster smoke: ok")
+        return 0
+    except BaseException:
+        print(
+            f"\nFAILED — per-node logs: {workdir}/node-a.log "
+            f"{workdir}/node-b.log {workdir}/router.log",
+            file=sys.stderr,
+        )
+        raise
+    finally:
+        stop(router)
+        stop(node_b)
+        stop(node_a)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,11 +12,20 @@ Commands:
   daemon as packed wire bytes instead of being solved in-process;
   ``--stats-json PATH`` dumps the engine/cache counters for scripting;
 * ``serve``                          — run the ``SolverService`` daemon on a
-  local socket (``--cache disk --cache-dir D`` for the persistent verdict
-  cache that survives restarts; ``--record PATH`` records every handled
-  request/response to a replayable trace; ``--max-requests N`` and SIGTERM
-  both trigger a graceful drain — in-flight requests finish, the recorder
-  is flushed, then the daemon exits);
+  local socket and/or a TCP endpoint (``--tcp HOST:PORT``, optionally guarded
+  by ``--auth-token``/``$REPRO_AUTH_TOKEN``; ``--cache disk --cache-dir D``
+  for the persistent verdict cache that survives restarts; ``--peer ADDR``
+  pull-replicates that cache from other nodes; ``--record PATH`` records
+  every handled request/response to a replayable trace; ``--max-requests N``
+  and SIGTERM both trigger a graceful drain — in-flight requests finish, the
+  recorder is flushed, then the daemon exits);
+* ``route``                          — run the fingerprint-hash front-end over
+  2-3 backend nodes: stateless solves route by fp-v2, named sessions pin to
+  one node, dead nodes fail over along the hash ring (clients point
+  ``--connect`` at it unchanged);
+* ``cache export/import``            — move disk-cache entries as offline
+  JSONL packet files (seeding a new node from a warm one, air-gapped
+  replication);
 * ``loadgen SCENARIO``               — generate a seeded EC request stream
   (see ``repro.workload.scenarios``) and drive it closed-loop (``--concurrency
   N``) or open-loop (``--rate R``) against an in-process service or a
@@ -248,13 +257,15 @@ def _cmd_solve_batch(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Run the ``SolverService`` daemon on a local socket."""
+    """Run the ``SolverService`` daemon on Unix and/or TCP sockets."""
     import signal
 
     from repro.engine.config import EngineConfig
     from repro.service.daemon import ServiceDaemon
     from repro.service.service import SolverService
 
+    if not args.socket and not args.tcp:
+        raise ReproError("serve needs --socket PATH and/or --tcp HOST:PORT")
     try:
         extra = {}
         if args.quick_slice is not None:
@@ -271,14 +282,35 @@ def _cmd_serve(args) -> int:
 
         recorder = TraceRecorder(
             args.record,
-            meta={"source": "repro serve", "socket": args.socket},
+            meta={"source": "repro serve", "socket": args.socket or args.tcp},
+        )
+    auth_token = args.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
+    service = SolverService(config, recorder=recorder)
+    syncer = None
+    if args.peer:
+        if args.cache != "disk":
+            raise ReproError(
+                "--peer needs --cache disk: anti-entropy sync replicates "
+                "the persistent verdict cache"
+            )
+        from repro.cluster.sync import CacheSyncer
+
+        syncer = CacheSyncer(
+            service.engine.cache,
+            args.peer,
+            interval=args.sync_interval,
+            auth_token=auth_token,
+            metrics=service.metrics,
         )
     daemon = ServiceDaemon(
-        args.socket,
-        SolverService(config, recorder=recorder),
+        args.socket or None,
+        service,
         log_path=args.log_file,
         max_requests=args.max_requests,
         max_frame_bytes=args.max_frame_bytes,
+        tcp_address=args.tcp,
+        auth_token=auth_token,
+        syncer=syncer,
     )
     daemon.bind()
     try:
@@ -288,11 +320,66 @@ def _cmd_serve(args) -> int:
         signal.signal(signal.SIGTERM, lambda _sig, _frm: daemon.shutdown())
     except ValueError:  # pragma: no cover - non-main-thread embedding
         pass
-    print(f"repro serve: listening on {args.socket}", flush=True)
+    # One line per endpoint, printed after bind so an ephemeral --tcp
+    # port (HOST:0) comes out resolved — orchestration scripts parse it.
+    for address in daemon.addresses:
+        print(f"repro serve: listening on {address}", flush=True)
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         daemon.shutdown()
+    return 0
+
+
+def _cmd_route(args) -> int:
+    """Run the fingerprint-hash router over backend nodes."""
+    import signal
+
+    from repro.cluster.router import RouterDaemon
+
+    auth_token = args.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
+    router = RouterDaemon(
+        args.listen,
+        args.node,
+        auth_token=auth_token,
+        node_token=args.node_token or auth_token,
+        log_path=args.log_file,
+        health_interval=args.health_interval,
+        retries=args.retries,
+    )
+    router.bind()
+    try:
+        signal.signal(signal.SIGTERM, lambda _sig, _frm: router.shutdown())
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    print(f"repro route: listening on {router.address}", flush=True)
+    for node in router.ring.nodes:
+        print(f"repro route: node {node}", flush=True)
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        router.shutdown()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    """Offline cache replication: export/import JSONL packet files."""
+    from repro.cluster.sync import export_packet, import_packet
+    from repro.engine.diskcache import DiskCache
+
+    cache = DiskCache(args.cache_dir, max_entries=args.cache_entries)
+    if args.action == "export":
+        written = export_packet(cache, args.packet, since=args.since)
+        print(
+            f"repro cache: exported {written} entries -> {args.packet} "
+            f"(cursor {cache.sync_cursor()})"
+        )
+        return 0
+    seen, merged = import_packet(cache, args.packet)
+    print(
+        f"repro cache: imported {merged} new of {seen} entries "
+        f"from {args.packet}"
+    )
     return 0
 
 
@@ -476,9 +563,19 @@ def _cmd_stats(args) -> int:
             health = client.health()
         except ReproError:
             health = None          # older daemon without the health op
+        cluster = None
+        if health is not None and health.get("router"):
+            # Only a router answers cluster_health; asking a plain node
+            # would count an unknown-op error against it.
+            try:
+                cluster = client.cluster_health()
+            except ReproError:
+                cluster = None
     if args.json:
         if health is not None:
             frame = dict(frame, health=health)
+        if cluster is not None:
+            frame = dict(frame, cluster=cluster)
         print(json.dumps(frame, indent=2))
         return 0
     lat = frame.get("latency", {})
@@ -510,7 +607,33 @@ def _cmd_stats(args) -> int:
         f"c totals: {totals.get('requests', 0):.0f} requests, "
         f"{totals.get('solves', 0):.0f} solves since daemon start"
     )
-    if health is not None:
+    if cluster is not None:
+        router = cluster.get("router", {})
+        nodes = cluster.get("nodes", {})
+        alive = sum(1 for s in nodes.values() if s.get("alive"))
+        print(
+            f"c cluster: {alive}/{len(nodes)} nodes up, "
+            f"{router.get('routed', 0)} routed, "
+            f"{router.get('failovers', 0)} failovers, "
+            f"{router.get('unrouted', 0)} unrouted, "
+            f"{router.get('auth_rejects', 0)} auth rejects"
+        )
+        for address in sorted(nodes):
+            state = nodes[address]
+            flags = "up" if state.get("alive") else "DOWN"
+            if state.get("degraded"):
+                flags += " DEGRADED"
+            print(
+                f"c node {address}: {flags}, "
+                f"pool gen {state.get('generation')}, "
+                f"sync cursor {state.get('sync_cursor')}"
+                + (
+                    f", last error: {state.get('last_error')}"
+                    if state.get("last_error")
+                    else ""
+                )
+            )
+    elif health is not None:
         engine = health.get("engine", {})
         pool = engine.get("pool", {})
         cache = engine.get("cache", {})
@@ -622,10 +745,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="race seed for randomized solvers")
     p.add_argument("--deadline", type=float, default=None,
                    help="wall-clock budget in seconds")
-    p.add_argument("--connect", metavar="SOCKET", default=None,
+    p.add_argument("--connect", metavar="ADDR", default=None,
                    help="route the query to a running `repro serve` daemon "
-                        "on this socket (instance ships as packed wire "
-                        "bytes; default strategy becomes 'portfolio')")
+                        "or `repro route` front-end at this address — a "
+                        "Unix socket path, unix://PATH, or tcp://HOST:PORT "
+                        "(instance ships as packed wire bytes; default "
+                        "strategy becomes 'portfolio')")
     p.add_argument("--stats-json", metavar="PATH", default=None,
                    help="dump the engine/cache counters (hits, misses, "
                         "batch dedups, transport bytes, winner) as JSON")
@@ -636,8 +761,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the SolverService daemon on a local socket "
              "(see `solve --connect`)",
     )
-    p.add_argument("--socket", required=True,
-                   help="Unix socket path to listen on")
+    p.add_argument("--socket", default=None,
+                   help="Unix socket path to listen on (optional when "
+                        "--tcp is given)")
+    p.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                   help="also (or only) listen on this TCP endpoint — "
+                        "same wire protocol, reachable across boxes; "
+                        "port 0 binds an ephemeral port and prints it")
+    p.add_argument("--auth-token", metavar="TOKEN", default=None,
+                   help="require a per-connection token handshake before "
+                        "the first op (default: $REPRO_AUTH_TOKEN; unset "
+                        "= open)")
+    p.add_argument("--peer", metavar="ADDR", action="append", default=None,
+                   help="pull-replicate the disk cache from this peer "
+                        "daemon (repeatable; needs --cache disk; peers "
+                        "share the auth token)")
+    p.add_argument("--sync-interval", type=float, default=2.0,
+                   help="seconds between anti-entropy pull rounds "
+                        "(default 2.0)")
     p.add_argument("--jobs", type=int, default=None,
                    help="portfolio process-pool width (default: auto)")
     p.add_argument("--quick-slice", type=float, default=None,
@@ -671,6 +812,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "workers (testing only; see repro.faults)")
     p.set_defaults(func=_cmd_serve)
 
+    p = sub.add_parser(
+        "route",
+        help="run the fingerprint-hash front-end over 2-3 backend "
+             "nodes (clients --connect here unchanged)",
+    )
+    p.add_argument("--listen", metavar="ADDR", required=True,
+                   help="front-end endpoint (unix://PATH, tcp://HOST:PORT, "
+                        "or a bare socket path; tcp port 0 = ephemeral)")
+    p.add_argument("--node", metavar="ADDR", action="append", required=True,
+                   help="backend `repro serve` endpoint (repeat per node)")
+    p.add_argument("--auth-token", metavar="TOKEN", default=None,
+                   help="token clients must present to the router "
+                        "(default: $REPRO_AUTH_TOKEN; unset = open)")
+    p.add_argument("--node-token", metavar="TOKEN", default=None,
+                   help="token the router presents to nodes "
+                        "(default: same as --auth-token)")
+    p.add_argument("--health-interval", type=float, default=2.0,
+                   help="seconds between node health probes (default 2.0)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="transport retries per node before failing over")
+    p.add_argument("--log-file", default=None,
+                   help="append one line per routed request here")
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser(
+        "cache",
+        help="offline cache replication: export/import packet files",
+    )
+    p.add_argument("action", choices=("export", "import"),
+                   help="export entries to a packet, or merge one in")
+    p.add_argument("packet", help="JSONL packet file path")
+    p.add_argument("--cache-dir", required=True,
+                   help="the disk cache directory to export from / "
+                        "import into")
+    p.add_argument("--cache-entries", type=int, default=4096,
+                   help="capacity of the target cache (import sweeps "
+                        "past it, oldest first)")
+    p.add_argument("--since", type=int, default=0,
+                   help="export only entries past this sync cursor "
+                        "(default 0 = everything)")
+    p.set_defaults(func=_cmd_cache)
+
     from repro.workload.scenarios import SCENARIOS
 
     p = sub.add_parser(
@@ -694,9 +877,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=None,
                    help="open-loop Poisson arrival rate in events/second "
                         "(implies --mode open)")
-    p.add_argument("--connect", metavar="SOCKET", default=None,
-                   help="drive a running `repro serve` daemon instead of "
-                        "an in-process service")
+    p.add_argument("--connect", metavar="ADDR", default=None,
+                   help="drive a running `repro serve` daemon or `repro "
+                        "route` front-end (Unix path, unix://PATH, or "
+                        "tcp://HOST:PORT) instead of an in-process service")
     p.add_argument("--jobs", type=int, default=None,
                    help="in-process pool width (ignored with --connect)")
     p.add_argument("--record", metavar="PATH", default=None,
@@ -712,9 +896,10 @@ def build_parser() -> argparse.ArgumentParser:
              "against the recorded one",
     )
     p.add_argument("trace", help="a trace written by --record")
-    p.add_argument("--connect", metavar="SOCKET", default=None,
-                   help="replay against a running daemon instead of an "
-                        "in-process service")
+    p.add_argument("--connect", metavar="ADDR", default=None,
+                   help="replay against a running daemon or router "
+                        "(Unix path, unix://PATH, or tcp://HOST:PORT) "
+                        "instead of an in-process service")
     p.add_argument("--jobs", type=int, default=None,
                    help="in-process pool width (ignored with --connect)")
     p.add_argument("--concurrency", type=int, default=1,
@@ -744,8 +929,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="observability frames from a running daemon "
              "(one-shot, or --watch for the live push-stream)",
     )
-    p.add_argument("--connect", metavar="SOCKET", required=True,
-                   help="the daemon's Unix socket")
+    p.add_argument("--connect", metavar="ADDR", required=True,
+                   help="the daemon's (or router's) address: Unix path, "
+                        "unix://PATH, or tcp://HOST:PORT")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable frames (one JSON object "
                         "one-shot; one JSON line per frame with --watch)")

@@ -1,0 +1,34 @@
+"""Multi-node serving: TCP nodes, anti-entropy sync, fp-hash routing.
+
+One ``repro serve`` daemon on one box caps how many concurrent change
+chains the paper's interactive EC loop can serve.  This package scales
+the service *out* without inventing any new consistency machinery, by
+leaning on two properties the single-node stack already guarantees:
+
+* **verdicts are content-addressed** — fp-v2 names the instance, the
+  cached verdict is a pure function of it, so replicating cache entries
+  between nodes is an idempotent blind merge (:mod:`repro.cluster.sync`
+  pulls pages of them through the daemon's ``sync`` op);
+* **requests are idempotent** — solves coalesce in the single-flight
+  table and changes carry idempotency ids, so the router
+  (:mod:`repro.cluster.router`) can retry a request on another node
+  when one dies mid-flight (:mod:`repro.cluster.hashring` decides who
+  owns which fingerprint, and pins named sessions to one node).
+
+The pieces compose into the topology ``scripts/cluster_smoke.py``
+exercises in CI: N ``repro serve --tcp`` nodes syncing each other's
+caches, one ``repro route`` front-end hashing fingerprints across
+them, and unchanged clients pointing ``--connect`` at the router.
+"""
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.router import RouterDaemon
+from repro.cluster.sync import CacheSyncer, export_packet, import_packet
+
+__all__ = [
+    "CacheSyncer",
+    "HashRing",
+    "RouterDaemon",
+    "export_packet",
+    "import_packet",
+]

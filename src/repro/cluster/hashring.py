@@ -1,0 +1,78 @@
+"""Consistent hashing over node addresses, keyed by fp-v2.
+
+The router's placement problem is the classic one: spread keys across
+nodes so that (a) the same key always lands on the same node — cache
+locality is the whole point of routing by fingerprint — and (b) losing
+a node only moves that node's keys, not everyone's.  A hash ring with
+virtual nodes is the textbook answer and the right amount of machinery
+here; anything fancier (rendezvous weights, shard maps) buys nothing at
+2-3 nodes.
+
+Hashing uses :mod:`hashlib`, **not** Python's builtin ``hash()``:
+``PYTHONHASHSEED`` randomizes the builtin per process, and a ring that
+disagrees with itself across router restarts would shred the nodes'
+cache locality on every deploy.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring coordinate for *key*."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over node address strings.
+
+    Args:
+        nodes: node addresses (duplicates dropped, first-seen order kept).
+        replicas: virtual nodes per real node; more smooths the key
+            distribution at the cost of a bigger sorted array.
+    """
+
+    def __init__(self, nodes, *, replicas: int = 64):
+        self.nodes = tuple(dict.fromkeys(str(n) for n in nodes))
+        if not self.nodes:
+            raise ValueError("hash ring needs at least one node")
+        self.replicas = max(1, int(replicas))
+        points = [
+            (_point(f"{node}#{i}"), node)
+            for node in self.nodes
+            for i in range(self.replicas)
+        ]
+        points.sort()
+        self._points = points
+        self._keys = [p for p, _ in points]
+
+    def preference(self, key: str) -> list[str]:
+        """Every node, ordered by ring distance from *key*.
+
+        The first element is the key's owner; the rest are the failover
+        order — deterministic, so a retried request after a node death
+        lands on the same fallback every time (and that fallback's cache
+        warms for exactly the keys it inherited).
+        """
+        start = bisect.bisect_right(self._keys, _point(key))
+        order: list[str] = []
+        seen: set[str] = set()
+        total = len(self._points)
+        for i in range(total):
+            node = self._points[(start + i) % total][1]
+            if node not in seen:
+                seen.add(node)
+                order.append(node)
+                if len(order) == len(self.nodes):
+                    break
+        return order
+
+    def pick(self, key: str, *, skip=frozenset()) -> str | None:
+        """The key's owner, skipping *skip* (None if everyone is skipped)."""
+        for node in self.preference(key):
+            if node not in skip:
+                return node
+        return None

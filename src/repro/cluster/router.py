@@ -1,0 +1,586 @@
+"""``repro route``: a fingerprint-hash front-end over backend nodes.
+
+The router speaks the exact same frame protocol as ``repro serve``, so
+every existing client — ``repro solve --connect``, the workload runner,
+``repro stats`` — points at it unchanged.  Per request it derives a
+routing key, asks the :class:`~repro.cluster.hashring.HashRing` for the
+owner, and relays the frame verbatim:
+
+* **stateless solves** route by the instance's true fp-v2, computed
+  from the packed payload bytes without rebuilding the formula — the
+  same key the backend's single-flight table and verdict cache use, so
+  repeats of one instance always hit the node that already solved it;
+* **named sessions** route by session name: incremental state lives in
+  one node's memory, so every op of a session must land on that node
+  (the one placement anti-entropy cannot help with);
+* **batches** route by a digest of the whole payload.
+
+Failure handling reuses the client stack's machinery rather than
+inventing its own: each relay goes through a per-connection
+:class:`~repro.service.client.ServiceClient` (retry/backoff/deadline
+budgets included), and when a node is down the router walks the ring's
+preference order — deterministically, so a dead node's keys all fail
+over to the *same* surviving node and warm its cache coherently.
+Because solves coalesce and changes carry idempotency ids, re-sending a
+request whose node died mid-flight is safe by the same argument that
+makes client retries safe.  A background prober polls each node's
+``health`` op (pool generation, cache degraded flags, sync cursor) and
+publishes the picture through the ``cluster_health`` op; requests
+answered locally (``ping``, ``auth``, ``stats``, ``cluster_health``)
+never touch a backend.  Streaming ``watch`` subscriptions and ``sync``
+pulls are refused with an error frame — peers replicate directly from
+nodes, not through the router.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import threading
+import time
+
+from repro.cnf.packed import PackedCNF
+from repro.errors import CNFError, ConnectError, ReproError, ServiceError
+from repro.service.address import parse_address
+from repro.service.client import AuthError, ServiceClient
+from repro.service.wire import WireError, recv_frame, send_frame
+from repro.cluster.hashring import HashRing
+
+
+class _NodeState:
+    """Mutable health picture of one backend node (prober-owned)."""
+
+    def __init__(self, address: str):
+        self.address = address
+        self.alive: bool | None = None          # None = never probed yet
+        self.generation = None
+        self.degraded = None
+        self.sync_cursor = None
+        self.last_error: str | None = None
+        self.checked_at = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "alive": self.alive,
+            "generation": self.generation,
+            "degraded": self.degraded,
+            "sync_cursor": self.sync_cursor,
+            "last_error": self.last_error,
+            "age": round(time.monotonic() - self.checked_at, 3)
+            if self.checked_at
+            else None,
+        }
+
+
+class RouterDaemon:
+    """Route client frames across backend nodes by consistent hashing.
+
+    Args:
+        listen: the front-end endpoint clients connect to (Unix path,
+            ``unix://PATH``, or ``tcp://HOST:PORT``; port 0 binds an
+            ephemeral port, reported by :attr:`addresses` after bind).
+        nodes: backend daemon addresses (2-3 ``repro serve`` endpoints).
+        auth_token: token *clients* must present to this router
+            (defaults open, like ``repro serve``).
+        node_token: token the router presents to the *nodes*; defaults
+            to ``auth_token`` — one shared secret per cluster is the
+            expected deployment.
+        log_path: structured forensics log, same format as the daemon's.
+        health_interval: seconds between node ``health`` probes.
+        retries: transport retries per relayed request (per node tried).
+        timeout: socket timeout toward nodes for relayed requests.
+        max_frame_bytes: incoming frame cap, as on the daemon.
+    """
+
+    def __init__(
+        self,
+        listen,
+        nodes,
+        *,
+        auth_token: str | None = None,
+        node_token: str | None = None,
+        log_path: str | None = None,
+        health_interval: float = 2.0,
+        retries: int = 2,
+        timeout: float | None = 300.0,
+        max_frame_bytes: int | None = None,
+    ):
+        self.listen = parse_address(listen)
+        addresses = [str(parse_address(n)) for n in nodes]
+        if not addresses:
+            raise ServiceError("repro route needs at least one --node")
+        self.ring = HashRing(addresses)
+        self.auth_token = auth_token or None
+        self.node_token = node_token if node_token is not None else auth_token
+        self.log_path = log_path
+        self.health_interval = max(0.05, float(health_interval))
+        self.retries = max(0, int(retries))
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.tcp_port: int | None = None
+        self._nodes = {a: _NodeState(a) for a in self.ring.nodes}
+        self._counters = {
+            "routed": 0,
+            "failovers": 0,
+            "unrouted": 0,
+            "auth_rejects": 0,
+            "errors": 0,
+        }
+        self._lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._stop = threading.Event()
+        self._log_lock = threading.Lock()
+        self._conn_threads: list[threading.Thread] = []
+        self._prober: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """Canonical listen address (ephemeral port resolved after bind)."""
+        if self.listen.scheme == "tcp" and self.tcp_port:
+            return f"tcp://{self.listen.host}:{self.tcp_port}"
+        return str(self.listen)
+
+    def _log(self, event: str, **fields) -> None:
+        if self.log_path is None:
+            return
+        record = {
+            "mono": round(time.monotonic(), 6),
+            "ts": round(time.time(), 3),
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._log_lock:
+            with open(self.log_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    def bind(self) -> None:
+        if self._listener is not None:
+            return
+        if self.listen.scheme == "unix":
+            try:
+                os.unlink(self.listen.path)
+            except FileNotFoundError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.listen.path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(self.listen.connect_target)
+            self.tcp_port = listener.getsockname()[1]
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._log("listening", address=self.address, nodes=list(self.ring.nodes))
+
+    def serve_forever(self) -> None:
+        self.bind()
+        self._prober = threading.Thread(target=self._probe_loop, daemon=True)
+        self._prober.start()
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                thread.start()
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
+        finally:
+            self._close_listener()
+            for thread in self._conn_threads:
+                thread.join(timeout=10.0)
+            if self._prober is not None:
+                self._prober.join(timeout=5.0)
+            self._log("stopped")
+
+    def start(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a background thread (tests)."""
+        self.bind()
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        self._stop.set()
+
+    def _close_listener(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self.listen.scheme == "unix":
+            try:
+                os.unlink(self.listen.path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def _probe_loop(self) -> None:
+        """Poll every node's ``health`` op until shutdown.
+
+        Each probe uses a short-lived fail-fast client: the prober's
+        job is *detecting* dead nodes, so it must not sit in a backoff
+        loop against one.  First round runs immediately so the router
+        has a picture before the first request arrives.
+        """
+        while True:
+            for node in self.ring.nodes:
+                if self._stop.is_set():
+                    return
+                self._probe_node(node)
+            if self._stop.wait(self.health_interval):
+                return
+
+    def _probe_node(self, node: str) -> None:
+        state = self._nodes[node]
+        client = None
+        try:
+            client = ServiceClient(
+                node, timeout=5.0, retries=0, auth_token=self.node_token
+            )
+            health = client.health() or {}
+            engine = health.get("engine") or {}
+            pool = engine.get("pool") or {}
+            cache = engine.get("cache") or {}
+            with self._lock:
+                was_alive = state.alive
+                state.alive = True
+                state.generation = pool.get("generation")
+                state.degraded = bool(cache.get("degraded", False))
+                state.sync_cursor = cache.get("sync_cursor")
+                state.last_error = None
+                state.checked_at = time.monotonic()
+            if was_alive is False:
+                self._log("node_up", node=node)
+        except (ReproError, OSError, WireError) as exc:
+            with self._lock:
+                was_alive = state.alive
+                state.alive = False
+                state.last_error = str(exc)
+                state.checked_at = time.monotonic()
+            if was_alive is not False:
+                self._log("node_down", node=node, error=str(exc))
+        finally:
+            if client is not None:
+                client.close()
+
+    def _down_nodes(self) -> set[str]:
+        with self._lock:
+            return {a for a, s in self._nodes.items() if s.alive is False}
+
+    def _mark_down(self, node: str, exc: Exception) -> None:
+        state = self._nodes[node]
+        with self._lock:
+            was_alive = state.alive
+            state.alive = False
+            state.last_error = str(exc)
+            state.checked_at = time.monotonic()
+        if was_alive is not False:
+            self._log("node_down", node=node, error=str(exc))
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(0.25)
+        if conn.family == socket.AF_INET:
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover
+                pass
+        # Backend connections are per client connection: a session's
+        # frames arrive in order on one socket, so relaying them through
+        # one client preserves that order on the backend's socket too.
+        clients: dict[str, ServiceClient] = {}
+        try:
+            self._serve_frames(conn, clients)
+        finally:
+            for client in clients.values():
+                client.close()
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    def _serve_frames(
+        self, conn: socket.socket, clients: dict[str, ServiceClient]
+    ) -> None:
+        authed = self.auth_token is None
+        while not self._stop.is_set():
+            try:
+                frame = recv_frame(conn, self.max_frame_bytes)
+            except socket.timeout:
+                continue
+            except ConnectionError:
+                return
+            except WireError as exc:
+                self._count("errors")
+                self._log("wire_error", error=str(exc))
+                self._try_send(conn, {"ok": False, "error": str(exc)})
+                return
+            if frame is None:
+                return
+            header, payload = frame
+            op = header.get("op", "")
+            if op == "auth":
+                if self.auth_token is None or authed:
+                    if not self._try_send(conn, {"ok": True, "authed": True}):
+                        return
+                    authed = True
+                    continue
+                if header.get("token") == self.auth_token:
+                    authed = True
+                    if not self._try_send(conn, {"ok": True, "authed": True}):
+                        return
+                    continue
+                self._count("errors")
+                self._log("auth_fail")
+                self._try_send(
+                    conn,
+                    {"ok": False, "error": "auth failed: bad token", "code": 401},
+                )
+                return
+            if not authed:
+                self._count("errors")
+                self._log("auth_required", op=op)
+                self._try_send(
+                    conn,
+                    {
+                        "ok": False,
+                        "error": "auth required: open with an auth frame",
+                        "code": 401,
+                    },
+                )
+                return
+            t0 = time.perf_counter()
+            try:
+                response, stop_after = self._dispatch(op, header, payload, clients)
+            except ReproError as exc:
+                response, stop_after = {"ok": False, "error": str(exc)}, False
+            except Exception as exc:  # a bug must not kill the router
+                self._count("errors")
+                response, stop_after = (
+                    {"ok": False, "error": f"internal error: {exc!r}"},
+                    False,
+                )
+            self._log(
+                "op",
+                op=op,
+                ok=bool(response.get("ok")),
+                session=header.get("session"),
+                wall=round(time.perf_counter() - t0, 6),
+                error=response.get("error"),
+            )
+            if not self._try_send(conn, response):
+                return
+            if stop_after:
+                self.shutdown()
+                return
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        op: str,
+        header: dict,
+        payload: bytes,
+        clients: dict[str, ServiceClient],
+    ) -> tuple[dict, bool]:
+        if op == "ping":
+            return {"ok": True, "pong": True, "router": True}, False
+        if op == "cluster_health":
+            return {"ok": True, "cluster": self.cluster_health()}, False
+        if op == "health":
+            return {"ok": True, "health": self._health()}, False
+        if op == "stats":
+            return self._aggregate_stats(clients), False
+        if op in ("watch", "subscribe", "sync"):
+            return {
+                "ok": False,
+                "error": f"op {op!r} is not routed: connect to a node "
+                "directly for streams and replication",
+            }, False
+        if op == "shutdown":
+            return {"ok": True, "stopping": True}, True
+        return self._forward(op, header, payload, clients), False
+
+    def _health(self) -> dict:
+        """A daemon-shaped health frame so generic probes keep working."""
+        with self._lock:
+            alive = [a for a, s in self._nodes.items() if s.alive]
+            errors = self._counters["errors"]
+        return {
+            "router": True,
+            "nodes_alive": len(alive),
+            "nodes_total": len(self.ring.nodes),
+            "errors": errors,
+        }
+
+    def cluster_health(self) -> dict:
+        """Per-node generation/degraded/sync-cursor plus router counters."""
+        with self._lock:
+            nodes = {a: s.snapshot() for a, s in self._nodes.items()}
+            counters = dict(self._counters)
+        counters["listen"] = self.address
+        counters["health_interval"] = self.health_interval
+        return {"router": counters, "nodes": nodes}
+
+    # ------------------------------------------------------------------
+    def _route_key(self, op: str, header: dict, payload: bytes) -> str:
+        """The placement key for one request (see module docstring)."""
+        session = header.get("session")
+        if session:
+            return f"session:{session}"
+        if op == "solve" and payload:
+            try:
+                # The *true* fp-v2 straight off the packed bytes — the
+                # exact key the backend caches under, at the cost of one
+                # O(clauses) digest pass and no formula rebuild.
+                return "fp:" + PackedCNF.from_bytes(payload).fingerprint()
+            except (CNFError, ValueError):
+                # Malformed payload: still route it somewhere stable so
+                # the owning node produces the authoritative parse error.
+                return "payload:" + hashlib.sha256(payload).hexdigest()
+        if op == "solve" and header.get("dimacs_path"):
+            return "path:" + str(header["dimacs_path"])
+        if payload:
+            return "payload:" + hashlib.sha256(payload).hexdigest()
+        return f"op:{op}"
+
+    def _node_client(
+        self, node: str, clients: dict[str, ServiceClient]
+    ) -> ServiceClient:
+        client = clients.get(node)
+        if client is None:
+            client = ServiceClient(
+                node,
+                timeout=self.timeout,
+                retries=self.retries,
+                auth_token=self.node_token,
+            )
+            clients[node] = client
+        return client
+
+    def _forward(
+        self,
+        op: str,
+        header: dict,
+        payload: bytes,
+        clients: dict[str, ServiceClient],
+    ) -> dict:
+        key = self._route_key(op, header, payload)
+        down = self._down_nodes()
+        preference = self.ring.preference(key)
+        # Known-dead nodes go to the back of the line but are still
+        # tried: the prober's picture can lag a recovery, and with every
+        # node "down" refusing outright would turn a probe blip into an
+        # outage.
+        order = [n for n in preference if n not in down] + [
+            n for n in preference if n in down
+        ]
+        last: Exception | None = None
+        for index, node in enumerate(order):
+            try:
+                client = self._node_client(node, clients)
+                response = client.forward(header, payload)
+            except AuthError as exc:
+                # The node refused our token — a clean 401, not a dead
+                # peer.  Count it, drop the node from this request, and
+                # let the ring try the next one.
+                self._count("auth_rejects")
+                self._mark_down(node, exc)
+                clients.pop(node, None)
+                last = exc
+                continue
+            except (ConnectError, OSError, WireError) as exc:
+                # ConnectError covers the prober-race window: the node
+                # died moments ago, nothing has marked it down yet, and
+                # the eager-connecting client constructor is the first
+                # to find out.  The ring's next choice absorbs it.
+                self._mark_down(node, exc)
+                stale = clients.pop(node, None)
+                if stale is not None:
+                    stale.close()
+                last = exc
+                continue
+            self._count("routed")
+            if index:
+                self._count("failovers")
+                self._log("failover", key=key[:64], node=node, tried=index)
+            return response
+        self._count("unrouted")
+        return {
+            "ok": False,
+            "error": f"no reachable node for {op!r} "
+            f"(tried {len(order)}): {last}",
+        }
+
+    # ------------------------------------------------------------------
+    def _aggregate_stats(self, clients: dict[str, ServiceClient]) -> dict:
+        """Deep-sum every node's ``stats`` so counter deltas over the
+        router (``repro loadgen --connect``) see cluster-wide totals."""
+        merged: dict = {}
+        reached: list[str] = []
+        last: Exception | None = None
+        for node in self.ring.nodes:
+            try:
+                client = self._node_client(node, clients)
+                stats = client.stats()
+            except (ReproError, OSError, WireError) as exc:
+                self._mark_down(node, exc)
+                stale = clients.pop(node, None)
+                if stale is not None:
+                    stale.close()
+                last = exc
+                continue
+            reached.append(node)
+            merged = _merge_stats(merged, stats)
+        if not reached:
+            return {
+                "ok": False,
+                "error": f"no reachable node for 'stats': {last}",
+            }
+        merged["cluster"] = {"nodes": reached, "router": self.address}
+        return {"ok": True, "stats": merged}
+
+    @staticmethod
+    def _try_send(conn: socket.socket, header: dict) -> bool:
+        try:
+            send_frame(conn, header)
+            return True
+        except OSError:
+            return False
+
+
+def _merge_stats(a, b):
+    """Recursively combine stats payloads: numbers add, dicts merge,
+    lists concatenate, and mismatched shapes keep the first value."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        out = dict(a)
+        for key, value in b.items():
+            out[key] = _merge_stats(a[key], value) if key in a else value
+        return out
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a or b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a + b
+    if isinstance(a, list) and isinstance(b, list):
+        return a + b
+    return a if a is not None else b

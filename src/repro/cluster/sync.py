@@ -1,0 +1,256 @@
+"""Anti-entropy cache replication: pull loop + offline packet files.
+
+Replication here is deliberately primitive — and correct *because* it
+is primitive.  A verdict file is named by fp-v2 and its content is a
+pure function of that fingerprint, so the strongest anomaly replication
+could produce is an entry a node would eventually have computed anyway.
+That collapses the usual replication problem space:
+
+* **pull, don't push** — each node runs a :class:`CacheSyncer` that
+  periodically asks its peers for "entries since cursor N" (the
+  daemon's ``sync`` op over the disk cache's append-only journal) and
+  blind-merges the pages.  A dropped response (the ``sync.drop`` chaos
+  point) costs nothing: the cursor was not advanced, the next tick
+  re-pulls the same page, and re-merging is a no-op.
+* **no vector clocks, no tombstone protocol** — entries are immutable
+  and eviction is local (an evicted entry is merely *absent*, and
+  absence is always a legal cache state).
+* **offline packets** — ``repro cache export`` / ``import`` serialize
+  the same pages to a JSONL file, for air-gapped transport or seeding a
+  new node from a warm one without network access.
+
+Metric counters: the puller bumps ``sync_pulls`` (pages fetched) and
+``sync_merged`` (entries that landed as new files); the serving side
+bumps ``sync_requests``/``sync_served``.  ``repro stats`` shows all
+four, and the cluster smoke lane asserts ``sync_merged`` went nonzero.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.errors import ReproError
+from repro.service.address import parse_address
+from repro.service.client import ServiceClient
+
+#: Format tag of the first (meta) line of an exported packet file.
+PACKET_FORMAT = "repro-cache-packet/1"
+
+
+class CacheSyncer:
+    """Background pull-replication of a :class:`~repro.engine.diskcache.
+    DiskCache` from one or more peer daemons.
+
+    The daemon owns the lifecycle: :meth:`start` when it begins serving,
+    :meth:`stop` during drain.  Each tick pulls every peer to its
+    current cursor; a peer that is down, draining, or not yet serving a
+    disk cache is recorded in :meth:`status` and retried next tick —
+    eventual consistency needs no per-failure handling.
+
+    Args:
+        cache: the local merge target (anything with ``merge_entry``).
+        peers: peer daemon addresses (``tcp://HOST:PORT`` or Unix paths).
+        interval: seconds between pull rounds.
+        auth_token: handshake token for guarded peers (cluster nodes
+            share one token; defaults to ``$REPRO_AUTH_TOKEN`` via the
+            client).
+        limit: page size per ``sync`` request.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving ``sync_pulls``/``sync_merged``.
+        timeout: per-call socket timeout toward peers.
+    """
+
+    def __init__(
+        self,
+        cache,
+        peers,
+        *,
+        interval: float = 2.0,
+        auth_token: str | None = None,
+        limit: int = 256,
+        metrics=None,
+        timeout: float = 10.0,
+    ):
+        self.cache = cache
+        self.peers = tuple(str(parse_address(p)) for p in peers)
+        self.interval = max(0.05, float(interval))
+        self.auth_token = auth_token
+        self.limit = max(1, int(limit))
+        self.metrics = metrics
+        self.timeout = timeout
+        self.pulls = 0
+        self.merged = 0
+        self._cursors = {peer: 0 for peer in self.peers}
+        self._last_error: dict[str, str | None] = {
+            peer: None for peer in self.peers
+        }
+        self._clients: dict[str, ServiceClient] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run the pull loop on a daemon thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the loop and close peer connections (idempotent)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=10.0)
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def _run(self) -> None:
+        # First round immediately: a freshly joined node should warm up
+        # in one interval, not two.
+        while True:
+            try:
+                self.sync_once()
+            except Exception:  # pragma: no cover - belt and braces
+                # A bug in a background replication loop must never
+                # take the daemon down; the next tick retries.
+                pass
+            if self._stop.wait(self.interval):
+                return
+
+    # ------------------------------------------------------------------
+    def _client(self, peer: str) -> ServiceClient:
+        client = self._clients.get(peer)
+        if client is None:
+            # retries=0: the loop itself is the retry policy — a down
+            # peer should cost one failed connect per tick, not a
+            # backoff dance inside the tick.
+            client = ServiceClient(
+                peer,
+                timeout=self.timeout,
+                retries=0,
+                auth_token=self.auth_token,
+            )
+            self._clients[peer] = client
+        return client
+
+    def _drop_client(self, peer: str) -> None:
+        client = self._clients.pop(peer, None)
+        if client is not None:
+            client.close()
+
+    def sync_once(self) -> int:
+        """One full round: pull every peer to its cursor; entries merged."""
+        total = 0
+        for peer in self.peers:
+            if self._stop.is_set():
+                break
+            try:
+                client = self._client(peer)
+                while True:
+                    page = client.sync(self._cursors[peer], limit=self.limit)
+                    entries = page.get("entries") or []
+                    merged = sum(
+                        1 for e in entries if self.cache.merge_entry(e)
+                    )
+                    with self._lock:
+                        self._cursors[peer] = int(
+                            page.get("cursor", self._cursors[peer])
+                        )
+                        self._last_error[peer] = None
+                        self.pulls += 1
+                        self.merged += merged
+                    if self.metrics is not None:
+                        self.metrics.bump(
+                            counts={"sync_pulls": 1, "sync_merged": merged}
+                        )
+                    total += merged
+                    if not page.get("more"):
+                        break
+            except (ReproError, OSError) as exc:
+                # Down, draining, guarded with another token, or serving
+                # no disk cache — note it and move on; ticks retry.
+                with self._lock:
+                    self._last_error[peer] = str(exc)
+                self._drop_client(peer)
+        return total
+
+    def status(self) -> dict:
+        """Per-peer cursors/errors and lifetime counters (``health`` op)."""
+        with self._lock:
+            return {
+                "peers": {
+                    peer: {
+                        "cursor": self._cursors[peer],
+                        "last_error": self._last_error[peer],
+                    }
+                    for peer in self.peers
+                },
+                "pulls": self.pulls,
+                "merged": self.merged,
+            }
+
+
+# ----------------------------------------------------------------------
+# Offline packets: the same pages, through a file instead of a socket.
+
+def export_packet(cache, path, *, since: int = 0) -> int:
+    """Write every cache entry past *since* to a JSONL packet file.
+
+    The first line is a meta record (format tag + cursor range); each
+    following line is one entry exactly as the ``sync`` op would ship
+    it.  Returns the number of entries written.
+    """
+    target = cache.sync_cursor()
+    cursor = max(0, int(since))
+    written = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({
+            "format": PACKET_FORMAT,
+            "since": cursor,
+            "cursor": target,
+        }) + "\n")
+        while cursor < target:
+            cursor, entries = cache.entries_since(cursor, limit=512)
+            for entry in entries:
+                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+                written += 1
+    return written
+
+
+def import_packet(cache, path) -> tuple[int, int]:
+    """Merge a packet file; returns ``(entries_seen, entries_merged)``.
+
+    Importing twice — or importing a packet whose entries arrived over
+    live sync in the meantime — merges zero new entries and is exactly
+    as safe as importing once.
+    """
+    with open(path, encoding="utf-8") as fh:
+        try:
+            meta = json.loads(fh.readline())
+        except ValueError:
+            raise ReproError(f"{path}: not a cache packet (bad meta line)")
+        if not isinstance(meta, dict) or meta.get("format") != PACKET_FORMAT:
+            raise ReproError(
+                f"{path}: not a cache packet (expected {PACKET_FORMAT})"
+            )
+        seen = merged = 0
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                raise ReproError(
+                    f"{path}:{lineno}: corrupt packet line"
+                ) from None
+            seen += 1
+            if cache.merge_entry(entry):
+                merged += 1
+    return seen, merged

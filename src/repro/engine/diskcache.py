@@ -39,6 +39,20 @@ re-probes the disk — a recovered filesystem promotes the cache back to
 persistent operation automatically.  :meth:`health` reports the degraded
 flag, the error count, and the overlay size for the daemon's ``health``
 op.
+
+**Replication hooks** — verdicts are content-addressed by fp-v2, which
+makes cross-node cache replication idempotent by construction: merging
+the same entry twice is a no-op, and two nodes that independently solved
+the same instance produced byte-identical verdict files.  The cache
+keeps an append-only journal (``_journal.log``, one fingerprint per
+line; its name dodges the ``.json`` suffix so no entry scan counts it)
+whose line count is a monotone **sync cursor**.  :meth:`entries_since`
+streams entries past a cursor (the daemon's ``sync`` op),
+:meth:`merge_entry` applies one replicated entry with the same
+readable-or-absent integrity stance as ``get`` — and journals it, so
+sync is transitive across chains of peers.  The journal is best-effort
+like everything else here: a lost append only costs a peer a future
+re-solve, never a wrong answer.
 """
 
 from __future__ import annotations
@@ -60,6 +74,12 @@ from repro.errors import CNFError
 #: sweep and ``__len__`` never count half-written entries.
 _SUFFIX = ".json"
 _TMP_SUFFIX = ".tmp"
+#: Append-only fingerprint journal backing the sync cursor; the name
+#: must not end in ``_SUFFIX`` so entry scans never count it.
+_JOURNAL_NAME = "_journal.log"
+#: Fingerprints are hex digests; anything else is not content-addressed
+#: and (since they double as filenames) not safe to join into a path.
+_FP_CHARS = frozenset("0123456789abcdef")
 
 
 @dataclass
@@ -95,6 +115,10 @@ class DiskCache:
         # the overlay would only cost a lost store.
         self._degraded_until = 0.0
         self._overlay: SolutionCache | None = None
+        # Cached journal line count (the sync cursor); None until first
+        # read.  Best-effort like _approx_count: concurrent writers may
+        # drift it and entries_since resyncs it from the file.
+        self._journal_len: int | None = None
 
     # ------------------------------------------------------------------
     def _path(self, fp: str) -> Path:
@@ -212,6 +236,7 @@ class DiskCache:
             self._put_overlay(fp, satisfiable, assignment, solver)
             return
         self.stats.stores += 1
+        self._journal_append(fp)
         if self._approx_count is None:
             self._approx_count = len(self._entry_paths())
         else:
@@ -276,6 +301,168 @@ class DiskCache:
             return False
 
     # ------------------------------------------------------------------
+    # Replication: journal cursor, entry streaming, idempotent merge.
+
+    @property
+    def _journal_path(self) -> Path:
+        return self.directory / _JOURNAL_NAME
+
+    def _ensure_journal(self) -> None:
+        """Bootstrap the journal for a pre-journal cache directory.
+
+        A directory populated before replication existed has entries but
+        no journal; seeding it (oldest mtime first, matching the LRU's
+        notion of age) lets a new peer pull the whole backlog instead of
+        only post-upgrade verdicts.
+        """
+        if self._journal_len is not None or self._journal_path.exists():
+            return
+        paths = self._entry_paths()
+        if not paths:
+            self._journal_len = 0
+            return
+        def _mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:
+                return float("-inf")
+        paths.sort(key=_mtime)
+        fps = [p.name[: -len(_SUFFIX)] for p in paths]
+        try:
+            self._journal_path.write_text(
+                "".join(fp + "\n" for fp in fps), encoding="utf-8"
+            )
+            self._journal_len = len(fps)
+        except OSError:
+            self._journal_len = 0
+
+    def sync_cursor(self) -> int:
+        """The journal's current length — a monotone replication cursor."""
+        self._ensure_journal()
+        if self._journal_len is None:
+            try:
+                with open(self._journal_path, encoding="utf-8") as fh:
+                    self._journal_len = sum(1 for _ in fh)
+            except OSError:
+                self._journal_len = 0
+        return self._journal_len
+
+    def _journal_append(self, fp: str) -> None:
+        """Record one stored fingerprint (best-effort: a failed append
+        only hides this entry from peers, it never fails the store)."""
+        self.sync_cursor()          # make sure the count is initialized
+        try:
+            with open(self._journal_path, "a", encoding="utf-8") as fh:
+                fh.write(fp + "\n")
+            self._journal_len += 1
+        except OSError:
+            pass
+
+    def entries_since(self, cursor: int, *, limit: int = 256) -> tuple[int, list[dict]]:
+        """One replication page: ``(next_cursor, entries)`` past *cursor*.
+
+        Walks the journal, deduplicates fingerprints within the page,
+        and materializes each one that is still readable — evicted,
+        invalidated, or torn entries are silently skipped (the peer
+        either already has them or never needed them).  A cursor past
+        the journal's end (a peer that outlived a cleared cache) clamps
+        to the end instead of erroring.
+        """
+        self._ensure_journal()
+        try:
+            with open(self._journal_path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            lines = []
+        self._journal_len = len(lines)
+        cursor = max(0, int(cursor))
+        if cursor >= len(lines):
+            return len(lines), []
+        end = min(len(lines), cursor + max(1, int(limit)))
+        seen: set[str] = set()
+        entries: list[dict] = []
+        for raw_fp in lines[cursor:end]:
+            fp = raw_fp.strip()
+            if not fp or fp in seen:
+                continue
+            seen.add(fp)
+            raw = self._load_raw(fp)
+            if raw is not None:
+                entries.append(raw)
+        return end, entries
+
+    def _load_raw(self, fp: str) -> dict | None:
+        """Read one entry as its wire-able dict, or None if unreadable."""
+        try:
+            raw = json.loads(self._path(fp).read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(raw, dict) or raw.get("fp") != fp or "sat" not in raw:
+            return None
+        sat = bool(raw["sat"])
+        lits = raw.get("lits")
+        if sat and not isinstance(lits, list):
+            return None
+        return {
+            "fp": fp,
+            "sat": sat,
+            "lits": lits if sat else None,
+            "solver": str(raw.get("solver", "")),
+        }
+
+    def merge_entry(self, entry: dict) -> bool:
+        """Apply one replicated entry; True iff it landed as a new file.
+
+        The fingerprint arrives off the wire and doubles as a filename,
+        so anything that is not a plausible hex digest is rejected (a
+        hostile ``../``-shaped "fingerprint" must not escape the cache
+        directory).  Already-present entries are skipped — that is what
+        makes blind re-merging of a re-pulled page idempotent.  Merged
+        entries are journalled like local stores, so replication is
+        transitive across chains of peers.
+        """
+        fp = entry.get("fp") if isinstance(entry, dict) else None
+        if (
+            not isinstance(fp, str)
+            or not 8 <= len(fp) <= 256
+            or not set(fp) <= _FP_CHARS
+        ):
+            return False
+        sat = bool(entry.get("sat"))
+        lits = entry.get("lits")
+        if sat and (
+            not isinstance(lits, list)
+            or not lits
+            or not all(isinstance(l, int) and l != 0 for l in lits)
+        ):
+            return False
+        if self.max_entries <= 0 or self.degraded:
+            return False
+        if fp in self:
+            return False
+        payload = json.dumps({
+            "fp": fp,
+            "sat": sat,
+            "lits": lits if sat else None,
+            "solver": str(entry.get("solver", "")),
+        })
+        try:
+            self._write_entry(fp, payload)
+        except OSError:
+            self.stats.errors += 1
+            self._degraded_until = time.monotonic() + self.reprobe_interval
+            return False
+        self.stats.stores += 1
+        self._journal_append(fp)
+        if self._approx_count is None:
+            self._approx_count = len(self._entry_paths())
+        else:
+            self._approx_count += 1
+        if self._approx_count > self.max_entries:
+            self._sweep()
+        return True
+
+    # ------------------------------------------------------------------
     def invalidate(self, fp: str) -> bool:
         """Drop one entry; returns whether it existed."""
         existed = self._unlink(self._path(fp))
@@ -285,10 +472,13 @@ class DiskCache:
 
     def clear(self) -> None:
         """Drop every entry, plus any orphaned temp file a crashed
-        writer left behind (statistics are kept)."""
+        writer left behind (statistics are kept).  The journal resets
+        with the entries — peers holding an old cursor simply clamp."""
         for path in self.directory.iterdir():
             if path.name.endswith((_SUFFIX, _TMP_SUFFIX)):
                 self._unlink(path)
+        self._unlink(self._journal_path)
+        self._journal_len = 0
         self._approx_count = 0
 
     def info(self) -> dict:
@@ -318,6 +508,7 @@ class DiskCache:
             "overlay_entries": (
                 len(self._overlay) if self._overlay is not None else 0
             ),
+            "sync_cursor": self.sync_cursor(),
         }
 
     def __contains__(self, fp: str) -> bool:

@@ -83,3 +83,14 @@ class ConnectError(ServiceError, ConnectionError):
     catches it specifically to exit 1 with a one-line message instead of
     a traceback.
     """
+
+
+class AuthError(ConnectError):
+    """The daemon refused this client's token-auth handshake.
+
+    A wrong (or missing) token is as terminal as an unreachable socket —
+    no amount of resending fixes it — so it shares :class:`ConnectError`'s
+    CLI contract: one ``error: cannot reach daemon ...`` line, exit 1.
+    Transient rejections injected by the ``auth.reject`` chaos point are
+    retried *inside* the connect budget and never surface here.
+    """

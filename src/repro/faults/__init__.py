@@ -33,6 +33,12 @@ Points wired through the stack today:
 ``wire.drop``           daemon drops the connection pre-dispatch
 ``wire.truncate``       daemon sends a truncated response frame
 ``wire.slow``           daemon sleeps ``delay`` seconds pre-dispatch
+``auth.reject``         daemon 401s a *valid* token handshake (clients
+                        retry inside their connect budget; the router
+                        counts it and fails over)
+``sync.drop``           daemon drops the connection on a ``sync`` pull
+                        before the response (the cursor never advances,
+                        so the idempotent re-pull converges anyway)
 ======================  ================================================
 """
 

@@ -12,12 +12,17 @@
   future-like :class:`PendingSolve`;
 * :mod:`repro.service.wire`     -- length-prefixed JSON + packed-bytes
   frames;
+* :mod:`repro.service.address`  -- :func:`parse_address`, the one
+  grammar behind every ``--connect``/``--peer``/``--node`` flag
+  (``unix://PATH``, ``tcp://HOST:PORT``, or a bare socket path);
 * :mod:`repro.service.daemon`   -- :class:`ServiceDaemon`, the ``repro
-  serve`` loop over a local socket;
+  serve`` loop over Unix and/or TCP sockets, with optional token auth
+  and anti-entropy cache sync;
 * :mod:`repro.service.client`   -- :class:`ServiceClient`, the thin
   connection used by ``repro solve --connect``.
 """
 
+from repro.service.address import Address, parse_address
 from repro.service.client import ServiceClient
 from repro.service.daemon import ServiceDaemon
 from repro.service.requests import (
@@ -28,6 +33,7 @@ from repro.service.requests import (
 from repro.service.service import PendingSolve, SolverService
 
 __all__ = [
+    "Address",
     "ChangeRequest",
     "PendingSolve",
     "ServiceClient",
@@ -35,4 +41,5 @@ __all__ = [
     "SolveRequest",
     "SolveResponse",
     "SolverService",
+    "parse_address",
 ]

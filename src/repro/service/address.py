@@ -1,0 +1,129 @@
+"""One address grammar for every daemon endpoint.
+
+Every ``--connect`` flag (solve/stats/loadgen/replay), every ``--peer``,
+and every ``repro route --node`` parses through :func:`parse_address`,
+so the whole CLI agrees on what a daemon address looks like:
+
+``unix:///run/repro.sock`` (or a bare filesystem path)
+    a Unix domain socket — the single-box default.
+``tcp://HOST:PORT``
+    a TCP frame endpoint (``repro serve --tcp``) — same length-prefixed
+    wire codecs, reachable across boxes.
+
+A malformed address is a :class:`~repro.errors.ConnectError`, *not* a
+``ValueError``: the CLI's contract for an unreachable daemon is one
+``error: cannot reach daemon at ...`` line and exit 1, and a daemon
+behind an unparseable address is exactly as unreachable as a daemon
+behind a dead one.  (Before this module each flag passed its string
+straight to ``socket.connect`` and a typo'd ``tcp://`` spelling died
+with a traceback.)
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+from repro.errors import ConnectError
+
+
+@dataclass(frozen=True)
+class Address:
+    """A parsed daemon endpoint: ``unix`` path or ``tcp`` host:port."""
+
+    scheme: str
+    path: str = ""
+    host: str = ""
+    port: int = 0
+
+    def __str__(self) -> str:
+        if self.scheme == "unix":
+            return f"unix://{self.path}"
+        return f"tcp://{self.host}:{self.port}"
+
+    @property
+    def connect_target(self):
+        """What ``socket.connect`` / ``socket.bind`` wants."""
+        if self.scheme == "unix":
+            return self.path
+        return (self.host, self.port)
+
+    def create_socket(self) -> socket.socket:
+        """An unconnected socket of the right family.
+
+        TCP sockets get ``TCP_NODELAY``: every request here is one small
+        write-then-wait frame exchange, the exact shape Nagle's
+        algorithm penalises with a coalescing delay.
+        """
+        if self.scheme == "unix":
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix
+                raise ConnectError(
+                    f"cannot reach daemon at {self}: "
+                    "this platform has no AF_UNIX sockets (use tcp://)"
+                )
+            return socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - option always exists on tcp
+            pass
+        return sock
+
+
+def _malformed(value: object, reason: str) -> ConnectError:
+    return ConnectError(f"cannot reach daemon at {value!r}: {reason}")
+
+
+def parse_address(value: "str | Address") -> Address:
+    """Parse a daemon address string (idempotent on :class:`Address`).
+
+    Accepts ``tcp://HOST:PORT``, ``unix://PATH``, or a bare path (the
+    historical ``--connect SOCKET`` spelling, kept working verbatim).
+    Raises :class:`~repro.errors.ConnectError` on anything malformed so
+    the CLI's one-line exit-1 contract holds without per-flag handling.
+    """
+    if isinstance(value, Address):
+        return value
+    text = str(value).strip()
+    if not text:
+        raise _malformed(value, "empty address")
+    if text.startswith("tcp://"):
+        rest = text[len("tcp://"):]
+        host, sep, port_text = rest.rpartition(":")
+        if not sep or not host:
+            raise _malformed(value, "tcp address must be tcp://HOST:PORT")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise _malformed(
+                value, f"port {port_text!r} is not an integer"
+            ) from None
+        if not 0 <= port <= 65535:
+            raise _malformed(value, f"port {port} out of range 0-65535")
+        return Address(scheme="tcp", host=host, port=port)
+    if text.startswith("unix://"):
+        path = text[len("unix://"):]
+        if not path:
+            raise _malformed(value, "unix address must be unix://PATH")
+        return Address(scheme="unix", path=path)
+    if "://" in text:
+        scheme = text.split("://", 1)[0]
+        raise _malformed(
+            value, f"unknown scheme {scheme!r} (use unix:// or tcp://)"
+        )
+    return Address(scheme="unix", path=text)
+
+
+def parse_tcp(value: str) -> Address:
+    """Parse a listen spec for ``--tcp``: ``HOST:PORT`` or full URL.
+
+    Port 0 is meaningful here — bind an ephemeral port and report it —
+    which is why plain :func:`parse_address` also admits it.
+    """
+    text = str(value).strip()
+    if not text.startswith("tcp://"):
+        text = "tcp://" + text
+    address = parse_address(text)
+    if address.scheme != "tcp":  # pragma: no cover - guarded by prefix
+        raise _malformed(value, "expected a tcp HOST:PORT")
+    return address

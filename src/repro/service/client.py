@@ -32,13 +32,15 @@ handlers, but specific enough for the CLI to exit 1 with one line.
 
 from __future__ import annotations
 
+import os
 import random
 import socket
 import time
 import uuid
 from dataclasses import replace
 
-from repro.errors import ConnectError, ServiceError
+from repro.errors import AuthError, ConnectError, ServiceError
+from repro.service.address import Address, parse_address
 from repro.service.requests import ChangeRequest, SolveRequest, SolveResponse
 from repro.service.wire import (
     WireError,
@@ -56,31 +58,45 @@ class ServiceClient:
     """One connection to a :class:`~repro.service.daemon.ServiceDaemon`.
 
     Args:
-        socket_path: the daemon's Unix socket.
+        address: the daemon's endpoint — a Unix socket path,
+            ``unix://PATH``, or ``tcp://HOST:PORT`` (a backend node or a
+            ``repro route`` front-end; the wire protocol is identical).
         timeout: per-call socket timeout in seconds (None = block).
         retries: transport-failure retries per request (and connect
             attempts past the first); ``0`` restores fail-fast behaviour.
         backoff: base retry delay in seconds; attempt *n* waits
             ``backoff * 2**n`` plus up to one ``backoff`` of jitter.
         backoff_max: cap on any single retry delay.
+        auth_token: shared secret for the daemon's per-connection auth
+            handshake; defaults to ``$REPRO_AUTH_TOKEN``.  ``None`` (and
+            no env var) skips the handshake — correct against an open
+            daemon, a terminal :class:`~repro.errors.AuthError` against
+            a guarded one.
     """
 
     def __init__(
         self,
-        socket_path: str,
+        address: "str | Address",
         *,
         timeout: float | None = 60.0,
         retries: int = 3,
         backoff: float = 0.05,
         backoff_max: float = 2.0,
+        auth_token: str | None = None,
     ):
-        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix only
-            raise ServiceError("ServiceClient needs AF_UNIX sockets")
-        self.socket_path = str(socket_path)
+        self.address = parse_address(address)
+        #: Back-compat alias: the pre-cluster client was Unix-only and
+        #: exposed the path it connected to.
+        self.socket_path = (
+            self.address.path if self.address.scheme == "unix" else str(address)
+        )
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self.backoff_max = backoff_max
+        if auth_token is None:
+            auth_token = os.environ.get("REPRO_AUTH_TOKEN") or None
+        self.auth_token = auth_token
         #: Transport failures absorbed by retries (observability only).
         self.retried = 0
         self._sock: socket.socket | None = None
@@ -94,27 +110,51 @@ class ServiceClient:
     def _connect(self) -> None:
         """(Re)connect, retrying refused/missing sockets per the policy.
 
+        When an ``auth_token`` is configured the handshake is part of
+        connecting: the token frame must be acknowledged before the
+        connection counts as established, so transient rejections (the
+        ``auth.reject`` chaos point, a daemon mid-restart) are retried
+        inside the same budget.  A rejection that survives the whole
+        budget is reported as :class:`~repro.errors.AuthError`.
+
         Raises :class:`ConnectError` once the budget is spent — the
         daemon is missing, dead, or still draining.
         """
         self._reset()
-        last: OSError | None = None
+        last: Exception | None = None
         for attempt in range(self.retries + 1):
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if attempt:
+                time.sleep(self._delay(attempt - 1))
+            sock = self.address.create_socket()
             sock.settimeout(self.timeout)
             try:
-                sock.connect(self.socket_path)
-            except OSError as exc:
+                sock.connect(self.address.connect_target)
+                if self.auth_token is not None:
+                    self._handshake(sock)
+            except (OSError, WireError, ServiceError) as exc:
                 sock.close()
                 last = exc
-                if attempt < self.retries:
-                    time.sleep(self._delay(attempt))
                 continue
             self._sock = sock
             return
+        if isinstance(last, AuthError):
+            raise last
         raise ConnectError(
-            f"cannot reach daemon at {self.socket_path}: {last}"
+            f"cannot reach daemon at {self.address}: {last}"
         ) from last
+
+    def _handshake(self, sock: socket.socket) -> None:
+        """Present the auth token as the connection's first frame."""
+        send_frame(sock, {"op": "auth", "token": self.auth_token})
+        frame = recv_frame(sock)
+        if frame is None:
+            raise WireError("daemon closed the connection during auth")
+        response, _ = frame
+        if not response.get("ok", False):
+            raise AuthError(
+                f"cannot reach daemon at {self.address}: "
+                f"{response.get('error', 'auth rejected')}"
+            )
 
     def _reset(self) -> None:
         if self._sock is not None:
@@ -126,13 +166,21 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def _call(
-        self, header: dict, payload: bytes = b"", *, attempts: int | None = None
+        self,
+        header: dict,
+        payload: bytes = b"",
+        *,
+        attempts: int | None = None,
+        check: bool = True,
     ) -> dict:
         """One request/response round trip with transport retries.
 
         A header ``deadline`` is treated as the *total* budget: each
         resend ships only the remainder, so retries never extend the
-        caller's wall-clock contract.
+        caller's wall-clock contract.  With ``check=False`` an error
+        response is returned instead of raised — the router's forwarding
+        path, where the backend's verdict (error or not) must pass
+        through verbatim.
         """
         budget = header.get("deadline")
         t0 = time.monotonic() if budget is not None else 0.0
@@ -163,7 +211,19 @@ class ServiceClient:
                     continue
                 raise
             response, _ = frame
+            if not check:
+                return response
             if not response.get("ok", False):
+                if response.get("code") == 401:
+                    # The daemon wants a token this client was never
+                    # given — terminal, and as "unreachable" as a dead
+                    # socket for the CLI's one-line contract.  It also
+                    # closed the connection after the 401 frame.
+                    self._reset()
+                    raise AuthError(
+                        f"cannot reach daemon at {self.address}: "
+                        f"{response.get('error', 'auth required')}"
+                    )
                 raise ServiceError(response.get("error", "daemon error"))
             return response
         raise ServiceError(f"request failed: {last}")  # pragma: no cover
@@ -262,6 +322,32 @@ class ServiceClient:
         if recent:
             header["recent"] = recent
         return self._call(header)["frame"]
+
+    def sync(self, cursor: int = 0, *, limit: int = 256) -> dict:
+        """Pull one page of cache entries past *cursor* (anti-entropy).
+
+        Returns the daemon's ``{"cursor", "entries", "more"}`` page; the
+        caller merges the entries and pulls again from the new cursor.
+        Blindly re-pulling a page is safe: entries are content-addressed
+        by fp-v2, so a merge is idempotent by construction.
+        """
+        return self._call({"op": "sync", "cursor": int(cursor), "limit": int(limit)})
+
+    def forward(self, header: dict, payload: bytes = b"") -> dict:
+        """Ship a pre-built frame and return the raw response header.
+
+        The router's data path: error responses come back as values
+        (never raised) so the backend's exact verdict frame can be
+        relayed to the requester; transport failures still raise and
+        still burn this client's retry budget.
+        """
+        return self._call(dict(header), payload, check=False)
+
+    def cluster_health(self) -> dict:
+        """A ``repro route`` front-end's per-node state (generation,
+        degraded flags, last synced cursor) plus its own routing
+        counters.  A plain single-node daemon answers with an error."""
+        return self._call({"op": "cluster_health"})["cluster"]
 
     def watch(self, *, interval: float = 1.0, count: int | None = None):
         """Subscribe to the daemon's metric push-stream.

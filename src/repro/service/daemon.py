@@ -21,6 +21,19 @@ per connection):
     cache degraded/error flags, drain state, and the live fault-plan
     counters when chaos is installed (``repro stats`` surfaces it).
     Exempt from the ``max_requests`` budget, like ``ping``.
+``auth``
+    per-connection token handshake.  A daemon started with
+    ``--auth-token`` (or ``$REPRO_AUTH_TOKEN``) answers every frame
+    before a valid handshake with a 401-style error and closes the
+    connection; a token-less daemon acks the handshake as a no-op so
+    one client config works against open and guarded nodes alike.
+``sync``
+    pull-based anti-entropy page: cache entries past a sequence
+    ``cursor`` from the disk cache's append-only journal, answered as
+    ``{"cursor", "entries", "more"}``.  Entries are content-addressed
+    by fp-v2, so peers merge pages blindly and idempotently
+    (:mod:`repro.cluster.sync` drives the loop).  Budget-exempt like
+    ``ping``/``health``.
 ``solve``
     a :class:`~repro.service.requests.SolveRequest` (instance in the
     binary payload as packed wire bytes, or a server-side DIMACS path in
@@ -79,6 +92,7 @@ from __future__ import annotations
 
 import json
 import os
+import select
 import socket
 import threading
 import time
@@ -86,6 +100,7 @@ import time
 from repro import faults
 from repro.errors import ReproError, ServiceError
 from repro.obs.metrics import FrameTracker, StatsMonitor
+from repro.service.address import Address, parse_address, parse_tcp
 from repro.service.service import SolverService
 from repro.service.wire import (
     WireError,
@@ -100,10 +115,11 @@ from repro.service.wire import (
 
 
 class ServiceDaemon:
-    """Serve one :class:`SolverService` over a Unix domain socket.
+    """Serve one :class:`SolverService` over Unix and/or TCP sockets.
 
     Args:
-        socket_path: filesystem path to bind (a stale file is replaced).
+        socket_path: filesystem path to bind (a stale file is replaced);
+            ``None`` for a TCP-only daemon.
         service: the service to expose (a default one when omitted; the
             daemon closes whatever it serves on shutdown).
         log_path: append one line per handled op here (daemon forensics;
@@ -115,25 +131,53 @@ class ServiceDaemon:
             (``repro serve --max-frame-bytes``); defaults to the wire
             module's global cap.  An over-cap frame is logged with its
             offending declared length before the connection closes.
+        tcp_address: additionally listen on ``HOST:PORT`` (``repro serve
+            --tcp``) — the same frame protocol, reachable across boxes.
+            Port 0 binds an ephemeral port; :attr:`tcp_port` reports it
+            after :meth:`bind`.
+        auth_token: when set, every connection must open with a valid
+            ``auth`` frame before its first real op; anything else is
+            answered with a 401-style error frame and a closed
+            connection.  TCP listeners without a token are fine on a
+            trusted network but get a logged warning.
+        syncer: an optional anti-entropy puller (:class:`~repro.cluster.
+            sync.CacheSyncer`); the daemon owns its lifecycle, running
+            it for exactly the span of :meth:`serve_forever`.
     """
 
     def __init__(
         self,
-        socket_path: str,
+        socket_path: str | None,
         service: SolverService | None = None,
         *,
         log_path: str | None = None,
         max_requests: int | None = None,
         monitor_interval: float = 1.0,
         max_frame_bytes: int | None = None,
+        tcp_address: str | None = None,
+        auth_token: str | None = None,
+        syncer=None,
     ):
-        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - posix only
-            raise ServiceError("repro serve needs AF_UNIX sockets")
         if max_requests is not None and max_requests < 1:
             raise ServiceError("max_requests must be at least 1")
         if max_frame_bytes is not None and max_frame_bytes < 1:
             raise ServiceError("max_frame_bytes must be at least 1")
-        self.socket_path = str(socket_path)
+        if socket_path is None and tcp_address is None:
+            raise ServiceError(
+                "daemon needs at least one endpoint (socket_path or tcp)"
+            )
+        if socket_path is not None and not hasattr(socket, "AF_UNIX"):
+            # pragma: no cover - posix only
+            raise ServiceError("Unix endpoints need AF_UNIX sockets")
+        self.socket_path = str(socket_path) if socket_path is not None else None
+        self.tcp_address: Address | None = (
+            parse_tcp(tcp_address) if tcp_address is not None else None
+        )
+        #: Actual bound TCP port (meaningful after :meth:`bind`; with a
+        #: ``HOST:0`` request this is the kernel-assigned one).
+        self.tcp_port: int | None = None
+        self.auth_token = auth_token or None
+        self.syncer = syncer
         self.service = service if service is not None else SolverService()
         self.log_path = log_path
         self.max_requests = max_requests
@@ -145,10 +189,23 @@ class ServiceDaemon:
         )
         self._handled = 0
         self._handled_lock = threading.Lock()
-        self._listener: socket.socket | None = None
+        self._listeners: list[socket.socket] = []
         self._stop = threading.Event()
         self._log_lock = threading.Lock()
         self._conn_threads: list[threading.Thread] = []
+
+    @property
+    def addresses(self) -> list[str]:
+        """Canonical strings for every bound endpoint (after bind)."""
+        out = []
+        if self.socket_path is not None:
+            out.append(str(Address(scheme="unix", path=self.socket_path)))
+        if self.tcp_address is not None:
+            port = self.tcp_port if self.tcp_port else self.tcp_address.port
+            out.append(
+                str(Address(scheme="tcp", host=self.tcp_address.host, port=port))
+            )
+        return out
 
     # ------------------------------------------------------------------
     def _log(self, event: str, **fields) -> None:
@@ -174,46 +231,72 @@ class ServiceDaemon:
 
     # ------------------------------------------------------------------
     def bind(self) -> None:
-        """Bind and listen (separate from :meth:`serve_forever` so tests
-        and the CLI can report readiness before blocking)."""
-        if self._listener is not None:
+        """Bind and listen on every endpoint (separate from
+        :meth:`serve_forever` so tests and the CLI can report readiness
+        — including an ephemeral TCP port — before blocking)."""
+        if self._listeners:
             return
+        listeners: list[socket.socket] = []
         try:
-            os.unlink(self.socket_path)
-        except FileNotFoundError:
-            pass
-        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        listener.bind(self.socket_path)
-        listener.listen(16)
-        # A short accept timeout keeps the loop responsive to shutdown()
-        # from another thread without busy-waiting.
-        listener.settimeout(0.2)
-        self._listener = listener
-        self._log("listening", socket=self.socket_path)
+            if self.socket_path is not None:
+                try:
+                    os.unlink(self.socket_path)
+                except FileNotFoundError:
+                    pass
+                listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                listener.bind(self.socket_path)
+                listeners.append(listener)
+            if self.tcp_address is not None:
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+                )
+                listener.bind(self.tcp_address.connect_target)
+                self.tcp_port = listener.getsockname()[1]
+                listeners.append(listener)
+                if self.auth_token is None:
+                    self._log("tcp_unauthenticated", tcp=self.addresses[-1])
+            for listener in listeners:
+                listener.listen(16)
+                # A short accept timeout keeps the loop responsive to
+                # shutdown() from another thread without busy-waiting.
+                listener.settimeout(0.2)
+        except OSError:
+            for listener in listeners:
+                listener.close()
+            raise
+        self._listeners = listeners
+        self._log("listening", addresses=self.addresses)
 
     def serve_forever(self) -> None:
         """Accept-and-dispatch until :meth:`shutdown` (or a ``shutdown``
         op) fires; then drain connections and close the service."""
         self.bind()
         self.monitor.start()
+        if self.syncer is not None:
+            self.syncer.start()
         try:
             while not self._stop.is_set():
                 try:
-                    conn, _ = self._listener.accept()
-                except socket.timeout:
-                    continue
+                    ready, _, _ = select.select(self._listeners, [], [], 0.2)
                 except OSError:
                     break
-                thread = threading.Thread(
-                    target=self._serve_connection, args=(conn,), daemon=True
-                )
-                thread.start()
-                # Keep only live handlers so a long-lived daemon's thread
-                # list stays bounded by its concurrent-connection count.
-                self._conn_threads = [
-                    t for t in self._conn_threads if t.is_alive()
-                ]
-                self._conn_threads.append(thread)
+                for listener in ready:
+                    try:
+                        conn, _ = listener.accept()
+                    except (socket.timeout, OSError):
+                        continue
+                    thread = threading.Thread(
+                        target=self._serve_connection, args=(conn,), daemon=True
+                    )
+                    thread.start()
+                    # Keep only live handlers so a long-lived daemon's
+                    # thread list stays bounded by its concurrent-
+                    # connection count.
+                    self._conn_threads = [
+                        t for t in self._conn_threads if t.is_alive()
+                    ]
+                    self._conn_threads.append(thread)
         finally:
             self._close_listener()
             live = [t for t in self._conn_threads if t.is_alive()]
@@ -221,6 +304,8 @@ class ServiceDaemon:
                 self._log("draining", connections=len(live))
             for thread in self._conn_threads:
                 thread.join(timeout=10.0)
+            if self.syncer is not None:
+                self.syncer.stop()
             self.monitor.stop()
             # Closing the service drains queued submit() work and
             # flushes/closes any attached trace recorder.
@@ -239,15 +324,17 @@ class ServiceDaemon:
         self._stop.set()
 
     def _close_listener(self) -> None:
-        listener, self._listener = self._listener, None
-        if listener is not None:
+        listeners, self._listeners = self._listeners, []
+        for listener in listeners:
             try:
                 listener.close()
-            finally:
-                try:
-                    os.unlink(self.socket_path)
-                except OSError:
-                    pass
+            except OSError:  # pragma: no cover - close never really fails
+                pass
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     def _serve_connection(self, conn: socket.socket) -> None:
@@ -258,6 +345,13 @@ class ServiceDaemon:
         # requests are unaffected — dispatch is never interrupted, and a
         # local peer's frame chunks arrive faster than the timeout.
         conn.settimeout(0.25)
+        if conn.family == socket.AF_INET:
+            try:
+                # One small frame out, one frame back: the pattern
+                # Nagle coalescing penalises — disable it.
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - always settable on tcp
+                pass
         try:
             self._serve_frames(conn)
         finally:
@@ -275,6 +369,9 @@ class ServiceDaemon:
             conn.close()
 
     def _serve_frames(self, conn: socket.socket) -> None:
+        # Auth is per-connection state: with a token configured, nothing
+        # dispatches until this connection presented it.
+        authed = self.auth_token is None
         while not self._stop.is_set():
             try:
                 frame = recv_frame(conn, self.max_frame_bytes)
@@ -312,6 +409,34 @@ class ServiceDaemon:
             if slow is not None:
                 self._log("chaos", point="wire.slow", op=op)
                 time.sleep(slow.delay or 0.05)
+            if op == "auth":
+                authed = self._handle_auth(conn, header, authed)
+                if authed is None:
+                    return
+                continue
+            if not authed:
+                # Everything before a valid handshake is rejected with a
+                # 401-style frame and a closed connection — the guard
+                # that makes a TCP listener safe to expose.
+                self.service.metrics.inc("auth_failures")
+                self._log("auth_required", op=op)
+                self._try_send(
+                    conn,
+                    {
+                        "ok": False,
+                        "error": "auth required: open with an auth frame "
+                        "(repro --connect picks the token up from "
+                        "$REPRO_AUTH_TOKEN)",
+                        "code": 401,
+                    },
+                )
+                return
+            if op == "sync" and faults.fire("sync.drop") is not None:
+                # Chaos: kill the connection mid-sync, response unsent.
+                # Safe by design — sync is a read-only page pull and the
+                # merge of a re-pulled page is idempotent.
+                self._log("chaos", point="sync.drop")
+                return
             if op in ("watch", "subscribe"):
                 # Streaming op: one request frame, many pushed
                 # response frames on this connection (its own path —
@@ -366,10 +491,48 @@ class ServiceDaemon:
             if stop_after:
                 self.shutdown()
                 return
-            if op not in ("ping", "health") and self._budget_spent():
+            if op not in ("ping", "health", "sync") and self._budget_spent():
                 self._log("drain_budget", max_requests=self.max_requests)
                 self.shutdown()
                 return
+
+    def _handle_auth(
+        self, conn: socket.socket, header: dict, authed: bool
+    ) -> bool | None:
+        """Answer one ``auth`` frame.
+
+        Returns the connection's new authed state, or ``None`` when the
+        connection must close (bad token, chaos rejection, dead peer).
+        Against a token-less daemon the handshake is a cheap no-op ack,
+        so one client config works across open and guarded nodes.
+        """
+        if self.auth_token is None or authed:
+            if not self._try_send(conn, {"ok": True, "authed": True}):
+                return None
+            return authed or True
+        if header.get("token") != self.auth_token:
+            self.service.metrics.inc("auth_failures")
+            self._log("auth_fail")
+            self._try_send(
+                conn,
+                {"ok": False, "error": "auth failed: bad token", "code": 401},
+            )
+            return None
+        if faults.fire("auth.reject") is not None:
+            # Chaos: bounce a *valid* token once — the shape of a node
+            # restarting mid-handshake.  Clients absorb it inside their
+            # connect budget; the router counts it and fails over.
+            self.service.metrics.inc("auth_rejects")
+            self._log("chaos", point="auth.reject")
+            self._try_send(
+                conn,
+                {"ok": False, "error": "auth rejected (chaos)", "code": 401},
+            )
+            return None
+        self._log("auth_ok")
+        if not self._try_send(conn, {"ok": True, "authed": True}):
+            return None
+        return True
 
     def _parse(self, build):
         """Build a request record, counting parse failures as errors.
@@ -393,7 +556,14 @@ class ServiceDaemon:
         if op == "health":
             # Exempt from the max_requests budget (like ping): probes
             # from orchestration must not drain a quota'd daemon.
-            return {"ok": True, "health": self.service.health()}, False
+            health = self.service.health()
+            if self.syncer is not None:
+                health["sync"] = self.syncer.status()
+            return {"ok": True, "health": health}, False
+        if op == "sync":
+            # Also budget-exempt: background replication pulls must not
+            # drain a quota'd daemon.
+            return self._dispatch_sync(header), False
         if op == "solve":
             request = self._parse(
                 lambda: solve_request_from_wire(header, payload)
@@ -428,6 +598,35 @@ class ServiceDaemon:
             return {"ok": True, "stopping": True}, True
         self.service.metrics.inc("errors")
         raise ServiceError(f"unknown op {op!r}")
+
+    def _dispatch_sync(self, header: dict) -> dict:
+        """One anti-entropy page: cache entries past the peer's cursor.
+
+        Only the persistent disk cache keeps the append-only journal
+        the cursor walks, so a memory/none-cache daemon answers with a
+        plain (non-fatal) error frame.
+        """
+        cache = getattr(self.service.engine, "cache", None)
+        if not hasattr(cache, "entries_since"):
+            raise ServiceError(
+                "sync needs the persistent cache (repro serve --cache disk)"
+            )
+        try:
+            cursor = max(0, int(header.get("cursor") or 0))
+            limit = int(header.get("limit") or 256)
+        except (TypeError, ValueError):
+            raise ServiceError("sync cursor/limit must be integers") from None
+        limit = min(max(limit, 1), 2048)
+        next_cursor, entries = cache.entries_since(cursor, limit=limit)
+        self.service.metrics.bump(
+            counts={"sync_requests": 1, "sync_served": len(entries)}
+        )
+        return {
+            "ok": True,
+            "cursor": next_cursor,
+            "entries": entries,
+            "more": next_cursor < cache.sync_cursor(),
+        }
 
     # ------------------------------------------------------------------
     def _serve_watch(self, conn: socket.socket, header: dict) -> bool:

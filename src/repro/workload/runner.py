@@ -89,11 +89,22 @@ def inprocess_factory(service):
     return lambda: InProcessTarget(service)
 
 
-def client_factory(socket_path: str, *, timeout: float | None = 300.0):
-    """A target factory opening one daemon connection per worker."""
+def client_factory(
+    address: str,
+    *,
+    timeout: float | None = 300.0,
+    auth_token: str | None = None,
+):
+    """A target factory opening one daemon connection per worker.
+
+    *address* takes anything :func:`~repro.service.address.parse_address`
+    does — a Unix socket path, ``unix://PATH``, or ``tcp://HOST:PORT``
+    (a single node or a ``repro route`` front-end); *auth_token* falls
+    back to ``$REPRO_AUTH_TOKEN`` inside the client.
+    """
     from repro.service.client import ServiceClient
 
-    return lambda: ServiceClient(socket_path, timeout=timeout)
+    return lambda: ServiceClient(address, timeout=timeout, auth_token=auth_token)
 
 
 # ----------------------------------------------------------------------

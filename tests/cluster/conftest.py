@@ -1,0 +1,20 @@
+"""Shared hygiene for the cluster tests.
+
+Same rule as ``tests/faults``: chaos installation is process-global, so
+every test starts and ends with no injector and no ``REPRO_CHAOS`` in
+the environment.  Auth tests additionally must not inherit a token from
+the developer's shell, so ``REPRO_AUTH_TOKEN`` is scrubbed too.
+"""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv("REPRO_AUTH_TOKEN", raising=False)
+    faults.clear()
+    yield
+    faults.clear()

@@ -1,0 +1,105 @@
+"""``parse_address``: the one grammar behind every ``--connect``/
+``--peer``/``--node`` flag, and the CLI's one-line exit-1 contract for
+malformed or unreachable targets."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConnectError
+from repro.service.address import Address, parse_address, parse_tcp
+
+
+class TestParseAddress:
+    def test_bare_path_is_unix(self, tmp_path):
+        a = parse_address(str(tmp_path / "svc.sock"))
+        assert a.scheme == "unix"
+        assert a.path == str(tmp_path / "svc.sock")
+        assert a.connect_target == a.path
+        assert str(a) == f"unix://{a.path}"
+
+    def test_unix_scheme(self):
+        a = parse_address("unix:///run/repro.sock")
+        assert (a.scheme, a.path) == ("unix", "/run/repro.sock")
+
+    def test_tcp(self):
+        a = parse_address("tcp://127.0.0.1:7777")
+        assert (a.scheme, a.host, a.port) == ("tcp", "127.0.0.1", 7777)
+        assert a.connect_target == ("127.0.0.1", 7777)
+        assert str(a) == "tcp://127.0.0.1:7777"
+
+    def test_idempotent_on_address(self):
+        a = parse_address("tcp://h:1")
+        assert parse_address(a) is a
+
+    def test_round_trips_its_own_str(self):
+        for text in ("tcp://10.0.0.1:80", "unix:///tmp/x.sock"):
+            assert str(parse_address(str(parse_address(text)))) == text
+
+    def test_port_zero_means_ephemeral_and_parses(self):
+        assert parse_address("tcp://127.0.0.1:0").port == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "tcp://",
+            "tcp://bad",
+            "tcp://host:",
+            "tcp://host:notaport",
+            "tcp://host:70000",
+            "tcp://host:-1",
+            "unix://",
+            "http://host:1",
+        ],
+    )
+    def test_malformed_is_connect_error(self, bad):
+        with pytest.raises(ConnectError, match="cannot reach daemon"):
+            parse_address(bad)
+
+    def test_parse_tcp_prefixes_scheme(self):
+        assert str(parse_tcp("127.0.0.1:0")) == "tcp://127.0.0.1:0"
+        assert parse_tcp("tcp://127.0.0.1:4000").port == 4000
+
+    def test_create_socket_families(self, tmp_path):
+        import socket as socket_mod
+
+        tcp_sock = parse_address("tcp://127.0.0.1:0").create_socket()
+        assert tcp_sock.family == socket_mod.AF_INET
+        tcp_sock.close()
+        if hasattr(socket_mod, "AF_UNIX"):
+            ux = parse_address(str(tmp_path / "x.sock")).create_socket()
+            assert ux.family == socket_mod.AF_UNIX
+            ux.close()
+
+    def test_address_is_frozen_and_hashable(self):
+        a = parse_address("tcp://h:1")
+        assert isinstance(a, Address)
+        assert {a: 1}[parse_address("tcp://h:1")] == 1
+
+
+class TestCliContract:
+    """A typo'd --connect must die with one line, exit 1, no traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["stats", "--connect", "tcp://bad"],
+            ["stats", "--connect", "tcp://host:notaport"],
+            ["loadgen", "tenant-churn", "--connect", "http://x:1",
+             "--tenants", "1", "--changes", "1"],
+        ],
+    )
+    def test_malformed_connect_is_one_line_exit_1(self, argv, capsys):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot reach daemon")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_dead_tcp_endpoint_keeps_the_contract(self, capsys):
+        # Reserved TEST-NET-1 address: connect fails fast, no listener.
+        assert main(["stats", "--connect", "tcp://127.0.0.1:1"]) == 1
+        err = capsys.readouterr().err
+        assert "error: cannot reach daemon" in err
+        assert "Traceback" not in err

@@ -1,0 +1,160 @@
+"""End-to-end cross-node cache hit, through real processes.
+
+Node A (``repro serve --tcp``) solves an instance; node B boots with
+``--peer`` pointed at A, pulls the verdict over anti-entropy sync, and
+answers the same instance **from cache** — same verdict, same
+fingerprint, same model — without ever running a solver.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cnf.dimacs import write_dimacs
+from repro.cnf.generators import random_planted_ksat
+from repro.service.client import ServiceClient
+from repro.service.requests import SolveRequest
+
+
+def _env():
+    env = dict(os.environ)
+    root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(root) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env.pop("REPRO_CHAOS", None)
+    env.pop("REPRO_AUTH_TOKEN", None)
+    return env
+
+
+def _spawn_node(tmp_path, name, *extra):
+    """Start ``repro serve --tcp 127.0.0.1:0`` and return (proc, addr)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--tcp", "127.0.0.1:0",
+            "--cache", "disk",
+            "--cache-dir", str(tmp_path / f"cache-{name}"),
+            "--jobs", "1",
+            "--log-file", str(tmp_path / f"{name}.log"),
+            *extra,
+        ],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on (tcp://\S+)", line)
+    assert match, f"node {name} failed to report its address: {line!r}"
+    return proc, match.group(1)
+
+
+def _stop(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=15)
+
+
+def test_node_b_answers_from_node_a_verdict(tmp_path):
+    f, _ = random_planted_ksat(14, 42, rng=9)
+    node_a = node_b = None
+    try:
+        node_a, addr_a = _spawn_node(tmp_path, "a")
+        with ServiceClient(addr_a) as client:
+            solved = client.solve(SolveRequest(formula=f, seed=0))
+            assert solved.status == "sat" and not solved.from_cache
+
+        node_b, addr_b = _spawn_node(
+            tmp_path, "b", "--peer", addr_a, "--sync-interval", "0.1"
+        )
+        with ServiceClient(addr_b) as client:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                counters = client.stats()["metrics"]["counters"]
+                if counters.get("sync_merged", 0) >= 1:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("node B never merged node A's verdict")
+
+            replica = client.solve(SolveRequest(formula=f, seed=0))
+
+        # B answered from its replicated cache: no solver ran on B.
+        assert replica.from_cache
+        assert replica.status == solved.status
+        assert replica.fingerprint == solved.fingerprint
+        assert replica.assignment == solved.assignment
+        assert f.is_satisfied(replica.assignment)
+    finally:
+        for proc in (node_a, node_b):
+            if proc is not None:
+                _stop(proc)
+
+
+def test_peer_health_reports_sync_progress(tmp_path):
+    """Node B's health op exposes its syncer cursor toward node A."""
+    f, _ = random_planted_ksat(12, 36, rng=4)
+    node_a = node_b = None
+    try:
+        node_a, addr_a = _spawn_node(tmp_path, "a")
+        with ServiceClient(addr_a) as client:
+            client.solve(SolveRequest(formula=f, seed=0))
+        node_b, addr_b = _spawn_node(
+            tmp_path, "b", "--peer", addr_a, "--sync-interval", "0.1"
+        )
+        with ServiceClient(addr_b) as client:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                sync = client.health().get("sync") or {}
+                peer = sync.get("peers", {}).get(addr_a, {})
+                if (peer.get("cursor") or 0) >= 1 and sync.get("merged", 0):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("node B health never showed sync progress")
+            assert sync["pulls"] >= 1
+    finally:
+        for proc in (node_a, node_b):
+            if proc is not None:
+                _stop(proc)
+
+
+def test_cli_solve_connect_tcp_round_trip(tmp_path):
+    """`repro solve --connect tcp://...` against a spawned node."""
+    f, _ = random_planted_ksat(10, 30, rng=2)
+    cnf = tmp_path / "inst.cnf"
+    write_dimacs(f, str(cnf))
+    node = None
+    try:
+        node, addr = _spawn_node(tmp_path, "solo")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "solve", str(cnf),
+             "--connect", addr],
+            env=_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.startswith("s SATISFIABLE")
+
+        stats = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", "--connect", addr,
+             "--json"],
+            env=_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert stats.returncode == 0, stats.stderr
+        import json
+
+        frame = json.loads(stats.stdout)
+        assert frame["totals"].get("requests", 0) >= 1
+    finally:
+        if node is not None:
+            _stop(node)

@@ -1,0 +1,304 @@
+"""Anti-entropy replication: the disk cache's journal/cursor, blind
+idempotent merges, the daemon's ``sync`` op, the :class:`CacheSyncer`
+pull loop, the ``sync.drop`` chaos point, and offline packet files."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.cli import main
+from repro.cnf.assignment import Assignment
+from repro.cnf.generators import random_planted_ksat
+from repro.engine.config import EngineConfig
+from repro.engine.diskcache import DiskCache
+from repro.errors import ReproError, ServiceError
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon
+from repro.service.requests import SolveRequest
+from repro.service.service import SolverService
+from repro.cluster import CacheSyncer, export_packet, import_packet
+
+
+def _cache(tmp_path, name, **kw):
+    d = tmp_path / name
+    d.mkdir(exist_ok=True)
+    return DiskCache(str(d), **kw)
+
+
+def _fill(cache, n, *, start=0):
+    """Put n distinct entries; returns their fingerprints."""
+    fps = []
+    for i in range(start, start + n):
+        fp = f"{i:064x}"
+        cache.put(fp, True, Assignment.from_literals([i + 1]), solver="test")
+        fps.append(fp)
+    return fps
+
+
+class TestJournal:
+    def test_puts_advance_the_cursor(self, tmp_path):
+        cache = _cache(tmp_path, "a")
+        assert cache.sync_cursor() == 0
+        _fill(cache, 3)
+        assert cache.sync_cursor() >= 3
+
+    def test_entries_since_pages_and_terminates(self, tmp_path):
+        cache = _cache(tmp_path, "a")
+        fps = set(_fill(cache, 5))
+        cursor, seen = 0, []
+        while cursor < cache.sync_cursor():
+            cursor, entries = cache.entries_since(cursor, limit=2)
+            seen.extend(e["fp"] for e in entries)
+        assert set(seen) == fps
+
+    def test_journal_bootstraps_for_a_prejournal_directory(self, tmp_path):
+        cache = _cache(tmp_path, "a")
+        _fill(cache, 3)
+        # Simulate a cache directory written before journaling existed.
+        (tmp_path / "a" / "_journal.log").unlink()
+        fresh = DiskCache(str(tmp_path / "a"))
+        assert fresh.sync_cursor() == 3
+        _, entries = fresh.entries_since(0, limit=10)
+        assert len(entries) == 3
+
+    def test_clear_resets_the_cursor(self, tmp_path):
+        cache = _cache(tmp_path, "a")
+        _fill(cache, 2)
+        cache.clear()
+        assert cache.sync_cursor() == 0
+        assert cache.entries_since(0) == (0, [])
+
+    def test_health_reports_the_cursor(self, tmp_path):
+        cache = _cache(tmp_path, "a")
+        _fill(cache, 2)
+        assert cache.health()["sync_cursor"] == cache.sync_cursor()
+
+
+class TestMergeEntry:
+    def test_merge_is_idempotent(self, tmp_path):
+        src = _cache(tmp_path, "src")
+        dst = _cache(tmp_path, "dst")
+        (fp,) = _fill(src, 1)
+        _, entries = src.entries_since(0, limit=10)
+        (entry,) = [e for e in entries if e["fp"] == fp]
+        assert dst.merge_entry(entry) is True
+        assert dst.merge_entry(entry) is False  # already present
+        got = dst.get(fp)
+        assert got is not None and got.satisfiable
+
+    def test_merged_entry_round_trips_unsat(self, tmp_path):
+        src = _cache(tmp_path, "src")
+        dst = _cache(tmp_path, "dst")
+        fp = "ab" * 32
+        src.put(fp, False, None, solver="test")
+        _, entries = src.entries_since(0, limit=10)
+        (entry,) = entries
+        assert dst.merge_entry(entry)
+        got = dst.get(fp)
+        assert got is not None and not got.satisfiable
+
+    @pytest.mark.parametrize(
+        "fp",
+        [
+            "../../etc/passwd",
+            "..",
+            "x/y",
+            "UPPERCASE" * 8,
+            "short",
+            "",
+            123,
+        ],
+    )
+    def test_hostile_fingerprints_are_rejected(self, tmp_path, fp):
+        # The fp arrives off the wire and is joined into the cache
+        # directory: anything but a plain hex digest must be refused.
+        dst = _cache(tmp_path, "dst")
+        assert dst.merge_entry({"fp": fp, "sat": True, "lits": [1]}) is False
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            "not a dict",
+            {},
+            {"fp": "ab" * 32, "sat": True, "lits": None},
+            {"fp": "ab" * 32, "sat": True, "lits": []},
+            {"fp": "ab" * 32, "sat": True, "lits": [0]},
+            {"fp": "ab" * 32, "sat": True, "lits": ["x"]},
+        ],
+    )
+    def test_malformed_entries_are_rejected(self, tmp_path, entry):
+        dst = _cache(tmp_path, "dst")
+        assert dst.merge_entry(entry) is False
+
+    def test_merge_respects_capacity_and_degraded_mode(self, tmp_path):
+        src = _cache(tmp_path, "src")
+        _fill(src, 1)
+        _, entries = src.entries_since(0, limit=10)
+        disabled = _cache(tmp_path, "off", max_entries=0)
+        assert disabled.merge_entry(entries[0]) is False
+
+
+class TestSyncOp:
+    @pytest.fixture
+    def disk_daemon(self, tmp_path):
+        d = ServiceDaemon(
+            str(tmp_path / "svc.sock"),
+            SolverService(EngineConfig(
+                jobs=1, cache="disk", cache_dir=str(tmp_path / "cache"),
+            )),
+            log_path=str(tmp_path / "daemon.log"),
+        )
+        thread = d.start()
+        yield d
+        d.shutdown()
+        thread.join(timeout=10)
+
+    def test_sync_streams_solved_entries(self, disk_daemon):
+        f, _ = random_planted_ksat(12, 36, rng=6)
+        with ServiceClient(disk_daemon.socket_path) as client:
+            solved = client.solve(SolveRequest(formula=f, seed=0))
+            assert solved.status == "sat"
+            page = client.sync(0)
+            fps = {e["fp"] for e in page["entries"]}
+            assert solved.fingerprint in fps
+            assert page["cursor"] >= 1
+            # Cursor caught up: the next pull is empty.
+            again = client.sync(page["cursor"])
+            assert again["entries"] == [] and not again["more"]
+
+    def test_sync_needs_the_disk_cache(self, tmp_path):
+        d = ServiceDaemon(
+            str(tmp_path / "mem.sock"),
+            SolverService(EngineConfig(jobs=1)),  # memory cache
+            log_path=str(tmp_path / "mem.log"),
+        )
+        thread = d.start()
+        try:
+            with ServiceClient(d.socket_path) as client:
+                with pytest.raises(ServiceError, match="persistent cache"):
+                    client.sync(0)
+        finally:
+            d.shutdown()
+            thread.join(timeout=10)
+
+    def test_sync_drop_chaos_converges_on_repull(self, disk_daemon):
+        f, _ = random_planted_ksat(12, 36, rng=6)
+        with ServiceClient(
+            disk_daemon.socket_path, retries=3, backoff=0.01
+        ) as client:
+            client.solve(SolveRequest(formula=f, seed=0))
+            faults.install("seed=7;sync.drop:p=1,count=2")
+            # Two drops burn two retries; the third attempt lands and the
+            # page is identical to what an undropped pull would return.
+            page = client.sync(0)
+            assert len(page["entries"]) == 1
+            snap = client.health()["faults"]
+        assert snap["points"]["sync.drop"]["fired"] == 2
+
+
+class TestCacheSyncer:
+    @pytest.fixture
+    def peer_daemon(self, tmp_path):
+        d = ServiceDaemon(
+            str(tmp_path / "peer.sock"),
+            SolverService(EngineConfig(
+                jobs=1, cache="disk", cache_dir=str(tmp_path / "peer-cache"),
+            )),
+            log_path=str(tmp_path / "peer.log"),
+        )
+        thread = d.start()
+        yield d
+        d.shutdown()
+        thread.join(timeout=10)
+
+    def test_sync_once_pulls_a_peer_cache(self, tmp_path, peer_daemon):
+        f, _ = random_planted_ksat(12, 36, rng=6)
+        with ServiceClient(peer_daemon.socket_path) as client:
+            solved = client.solve(SolveRequest(formula=f, seed=0))
+        local = _cache(tmp_path, "local")
+        syncer = CacheSyncer(local, [peer_daemon.socket_path], limit=2)
+        try:
+            assert syncer.sync_once() == 1
+            assert solved.fingerprint in local
+            # Second round: cursor advanced, nothing new to merge.
+            assert syncer.sync_once() == 0
+            status = syncer.status()
+            assert status["merged"] == 1 and status["pulls"] >= 1
+            peer_key = f"unix://{peer_daemon.socket_path}"
+            assert status["peers"][peer_key]["cursor"] >= 1
+            assert status["peers"][peer_key]["last_error"] is None
+        finally:
+            syncer.stop()
+
+    def test_down_peer_is_recorded_not_raised(self, tmp_path):
+        local = _cache(tmp_path, "local")
+        syncer = CacheSyncer(local, [str(tmp_path / "nobody.sock")])
+        try:
+            assert syncer.sync_once() == 0
+            (peer_status,) = syncer.status()["peers"].values()
+            assert peer_status["last_error"] is not None
+            assert peer_status["cursor"] == 0
+        finally:
+            syncer.stop()
+
+    def test_background_loop_replicates(self, tmp_path, peer_daemon):
+        f, _ = random_planted_ksat(12, 36, rng=6)
+        with ServiceClient(peer_daemon.socket_path) as client:
+            solved = client.solve(SolveRequest(formula=f, seed=0))
+        local = _cache(tmp_path, "local")
+        syncer = CacheSyncer(local, [peer_daemon.socket_path], interval=0.05)
+        syncer.start()
+        try:
+            import time
+
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if solved.fingerprint in local:
+                    break
+                time.sleep(0.02)
+            assert solved.fingerprint in local
+        finally:
+            syncer.stop()
+
+
+class TestPackets:
+    def test_export_import_round_trip(self, tmp_path):
+        src = _cache(tmp_path, "src")
+        fps = _fill(src, 4)
+        packet = tmp_path / "pkt.jsonl"
+        assert export_packet(src, packet) == 4
+        dst = _cache(tmp_path, "dst")
+        assert import_packet(dst, packet) == (4, 4)
+        assert import_packet(dst, packet) == (4, 0)  # idempotent
+        for fp in fps:
+            assert fp in dst
+
+    def test_export_since_skips_old_entries(self, tmp_path):
+        src = _cache(tmp_path, "src")
+        _fill(src, 2)
+        mid = src.sync_cursor()
+        _fill(src, 2, start=10)
+        packet = tmp_path / "tail.jsonl"
+        assert export_packet(src, packet, since=mid) == 2
+
+    def test_import_rejects_non_packets(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text(json.dumps({"format": "something-else"}) + "\n")
+        dst = _cache(tmp_path, "dst")
+        with pytest.raises(ReproError, match="not a cache packet"):
+            import_packet(dst, bogus)
+
+    def test_cache_cli_round_trip(self, tmp_path, capsys):
+        src = _cache(tmp_path, "src")
+        _fill(src, 3)
+        packet = str(tmp_path / "pkt.jsonl")
+        assert main([
+            "cache", "export", packet, "--cache-dir", str(tmp_path / "src"),
+        ]) == 0
+        assert "exported 3 entries" in capsys.readouterr().out
+        assert main([
+            "cache", "import", packet, "--cache-dir", str(tmp_path / "dst"),
+        ]) == 0
+        assert "imported 3 new of 3" in capsys.readouterr().out
+        assert len(DiskCache(str(tmp_path / "dst"))) == 3

@@ -24,6 +24,7 @@ def test_examples_exist():
         "portfolio_engine.py",
         "solver_service.py",
         "workload_replay.py",
+        "cluster.py",
     } <= names
 
 

@@ -222,9 +222,13 @@ class TestStatsJson:
 
 
 class TestServeParser:
-    def test_serve_requires_socket(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["serve"])
+    def test_serve_requires_an_endpoint(self, capsys):
+        # --socket is optional since --tcp arrived, but at least one
+        # listener must be given.
+        rc = main(["serve"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--socket" in err and "--tcp" in err
 
     def test_serve_disk_cache_requires_dir(self, tmp_path, capsys):
         rc = main(["serve", "--socket", str(tmp_path / "s.sock"),
