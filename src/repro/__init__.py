@@ -94,7 +94,7 @@ from repro.workload import (
     replay_trace,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AddClause",

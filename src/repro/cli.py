@@ -285,6 +285,19 @@ def _cmd_serve(args) -> int:
             meta={"source": "repro serve", "socket": args.socket or args.tcp},
         )
     auth_token = args.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
+    tracer = None
+    if args.trace_log or args.trace_sample is not None:
+        from repro.obs.tracing import Tracer
+
+        # --trace-log without an explicit rate samples 1% of roots;
+        # continued contexts (requests arriving with a trace header)
+        # are always recorded regardless of the rate.
+        sample = args.trace_sample if args.trace_sample is not None else 0.01
+        tracer = Tracer(
+            service=args.socket or args.tcp or "node",
+            sample=sample,
+            log_path=args.trace_log,
+        )
     service = SolverService(config, recorder=recorder)
     syncer = None
     if args.peer:
@@ -311,6 +324,7 @@ def _cmd_serve(args) -> int:
         tcp_address=args.tcp,
         auth_token=auth_token,
         syncer=syncer,
+        tracer=tracer,
     )
     daemon.bind()
     try:
@@ -346,6 +360,8 @@ def _cmd_route(args) -> int:
         log_path=args.log_file,
         health_interval=args.health_interval,
         retries=args.retries,
+        trace_log=args.trace_log,
+        trace_sample=args.trace_sample if args.trace_sample is not None else 0.0,
     )
     router.bind()
     try:
@@ -593,6 +609,11 @@ def _cmd_stats(args) -> int:
         f"{frame.get('errors', 0):.0f} errors"
     )
     print(
+        f"c effort (window): {frame.get('propagations', 0):.0f} propagations, "
+        f"{frame.get('conflicts', 0):.0f} conflicts, "
+        f"{frame.get('restarts', 0):.0f} restarts"
+    )
+    print(
         f"c latency (lifetime, {lat.get('count', 0)} samples): "
         f"mean {_ms(lat.get('mean', 0.0))} p50 {_ms(lat.get('p50', 0.0))} "
         f"p90 {_ms(lat.get('p90', 0.0))} p99 {_ms(lat.get('p99', 0.0))} "
@@ -645,6 +666,47 @@ def _cmd_stats(args) -> int:
             f"daemon errors {health.get('errors', 0):.0f}"
             + (", draining" if health.get("draining") else "")
         )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Join span JSONL logs into trace trees and print waterfalls."""
+    from repro.obs.tracing import format_trace, group_traces, load_spans
+
+    spans = load_spans(args.logs)
+    traces = group_traces(spans)
+    if args.trace_id:
+        traces = {
+            t: s for t, s in traces.items() if t.startswith(args.trace_id)
+        }
+        if not traces:
+            print(f"error: no trace matching {args.trace_id!r}",
+                  file=sys.stderr)
+            return 1
+    if not traces:
+        print("error: no span records in the given logs", file=sys.stderr)
+        return 1
+    # Most recent first (by each trace's last span); cap unless a
+    # specific trace was asked for.
+    ordered = sorted(
+        traces.items(),
+        key=lambda kv: max(s.get("mono") or 0.0 for s in kv[1]),
+        reverse=True,
+    )
+    dropped = 0
+    if not args.trace_id and args.limit and len(ordered) > args.limit:
+        dropped = len(ordered) - args.limit
+        ordered = ordered[: args.limit]
+    if args.json:
+        for trace_id, bucket in ordered:
+            print(json.dumps({"trace": trace_id, "spans": bucket}))
+        return 0
+    for trace_id, bucket in ordered:
+        for line in format_trace(bucket):
+            print(line)
+        print()
+    if dropped:
+        print(f"c {dropped} older trace(s) not shown (raise --limit)")
     return 0
 
 
@@ -810,6 +872,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "'seed=42;worker.kill:p=0.1,count=2;wire.drop:p=0.05' "
                         "— deterministic per seed, propagated to pool "
                         "workers (testing only; see repro.faults)")
+    p.add_argument("--trace-log", metavar="PATH", default=None,
+                   help="append one JSONL span record per traced request "
+                        "stage here; reconstruct with `repro trace`")
+    p.add_argument("--trace-sample", type=float, default=None,
+                   help="root sampling probability for requests arriving "
+                        "without a trace context (default 0.01 when "
+                        "--trace-log is given, else tracing stays off; "
+                        "requests that arrive traced are always recorded)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -834,6 +904,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transport retries per node before failing over")
     p.add_argument("--log-file", default=None,
                    help="append one line per routed request here")
+    p.add_argument("--trace-log", metavar="PATH", default=None,
+                   help="append one JSONL record per router hop span "
+                        "here; join with node logs via `repro trace`")
+    p.add_argument("--trace-sample", type=float, default=None,
+                   help="root sampling probability for untraced requests "
+                        "(default 0: the router only continues traces "
+                        "clients start)")
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser(
@@ -947,6 +1024,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trailing seconds folded into one-shot rates "
                         "(default 60)")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="reconstruct distributed trace trees from span JSONL logs "
+             "(written with serve/route --trace-log)",
+    )
+    p.add_argument("logs", nargs="+",
+                   help="span JSONL logs to join — any mix of client, "
+                        "router, and node files")
+    p.add_argument("--trace-id", metavar="PREFIX", default=None,
+                   help="show only the trace(s) whose id starts with this")
+    p.add_argument("--json", action="store_true",
+                   help="one JSON object per trace (id + raw spans) "
+                        "instead of the waterfall rendering")
+    p.add_argument("--limit", type=int, default=10,
+                   help="most-recent traces to render (default 10; "
+                        "ignored with --trace-id)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("enable", help="solve with enabling EC")
     p.add_argument("file")

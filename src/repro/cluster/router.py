@@ -43,6 +43,8 @@ import time
 
 from repro.cnf.packed import PackedCNF
 from repro.errors import CNFError, ConnectError, ReproError, ServiceError
+from repro.obs import tracing
+from repro.obs.histogram import LatencyHistogram
 from repro.service.address import parse_address
 from repro.service.client import AuthError, ServiceClient
 from repro.service.wire import WireError, recv_frame, send_frame
@@ -92,6 +94,13 @@ class RouterDaemon:
         retries: transport retries per relayed request (per node tried).
         timeout: socket timeout toward nodes for relayed requests.
         max_frame_bytes: incoming frame cap, as on the daemon.
+        trace_log: JSONL sink for the router's hop spans (``repro route
+            --trace-log``).  Hop spans are *continued* for any request
+            arriving with a trace context regardless of sampling;
+            ``trace_sample`` only governs root-sampling of untraced
+            requests.
+        trace_sample: root sampling probability for requests that
+            arrive without a context (default 0 — continue-only).
     """
 
     def __init__(
@@ -106,6 +115,8 @@ class RouterDaemon:
         retries: int = 2,
         timeout: float | None = 300.0,
         max_frame_bytes: int | None = None,
+        trace_log: str | None = None,
+        trace_sample: float = 0.0,
     ):
         self.listen = parse_address(listen)
         addresses = [str(parse_address(n)) for n in nodes]
@@ -120,7 +131,16 @@ class RouterDaemon:
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
         self.tcp_port: int | None = None
+        # Deliberately NOT installed process-globally: the router owns
+        # its tracer (hop spans + backend-retry spans only); a co-hosted
+        # node daemon's tracer must not capture router stages.
+        self._tracer = tracing.Tracer(
+            service="router", sample=trace_sample, log_path=trace_log
+        )
         self._nodes = {a: _NodeState(a) for a in self.ring.nodes}
+        # Per-node forward latency (successful relays only) — the
+        # observation substrate a hedging policy would read.
+        self._latency = {a: LatencyHistogram() for a in self.ring.nodes}
         self._counters = {
             "routed": 0,
             "failovers": 0,
@@ -381,6 +401,7 @@ class RouterDaemon:
                     {"ok": False, "error": f"internal error: {exc!r}"},
                     False,
                 )
+            ctx = tracing.ctx_from_wire(header.get("trace"))
             self._log(
                 "op",
                 op=op,
@@ -388,6 +409,7 @@ class RouterDaemon:
                 session=header.get("session"),
                 wall=round(time.perf_counter() - t0, 6),
                 error=response.get("error"),
+                trace=ctx.trace_id if ctx is not None else None,
             )
             if not self._try_send(conn, response):
                 return
@@ -434,9 +456,17 @@ class RouterDaemon:
         }
 
     def cluster_health(self) -> dict:
-        """Per-node generation/degraded/sync-cursor plus router counters."""
+        """Per-node generation/degraded/sync-cursor plus router counters.
+
+        Each node's snapshot carries its forward-latency summary — the
+        per-node p50/p99 a tail-hedging policy would key off.
+        """
         with self._lock:
-            nodes = {a: s.snapshot() for a, s in self._nodes.items()}
+            nodes = {}
+            for a, s in self._nodes.items():
+                snap = s.snapshot()
+                snap["latency"] = self._latency[a].summary()
+                nodes[a] = snap
             counters = dict(self._counters)
         counters["listen"] = self.address
         counters["health_interval"] = self.health_interval
@@ -474,6 +504,9 @@ class RouterDaemon:
                 timeout=self.timeout,
                 retries=self.retries,
                 auth_token=self.node_token,
+                # Backend transport retries become child spans of the
+                # hop span riding the forwarded frame's trace header.
+                tracer=self._tracer,
             )
             clients[node] = client
         return client
@@ -495,10 +528,24 @@ class RouterDaemon:
         order = [n for n in preference if n not in down] + [
             n for n in preference if n in down
         ]
+        # Re-parent the trace at the hop: the span continues the
+        # client's context (or roots a new trace when the router itself
+        # samples), and the forwarded frame carries the *hop's* context
+        # so the node's daemon span nests under it.
+        ctx = tracing.ctx_from_wire(header.get("trace"))
+        span = None
+        if ctx is not None:
+            span = self._tracer.begin("router.forward", ctx, op=op)
+        elif self._tracer.maybe_trace():
+            span = self._tracer.begin("router.forward", op=op)
+        if span is not None:
+            header = dict(header)
+            header["trace"] = tracing.ctx_to_wire(span.context)
         last: Exception | None = None
         for index, node in enumerate(order):
             try:
                 client = self._node_client(node, clients)
+                n0 = time.monotonic()
                 response = client.forward(header, payload)
             except AuthError as exc:
                 # The node refused our token — a clean 401, not a dead
@@ -520,12 +567,20 @@ class RouterDaemon:
                     stale.close()
                 last = exc
                 continue
+            with self._lock:
+                hist = self._latency.get(node)
+                if hist is not None:
+                    hist.record(time.monotonic() - n0)
             self._count("routed")
             if index:
                 self._count("failovers")
                 self._log("failover", key=key[:64], node=node, tried=index)
+            if span is not None:
+                self._tracer.finish(span, node=node, tried=index + 1)
             return response
         self._count("unrouted")
+        if span is not None:
+            self._tracer.finish(span, error=str(last), tried=len(order))
         return {
             "ok": False,
             "error": f"no reachable node for {op!r} "
@@ -557,7 +612,15 @@ class RouterDaemon:
                 "ok": False,
                 "error": f"no reachable node for 'stats': {last}",
             }
-        merged["cluster"] = {"nodes": reached, "router": self.address}
+        with self._lock:
+            node_latency = {
+                a: self._latency[a].summary() for a in self.ring.nodes
+            }
+        merged["cluster"] = {
+            "nodes": reached,
+            "router": self.address,
+            "node_latency": node_latency,
+        }
         return {"ok": True, "stats": merged}
 
     @staticmethod

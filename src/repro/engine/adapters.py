@@ -73,16 +73,27 @@ class CDCLAdapter:
             max_conflicts=self.max_conflicts, restart_base=self.restart_base
         ).solve_packed(packed, polarity_hint=hint, deadline=deadline, seed=seed)
         wall = time.perf_counter() - t0
+        # Structured search-effort counters ride every outcome (SAT,
+        # UNSAT, or exhausted) so the engine can aggregate solver effort
+        # and solve spans can annotate it — `detail` stays human-only.
+        stats = {
+            "propagations": res.propagations,
+            "conflicts": res.conflicts,
+            "restarts": res.restarts,
+        }
         if res.satisfiable is True:
             return verified_sat(
                 packed, res.assignment, self.name, wall,
                 f"conflicts={res.conflicts} restarts={res.restarts}",
+                stats,
             )
         if res.satisfiable is False:
             return SolverOutcome(
-                UNSAT, None, self.name, wall, f"learned={res.learned}"
+                UNSAT, None, self.name, wall, f"learned={res.learned}", stats
             )
-        return SolverOutcome(UNKNOWN, None, self.name, wall, "budget exhausted")
+        return SolverOutcome(
+            UNKNOWN, None, self.name, wall, "budget exhausted", stats
+        )
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,7 @@ from repro.engine.config import EngineConfig, SolverConfig
 from repro.engine.fingerprint import fingerprint_v2
 from repro.engine.portfolio import DEFAULT_QUICK_SLICE, Portfolio
 from repro.engine.protocol import SAT, UNSAT, SolverOutcome
+from repro.obs import tracing
 from repro.obs.metrics import LATENCY_HISTOGRAM, MetricsRegistry
 
 
@@ -62,6 +63,13 @@ class EngineStats:
 
         solves == cache_hits + revalidations + races
                   + batch_dedups + inflight_joins
+
+    The CDCL search-effort counters (``propagations``/``conflicts``/
+    ``restarts``) sit *outside* that invariant: they sum the structured
+    :attr:`~repro.engine.protocol.SolverOutcome.stats` of every racer
+    that reported any — solver effort spent, not queries answered —
+    so ``repro stats`` shows where search time went even with tracing
+    disabled.
     """
 
     solves: int = 0              # total queries answered (any path below)
@@ -72,6 +80,9 @@ class EngineStats:
     batch_dedups: int = 0        # solve_many() queries answered intra-batch
     inflight_joins: int = 0      # queries coalesced onto a concurrent twin
     transport_bytes: int = 0     # wire payload bytes shipped to race workers
+    propagations: int = 0        # CDCL unit propagations across all racers
+    conflicts: int = 0           # CDCL conflicts across all racers
+    restarts: int = 0            # CDCL restarts across all racers
 
     def snapshot(self) -> dict:
         """A plain-dict copy of the counters (JSON-able, diffable).
@@ -89,6 +100,7 @@ class EngineStats:
 _DELTA_FIELDS = (
     "solves", "cache_hits", "revalidations", "races", "solver_calls",
     "batch_dedups", "inflight_joins", "transport_bytes",
+    "propagations", "conflicts", "restarts",
 )
 
 
@@ -105,6 +117,10 @@ class _InFlight:
     result: "EngineResult | None" = None
     error: BaseException | None = None
     joiners: int = 0
+    #: The leader's ``engine.solve`` span id (when tracing is live) —
+    #: joiners tag their ``inflight.join`` spans with it so a coalesced
+    #: request's trace points at the race that actually answered it.
+    span_id: str | None = None
 
 
 @dataclass
@@ -257,10 +273,16 @@ class PortfolioEngine:
 
         delta = dict.fromkeys(_DELTA_FIELDS, 0)
         try:
-            result = self._solve_pipeline(
-                formula, fp, deadline=deadline, seed=seed, hint=hint,
-                use_cache=use_cache, lead=lead, delta=delta, t0=t0,
-            )
+            with tracing.stage("engine.solve") as sp:
+                if sp is not None and flight is not None:
+                    flight.span_id = sp.span_id
+                result = self._solve_pipeline(
+                    formula, fp, deadline=deadline, seed=seed, hint=hint,
+                    use_cache=use_cache, lead=lead, delta=delta, t0=t0,
+                )
+                if sp is not None:
+                    sp.tags["source"] = result.source
+                    sp.tags["status"] = result.status
         except BaseException as exc:
             self._finish_flight(fp, flight, None, exc)
             raise
@@ -276,7 +298,14 @@ class PortfolioEngine:
 
     def _join(self, flight: _InFlight, fp: str, t0: float) -> EngineResult:
         """Park on a concurrent identical query and copy its answer."""
-        flight.event.wait()
+        # The stage covers the whole park: its duration IS the time this
+        # request spent waiting on the leader's race.  The leader tag is
+        # set after the event fires — the leader may not have opened its
+        # span yet when the joiner arrives.
+        with tracing.stage("inflight.join") as sp:
+            flight.event.wait()
+            if sp is not None and flight.span_id is not None:
+                sp.tags["leader"] = flight.span_id
         if flight.error is not None:
             raise flight.error
         base = flight.result
@@ -342,37 +371,51 @@ class PortfolioEngine:
         # The hint is checked BEFORE the cache: both are O(clauses), and a
         # still-valid current solution must win over an older cached model
         # — serving the cache here would churn the very solution the EC
-        # methodology tries to preserve.
-        if hint is not None and formula.is_satisfied(hint):
-            delta["revalidations"] += 1
-            model = hint.copy()
+        # methodology tries to preserve.  One ``cache.lookup`` stage spans
+        # both checks; its ``tier`` tag records which answered.
+        with tracing.stage("cache.lookup") as sp:
+            if hint is not None and formula.is_satisfied(hint):
+                delta["revalidations"] += 1
+                model = hint.copy()
+                if use_cache:
+                    with self.lock:
+                        self.cache.put(fp, True, model, solver="revalidation")
+                if sp is not None:
+                    sp.tags["tier"] = "revalidation"
+                return EngineResult(
+                    SAT, model, fp, "revalidation", time.perf_counter() - t0
+                )
+
             if use_cache:
                 with self.lock:
-                    self.cache.put(fp, True, model, solver="revalidation")
-            return EngineResult(
-                SAT, model, fp, "revalidation", time.perf_counter() - t0
-            )
-
-        if use_cache:
-            with self.lock:
-                entry = self.cache.get(fp)
-            if entry is not None:
-                if entry.satisfiable and formula.is_satisfied(entry.assignment):
-                    delta["cache_hits"] += 1
-                    return EngineResult(
-                        SAT, entry.assignment, fp, "cache",
-                        time.perf_counter() - t0, from_cache=True,
-                    )
-                if not entry.satisfiable:
-                    delta["cache_hits"] += 1
-                    return EngineResult(
-                        UNSAT, None, fp, "cache",
-                        time.perf_counter() - t0, from_cache=True,
-                    )
-                # A cached model that no longer verifies means a hash
-                # collision or an upstream bug; drop it and fall through.
-                with self.lock:
-                    self.cache.invalidate(fp)
+                    entry = self.cache.get(fp)
+                if entry is not None:
+                    if entry.satisfiable and formula.is_satisfied(entry.assignment):
+                        delta["cache_hits"] += 1
+                        if sp is not None:
+                            sp.tags["tier"] = "hit-sat"
+                        return EngineResult(
+                            SAT, entry.assignment, fp, "cache",
+                            time.perf_counter() - t0, from_cache=True,
+                        )
+                    if not entry.satisfiable:
+                        delta["cache_hits"] += 1
+                        if sp is not None:
+                            sp.tags["tier"] = "hit-unsat"
+                        return EngineResult(
+                            UNSAT, None, fp, "cache",
+                            time.perf_counter() - t0, from_cache=True,
+                        )
+                    # A cached model that no longer verifies means a hash
+                    # collision or an upstream bug; drop it and fall through.
+                    with self.lock:
+                        self.cache.invalidate(fp)
+                    if sp is not None:
+                        sp.tags["tier"] = "invalidated"
+                elif sp is not None:
+                    sp.tags["tier"] = "miss"
+            elif sp is not None:
+                sp.tags["tier"] = "bypass"
 
         delta["races"] += 1
         result = self.portfolio.solve(
@@ -383,6 +426,14 @@ class PortfolioEngine:
         # zero-solver paths and an upper bound on completed runs.
         delta["solver_calls"] += result.executed
         delta["transport_bytes"] += result.transport_bytes
+        # Search-effort counters: sum every racer's structured stats —
+        # effort spent across the whole race, not just the winner's.
+        for raced in result.outcomes:
+            st = raced.stats
+            if st:
+                delta["propagations"] += int(st.get("propagations", 0) or 0)
+                delta["conflicts"] += int(st.get("conflicts", 0) or 0)
+                delta["restarts"] += int(st.get("restarts", 0) or 0)
         outcome = result.outcome
         if use_cache and outcome.is_definitive:
             with self.lock:

@@ -67,6 +67,7 @@ from repro.engine.config import (
     default_portfolio_configs,
 )
 from repro.engine.protocol import SAT, SolverOutcome, UNKNOWN, UNSAT
+from repro.obs import tracing
 
 #: Worker-side cancellation slot array, installed by :func:`_init_worker`.
 #: Each concurrently running race owns one slot for its lifetime.
@@ -602,9 +603,12 @@ class Portfolio:
             )
             first = configs[0]
             launched += 1
-            out = run_config(
-                first, formula, deadline=slice_budget, seed=seed, hint=hint
-            )
+            with tracing.stage("quick_slice", solver=first.name) as sp:
+                out = run_config(
+                    first, formula, deadline=slice_budget, seed=seed, hint=hint
+                )
+                if sp is not None:
+                    sp.tags["status"] = out.status
             outcomes.append(out)
             if _trusted(first, out):
                 self._note_launched(launched)
@@ -626,9 +630,12 @@ class Portfolio:
                     if remaining == 0.0:
                         break
                 launched += 1
-                out = run_config(
-                    config, formula, deadline=remaining, seed=seed, hint=hint
-                )
+                with tracing.stage("solve", solver=config.name) as sp:
+                    out = run_config(
+                        config, formula, deadline=remaining, seed=seed, hint=hint
+                    )
+                    if sp is not None:
+                        sp.tags["status"] = out.status
                 outcomes.append(out)
                 if _trusted(config, out):
                     winner = out
@@ -653,6 +660,13 @@ class Portfolio:
         retried = False
         not_run = 0
         next_config = 0
+        # Workers never ship spans back across the process boundary; the
+        # parent reconstructs `pool.wait` (its own clock) and `solve`
+        # (the winner's wall_time) as synthetic spans at race end,
+        # parented on whatever stage is active right now (engine.solve).
+        trace_tracer, trace_ctx = tracing.active()
+        wait_t0 = time.monotonic()
+        first_done: float | None = None
         try:
             while True:
                 # Top up this race's apportioned share of the pool.
@@ -694,6 +708,8 @@ class Portfolio:
                 done, pending = wait(
                     pending, return_when=FIRST_COMPLETED, timeout=timeout
                 )
+                if done and first_done is None:
+                    first_done = time.monotonic()
                 if not done:
                     timed_out = True
                     break
@@ -729,6 +745,8 @@ class Portfolio:
                     # trustworthy, so it still wins instead of being
                     # dropped on the floor.
                     done, _still = wait(live, timeout=self.drain)
+                    if done and first_done is None:
+                        first_done = time.monotonic()
                     for fut in done:
                         try:
                             out = fut.result()
@@ -782,6 +800,22 @@ class Portfolio:
             final = SolverOutcome(UNKNOWN, None, "portfolio", 0.0, "deadline exceeded")
         else:
             final = winner or _best_unknown(outcomes)
+        if trace_tracer is not None and trace_ctx is not None:
+            if first_done is not None:
+                trace_tracer.record(
+                    "pool.wait",
+                    parent=trace_ctx,
+                    start=wait_t0,
+                    duration=first_done - wait_t0,
+                    tags={"launched": launched},
+                )
+            if winner is not None:
+                trace_tracer.record(
+                    "solve",
+                    parent=trace_ctx,
+                    duration=winner.wall_time,
+                    tags={"solver": winner.solver, **(winner.stats or {})},
+                )
         return PortfolioResult(
             final, winner.solver if winner else None, launched,
             time.perf_counter() - t0, outcomes, executed=launched - not_run,

@@ -42,6 +42,12 @@ class SolverOutcome:
         solver: name of the configuration that produced the outcome.
         wall_time: seconds spent inside the solver call.
         detail: free-form diagnostics (budget kind, fallback notes, ...).
+        stats: optional structured search-effort counters (e.g. CDCL's
+            ``propagations``/``conflicts``/``restarts``) — machine-
+            readable where ``detail`` is free-form.  Crosses the worker
+            process boundary with the outcome, feeds ``EngineStats``
+            aggregation and solve-span annotations; ``None`` from
+            solvers that do not count anything.
     """
 
     status: str
@@ -49,6 +55,7 @@ class SolverOutcome:
     solver: str = ""
     wall_time: float = 0.0
     detail: str = ""
+    stats: dict | None = None
 
     @property
     def is_definitive(self) -> bool:
@@ -110,6 +117,7 @@ def verified_sat(
     solver: str,
     wall_time: float,
     detail: str = "",
+    stats: dict | None = None,
 ) -> SolverOutcome:
     """Build a ``sat`` outcome, downgrading to ``unknown`` on a bad model.
 
@@ -121,7 +129,8 @@ def verified_sat(
     the flat arrays without materializing clause objects).
     """
     if assignment is not None and formula.is_satisfied(assignment):
-        return SolverOutcome(SAT, assignment, solver, wall_time, detail)
+        return SolverOutcome(SAT, assignment, solver, wall_time, detail, stats)
     return SolverOutcome(
-        UNKNOWN, None, solver, wall_time, detail or "model failed verification"
+        UNKNOWN, None, solver, wall_time,
+        detail or "model failed verification", stats,
     )

@@ -10,7 +10,10 @@ running daemon introspectable —
   buffers;
 * :mod:`repro.obs.metrics`    — the narrow-lock :class:`MetricsRegistry`
   the engine and service publish into, plus the frame diffing behind
-  ``repro stats --watch`` and the daemon's :class:`StatsMonitor`.
+  ``repro stats --watch`` and the daemon's :class:`StatsMonitor`;
+* :mod:`repro.obs.tracing`    — end-to-end distributed tracing: a W3C-
+  shaped trace context riding the frame header, per-hop spans, JSONL
+  export, and the trace-tree reconstruction behind ``repro trace``.
 """
 
 from repro.obs.histogram import LatencyHistogram
@@ -24,6 +27,7 @@ from repro.obs.metrics import (
     hit_rate,
 )
 from repro.obs.timeseries import RingSeries
+from repro.obs.tracing import Span, TraceContext, Tracer
 
 __all__ = [
     "FRAME_COUNTERS",
@@ -32,7 +36,10 @@ __all__ = [
     "LatencyHistogram",
     "MetricsRegistry",
     "RingSeries",
+    "Span",
     "StatsMonitor",
+    "TraceContext",
+    "Tracer",
     "build_frame",
     "hit_rate",
 ]

@@ -44,6 +44,11 @@ FRAME_COUNTERS = (
     "batch_dedups",
     "inflight_joins",
     "errors",
+    # CDCL search-effort counters (mirrored from EngineStats deltas):
+    # where solver time went, not how many queries were answered.
+    "propagations",
+    "conflicts",
+    "restarts",
 )
 
 #: The histogram every solve latency lands in.
@@ -247,6 +252,7 @@ class StatsMonitor:
     FIELDS = (
         "requests", "solves", "cache_hits", "revalidations", "races",
         "solver_calls", "batch_dedups", "inflight_joins", "errors",
+        "propagations", "conflicts", "restarts",
         "inflight", "queued", "sessions", "p50", "p99",
     )
 

@@ -1,0 +1,548 @@
+"""End-to-end distributed tracing for the serving stack.
+
+PR 6's metrics layer shows *that* p99 is high; this module says *where*
+a slow request spent its time once it crossed the client -> router ->
+node -> pool-worker boundary.  The design is W3C-trace-context shaped,
+shrunk to what the frame protocol needs:
+
+* a :class:`TraceContext` — ``trace_id`` (32 hex), ``span_id`` (16 hex),
+  and a sampled flag — rides the wire as one optional ``"trace"`` key in
+  the frame header (old peers ignore it; old frames parse unchanged);
+* every hop opens a :class:`Span` as a *child* of the incoming context
+  and re-parents downstream work on itself: the client's root span, the
+  router's ``router.forward`` hop, the daemon's ``daemon.<op>``, the
+  engine's cache/race stages, and a synthesized ``solve`` span carrying
+  the winning racer's CDCL counters (workers don't ship spans back —
+  the parent reconstructs the solve from the outcome's wall time);
+* finished spans land in a fixed-memory ring plus an optional JSONL
+  sink whose records follow the daemon forensics-log convention —
+  ``mono`` (monotonic), ``ts`` (wall), ``event: "span"`` — so trace
+  records can share a file with op records and still be filtered out
+  and joined on ``trace_id``, ordered by ``mono``.
+
+**Sampling** decides at the root (the client, or the first traced hop
+for untraced incoming requests): an unsampled request simply carries no
+``"trace"`` key, and every downstream fast path is one global read plus
+one contextvar read — zero allocation, no measurable overhead at
+``--trace-sample 0``.
+
+**Propagation** inside one process is a :data:`contextvars.ContextVar`:
+daemon dispatch runs the whole service -> engine -> portfolio parent
+path synchronously on the connection's handler thread, so activating
+the daemon span's context around dispatch parents every engine stage
+correctly without threading an argument through ten signatures.
+
+The process-global :func:`install`/:func:`get_tracer` pair mirrors the
+:mod:`repro.faults` idiom — one tracer per process, installed by the
+daemon (``repro serve --trace-log``) or a test, cleared with
+``install(None)``.
+
+Reconstruction (the ``repro trace`` CLI) is file-based on purpose:
+every participant appends spans to its own log, and
+:func:`load_spans` + :func:`format_trace` join them on ``trace_id``
+after the fact — the centralized-fusion framing of PAPERS.md's hard
+decision fusion line: local observations become decision-grade once
+fused at a coordinator.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "adopted",
+    "ctx_from_wire",
+    "ctx_to_wire",
+    "current",
+    "format_trace",
+    "get_tracer",
+    "group_traces",
+    "install",
+    "load_spans",
+    "stage",
+    "trace_tree",
+]
+
+
+# ----------------------------------------------------------------------
+# context + wire form
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in a trace: (trace_id, span_id, sampled).
+
+    ``sampled`` is propagation state, not a wire field: an unsampled
+    request never ships a context at all, so everything arriving off the
+    wire is sampled by construction.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+def ctx_to_wire(ctx: TraceContext) -> dict:
+    """The compact header form of a context (the ``"trace"`` key)."""
+    return {"tid": ctx.trace_id, "sid": ctx.span_id}
+
+
+def ctx_from_wire(obj) -> TraceContext | None:
+    """Parse a header's ``"trace"`` value; tolerant by contract.
+
+    Anything that is not a well-formed context dict — missing key (old
+    clients), wrong type, garbage ids — yields ``None``, never an
+    exception: a malformed trace annotation must not fail the request
+    it annotates.
+    """
+    if not isinstance(obj, dict):
+        return None
+    tid = obj.get("tid")
+    sid = obj.get("sid")
+    if not isinstance(tid, str) or not isinstance(sid, str) or not tid or not sid:
+        return None
+    return TraceContext(tid, sid, True)
+
+
+@dataclass
+class Span:
+    """One in-progress span (finished spans live as plain dict records)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    service: str
+    start: float                       # time.monotonic() at begin
+    ts: float                          # wall clock at begin
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def context(self) -> TraceContext:
+        """The context downstream work should parent on."""
+        return TraceContext(self.trace_id, self.span_id, True)
+
+
+# ----------------------------------------------------------------------
+# the tracer
+# ----------------------------------------------------------------------
+class Tracer:
+    """Span factory + sink for one process (or one logical participant).
+
+    Args:
+        service: participant label stamped on every span (``client``,
+            ``router``, a node address) — the waterfall's ``svc`` column.
+        sample: root sampling probability in [0, 1].  Only *root*
+            decisions consult it; a request arriving with a context is
+            already sampled and is always continued.
+        log_path: append one JSONL record per finished span (``repro
+            serve --trace-log``); ``None`` keeps spans in the ring only.
+        ring: fixed-memory bound on retained finished spans.
+    """
+
+    def __init__(
+        self,
+        service: str = "repro",
+        *,
+        sample: float = 1.0,
+        log_path: str | None = None,
+        ring: int = 512,
+    ):
+        self.service = str(service)
+        self.sample = min(1.0, max(0.0, float(sample)))
+        self.log_path = log_path
+        self.ring: deque = deque(maxlen=max(1, int(ring)))
+        self._lock = threading.Lock()
+        #: Spans emitted over this tracer's lifetime (cheap smoke-test
+        #: signal that sampling/propagation actually fired).
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def maybe_trace(self) -> bool:
+        """One root sampling decision."""
+        if self.sample <= 0.0:
+            return False
+        if self.sample >= 1.0:
+            return True
+        return random.random() < self.sample
+
+    def begin(
+        self, name: str, parent: TraceContext | None = None, **tags
+    ) -> Span:
+        """Open a span — a child of *parent*, or a fresh trace root."""
+        return Span(
+            trace_id=parent.trace_id if parent is not None else new_trace_id(),
+            span_id=new_span_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            service=self.service,
+            start=time.monotonic(),
+            ts=time.time(),
+            tags={k: v for k, v in tags.items() if v is not None},
+        )
+
+    def finish(self, span: Span, **tags) -> dict:
+        """Close a span (duration = now - begin) and emit its record."""
+        for key, value in tags.items():
+            if value is not None:
+                span.tags[key] = value
+        return self._emit(span, max(0.0, time.monotonic() - span.start))
+
+    def record(
+        self,
+        name: str,
+        *,
+        parent: TraceContext,
+        duration: float,
+        start: float | None = None,
+        tags: dict | None = None,
+    ) -> dict:
+        """Emit a *synthetic* span with an externally measured duration.
+
+        Pool workers do not ship spans back across the process boundary;
+        the parent reconstructs the ``solve`` span from the winning
+        outcome's ``wall_time`` (and the ``pool.wait`` span from its own
+        clock) and records it here, parented on the active race stage.
+        """
+        duration = max(0.0, float(duration))
+        now = time.monotonic()
+        span = Span(
+            trace_id=parent.trace_id,
+            span_id=new_span_id(),
+            parent_id=parent.span_id,
+            name=name,
+            service=self.service,
+            start=now - duration if start is None else start,
+            ts=time.time() - duration,
+            tags={k: v for k, v in (tags or {}).items() if v is not None},
+        )
+        return self._emit(span, duration)
+
+    def _emit(self, span: Span, duration: float) -> dict:
+        record = {
+            "mono": round(time.monotonic(), 6),
+            "ts": round(span.ts, 3),
+            "event": "span",
+            "trace": span.trace_id,
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "svc": span.service,
+            "start": round(span.start, 6),
+            "dur": round(duration, 6),
+        }
+        if span.tags:
+            record["tags"] = span.tags
+        line = None
+        if self.log_path is not None:
+            line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            self.ring.append(record)
+            self.emitted += 1
+            if line is not None:
+                with open(self.log_path, "a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+        return record
+
+    def spans(self) -> list[dict]:
+        """A copy of the retained finished-span records (ring order)."""
+        with self._lock:
+            return list(self.ring)
+
+    def span(self, name: str, parent: TraceContext | None = None, **tags):
+        """Context manager: open, activate, and finish one span."""
+        return _Stage(self, name, parent, tags)
+
+
+# ----------------------------------------------------------------------
+# process-global tracer + contextvar propagation (the faults idiom)
+# ----------------------------------------------------------------------
+_CURRENT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+_TRACER: Tracer | None = None
+
+
+def install(tracer: Tracer | None) -> None:
+    """Install (or clear, with ``None``) the process-global tracer."""
+    global _TRACER
+    _TRACER = tracer
+
+
+def get_tracer() -> Tracer | None:
+    """The process-global tracer, if any."""
+    return _TRACER
+
+
+def current() -> TraceContext | None:
+    """The active trace context on this thread, if any."""
+    return _CURRENT.get()
+
+
+def active() -> tuple[Tracer | None, TraceContext | None]:
+    """(tracer, context) when both exist and the context is sampled,
+    else ``(None, None)`` — the one check instrumented code makes."""
+    tracer = _TRACER
+    if tracer is None:
+        return None, None
+    ctx = _CURRENT.get()
+    if ctx is None or not ctx.sampled:
+        return None, None
+    return tracer, ctx
+
+
+class _NullStage:
+    """The disabled fast path: no span, no allocation, no contextvar set."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_STAGE = _NullStage()
+
+
+class _Stage:
+    """A live stage: child span of *parent*, activated for the block."""
+
+    __slots__ = ("_tracer", "span", "_token")
+
+    def __init__(self, tracer: Tracer, name: str, parent, tags: dict):
+        self._tracer = tracer
+        self.span = tracer.begin(name, parent, **tags)
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT.set(self.span.context)
+        return self.span
+
+    def __exit__(self, etype, exc, tb):
+        _CURRENT.reset(self._token)
+        if exc is not None:
+            self.span.tags.setdefault("error", repr(exc))
+        self._tracer.finish(self.span)
+        return False
+
+
+def stage(name: str, **tags):
+    """A child span of the active context, active within the block.
+
+    The engine/portfolio instrumentation point: ``with
+    tracing.stage("cache.lookup") as sp: ...`` yields the live
+    :class:`Span` (annotate via ``sp.tags``) when a tracer is installed
+    *and* a sampled context is active, else yields ``None`` through a
+    shared no-op — the sample-rate-0 path costs one global read and one
+    contextvar read.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_STAGE
+    ctx = _CURRENT.get()
+    if ctx is None or not ctx.sampled:
+        return _NULL_STAGE
+    return _Stage(tracer, name, ctx, tags)
+
+
+class _Activation:
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: TraceContext):
+        self._ctx = ctx
+        self._token = None
+
+    def __enter__(self) -> TraceContext:
+        self._token = _CURRENT.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc):
+        _CURRENT.reset(self._token)
+        return False
+
+
+def activated(ctx: TraceContext | None):
+    """Activate *ctx* for the block (no-op on ``None``) — the daemon's
+    around-dispatch hook, run whether or not its own span was opened."""
+    if ctx is None:
+        return _NULL_STAGE
+    return _Activation(ctx)
+
+
+def adopted(trace_field) -> "_Activation | _NullStage":
+    """Adopt a request record's ``trace`` dict for the block — but only
+    when nothing is active yet.
+
+    The in-process path: a :class:`~repro.service.requests.SolveRequest`
+    built directly (no daemon) may carry a context; over the wire the
+    daemon has already activated its own ``daemon.<op>`` span, which
+    must stay the parent — adopting the client's context there would
+    flatten the tree.
+    """
+    if _TRACER is None or _CURRENT.get() is not None:
+        return _NULL_STAGE
+    ctx = ctx_from_wire(trace_field)
+    if ctx is None:
+        return _NULL_STAGE
+    return _Activation(ctx)
+
+
+# ----------------------------------------------------------------------
+# reconstruction: join per-participant logs into trace trees
+# ----------------------------------------------------------------------
+def load_spans(paths) -> list[dict]:
+    """Read span records out of one or more JSONL logs.
+
+    Non-JSON lines and non-span records (daemon op logs sharing the
+    file) are skipped silently — the logs are a forensics mixtape, not a
+    schema-checked database.
+    """
+    spans: list[dict] = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("event") == "span"
+                and isinstance(record.get("trace"), str)
+                and isinstance(record.get("span"), str)
+            ):
+                spans.append(record)
+    return spans
+
+
+def group_traces(spans: list[dict]) -> dict[str, list[dict]]:
+    """Bucket spans by ``trace_id``, each bucket ordered by ``mono``.
+
+    ``mono`` is CLOCK_MONOTONIC — comparable across processes on one
+    host, not across hosts; the tree structure below never depends on
+    it, only the within-host ordering does.
+    """
+    traces: dict[str, list[dict]] = {}
+    for span in spans:
+        traces.setdefault(span["trace"], []).append(span)
+    for bucket in traces.values():
+        bucket.sort(key=lambda s: (s.get("mono") or 0.0, s.get("start") or 0.0))
+    return traces
+
+
+def trace_tree(
+    spans: list[dict],
+) -> tuple[list[dict], dict[str, list[dict]]]:
+    """(roots, children-by-span-id) for one trace's spans.
+
+    Spans whose parent never made it into any log (sampled-out hop, a
+    node whose log was not passed in) surface as extra roots instead of
+    vanishing — partial evidence beats silent loss.
+    """
+    by_id = {s["span"]: s for s in spans}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for span in spans:
+        parent = span.get("parent")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s.get("start") or 0.0)
+    roots.sort(key=lambda s: s.get("start") or 0.0)
+    return roots, children
+
+
+def _offset(span: dict, parent: dict, parent_offset: float) -> float:
+    """Waterfall offset of *span* relative to the trace root.
+
+    Same-host spans offset by their true monotonic delta; a span whose
+    clock is clearly from another host (negative delta, or a start past
+    the parent's whole window) is centered inside its parent instead —
+    printed durations stay authoritative either way.
+    """
+    p_start = parent.get("start")
+    s_start = span.get("start")
+    p_dur = float(parent.get("dur") or 0.0)
+    s_dur = float(span.get("dur") or 0.0)
+    if isinstance(p_start, (int, float)) and isinstance(s_start, (int, float)):
+        delta = float(s_start) - float(p_start)
+        if 0.0 <= delta <= max(p_dur * 1.5, p_dur + 0.001):
+            return parent_offset + delta
+    return parent_offset + max(0.0, (p_dur - s_dur) / 2.0)
+
+
+_SKIP_TAGS = ("error",)
+
+
+def _tag_text(span: dict) -> str:
+    tags = span.get("tags") or {}
+    parts = [f"{k}={v}" for k, v in tags.items()]
+    return " ".join(parts)
+
+
+def format_trace(spans: list[dict], *, width: int = 32) -> list[str]:
+    """Render one trace's spans as an indented per-stage waterfall.
+
+    One line per span: duration, tree-indented ``svc:name``, a bar
+    positioned inside the root's window, then tags.  Multiple roots
+    (orphaned subtrees) render one after another.
+    """
+    roots, children = trace_tree(spans)
+    if not roots:
+        return []
+    trace_id = spans[0]["trace"]
+    services = sorted({s.get("svc") or "?" for s in spans})
+    lines = [
+        f"trace {trace_id}  ({len(spans)} spans, "
+        f"{len(services)} services: {', '.join(services)})"
+    ]
+    total = max(float(r.get("dur") or 0.0) for r in roots) or 1e-9
+
+    def render(span: dict, depth: int, offset: float) -> None:
+        dur = float(span.get("dur") or 0.0)
+        left = int(round(width * min(1.0, max(0.0, offset / total))))
+        fill = max(1, int(round(width * min(1.0, dur / total))))
+        fill = min(fill, width - left) or 1
+        bar = " " * left + "#" * fill + " " * (width - left - fill)
+        label = "  " * depth + f"{span.get('svc', '?')}:{span['name']}"
+        tags = _tag_text(span)
+        lines.append(
+            f"  {dur * 1000.0:9.2f}ms  {label:<44} |{bar}|"
+            + (f"  {tags}" if tags else "")
+        )
+        for child in children.get(span["span"], ()):
+            render(child, depth + 1, _offset(child, span, offset))
+
+    for root in roots:
+        render(root, 0, 0.0)
+    return lines

@@ -40,6 +40,7 @@ import uuid
 from dataclasses import replace
 
 from repro.errors import AuthError, ConnectError, ServiceError
+from repro.obs import tracing
 from repro.service.address import Address, parse_address
 from repro.service.requests import ChangeRequest, SolveRequest, SolveResponse
 from repro.service.wire import (
@@ -72,6 +73,13 @@ class ServiceClient:
             no env var) skips the handshake — correct against an open
             daemon, a terminal :class:`~repro.errors.AuthError` against
             a guarded one.
+        tracer: a :class:`~repro.obs.tracing.Tracer` to born client root
+            spans into.  When set (and the tracer's sampling decision
+            fires), ``solve``/``change``/``solve_many`` open a root span
+            whose context rides the frame header; connect attempts and
+            every transport retry become child spans, so a chaos-dropped
+            frame's re-send is visible under the same ``trace_id``.
+            ``None`` (the default) keeps the client exactly as before.
     """
 
     def __init__(
@@ -83,6 +91,7 @@ class ServiceClient:
         backoff: float = 0.05,
         backoff_max: float = 2.0,
         auth_token: str | None = None,
+        tracer: "tracing.Tracer | None" = None,
     ):
         self.address = parse_address(address)
         #: Back-compat alias: the pre-cluster client was Unix-only and
@@ -97,6 +106,10 @@ class ServiceClient:
         if auth_token is None:
             auth_token = os.environ.get("REPRO_AUTH_TOKEN") or None
         self.auth_token = auth_token
+        self.tracer = tracer
+        #: The outgoing frame's trace context (parsed off the header in
+        #: :meth:`_call`); connect/retry child spans parent on it.
+        self._trace_ctx: tracing.TraceContext | None = None
         #: Transport failures absorbed by retries (observability only).
         self.retried = 0
         self._sock: socket.socket | None = None
@@ -121,10 +134,13 @@ class ServiceClient:
         daemon is missing, dead, or still draining.
         """
         self._reset()
+        t0 = time.monotonic()
+        attempts = 0
         last: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
                 time.sleep(self._delay(attempt - 1))
+            attempts += 1
             sock = self.address.create_socket()
             sock.settimeout(self.timeout)
             try:
@@ -136,7 +152,9 @@ class ServiceClient:
                 last = exc
                 continue
             self._sock = sock
+            self._trace_connect(t0, attempts, None)
             return
+        self._trace_connect(t0, attempts, last)
         if isinstance(last, AuthError):
             raise last
         raise ConnectError(
@@ -155,6 +173,23 @@ class ServiceClient:
                 f"cannot reach daemon at {self.address}: "
                 f"{response.get('error', 'auth rejected')}"
             )
+
+    def _trace_connect(
+        self, t0: float, attempts: int, error: Exception | None
+    ) -> None:
+        """Child span for one (re)connect while a traced call is active."""
+        if self.tracer is None or self._trace_ctx is None:
+            return
+        self.tracer.record(
+            "connect",
+            parent=self._trace_ctx,
+            start=t0,
+            duration=time.monotonic() - t0,
+            tags={
+                "attempts": attempts,
+                "error": str(error) if error is not None else None,
+            },
+        )
 
     def _reset(self) -> None:
         if self._sock is not None:
@@ -185,6 +220,15 @@ class ServiceClient:
         budget = header.get("deadline")
         t0 = time.monotonic() if budget is not None else 0.0
         total = self.retries + 1 if attempts is None else attempts
+        # The frame's own trace context (if any) parents connect/retry
+        # child spans — for direct calls that is the root span this
+        # client opened; on the router's forwarding path it is the hop
+        # span, so backend retries attach to the right node attempt.
+        self._trace_ctx = (
+            tracing.ctx_from_wire(header.get("trace"))
+            if self.tracer is not None
+            else None
+        )
         last: Exception | None = None
         for attempt in range(total):
             if attempt and budget is not None:
@@ -192,6 +236,7 @@ class ServiceClient:
                     header,
                     deadline=max(0.0, budget - (time.monotonic() - t0)),
                 )
+            attempt_t0 = time.monotonic()
             try:
                 if self._sock is None:
                     self._connect()
@@ -207,6 +252,18 @@ class ServiceClient:
                 last = exc
                 if attempt < total - 1:
                     self.retried += 1
+                    if self.tracer is not None and self._trace_ctx is not None:
+                        # Each chaos-induced (or real) transport retry is
+                        # a child span: the re-sent frame carries the
+                        # same trace_id, so the waterfall shows the drop
+                        # and the re-send under one trace.
+                        self.tracer.record(
+                            "retry",
+                            parent=self._trace_ctx,
+                            start=attempt_t0,
+                            duration=time.monotonic() - attempt_t0,
+                            tags={"attempt": attempt + 1, "error": str(exc)},
+                        )
                     time.sleep(self._delay(attempt))
                     continue
                 raise
@@ -227,6 +284,31 @@ class ServiceClient:
                 raise ServiceError(response.get("error", "daemon error"))
             return response
         raise ServiceError(f"request failed: {last}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _root_span(self, name: str, **tags) -> "tracing.Span | None":
+        """Open a client span for one request, or None when untraced.
+
+        An ambient sampled context (another instrumented layer above
+        this client) is continued unconditionally; otherwise the
+        tracer's sampling knob decides whether this request starts a
+        fresh trace.
+        """
+        if self.tracer is None:
+            return None
+        parent = tracing.current()
+        if (parent is None or not parent.sampled) and not self.tracer.maybe_trace():
+            return None
+        return self.tracer.begin(name, parent, **tags)
+
+    def _finish_span(
+        self, span: "tracing.Span | None", response: SolveResponse
+    ) -> SolveResponse:
+        if span is not None:
+            self.tracer.finish(
+                span, status=response.status, source=response.source or None
+            )
+        return response
 
     # ------------------------------------------------------------------
     def ping(self) -> bool:
@@ -254,8 +336,17 @@ class ServiceClient:
             and request.request_id is None
         ):
             request = replace(request, request_id=uuid.uuid4().hex)
+        span = self._root_span("client.solve", session=request.session)
+        if span is not None:
+            request = replace(request, trace=tracing.ctx_to_wire(span.context))
         header, payload = solve_request_to_wire(request)
-        return response_from_wire(self._call(header, payload))
+        try:
+            response = response_from_wire(self._call(header, payload))
+        except BaseException as exc:
+            if span is not None:
+                self.tracer.finish(span, error=repr(exc))
+            raise
+        return self._finish_span(span, response)
 
     def change(self, request: ChangeRequest) -> SolveResponse:
         """Route one change request through the daemon.
@@ -266,7 +357,18 @@ class ServiceClient:
         """
         if request.change_id is None:
             request = replace(request, change_id=uuid.uuid4().hex)
-        return response_from_wire(self._call(change_request_to_wire(request)))
+        span = self._root_span("client.change", session=request.session)
+        if span is not None:
+            request = replace(request, trace=tracing.ctx_to_wire(span.context))
+        try:
+            response = response_from_wire(
+                self._call(change_request_to_wire(request))
+            )
+        except BaseException as exc:
+            if span is not None:
+                self.tracer.finish(span, error=repr(exc))
+            raise
+        return self._finish_span(span, response)
 
     def solve_many(
         self,
@@ -284,10 +386,26 @@ class ServiceClient:
         round trip instead of N on this side.  The replay driver uses
         this for batched trace segments.
         """
+        span = self._root_span("client.solve_many", batch=len(formulas))
         header, payload = batch_request_to_wire(
-            formulas, deadline=deadline, seed=seed, use_cache=use_cache, lead=lead
+            formulas,
+            deadline=deadline,
+            seed=seed,
+            use_cache=use_cache,
+            lead=lead,
+            trace=(
+                tracing.ctx_to_wire(span.context) if span is not None else None
+            ),
         )
-        return batch_response_from_wire(self._call(header, payload))
+        try:
+            responses = batch_response_from_wire(self._call(header, payload))
+        except BaseException as exc:
+            if span is not None:
+                self.tracer.finish(span, error=repr(exc))
+            raise
+        if span is not None:
+            self.tracer.finish(span, results=len(responses))
+        return responses
 
     def close_session(self, name: str) -> bool:
         """Drop a named session on the daemon.

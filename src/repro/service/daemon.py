@@ -99,6 +99,7 @@ import time
 
 from repro import faults
 from repro.errors import ReproError, ServiceError
+from repro.obs import tracing
 from repro.obs.metrics import FrameTracker, StatsMonitor
 from repro.service.address import Address, parse_address, parse_tcp
 from repro.service.service import SolverService
@@ -112,6 +113,11 @@ from repro.service.wire import (
     send_truncated_frame,
     solve_request_from_wire,
 )
+
+#: Ops worth starting a *new* trace for when the daemon itself samples
+#: (``--trace-sample`` on an un-traced incoming request).  Requests that
+#: already carry a context are continued regardless of op.
+_TRACED_OPS = ("solve", "change", "solve_many")
 
 
 class ServiceDaemon:
@@ -143,6 +149,13 @@ class ServiceDaemon:
         syncer: an optional anti-entropy puller (:class:`~repro.cluster.
             sync.CacheSyncer`); the daemon owns its lifecycle, running
             it for exactly the span of :meth:`serve_forever`.
+        tracer: a :class:`~repro.obs.tracing.Tracer` (``repro serve
+            --trace-log`` / ``--trace-sample``).  Installed process-
+            globally so the engine/portfolio stage spans of requests
+            dispatched here land in the same ring/log; each traced op
+            gets a ``daemon.<op>`` span re-parenting downstream work,
+            and its trace/span ids are folded into the structured
+            ``op`` log records.  ``None`` disables all of it.
     """
 
     def __init__(
@@ -157,6 +170,7 @@ class ServiceDaemon:
         tcp_address: str | None = None,
         auth_token: str | None = None,
         syncer=None,
+        tracer: "tracing.Tracer | None" = None,
     ):
         if max_requests is not None and max_requests < 1:
             raise ServiceError("max_requests must be at least 1")
@@ -178,6 +192,12 @@ class ServiceDaemon:
         self.tcp_port: int | None = None
         self.auth_token = auth_token or None
         self.syncer = syncer
+        self.tracer = tracer
+        if tracer is not None:
+            # Process-global (the faults idiom): engine and portfolio
+            # stage spans find the tracer through tracing.get_tracer(),
+            # not through a parameter threaded ten layers deep.
+            tracing.install(tracer)
         self.service = service if service is not None else SolverService()
         self.log_path = log_path
         self.max_requests = max_requests
@@ -399,11 +419,19 @@ class ServiceDaemon:
                 return
             header, payload = frame
             op = header.get("op", "")
+            # Incoming trace context (absent/garbage parses to None —
+            # old clients' frames are untouched by tracing).
+            ctx = tracing.ctx_from_wire(header.get("trace"))
             # Wire-level chaos (no-ops without an installed plan).
             # Drop fires BEFORE dispatch — the request never executed,
             # so any op is safe to retry; slow just stalls the peer.
             if faults.fire("wire.drop") is not None:
-                self._log("chaos", point="wire.drop", op=op)
+                self._log(
+                    "chaos",
+                    point="wire.drop",
+                    op=op,
+                    trace=ctx.trace_id if ctx is not None else None,
+                )
                 return
             slow = faults.fire("wire.slow")
             if slow is not None:
@@ -448,9 +476,26 @@ class ServiceDaemon:
                     self.shutdown()
                     return
                 continue
+            # One daemon.<op> span per traced op: a child of the
+            # incoming context (client root or router hop), or a fresh
+            # root when this daemon's own sampling knob fires on an
+            # untraced request.  Its context is activated around
+            # dispatch so every engine/portfolio stage parents on it —
+            # dispatch runs synchronously on this handler thread.
+            span = None
+            if self.tracer is not None:
+                if ctx is not None:
+                    span = self.tracer.begin(f"daemon.{op}", ctx)
+                elif op in _TRACED_OPS and self.tracer.maybe_trace():
+                    span = self.tracer.begin(f"daemon.{op}")
+                if span is not None:
+                    ctx = span.context
             t0 = time.perf_counter()
             try:
-                response, stop_after = self._dispatch(op, header, payload)
+                with tracing.activated(
+                    span.context if span is not None else None
+                ):
+                    response, stop_after = self._dispatch(op, header, payload)
             except ReproError as exc:
                 response, stop_after = {"ok": False, "error": str(exc)}, False
             except Exception as exc:  # a bug must not kill the daemon
@@ -459,6 +504,15 @@ class ServiceDaemon:
                     False,
                 )
             wall = time.perf_counter() - t0
+            if span is not None:
+                self.tracer.finish(
+                    span,
+                    ok=bool(response.get("ok")),
+                    status=response.get("status"),
+                    source=response.get("source"),
+                    session=header.get("session"),
+                    error=response.get("error"),
+                )
             # No blanket errors bump here: the service counts its own
             # failed solve/change/solve_many requests (in a finally),
             # and _dispatch counts the failures that never reach the
@@ -474,6 +528,8 @@ class ServiceDaemon:
                 fp=fp[:12] or None,
                 wall=round(wall, 6),
                 error=response.get("error"),
+                trace=ctx.trace_id if ctx is not None else None,
+                span=span.span_id if span is not None else None,
             )
             if faults.fire("wire.truncate") is not None:
                 # Fires AFTER dispatch: the request executed but the

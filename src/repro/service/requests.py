@@ -71,6 +71,11 @@ class SolveRequest:
             the same id again on the same session.  The wire client
             fills one in automatically; stateless solves (no session)
             are naturally idempotent and never need one.
+        trace: optional distributed-tracing context (the compact
+            ``{"tid", "sid"}`` wire dict of :mod:`repro.obs.tracing`).
+            Purely observational — it never changes the answer — and
+            optional on the wire, so requests from older clients parse
+            unchanged.
     """
 
     formula: CNFFormula | None = None
@@ -85,6 +90,7 @@ class SolveRequest:
     hint: Assignment | None = None
     session: str | None = None
     request_id: str | None = None
+    trace: dict | None = None
 
     def __post_init__(self) -> None:
         sources = sum(
@@ -131,6 +137,8 @@ class ChangeRequest:
             blind retry would apply the batch twice; the service replays
             the recorded response when it sees the same id again on the
             same session.  The wire client fills one in automatically.
+        trace: optional distributed-tracing context (see
+            :class:`SolveRequest`); observational only.
     """
 
     session: str
@@ -139,6 +147,7 @@ class ChangeRequest:
     seed: int | None = None
     ec_mode: str = "auto"
     change_id: str | None = None
+    trace: dict | None = None
 
     def __post_init__(self) -> None:
         if self.ec_mode not in EC_MODES:

@@ -63,6 +63,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.engine import EngineResult, PortfolioEngine
 from repro.engine.protocol import SAT, UNKNOWN, UNSAT
 from repro.errors import ServiceError
+from repro.obs import tracing
 from repro.service.requests import (
     ChangeRequest,
     ILP_STRATEGY,
@@ -227,7 +228,11 @@ class SolverService:
             if response is not None:
                 replayed = True
                 return response
-            response = self._solve(request)
+            # In-process traced callers (no daemon hop) carry their
+            # context on the request record; over the wire the daemon
+            # has already activated its own span, so this is a no-op.
+            with tracing.adopted(request.trace):
+                response = self._solve(request)
             return response
         finally:
             # Counted in the finally so failed requests are visible too:
@@ -346,15 +351,16 @@ class SolverService:
                     self.metrics.bump(counts={"change_replays": 1})
                     response = session.last_change_response
                     return response
-                regime = session.apply_changes(request.changes)
-                if request.ec_mode == "force":
-                    raw = session.query(
-                        deadline=request.deadline, seed=request.seed
-                    )
-                else:
-                    raw = session.resolve_query(
-                        deadline=request.deadline, seed=request.seed
-                    )
+                with tracing.adopted(request.trace):
+                    regime = session.apply_changes(request.changes)
+                    if request.ec_mode == "force":
+                        raw = session.query(
+                            deadline=request.deadline, seed=request.seed
+                        )
+                    else:
+                        raw = session.resolve_query(
+                            deadline=request.deadline, seed=request.seed
+                        )
                 response = raw.with_context(
                     session=request.session, regime=regime
                 )

@@ -244,6 +244,11 @@ def solve_request_to_wire(request: SolveRequest) -> tuple[dict, bytes]:
         "dimacs_path": request.dimacs_path,
         "request_id": request.request_id,
     }
+    if request.trace is not None:
+        # Optional by design: the key is absent for untraced requests,
+        # so frames (and recorded traces) are byte-identical to the
+        # pre-tracing wire format unless a span is actually propagating.
+        header["trace"] = request.trace
     return header, payload
 
 
@@ -262,12 +267,15 @@ def solve_request_from_wire(header: dict, payload: bytes) -> SolveRequest:
         hint=Assignment.from_literals(hint) if hint is not None else None,
         session=header.get("session"),
         request_id=header.get("request_id"),
+        trace=(
+            header["trace"] if isinstance(header.get("trace"), dict) else None
+        ),
     )
 
 
 def change_request_to_wire(request: ChangeRequest) -> dict:
     """Header for a change request (changes ride the header as JSON)."""
-    return {
+    header = {
         "op": "change",
         "session": request.session,
         "changes": changes_to_wire(request.changes),
@@ -276,6 +284,9 @@ def change_request_to_wire(request: ChangeRequest) -> dict:
         "ec_mode": request.ec_mode,
         "change_id": request.change_id,
     }
+    if request.trace is not None:
+        header["trace"] = request.trace
+    return header
 
 
 def change_request_from_wire(header: dict) -> ChangeRequest:
@@ -287,6 +298,9 @@ def change_request_from_wire(header: dict) -> ChangeRequest:
         seed=header.get("seed"),
         ec_mode=header.get("ec_mode", "auto"),
         change_id=header.get("change_id"),
+        trace=(
+            header["trace"] if isinstance(header.get("trace"), dict) else None
+        ),
     )
 
 
@@ -297,6 +311,7 @@ def batch_request_to_wire(
     seed: int | None = None,
     use_cache: bool = True,
     lead: str | None = None,
+    trace: dict | None = None,
 ) -> tuple[dict, bytes]:
     """(header, payload) for a ``solve_many`` batch request.
 
@@ -314,6 +329,8 @@ def batch_request_to_wire(
         "use_cache": use_cache,
         "lead": lead,
     }
+    if trace is not None:
+        header["trace"] = trace
     return header, b"".join(payloads)
 
 

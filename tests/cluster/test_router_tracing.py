@@ -1,0 +1,228 @@
+"""Tracing across the router hop: client root → ``router.forward`` →
+node daemon spans under one trace id, per-node latency histograms in
+``cluster_health``, and failover keeping a stable trace id."""
+
+import json
+
+import pytest
+
+from repro.cnf.generators import random_planted_ksat
+from repro.cluster.router import RouterDaemon
+from repro.engine.config import EngineConfig
+from repro.obs import tracing
+from repro.obs.tracing import Tracer, group_traces
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon
+from repro.service.requests import SolveRequest
+from repro.service.service import SolverService
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    tracing.install(None)
+    yield
+    tracing.install(None)
+
+
+class _TracedCluster:
+    """Two traced daemons plus a traced router on Unix sockets.
+
+    Node and router tracers sample at 0 — every span they emit must be
+    a continuation of the driving client's wire context.
+    """
+
+    def __init__(self, tmp_path, *, health_interval=0.2):
+        self.tmp_path = tmp_path
+        self.daemons = []
+        self.threads = []
+        for name in ("a", "b"):
+            d = ServiceDaemon(
+                str(tmp_path / f"{name}.sock"),
+                SolverService(EngineConfig(
+                    jobs=1, cache="disk",
+                    cache_dir=str(tmp_path / f"cache-{name}"),
+                )),
+                log_path=str(tmp_path / f"{name}.log"),
+                tracer=Tracer(
+                    service=f"node-{name}", sample=0.0,
+                    log_path=str(tmp_path / f"{name}-trace.jsonl"),
+                ),
+            )
+            self.daemons.append(d)
+            self.threads.append(d.start())
+        self.router = RouterDaemon(
+            str(tmp_path / "router.sock"),
+            [d.socket_path for d in self.daemons],
+            log_path=str(tmp_path / "router.log"),
+            health_interval=health_interval,
+            retries=1,
+            trace_log=str(tmp_path / "router-trace.jsonl"),
+            trace_sample=0.0,
+        )
+        self.threads.append(self.router.start())
+
+    def trace_logs(self):
+        return [
+            str(self.tmp_path / name)
+            for name in ("a-trace.jsonl", "b-trace.jsonl",
+                         "router-trace.jsonl")
+        ]
+
+    def stop(self):
+        self.router.shutdown()
+        for d in self.daemons:
+            d.shutdown()
+        for t in self.threads:
+            t.join(timeout=10)
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    c = _TracedCluster(tmp_path)
+    yield c
+    c.stop()
+
+
+class TestRouterHopSpans:
+    def test_hop_span_bridges_client_and_node(self, cluster):
+        f, _ = random_planted_ksat(12, 36, rng=6)
+        client_tracer = Tracer(service="client", sample=1.0)
+        with ServiceClient(cluster.router.address, tracer=client_tracer) as c:
+            assert c.solve(SolveRequest(formula=f, seed=0)).status == "sat"
+
+        (root,) = [
+            s for s in client_tracer.spans() if s["name"] == "client.solve"
+        ]
+        spans = tracing.load_spans(cluster.trace_logs())
+        bucket = group_traces(spans).get(root["trace"])
+        assert bucket, "node/router spans did not join the client's trace"
+        by_name = {s["name"]: s for s in bucket}
+
+        hop = by_name["router.forward"]
+        assert hop["svc"] == "router"
+        assert hop["parent"] == root["span"]
+        assert hop["tags"]["tried"] == 1
+        assert hop["tags"]["node"] in cluster.router.ring.nodes
+
+        daemon_span = by_name["daemon.solve"]
+        # The node's span re-parents on the router hop, not the client:
+        # the reconstructed tree shows the request passing through.
+        assert daemon_span["parent"] == hop["span"]
+        assert daemon_span["svc"].startswith("node-")
+        assert by_name["engine.solve"]["parent"] == daemon_span["span"]
+
+    def test_failover_keeps_a_stable_trace_id(self, tmp_path):
+        # A 1h probe interval + killing the node *after* the startup
+        # probe round keeps it first in the routing order, so the
+        # failover happens inside the hop span (tried > 1), not by the
+        # prober quietly reordering the preference list.
+        import time
+
+        cluster = _TracedCluster(tmp_path, health_interval=3600)
+        instances = [random_planted_ksat(10, 30, rng=i)[0] for i in range(8)]
+        client_tracer = Tracer(service="client", sample=1.0)
+        try:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                nodes = cluster.router.cluster_health()["nodes"]
+                if all(s["alive"] for s in nodes.values()):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("startup probe round never completed")
+            victim = cluster.daemons[1]
+            victim.shutdown()
+            cluster.threads[1].join(timeout=10)
+            with ServiceClient(
+                cluster.router.address, tracer=client_tracer
+            ) as c:
+                for f in instances:
+                    assert c.solve(SolveRequest(formula=f, seed=0)).status
+        finally:
+            cluster.stop()
+
+        roots = {
+            s["span"]: s for s in client_tracer.spans()
+            if s["name"] == "client.solve"
+        }
+        hops = [
+            s for s in tracing.load_spans(cluster.trace_logs())
+            if s["name"] == "router.forward"
+        ]
+        failed_over = [h for h in hops if h["tags"]["tried"] > 1]
+        assert failed_over, "no instance was primaried on the dead node"
+        for hop in failed_over:
+            parent = roots[hop["parent"]]
+            # Failover happens inside the hop span: one span, one trace,
+            # surviving-node verdict — the retry is visible as tried > 1.
+            assert hop["trace"] == parent["trace"]
+            assert "error" not in hop["tags"]
+
+    def test_router_op_log_records_the_trace_id(self, cluster):
+        f, _ = random_planted_ksat(12, 36, rng=6)
+        client_tracer = Tracer(service="client", sample=1.0)
+        with ServiceClient(cluster.router.address, tracer=client_tracer) as c:
+            c.solve(SolveRequest(formula=f, seed=0))
+        (root,) = [
+            s for s in client_tracer.spans() if s["name"] == "client.solve"
+        ]
+        with open(cluster.tmp_path / "router.log", encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh]
+        solves = [r for r in records if r.get("op") == "solve"]
+        assert solves and solves[-1]["trace"] == root["trace"]
+
+    def test_router_can_root_traces_itself(self, tmp_path):
+        # trace_sample > 0 lets the router originate traces for old
+        # clients that send no context at all.
+        c = _TracedCluster(tmp_path)
+        c.router.shutdown()
+        c.threads.pop().join(timeout=10)
+        c.router = RouterDaemon(
+            str(tmp_path / "router2.sock"),
+            [d.socket_path for d in c.daemons],
+            log_path=str(tmp_path / "router2.log"),
+            health_interval=0.2,
+            retries=1,
+            trace_log=str(tmp_path / "router2-trace.jsonl"),
+            trace_sample=1.0,
+        )
+        c.threads.append(c.router.start())
+        try:
+            f, _ = random_planted_ksat(12, 36, rng=6)
+            with ServiceClient(c.router.address) as client:
+                client.solve(SolveRequest(formula=f, seed=0))
+            hops = [
+                s for s in tracing.load_spans(
+                    [str(tmp_path / "router2-trace.jsonl")]
+                )
+                if s["name"] == "router.forward"
+            ]
+            assert hops and hops[0]["parent"] is None
+        finally:
+            c.stop()
+
+
+class TestPerNodeLatency:
+    def test_cluster_health_carries_latency_summaries(self, cluster):
+        instances = [random_planted_ksat(10, 30, rng=i)[0] for i in range(8)]
+        with ServiceClient(cluster.router.address) as c:
+            for f in instances:
+                c.solve(SolveRequest(formula=f, seed=0))
+        nodes = cluster.router.cluster_health()["nodes"]
+        summaries = [snap["latency"] for snap in nodes.values()]
+        assert all(
+            set(s) >= {"mean", "p50", "p99", "count"} for s in summaries
+        )
+        # 12 distinct instances spread over both nodes: each saw traffic.
+        assert sum(s["count"] for s in summaries) == len(instances)
+
+    def test_aggregated_stats_carry_node_latency(self, cluster):
+        f, _ = random_planted_ksat(12, 36, rng=6)
+        with ServiceClient(cluster.router.address) as c:
+            c.solve(SolveRequest(formula=f, seed=0))
+            stats = c.stats()
+        section = stats["cluster"]
+        assert section["router"] == cluster.router.address
+        assert any(
+            entry["count"] >= 1 for entry in section["node_latency"].values()
+        )

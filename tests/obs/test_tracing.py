@@ -1,0 +1,230 @@
+"""Unit coverage for :mod:`repro.obs.tracing`: wire context round trips,
+sampling, the zero-overhead disabled path, span emission (ring + JSONL),
+and the log-join reconstruction behind ``repro trace``."""
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import (
+    Tracer,
+    TraceContext,
+    ctx_from_wire,
+    ctx_to_wire,
+    format_trace,
+    group_traces,
+    load_spans,
+    new_span_id,
+    new_trace_id,
+    trace_tree,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Tracing is process-global (the faults idiom): every test starts
+    and ends with no tracer installed and no context active."""
+    tracing.install(None)
+    yield
+    tracing.install(None)
+
+
+class TestWireContext:
+    def test_round_trip(self):
+        ctx = TraceContext(new_trace_id(), new_span_id())
+        parsed = ctx_from_wire(ctx_to_wire(ctx))
+        assert parsed == ctx
+        assert parsed.sampled is True
+
+    def test_ids_are_hex_of_fixed_width(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)
+        int(new_span_id(), 16)
+
+    @pytest.mark.parametrize("garbage", [
+        None, 42, "tid", [], {}, {"tid": "a"}, {"sid": "b"},
+        {"tid": 1, "sid": "b"}, {"tid": "", "sid": "b"},
+        {"tid": "a", "sid": None},
+    ])
+    def test_malformed_wire_values_parse_to_none(self, garbage):
+        # A malformed trace annotation must never fail the request.
+        assert ctx_from_wire(garbage) is None
+
+
+class TestTracer:
+    def test_begin_finish_emits_a_child_record(self):
+        tracer = Tracer(service="t")
+        root = tracer.begin("root")
+        child = tracer.begin("child", root.context, solver="cdcl")
+        rec = tracer.finish(child, status="sat")
+        assert rec["event"] == "span"
+        assert rec["trace"] == root.trace_id
+        assert rec["parent"] == root.span_id
+        assert rec["svc"] == "t"
+        assert rec["dur"] >= 0.0
+        assert rec["tags"] == {"solver": "cdcl", "status": "sat"}
+
+    def test_none_tags_are_filtered(self):
+        tracer = Tracer()
+        span = tracer.begin("x", session=None)
+        rec = tracer.finish(span, error=None, node="n1")
+        assert rec["tags"] == {"node": "n1"}
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(ring=4)
+        for i in range(10):
+            tracer.finish(tracer.begin(f"s{i}"))
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert tracer.emitted == 10
+        assert [s["name"] for s in spans] == ["s6", "s7", "s8", "s9"]
+
+    def test_jsonl_sink_shares_the_daemon_log_convention(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(service="node", log_path=str(path))
+        tracer.finish(tracer.begin("daemon.solve"))
+        record = json.loads(path.read_text().strip())
+        assert record["event"] == "span"
+        assert "mono" in record and "ts" in record
+
+    def test_synthetic_record_backdates_start(self):
+        tracer = Tracer()
+        parent = tracer.begin("race")
+        rec = tracer.record(
+            "solve", parent=parent.context, duration=1.5,
+            tags={"solver": "cdcl"},
+        )
+        assert rec["dur"] == 1.5
+        assert rec["parent"] == parent.span_id
+        assert rec["start"] <= rec["mono"] - 1.4
+
+    def test_sampling_bounds(self):
+        assert Tracer(sample=0.0).maybe_trace() is False
+        assert Tracer(sample=1.0).maybe_trace() is True
+        assert Tracer(sample=-3).sample == 0.0
+        assert Tracer(sample=7).sample == 1.0
+
+
+class TestStageAndPropagation:
+    def test_stage_is_null_without_a_tracer(self):
+        with tracing.stage("engine.solve") as sp:
+            assert sp is None
+
+    def test_stage_is_null_without_an_active_context(self):
+        tracing.install(Tracer())
+        with tracing.stage("engine.solve") as sp:
+            assert sp is None
+
+    def test_disabled_stage_is_the_shared_singleton(self):
+        # The sample-rate-0 fast path allocates nothing.
+        assert tracing.stage("a") is tracing.stage("b")
+
+    def test_stage_nests_under_the_activated_context(self):
+        tracer = Tracer()
+        tracing.install(tracer)
+        root = tracer.begin("daemon.solve")
+        with tracing.activated(root.context):
+            with tracing.stage("engine.solve") as outer:
+                assert outer.parent_id == root.span_id
+                with tracing.stage("cache.lookup") as inner:
+                    assert inner.parent_id == outer.span_id
+        assert tracing.current() is None
+        names = [s["name"] for s in tracer.spans()]
+        assert names == ["cache.lookup", "engine.solve"]  # finish order
+
+    def test_stage_tags_errors_and_still_finishes(self):
+        tracer = Tracer()
+        tracing.install(tracer)
+        with tracing.activated(tracer.begin("root").context):
+            with pytest.raises(ValueError):
+                with tracing.stage("engine.solve"):
+                    raise ValueError("boom")
+        (rec,) = tracer.spans()
+        assert "boom" in rec["tags"]["error"]
+
+    def test_adopted_activates_only_when_nothing_is_active(self):
+        tracer = Tracer()
+        tracing.install(tracer)
+        ctx = TraceContext(new_trace_id(), new_span_id())
+        with tracing.adopted(ctx_to_wire(ctx)):
+            assert tracing.current() == ctx
+            inner = TraceContext(new_trace_id(), new_span_id())
+            # The daemon already activated its span: adopting the
+            # client's context here would flatten the tree.
+            with tracing.adopted(ctx_to_wire(inner)):
+                assert tracing.current() == ctx
+        assert tracing.current() is None
+
+    def test_adopted_is_null_on_garbage_and_without_tracer(self):
+        assert tracing.adopted({"tid": "a", "sid": "b"}) is tracing._NULL_STAGE
+        tracing.install(Tracer())
+        assert tracing.adopted("nonsense") is tracing._NULL_STAGE
+
+    def test_active_requires_both_tracer_and_sampled_context(self):
+        assert tracing.active() == (None, None)
+        tracer = Tracer()
+        tracing.install(tracer)
+        assert tracing.active() == (None, None)
+        ctx = TraceContext(new_trace_id(), new_span_id())
+        with tracing.activated(ctx):
+            assert tracing.active() == (tracer, ctx)
+        unsampled = TraceContext(new_trace_id(), new_span_id(), sampled=False)
+        with tracing.activated(unsampled):
+            assert tracing.active() == (None, None)
+
+
+class TestReconstruction:
+    def _emit_tree(self, path):
+        tracer = Tracer(service="node", log_path=str(path))
+        root = tracer.begin("daemon.solve")
+        child = tracer.begin("engine.solve", root.context)
+        tracer.finish(child)
+        tracer.finish(root)
+        return root.trace_id
+
+    def test_load_spans_skips_garbage_and_op_records(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        tid = self._emit_tree(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"event": "op", "op": "solve"}) + "\n")
+            fh.write(json.dumps({"event": "span", "trace": 7}) + "\n")
+        spans = load_spans([str(path), str(tmp_path / "missing.jsonl")])
+        assert len(spans) == 2
+        assert {s["trace"] for s in spans} == {tid}
+
+    def test_group_and_tree(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tid = self._emit_tree(path)
+        traces = group_traces(load_spans([str(path)]))
+        roots, children = trace_tree(traces[tid])
+        assert len(roots) == 1
+        assert roots[0]["name"] == "daemon.solve"
+        kids = children[roots[0]["span"]]
+        assert [k["name"] for k in kids] == ["engine.solve"]
+
+    def test_orphans_surface_as_roots(self):
+        spans = [
+            {"trace": "t", "span": "a", "parent": None, "name": "r",
+             "svc": "x", "start": 0.0, "dur": 1.0, "mono": 1.0},
+            {"trace": "t", "span": "b", "parent": "missing", "name": "o",
+             "svc": "y", "start": 0.5, "dur": 0.1, "mono": 1.0},
+        ]
+        roots, _ = trace_tree(spans)
+        assert [r["name"] for r in roots] == ["r", "o"]
+
+    def test_format_trace_renders_a_waterfall(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tid = self._emit_tree(path)
+        traces = group_traces(load_spans([str(path)]))
+        lines = format_trace(traces[tid])
+        assert tid in lines[0]
+        assert "daemon.solve" in lines[1]
+        assert "engine.solve" in lines[2]
+        # The child is indented under the root and both carry bars.
+        assert all("|" in line for line in lines[1:])
+
+    def test_format_trace_empty(self):
+        assert format_trace([]) == []
